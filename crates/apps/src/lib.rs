@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! The five applications the paper evaluates (§V.B), implemented on the
+//! phigraph programming API, plus sequential reference implementations and
+//! the synthetic workloads standing in for the paper's datasets.
+//!
+//! | App | Messages | Reduction | Notes |
+//! |-----|----------|-----------|-------|
+//! | [`PageRank`](pagerank::PageRank) | `f32` rank share | sum (SIMD) | fixed iterations, all vertices active |
+//! | [`Bfs`](bfs::Bfs) | `i32` level | min (scalar — "message reduction is not needed") | frontier-driven |
+//! | [`Sssp`](sssp::Sssp) | `f32` distance | min (SIMD) | the paper's running example |
+//! | [`TopoSort`](toposort::TopoSort) | packed `i64` | custom count-sum ⊕ level-max (SIMD) | dense DAG, hot destinations |
+//! | [`SemiClustering`](semicluster::SemiClustering) | cluster lists | sort/merge (object path) | not SIMD-reducible |
+//! | [`Wcc`](wcc::Wcc) | `i32` label | min (SIMD) | extra app beyond the paper's five |
+//! | [`KCore`](kcore::KCore) | `i32` removal count | sum (SIMD) | extra app: message-driven core peeling |
+
+pub mod bfs;
+pub mod kcore;
+pub mod pagerank;
+pub mod reference;
+pub mod semicluster;
+pub mod sssp;
+pub mod toposort;
+pub mod wcc;
+pub mod workloads;
+
+pub use bfs::Bfs;
+pub use kcore::KCore;
+pub use pagerank::PageRank;
+pub use semicluster::SemiClustering;
+pub use sssp::Sssp;
+pub use toposort::TopoSort;
+pub use wcc::Wcc;

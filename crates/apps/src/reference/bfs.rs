@@ -1,0 +1,42 @@
+//! Reference BFS (frontier queue).
+
+use phigraph_graph::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Levels from `source`; `-1` for unreachable vertices.
+pub fn bfs_reference(g: &Csr, source: VertexId) -> Vec<i32> {
+    let mut level = vec![-1i32; g.num_vertices()];
+    let mut q = VecDeque::new();
+    level[source as usize] = 0;
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        for &u in g.neighbors(v) {
+            if level[u as usize] < 0 {
+                level[u as usize] = level[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::{chain, cycle};
+
+    #[test]
+    fn chain_levels() {
+        assert_eq!(bfs_reference(&chain(4), 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        assert_eq!(bfs_reference(&cycle(4), 2), vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_minus_one() {
+        assert_eq!(bfs_reference(&chain(3), 2), vec![-1, -1, 0]);
+    }
+}

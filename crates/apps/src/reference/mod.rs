@@ -1,0 +1,10 @@
+//! Sequential reference implementations, used as correctness oracles for
+//! every engine and as the Table II "Seq" baselines' ground truth.
+
+pub mod bfs;
+pub mod kcore;
+pub mod pagerank;
+pub mod semicluster;
+pub mod sssp;
+pub mod toposort;
+pub mod wcc;

@@ -1,0 +1,75 @@
+//! Reference Semi-Clustering: a direct single-threaded BSP loop reusing the
+//! cluster arithmetic of [`crate::semicluster`], with an explicit mailbox
+//! array. Independent of the engines, so it can arbitrate between them.
+
+use crate::semicluster::{SemiCluster, SemiClustering};
+use phigraph_core::engine::obj::ObjVertexProgram;
+use phigraph_graph::Csr;
+
+/// Run Semi-Clustering sequentially and return the per-vertex cluster
+/// lists.
+pub fn semicluster_reference(sc: &SemiClustering, g: &Csr) -> Vec<Vec<SemiCluster>> {
+    let n = g.num_vertices();
+    let mut values: Vec<Vec<SemiCluster>> = Vec::with_capacity(n);
+    let mut active = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let (val, act) = sc.init(v, g);
+        values.push(val);
+        active.push(act);
+    }
+    for _ in 0..sc.iterations {
+        let mut mailboxes: Vec<Vec<Vec<SemiCluster>>> = vec![Vec::new(); n];
+        let mut any = false;
+        for v in 0..n as u32 {
+            if !active[v as usize] {
+                continue;
+            }
+            sc.generate(v, g, &values, &mut |dst, msg| {
+                mailboxes[dst as usize].push(msg);
+                any = true;
+            });
+        }
+        active.fill(false);
+        if !any {
+            break;
+        }
+        for v in 0..n {
+            if mailboxes[v].is_empty() {
+                continue;
+            }
+            let msgs = std::mem::take(&mut mailboxes[v]);
+            active[v] = sc.update(v as u32, msgs, &mut values[v], g);
+        }
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_core::engine::obj::run_obj_single;
+    use phigraph_core::engine::EngineConfig;
+    use phigraph_device::DeviceSpec;
+    use phigraph_graph::generators::community::{community_graph, CommunityConfig};
+
+    #[test]
+    fn reference_agrees_with_engine() {
+        let (g, _) = community_graph(&CommunityConfig {
+            num_vertices: 150,
+            num_communities: 5,
+            intra_degree: 6,
+            inter_degree: 0.4,
+            weighted: true,
+            seed: 7,
+        });
+        let sc = SemiClustering::default();
+        let reference = semicluster_reference(&sc, &g);
+        let engine = run_obj_single(
+            &sc,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking(),
+        );
+        assert_eq!(reference, engine.values);
+    }
+}

@@ -1,0 +1,78 @@
+//! Reference SSSP: binary-heap Dijkstra (valid because the paper's SSSP is
+//! "applied to a positive weighted directed graph").
+
+use phigraph_graph::{Csr, VertexId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f32,
+    v: VertexId,
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap by distance.
+        o.dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then(o.v.cmp(&self.v))
+    }
+}
+
+/// Shortest distances from `source` (`f32::INFINITY` when unreachable).
+pub fn dijkstra_reference(g: &Csr, source: VertexId) -> Vec<f32> {
+    let mut dist = vec![f32::INFINITY; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        v: source,
+    });
+    while let Some(HeapItem { dist: d, v }) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for e in g.edge_range(v) {
+            let u = g.targets[e];
+            let nd = d + g.weight(e);
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(HeapItem { dist: nd, v: u });
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::{chain, weighted_diamond};
+
+    #[test]
+    fn diamond() {
+        assert_eq!(
+            dijkstra_reference(&weighted_diamond(), 0),
+            vec![0.0, 1.0, 5.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn chain_unit_weights() {
+        assert_eq!(dijkstra_reference(&chain(4), 0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let d = dijkstra_reference(&chain(3), 1);
+        assert!(d[0].is_infinite());
+        assert_eq!(d[1], 0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Reference weakly-connected components via union-find, labelled with the
+//! minimum vertex id per component (the label-propagation fixed point).
+
+use phigraph_graph::Csr;
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Root at the smaller id so labels match label propagation.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// Minimum-id component label per vertex.
+pub fn wcc_reference(g: &Csr) -> Vec<i32> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for (s, d) in g.edge_iter() {
+        uf.union(s, d);
+    }
+    (0..g.num_vertices() as u32)
+        .map(|v| uf.find(v) as i32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::chain;
+    use phigraph_graph::EdgeList;
+
+    #[test]
+    fn chain_collapses_to_zero() {
+        assert_eq!(wcc_reference(&chain(5)), vec![0; 5]);
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let mut el = EdgeList::new(6);
+        el.push(4, 2);
+        el.push(2, 5);
+        el.push(1, 3);
+        let g = phigraph_graph::Csr::from_edge_list(&el);
+        let labels = wcc_reference(&g);
+        assert_eq!(labels, vec![0, 1, 2, 1, 2, 2]);
+    }
+}

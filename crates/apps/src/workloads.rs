@@ -1,0 +1,147 @@
+//! Workload builders for the evaluation — the synthetic stand-ins for the
+//! paper's datasets (see DESIGN.md §2), at sizes scaled from "fills a Xeon
+//! Phi" to "fits a laptop benchmark budget".
+
+use phigraph_graph::generators::community::{community_graph, CommunityConfig};
+use phigraph_graph::generators::dag::{layered_dag, DagConfig};
+use phigraph_graph::generators::rmat::{rmat, RmatConfig};
+use phigraph_graph::Csr;
+
+/// Workload scale presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test sized (sub-second everything).
+    Tiny,
+    /// Default bench size (seconds per experiment).
+    Small,
+    /// Larger runs for the reproduction harness.
+    Medium,
+}
+
+impl Scale {
+    /// Parse from harness arguments.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            _ => None,
+        }
+    }
+}
+
+/// Pokec-like power-law graph (the PageRank/BFS/SSSP input): RMAT with
+/// front-loaded hubs. Pokec is 1.6M vertices / 31M edges; these are scaled
+/// replicas with the same degree skew and id-ordering property.
+pub fn pokec_like(scale: Scale, seed: u64) -> Csr {
+    let (s, ef) = match scale {
+        Scale::Tiny => (10, 8),
+        Scale::Small => (14, 12),
+        Scale::Medium => (16, 16),
+    };
+    // Keep hub concentration Pokec-like: max degree a small multiple of
+    // the mean rather than a fixed fraction of all edges (see RmatConfig).
+    let cap = (ef as u32) * 12;
+    rmat(&RmatConfig {
+        scale: s,
+        edge_factor: ef,
+        degree_cap: Some(cap),
+        seed,
+        ..Default::default()
+    })
+}
+
+/// Pokec-like graph with random positive edge weights (the SSSP input:
+/// "we randomly generated weight value for each edge").
+pub fn pokec_like_weighted(scale: Scale, seed: u64) -> Csr {
+    let g = pokec_like(scale, seed);
+    let mut el = g.to_edge_list();
+    el.randomize_weights(0.1, 10.0, seed ^ 0xFEED);
+    Csr::from_edge_list(&el)
+}
+
+/// DBLP-like community graph (the Semi-Clustering input): mirrored edges,
+/// dense collaboration clusters. DBLP is 436K vertices / 1.1M edges.
+pub fn dblp_like(scale: Scale, seed: u64) -> (Csr, Vec<u32>) {
+    let (n, k) = match scale {
+        Scale::Tiny => (400, 10),
+        Scale::Small => (6_000, 120),
+        Scale::Medium => (40_000, 800),
+    };
+    community_graph(&CommunityConfig {
+        num_vertices: n,
+        num_communities: k,
+        intra_degree: 6,
+        inter_degree: 0.5,
+        weighted: true,
+        seed,
+    })
+}
+
+/// Dense layered DAG (the TopoSort input): few vertices, many edges, hot
+/// fan-in destinations. The paper's DAG is 40K vertices / 200M edges
+/// (edge factor 5000!); these replicas keep the vertex:edge imbalance and
+/// fan-in concentration at tractable sizes.
+pub fn toposort_dag(scale: Scale, seed: u64) -> Csr {
+    let (n, deg) = match scale {
+        Scale::Tiny => (500, 32),
+        Scale::Small => (4_000, 256),
+        Scale::Medium => (10_000, 1024),
+    };
+    layered_dag(&DagConfig {
+        num_vertices: n,
+        layers: 20,
+        avg_out_degree: deg,
+        fan_in_concentration: 0.7,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::dag::is_dag;
+    use phigraph_graph::DegreeStats;
+
+    #[test]
+    fn pokec_like_is_skewed_and_front_loaded() {
+        let g = pokec_like(Scale::Tiny, 1);
+        let s = DegreeStats::out_degrees(&g);
+        assert!(s.cv > 1.0);
+        let d = g.out_degrees();
+        assert!(d[0] >= d[d.len() - 1]);
+    }
+
+    #[test]
+    fn weighted_variant_has_positive_weights() {
+        let g = pokec_like_weighted(Scale::Tiny, 2);
+        let w = g.weights.as_ref().unwrap();
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn dblp_like_is_symmetric() {
+        let (g, labels) = dblp_like(Scale::Tiny, 3);
+        assert!(phigraph_graph::validation::is_symmetric(&g));
+        assert_eq!(labels.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn toposort_dag_is_dense_and_acyclic() {
+        let g = toposort_dag(Scale::Tiny, 4);
+        assert!(is_dag(&g));
+        assert!(
+            g.num_edges() > 10 * g.num_vertices(),
+            "DAG should be edge-dense: {} edges / {} vertices",
+            g.num_edges(),
+            g.num_vertices()
+        );
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let t = pokec_like(Scale::Tiny, 1).num_edges();
+        let s = pokec_like(Scale::Small, 1).num_edges();
+        assert!(s > 4 * t);
+    }
+}

@@ -1,0 +1,64 @@
+//! Interconnect ablation: how the heterogeneous run responds to the link's
+//! bandwidth and latency (PCIe generations / idealized), and the cost of
+//! the remote combine step itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_apps::workloads::Scale;
+use phigraph_bench::{AppId, Workbench};
+use phigraph_comm::{combine_messages, PcieLink, WireMsg};
+use phigraph_partition::{partition, PartitionScheme};
+use phigraph_simd::Sum;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_link_sweep(c: &mut Criterion) {
+    let wb = Workbench::new(Scale::Tiny);
+    let p = partition(
+        &wb.pokec,
+        PartitionScheme::hybrid_default(),
+        AppId::PageRank.paper_ratio(),
+        7,
+    );
+    let mut group = c.benchmark_group("comm/link_sweep");
+    group.sample_size(10);
+    for (name, _link) in [
+        ("gen2x16", PcieLink::gen2_x16()),
+        (
+            "gen3x16",
+            PcieLink {
+                bandwidth_gbs: 12.0,
+                latency_us: 5.0,
+            },
+        ),
+        ("ideal", PcieLink::ideal()),
+    ] {
+        // The run itself is link-independent (the link only affects the
+        // simulated comm time); this tracks the wall cost of the exchange
+        // machinery under each configuration label.
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| wb.run_hetero(AppId::PageRank, p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_combiner(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let sizes = [1_000usize, 10_000, 100_000];
+    let mut group = c.benchmark_group("comm/combine");
+    for &n in &sizes {
+        let msgs: Vec<WireMsg<f32>> = (0..n)
+            .map(|_| WireMsg {
+                dst: rng.random_range(0..(n as u32 / 8).max(1)),
+                value: rng.random_range(0.0..1.0),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &msgs, |b, msgs| {
+            b.iter(|| combine_messages::<f32, Sum>(msgs.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_link_sweep, bench_combiner);
+criterion_main!(benches);

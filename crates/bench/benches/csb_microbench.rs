@@ -1,0 +1,116 @@
+//! CSB ablations (design choices from DESIGN.md): one-to-one vs dynamic
+//! column allocation, group width factor `k`, and raw insertion throughput
+//! under the locking and pipelined disciplines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phigraph_apps::workloads::{self, Scale};
+use phigraph_apps::Sssp;
+use phigraph_core::csb::{ColumnMode, Csb, CsbLayout};
+use phigraph_core::engine::{run_single, EngineConfig};
+use phigraph_device::pool::run_parallel;
+use phigraph_device::DeviceSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_column_modes(c: &mut Criterion) {
+    let g = workloads::pokec_like_weighted(Scale::Tiny, 5);
+    let mut group = c.benchmark_group("csb/column_mode");
+    group.sample_size(10);
+    for mode in [ColumnMode::OneToOne, ColumnMode::Dynamic] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    run_single(
+                        &Sssp { source: 0 },
+                        &g,
+                        DeviceSpec::xeon_phi_se10p(),
+                        &EngineConfig::locking().with_column_mode(mode),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let g = workloads::pokec_like_weighted(Scale::Tiny, 5);
+    let mut group = c.benchmark_group("csb/k_sweep");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                run_single(
+                    &Sssp { source: 0 },
+                    &g,
+                    DeviceSpec::xeon_phi_se10p(),
+                    &EngineConfig::locking().with_k(k),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    // Raw concurrent insertion, uniform destinations. Every thread inserts
+    // the same destination stream, so the exact per-vertex capacity is
+    // `threads x occurrences`.
+    let n = 4096usize;
+    let msgs_per_thread = 50_000usize;
+    let threads = 4;
+    let dsts: Vec<u32> = {
+        let mut rng = StdRng::seed_from_u64(9);
+        (0..msgs_per_thread)
+            .map(|_| rng.random_range(0..n as u32))
+            .collect()
+    };
+    let mut cap = vec![0u32; n];
+    for &d in &dsts {
+        cap[d as usize] += threads as u32;
+    }
+    let owned: Vec<u32> = (0..n as u32).collect();
+    let mut group = c.benchmark_group("csb/insert");
+    group.throughput(Throughput::Elements((threads * msgs_per_thread) as u64));
+    group.sample_size(10);
+    for mode in [ColumnMode::OneToOne, ColumnMode::Dynamic] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                let layout = CsbLayout::build(n, &owned, &cap, 16, 4);
+                let csb = Csb::<f32>::new(layout, mode);
+                b.iter(|| {
+                    csb.reset();
+                    run_parallel(threads, |_| {
+                        for &d in &dsts {
+                            csb.insert(d, 1.0);
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_layout_build(c: &mut Criterion) {
+    let g = workloads::pokec_like(Scale::Tiny, 5);
+    let n = g.num_vertices();
+    let owned: Vec<u32> = (0..n as u32).collect();
+    let cap = g.in_degrees();
+    c.bench_function("csb/layout_build", |b| {
+        b.iter(|| CsbLayout::build(n, &owned, &cap, 16, 4))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_column_modes,
+    bench_k_sweep,
+    bench_insert_throughput,
+    bench_layout_build
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Fig. 5(f) benches: SIMD vs scalar message processing, both as a
+//! row-reduction microbenchmark (real host vector units!) and as the full
+//! message-processing phase of the three reducible applications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phigraph_apps::workloads::Scale;
+use phigraph_bench::{AppId, Workbench};
+use phigraph_core::engine::EngineConfig;
+use phigraph_device::DeviceSpec;
+use phigraph_simd::{reduce_rows, reduce_rows_scalar, AVec, Sum};
+
+fn bench_reduce_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5f/reduce_kernel");
+    for &lanes in &[4usize, 16] {
+        let rows = 64;
+        let blocks = 1024;
+        let mut buf = AVec::<f32>::new_filled(blocks * rows * lanes, 1.5);
+        group.throughput(Throughput::Elements((blocks * rows * lanes) as u64));
+        group.bench_with_input(BenchmarkId::new("vector", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                for blk in 0..blocks {
+                    let s = &mut buf[blk * rows * lanes..(blk + 1) * rows * lanes];
+                    reduce_rows::<f32, Sum>(s, rows, lanes);
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                for blk in 0..blocks {
+                    let s = &mut buf[blk * rows * lanes..(blk + 1) * rows * lanes];
+                    reduce_rows_scalar::<f32, Sum>(s, rows, lanes);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_app_processing(c: &mut Criterion) {
+    let wb = Workbench::new(Scale::Tiny);
+    let mut group = c.benchmark_group("fig5f/app");
+    group.sample_size(10);
+    for app in [AppId::PageRank, AppId::Sssp, AppId::TopoSort] {
+        for vectorized in [false, true] {
+            let label = if vectorized { "vec" } else { "novec" };
+            group.bench_with_input(
+                BenchmarkId::new(app.name(), label),
+                &vectorized,
+                |b, &vectorized| {
+                    b.iter(|| {
+                        wb.run_single(
+                            app,
+                            wb.graph(app),
+                            DeviceSpec::xeon_e5_2680(),
+                            &EngineConfig::locking().with_vectorized(vectorized),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduce_kernels, bench_app_processing);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 6 benches: the cost of computing each partitioning scheme and the
+//! heterogeneous run under each scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_apps::workloads::Scale;
+use phigraph_bench::{AppId, Workbench};
+use phigraph_partition::{partition, PartitionScheme, Ratio};
+
+fn bench_partition_computation(c: &mut Criterion) {
+    let wb = Workbench::new(Scale::Tiny);
+    let mut group = c.benchmark_group("fig6/partition_compute");
+    group.sample_size(10);
+    for scheme in [
+        PartitionScheme::Continuous,
+        PartitionScheme::RoundRobin,
+        PartitionScheme::Hybrid { blocks: 64 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| b.iter(|| partition(&wb.pokec, scheme, Ratio::new(3, 5), 7)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hetero_under_schemes(c: &mut Criterion) {
+    let wb = Workbench::new(Scale::Tiny);
+    let mut group = c.benchmark_group("fig6/hetero_run");
+    group.sample_size(10);
+    for scheme in [
+        PartitionScheme::Continuous,
+        PartitionScheme::RoundRobin,
+        PartitionScheme::Hybrid { blocks: 64 },
+    ] {
+        let p = partition(&wb.pokec, scheme, AppId::PageRank.paper_ratio(), 7);
+        group.bench_with_input(BenchmarkId::new("pagerank", scheme.name()), &p, |b, p| {
+            b.iter(|| wb.run_hetero(AppId::PageRank, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partition_computation,
+    bench_hetero_under_schemes
+);
+criterion_main!(benches);

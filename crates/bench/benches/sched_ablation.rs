@@ -1,0 +1,58 @@
+//! Intra-device scheduling ablations: generation chunk-size sweep ("a
+//! thread can obtain multiple tasks each time" — too small thrashes the
+//! scheduling offset, too large imbalances), and the analytic makespan
+//! replay itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_apps::workloads::{self, Scale};
+use phigraph_apps::PageRank;
+use phigraph_core::engine::{run_single, EngineConfig};
+use phigraph_device::{makespan, DeviceSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_gen_chunk_sweep(c: &mut Criterion) {
+    let g = workloads::pokec_like(Scale::Tiny, 5);
+    let pr = PageRank {
+        damping: 0.85,
+        iterations: 3,
+    };
+    let mut group = c.benchmark_group("sched/gen_chunk");
+    group.sample_size(10);
+    for chunk in [16usize, 64, 256, 1024, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                run_single(
+                    &pr,
+                    &g,
+                    DeviceSpec::xeon_e5_2680(),
+                    &EngineConfig::locking().with_gen_chunk(chunk),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_makespan_replay(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let chunks: Vec<f64> = (0..10_000).map(|_| rng.random_range(1.0..100.0)).collect();
+    let mut group = c.benchmark_group("sched/makespan");
+    for workers in [16usize, 240] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| makespan(&chunks, workers)),
+        );
+    }
+    group.finish();
+
+    // Sanity: chunk granularity affects predicted balance the right way.
+    let coarse: Vec<f64> = chunks.chunks(100).map(|c| c.iter().sum()).collect();
+    let fine = makespan(&chunks, 240);
+    let lumpy = makespan(&coarse, 240);
+    assert!(fine.imbalance <= lumpy.imbalance + 1e-9);
+}
+
+criterion_group!(benches, bench_gen_chunk_sweep, bench_makespan_replay);
+criterion_main!(benches);

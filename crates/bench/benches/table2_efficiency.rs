@@ -1,0 +1,29 @@
+//! Table II benches: sequential vs parallel engine wall time per app.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_apps::workloads::Scale;
+use phigraph_bench::{Variant, Workbench, ALL_APPS};
+
+fn bench_table2(c: &mut Criterion) {
+    let wb = Workbench::new(Scale::Tiny);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for app in ALL_APPS {
+        for variant in [
+            Variant::CpuSeq,
+            Variant::CpuLock,
+            Variant::MicPipe,
+            Variant::CpuMic,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(app.name(), variant.label()),
+                &(app, variant),
+                |b, &(app, variant)| b.iter(|| wb.run(app, variant)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

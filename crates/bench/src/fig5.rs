@@ -1,0 +1,223 @@
+//! Figure 5 reproduction: panels (a)–(e) compare the seven execution
+//! variants per application with execution and communication time; panel
+//! (f) isolates the effect of SIMD message processing.
+
+use crate::report::{ratio, secs, Table};
+use crate::{AppId, Workbench, FIG5_VARIANTS};
+use phigraph_core::engine::EngineConfig;
+use phigraph_core::metrics::RunReport;
+use phigraph_device::DeviceSpec;
+
+/// One bar of a Fig. 5 panel.
+#[derive(Clone, Debug)]
+pub struct Fig5Bar {
+    /// Variant label.
+    pub label: &'static str,
+    /// Simulated execution time (s).
+    pub exec: f64,
+    /// Simulated communication time (s; nonzero only for CPU-MIC).
+    pub comm: f64,
+}
+
+impl Fig5Bar {
+    /// Bar total.
+    pub fn total(&self) -> f64 {
+        self.exec + self.comm
+    }
+}
+
+/// Run one Fig. 5 panel.
+pub fn run_panel(wb: &Workbench, app: AppId) -> Vec<Fig5Bar> {
+    FIG5_VARIANTS
+        .iter()
+        .map(|&v| {
+            let r = wb.run(app, v);
+            Fig5Bar {
+                label: v.label(),
+                exec: r.sim_exec(),
+                comm: r.sim_comm(),
+            }
+        })
+        .collect()
+}
+
+/// Build the panel's [`Table`] (used for both text and CSV output).
+pub fn panel_as_table(app: AppId, bars: &[Fig5Bar]) -> Table {
+    let mut t = Table::new(
+        &format!("{} — {} total run time", app.fig5_panel(), app.name()),
+        &["variant", "exec (s)", "comm (s)", "total (s)"],
+    );
+    for b in bars {
+        t.row(vec![
+            b.label.to_string(),
+            secs(b.exec),
+            secs(b.comm),
+            secs(b.total()),
+        ]);
+    }
+    t
+}
+
+/// Render a panel as a table plus the §V.C derived ratios.
+pub fn panel_table(app: AppId, bars: &[Fig5Bar]) -> String {
+    let t = panel_as_table(app, bars);
+    let get = |label: &str| bars.iter().find(|b| b.label == label).unwrap().total();
+    let mic_lock = get("MIC Lock");
+    let mic_pipe = get("MIC Pipe");
+    let mic_omp = get("MIC OMP");
+    let cpu_lock = get("CPU Lock");
+    let cpu_omp = get("CPU OMP");
+    let best_single = bars[..6]
+        .iter()
+        .map(|b| b.total())
+        .fold(f64::INFINITY, f64::min);
+    let cpu_mic = get("CPU-MIC");
+    let mut s = t.render();
+    s.push_str(&format!(
+        "derived: MIC pipe/lock speedup {}  |  MIC best-framework/OMP {}  |  CPU lock/OMP {}  |  CPU-MIC over best single {}\n",
+        ratio(mic_lock / mic_pipe),
+        ratio(mic_omp / mic_lock.min(mic_pipe)),
+        ratio(cpu_omp / cpu_lock),
+        ratio(best_single / cpu_mic),
+    ));
+    s
+}
+
+/// One row of Fig. 5(f): message-processing time with and without
+/// vectorization on one device.
+#[derive(Clone, Debug)]
+pub struct Fig5fRow {
+    /// Application.
+    pub app: AppId,
+    /// Device label ("CPU" / "MIC").
+    pub device: &'static str,
+    /// Processing-phase time, scalar path.
+    pub proc_novec: f64,
+    /// Processing-phase time, lane path.
+    pub proc_vec: f64,
+    /// Run total, scalar path.
+    pub total_novec: f64,
+    /// Run total, lane path.
+    pub total_vec: f64,
+}
+
+impl Fig5fRow {
+    /// Message-processing speedup from vectorization.
+    pub fn proc_speedup(&self) -> f64 {
+        self.proc_novec / self.proc_vec
+    }
+    /// Whole-run improvement from vectorization.
+    pub fn total_speedup(&self) -> f64 {
+        self.total_novec / self.total_vec
+    }
+}
+
+/// Run Fig. 5(f): the three SIMD-reducible applications on both devices,
+/// using each device's best framework strategy ("all reported data is from
+/// execution strategies … that deliver the best results": locking on CPU,
+/// pipelining on MIC).
+pub fn run_fig5f(wb: &Workbench) -> Vec<Fig5fRow> {
+    let apps = [AppId::PageRank, AppId::Sssp, AppId::TopoSort];
+    let mut rows = Vec::new();
+    for app in apps {
+        let g = wb.graph(app);
+        for (device, spec, base) in [
+            ("CPU", DeviceSpec::xeon_e5_2680(), EngineConfig::locking()),
+            (
+                "MIC",
+                DeviceSpec::xeon_phi_se10p(),
+                EngineConfig::pipelined(),
+            ),
+        ] {
+            let run = |vec: bool| -> RunReport {
+                wb.run_single(app, g, spec.clone(), &base.clone().with_vectorized(vec))
+            };
+            let novec = run(false);
+            let vec = run(true);
+            rows.push(Fig5fRow {
+                app,
+                device,
+                proc_novec: novec.sim_process(),
+                proc_vec: vec.sim_process(),
+                total_novec: novec.sim_total(),
+                total_vec: vec.sim_total(),
+            });
+        }
+    }
+    rows
+}
+
+/// Build the Fig. 5(f) [`Table`].
+pub fn fig5f_as_table(rows: &[Fig5fRow]) -> Table {
+    let mut t = Table::new(
+        "fig5f — effect of SIMD processing (vectorization) on execution times",
+        &[
+            "app",
+            "device",
+            "proc novec (s)",
+            "proc vec (s)",
+            "proc speedup",
+            "total novec (s)",
+            "total vec (s)",
+            "total gain",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.app.name().to_string(),
+            r.device.to_string(),
+            secs(r.proc_novec),
+            secs(r.proc_vec),
+            ratio(r.proc_speedup()),
+            secs(r.total_novec),
+            secs(r.total_vec),
+            format!("{:.0}%", (r.total_speedup() - 1.0) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Render Fig. 5(f).
+pub fn fig5f_table(rows: &[Fig5fRow]) -> String {
+    fig5f_as_table(rows).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_apps::workloads::Scale;
+
+    #[test]
+    fn panel_produces_seven_bars_with_comm_only_on_cpumic() {
+        let wb = Workbench::new(Scale::Tiny);
+        let bars = run_panel(&wb, AppId::Sssp);
+        assert_eq!(bars.len(), 7);
+        for b in &bars[..6] {
+            assert_eq!(b.comm, 0.0, "{} must not communicate", b.label);
+        }
+        assert!(bars[6].comm > 0.0, "CPU-MIC must pay communication");
+        let s = panel_table(AppId::Sssp, &bars);
+        assert!(s.contains("fig5d"));
+        assert!(s.contains("derived:"));
+    }
+
+    #[test]
+    fn fig5f_simd_always_wins_processing() {
+        let wb = Workbench::new(Scale::Tiny);
+        let rows = run_fig5f(&wb);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.proc_speedup() > 1.0,
+                "{} on {}: speedup {}",
+                r.app.name(),
+                r.device,
+                r.proc_speedup()
+            );
+        }
+        // Wider lanes help more: MIC speedups exceed CPU speedups per app.
+        for pair in rows.chunks(2) {
+            assert!(pair[1].proc_speedup() > pair[0].proc_speedup());
+        }
+    }
+}

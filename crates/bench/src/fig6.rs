@@ -1,0 +1,145 @@
+//! Figure 6 reproduction: continuous vs round-robin vs hybrid graph
+//! partitioning, execution + communication time per application, plus the
+//! partition-quality metrics explaining the differences.
+
+use crate::report::{ratio, secs, Table};
+use crate::{AppId, Workbench, ALL_APPS};
+use phigraph_partition::{partition, PartitionScheme, PartitionStats};
+
+/// One bar of Fig. 6.
+#[derive(Clone, Debug)]
+pub struct Fig6Bar {
+    /// Application.
+    pub app: AppId,
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Simulated execution time (slower device per superstep).
+    pub exec: f64,
+    /// Simulated communication time.
+    pub comm: f64,
+    /// Cross edges of the partition.
+    pub cross_edges: u64,
+    /// Edge-balance error vs the requested ratio.
+    pub balance_error: f64,
+}
+
+impl Fig6Bar {
+    /// Bar total.
+    pub fn total(&self) -> f64 {
+        self.exec + self.comm
+    }
+}
+
+/// The schemes in figure order.
+pub fn schemes() -> [PartitionScheme; 3] {
+    [
+        PartitionScheme::Continuous,
+        PartitionScheme::RoundRobin,
+        PartitionScheme::hybrid_default(),
+    ]
+}
+
+/// Run Fig. 6 for one application ("the partitioning ratio used for each
+/// application is the same as that … for achieving the best CPU-MIC
+/// execution").
+pub fn run_app(wb: &Workbench, app: AppId) -> Vec<Fig6Bar> {
+    let g = wb.graph(app);
+    let ratio = app.paper_ratio();
+    schemes()
+        .into_iter()
+        .map(|scheme| {
+            let p = partition(g, scheme, ratio, 7);
+            let stats = PartitionStats::compute(g, &p);
+            let r = wb.run_hetero(app, &p);
+            Fig6Bar {
+                app,
+                scheme: scheme.name(),
+                exec: r.sim_exec(),
+                comm: r.sim_comm(),
+                cross_edges: stats.cross_edges,
+                balance_error: stats.edge_balance_error(ratio),
+            }
+        })
+        .collect()
+}
+
+/// Run all five applications.
+pub fn run_all(wb: &Workbench) -> Vec<Fig6Bar> {
+    ALL_APPS.iter().flat_map(|&app| run_app(wb, app)).collect()
+}
+
+/// Build the Fig. 6 [`Table`].
+pub fn as_table(bars: &[Fig6Bar]) -> Table {
+    let mut t = Table::new(
+        "fig6 — impact of graph partitioning methods (CPU-MIC execution)",
+        &[
+            "app",
+            "scheme",
+            "exec (s)",
+            "comm (s)",
+            "total (s)",
+            "cross edges",
+            "balance err",
+        ],
+    );
+    for b in bars {
+        t.row(vec![
+            b.app.name().to_string(),
+            b.scheme.to_string(),
+            secs(b.exec),
+            secs(b.comm),
+            secs(b.total()),
+            b.cross_edges.to_string(),
+            format!("{:.3}", b.balance_error),
+        ]);
+    }
+    t
+}
+
+/// Render Fig. 6.
+pub fn table(bars: &[Fig6Bar]) -> String {
+    let t = as_table(bars);
+    let mut s = t.render();
+    // Derived hybrid speedups per app (the paper's 1.72x/1.13x etc.).
+    for chunk in bars.chunks(3) {
+        if chunk.len() == 3 {
+            s.push_str(&format!(
+                "derived {}: hybrid vs continuous {}  |  hybrid vs round-robin {}\n",
+                chunk[0].app.name(),
+                ratio(chunk[0].total() / chunk[2].total()),
+                ratio(chunk[1].total() / chunk[2].total()),
+            ));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_apps::workloads::Scale;
+
+    #[test]
+    fn hybrid_wins_on_the_power_law_workload() {
+        // At Tiny scale per-superstep fixed costs (barriers, PCIe latency)
+        // dominate, so the *time* ordering of Fig. 6 only emerges at
+        // small/medium scale (see EXPERIMENTS.md); the structural
+        // properties that cause it are scale-independent and asserted here.
+        let wb = Workbench::new(Scale::Tiny);
+        let bars = run_app(&wb, AppId::PageRank);
+        assert_eq!(bars.len(), 3);
+        let (cont, rr, hy) = (&bars[0], &bars[1], &bars[2]);
+        // Continuous is badly imbalanced; hybrid is not.
+        assert!(cont.balance_error > 5.0 * hy.balance_error.max(0.01));
+        // Round-robin pays more communication than hybrid.
+        assert!(
+            rr.comm > hy.comm,
+            "rr comm {} vs hybrid {}",
+            rr.comm,
+            hy.comm
+        );
+        assert!(rr.cross_edges > hy.cross_edges);
+        let s = table(&bars);
+        assert!(s.contains("hybrid vs continuous"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text table formatting for the reproduction harness.
+
+/// A formatted results table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (figure/table id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged row");
+        self.rows.push(cells);
+    }
+
+    /// Render as CSV (header row + data rows, comma-separated with quotes
+    /// only where needed).
+    pub fn render_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds with 4 significant decimals.
+pub fn secs(t: f64) -> String {
+    format!("{t:.4}")
+}
+
+/// Format a speedup ratio.
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.lines().count() >= 5);
+        // Columns aligned: both data lines have 'value' column at the same
+        // offset.
+        let lines: Vec<&str> = s.lines().collect();
+        let off = lines[3].find('1').unwrap();
+        assert_eq!(lines[4].find('2').unwrap(), off);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("csv", &["a", "b"]);
+        t.row(vec!["plain".into(), "with,comma".into()]);
+        t.row(vec!["with\"quote".into(), "x".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1.23456), "1.2346");
+        assert_eq!(ratio(2.0), "2.00x");
+    }
+}

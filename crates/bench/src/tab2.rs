@@ -1,0 +1,123 @@
+//! Table II reproduction: sequential execution times and the parallel
+//! efficiency of the framework (CPU multicore, MIC manycore, and the
+//! combined CPU-MIC execution, with speedups over the sequential runs).
+
+use crate::report::{ratio, secs, Table};
+use crate::{AppId, Variant, Workbench, ALL_APPS};
+
+/// One application column of Table II.
+#[derive(Clone, Debug)]
+pub struct Tab2Col {
+    /// Application.
+    pub app: AppId,
+    /// One CPU core (s).
+    pub cpu_seq: f64,
+    /// One MIC core (s).
+    pub mic_seq: f64,
+    /// Best CPU framework execution (s).
+    pub cpu_multi: f64,
+    /// Best MIC framework execution (s).
+    pub mic_many: f64,
+    /// Best heterogeneous execution (s).
+    pub cpu_mic: f64,
+}
+
+impl Tab2Col {
+    /// CPU multicore speedup over CPU sequential.
+    pub fn cpu_speedup(&self) -> f64 {
+        self.cpu_seq / self.cpu_multi
+    }
+    /// MIC manycore speedup over MIC sequential.
+    pub fn mic_speedup(&self) -> f64 {
+        self.mic_seq / self.mic_many
+    }
+    /// CPU-MIC speedup over CPU sequential.
+    pub fn hetero_speedup(&self) -> f64 {
+        self.cpu_seq / self.cpu_mic
+    }
+}
+
+/// Run Table II for one application.
+pub fn run_app(wb: &Workbench, app: AppId) -> Tab2Col {
+    let best = |a: f64, b: f64| a.min(b);
+    let cpu_lock = wb.run(app, Variant::CpuLock).sim_total();
+    let cpu_pipe = wb.run(app, Variant::CpuPipe).sim_total();
+    let mic_lock = wb.run(app, Variant::MicLock).sim_total();
+    let mic_pipe = wb.run(app, Variant::MicPipe).sim_total();
+    Tab2Col {
+        app,
+        cpu_seq: wb.run(app, Variant::CpuSeq).sim_total(),
+        mic_seq: wb.run(app, Variant::MicSeq).sim_total(),
+        cpu_multi: best(cpu_lock, cpu_pipe),
+        mic_many: best(mic_lock, mic_pipe),
+        cpu_mic: wb.run(app, Variant::CpuMic).sim_total(),
+    }
+}
+
+/// Run all applications.
+pub fn run_all(wb: &Workbench) -> Vec<Tab2Col> {
+    ALL_APPS.iter().map(|&app| run_app(wb, app)).collect()
+}
+
+/// Build the Table II [`Table`].
+pub fn as_table(cols: &[Tab2Col]) -> Table {
+    let mut t = Table::new(
+        "tab2 — parallel efficiency obtained from the framework",
+        &["row", "pagerank", "bfs", "semicluster", "sssp", "toposort"],
+    );
+    let pick = |f: &dyn Fn(&Tab2Col) -> String| -> Vec<String> { cols.iter().map(f).collect() };
+    let mut row = |name: &str, f: &dyn Fn(&Tab2Col) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(pick(f));
+        t.row(cells);
+    };
+    row("CPU Seq (s)", &|c| secs(c.cpu_seq));
+    row("MIC Seq (s)", &|c| secs(c.mic_seq));
+    row("CPU Multi-core (s)", &|c| secs(c.cpu_multi));
+    row("  speedup/CPU Seq", &|c| ratio(c.cpu_speedup()));
+    row("MIC Many-core (s)", &|c| secs(c.mic_many));
+    row("  speedup/MIC Seq", &|c| ratio(c.mic_speedup()));
+    row("CPU-MIC Best (s)", &|c| secs(c.cpu_mic));
+    row("  speedup/CPU Seq", &|c| ratio(c.hetero_speedup()));
+    t
+}
+
+/// Render Table II.
+pub fn table(cols: &[Tab2Col]) -> String {
+    as_table(cols).render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_apps::workloads::Scale;
+
+    #[test]
+    fn table2_shapes_hold_for_sssp() {
+        let wb = Workbench::new(Scale::Tiny);
+        let c = run_app(&wb, AppId::Sssp);
+        // MIC sequential is much slower than CPU sequential (~11x per-core).
+        assert!(
+            c.mic_seq > 5.0 * c.cpu_seq,
+            "{} vs {}",
+            c.mic_seq,
+            c.cpu_seq
+        );
+        // Parallel execution beats sequential on both devices.
+        assert!(c.cpu_speedup() > 1.5, "CPU speedup {}", c.cpu_speedup());
+        assert!(c.mic_speedup() > 3.0, "MIC speedup {}", c.mic_speedup());
+        // MIC manycore speedup exceeds CPU multicore speedup (more cores).
+        assert!(c.mic_speedup() > c.cpu_speedup());
+    }
+
+    #[test]
+    fn render_includes_all_apps() {
+        let wb = Workbench::new(Scale::Tiny);
+        let cols = run_all(&wb);
+        let s = table(&cols);
+        for app in ALL_APPS {
+            assert!(s.contains(app.name()) || s.contains("semicluster"));
+        }
+        assert!(s.contains("CPU-MIC Best"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Smoke tests driving the `reproduce` binary: every experiment entry must
+//! run and print its table at tiny scale, and the CSV export must produce
+//! parseable files.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn tab1_is_self_verifying() {
+    let o = reproduce(&["tab1"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("verified identical to the paper's Table I"));
+}
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    for exp in [
+        "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig6", "tab2", "csb", "combiner",
+    ] {
+        let o = reproduce(&[exp, "--scale", "tiny"]);
+        assert!(
+            o.status.success(),
+            "{exp} failed: {}",
+            String::from_utf8_lossy(&o.stderr)
+        );
+        let out = stdout(&o);
+        assert!(
+            out.contains(&format!("== {exp}")),
+            "{exp} header missing:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn timeline_draws_bars() {
+    let o = reproduce(&["timeline", "--scale", "tiny", "--variant", "MIC Pipe"]);
+    assert!(o.status.success());
+    let out = stdout(&o);
+    assert!(out.contains("timeline: pagerank / MIC Pipe"));
+    assert!(out.contains("legend: g=generation"));
+    assert!(out.lines().any(|l| l.contains('|') && l.contains('g')));
+}
+
+#[test]
+fn csv_export_writes_parseable_files() {
+    let dir = std::env::temp_dir().join(format!("phigraph-csv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let o = reproduce(&["fig5d", "--scale", "tiny", "--csv", dir.to_str().unwrap()]);
+    assert!(o.status.success());
+    let csv = std::fs::read_to_string(dir.join("fig5d.csv")).expect("csv written");
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert_eq!(header.split(',').count(), 4, "header: {header}");
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 7, "seven Fig.5 bars");
+    for row in rows {
+        let cells: Vec<&str> = row.split(',').collect();
+        assert_eq!(cells.len(), 4, "row: {row}");
+        // Time columns parse as floats.
+        for c in &cells[1..] {
+            c.parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad number {c:?} in {row}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_experiment_fails_cleanly() {
+    let o = reproduce(&["fig99"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown experiment"));
+}

@@ -1,0 +1,175 @@
+//! `phigraph run` — execute an application over a graph file.
+
+use crate::args::Args;
+use crate::cmd_generate::load_graph;
+use phigraph_apps::{Bfs, KCore, PageRank, SemiClustering, Sssp, TopoSort, Wcc};
+use phigraph_comm::PcieLink;
+use phigraph_core::api::VertexProgram;
+use phigraph_core::engine::obj::{run_obj_hetero, run_obj_single};
+use phigraph_core::engine::{run_hetero, run_single, EngineConfig, ExecMode};
+use phigraph_core::metrics::RunReport;
+use phigraph_device::DeviceSpec;
+use phigraph_graph::Csr;
+use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
+use std::io::Write;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let app = args.pos(0, "app")?.to_string();
+    let graph_path = args.pos(1, "graph")?;
+    let g = load_graph(graph_path)?;
+    let source: u32 = args.flag_parse("source", 0u32)?;
+    if (source as usize) >= g.num_vertices() && g.num_vertices() > 0 {
+        return Err(format!(
+            "--source {source} out of range for {} vertices",
+            g.num_vertices()
+        ));
+    }
+    let iters: usize = args.flag_parse("iters", 20usize)?;
+
+    let (report, lines) = match app.as_str() {
+        "pagerank" => drive(
+            &PageRank {
+                damping: 0.85,
+                iterations: iters,
+            },
+            &g,
+            &args,
+            |v| format!("{v:.6}"),
+        )?,
+        "bfs" => drive(&Bfs { source }, &g, &args, |v| v.to_string())?,
+        "sssp" => drive(&Sssp { source }, &g, &args, |v| format!("{v}"))?,
+        "toposort" => drive(&TopoSort::new(&g), &g, &args, |v| {
+            format!("level={} remaining={}", v.level, v.remaining)
+        })?,
+        "wcc" => drive(&Wcc::new(&g), &g, &args, |v| v.to_string())?,
+        "kcore" => {
+            let k: u32 = args.flag_parse("k", 2u32)?;
+            let (report, lines) = drive(&KCore::new(&g, k), &g, &args, |v| {
+                format!("alive={} live_degree={}", v.alive, v.live_degree)
+            })?;
+            println!(
+                "k-core(k={k}): {} of {} vertices survive",
+                lines.iter().filter(|l| l.contains("alive=true")).count(),
+                g.num_vertices()
+            );
+            (report, lines)
+        }
+        "semicluster" => drive_semicluster(&g, &args, iters)?,
+        other => return Err(format!("unknown app {other:?}")),
+    };
+
+    println!("{}", report.summary());
+    if let Some(out) = args.flag("out") {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
+        );
+        for (v, line) in lines.iter().enumerate() {
+            writeln!(f, "{v}\t{line}").map_err(|e| format!("write {out}: {e}"))?;
+        }
+        f.flush().map_err(|e| e.to_string())?;
+        println!("wrote {} vertex values -> {out}", lines.len());
+    }
+    Ok(())
+}
+
+fn engine_config(args: &Args) -> Result<EngineConfig, String> {
+    Ok(match args.flag_or("engine", "lock") {
+        "lock" => EngineConfig::locking(),
+        "pipe" => EngineConfig::pipelined(),
+        "omp" => EngineConfig::flat(),
+        "seq" => EngineConfig::sequential(),
+        other => return Err(format!("unknown engine {other:?}")),
+    })
+}
+
+fn device_spec(args: &Args) -> Result<DeviceSpec, String> {
+    Ok(match args.flag_or("device", "cpu") {
+        "cpu" => DeviceSpec::xeon_e5_2680(),
+        "mic" => DeviceSpec::xeon_phi_se10p(),
+        other => return Err(format!("unknown device {other:?}")),
+    })
+}
+
+fn load_or_build_partition(g: &Csr, args: &Args) -> Result<DevicePartition, String> {
+    if let Some(path) = args.flag("partition") {
+        let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        let p =
+            phigraph_partition::file::read_partition(f).map_err(|e| format!("read {path}: {e}"))?;
+        if p.assign.len() != g.num_vertices() {
+            return Err(format!(
+                "partition file covers {} vertices, graph has {}",
+                p.assign.len(),
+                g.num_vertices()
+            ));
+        }
+        Ok(p)
+    } else {
+        let ratio: Ratio = args.flag_or("ratio", "1:1").parse()?;
+        Ok(partition(g, PartitionScheme::hybrid_default(), ratio, 7))
+    }
+}
+
+fn drive<P: VertexProgram>(
+    program: &P,
+    g: &Csr,
+    args: &Args,
+    fmt: impl Fn(&P::Value) -> String,
+) -> Result<(RunReport, Vec<String>), String> {
+    let out = if args.has("hetero") || args.has("partition") {
+        let p = load_or_build_partition(g, args)?;
+        let mic_cfg = match engine_config(args)?.mode {
+            ExecMode::Locking => EngineConfig::locking(),
+            _ => EngineConfig::pipelined(),
+        };
+        run_hetero(
+            program,
+            g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [EngineConfig::locking(), mic_cfg],
+            PcieLink::gen2_x16(),
+        )
+    } else {
+        run_single(program, g, device_spec(args)?, &engine_config(args)?)
+    };
+    let lines = out.values.iter().map(fmt).collect();
+    Ok((out.report, lines))
+}
+
+fn drive_semicluster(
+    g: &Csr,
+    args: &Args,
+    iters: usize,
+) -> Result<(RunReport, Vec<String>), String> {
+    let sc = SemiClustering {
+        iterations: iters.min(12),
+        ..Default::default()
+    };
+    let out = if args.has("hetero") || args.has("partition") {
+        let p = load_or_build_partition(g, args)?;
+        run_obj_hetero(
+            &sc,
+            g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [EngineConfig::locking(), EngineConfig::pipelined()],
+            PcieLink::gen2_x16(),
+        )
+    } else {
+        run_obj_single(&sc, g, device_spec(args)?, &engine_config(args)?)
+    };
+    let lines = out
+        .values
+        .iter()
+        .map(|clusters| match clusters.first() {
+            Some(c) => format!(
+                "top-cluster={:?} score={:.4}",
+                c.members,
+                c.score(sc.boundary_factor)
+            ),
+            None => "no-cluster".to_string(),
+        })
+        .collect();
+    Ok((out.report, lines))
+}

@@ -1,0 +1,72 @@
+//! `phigraph` — the command-line driver.
+//!
+//! The paper's system expects "a driver code to read the input (with the
+//! help of distributed graph loading API), and to help drive the
+//! parameters". This binary is that driver for the reproduction: it
+//! generates workload files, inspects them, produces partitioning files,
+//! and runs any of the applications under any execution configuration.
+//!
+//! ```text
+//! phigraph generate <pokec|dblp|dag|gnm> <out.{adj|bin}> [--scale S] [--seed N]
+//! phigraph info <graph.{adj|bin|txt|snap}>
+//! phigraph partition <graph> <out.part> [--scheme continuous|round-robin|hybrid]
+//!                    [--ratio A:B] [--blocks N] [--seed N]
+//! phigraph run <app> <graph> [--engine lock|pipe|omp|seq] [--device cpu|mic]
+//!              [--partition file.part | --hetero] [--ratio A:B]
+//!              [--source N] [--iters N] [--out values.txt]
+//! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
+//! phigraph check <app> <graph> [--step-budget N]
+//! ```
+
+mod args;
+mod cmd_generate;
+mod cmd_info;
+mod cmd_partition;
+mod cmd_run;
+mod cmd_check;
+mod cmd_tune;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate::run(rest),
+        "info" => cmd_info::run(rest),
+        "partition" => cmd_partition::run(rest),
+        "run" => cmd_run::run(rest),
+        "tune" => cmd_tune::run(rest),
+        "check" => cmd_check::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "phigraph — heterogeneous CPU+MIC graph processing (IPDPS'15 reproduction)
+
+commands:
+  generate <pokec|dblp|dag|gnm> <out.{adj|bin}> [--scale tiny|small|medium] [--seed N]
+  info <graph.{adj|bin|txt|snap}>
+  partition <graph> <out.part> [--scheme continuous|round-robin|hybrid] [--ratio A:B] [--blocks N] [--seed N]
+  run <pagerank|bfs|sssp|toposort|wcc|kcore|semicluster> <graph>
+      [--engine lock|pipe|omp|seq] [--device cpu|mic]
+      [--partition file.part | --hetero] [--ratio A:B]
+      [--source N] [--iters N] [--out values.txt]
+  tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]
+  check <pagerank|bfs|sssp|toposort|wcc|kcore> <graph> [--step-budget N]"
+}

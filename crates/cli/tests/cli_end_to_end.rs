@@ -1,0 +1,219 @@
+//! End-to-end tests driving the `phigraph` binary as a subprocess:
+//! generate → info → partition → run, over real files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn phigraph(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_phigraph"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("phigraph-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn generate_info_partition_run_pipeline() {
+    let dir = tmpdir("pipeline");
+    let graph = dir.join("g.bin");
+    let graph_s = graph.to_str().unwrap();
+
+    // generate
+    let o = phigraph(&[
+        "generate", "pokec", graph_s, "--scale", "tiny", "--seed", "3",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("wrote pokec graph"));
+    assert!(graph.exists());
+
+    // info
+    let o = phigraph(&["info", graph_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let info = stdout(&o);
+    assert!(info.contains("vertices   1024"));
+    assert!(info.contains("out-degree histogram"));
+    assert!(info.contains("top-5 out-degree hubs"));
+
+    // partition
+    let part = dir.join("g.part");
+    let part_s = part.to_str().unwrap();
+    let o = phigraph(&[
+        "partition",
+        graph_s,
+        part_s,
+        "--scheme",
+        "hybrid",
+        "--ratio",
+        "3:5",
+        "--blocks",
+        "32",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("cross edges"));
+    assert!(part.exists());
+
+    // run single device
+    let out_file = dir.join("bfs.txt");
+    let o = phigraph(&[
+        "run",
+        "bfs",
+        graph_s,
+        "--engine",
+        "pipe",
+        "--device",
+        "mic",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("bfs"));
+    let values = std::fs::read_to_string(&out_file).unwrap();
+    assert_eq!(values.lines().count(), 1024);
+    assert!(
+        values.lines().next().unwrap().starts_with("0\t0"),
+        "source has level 0"
+    );
+
+    // run heterogeneous with the partition file
+    let o = phigraph(&["run", "sssp", graph_s, "--partition", part_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("cpu-mic"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn adjacency_format_round_trips_through_cli() {
+    let dir = tmpdir("adj");
+    let graph = dir.join("g.adj");
+    let graph_s = graph.to_str().unwrap();
+    let o = phigraph(&[
+        "generate",
+        "gnm",
+        graph_s,
+        "--vertices",
+        "200",
+        "--edges",
+        "800",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = phigraph(&["info", graph_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("vertices   200"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_all_apps_on_suitable_graphs() {
+    let dir = tmpdir("apps");
+    let pokec = dir.join("p.bin");
+    let dag = dir.join("d.bin");
+    let dblp = dir.join("c.bin");
+    for (kind, path) in [("pokec-weighted", &pokec), ("dag", &dag), ("dblp", &dblp)] {
+        let o = phigraph(&["generate", kind, path.to_str().unwrap(), "--scale", "tiny"]);
+        assert!(o.status.success(), "{kind}: {}", stderr(&o));
+    }
+    for (app, graph, extra) in [
+        ("pagerank", &pokec, vec!["--iters", "5"]),
+        ("sssp", &pokec, vec!["--source", "0"]),
+        ("wcc", &pokec, vec![]),
+        ("kcore", &pokec, vec!["--k", "3"]),
+        ("toposort", &dag, vec![]),
+        ("semicluster", &dblp, vec!["--iters", "4"]),
+    ] {
+        let mut args = vec!["run", app, graph.to_str().unwrap()];
+        args.extend(extra);
+        let o = phigraph(&args);
+        assert!(o.status.success(), "{app}: {}", stderr(&o));
+        assert!(stdout(&o).contains(app), "{app} summary missing");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let o = phigraph(&["run", "nosuchapp", "/nonexistent.bin"]);
+    assert!(!o.status.success());
+    let o = phigraph(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+    let o = phigraph(&[]);
+    assert!(!o.status.success());
+}
+
+#[test]
+fn run_rejects_out_of_range_source() {
+    let dir = tmpdir("source");
+    let graph = dir.join("g.bin");
+    let o = phigraph(&[
+        "generate",
+        "gnm",
+        graph.to_str().unwrap(),
+        "--vertices",
+        "10",
+        "--edges",
+        "20",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = phigraph(&["run", "bfs", graph.to_str().unwrap(), "--source", "99"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tune_command_reports_split_and_ratio() {
+    let dir = tmpdir("tune");
+    let graph = dir.join("g.bin");
+    let o = phigraph(&[
+        "generate",
+        "pokec",
+        graph.to_str().unwrap(),
+        "--scale",
+        "tiny",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let o = phigraph(&[
+        "tune",
+        "pagerank",
+        graph.to_str().unwrap(),
+        "--probe-steps",
+        "2",
+        "--blocks",
+        "16",
+        "--iters",
+        "5",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("pipeline split:"), "{out}");
+    assert!(out.contains("partitioning ratio:"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_command_reports_clean_programs() {
+    let dir = tmpdir("check");
+    let graph = dir.join("g.bin");
+    let o = phigraph(&["generate", "pokec", graph.to_str().unwrap(), "--scale", "tiny"]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    for app in ["bfs", "sssp", "wcc", "kcore"] {
+        let o = phigraph(&["check", app, graph.to_str().unwrap()]);
+        assert!(o.status.success(), "{app}: {}", stderr(&o));
+        assert!(stdout(&o).contains("contract check: CLEAN"), "{app}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

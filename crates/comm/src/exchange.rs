@@ -1,0 +1,162 @@
+//! Lock-step superstep exchange between the two device runtimes.
+//!
+//! Each superstep performs one "implicit remote message exchange step …
+//! between devices": both ranks send their combined remote buffer and
+//! receive the peer's, together with an `any_active` flag used for global
+//! termination. The payload type is generic so both the POD message path
+//! and the semi-clustering object-message path share the protocol; callers
+//! supply the wire byte count for the transfer-time model.
+
+use crate::link::PcieLink;
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Statistics for one exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExchangeStats {
+    /// Messages sent to the peer.
+    pub msgs_sent: u64,
+    /// Messages received from the peer.
+    pub msgs_recv: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_recv: u64,
+    /// Simulated transfer time for this exchange (seconds).
+    pub sim_time: f64,
+}
+
+struct Packet<M> {
+    msgs: Vec<M>,
+    bytes: u64,
+    any_active: bool,
+}
+
+/// One side of the CPU↔MIC link.
+pub struct Endpoint<M> {
+    tx: Sender<Packet<M>>,
+    rx: Receiver<Packet<M>>,
+    /// The link model used for simulated transfer time.
+    pub link: PcieLink,
+    /// 0 = CPU ("Rank 0"), 1 = MIC ("Rank 1").
+    pub rank: usize,
+}
+
+/// Create a connected pair of endpoints over `link`.
+pub fn duplex_pair<M: Send>(link: PcieLink) -> (Endpoint<M>, Endpoint<M>) {
+    let (tx0, rx1) = bounded(1);
+    let (tx1, rx0) = bounded(1);
+    (
+        Endpoint {
+            tx: tx0,
+            rx: rx0,
+            link,
+            rank: 0,
+        },
+        Endpoint {
+            tx: tx1,
+            rx: rx1,
+            link,
+            rank: 1,
+        },
+    )
+}
+
+impl<M: Send> Endpoint<M> {
+    /// Exchange one superstep's remote messages with the peer. Blocks until
+    /// the peer also exchanges. Returns the peer's messages, whether the
+    /// peer still has active vertices, and the stats for this direction
+    /// pair.
+    pub fn exchange(
+        &self,
+        outgoing: Vec<M>,
+        bytes_out: u64,
+        any_active: bool,
+    ) -> (Vec<M>, bool, ExchangeStats) {
+        let msgs_sent = outgoing.len() as u64;
+        self.tx
+            .send(Packet {
+                msgs: outgoing,
+                bytes: bytes_out,
+                any_active,
+            })
+            .expect("peer endpoint dropped before exchange");
+        let pkt = self.rx.recv().expect("peer endpoint dropped mid-exchange");
+        let stats = ExchangeStats {
+            msgs_sent,
+            msgs_recv: pkt.msgs.len() as u64,
+            bytes_sent: bytes_out,
+            bytes_recv: pkt.bytes,
+            sim_time: self.link.exchange_time(bytes_out, pkt.bytes),
+        };
+        (pkt.msgs, pkt.any_active, stats)
+    }
+
+    /// Barrier-style exchange with no payload (used for the final halt
+    /// handshake). Returns the peer's flag.
+    pub fn sync_flag(&self, flag: bool) -> bool {
+        let (_, peer, _) = self.exchange(Vec::new(), 0, flag);
+        peer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::WireMsg;
+
+    #[test]
+    fn exchange_swaps_payloads() {
+        let (a, b) = duplex_pair::<WireMsg<f32>>(PcieLink::gen2_x16());
+        let t = std::thread::spawn(move || {
+            let out = vec![WireMsg { dst: 1, value: 1.0 }];
+            let (incoming, peer_active, stats) = b.exchange(out, 8, false);
+            assert_eq!(incoming.len(), 2);
+            assert!(peer_active);
+            assert_eq!(stats.msgs_sent, 1);
+            assert_eq!(stats.msgs_recv, 2);
+            assert_eq!(stats.bytes_recv, 16);
+        });
+        let out = vec![
+            WireMsg { dst: 5, value: 2.0 },
+            WireMsg { dst: 6, value: 3.0 },
+        ];
+        let (incoming, peer_active, stats) = a.exchange(out, 16, true);
+        assert_eq!(incoming.len(), 1);
+        assert_eq!(incoming[0].dst, 1);
+        assert!(!peer_active);
+        assert_eq!(stats.bytes_sent, 16);
+        assert!(stats.sim_time > 0.0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn repeated_exchanges_stay_in_lockstep() {
+        let (a, b) = duplex_pair::<u32>(PcieLink::ideal());
+        let t = std::thread::spawn(move || {
+            for i in 0..100u32 {
+                let (incoming, _, _) = b.exchange(vec![i], 4, true);
+                assert_eq!(incoming, vec![i * 2]);
+            }
+        });
+        for i in 0..100u32 {
+            let (incoming, _, _) = a.exchange(vec![i * 2], 4, true);
+            assert_eq!(incoming, vec![i]);
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn sync_flag_round_trip() {
+        let (a, b) = duplex_pair::<()>(PcieLink::ideal());
+        let t = std::thread::spawn(move || b.sync_flag(true));
+        assert!(a.sync_flag(false));
+        assert!(!t.join().unwrap());
+    }
+
+    #[test]
+    fn ranks_are_assigned() {
+        let (a, b) = duplex_pair::<()>(PcieLink::ideal());
+        assert_eq!(a.rank, 0);
+        assert_eq!(b.rank, 1);
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Simulated PCIe interconnect between the CPU and MIC runtimes.
+//!
+//! The paper runs "MPI symmetric computing, with CPU being Rank 0, and MIC
+//! being Rank 1", exchanging one combined message buffer per superstep over
+//! the PCIe bus. With the MIC toolchain gone, the two ranks here are two
+//! in-process device runtimes joined by crossbeam channels; what remains
+//! faithful is everything the paper actually studies:
+//!
+//! * the wire format and byte accounting ([`message`]),
+//! * per-destination message combining before the exchange ([`combiner`] —
+//!   "a combination is conducted to the remote message buffer"),
+//! * the lock-step superstep exchange protocol ([`exchange`]),
+//! * and the transfer-time model ([`link::PcieLink`]) that converts the
+//!   measured byte volume into simulated communication time.
+
+pub mod combiner;
+pub mod exchange;
+pub mod link;
+pub mod message;
+
+pub use combiner::combine_messages;
+pub use exchange::{duplex_pair, Endpoint, ExchangeStats};
+pub use link::PcieLink;
+pub use message::WireMsg;

@@ -1,0 +1,83 @@
+//! PCIe link transfer model.
+//!
+//! The Xeon Phi SE10P sits on PCIe 2.0 x16: ~8 GB/s raw, ~6 GB/s achievable
+//! with MPI over the bus, and a per-message latency in the tens of
+//! microseconds. The exchange layer measures real byte volumes and converts
+//! them to simulated transfer time here.
+
+/// Bandwidth/latency model of the CPU↔MIC interconnect.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PcieLink {
+    /// Achievable bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-transfer latency in microseconds (MPI rendezvous + DMA setup).
+    pub latency_us: f64,
+}
+
+impl PcieLink {
+    /// PCIe 2.0 x16 as used by the paper's testbed.
+    pub fn gen2_x16() -> Self {
+        PcieLink {
+            bandwidth_gbs: 6.0,
+            latency_us: 10.0,
+        }
+    }
+
+    /// An idealized infinitely-fast link (for ablations isolating compute).
+    pub fn ideal() -> Self {
+        PcieLink {
+            bandwidth_gbs: f64::INFINITY,
+            latency_us: 0.0,
+        }
+    }
+
+    /// Simulated seconds to transfer `bytes` in one message.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_us * 1e-6 + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+
+    /// Simulated seconds for a bidirectional exchange where both directions
+    /// share the bus (PCIe is full duplex, but MPI symmetric-mode exchanges
+    /// through the host serialize partially; the model charges the larger
+    /// direction plus half the smaller).
+    pub fn exchange_time(&self, bytes_out: u64, bytes_in: u64) -> f64 {
+        let big = bytes_out.max(bytes_in) as f64;
+        let small = bytes_out.min(bytes_in) as f64;
+        self.latency_us * 1e-6 + (big + 0.5 * small) / (self.bandwidth_gbs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let l = PcieLink::gen2_x16();
+        assert!((l.transfer_time(0) - 10e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let l = PcieLink::gen2_x16();
+        let t = l.transfer_time(6_000_000_000);
+        assert!((t - (10e-6 + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exchange_charges_larger_direction() {
+        let l = PcieLink {
+            bandwidth_gbs: 1.0,
+            latency_us: 0.0,
+        };
+        let t = l.exchange_time(1_000_000_000, 0);
+        assert!((t - 1.0).abs() < 1e-9);
+        let t2 = l.exchange_time(1_000_000_000, 1_000_000_000);
+        assert!((t2 - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_link_is_free() {
+        assert_eq!(PcieLink::ideal().transfer_time(u64::MAX), 0.0);
+    }
+}

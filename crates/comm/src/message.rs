@@ -1,0 +1,112 @@
+//! Wire message format.
+//!
+//! "A message is a data unit containing a value pair, in the form of
+//! `<dst_id, msg_value>`." The wire encoding is a 4-byte little-endian
+//! destination id followed by the value's little-endian bytes — the same
+//! density an MPI byte buffer of packed pairs would have, so byte-volume
+//! accounting matches what the paper's PCIe transfers would carry.
+
+use phigraph_simd::MsgValue;
+
+/// One message on the wire: destination vertex and value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireMsg<T> {
+    /// Destination vertex id (global id space).
+    pub dst: u32,
+    /// Message value.
+    pub value: T,
+}
+
+impl<T: MsgValue> WireMsg<T> {
+    /// Encoded size in bytes.
+    pub const WIRE_SIZE: usize = 4 + T::SIZE;
+
+    /// Encode into `out` (must be at least [`Self::WIRE_SIZE`] bytes).
+    pub fn encode(&self, out: &mut [u8]) {
+        out[..4].copy_from_slice(&self.dst.to_le_bytes());
+        self.value.write_le(&mut out[4..]);
+    }
+
+    /// Decode from `input` (must be at least [`Self::WIRE_SIZE`] bytes).
+    pub fn decode(input: &[u8]) -> Self {
+        let mut dst_bytes = [0u8; 4];
+        dst_bytes.copy_from_slice(&input[..4]);
+        WireMsg {
+            dst: u32::from_le_bytes(dst_bytes),
+            value: T::read_le(&input[4..]),
+        }
+    }
+}
+
+/// Encode a batch of messages into a contiguous byte buffer.
+pub fn encode_batch<T: MsgValue>(msgs: &[WireMsg<T>]) -> Vec<u8> {
+    let mut out = vec![0u8; msgs.len() * WireMsg::<T>::WIRE_SIZE];
+    for (i, m) in msgs.iter().enumerate() {
+        m.encode(&mut out[i * WireMsg::<T>::WIRE_SIZE..]);
+    }
+    out
+}
+
+/// Decode a contiguous byte buffer back into messages.
+///
+/// # Panics
+/// Panics if the buffer length is not a multiple of the wire size.
+pub fn decode_batch<T: MsgValue>(bytes: &[u8]) -> Vec<WireMsg<T>> {
+    let sz = WireMsg::<T>::WIRE_SIZE;
+    assert_eq!(bytes.len() % sz, 0, "ragged wire buffer");
+    bytes.chunks_exact(sz).map(WireMsg::<T>::decode).collect()
+}
+
+/// Byte volume of `n` messages of value type `T`.
+pub fn wire_bytes<T: MsgValue>(n: usize) -> u64 {
+    (n * WireMsg::<T>::WIRE_SIZE) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_matches_pair_layout() {
+        assert_eq!(WireMsg::<f32>::WIRE_SIZE, 8);
+        assert_eq!(WireMsg::<f64>::WIRE_SIZE, 12);
+        assert_eq!(WireMsg::<i32>::WIRE_SIZE, 8);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = WireMsg {
+            dst: 123_456,
+            value: -2.75f32,
+        };
+        let mut buf = [0u8; 8];
+        m.encode(&mut buf);
+        assert_eq!(WireMsg::<f32>::decode(&buf), m);
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let msgs: Vec<WireMsg<i64>> = (0..17)
+            .map(|i| WireMsg {
+                dst: i,
+                value: i as i64 * -3,
+            })
+            .collect();
+        let bytes = encode_batch(&msgs);
+        assert_eq!(bytes.len() as u64, wire_bytes::<i64>(17));
+        assert_eq!(decode_batch::<i64>(&bytes), msgs);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let bytes = encode_batch::<f32>(&[]);
+        assert!(bytes.is_empty());
+        assert!(decode_batch::<f32>(&bytes).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_buffer_panics() {
+        decode_batch::<f32>(&[0u8; 7]);
+    }
+}

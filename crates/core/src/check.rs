@@ -1,0 +1,408 @@
+//! BSP contract checking for vertex programs.
+//!
+//! Runs a program through an instrumented sequential superstep loop and
+//! reports violations of the framework's contracts *before* they become
+//! hard-to-debug panics inside a parallel engine:
+//!
+//! * messages sent to out-of-range vertices;
+//! * a vertex receiving more messages in one superstep than its declared
+//!   capacity ([`crate::api::VertexProgram::capacity_hint`] / in-degree) —
+//!   the condensed buffer would panic on this;
+//! * non-finite (`NaN`/`∞`→`NaN`) float message values, which poison
+//!   reductions silently;
+//! * `ALWAYS_ACTIVE` programs without a superstep bound (would never
+//!   terminate);
+//! * runaway runs that exceed a step budget.
+
+use crate::api::{GenContext, MsgSink, VertexProgram};
+use phigraph_graph::{Csr, VertexId};
+use phigraph_simd::{MsgValue, ReduceOp};
+
+/// One detected contract violation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// A message targeted a vertex id outside the graph.
+    OutOfRangeDestination {
+        /// Sending vertex.
+        src: VertexId,
+        /// Offending destination.
+        dst: VertexId,
+        /// Superstep index.
+        step: usize,
+    },
+    /// A vertex received more messages than its declared capacity.
+    CapacityExceeded {
+        /// Receiving vertex.
+        vertex: VertexId,
+        /// Messages that arrived.
+        got: u32,
+        /// Declared capacity.
+        capacity: u32,
+        /// Superstep index.
+        step: usize,
+    },
+    /// A message value failed [`MsgValue`]-level sanity (non-finite float).
+    NonFiniteMessage {
+        /// Sending vertex.
+        src: VertexId,
+        /// Superstep index.
+        step: usize,
+    },
+    /// The run did not terminate within the step budget.
+    StepBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+}
+
+/// Result of a contract check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// All violations found (empty = clean).
+    pub violations: Vec<Violation>,
+    /// Supersteps executed.
+    pub supersteps: usize,
+    /// Total messages observed.
+    pub messages: u64,
+}
+
+impl CheckReport {
+    /// Whether the program honored every contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+struct CheckSink<'a, T> {
+    n: usize,
+    step: usize,
+    src: VertexId,
+    counts: &'a mut [u32],
+    inbox: &'a mut [Option<T>],
+    combine: fn(T, T) -> T,
+    finite: fn(&T) -> bool,
+    violations: &'a mut Vec<Violation>,
+}
+
+impl<'a, T: MsgValue> MsgSink<T> for CheckSink<'a, T> {
+    fn send(&mut self, dst: VertexId, msg: T) {
+        if (dst as usize) >= self.n {
+            self.violations.push(Violation::OutOfRangeDestination {
+                src: self.src,
+                dst,
+                step: self.step,
+            });
+            return;
+        }
+        if !(self.finite)(&msg) {
+            self.violations.push(Violation::NonFiniteMessage {
+                src: self.src,
+                step: self.step,
+            });
+        }
+        let d = dst as usize;
+        self.inbox[d] = Some(match self.inbox[d].take() {
+            None => msg,
+            Some(cur) => (self.combine)(cur, msg),
+        });
+        self.counts[d] += 1;
+    }
+}
+
+/// Check `program` on `graph` for up to `step_budget` supersteps.
+pub fn check_program<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    step_budget: usize,
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    let n = graph.num_vertices();
+
+    if P::ALWAYS_ACTIVE && program.max_supersteps().is_none() {
+        report
+            .violations
+            .push(Violation::StepBudgetExceeded { budget: 0 });
+        return report;
+    }
+
+    // Per-vertex receive capacity: the engine's sizing rule.
+    let indeg = graph.in_degrees();
+    let capacity: Vec<u32> = (0..n as VertexId)
+        .map(|v| program.capacity_hint(v, graph).unwrap_or(indeg[v as usize]))
+        .collect();
+
+    let mut values: Vec<P::Value> = Vec::with_capacity(n);
+    let mut active = vec![false; n];
+    for v in 0..n as VertexId {
+        let (val, act) = program.init(v, graph);
+        values.push(val);
+        active[v as usize] = act;
+    }
+    let mut inbox: Vec<Option<P::Msg>> = vec![None; n];
+    let mut counts = vec![0u32; n];
+    let cap_steps = program
+        .max_supersteps()
+        .unwrap_or(step_budget)
+        .min(step_budget);
+
+    for step in 0..=cap_steps {
+        if step == cap_steps {
+            if program.max_supersteps() != Some(cap_steps) && active.iter().any(|&a| a) {
+                report.violations.push(Violation::StepBudgetExceeded {
+                    budget: step_budget,
+                });
+            }
+            break;
+        }
+        counts.fill(0);
+        let mut sent = 0u64;
+        for v in 0..n as VertexId {
+            if !active[v as usize] {
+                continue;
+            }
+            let mut sink = CheckSink {
+                n,
+                step,
+                src: v,
+                counts: &mut counts,
+                inbox: &mut inbox,
+                combine: P::Reduce::apply,
+                finite: is_finite_value::<P::Msg>,
+                violations: &mut report.violations,
+            };
+            let mut ctx = GenContext::new(graph, &values, &mut sink);
+            program.generate(v, &mut ctx);
+            sent += ctx.sent;
+        }
+        report.messages += sent;
+        if P::HAS_POST_GENERATE {
+            for v in 0..n as VertexId {
+                if active[v as usize] {
+                    program.post_generate(v, &mut values[v as usize]);
+                }
+            }
+        }
+        active.fill(false);
+        for v in 0..n {
+            if counts[v] > capacity[v] {
+                report.violations.push(Violation::CapacityExceeded {
+                    vertex: v as VertexId,
+                    got: counts[v],
+                    capacity: capacity[v],
+                    step,
+                });
+            }
+            if let Some(msg) = inbox[v].take() {
+                active[v] = program.update(v as VertexId, msg, &mut values[v], graph);
+            }
+        }
+        if P::ALWAYS_ACTIVE {
+            active.fill(true);
+        }
+        report.supersteps = step + 1;
+        if sent == 0 {
+            break;
+        }
+    }
+    report
+}
+
+/// Float finiteness check lifted over the message encoding (integers are
+/// always finite; floats round-trip through their wire bytes).
+fn is_finite_value<T: MsgValue>(msg: &T) -> bool {
+    match T::SIZE {
+        4 => {
+            let mut b = [0u8; 4];
+            msg.write_le(&mut b);
+            // Only meaningful for f32; for i32/u32 every pattern is finite.
+            if std::any::TypeId::of::<T>() == std::any::TypeId::of::<f32>() {
+                f32::from_le_bytes(b).is_finite()
+            } else {
+                true
+            }
+        }
+        8 => {
+            let mut b = [0u8; 8];
+            msg.write_le(&mut b);
+            if std::any::TypeId::of::<T>() == std::any::TypeId::of::<f64>() {
+                f64::from_le_bytes(b).is_finite()
+            } else {
+                true
+            }
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::{chain, weighted_diamond};
+    use phigraph_simd::{Min, Sum};
+
+    struct GoodSssp;
+    impl VertexProgram for GoodSssp {
+        type Msg = f32;
+        type Reduce = Min;
+        type Value = f32;
+        const NAME: &'static str = "good";
+        fn init(&self, v: VertexId, _g: &Csr) -> (f32, bool) {
+            if v == 0 {
+                (0.0, true)
+            } else {
+                (f32::INFINITY, false)
+            }
+        }
+        fn generate<S: MsgSink<f32>>(&self, v: VertexId, ctx: &mut GenContext<'_, f32, S>) {
+            let my = *ctx.value(v);
+            let g = ctx.graph;
+            for e in g.edge_range(v) {
+                ctx.send(g.targets[e], my + g.weight(e));
+            }
+        }
+        fn update(&self, _v: VertexId, m: f32, val: &mut f32, _g: &Csr) -> bool {
+            if m < *val {
+                *val = m;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn clean_program_passes() {
+        let g = weighted_diamond();
+        let r = check_program(&GoodSssp, &g, 100);
+        assert!(r.is_clean(), "{:?}", r.violations);
+        assert!(r.supersteps >= 3);
+        assert_eq!(r.messages, 4); // 0->{1,2}, then 1->3 and 2->3
+    }
+
+    #[test]
+    fn out_of_range_destination_is_caught() {
+        struct Wild;
+        impl VertexProgram for Wild {
+            type Msg = i32;
+            type Reduce = Sum;
+            type Value = i32;
+            const NAME: &'static str = "wild";
+            fn init(&self, v: VertexId, _g: &Csr) -> (i32, bool) {
+                (0, v == 0)
+            }
+            fn generate<S: MsgSink<i32>>(&self, _v: VertexId, ctx: &mut GenContext<'_, i32, S>) {
+                ctx.send(9999, 1);
+            }
+            fn update(&self, _v: VertexId, _m: i32, _val: &mut i32, _g: &Csr) -> bool {
+                false
+            }
+        }
+        let r = check_program(&Wild, &chain(4), 10);
+        assert!(matches!(
+            r.violations[0],
+            Violation::OutOfRangeDestination {
+                src: 0,
+                dst: 9999,
+                step: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn capacity_violation_is_caught() {
+        // Sends twice along each edge: receivers get 2x their in-degree.
+        struct Chatty;
+        impl VertexProgram for Chatty {
+            type Msg = i32;
+            type Reduce = Sum;
+            type Value = i32;
+            const NAME: &'static str = "chatty";
+            fn init(&self, v: VertexId, _g: &Csr) -> (i32, bool) {
+                (0, v == 0)
+            }
+            fn generate<S: MsgSink<i32>>(&self, v: VertexId, ctx: &mut GenContext<'_, i32, S>) {
+                let g = ctx.graph;
+                for e in g.edge_range(v) {
+                    ctx.send(g.targets[e], 1);
+                    ctx.send(g.targets[e], 1);
+                }
+            }
+            fn update(&self, _v: VertexId, _m: i32, _val: &mut i32, _g: &Csr) -> bool {
+                false
+            }
+        }
+        let r = check_program(&Chatty, &chain(3), 10);
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            Violation::CapacityExceeded {
+                vertex: 1,
+                got: 2,
+                capacity: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn nan_messages_are_caught() {
+        struct NanSender;
+        impl VertexProgram for NanSender {
+            type Msg = f32;
+            type Reduce = Sum;
+            type Value = f32;
+            const NAME: &'static str = "nan";
+            fn init(&self, v: VertexId, _g: &Csr) -> (f32, bool) {
+                (0.0, v == 0)
+            }
+            fn generate<S: MsgSink<f32>>(&self, v: VertexId, ctx: &mut GenContext<'_, f32, S>) {
+                let g = ctx.graph;
+                for e in g.edge_range(v) {
+                    ctx.send(g.targets[e], f32::NAN);
+                }
+            }
+            fn update(&self, _v: VertexId, _m: f32, _val: &mut f32, _g: &Csr) -> bool {
+                false
+            }
+        }
+        let r = check_program(&NanSender, &chain(3), 10);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NonFiniteMessage { .. })));
+    }
+
+    #[test]
+    fn runaway_program_hits_budget() {
+        // Two vertices ping-pong forever.
+        struct PingPong;
+        impl VertexProgram for PingPong {
+            type Msg = i32;
+            type Reduce = Sum;
+            type Value = i32;
+            const NAME: &'static str = "pingpong";
+            fn init(&self, v: VertexId, _g: &Csr) -> (i32, bool) {
+                (0, v == 0)
+            }
+            fn generate<S: MsgSink<i32>>(&self, v: VertexId, ctx: &mut GenContext<'_, i32, S>) {
+                ctx.send(1 - v, 1);
+            }
+            fn update(&self, _v: VertexId, _m: i32, _val: &mut i32, _g: &Csr) -> bool {
+                true
+            }
+            fn capacity_hint(&self, _v: VertexId, _g: &Csr) -> Option<u32> {
+                Some(1)
+            }
+        }
+        let g = {
+            let mut el = phigraph_graph::EdgeList::new(2);
+            el.push(0, 1);
+            el.push(1, 0);
+            Csr::from_edge_list(&el)
+        };
+        let r = check_program(&PingPong, &g, 16);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::StepBudgetExceeded { budget: 16 })));
+    }
+}

@@ -1,0 +1,385 @@
+//! Concurrent message insertion into the condensed static buffer.
+//!
+//! Two column-mapping strategies from §IV.C / Figure 3:
+//!
+//! * [`ColumnMode::OneToOne`] — "a pre-determined mapping between the
+//!   vertices and the columns": position `p` always uses column
+//!   `p mod width` of its group. Simple, but leaves SIMD lanes idle when
+//!   few vertices of a group receive messages (Fig. 3a).
+//! * [`ColumnMode::Dynamic`] — *dynamic column allocation*: an index array
+//!   (one entry per position, reset to −1 each iteration) plus a column
+//!   offset per group; the first message for a vertex claims the next free
+//!   column under the group's allocation lock (Fig. 3b). Occupied columns
+//!   are condensed to the front, so "i (i < k) loop(s) of instructions may
+//!   process all the vertices in the vertex-group".
+//!
+//! Within a column, slots are claimed by an atomic cursor (`fetch_add`),
+//! which plays the role of the paper's per-column lock: each message gets a
+//! unique `(row, column)` cell, making the raw write race-free.
+
+use super::layout::{CsbLayout, NOT_OWNED};
+use parking_lot::Mutex;
+use phigraph_device::counters::InsertProfile;
+use phigraph_graph::VertexId;
+use phigraph_simd::{AVec, MsgValue};
+use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, Ordering};
+
+/// Column-mapping strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnMode {
+    /// Fixed position→column mapping (Fig. 3a).
+    OneToOne,
+    /// Dynamic column allocation with index array + column offset (Fig. 3b).
+    Dynamic,
+}
+
+/// Sentinel: column not yet bound to a position.
+const COL_EMPTY: u32 = u32::MAX;
+
+/// The condensed static buffer for message type `T`.
+pub struct Csb<T: MsgValue> {
+    /// The static layout (sort order, groups, redirection map).
+    pub layout: CsbLayout,
+    /// Column mapping strategy.
+    pub mode: ColumnMode,
+    data: AVec<T>,
+    /// Messages inserted per global column (the insertion cursor).
+    col_count: Vec<AtomicU32>,
+    /// Position served by each global column this iteration.
+    col_pos: Vec<AtomicU32>,
+    /// Per-position allocated column-in-group, or −1 (the index array).
+    index: Vec<AtomicI32>,
+    /// Per-group next free column (the column offset).
+    group_next: Vec<AtomicU32>,
+    /// Per-group allocation lock ("using locking in the process").
+    group_locks: Vec<Mutex<()>>,
+    /// Columns allocated since the last reset.
+    allocs: AtomicU64,
+}
+
+impl<T: MsgValue> Csb<T> {
+    /// Allocate the buffer for `layout` (done once, before any iteration —
+    /// the *static* in CSB).
+    pub fn new(layout: CsbLayout, mode: ColumnMode) -> Self {
+        let cols = layout.num_groups() * layout.width;
+        let mut csb = Csb {
+            data: AVec::zeroed(layout.total_cells),
+            col_count: (0..cols).map(|_| AtomicU32::new(0)).collect(),
+            col_pos: (0..cols).map(|_| AtomicU32::new(COL_EMPTY)).collect(),
+            index: (0..layout.num_positions())
+                .map(|_| AtomicI32::new(-1))
+                .collect(),
+            group_next: (0..layout.num_groups())
+                .map(|_| AtomicU32::new(0))
+                .collect(),
+            group_locks: (0..layout.num_groups()).map(|_| Mutex::new(())).collect(),
+            allocs: AtomicU64::new(0),
+            layout,
+            mode,
+        };
+        if mode == ColumnMode::OneToOne {
+            csb.bind_one_to_one();
+        }
+        csb
+    }
+
+    fn bind_one_to_one(&mut self) {
+        for pos in 0..self.layout.num_positions() as u32 {
+            let col = self.global_col(self.layout.group_of(pos), pos as usize % self.layout.width);
+            self.col_pos[col].store(pos, Ordering::Relaxed);
+        }
+    }
+
+    #[inline(always)]
+    fn global_col(&self, group: usize, col_in_group: usize) -> usize {
+        group * self.layout.width + col_in_group
+    }
+
+    /// Insert one message for `dst`. Thread-safe; callable concurrently
+    /// from any number of threads (locking engine) or from the column's
+    /// owning mover (pipelined engine).
+    ///
+    /// # Panics
+    /// Panics if `dst` is not owned by this buffer's device, or if the
+    /// program sends a vertex more messages than its declared capacity.
+    #[inline]
+    pub fn insert(&self, dst: VertexId, value: T) {
+        let pos = self.layout.position[dst as usize];
+        assert_ne!(pos, NOT_OWNED, "message for non-owned vertex {dst}");
+        let group = self.layout.group_of(pos);
+        let col_in_group = match self.mode {
+            ColumnMode::OneToOne => pos as usize % self.layout.width,
+            ColumnMode::Dynamic => self.column_for(pos, group),
+        };
+        let gcol = self.global_col(group, col_in_group);
+        let row = self.col_count[gcol].fetch_add(1, Ordering::Relaxed) as usize;
+        let info = &self.layout.groups[group];
+        assert!(
+            row < info.rows as usize,
+            "vertex {dst} received more than its capacity {} messages",
+            info.rows
+        );
+        let cell = info.cell_offset + row * self.layout.width + col_in_group;
+        // SAFETY: (row, gcol) is unique — the fetch_add above hands out each
+        // row of a column exactly once, and distinct columns map to distinct
+        // cells. `cell < total_cells` because row < rows.
+        unsafe { *self.data.base_ptr().add(cell) = value };
+    }
+
+    /// Dynamic column allocation for `pos` (Fig. 3b): check the index
+    /// array; on miss, take the group lock and claim the next free column.
+    #[inline]
+    fn column_for(&self, pos: u32, group: usize) -> usize {
+        let cached = self.index[pos as usize].load(Ordering::Acquire);
+        if cached >= 0 {
+            return cached as usize;
+        }
+        let _guard = self.group_locks[group].lock();
+        let again = self.index[pos as usize].load(Ordering::Relaxed);
+        if again >= 0 {
+            return again as usize;
+        }
+        let col = self.group_next[group].fetch_add(1, Ordering::Relaxed) as usize;
+        debug_assert!(col < self.layout.width);
+        self.col_pos[self.global_col(group, col)].store(pos, Ordering::Relaxed);
+        self.index[pos as usize].store(col as i32, Ordering::Release);
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        col
+    }
+
+    /// Reset per-iteration state (index arrays to −1, column offsets and
+    /// cursors to 0). Returns the number of cells touched, for the cost
+    /// model's reset accounting.
+    pub fn reset(&self) -> u64 {
+        let mut touched = 0u64;
+        match self.mode {
+            ColumnMode::Dynamic => {
+                for g in 0..self.layout.num_groups() {
+                    let used = self.group_next[g].swap(0, Ordering::Relaxed) as usize;
+                    for c in 0..used.min(self.layout.width) {
+                        let gcol = self.global_col(g, c);
+                        let pos = self.col_pos[gcol].swap(COL_EMPTY, Ordering::Relaxed);
+                        if pos != COL_EMPTY {
+                            self.index[pos as usize].store(-1, Ordering::Relaxed);
+                        }
+                        self.col_count[gcol].store(0, Ordering::Relaxed);
+                        touched += 3;
+                    }
+                }
+            }
+            ColumnMode::OneToOne => {
+                for c in &self.col_count {
+                    if c.swap(0, Ordering::Relaxed) != 0 {
+                        touched += 1;
+                    }
+                }
+            }
+        }
+        self.allocs.store(0, Ordering::Relaxed);
+        touched
+    }
+
+    /// Columns currently in use in `group` (dynamic: the column offset;
+    /// one-to-one: the full width, since any column may hold messages).
+    #[inline]
+    pub fn used_columns(&self, group: usize) -> usize {
+        match self.mode {
+            ColumnMode::Dynamic => {
+                (self.group_next[group].load(Ordering::Acquire) as usize).min(self.layout.width)
+            }
+            ColumnMode::OneToOne => {
+                let n = self.layout.num_positions();
+                (n - (group * self.layout.width).min(n)).min(self.layout.width)
+            }
+        }
+    }
+
+    /// Message count of a global column.
+    #[inline(always)]
+    pub fn column_count(&self, group: usize, col_in_group: usize) -> u32 {
+        self.col_count[self.global_col(group, col_in_group)].load(Ordering::Acquire)
+    }
+
+    /// Position served by a global column (or `None` if unbound/empty).
+    #[inline]
+    pub fn column_position(&self, group: usize, col_in_group: usize) -> Option<u32> {
+        let p = self.col_pos[self.global_col(group, col_in_group)].load(Ordering::Acquire);
+        (p != COL_EMPTY).then_some(p)
+    }
+
+    /// Contention/occupancy statistics after a generation phase:
+    /// `(profile, occupied_columns, column_allocations)`.
+    pub fn insert_stats(&self) -> (InsertProfile, u64, u64) {
+        let mut profile = InsertProfile::default();
+        let mut occupied = 0u64;
+        for g in 0..self.layout.num_groups() {
+            for c in 0..self.used_columns(g) {
+                let count = self.column_count(g, c) as u64;
+                if count > 0 {
+                    profile.record(count);
+                    occupied += 1;
+                }
+            }
+        }
+        (profile, occupied, self.allocs.load(Ordering::Relaxed))
+    }
+
+    /// Raw cell pointer (processing phase; tasks own disjoint groups).
+    #[inline(always)]
+    pub(crate) fn data_ptr(&self) -> *mut T {
+        self.data.base_ptr()
+    }
+
+    /// Total allocated cells.
+    pub fn total_cells(&self) -> usize {
+        self.layout.total_cells
+    }
+
+    /// Read one cell (tests / debugging).
+    pub fn cell(&self, group: usize, row: usize, col_in_group: usize) -> T {
+        let info = &self.layout.groups[group];
+        assert!(row < info.rows as usize && col_in_group < self.layout.width);
+        // SAFETY: bounds asserted; read-only access after a phase barrier.
+        unsafe {
+            *self
+                .data_ptr()
+                .add(info.cell_offset + row * self.layout.width + col_in_group)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_device::pool::run_parallel;
+    use phigraph_graph::generators::small::{paper_example, paper_table1_messages};
+
+    fn paper_csb(mode: ColumnMode) -> Csb<f32> {
+        let g = paper_example();
+        let owned: Vec<VertexId> = (0..16).collect();
+        let cap = g.in_degrees();
+        Csb::new(CsbLayout::build(16, &owned, &cap, 4, 2), mode)
+    }
+
+    #[test]
+    fn table1_insertion_one_to_one_matches_figure_3a() {
+        let csb = paper_csb(ColumnMode::OneToOne);
+        for (src, dst) in paper_table1_messages() {
+            csb.insert(dst, src as f32);
+        }
+        // Destinations and their positions: 2→1, 6→6, 9→3, 12→11, 10→9, 7→7.
+        assert_eq!(csb.column_count(0, 1), 2); // vertex 2 got two messages
+        assert_eq!(csb.column_count(0, 3), 2); // vertex 9
+        assert_eq!(csb.column_count(0, 6), 1); // vertex 6
+        assert_eq!(csb.column_count(0, 7), 1); // vertex 7
+        assert_eq!(csb.column_count(1, 1), 1); // vertex 10 (position 9)
+        assert_eq!(csb.column_count(1, 3), 1); // vertex 12 (position 11)
+                                               // Untouched columns stay empty.
+        assert_eq!(csb.column_count(0, 0), 0);
+        assert_eq!(csb.column_count(0, 5), 0);
+    }
+
+    #[test]
+    fn table1_insertion_dynamic_condenses_columns_like_figure_3b() {
+        let csb = paper_csb(ColumnMode::Dynamic);
+        for (src, dst) in paper_table1_messages() {
+            csb.insert(dst, src as f32);
+        }
+        // Group 0 received messages for 4 distinct vertices (2, 9, 6, 7):
+        // dynamic allocation packs them into columns 0..4 — a single
+        // 4-lane vector array covers them all (the Fig. 3b win).
+        assert_eq!(csb.used_columns(0), 4);
+        // Group 1 received messages for 2 distinct vertices (10, 12).
+        assert_eq!(csb.used_columns(1), 2);
+        let (profile, occupied, allocs) = csb.insert_stats();
+        assert_eq!(profile.total, 8);
+        assert_eq!(profile.max_column, 2);
+        assert_eq!(occupied, 6);
+        assert_eq!(allocs, 6);
+    }
+
+    #[test]
+    fn insertion_values_land_in_claimed_cells() {
+        let csb = paper_csb(ColumnMode::Dynamic);
+        csb.insert(9, 11.0); // from vertex 11
+        csb.insert(9, 13.0); // from vertex 13
+                             // Vertex 9 is position 3 in group 0; its column holds both values
+                             // in rows 0 and 1 (order depends on insertion order here).
+        let col = (0..csb.used_columns(0))
+            .find(|&c| csb.column_position(0, c) == Some(3))
+            .expect("column for vertex 9");
+        let got = [csb.cell(0, 0, col), csb.cell(0, 1, col)];
+        assert_eq!(got, [11.0, 13.0]);
+    }
+
+    #[test]
+    fn reset_clears_state_for_next_iteration() {
+        let csb = paper_csb(ColumnMode::Dynamic);
+        for (src, dst) in paper_table1_messages() {
+            csb.insert(dst, src as f32);
+        }
+        let touched = csb.reset();
+        assert!(touched > 0);
+        assert_eq!(csb.used_columns(0), 0);
+        let (profile, occupied, allocs) = csb.insert_stats();
+        assert_eq!(profile.total, 0);
+        assert_eq!(occupied, 0);
+        assert_eq!(allocs, 0);
+        // Buffer is reusable.
+        csb.insert(2, 1.0);
+        assert_eq!(csb.used_columns(0), 1);
+    }
+
+    #[test]
+    fn concurrent_insertion_is_exact() {
+        // A hot-column stress: many threads hammer a star graph's center.
+        let n = 64usize;
+        let owned: Vec<VertexId> = (0..n as u32).collect();
+        let mut cap = vec![4u32; n];
+        cap[0] = 8 * 1000; // center can take every message
+        let csb = Csb::<f32>::new(CsbLayout::build(n, &owned, &cap, 4, 2), ColumnMode::Dynamic);
+        run_parallel(8, |tid| {
+            for i in 0..1000 {
+                csb.insert(0, (tid * 1000 + i) as f32);
+            }
+        });
+        let (profile, occupied, _) = csb.insert_stats();
+        assert_eq!(profile.total, 8000);
+        assert_eq!(profile.max_column, 8000);
+        assert_eq!(occupied, 1);
+        // Every inserted value must be present exactly once.
+        let pos = csb.layout.position[0];
+        let g = csb.layout.group_of(pos);
+        let col = (0..csb.used_columns(g))
+            .find(|&c| csb.column_position(g, c) == Some(pos))
+            .unwrap();
+        let mut seen: Vec<f32> = (0..8000).map(|r| csb.cell(g, r, col)).collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, &v) in seen.iter().enumerate() {
+            assert_eq!(v, i as f32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than its capacity")]
+    fn over_capacity_insertion_panics() {
+        let csb = paper_csb(ColumnMode::Dynamic);
+        for _ in 0..6 {
+            csb.insert(5, 1.0); // vertex 5 has capacity 5
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owned")]
+    fn non_owned_destination_panics() {
+        let g = paper_example();
+        let owned: Vec<VertexId> = vec![0, 1, 2];
+        let indeg = g.in_degrees();
+        let cap: Vec<u32> = owned.iter().map(|&v| indeg[v as usize]).collect();
+        let csb = Csb::<f32>::new(
+            CsbLayout::build(16, &owned, &cap, 4, 2),
+            ColumnMode::Dynamic,
+        );
+        csb.insert(9, 1.0);
+    }
+}

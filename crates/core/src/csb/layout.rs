@@ -1,0 +1,226 @@
+//! CSB layout: in-degree sort, redirection map, vertex groups.
+
+use phigraph_graph::VertexId;
+
+/// Sentinel in the redirection map for vertices this device does not own.
+pub const NOT_OWNED: u32 = u32::MAX;
+
+/// One vertex group: `width` columns × `rows` rows of message cells.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupInfo {
+    /// Array length = the maximum message capacity among the group's
+    /// vertices ("the maximum in-degree among the vertices in each vertex
+    /// group").
+    pub rows: u32,
+    /// Offset of the group's first cell in the flat data buffer.
+    pub cell_offset: usize,
+}
+
+/// The static layout of a condensed buffer, computed once per (graph,
+/// device-partition) pair before any iteration runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsbLayout {
+    /// SIMD lanes per row (`w / msg_size`).
+    pub lanes: usize,
+    /// Vector arrays per group (`k`; the paper uses a small constant).
+    pub k: usize,
+    /// Columns per group (`k × lanes`).
+    pub width: usize,
+    /// `position → vertex`: owned vertices sorted by capacity descending.
+    pub order: Vec<VertexId>,
+    /// `vertex → position` (the *redirection map*); [`NOT_OWNED`] for
+    /// vertices owned by the other device.
+    pub position: Vec<u32>,
+    /// Per-vertex message capacity, indexed by position.
+    pub capacity: Vec<u32>,
+    /// Vertex groups, in position order.
+    pub groups: Vec<GroupInfo>,
+    /// Total message cells allocated.
+    pub total_cells: usize,
+}
+
+impl CsbLayout {
+    /// Build the layout.
+    ///
+    /// * `n_total` — global vertex count (sizes the redirection map).
+    /// * `owned` — vertices this device owns.
+    /// * `capacity` — max messages per superstep for each owned vertex
+    ///   (parallel to `owned`): its local in-degree, plus one if it can
+    ///   receive combined remote messages.
+    /// * `lanes` — SIMD lanes per row for the device/message type.
+    /// * `k` — vector arrays per group.
+    pub fn build(
+        n_total: usize,
+        owned: &[VertexId],
+        capacity: &[u32],
+        lanes: usize,
+        k: usize,
+    ) -> Self {
+        assert_eq!(owned.len(), capacity.len());
+        let lanes = lanes.max(1);
+        let k = k.max(1);
+        let width = k * lanes;
+
+        // Step 1: sort owned vertices by capacity (in-degree) descending,
+        // ties by id — the order shown in the paper's Figure 3.
+        let mut idx: Vec<usize> = (0..owned.len()).collect();
+        idx.sort_by(|&a, &b| capacity[b].cmp(&capacity[a]).then(owned[a].cmp(&owned[b])));
+        let order: Vec<VertexId> = idx.iter().map(|&i| owned[i]).collect();
+        let sorted_cap: Vec<u32> = idx.iter().map(|&i| capacity[i]).collect();
+
+        // Redirection map.
+        let mut position = vec![NOT_OWNED; n_total];
+        for (pos, &v) in order.iter().enumerate() {
+            position[v as usize] = pos as u32;
+        }
+
+        // Step 2/3: group and size.
+        let mut groups = Vec::with_capacity(order.len().div_ceil(width));
+        let mut cell_offset = 0usize;
+        for chunk in sorted_cap.chunks(width) {
+            let rows = chunk.iter().copied().max().unwrap_or(0);
+            groups.push(GroupInfo { rows, cell_offset });
+            cell_offset += rows as usize * width;
+        }
+
+        CsbLayout {
+            lanes,
+            k,
+            width,
+            order,
+            position,
+            capacity: sorted_cap,
+            groups,
+            total_cells: cell_offset,
+        }
+    }
+
+    /// Number of vertex groups.
+    #[inline(always)]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of owned positions.
+    #[inline(always)]
+    pub fn num_positions(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Group index of a position.
+    #[inline(always)]
+    pub fn group_of(&self, pos: u32) -> usize {
+        pos as usize / self.width
+    }
+
+    /// Cells a *non-condensed* static buffer would need (every vertex gets
+    /// the global maximum capacity) — the memory-saving baseline reported
+    /// by the CSB ablation bench.
+    pub fn dense_cells(&self) -> usize {
+        let max_cap = self.capacity.first().copied().unwrap_or(0) as usize;
+        // Padded to full groups like the condensed layout.
+        self.num_positions().div_ceil(self.width) * self.width * max_cap
+    }
+
+    /// Memory saving factor of the condensed layout vs the dense baseline.
+    pub fn condensation_factor(&self) -> f64 {
+        if self.total_cells == 0 {
+            1.0
+        } else {
+            self.dense_cells() as f64 / self.total_cells as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::paper_example;
+
+    /// Layout for the paper's Figure 3 configuration: the example graph,
+    /// lanes = 4 ("we assume the SIMD lane to be as wide as 4 messages"),
+    /// k = 2.
+    fn paper_layout() -> CsbLayout {
+        let g = paper_example();
+        let owned: Vec<VertexId> = (0..16).collect();
+        let cap = g.in_degrees();
+        CsbLayout::build(16, &owned, &cap, 4, 2)
+    }
+
+    #[test]
+    fn figure3_sorted_order() {
+        let l = paper_layout();
+        // "sorted vertex IDs: 5 2 8 9 0 4 6 7 3 10 11 12 13 1 14 15"
+        assert_eq!(
+            l.order,
+            vec![5, 2, 8, 9, 0, 4, 6, 7, 3, 10, 11, 12, 13, 1, 14, 15]
+        );
+        // "in-degrees: 5 4 3 3 2 2 2 2 1 1 1 1 1 0 0 0"
+        assert_eq!(
+            l.capacity,
+            vec![5, 4, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 1, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn figure3_two_groups_with_rows_5_and_1() {
+        let l = paper_layout();
+        // "resulting in two vertex groups in total … for the first vertex
+        // group [array length] 5 … for the second … 1."
+        assert_eq!(l.num_groups(), 2);
+        assert_eq!(l.width, 8);
+        assert_eq!(l.groups[0].rows, 5);
+        assert_eq!(l.groups[1].rows, 1);
+        assert_eq!(l.groups[0].cell_offset, 0);
+        assert_eq!(l.groups[1].cell_offset, 40);
+        assert_eq!(l.total_cells, 48);
+    }
+
+    #[test]
+    fn redirection_map_round_trips() {
+        let l = paper_layout();
+        for (pos, &v) in l.order.iter().enumerate() {
+            assert_eq!(l.position[v as usize], pos as u32);
+        }
+        // Example from Figure 3's redirection row: vertex 2 -> position 1.
+        assert_eq!(l.position[2], 1);
+        assert_eq!(l.position[0], 4);
+    }
+
+    #[test]
+    fn condensation_saves_memory() {
+        let l = paper_layout();
+        // Dense: 16 positions × max capacity 5 = 80 cells vs 48 condensed.
+        assert_eq!(l.dense_cells(), 80);
+        assert!(l.condensation_factor() > 1.6);
+    }
+
+    #[test]
+    fn partial_ownership_masks_other_device() {
+        let g = paper_example();
+        let owned: Vec<VertexId> = vec![0, 2, 4, 6, 8, 10, 12, 14];
+        let indeg = g.in_degrees();
+        let cap: Vec<u32> = owned.iter().map(|&v| indeg[v as usize]).collect();
+        let l = CsbLayout::build(16, &owned, &cap, 4, 2);
+        assert_eq!(l.num_positions(), 8);
+        assert_eq!(l.position[1], NOT_OWNED);
+        assert_ne!(l.position[2], NOT_OWNED);
+        assert_eq!(l.num_groups(), 1);
+    }
+
+    #[test]
+    fn empty_ownership() {
+        let l = CsbLayout::build(4, &[], &[], 4, 2);
+        assert_eq!(l.num_groups(), 0);
+        assert_eq!(l.total_cells, 0);
+        assert_eq!(l.condensation_factor(), 1.0);
+    }
+
+    #[test]
+    fn group_of_positions() {
+        let l = paper_layout();
+        assert_eq!(l.group_of(0), 0);
+        assert_eq!(l.group_of(7), 0);
+        assert_eq!(l.group_of(8), 1);
+    }
+}

@@ -1,0 +1,742 @@
+//! The CSB-based device engine: locking and pipelined message generation,
+//! SIMD message processing, vertex updating (§IV.A–IV.D).
+//!
+//! One `DeviceEngine` instance runs the paper's superstep on one device. It
+//! executes with real host threads (results are genuinely computed; all
+//! concurrent paths are exercised) and records the event counters the cost
+//! model converts into simulated device time. The phase methods are public
+//! so the heterogeneous driver can interleave the remote exchange between
+//! generation and processing, exactly where the paper's workflow places it.
+
+use crate::active::ActiveSet;
+use crate::api::{GenContext, MsgSink, VertexProgram};
+use crate::csb::{Csb, CsbLayout};
+use crate::engine::config::{EngineConfig, ExecMode};
+use crate::queues::QueueMatrix;
+use crate::util::SharedSlice;
+use phigraph_comm::WireMsg;
+use phigraph_device::counters::GenChunk;
+use phigraph_device::pool::{run_parallel, run_parallel_collect};
+use phigraph_device::{ChunkScheduler, DeviceSpec, StepCounters};
+use phigraph_graph::{Csr, VertexId};
+use phigraph_simd::MsgValue;
+
+/// Bytes read per traversed edge during generation (target id + weight).
+const EDGE_BYTES: u64 = 8;
+/// Effective bytes per locally inserted message: the destination column
+/// cell is a random cache line, so a full line moves per insertion.
+const MSG_LINE_BYTES: u64 = 64;
+
+/// Sink for the locking engine: insert local messages directly into the
+/// CSB (atomic column cursors standing in for per-column locks), buffer
+/// remote ones.
+struct LockingSink<'a, T: MsgValue> {
+    csb: &'a Csb<T>,
+    assign: Option<&'a [u8]>,
+    dev: u8,
+    remote: Vec<WireMsg<T>>,
+    local: u64,
+}
+
+impl<'a, T: MsgValue> MsgSink<T> for LockingSink<'a, T> {
+    #[inline(always)]
+    fn send(&mut self, dst: VertexId, msg: T) {
+        let local = self.assign.is_none_or(|a| a[dst as usize] == self.dev);
+        if local {
+            self.csb.insert(dst, msg);
+            self.local += 1;
+        } else {
+            self.remote.push(WireMsg { dst, value: msg });
+        }
+    }
+}
+
+/// Sink for the pipelined engine's worker threads: route each message into
+/// the SPSC queue of its destination's mover class (`dst mod movers`).
+struct PipeSink<'a, T: MsgValue> {
+    queues: &'a QueueMatrix<(VertexId, T)>,
+    worker: usize,
+}
+
+impl<'a, T: MsgValue> MsgSink<T> for PipeSink<'a, T> {
+    #[inline(always)]
+    fn send(&mut self, dst: VertexId, msg: T) {
+        let mover = dst as usize % self.queues.movers;
+        // SAFETY: queue (worker, mover) has this worker thread as its only
+        // producer.
+        unsafe { self.queues.queue(self.worker, mover).push((dst, msg)) };
+    }
+}
+
+/// The per-device runtime for a [`VertexProgram`].
+pub struct DeviceEngine<'g, P: VertexProgram> {
+    /// The user program.
+    pub program: &'g P,
+    /// The (global) graph.
+    pub graph: &'g Csr,
+    /// The simulated device.
+    pub spec: DeviceSpec,
+    /// Engine configuration.
+    pub config: EngineConfig,
+    dev_id: u8,
+    assign: Option<&'g [u8]>,
+    owned: Vec<VertexId>,
+    csb: Csb<P::Msg>,
+    /// Vertex values (full-length; only owned entries are meaningful).
+    pub values: Vec<P::Value>,
+    active: ActiveSet,
+    reduced: Vec<P::Msg>,
+    has_msg: Vec<u8>,
+    host_threads: usize,
+    /// Static generation chunk boundaries over `owned` (edge-balanced, so
+    /// hub vertices do not turn one chunk into the critical path).
+    gen_ranges: Vec<std::ops::Range<usize>>,
+}
+
+/// Split `owned` into ranges of roughly equal out-edge mass. With
+/// front-loaded hub graphs, fixed vertex-count chunks make the first chunk
+/// the critical path; balancing by edges keeps the dynamic schedule's task
+/// units comparable ("the amounts of processing associated with different
+/// vertices is different").
+pub(crate) fn edge_balanced_ranges(
+    owned: &[VertexId],
+    graph: &Csr,
+    explicit_chunk: usize,
+    threads: usize,
+) -> Vec<std::ops::Range<usize>> {
+    if owned.is_empty() {
+        return Vec::new();
+    }
+    if explicit_chunk > 0 {
+        return (0..owned.len())
+            .step_by(explicit_chunk)
+            .map(|s| s..(s + explicit_chunk).min(owned.len()))
+            .collect();
+    }
+    let total: u64 = owned.iter().map(|&v| graph.out_degree(v) as u64 + 1).sum();
+    let target = (total / (threads as u64 * 32).max(1)).max(24);
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &v) in owned.iter().enumerate() {
+        acc += graph.out_degree(v) as u64 + 1;
+        if acc >= target {
+            ranges.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < owned.len() {
+        ranges.push(start..owned.len());
+    }
+    ranges
+}
+
+impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
+    /// Build the engine for device `dev_id`. `assign` is the vertex→device
+    /// map (`None` = this device owns everything).
+    pub fn new(
+        program: &'g P,
+        graph: &'g Csr,
+        spec: DeviceSpec,
+        config: EngineConfig,
+        dev_id: u8,
+        assign: Option<&'g [u8]>,
+    ) -> Self {
+        assert!(
+            matches!(config.mode, ExecMode::Locking | ExecMode::Pipelined),
+            "DeviceEngine runs the framework modes; use the flat/seq drivers otherwise"
+        );
+        if P::ALWAYS_ACTIVE {
+            assert!(
+                program.max_supersteps().is_some() || config.max_supersteps.is_some(),
+                "ALWAYS_ACTIVE programs must bound their supersteps"
+            );
+        }
+        let n = graph.num_vertices();
+        let owned: Vec<VertexId> = match assign {
+            None => (0..n as VertexId).collect(),
+            Some(a) => {
+                assert_eq!(a.len(), n);
+                (0..n as VertexId)
+                    .filter(|&v| a[v as usize] == dev_id)
+                    .collect()
+            }
+        };
+        // Message capacity per owned vertex: local in-degree plus one slot
+        // for the peer's combined remote message — unless the program
+        // declares its own bound (programs that message beyond their
+        // out-neighborhood, like WCC).
+        let mut local_in = vec![0u32; n];
+        let mut remote_in = vec![false; n];
+        let is_local = |v: VertexId| assign.is_none_or(|a| a[v as usize] == dev_id);
+        for (s, d) in graph.edge_iter() {
+            if is_local(d) {
+                if is_local(s) {
+                    local_in[d as usize] += 1;
+                } else {
+                    remote_in[d as usize] = true;
+                }
+            }
+        }
+        let capacity: Vec<u32> = owned
+            .iter()
+            .map(|&v| match program.capacity_hint(v, graph) {
+                // Custom bound: all senders might be local, plus one
+                // combined remote message in heterogeneous runs.
+                Some(hint) => hint + u32::from(assign.is_some()),
+                None => local_in[v as usize] + u32::from(remote_in[v as usize]),
+            })
+            .collect();
+
+        let lanes = spec.lanes(P::Msg::SIZE);
+        let layout = CsbLayout::build(n, &owned, &capacity, lanes, config.k);
+        let positions = layout.num_positions();
+        let csb = Csb::new(layout, config.column_mode);
+
+        let mut values = vec![P::Value::default(); n];
+        let mut active = ActiveSet::new(n);
+        for &v in &owned {
+            let (val, act) = program.init(v, graph);
+            values[v as usize] = val;
+            active.set(v, act);
+        }
+        let host_threads = config.resolve_host_threads();
+        let gen_ranges = edge_balanced_ranges(&owned, graph, config.gen_chunk, spec.threads());
+        DeviceEngine {
+            program,
+            graph,
+            spec,
+            config,
+            dev_id,
+            assign,
+            owned,
+            csb,
+            values,
+            active,
+            reduced: vec![P::Msg::ZERO; positions],
+            has_msg: vec![0u8; positions],
+            host_threads,
+            gen_ranges,
+        }
+    }
+
+    /// Vertices owned by this device.
+    pub fn owned(&self) -> &[VertexId] {
+        &self.owned
+    }
+
+    /// The buffer layout (for diagnostics and ablations).
+    pub fn layout(&self) -> &CsbLayout {
+        &self.csb.layout
+    }
+
+    /// Currently active vertex count.
+    pub fn active_count(&self) -> u64 {
+        self.active.count()
+    }
+
+    /// Reset per-iteration buffer state; returns fresh counters.
+    pub fn begin_step(&mut self) -> StepCounters {
+        let c = StepCounters {
+            reset_cells: self.csb.reset(),
+            ..Default::default()
+        };
+        self.has_msg.fill(0);
+        c
+    }
+
+    /// Message generation. Returns the remote (peer-bound) messages,
+    /// uncombined. Deactivates all vertices afterwards (senders vote to
+    /// halt; updates re-activate).
+    pub fn generate(&mut self, c: &mut StepCounters) -> Vec<WireMsg<P::Msg>> {
+        let remote = match self.config.mode {
+            ExecMode::Locking => self.generate_locking(c),
+            ExecMode::Pipelined => self.generate_pipelined(c),
+            _ => unreachable!(),
+        };
+        c.msgs_remote = remote.len() as u64;
+        c.bytes_gen += c.gen_edges * EDGE_BYTES
+            + c.msgs_local * MSG_LINE_BYTES
+            + c.msgs_remote * (4 + P::Msg::SIZE as u64);
+        if P::HAS_POST_GENERATE {
+            self.run_post_generate();
+        }
+        self.active.clear();
+        remote
+    }
+
+    /// Post-generation pass over the vertices that just sent messages
+    /// (disjoint writes: each active vertex is owned by one task).
+    fn run_post_generate(&mut self) {
+        let sched = ChunkScheduler::new(self.owned.len(), 512);
+        let (program, owned, active) = (self.program, &self.owned, &self.active);
+        let vslice = SharedSlice::new(&mut self.values);
+        run_parallel(self.host_threads, |_| {
+            while let Some(r) = sched.next_batch() {
+                for i in r {
+                    let v = owned[i];
+                    if active.is_active(v) {
+                        // SAFETY: each vertex index visited by one task.
+                        unsafe { program.post_generate(v, vslice.get_mut(v as usize)) };
+                    }
+                }
+            }
+        });
+    }
+
+    fn generate_locking(&mut self, c: &mut StepCounters) -> Vec<WireMsg<P::Msg>> {
+        let sched = ChunkScheduler::new(self.gen_ranges.len(), 1);
+        let (program, graph, csb) = (self.program, self.graph, &self.csb);
+        let (owned, values, active) = (&self.owned, &self.values, &self.active);
+        let (assign, dev) = (self.assign, self.dev_id);
+        let ranges = &self.gen_ranges;
+
+        let results = run_parallel_collect(self.host_threads, |_tid| {
+            let mut chunks: Vec<GenChunk> = Vec::new();
+            let mut sink = LockingSink {
+                csb,
+                assign,
+                dev,
+                remote: Vec::new(),
+                local: 0,
+            };
+            while let Some(batch) = sched.next_batch() {
+                for ri in batch {
+                    let mut ch = GenChunk::default();
+                    let mut ctx = GenContext::new(graph, values, &mut sink);
+                    for i in ranges[ri].clone() {
+                        let v = owned[i];
+                        if active.is_active(v) {
+                            ch.vertices += 1;
+                            ch.edges += graph.out_degree(v) as u64;
+                            program.generate(v, &mut ctx);
+                        }
+                    }
+                    ch.msgs = ctx.sent;
+                    chunks.push(ch);
+                }
+            }
+            (chunks, sink.remote, sink.local)
+        });
+
+        let mut remote = Vec::new();
+        for (chunks, r, local) in results {
+            for ch in &chunks {
+                c.active_vertices += ch.vertices;
+                c.gen_edges += ch.edges;
+            }
+            c.gen_chunks.extend(chunks);
+            c.msgs_local += local;
+            remote.extend(r);
+        }
+        remote
+    }
+
+    fn generate_pipelined(&mut self, c: &mut StepCounters) -> Vec<WireMsg<P::Msg>> {
+        let host = self.host_threads;
+        let real_movers = (host / 4).max(1);
+        let real_workers = host.saturating_sub(real_movers).max(1);
+        let (_, sim_movers) = self.config.pipeline_split(&self.spec);
+        let queues = QueueMatrix::<(VertexId, P::Msg)>::new(real_workers, real_movers, 4096);
+        let sched = ChunkScheduler::new(self.gen_ranges.len(), 1);
+        let ranges = &self.gen_ranges;
+
+        let (program, graph, csb) = (self.program, self.graph, &self.csb);
+        let (owned, values, active) = (&self.owned, &self.values, &self.active);
+        let (assign, dev) = (self.assign, self.dev_id);
+        let queues_ref = &queues;
+        let sched = &sched;
+
+        type MoverOut<T> = (Vec<WireMsg<T>>, u64, Vec<u64>);
+        let (worker_out, mover_out): (Vec<Vec<GenChunk>>, Vec<MoverOut<P::Msg>>) =
+            std::thread::scope(|s| {
+                let workers: Vec<_> = (0..real_workers)
+                    .map(|w| {
+                        s.spawn(move || {
+                            let mut chunks = Vec::new();
+                            let mut sink = PipeSink {
+                                queues: queues_ref,
+                                worker: w,
+                            };
+                            while let Some(batch) = sched.next_batch() {
+                                for ri in batch {
+                                    let mut ch = GenChunk::default();
+                                    let mut ctx = GenContext::new(graph, values, &mut sink);
+                                    for i in ranges[ri].clone() {
+                                        let v = owned[i];
+                                        if active.is_active(v) {
+                                            ch.vertices += 1;
+                                            ch.edges += graph.out_degree(v) as u64;
+                                            program.generate(v, &mut ctx);
+                                        }
+                                    }
+                                    ch.msgs = ctx.sent;
+                                    chunks.push(ch);
+                                }
+                            }
+                            queues_ref.close_worker(w);
+                            chunks
+                        })
+                    })
+                    .collect();
+                let movers: Vec<_> = (0..real_movers)
+                    .map(|m| {
+                        s.spawn(move || {
+                            let mut remote: Vec<WireMsg<P::Msg>> = Vec::new();
+                            let mut local = 0u64;
+                            let mut class_counts = vec![0u64; sim_movers];
+                            let mut buf: Vec<(VertexId, P::Msg)> = Vec::with_capacity(256);
+                            loop {
+                                let mut moved = false;
+                                for w in 0..real_workers {
+                                    buf.clear();
+                                    // SAFETY: mover m is the only consumer
+                                    // of queue (w, m).
+                                    let n =
+                                        unsafe { queues_ref.queue(w, m).pop_batch(&mut buf, 256) };
+                                    if n > 0 {
+                                        moved = true;
+                                        for &(dst, msg) in &buf {
+                                            class_counts[dst as usize % sim_movers] += 1;
+                                            let is_local =
+                                                assign.is_none_or(|a| a[dst as usize] == dev);
+                                            if is_local {
+                                                csb.insert(dst, msg);
+                                                local += 1;
+                                            } else {
+                                                remote.push(WireMsg { dst, value: msg });
+                                            }
+                                        }
+                                    }
+                                }
+                                if !moved {
+                                    if queues_ref.mover_done(m) {
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                    std::thread::yield_now();
+                                }
+                            }
+                            (remote, local, class_counts)
+                        })
+                    })
+                    .collect();
+                (
+                    workers
+                        .into_iter()
+                        .map(|h| h.join().expect("worker panicked"))
+                        .collect(),
+                    movers
+                        .into_iter()
+                        .map(|h| h.join().expect("mover panicked"))
+                        .collect(),
+                )
+            });
+
+        let mut remote = Vec::new();
+        c.mover_msgs = vec![0u64; sim_movers];
+        for chunks in worker_out {
+            for ch in &chunks {
+                c.active_vertices += ch.vertices;
+                c.gen_edges += ch.edges;
+            }
+            c.gen_chunks.extend(chunks);
+        }
+        for (r, local, class_counts) in mover_out {
+            remote.extend(r);
+            c.msgs_local += local;
+            for (a, b) in c.mover_msgs.iter_mut().zip(class_counts) {
+                *a += b;
+            }
+        }
+        remote
+    }
+
+    /// Insert the peer's combined remote messages into the local buffer
+    /// ("Received messages are inserted into local message buffer for
+    /// further processing").
+    pub fn absorb_remote(&mut self, incoming: &[WireMsg<P::Msg>], c: &mut StepCounters) {
+        if incoming.is_empty() {
+            return;
+        }
+        let sched = ChunkScheduler::new(incoming.len(), 1024);
+        let csb = &self.csb;
+        run_parallel(self.host_threads, |_| {
+            while let Some(r) = sched.next_batch() {
+                for m in &incoming[r] {
+                    csb.insert(m.dst, m.value);
+                }
+            }
+        });
+        // Record the insertion work in scheduler-grain batches (one giant
+        // chunk would read as serial work in the makespan replay).
+        let grain = (incoming.len() / (self.spec.threads() * 8).max(1)).clamp(16, 1024) as u64;
+        let mut left = incoming.len() as u64;
+        while left > 0 {
+            let batch = left.min(grain);
+            c.gen_chunks.push(GenChunk {
+                vertices: 0,
+                edges: 0,
+                msgs: batch,
+            });
+            left -= batch;
+        }
+        c.bytes_gen += incoming.len() as u64 * MSG_LINE_BYTES;
+    }
+
+    /// Collect insertion statistics after all insertions (local + remote)
+    /// are done.
+    pub fn finalize_insertion_stats(&self, c: &mut StepCounters) {
+        let (profile, occupied, allocs) = self.csb.insert_stats();
+        c.insert_profile = profile;
+        c.occupied_columns = occupied;
+        c.column_allocs = allocs;
+    }
+
+    /// Message processing: reduce the buffer into per-position messages.
+    pub fn process(&mut self, c: &mut StepCounters) {
+        let vectorized = self.config.vectorized && P::SIMD_REDUCIBLE;
+        let groups = self.csb.layout.num_groups();
+        let sched =
+            ChunkScheduler::new(groups, self.config.resolved_proc_chunk(groups, &self.spec));
+        let csb = &self.csb;
+        let rslice = SharedSlice::new(&mut self.reduced);
+        let hslice = SharedSlice::new(&mut self.has_msg);
+        let out = run_parallel_collect(self.host_threads, |_| {
+            let mut chunks = Vec::new();
+            while let Some(r) = sched.next_batch() {
+                csb.process_groups::<P::Reduce>(r, vectorized, &rslice, &hslice, &mut chunks);
+            }
+            chunks
+        });
+        let lanes = self.csb.layout.lanes as u64;
+        for chunks in out {
+            for ch in &chunks {
+                c.proc_rows += ch.rows;
+                c.proc_msgs += ch.msgs;
+                c.holes_filled += ch.holes;
+            }
+            c.proc_chunks.extend(chunks);
+        }
+        // Vectorized processing streams whole rows (messages + bubbles);
+        // the scalar walk touches each message cell individually.
+        c.bytes_proc = if vectorized {
+            (c.proc_rows * lanes + c.occupied_columns) * P::Msg::SIZE as u64
+        } else {
+            (c.proc_msgs + c.occupied_columns) * P::Msg::SIZE as u64
+        };
+    }
+
+    /// Vertex updating: apply reduced messages, set next-step active flags.
+    pub fn update(&mut self, c: &mut StepCounters) {
+        let positions = self.csb.layout.num_positions();
+        let sched = ChunkScheduler::new(positions, 512);
+        let (program, graph) = (self.program, self.graph);
+        let order = &self.csb.layout.order;
+        let (reduced, has_msg) = (&self.reduced, &self.has_msg);
+        let vslice = SharedSlice::new(&mut self.values);
+        let fslice = SharedSlice::new(self.active.flags_mut());
+        let updated: u64 = run_parallel_collect(self.host_threads, |_| {
+            let mut n = 0u64;
+            while let Some(r) = sched.next_batch() {
+                for pos in r {
+                    if has_msg[pos] != 0 {
+                        let v = order[pos];
+                        // SAFETY: positions map to distinct vertices, so
+                        // value/flag writes are disjoint across tasks.
+                        let act = unsafe {
+                            let val = vslice.get_mut(v as usize);
+                            program.update(v, reduced[pos], val, graph)
+                        };
+                        unsafe { fslice.write(v as usize, u8::from(act)) };
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+        .into_iter()
+        .sum();
+        if P::ALWAYS_ACTIVE {
+            let owned = std::mem::take(&mut self.owned);
+            self.active.activate_all(&owned);
+            self.owned = owned;
+        }
+        self.active.recount();
+        c.updated_vertices = updated;
+        c.next_active = self.active.count();
+        c.bytes_update = updated * (std::mem::size_of::<P::Value>() as u64 + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::config::EngineConfig;
+    use phigraph_graph::generators::small::{chain, weighted_diamond};
+    use phigraph_simd::Min;
+
+    struct Sssp;
+    impl VertexProgram for Sssp {
+        type Msg = f32;
+        type Reduce = Min;
+        type Value = f32;
+        const NAME: &'static str = "sssp";
+        fn init(&self, v: VertexId, _g: &Csr) -> (f32, bool) {
+            if v == 0 {
+                (0.0, true)
+            } else {
+                (f32::INFINITY, false)
+            }
+        }
+        fn generate<S: MsgSink<f32>>(&self, v: VertexId, ctx: &mut GenContext<'_, f32, S>) {
+            let my = *ctx.value(v);
+            for e in ctx.graph.edge_range(v) {
+                ctx.send(ctx.graph.targets[e], my + ctx.graph.weight(e));
+            }
+        }
+        fn update(&self, _v: VertexId, msg: f32, value: &mut f32, _g: &Csr) -> bool {
+            if msg < *value {
+                *value = msg;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn drive(engine: &mut DeviceEngine<'_, Sssp>) -> usize {
+        let mut steps = 0;
+        loop {
+            let mut c = engine.begin_step();
+            let remote = engine.generate(&mut c);
+            assert!(remote.is_empty(), "single device must not emit remote msgs");
+            engine.finalize_insertion_stats(&mut c);
+            engine.process(&mut c);
+            engine.update(&mut c);
+            steps += 1;
+            if c.msgs_total() == 0 || steps > 1000 {
+                break;
+            }
+        }
+        steps
+    }
+
+    #[test]
+    fn sssp_on_diamond_locking() {
+        let g = weighted_diamond();
+        let mut eng = DeviceEngine::new(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            EngineConfig::locking(),
+            0,
+            None,
+        );
+        drive(&mut eng);
+        assert_eq!(eng.values, vec![0.0, 1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn sssp_on_chain_pipelined() {
+        let g = chain(50);
+        let mut eng = DeviceEngine::new(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_phi_se10p(),
+            EngineConfig::pipelined().with_host_threads(4),
+            0,
+            None,
+        );
+        let steps = drive(&mut eng);
+        for v in 0..50 {
+            assert_eq!(eng.values[v], v as f32, "distance to {v}");
+        }
+        assert_eq!(steps, 50, "one wavefront per superstep plus the empty step");
+    }
+
+    #[test]
+    fn counters_reflect_first_step() {
+        let g = weighted_diamond();
+        let mut eng = DeviceEngine::new(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            EngineConfig::locking(),
+            0,
+            None,
+        );
+        let mut c = eng.begin_step();
+        eng.generate(&mut c);
+        eng.finalize_insertion_stats(&mut c);
+        assert_eq!(c.active_vertices, 1);
+        assert_eq!(c.gen_edges, 2);
+        assert_eq!(c.msgs_local, 2);
+        assert_eq!(c.insert_profile.total, 2);
+        assert_eq!(c.occupied_columns, 2);
+        eng.process(&mut c);
+        assert_eq!(c.proc_msgs, 2);
+        eng.update(&mut c);
+        assert_eq!(c.updated_vertices, 2);
+        assert_eq!(c.next_active, 2);
+    }
+
+    #[test]
+    fn partial_ownership_routes_remote_messages() {
+        let g = weighted_diamond();
+        // Device 0 owns {0, 1}; device 1 owns {2, 3}.
+        let assign = vec![0u8, 0, 1, 1];
+        let mut eng = DeviceEngine::new(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            EngineConfig::locking(),
+            0,
+            Some(&assign),
+        );
+        assert_eq!(eng.owned(), &[0, 1]);
+        let mut c = eng.begin_step();
+        let remote = eng.generate(&mut c);
+        // Vertex 0 sends to 1 (local) and 2 (remote).
+        assert_eq!(c.msgs_local, 1);
+        assert_eq!(remote.len(), 1);
+        assert_eq!(remote[0].dst, 2);
+    }
+
+    #[test]
+    fn absorb_remote_feeds_processing() {
+        let g = weighted_diamond();
+        let assign = vec![0u8, 0, 1, 1];
+        let mut eng = DeviceEngine::new(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            EngineConfig::locking(),
+            1,
+            Some(&assign),
+        );
+        let mut c = eng.begin_step();
+        let _ = eng.generate(&mut c); // nothing active on device 1
+        eng.absorb_remote(&[WireMsg { dst: 2, value: 5.0 }], &mut c);
+        eng.finalize_insertion_stats(&mut c);
+        eng.process(&mut c);
+        eng.update(&mut c);
+        assert_eq!(eng.values[2], 5.0);
+        assert_eq!(c.updated_vertices, 1);
+    }
+
+    #[test]
+    fn locking_and_pipelined_agree() {
+        let g = chain(30);
+        let run = |config: EngineConfig| {
+            let mut eng = DeviceEngine::new(&Sssp, &g, DeviceSpec::xeon_e5_2680(), config, 0, None);
+            drive(&mut eng);
+            eng.values.clone()
+        };
+        assert_eq!(
+            run(EngineConfig::locking()),
+            run(EngineConfig::pipelined().with_host_threads(5))
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Heterogeneous CPU-MIC execution (§IV.A / §IV.E).
+//!
+//! "The system is built using MPI symmetric computing, with CPU being Rank
+//! 0, and MIC being Rank 1." Both device runtimes execute the same
+//! superstep in lockstep; between generation and processing they combine
+//! their remote buffers per destination and exchange them over the modelled
+//! PCIe link. Global termination: a superstep in which neither device
+//! generated any message.
+
+use crate::api::VertexProgram;
+use crate::engine::config::EngineConfig;
+use crate::engine::device::DeviceEngine;
+use crate::engine::flat::run_cap;
+use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
+use phigraph_comm::message::wire_bytes;
+use phigraph_comm::{combine_messages, duplex_pair, Endpoint, PcieLink, WireMsg};
+use phigraph_device::{CostModel, DeviceSpec, StepCounters};
+use phigraph_graph::Csr;
+use phigraph_partition::DevicePartition;
+use phigraph_simd::MsgValue;
+use std::time::Instant;
+
+/// Run `program` across both devices. `specs`/`configs` are indexed by
+/// device (0 = CPU, 1 = MIC); `partition` assigns vertices.
+pub fn run_hetero<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition: &DevicePartition,
+    specs: [DeviceSpec; 2],
+    configs: [EngineConfig; 2],
+    link: PcieLink,
+) -> RunOutput<P::Value> {
+    assert_eq!(partition.assign.len(), graph.num_vertices());
+    // Both sides must agree on the superstep cap or the lock-step exchange
+    // deadlocks.
+    let cap = run_cap(
+        program.max_supersteps(),
+        match (configs[0].max_supersteps, configs[1].max_supersteps) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+    );
+
+    let (ep0, ep1) = duplex_pair::<WireMsg<P::Msg>>(link);
+    let [spec0, spec1] = specs;
+    let [config0, config1] = configs;
+    let assign = &partition.assign;
+
+    let (side0, side1) = std::thread::scope(|s| {
+        let h0 = s.spawn(|| device_loop(program, graph, assign, 0, spec0, config0, ep0, cap));
+        let h1 = s.spawn(|| device_loop(program, graph, assign, 1, spec1, config1, ep1, cap));
+        (
+            h0.join().expect("device 0 panicked"),
+            h1.join().expect("device 1 panicked"),
+        )
+    });
+
+    let (values0, report0) = side0;
+    let (values1, report1) = side1;
+    // Merge values by ownership.
+    let mut values = values0;
+    for (v, val) in values1.into_iter().enumerate() {
+        if assign[v] == 1 {
+            values[v] = val;
+        }
+    }
+    let report = combine_hetero(P::NAME, &report0, &report1);
+    RunOutput {
+        values,
+        report,
+        device_reports: vec![report0, report1],
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn device_loop<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    assign: &[u8],
+    dev: u8,
+    spec: DeviceSpec,
+    config: EngineConfig,
+    ep: Endpoint<WireMsg<P::Msg>>,
+    cap: usize,
+) -> (Vec<P::Value>, RunReport) {
+    let cost = CostModel::new(spec.clone());
+    let mut engine = DeviceEngine::new(
+        program,
+        graph,
+        spec.clone(),
+        config.clone(),
+        dev,
+        Some(assign),
+    );
+    let wall_start = Instant::now();
+    let mut steps: Vec<StepReport> = Vec::new();
+
+    for step in 0.. {
+        if step >= cap {
+            break;
+        }
+        let t0 = Instant::now();
+        let mut c: StepCounters = engine.begin_step();
+
+        // 1. Message generation (local messages straight into the CSB,
+        //    peer-bound ones into the remote buffer).
+        let remote = engine.generate(&mut c);
+        c.remote_before_combine = remote.len() as u64;
+
+        // 2. Combine the remote buffer per destination ("the combination
+        //    result is sent to the other device as a single MPI message").
+        let (combined, _) = combine_messages::<P::Msg, P::Reduce>(remote);
+        c.remote_after_combine = combined.len() as u64;
+        let bytes_out = wire_bytes::<P::Msg>(combined.len());
+
+        // 3. The implicit remote message exchange.
+        let my_any = c.msgs_total() > 0;
+        let (incoming, peer_any, xstats) = ep.exchange(combined, bytes_out, my_any);
+        c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
+
+        // 4. Insert received messages, then process and update locally.
+        engine.absorb_remote(&incoming, &mut c);
+        engine.finalize_insertion_stats(&mut c);
+        engine.process(&mut c);
+        engine.update(&mut c);
+
+        let vectorized = config.vectorized && P::SIMD_REDUCIBLE;
+        let times = cost.step_times(&c, config.gen_mode(&spec), P::Msg::SIZE, vectorized);
+        c.gen_chunks.clear();
+        c.proc_chunks.clear();
+        steps.push(StepReport {
+            step,
+            times,
+            comm_time: xstats.sim_time,
+            wall: t0.elapsed().as_secs_f64(),
+            counters: c,
+        });
+        // Global termination: nobody generated messages this superstep.
+        if !my_any && !peer_any {
+            break;
+        }
+    }
+
+    let report = RunReport {
+        app: P::NAME.to_string(),
+        device: spec.name.to_string(),
+        mode: "cpu-mic".to_string(),
+        steps,
+        wall: wall_start.elapsed().as_secs_f64(),
+    };
+    (engine.values, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{GenContext, MsgSink};
+    use crate::engine::run_single;
+    use phigraph_graph::generators::small::chain;
+    use phigraph_graph::VertexId;
+    use phigraph_partition::{partition, PartitionScheme, Ratio};
+    use phigraph_simd::Min;
+
+    struct Sssp;
+    impl VertexProgram for Sssp {
+        type Msg = f32;
+        type Reduce = Min;
+        type Value = f32;
+        const NAME: &'static str = "sssp";
+        fn init(&self, v: VertexId, _g: &Csr) -> (f32, bool) {
+            if v == 0 {
+                (0.0, true)
+            } else {
+                (f32::INFINITY, false)
+            }
+        }
+        fn generate<S: MsgSink<f32>>(&self, v: VertexId, ctx: &mut GenContext<'_, f32, S>) {
+            let my = *ctx.value(v);
+            for e in ctx.graph.edge_range(v) {
+                ctx.send(ctx.graph.targets[e], my + ctx.graph.weight(e));
+            }
+        }
+        fn update(&self, _v: VertexId, msg: f32, value: &mut f32, _g: &Csr) -> bool {
+            if msg < *value {
+                *value = msg;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_matches_single_device_on_chain() {
+        let g = chain(40);
+        let p = partition(&g, PartitionScheme::RoundRobin, Ratio::even(), 0);
+        let out = run_hetero(
+            &Sssp,
+            &g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [
+                EngineConfig::locking(),
+                EngineConfig::pipelined().with_host_threads(4),
+            ],
+            PcieLink::gen2_x16(),
+        );
+        let single = run_single(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking(),
+        );
+        assert_eq!(out.values, single.values);
+        assert_eq!(out.report.device, "CPU-MIC");
+        // Round-robin on a chain: every edge crosses devices.
+        assert!(out.report.sim_comm() > 0.0);
+        assert!(out.report.total_comm_bytes() > 0);
+    }
+
+    #[test]
+    fn hetero_reports_per_device() {
+        let g = chain(20);
+        let p = partition(&g, PartitionScheme::Continuous, Ratio::even(), 0);
+        let out = run_hetero(
+            &Sssp,
+            &g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [EngineConfig::locking(), EngineConfig::locking()],
+            PcieLink::gen2_x16(),
+        );
+        assert_eq!(out.device_reports.len(), 2);
+        // Continuous split of a chain: exactly one cross edge, so exactly
+        // one remote message crosses in one superstep of the whole run.
+        let total_remote: u64 = out.device_reports[0]
+            .steps
+            .iter()
+            .chain(&out.device_reports[1].steps)
+            .map(|s| s.counters.remote_after_combine)
+            .sum();
+        assert_eq!(total_remote, 1);
+    }
+}

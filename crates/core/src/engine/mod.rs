@@ -1,0 +1,95 @@
+//! Execution engines: single-device drivers, the heterogeneous CPU-MIC
+//! driver, and the object-message path.
+
+pub mod config;
+pub mod device;
+pub mod flat;
+pub mod hetero;
+pub mod obj;
+pub mod seq;
+
+pub use config::{EngineConfig, ExecMode};
+pub use device::DeviceEngine;
+pub use flat::run_flat;
+pub use hetero::run_hetero;
+pub use seq::run_seq;
+
+use crate::api::VertexProgram;
+use crate::metrics::{RunOutput, RunReport, StepReport};
+use flat::run_cap;
+use phigraph_device::{CostModel, DeviceSpec};
+use phigraph_graph::Csr;
+use phigraph_simd::MsgValue;
+use std::time::Instant;
+
+/// Run `program` to completion on a single device with any execution mode.
+pub fn run_single<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    spec: DeviceSpec,
+    config: &EngineConfig,
+) -> RunOutput<P::Value> {
+    match config.mode {
+        ExecMode::Flat => run_flat(program, graph, spec, config),
+        ExecMode::Sequential => run_seq(program, graph, spec, config),
+        ExecMode::Locking | ExecMode::Pipelined => run_csb_single(program, graph, spec, config),
+    }
+}
+
+fn run_csb_single<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    spec: DeviceSpec,
+    config: &EngineConfig,
+) -> RunOutput<P::Value> {
+    let cost = CostModel::new(spec.clone());
+    let mut engine = DeviceEngine::new(program, graph, spec.clone(), config.clone(), 0, None);
+    let cap = run_cap(program.max_supersteps(), config.max_supersteps);
+    let wall_start = Instant::now();
+    let mut steps: Vec<StepReport> = Vec::new();
+
+    for step in 0.. {
+        if step >= cap {
+            break;
+        }
+        let t0 = Instant::now();
+        let mut c = engine.begin_step();
+        let remote = engine.generate(&mut c);
+        debug_assert!(
+            remote.is_empty(),
+            "single-device run produced remote messages"
+        );
+        engine.finalize_insertion_stats(&mut c);
+        engine.process(&mut c);
+        engine.update(&mut c);
+
+        let vectorized = config.vectorized && P::SIMD_REDUCIBLE;
+        let times = cost.step_times(&c, config.gen_mode(&spec), P::Msg::SIZE, vectorized);
+        let msgs = c.msgs_total();
+        c.gen_chunks.clear();
+        c.proc_chunks.clear();
+        steps.push(StepReport {
+            step,
+            times,
+            comm_time: 0.0,
+            wall: t0.elapsed().as_secs_f64(),
+            counters: c,
+        });
+        if msgs == 0 {
+            break;
+        }
+    }
+
+    let report = RunReport {
+        app: P::NAME.to_string(),
+        device: spec.name.to_string(),
+        mode: config.mode.name().to_string(),
+        steps,
+        wall: wall_start.elapsed().as_secs_f64(),
+    };
+    RunOutput {
+        values: engine.values,
+        device_reports: vec![report.clone()],
+        report,
+    }
+}

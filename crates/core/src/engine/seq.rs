@@ -1,0 +1,217 @@
+//! Sequential reference engine (Table II baselines: "written in C/C++ and
+//! executed by one core" — here the same program run by one thread with a
+//! plain mailbox array, no buffers, no locks).
+
+use crate::active::ActiveSet;
+use crate::api::{GenContext, MsgSink, VertexProgram};
+use crate::metrics::{RunOutput, RunReport, StepReport};
+use phigraph_device::cost::GenMode;
+use phigraph_device::{CostModel, DeviceSpec, StepCounters};
+use phigraph_graph::{Csr, VertexId};
+use phigraph_simd::{MsgValue, ReduceOp};
+use std::time::Instant;
+
+use super::config::EngineConfig;
+use super::flat::run_cap;
+
+struct SeqSink<'a, T: MsgValue> {
+    acc: &'a mut [T],
+    counts: &'a mut [u32],
+    combine: fn(T, T) -> T,
+}
+
+impl<'a, T: MsgValue> MsgSink<T> for SeqSink<'a, T> {
+    #[inline]
+    fn send(&mut self, dst: VertexId, msg: T) {
+        let d = dst as usize;
+        self.acc[d] = if self.counts[d] == 0 {
+            msg
+        } else {
+            (self.combine)(self.acc[d], msg)
+        };
+        self.counts[d] += 1;
+    }
+}
+
+/// Run a program to completion on one simulated core.
+pub fn run_seq<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    spec: DeviceSpec,
+    config: &EngineConfig,
+) -> RunOutput<P::Value> {
+    if P::ALWAYS_ACTIVE {
+        assert!(
+            program.max_supersteps().is_some() || config.max_supersteps.is_some(),
+            "ALWAYS_ACTIVE programs must bound their supersteps"
+        );
+    }
+    let n = graph.num_vertices();
+    let seq_spec = spec.sequential();
+    let cost = CostModel::new(seq_spec.clone());
+    let mut values = vec![P::Value::default(); n];
+    let mut active = ActiveSet::new(n);
+    for v in 0..n as VertexId {
+        let (val, act) = program.init(v, graph);
+        values[v as usize] = val;
+        active.set(v, act);
+    }
+    let mut acc: Vec<P::Msg> = vec![P::Msg::ZERO; n];
+    let mut counts: Vec<u32> = vec![0; n];
+
+    let cap = run_cap(program.max_supersteps(), config.max_supersteps);
+    let wall_start = Instant::now();
+    let mut steps: Vec<StepReport> = Vec::new();
+
+    for step in 0.. {
+        if step >= cap {
+            break;
+        }
+        let t0 = Instant::now();
+        let mut c = StepCounters::default();
+        counts.fill(0);
+
+        // Generation into the mailbox (reduction applied on arrival).
+        {
+            let mut sink = SeqSink {
+                acc: &mut acc,
+                counts: &mut counts,
+                combine: P::Reduce::apply,
+            };
+            let mut ctx = GenContext::new(graph, &values, &mut sink);
+            for v in 0..n as VertexId {
+                if active.is_active(v) {
+                    c.active_vertices += 1;
+                    c.gen_edges += graph.out_degree(v) as u64;
+                    program.generate(v, &mut ctx);
+                }
+            }
+            c.msgs_local = ctx.sent;
+        }
+        if P::HAS_POST_GENERATE {
+            for v in 0..n as VertexId {
+                if active.is_active(v) {
+                    program.post_generate(v, &mut values[v as usize]);
+                }
+            }
+        }
+        active.clear();
+        c.proc_msgs = c.msgs_local;
+        c.bytes_gen = c.gen_edges * 8 + c.msgs_local * (4 + P::Msg::SIZE as u64);
+        c.bytes_proc = c.msgs_local * P::Msg::SIZE as u64;
+
+        // Update pass.
+        for v in 0..n {
+            if counts[v] > 0 {
+                let act = program.update(v as VertexId, acc[v], &mut values[v], graph);
+                active.set(v as VertexId, act);
+                c.updated_vertices += 1;
+            }
+        }
+        if P::ALWAYS_ACTIVE {
+            let all: Vec<VertexId> = (0..n as VertexId).collect();
+            active.activate_all(&all);
+        }
+        c.next_active = active.count();
+        c.bytes_update = c.updated_vertices * (std::mem::size_of::<P::Value>() as u64 + 1);
+
+        let times = cost.step_times(&c, GenMode::Sequential, P::Msg::SIZE, false);
+        let msgs = c.msgs_total();
+        steps.push(StepReport {
+            step,
+            times,
+            comm_time: 0.0,
+            wall: t0.elapsed().as_secs_f64(),
+            counters: c,
+        });
+        if msgs == 0 {
+            break;
+        }
+    }
+
+    let report = RunReport {
+        app: P::NAME.to_string(),
+        device: seq_spec.name.to_string(),
+        mode: "seq".to_string(),
+        steps,
+        wall: wall_start.elapsed().as_secs_f64(),
+    };
+    RunOutput {
+        values,
+        device_reports: vec![report.clone()],
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::{chain, weighted_diamond};
+    use phigraph_simd::Min;
+
+    struct Sssp;
+    impl VertexProgram for Sssp {
+        type Msg = f32;
+        type Reduce = Min;
+        type Value = f32;
+        const NAME: &'static str = "sssp";
+        fn init(&self, v: VertexId, _g: &Csr) -> (f32, bool) {
+            if v == 0 {
+                (0.0, true)
+            } else {
+                (f32::INFINITY, false)
+            }
+        }
+        fn generate<S: MsgSink<f32>>(&self, v: VertexId, ctx: &mut GenContext<'_, f32, S>) {
+            let my = *ctx.value(v);
+            for e in ctx.graph.edge_range(v) {
+                ctx.send(ctx.graph.targets[e], my + ctx.graph.weight(e));
+            }
+        }
+        fn update(&self, _v: VertexId, msg: f32, value: &mut f32, _g: &Csr) -> bool {
+            if msg < *value {
+                *value = msg;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn seq_sssp_diamond() {
+        let g = weighted_diamond();
+        let out = run_seq(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::sequential(),
+        );
+        assert_eq!(out.values, vec![0.0, 1.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn seq_mic_is_slower_than_seq_cpu() {
+        // Table II: "a CPU core runs the same sequential code around 11x
+        // faster" — the simulated times must reflect it.
+        let g = chain(500);
+        let cpu = run_seq(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::sequential(),
+        );
+        let mic = run_seq(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_phi_se10p(),
+            &EngineConfig::sequential(),
+        );
+        assert_eq!(cpu.values, mic.values);
+        let ratio = mic.report.sim_total() / cpu.report.sim_total();
+        assert!(
+            (6.0..16.0).contains(&ratio),
+            "MIC/CPU sequential ratio {ratio} should be ~11"
+        );
+    }
+}

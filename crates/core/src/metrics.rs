@@ -1,0 +1,206 @@
+//! Per-run and per-superstep measurement records.
+//!
+//! Every run produces both *simulated* times (the cost model applied to the
+//! recorded events — what the figures report) and host wall-clock time (for
+//! regression tracking via criterion).
+
+use phigraph_device::cost::PhaseTimes;
+use phigraph_device::StepCounters;
+
+/// Measurements for one superstep on one device.
+#[derive(Clone, Debug, Default)]
+pub struct StepReport {
+    /// Superstep index (0-based).
+    pub step: usize,
+    /// Simulated phase times from the cost model.
+    pub times: PhaseTimes,
+    /// Simulated communication time (heterogeneous runs; 0 otherwise).
+    pub comm_time: f64,
+    /// Host wall-clock seconds for the superstep.
+    pub wall: f64,
+    /// Event counters (chunk records dropped to keep reports small).
+    pub counters: StepCounters,
+}
+
+impl StepReport {
+    /// Simulated superstep total including communication.
+    pub fn sim_total(&self) -> f64 {
+        self.times.total + self.comm_time
+    }
+}
+
+/// Measurements for a complete run on one device (or one device's side of a
+/// heterogeneous run).
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Device name.
+    pub device: String,
+    /// Execution mode name (`lock`, `pipe`, `flat`, `seq`, `cpu-mic`).
+    pub mode: String,
+    /// Per-superstep reports.
+    pub steps: Vec<StepReport>,
+    /// Host wall-clock seconds for the whole run.
+    pub wall: f64,
+}
+
+impl RunReport {
+    /// Simulated execution time (compute phases, excluding communication).
+    pub fn sim_exec(&self) -> f64 {
+        self.steps.iter().map(|s| s.times.total).sum()
+    }
+
+    /// Simulated communication time.
+    pub fn sim_comm(&self) -> f64 {
+        self.steps.iter().map(|s| s.comm_time).sum()
+    }
+
+    /// Simulated total time.
+    pub fn sim_total(&self) -> f64 {
+        self.sim_exec() + self.sim_comm()
+    }
+
+    /// Simulated time of the message-processing sub-step only (the
+    /// Fig. 5(f) quantity).
+    pub fn sim_process(&self) -> f64 {
+        self.steps.iter().map(|s| s.times.process).sum()
+    }
+
+    /// Total messages over the run.
+    pub fn total_msgs(&self) -> u64 {
+        self.steps.iter().map(|s| s.counters.msgs_total()).sum()
+    }
+
+    /// Total wire bytes exchanged with the peer device.
+    pub fn total_comm_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.counters.comm_bytes).sum()
+    }
+
+    /// Number of supersteps executed.
+    pub fn supersteps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} {:<22} {:<5} steps={:<4} msgs={:<10} exec={:.4}s comm={:.4}s total={:.4}s (wall {:.3}s)",
+            self.app,
+            self.device,
+            self.mode,
+            self.supersteps(),
+            self.total_msgs(),
+            self.sim_exec(),
+            self.sim_comm(),
+            self.sim_total(),
+            self.wall,
+        )
+    }
+}
+
+/// A run's computed values plus its report.
+#[derive(Clone, Debug)]
+pub struct RunOutput<V> {
+    /// Final vertex values (full-length; in heterogeneous runs, merged
+    /// across devices by ownership).
+    pub values: Vec<V>,
+    /// The measurement report. For heterogeneous runs this is the combined
+    /// view (per-step maximum of the two devices plus exchange time).
+    pub report: RunReport,
+    /// Per-device reports (two entries for heterogeneous runs, one
+    /// otherwise).
+    pub device_reports: Vec<RunReport>,
+}
+
+/// Combine two lock-stepped device reports into the heterogeneous view:
+/// per superstep, execution time is "determined by the slower device", and
+/// communication is the exchange time (equal on both sides).
+pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunReport {
+    let steps = dev0
+        .steps
+        .iter()
+        .zip(&dev1.steps)
+        .map(|(a, b)| {
+            let slower = if a.times.total >= b.times.total { a } else { b };
+            StepReport {
+                step: a.step,
+                times: slower.times,
+                comm_time: a.comm_time.max(b.comm_time),
+                wall: a.wall.max(b.wall),
+                counters: {
+                    let mut c = a.counters.clone();
+                    c.accumulate(&b.counters);
+                    c
+                },
+            }
+        })
+        .collect();
+    RunReport {
+        app: app.to_string(),
+        device: "CPU-MIC".to_string(),
+        mode: "cpu-mic".to_string(),
+        steps,
+        wall: dev0.wall.max(dev1.wall),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(total: f64, comm: f64) -> StepReport {
+        StepReport {
+            times: PhaseTimes {
+                gen: total / 2.0,
+                process: total / 4.0,
+                update: total / 4.0,
+                total,
+                ..Default::default()
+            },
+            comm_time: comm,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = RunReport {
+            steps: vec![step(1.0, 0.1), step(2.0, 0.2)],
+            ..Default::default()
+        };
+        assert!((r.sim_exec() - 3.0).abs() < 1e-12);
+        assert!((r.sim_comm() - 0.3).abs() < 1e-12);
+        assert!((r.sim_total() - 3.3).abs() < 1e-12);
+        assert!((r.sim_process() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hetero_combination_takes_slower_device() {
+        let a = RunReport {
+            steps: vec![step(1.0, 0.1), step(5.0, 0.1)],
+            ..Default::default()
+        };
+        let b = RunReport {
+            steps: vec![step(2.0, 0.1), step(1.0, 0.1)],
+            ..Default::default()
+        };
+        let c = combine_hetero("x", &a, &b);
+        assert!((c.sim_exec() - 7.0).abs() < 1e-12, "max(1,2) + max(5,1)");
+        assert_eq!(c.device, "CPU-MIC");
+    }
+
+    #[test]
+    fn summary_is_one_line() {
+        let r = RunReport {
+            app: "sssp".into(),
+            device: "CPU".into(),
+            mode: "lock".into(),
+            steps: vec![step(1.0, 0.0)],
+            wall: 0.01,
+        };
+        let s = r.summary();
+        assert!(s.contains("sssp"));
+        assert!(!s.contains('\n'));
+    }
+}

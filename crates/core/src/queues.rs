@@ -1,0 +1,232 @@
+//! Single-producer single-consumer message queues for the pipelined engine.
+//!
+//! "This strategy guarantees that each message queue is only written by only
+//! one thread, as well as read by only one thread." Each (worker, mover)
+//! pair owns one bounded ring: the worker pushes generated messages, the
+//! mover drains them into the condensed static buffer. Built directly on
+//! atomics (acquire/release head/tail — the classic SPSC ring of *Rust
+//! Atomics and Locks* ch. 5), no per-message locking anywhere.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A bounded SPSC ring buffer.
+pub struct SpscQueue<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cap: usize,
+    /// Next slot to read (owned by the consumer).
+    head: AtomicUsize,
+    /// Next slot to write (owned by the producer).
+    tail: AtomicUsize,
+    closed: AtomicBool,
+}
+
+// SAFETY: the SPSC discipline (one producer thread, one consumer thread)
+// is enforced by the split into Producer/Consumer handles below.
+unsafe impl<T: Send> Send for SpscQueue<T> {}
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    /// Create a queue with capacity `cap` (rounded up to at least 2).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(2);
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpscQueue {
+            slots,
+            cap,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Push one item, spinning (with yields) while the ring is full.
+    /// Producer side only.
+    ///
+    /// # Safety
+    /// Must be called from exactly one producer thread.
+    pub unsafe fn push(&self, item: T) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) < self.cap {
+                break;
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        // SAFETY: slot `tail % cap` is free (tail - head < cap) and only
+        // this producer writes tails.
+        (*self.slots[tail % self.cap].get()).write(item);
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Pop up to `max` items into `out`. Consumer side only. Returns the
+    /// number popped.
+    ///
+    /// # Safety
+    /// Must be called from exactly one consumer thread.
+    pub unsafe fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let avail = tail.wrapping_sub(head).min(max);
+        for i in 0..avail {
+            // SAFETY: slots head..head+avail were published by the producer.
+            let v = (*self.slots[(head + i) % self.cap].get()).assume_init_read();
+            out.push(v);
+        }
+        self.head.store(head.wrapping_add(avail), Ordering::Release);
+        avail
+    }
+
+    /// Mark the producer as finished.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// True when the producer closed the queue *and* everything was popped.
+    pub fn is_drained(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+            && self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+    }
+}
+
+impl<T> Drop for SpscQueue<T> {
+    fn drop(&mut self) {
+        // Drop any unconsumed items.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // SAFETY: slots head..tail hold initialized values; we have
+            // exclusive access in drop.
+            unsafe { (*self.slots[i % self.cap].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The queue matrix for one pipelined generation phase: `workers × movers`
+/// queues, indexed `[worker][mover]`.
+pub struct QueueMatrix<T> {
+    queues: Vec<SpscQueue<T>>,
+    /// Worker (producer) count.
+    pub workers: usize,
+    /// Mover (consumer) count.
+    pub movers: usize,
+}
+
+impl<T> QueueMatrix<T> {
+    /// Allocate the matrix with per-queue capacity `cap`.
+    pub fn new(workers: usize, movers: usize, cap: usize) -> Self {
+        let workers = workers.max(1);
+        let movers = movers.max(1);
+        QueueMatrix {
+            queues: (0..workers * movers).map(|_| SpscQueue::new(cap)).collect(),
+            workers,
+            movers,
+        }
+    }
+
+    /// Queue written by `worker` and read by `mover`.
+    #[inline(always)]
+    pub fn queue(&self, worker: usize, mover: usize) -> &SpscQueue<T> {
+        &self.queues[worker * self.movers + mover]
+    }
+
+    /// Close all queues produced by `worker`.
+    pub fn close_worker(&self, worker: usize) {
+        for m in 0..self.movers {
+            self.queue(worker, m).close();
+        }
+    }
+
+    /// True when every queue feeding `mover` is closed and empty.
+    pub fn mover_done(&self, mover: usize) -> bool {
+        (0..self.workers).all(|w| self.queue(w, mover).is_drained())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_single_thread() {
+        let q = SpscQueue::new(8);
+        // SAFETY: one thread is trivially a single producer and consumer.
+        unsafe {
+            for i in 0..5 {
+                q.push(i);
+            }
+            let mut out = Vec::new();
+            assert_eq!(q.pop_batch(&mut out, 3), 3);
+            assert_eq!(out, vec![0, 1, 2]);
+            assert_eq!(q.pop_batch(&mut out, 10), 2);
+            assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_order_and_count() {
+        let q = SpscQueue::new(16);
+        let n = 100_000u64;
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..n {
+                    // SAFETY: single producer thread.
+                    unsafe { q.push(i) };
+                }
+                q.close();
+            });
+            let mut got = Vec::new();
+            while !q.is_drained() {
+                // SAFETY: single consumer thread.
+                unsafe { q.pop_batch(&mut got, 64) };
+            }
+            assert_eq!(got.len(), n as usize);
+            for (i, &v) in got.iter().enumerate() {
+                assert_eq!(v, i as u64);
+            }
+        });
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_items() {
+        let q = SpscQueue::new(8);
+        // SAFETY: single thread.
+        unsafe {
+            q.push(String::from("a"));
+            q.push(String::from("b"));
+        }
+        drop(q); // must not leak or double-free (checked under miri/asan)
+    }
+
+    #[test]
+    fn matrix_routing_and_termination() {
+        let m = QueueMatrix::<u32>::new(2, 3, 8);
+        // SAFETY: this test is single-threaded; the SPSC roles are disjoint
+        // per queue.
+        unsafe {
+            m.queue(0, 1).push(11);
+            m.queue(1, 1).push(21);
+        }
+        assert!(!m.mover_done(1));
+        m.close_worker(0);
+        m.close_worker(1);
+        assert!(!m.mover_done(1), "queued items still pending");
+        let mut out = Vec::new();
+        unsafe {
+            m.queue(0, 1).pop_batch(&mut out, 10);
+            m.queue(1, 1).pop_batch(&mut out, 10);
+        }
+        assert_eq!(out, vec![11, 21]);
+        assert!(m.mover_done(1));
+        assert!(
+            m.mover_done(0),
+            "untouched movers with closed producers are done"
+        );
+    }
+}

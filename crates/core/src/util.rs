@@ -1,0 +1,111 @@
+//! Small unsafe utilities for phase-parallel engines.
+
+use std::cell::UnsafeCell;
+
+/// A shared mutable slice for phases where tasks write to provably disjoint
+/// indices (CSB cells claimed by atomic cursors; vertex values updated by
+//  their unique owning column; reduced-message slots per position).
+///
+/// # Safety contract
+/// Callers must guarantee that no two threads write the same index during a
+/// phase and that reads of an index do not race with a write to it. The
+/// engines uphold this via the buffer's unique-slot allocation and the
+/// one-vertex-per-column ownership argument documented at each call site.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: access discipline is enforced by callers per the contract above.
+unsafe impl<'a, T: Send> Send for SharedSlice<'a, T> {}
+unsafe impl<'a, T: Send> Sync for SharedSlice<'a, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a uniquely borrowed slice.
+    pub fn new(data: &'a mut [T]) -> Self {
+        // SAFETY: &mut guarantees unique access; UnsafeCell<T> has the same
+        // layout as T.
+        let cells = unsafe { &*(data as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { data: cells }
+    }
+
+    /// Length of the slice.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the slice is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `i`.
+    ///
+    /// # Safety
+    /// No concurrent access to index `i` (see type-level contract).
+    #[inline(always)]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        *self.data[i].get() = value;
+    }
+
+    /// Read the value at `i`.
+    ///
+    /// # Safety
+    /// No concurrent write to index `i`.
+    #[inline(always)]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        *self.data[i].get()
+    }
+
+    /// Get a mutable reference to index `i`.
+    ///
+    /// # Safety
+    /// No concurrent access to index `i`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline(always)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.data[i].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_device::pool::run_parallel;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0u64; 64];
+        {
+            let shared = SharedSlice::new(&mut data);
+            run_parallel(8, |tid| {
+                for i in 0..8 {
+                    let idx = tid * 8 + i;
+                    // SAFETY: each tid owns indices tid*8..tid*8+8.
+                    unsafe { shared.write(idx, (idx * 3) as u64) };
+                }
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i * 3) as u64);
+        }
+    }
+
+    #[test]
+    fn read_back_and_get_mut() {
+        let mut data = vec![1i32, 2, 3];
+        let shared = SharedSlice::new(&mut data);
+        // SAFETY: single-threaded access.
+        unsafe {
+            assert_eq!(shared.read(1), 2);
+            *shared.get_mut(1) += 10;
+            assert_eq!(shared.read(1), 12);
+        }
+        assert_eq!(shared.len(), 3);
+        assert!(!shared.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Load-balance metrics over per-worker work distributions.
+
+/// Summary of how evenly work was distributed across workers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BalanceStats {
+    /// Heaviest worker's share of total work.
+    pub max_share: f64,
+    /// `max / mean` — 1.0 is perfect balance.
+    pub imbalance: f64,
+    /// Coefficient of variation across workers.
+    pub cv: f64,
+}
+
+/// Compute balance statistics from per-worker work amounts.
+pub fn balance_stats(per_worker: &[f64]) -> BalanceStats {
+    if per_worker.is_empty() {
+        return BalanceStats {
+            max_share: 0.0,
+            imbalance: 1.0,
+            cv: 0.0,
+        };
+    }
+    let total: f64 = per_worker.iter().sum();
+    let n = per_worker.len() as f64;
+    let mean = total / n;
+    let max = per_worker.iter().cloned().fold(0.0f64, f64::max);
+    let var = per_worker
+        .iter()
+        .map(|&w| (w - mean) * (w - mean))
+        .sum::<f64>()
+        / n;
+    BalanceStats {
+        max_share: if total > 0.0 { max / total } else { 0.0 },
+        imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance() {
+        let s = balance_stats(&[5.0, 5.0, 5.0, 5.0]);
+        assert!((s.imbalance - 1.0).abs() < 1e-12);
+        assert!((s.max_share - 0.25).abs() < 1e-12);
+        assert!(s.cv.abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_balance() {
+        let s = balance_stats(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((s.imbalance - 4.0).abs() < 1e-12);
+        assert!((s.max_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        assert_eq!(balance_stats(&[]).imbalance, 1.0);
+        assert_eq!(balance_stats(&[0.0, 0.0]).imbalance, 1.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Event counters filled by the engines and consumed by the cost model.
+//!
+//! Counters are collected per superstep. Phase-level counts come in two
+//! flavours: aggregate totals (message counts, bytes) and *per-chunk*
+//! records, which let the cost model replay the runtime's dynamic scheduler
+//! to obtain a load-balance-aware makespan instead of assuming perfect
+//! parallel efficiency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Raw work record for one generation-phase scheduling chunk.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GenChunk {
+    /// Active vertices scanned in this chunk.
+    pub vertices: u64,
+    /// Out-edges traversed.
+    pub edges: u64,
+    /// Messages produced.
+    pub msgs: u64,
+}
+
+/// Raw work record for one processing-phase scheduling chunk (a batch of
+/// vector arrays).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProcChunk {
+    /// Vector-array rows reduced.
+    pub rows: u64,
+    /// Messages contained in those rows.
+    pub msgs: u64,
+    /// Bubble cells filled with the reduction identity.
+    pub holes: u64,
+    /// Occupied columns finalized.
+    pub columns: u64,
+}
+
+/// Insertion contention profile for one superstep: how concentrated the
+/// destination columns were. Built from the per-column message counts the
+/// buffer tracks anyway (its insertion cursors).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InsertProfile {
+    /// Total messages inserted.
+    pub total: u64,
+    /// Messages in the hottest single column — a lower bound on
+    /// serialization for any per-column locking scheme.
+    pub max_column: u64,
+    /// Sum over columns of `count²`; `sum_sq / total²` is the probability
+    /// that two random insertions collide on a column, which scales the
+    /// contended-atomic cost.
+    pub sum_sq: f64,
+}
+
+impl InsertProfile {
+    /// Build from per-column counts.
+    pub fn from_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        let mut p = InsertProfile::default();
+        for c in counts {
+            p.record(c);
+        }
+        p
+    }
+
+    /// Record one column's message count.
+    #[inline]
+    pub fn record(&mut self, count: u64) {
+        self.total += count;
+        self.max_column = self.max_column.max(count);
+        self.sum_sq += (count as f64) * (count as f64);
+    }
+
+    /// Probability that two uniformly random insertions target the same
+    /// column (0 when fewer than 2 messages).
+    pub fn collision_probability(&self) -> f64 {
+        if self.total < 2 {
+            0.0
+        } else {
+            self.sum_sq / (self.total as f64 * self.total as f64)
+        }
+    }
+
+    /// Merge another profile (e.g. across vertex groups).
+    pub fn merge(&mut self, other: &InsertProfile) {
+        self.total += other.total;
+        self.max_column = self.max_column.max(other.max_column);
+        self.sum_sq += other.sum_sq;
+    }
+}
+
+/// All events tallied for one superstep on one device.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepCounters {
+    // -- message generation --
+    /// Vertices that were active and scanned.
+    pub active_vertices: u64,
+    /// Out-edges traversed by active vertices.
+    pub gen_edges: u64,
+    /// Messages destined to vertices on this device.
+    pub msgs_local: u64,
+    /// Messages destined to the peer device.
+    pub msgs_remote: u64,
+    /// Per-chunk generation records, for the makespan replay.
+    pub gen_chunks: Vec<GenChunk>,
+    /// Insertion contention profile (locking engine; also drives the flat
+    /// engine's per-vertex lock contention).
+    pub insert_profile: InsertProfile,
+    /// Messages routed through pipeline queues, per mover id (empty for
+    /// non-pipelined runs).
+    pub mover_msgs: Vec<u64>,
+    /// Columns newly allocated this step (each takes one group lock).
+    pub column_allocs: u64,
+    /// Buffer cells reset at the start of the step (index arrays, cursors).
+    pub reset_cells: u64,
+
+    // -- message processing --
+    /// Vector-array rows reduced (lane path).
+    pub proc_rows: u64,
+    /// Messages reduced this step.
+    pub proc_msgs: u64,
+    /// Bubble cells filled with the reduction identity before lane
+    /// reduction ("bubbles in the lanes due to the difference in the number
+    /// of received messages for each vertex").
+    pub holes_filled: u64,
+    /// Per-chunk processing records.
+    pub proc_chunks: Vec<ProcChunk>,
+    /// Columns that held at least one message.
+    pub occupied_columns: u64,
+
+    // -- vertex update --
+    /// Vertices whose update function ran.
+    pub updated_vertices: u64,
+    /// Vertices left active for the next superstep.
+    pub next_active: u64,
+
+    // -- memory traffic (bytes touched per phase) --
+    /// Bytes read+written during generation.
+    pub bytes_gen: u64,
+    /// Bytes read+written during processing.
+    pub bytes_proc: u64,
+    /// Bytes read+written during update.
+    pub bytes_update: u64,
+
+    // -- communication --
+    /// Remote messages before combining.
+    pub remote_before_combine: u64,
+    /// Remote messages actually sent after combining.
+    pub remote_after_combine: u64,
+    /// Wire bytes exchanged with the peer.
+    pub comm_bytes: u64,
+}
+
+impl StepCounters {
+    /// Total messages generated.
+    pub fn msgs_total(&self) -> u64 {
+        self.msgs_local + self.msgs_remote
+    }
+
+    /// Fold another step's counters into this one (used to total a run).
+    pub fn accumulate(&mut self, other: &StepCounters) {
+        self.active_vertices += other.active_vertices;
+        self.gen_edges += other.gen_edges;
+        self.msgs_local += other.msgs_local;
+        self.msgs_remote += other.msgs_remote;
+        self.gen_chunks.extend_from_slice(&other.gen_chunks);
+        self.insert_profile.merge(&other.insert_profile);
+        if self.mover_msgs.len() < other.mover_msgs.len() {
+            self.mover_msgs.resize(other.mover_msgs.len(), 0);
+        }
+        for (a, b) in self.mover_msgs.iter_mut().zip(&other.mover_msgs) {
+            *a += b;
+        }
+        self.column_allocs += other.column_allocs;
+        self.reset_cells += other.reset_cells;
+        self.proc_rows += other.proc_rows;
+        self.proc_msgs += other.proc_msgs;
+        self.holes_filled += other.holes_filled;
+        self.proc_chunks.extend_from_slice(&other.proc_chunks);
+        self.occupied_columns += other.occupied_columns;
+        self.updated_vertices += other.updated_vertices;
+        self.next_active += other.next_active;
+        self.bytes_gen += other.bytes_gen;
+        self.bytes_proc += other.bytes_proc;
+        self.bytes_update += other.bytes_update;
+        self.remote_before_combine += other.remote_before_combine;
+        self.remote_after_combine += other.remote_after_combine;
+        self.comm_bytes += other.comm_bytes;
+    }
+}
+
+/// A set of atomic tallies shared by worker threads during one phase, folded
+/// into [`StepCounters`] afterwards.
+#[derive(Debug, Default)]
+pub struct AtomicTally {
+    /// Generic counter A (phase-specific meaning).
+    pub a: AtomicU64,
+    /// Generic counter B.
+    pub b: AtomicU64,
+    /// Generic counter C.
+    pub c: AtomicU64,
+}
+
+impl AtomicTally {
+    /// Add to counter A.
+    #[inline]
+    pub fn add_a(&self, v: u64) {
+        self.a.fetch_add(v, Ordering::Relaxed);
+    }
+    /// Add to counter B.
+    #[inline]
+    pub fn add_b(&self, v: u64) {
+        self.b.fetch_add(v, Ordering::Relaxed);
+    }
+    /// Add to counter C.
+    #[inline]
+    pub fn add_c(&self, v: u64) {
+        self.c.fetch_add(v, Ordering::Relaxed);
+    }
+    /// Snapshot all three counters.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.a.load(Ordering::Relaxed),
+            self.b.load(Ordering::Relaxed),
+            self.c.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_profile_from_counts() {
+        let p = InsertProfile::from_counts([3u64, 1, 0, 4]);
+        assert_eq!(p.total, 8);
+        assert_eq!(p.max_column, 4);
+        assert_eq!(p.sum_sq, 9.0 + 1.0 + 16.0);
+    }
+
+    #[test]
+    fn collision_probability_bounds() {
+        // All messages to one column: collisions certain.
+        let hot = InsertProfile::from_counts([100u64]);
+        assert!((hot.collision_probability() - 1.0).abs() < 1e-9);
+        // Perfectly spread: probability 1/C.
+        let spread = InsertProfile::from_counts(vec![1u64; 100]);
+        assert!((spread.collision_probability() - 0.01).abs() < 1e-9);
+        // Degenerate.
+        assert_eq!(
+            InsertProfile::from_counts([1u64]).collision_probability(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn profile_merge_accumulates() {
+        let mut a = InsertProfile::from_counts([2u64, 2]);
+        let b = InsertProfile::from_counts([5u64]);
+        a.merge(&b);
+        assert_eq!(a.total, 9);
+        assert_eq!(a.max_column, 5);
+        assert_eq!(a.sum_sq, 4.0 + 4.0 + 25.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = StepCounters {
+            gen_edges: 10,
+            msgs_local: 5,
+            mover_msgs: vec![1, 2],
+            gen_chunks: vec![GenChunk {
+                vertices: 1,
+                edges: 10,
+                msgs: 5,
+            }],
+            ..Default::default()
+        };
+        let b = StepCounters {
+            gen_edges: 7,
+            msgs_remote: 3,
+            mover_msgs: vec![4, 5, 6],
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.gen_edges, 17);
+        assert_eq!(a.msgs_total(), 8);
+        assert_eq!(a.mover_msgs, vec![5, 7, 6]);
+        assert_eq!(a.gen_chunks.len(), 1);
+    }
+
+    #[test]
+    fn atomic_tally_concurrent() {
+        let t = AtomicTally::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        t.add_a(1);
+                        t.add_b(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.snapshot(), (4000, 8000, 0));
+    }
+}

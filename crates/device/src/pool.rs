@@ -1,0 +1,93 @@
+//! Scoped thread-pool helpers.
+//!
+//! The engines execute with real host threads (the result computation is
+//! genuine); only *timing* goes through the cost model. These helpers wrap
+//! `std::thread::scope` with the spawn-per-phase pattern the engines use.
+//! `host_threads` bounds the real parallelism to the machine we run on,
+//! independent of the simulated device's thread count.
+
+/// Number of host threads to actually run with (never more than the host
+/// has, regardless of the simulated device's width).
+pub fn host_threads(requested: usize) -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.clamp(1, avail)
+}
+
+/// Run `f(thread_id)` on `threads` scoped threads and wait for all.
+pub fn run_parallel<F>(threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let f = &f;
+            s.spawn(move || f(tid));
+        }
+    });
+}
+
+/// Run `f(thread_id) -> R` on `threads` scoped threads and collect results
+/// in thread-id order.
+pub fn run_parallel_collect<F, R>(threads: usize, f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R + Sync,
+    R: Send,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let f = &f;
+                s.spawn(move || f(tid))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_parallel_visits_every_tid() {
+        let seen = AtomicUsize::new(0);
+        run_parallel(8, |tid| {
+            seen.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0xFF);
+    }
+
+    #[test]
+    fn collect_preserves_tid_order() {
+        let out = run_parallel_collect(6, |tid| tid * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let out = run_parallel_collect(1, |tid| tid);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn host_threads_clamps() {
+        assert_eq!(host_threads(0), 1);
+        let avail = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(host_threads(100_000), avail);
+    }
+}

@@ -1,0 +1,139 @@
+//! Whole-graph analysis utilities (used by `phigraph info` and workload
+//! characterization in the benches).
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+use std::collections::VecDeque;
+
+/// BFS levels from `src`, treating the graph as undirected (the transpose
+/// must be supplied so no per-call transposition is needed).
+fn undirected_bfs(g: &Csr, rev: &Csr, src: VertexId) -> Vec<i32> {
+    let mut level = vec![-1i32; g.num_vertices()];
+    let mut q = VecDeque::new();
+    level[src as usize] = 0;
+    q.push_back(src);
+    while let Some(v) = q.pop_front() {
+        for &u in g.neighbors(v).iter().chain(rev.neighbors(v)) {
+            if level[u as usize] < 0 {
+                level[u as usize] = level[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    level
+}
+
+/// Lower-bound estimate of the (undirected) diameter by the double-sweep
+/// heuristic: BFS from `start`, then BFS from the farthest vertex found.
+/// Exact on trees; a tight lower bound in practice elsewhere.
+pub fn diameter_estimate(g: &Csr, start: VertexId) -> u32 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let rev = g.transpose();
+    let first = undirected_bfs(g, &rev, start);
+    let far = first
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &l)| l)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    let second = undirected_bfs(g, &rev, far);
+    second.iter().copied().max().unwrap_or(0).max(0) as u32
+}
+
+/// Degree assortativity (Pearson correlation of out-degrees across edge
+/// endpoints): positive = hubs link to hubs, negative = hubs link to
+/// leaves (typical for social networks and stars).
+pub fn degree_assortativity(g: &Csr) -> f64 {
+    let m = g.num_edges();
+    if m < 2 {
+        return 0.0;
+    }
+    let deg = g.out_degrees();
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for (s, d) in g.edge_iter() {
+        let x = deg[s as usize] as f64;
+        let y = deg[d as usize] as f64;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    let n = m as f64;
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n) * (sx / n);
+    let vy = syy / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Fraction of edges whose reverse edge also exists (1.0 for symmetrized
+/// graphs, ~0 for DAGs).
+pub fn reciprocity(g: &Csr) -> f64 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    let mut edges: Vec<(VertexId, VertexId)> = g.edge_iter().collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let mutual = edges
+        .iter()
+        .filter(|&&(s, d)| edges.binary_search(&(d, s)).is_ok())
+        .count();
+    mutual as f64 / edges.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::grid::grid;
+    use crate::generators::small::{chain, cycle, star};
+
+    #[test]
+    fn chain_diameter_is_exact() {
+        assert_eq!(diameter_estimate(&chain(10), 4), 9);
+    }
+
+    #[test]
+    fn cycle_diameter_is_half() {
+        assert_eq!(diameter_estimate(&cycle(10), 0), 5);
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        // 5x7 grid: diameter = (5-1) + (7-1) = 10.
+        assert_eq!(diameter_estimate(&grid(5, 7, false), 0), 10);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        // Center (degree n-1) links only to leaves (degree 0).
+        let a = degree_assortativity(&star(20));
+        // All sources have the same degree -> zero variance on one side.
+        assert!(a.abs() < 1e-9);
+        // Symmetrize to see the negative correlation.
+        let (sym, _) = star(20).symmetrized_weighted();
+        assert!(degree_assortativity(&sym) < -0.5);
+    }
+
+    #[test]
+    fn reciprocity_extremes() {
+        assert_eq!(reciprocity(&chain(5)), 0.0);
+        let (sym, _) = cycle(6).symmetrized_weighted();
+        assert_eq!(reciprocity(&sym), 1.0);
+    }
+
+    #[test]
+    fn empty_graph_degenerates_safely() {
+        let g = Csr::from_parts(vec![0], vec![]);
+        assert_eq!(diameter_estimate(&g, 0), 0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+        assert_eq!(reciprocity(&g), 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Incremental graph construction.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+
+/// A convenience builder that grows the vertex set automatically and can
+/// deduplicate edges before producing a [`Csr`].
+/// # Examples
+///
+/// ```
+/// use phigraph_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new().dedup(true);
+/// b.add_edge(0, 3).add_edge(3, 1).add_edge(0, 3);
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 2); // duplicate removed
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<f32>,
+    weighted: bool,
+    max_vertex: Option<VertexId>,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enable duplicate-edge removal at build time.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Reserve space for `n` edges.
+    pub fn with_edge_capacity(mut self, n: usize) -> Self {
+        self.edges.reserve(n);
+        self
+    }
+
+    /// Force the vertex count to at least `n` (isolated trailing vertices
+    /// are otherwise dropped).
+    pub fn ensure_vertices(&mut self, n: usize) -> &mut Self {
+        if n > 0 {
+            let id = (n - 1) as VertexId;
+            self.max_vertex = Some(self.max_vertex.map_or(id, |m| m.max(id)));
+        }
+        self
+    }
+
+    /// Add an unweighted directed edge.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        assert!(!self.weighted, "builder already holds weighted edges");
+        self.track(src, dst);
+        self.edges.push((src, dst));
+        self
+    }
+
+    /// Add a weighted directed edge.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, w: f32) -> &mut Self {
+        assert!(
+            self.weighted || self.edges.is_empty(),
+            "builder already holds unweighted edges"
+        );
+        self.weighted = true;
+        self.track(src, dst);
+        self.edges.push((src, dst));
+        self.weights.push(w);
+        self
+    }
+
+    fn track(&mut self, src: VertexId, dst: VertexId) {
+        let hi = src.max(dst);
+        self.max_vertex = Some(self.max_vertex.map_or(hi, |m| m.max(hi)));
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Produce the CSR graph.
+    pub fn build(self) -> Csr {
+        let n = self.max_vertex.map_or(0, |m| m as usize + 1);
+        let mut el = EdgeList {
+            num_vertices: n,
+            edges: self.edges,
+            weights: if self.weighted {
+                Some(self.weights)
+            } else {
+                None
+            },
+        };
+        if self.dedup {
+            el.sort_dedup();
+        }
+        Csr::from_edge_list(&el)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_infers_vertex_count() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 5).add_edge(5, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut b = GraphBuilder::new().dedup(true);
+        b.add_edge(0, 1).add_edge(0, 1).add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn ensure_vertices_keeps_isolated_tail() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.ensure_vertices(10);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn weighted_edges_carry_through() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 1, 3.5);
+        b.add_weighted_edge(1, 2, 1.5);
+        let g = b.build();
+        assert_eq!(g.weight(g.edge_range(0).start), 3.5);
+        assert_eq!(g.weight(g.edge_range(1).start), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weighted")]
+    fn mixing_weighted_and_unweighted_panics() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.add_weighted_edge(1, 2, 1.0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,383 @@
+//! Compressed Sparse Row graph storage.
+//!
+//! Mirrors the paper's Figure 1: a `vertices` offset array with a trailing
+//! "dummy vertex, offset = num_edges", and a flat `edges` target array.
+//! Optional per-edge weights ride alongside (SSSP). [`Csr::transpose`]
+//! produces the in-edge view needed to size the condensed static buffer
+//! (which is laid out by in-degree).
+
+use crate::edge_list::EdgeList;
+use crate::types::{EdgeIdx, VertexId};
+
+/// A directed graph in CSR form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for vertex `v`'s
+    /// out-edges; `offsets[num_vertices] == num_edges` (the dummy vertex).
+    pub offsets: Vec<EdgeIdx>,
+    /// Edge targets, grouped by source.
+    pub targets: Vec<VertexId>,
+    /// Optional edge weights, parallel to `targets`.
+    pub weights: Option<Vec<f32>>,
+}
+
+impl Csr {
+    /// Build from an edge list. Edges are counting-sorted by source (stable,
+    /// O(V + E)); duplicates are kept as-is.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use phigraph_graph::{Csr, EdgeList};
+    /// let mut el = EdgeList::new(3);
+    /// el.push(0, 1);
+    /// el.push(0, 2);
+    /// el.push(2, 1);
+    /// let g = Csr::from_edge_list(&el);
+    /// assert_eq!(g.neighbors(0), &[1, 2]);
+    /// assert_eq!(g.in_degrees(), vec![0, 2, 1]);
+    /// ```
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let n = el.num_vertices;
+        let m = el.edges.len();
+        let mut offsets = vec![0usize; n + 1];
+        for &(s, _) in &el.edges {
+            offsets[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = el.weights.as_ref().map(|_| vec![0f32; m]);
+        for (i, &(s, d)) in el.edges.iter().enumerate() {
+            let slot = cursor[s as usize];
+            cursor[s as usize] += 1;
+            targets[slot] = d;
+            if let (Some(w_out), Some(w_in)) = (&mut weights, &el.weights) {
+                w_out[slot] = w_in[i];
+            }
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Build an unweighted CSR directly from parts. Panics if the offsets
+    /// are malformed.
+    pub fn from_parts(offsets: Vec<EdgeIdx>, targets: Vec<VertexId>) -> Self {
+        let csr = Csr {
+            offsets,
+            targets,
+            weights: None,
+        };
+        csr.validate().expect("invalid CSR parts");
+        csr
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline(always)]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline(always)]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge index range of `v`'s out-edges (for weight lookups).
+    #[inline(always)]
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<EdgeIdx> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Weight of edge index `e` (1.0 when the graph is unweighted).
+    #[inline(always)]
+    pub fn weight(&self, e: EdgeIdx) -> f32 {
+        match &self.weights {
+            Some(w) => w[e],
+            None => 1.0,
+        }
+    }
+
+    /// Iterate all `(src, dst)` pairs.
+    pub fn edge_iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&d| (v, d)))
+    }
+
+    /// In-degree of every vertex (one counting pass over the targets).
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.num_vertices()];
+        for &d in &self.targets {
+            deg[d as usize] += 1;
+        }
+        deg
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices())
+            .map(|v| (self.offsets[v + 1] - self.offsets[v]) as u32)
+            .collect()
+    }
+
+    /// The transposed graph (edge directions reversed, weights carried).
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut offsets = vec![0usize; n + 1];
+        for &d in &self.targets {
+            offsets[d as usize + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; self.num_edges()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.num_edges()]);
+        for s in 0..n as VertexId {
+            for e in self.edge_range(s) {
+                let d = self.targets[e] as usize;
+                let slot = cursor[d];
+                cursor[d] += 1;
+                targets[slot] = s;
+                if let (Some(w_out), Some(w_in)) = (&mut weights, &self.weights) {
+                    w_out[slot] = w_in[e];
+                }
+            }
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// An undirected (symmetrized) version with unit weights collapsed:
+    /// used by the multilevel partitioner, which operates on undirected
+    /// connectivity. Parallel edges between the same pair are merged and
+    /// their multiplicity returned as edge weights.
+    pub fn symmetrized_weighted(&self) -> (Csr, Vec<f32>) {
+        let n = self.num_vertices();
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.num_edges() * 2);
+        for (s, d) in self.edge_iter() {
+            if s != d {
+                pairs.push((s.min(d), s.max(d)));
+            }
+        }
+        pairs.sort_unstable();
+        // Merge multiplicities.
+        let mut merged: Vec<((VertexId, VertexId), f32)> = Vec::new();
+        for p in pairs {
+            match merged.last_mut() {
+                Some((q, w)) if *q == p => *w += 1.0,
+                _ => merged.push((p, 1.0)),
+            }
+        }
+        let mut el = EdgeList::new(n);
+        for &((a, b), w) in &merged {
+            el.push_weighted(a, b, w);
+            el.push_weighted(b, a, w);
+        }
+        let csr = Csr::from_edge_list(&el);
+        let w = csr.weights.clone().unwrap_or_default();
+        (
+            Csr {
+                offsets: csr.offsets,
+                targets: csr.targets,
+                weights: None,
+            },
+            w,
+        )
+    }
+
+    /// Structural validation: monotone offsets, in-range targets, dummy
+    /// offset equals edge count.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.is_empty() {
+            return Err("offsets must contain at least the dummy entry".into());
+        }
+        if self.offsets[0] != 0 {
+            return Err("offsets[0] must be 0".into());
+        }
+        for v in 0..self.offsets.len() - 1 {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at vertex {v}"));
+            }
+        }
+        if *self.offsets.last().unwrap() != self.targets.len() {
+            return Err(format!(
+                "dummy offset {} != num_edges {}",
+                self.offsets.last().unwrap(),
+                self.targets.len()
+            ));
+        }
+        let n = self.num_vertices() as u64;
+        for &t in &self.targets {
+            if t as u64 >= n {
+                return Err(format!("target {t} out of range for {n} vertices"));
+            }
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.targets.len() {
+                return Err("weights length mismatch".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert back to an edge list.
+    pub fn to_edge_list(&self) -> EdgeList {
+        EdgeList {
+            num_vertices: self.num_vertices(),
+            edges: self.edge_iter().collect(),
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::small::paper_example;
+
+    fn small() -> Csr {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(0, 2);
+        el.push(2, 3);
+        el.push(3, 0);
+        Csr::from_edge_list(&el)
+    }
+
+    #[test]
+    fn from_edge_list_basic() {
+        let g = small();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert_eq!(g.out_degree(0), 2);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_example_matches_figure_1() {
+        let g = paper_example();
+        // Figure 1's arrays, verbatim.
+        assert_eq!(
+            g.offsets,
+            vec![0, 2, 5, 8, 8, 11, 12, 13, 14, 15, 19, 20, 22, 24, 26, 27, 28]
+        );
+        assert_eq!(
+            g.targets,
+            vec![
+                4, 5, 0, 2, 5, 3, 5, 7, 5, 8, 9, 2, 2, 2, 0, 4, 5, 6, 8, 11, 6, 9, 8, 13, 9, 12,
+                10, 7
+            ]
+        );
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_example_in_degrees_match_figure_3() {
+        let g = paper_example();
+        let indeg = g.in_degrees();
+        // Figure 3: sorted ids 5,2,8,9,0,4,6,7,3,10,11,12,13,1,14,15 with
+        // in-degrees 5,4,3,3,2,2,2,2,1,1,1,1,1,0,0,0.
+        assert_eq!(indeg[5], 5);
+        assert_eq!(indeg[2], 4);
+        assert_eq!(indeg[8], 3);
+        assert_eq!(indeg[9], 3);
+        assert_eq!(indeg[0], 2);
+        assert_eq!(indeg[1], 0);
+        assert_eq!(indeg[14], 0);
+        assert_eq!(indeg[15], 0);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = small();
+        let t = g.transpose();
+        assert_eq!(t.neighbors(0), &[3]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0]);
+        assert_eq!(t.neighbors(3), &[2]);
+        let tt = t.transpose();
+        // Transposing twice restores the edge multiset per vertex.
+        for v in 0..4 {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = tt.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(0, 1, 2.5);
+        el.push_weighted(1, 2, 7.0);
+        let g = Csr::from_edge_list(&el);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.weight(t.edge_range(1).start), 2.5);
+        assert_eq!(t.weight(t.edge_range(2).start), 7.0);
+    }
+
+    #[test]
+    fn symmetrized_merges_parallel_edges() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 0);
+        el.push(1, 2);
+        let g = Csr::from_edge_list(&el);
+        let (u, w) = g.symmetrized_weighted();
+        assert_eq!(u.num_edges(), 4); // (0,1),(1,0),(1,2),(2,1)
+                                      // The 0<->1 pair had multiplicity 2.
+        let e01 = u.edge_range(0).start;
+        assert_eq!(w[e01], 2.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_offsets() {
+        let bad = Csr {
+            offsets: vec![0, 2, 1],
+            targets: vec![0, 1],
+            weights: None,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn edge_iter_round_trips_through_edge_list() {
+        let g = paper_example();
+        let el = g.to_edge_list();
+        let g2 = Csr::from_edge_list(&el);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn unweighted_weight_is_one() {
+        let g = small();
+        assert_eq!(g.weight(0), 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Degree statistics.
+//!
+//! The partitioning experiments hinge on degree skew ("most graph datasets
+//! are power-law graphs … vertices with high out-degrees are together in a
+//! short range"), so the workload builders and benches report these
+//! statistics to demonstrate the synthetic graphs reproduce the property.
+
+use crate::csr::Csr;
+
+/// Summary statistics for a degree sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: u32,
+    /// Largest degree.
+    pub max: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean); >1 indicates heavy skew.
+    pub cv: f64,
+    /// Fraction of total degree mass held by the top 1% of vertices.
+    pub top1pct_share: f64,
+    /// Gini coefficient of the degree distribution (0 = uniform).
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Compute statistics for an arbitrary degree sequence.
+    pub fn from_degrees(degrees: &[u32]) -> Self {
+        if degrees.is_empty() {
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                cv: 0.0,
+                top1pct_share: 0.0,
+                gini: 0.0,
+            };
+        }
+        let n = degrees.len();
+        let total: u64 = degrees.iter().map(|&d| d as u64).sum();
+        let mean = total as f64 / n as f64;
+        let var = degrees
+            .iter()
+            .map(|&d| {
+                let x = d as f64 - mean;
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+
+        let mut sorted: Vec<u32> = degrees.to_vec();
+        sorted.sort_unstable();
+        let top = (n / 100).max(1);
+        let top_mass: u64 = sorted[n - top..].iter().map(|&d| d as u64).sum();
+        let top1pct_share = if total > 0 {
+            top_mass as f64 / total as f64
+        } else {
+            0.0
+        };
+
+        // Gini via the sorted-rank formula.
+        let gini = if total > 0 {
+            let weighted: f64 = sorted
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        } else {
+            0.0
+        };
+
+        DegreeStats {
+            min: *sorted.first().unwrap(),
+            max: *sorted.last().unwrap(),
+            mean,
+            cv,
+            top1pct_share,
+            gini,
+        }
+    }
+
+    /// Out-degree statistics of a graph.
+    pub fn out_degrees(g: &Csr) -> Self {
+        Self::from_degrees(&g.out_degrees())
+    }
+
+    /// In-degree statistics of a graph.
+    pub fn in_degrees(g: &Csr) -> Self {
+        Self::from_degrees(&g.in_degrees())
+    }
+}
+
+/// Histogram of degrees in log2 buckets: `bucket[i]` counts vertices with
+/// degree in `[2^i, 2^(i+1))`; bucket 0 also counts degree-0 vertices.
+pub fn log2_histogram(degrees: &[u32]) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for &d in degrees {
+        let b = if d <= 1 {
+            0
+        } else {
+            (32 - (d - 1).leading_zeros()) as usize
+        };
+        if b >= hist.len() {
+            hist.resize(b + 1, 0);
+        }
+        hist[b] += 1;
+    }
+    hist
+}
+
+/// Vertices holding the `k` largest degrees, descending.
+pub fn top_k(degrees: &[u32], k: usize) -> Vec<(u32, u32)> {
+    let mut pairs: Vec<(u32, u32)> = degrees
+        .iter()
+        .enumerate()
+        .map(|(v, &d)| (v as u32, d))
+        .collect();
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_degrees_have_zero_gini() {
+        let s = DegreeStats::from_degrees(&[4, 4, 4, 4]);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert!(s.gini.abs() < 1e-9);
+        assert!(s.cv.abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_degrees_show_high_share() {
+        let mut degrees = vec![1u32; 99];
+        degrees.push(1000);
+        let s = DegreeStats::from_degrees(&degrees);
+        assert!(s.top1pct_share > 0.9);
+        assert!(s.gini > 0.8);
+        assert!(s.cv > 5.0);
+    }
+
+    #[test]
+    fn empty_sequence_is_all_zero() {
+        let s = DegreeStats::from_degrees(&[]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn log2_histogram_buckets() {
+        let h = log2_histogram(&[0, 1, 2, 3, 4, 8, 9]);
+        // 0,1 -> bucket 0; 2 -> bucket 1; 3,4 -> bucket 2; 8 -> 3; 9 -> 4
+        assert_eq!(h, vec![2, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let t = top_k(&[5, 1, 9, 9, 2], 3);
+        assert_eq!(t, vec![(2, 9), (3, 9), (0, 5)]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Edge-list representation used during construction and I/O.
+
+use crate::types::VertexId;
+
+/// A directed graph as a flat list of `(src, dst)` pairs with optional
+/// per-edge `f32` weights (SSSP edge weights in the paper are "randomly
+/// generated weight value[s] for each edge").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeList {
+    /// Number of vertices (ids are `0..num_vertices`).
+    pub num_vertices: usize,
+    /// Directed edges.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional weights, parallel to `edges`.
+    pub weights: Option<Vec<f32>>,
+}
+
+impl EdgeList {
+    /// Create an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+        }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an unweighted edge.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!(
+            self.weights.is_none(),
+            "mixing weighted and unweighted edges"
+        );
+        self.edges.push((src, dst));
+    }
+
+    /// Add a weighted edge.
+    pub fn push_weighted(&mut self, src: VertexId, dst: VertexId, w: f32) {
+        let weights = self.weights.get_or_insert_with(Vec::new);
+        debug_assert_eq!(weights.len(), self.edges.len());
+        self.edges.push((src, dst));
+        weights.push(w);
+    }
+
+    /// Sort edges by `(src, dst)` and drop duplicate pairs (first weight
+    /// wins). Returns the number of duplicates removed.
+    pub fn sort_dedup(&mut self) -> usize {
+        let before = self.edges.len();
+        match &mut self.weights {
+            None => {
+                self.edges.sort_unstable();
+                self.edges.dedup();
+            }
+            Some(weights) => {
+                let mut zipped: Vec<((VertexId, VertexId), f32)> = self
+                    .edges
+                    .iter()
+                    .copied()
+                    .zip(weights.iter().copied())
+                    .collect();
+                zipped.sort_unstable_by_key(|a| a.0);
+                zipped.dedup_by_key(|e| e.0);
+                self.edges = zipped.iter().map(|e| e.0).collect();
+                *weights = zipped.iter().map(|e| e.1).collect();
+            }
+        }
+        before - self.edges.len()
+    }
+
+    /// Duplicate every edge in the reverse direction (the paper "converted
+    /// the undirected graph to a directed graph by duplicating each edge" for
+    /// DBLP). Self-loops are not duplicated. Weights are mirrored.
+    pub fn symmetrize(&mut self) {
+        let n = self.edges.len();
+        if let Some(weights) = &mut self.weights {
+            let snapshot: Vec<_> = self.edges[..n]
+                .iter()
+                .copied()
+                .zip(weights[..n].iter().copied())
+                .collect();
+            for ((s, d), w) in snapshot {
+                if s != d {
+                    self.edges.push((d, s));
+                    weights.push(w);
+                }
+            }
+        } else {
+            for i in 0..n {
+                let (s, d) = self.edges[i];
+                if s != d {
+                    self.edges.push((d, s));
+                }
+            }
+        }
+    }
+
+    /// Attach uniform random weights in `(lo, hi]` to every edge (the SSSP
+    /// workload preparation). Deterministic for a given seed.
+    pub fn randomize_weights(&mut self, lo: f32, hi: f32, seed: u64) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.weights = Some(
+            (0..self.edges.len())
+                .map(|_| {
+                    let w: f32 = rng.random_range(0.0..1.0);
+                    lo + (hi - lo) * w + f32::EPSILON
+                })
+                .collect(),
+        );
+    }
+
+    /// Validate that every endpoint is within range.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices as u64;
+        for &(s, d) in &self.edges {
+            if s as u64 >= n || d as u64 >= n {
+                return Err(format!("edge ({s}, {d}) out of range for {n} vertices"));
+            }
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.edges.len() {
+                return Err(format!(
+                    "weight count {} != edge count {}",
+                    w.len(),
+                    self.edges.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(1, 2);
+        assert_eq!(el.num_edges(), 2);
+        assert!(el.validate().is_ok());
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates() {
+        let mut el = EdgeList::new(3);
+        el.push(1, 2);
+        el.push(0, 1);
+        el.push(1, 2);
+        assert_eq!(el.sort_dedup(), 1);
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn sort_dedup_keeps_weights_parallel() {
+        let mut el = EdgeList::new(3);
+        el.push_weighted(1, 2, 5.0);
+        el.push_weighted(0, 1, 3.0);
+        el.push_weighted(1, 2, 7.0);
+        el.sort_dedup();
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(el.weights.as_ref().unwrap(), &vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn symmetrize_duplicates_edges_not_loops() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(2, 2);
+        el.symmetrize();
+        assert_eq!(el.edges, vec![(0, 1), (2, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn randomize_weights_deterministic_and_positive() {
+        let mut el = EdgeList::new(3);
+        el.push(0, 1);
+        el.push(1, 2);
+        el.randomize_weights(0.0, 10.0, 42);
+        let w1 = el.weights.clone().unwrap();
+        el.randomize_weights(0.0, 10.0, 42);
+        assert_eq!(el.weights.as_ref().unwrap(), &w1);
+        assert!(w1.iter().all(|&w| w > 0.0 && w <= 10.0 + 1e-5));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut el = EdgeList::new(2);
+        el.push(0, 5);
+        assert!(el.validate().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Barabási–Albert preferential attachment — an alternative power-law
+//! generator used by the partitioning ablation benches.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a Barabási–Albert graph: vertices arrive one at a time and
+/// attach `m` directed edges to existing vertices chosen proportionally to
+/// their current degree (implemented with the repeated-endpoint trick).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n > m && m >= 1, "need n > m >= 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    // Endpoint pool: each edge contributes both endpoints, so sampling a
+    // uniform pool element is degree-proportional sampling.
+    let mut pool: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 vertices.
+    for i in 0..=m {
+        for j in 0..i {
+            el.push(i as VertexId, j as VertexId);
+            pool.push(i as VertexId);
+            pool.push(j as VertexId);
+        }
+    }
+
+    for v in (m + 1)..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let pick = pool[rng.random_range(0..pool.len())];
+            if pick != v as VertexId && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &d in &chosen {
+            el.push(v as VertexId, d);
+            pool.push(v as VertexId);
+            pool.push(d);
+        }
+    }
+    el.sort_dedup();
+    Csr::from_edge_list(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn sizes_are_as_expected() {
+        let g = barabasi_albert(500, 4, 2);
+        assert_eq!(g.num_vertices(), 500);
+        // Seed clique + m edges per arrival.
+        let expected = 4 * 5 / 2 + (500 - 5) * 4;
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn in_degrees_are_heavy_tailed() {
+        let g = barabasi_albert(2000, 4, 7);
+        let s = DegreeStats::in_degrees(&g);
+        assert!(s.max as f64 > 8.0 * s.mean, "max {} mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 3, 1), barabasi_albert(200, 3, 1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Planted-community graph generator — the DBLP stand-in.
+//!
+//! DBLP is a co-authorship network: dense collaboration clusters joined by
+//! sparse bridges. The Semi-Clustering experiment needs exactly that
+//! structure (semi-clusters are "groups of people [who] interact frequently
+//! with each other"). The generator plants `num_communities` groups, wires
+//! dense intra-community edges and sparse inter-community bridges, and
+//! mirrors every edge, matching the paper's conversion of the undirected
+//! DBLP graph "to a directed graph by duplicating each edge".
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Community graph parameters.
+#[derive(Clone, Debug)]
+pub struct CommunityConfig {
+    /// Total number of vertices.
+    pub num_vertices: usize,
+    /// Number of planted communities.
+    pub num_communities: usize,
+    /// Average intra-community degree (undirected).
+    pub intra_degree: usize,
+    /// Average inter-community (bridge) degree (undirected).
+    pub inter_degree: f64,
+    /// Attach uniform random interaction weights in `(0, 1]`.
+    pub weighted: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CommunityConfig {
+    fn default() -> Self {
+        CommunityConfig {
+            num_vertices: 4_000,
+            num_communities: 80,
+            intra_degree: 6,
+            inter_degree: 0.5,
+            weighted: true,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate the community graph. Returns the graph and the planted
+/// community id per vertex (ground truth for clustering quality checks).
+pub fn community_graph(cfg: &CommunityConfig) -> (Csr, Vec<u32>) {
+    assert!(cfg.num_communities >= 1);
+    assert!(cfg.num_vertices >= cfg.num_communities);
+    let n = cfg.num_vertices;
+    let k = cfg.num_communities;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Assign vertices to communities in contiguous ranges (DBLP-like ids).
+    let per = n / k;
+    let community = |v: usize| ((v / per).min(k - 1)) as u32;
+    let comm_range = |c: usize| {
+        let start = c * per;
+        let end = if c == k - 1 { n } else { (c + 1) * per };
+        start..end
+    };
+
+    let mut el = EdgeList::new(n);
+    let mut seen = std::collections::HashSet::new();
+    let add_undirected = |el: &mut EdgeList,
+                          rng: &mut StdRng,
+                          seen: &mut std::collections::HashSet<(u32, u32)>,
+                          a: usize,
+                          b: usize| {
+        if a == b {
+            return;
+        }
+        let key = ((a.min(b)) as u32, (a.max(b)) as u32);
+        if !seen.insert(key) {
+            return;
+        }
+        let w = if cfg.weighted {
+            rng.random_range(0.05f32..1.0)
+        } else {
+            1.0
+        };
+        el.push_weighted(a as VertexId, b as VertexId, w);
+        el.push_weighted(b as VertexId, a as VertexId, w);
+    };
+
+    // Dense intra-community edges.
+    for c in 0..k {
+        let range = comm_range(c);
+        let len = range.len();
+        if len < 2 {
+            continue;
+        }
+        let edges = len * cfg.intra_degree / 2;
+        for _ in 0..edges {
+            let a = range.start + rng.random_range(0..len);
+            let b = range.start + rng.random_range(0..len);
+            add_undirected(&mut el, &mut rng, &mut seen, a, b);
+        }
+    }
+
+    // Sparse inter-community bridges.
+    let bridges = (n as f64 * cfg.inter_degree / 2.0) as usize;
+    for _ in 0..bridges {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if community(a) != community(b) {
+            add_undirected(&mut el, &mut rng, &mut seen, a, b);
+        }
+    }
+
+    el.sort_dedup();
+    let labels = (0..n).map(community).collect();
+    (Csr::from_edge_list(&el), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CommunityConfig {
+        CommunityConfig {
+            num_vertices: 600,
+            num_communities: 12,
+            intra_degree: 8,
+            inter_degree: 0.4,
+            weighted: true,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn generates_symmetric_graph() {
+        let (g, _) = community_graph(&tiny());
+        assert!(g.validate().is_ok());
+        // Every edge must have its mirror.
+        let mut fwd: Vec<(u32, u32)> = g.edge_iter().collect();
+        let mut rev: Vec<(u32, u32)> = g.edge_iter().map(|(s, d)| (d, s)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn intra_edges_dominate() {
+        let (g, labels) = community_graph(&tiny());
+        let intra = g
+            .edge_iter()
+            .filter(|&(s, d)| labels[s as usize] == labels[d as usize])
+            .count();
+        let total = g.num_edges();
+        assert!(
+            intra * 10 > total * 7,
+            "intra {intra}/{total} should be at least 70%"
+        );
+    }
+
+    #[test]
+    fn mirrored_edges_share_weights() {
+        let (g, _) = community_graph(&tiny());
+        let w = g.weights.as_ref().unwrap();
+        for s in 0..g.num_vertices() as VertexId {
+            for e in g.edge_range(s) {
+                let d = g.targets[e];
+                // Find the mirror edge d -> s.
+                let mirror = g.edge_range(d).find(|&e2| g.targets[e2] == s);
+                let m = mirror.expect("mirror edge missing");
+                assert_eq!(w[e], w[m]);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_cover_all_communities() {
+        let cfg = tiny();
+        let (_, labels) = community_graph(&cfg);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), cfg.num_communities);
+    }
+}

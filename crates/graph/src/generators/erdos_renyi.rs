@@ -1,0 +1,62 @@
+//! Erdős–Rényi G(n, m) random graphs — the unskewed baseline used by tests
+//! and partitioning ablations.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a directed G(n, m) graph: `m` edges sampled uniformly without
+/// self-loops, duplicates removed (so the result may have slightly fewer
+/// than `m` edges).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut el = EdgeList::new(n);
+    el.edges.reserve(m);
+    for _ in 0..m {
+        let s = rng.random_range(0..n) as VertexId;
+        let mut d = rng.random_range(0..n - 1) as VertexId;
+        if d >= s {
+            d += 1; // skip self-loop
+        }
+        el.push(s, d);
+    }
+    el.sort_dedup();
+    Csr::from_edge_list(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    #[test]
+    fn size_and_validity() {
+        let g = gnm(500, 3000, 3);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.num_edges() > 2800 && g.num_edges() <= 3000);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnm(100, 1000, 11);
+        for (s, d) in g.edge_iter() {
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn degrees_are_unskewed() {
+        let g = gnm(2000, 20000, 5);
+        let s = DegreeStats::out_degrees(&g);
+        assert!(s.cv < 0.6, "ER graphs should be near-uniform, cv={}", s.cv);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(100, 500, 9), gnm(100, 500, 9));
+    }
+}

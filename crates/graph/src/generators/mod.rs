@@ -1,0 +1,32 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's datasets (see DESIGN.md §2):
+//!
+//! * [`rmat`] — recursive-matrix power-law graphs. With
+//!   [`rmat::RmatConfig::front_loaded_hubs`] the high out-degree vertices are
+//!   renumbered to the front of the id space, reproducing the Pokec property
+//!   that makes *continuous* partitioning imbalanced (Fig. 6).
+//! * [`community`] — planted-community graphs with mirrored edges
+//!   (dblp-like; the Semi-Clustering workload).
+//! * [`dag`] — layered random DAGs with configurable fan-in concentration
+//!   (the TopoSort input: "a highly connected graph … a large number of
+//!   messages are sent to a single vertex").
+//! * [`erdos_renyi`], [`ba`] — classic baselines for tests and ablations.
+//! * [`small`] — tiny fixed graphs including the paper's Figure 1 example.
+
+pub mod ba;
+pub mod community;
+pub mod dag;
+pub mod erdos_renyi;
+pub mod grid;
+pub mod rmat;
+pub mod small;
+pub mod watts_strogatz;
+
+pub use ba::barabasi_albert;
+pub use community::{community_graph, CommunityConfig};
+pub use dag::{layered_dag, DagConfig};
+pub use erdos_renyi::gnm;
+pub use grid::grid;
+pub use rmat::{rmat, RmatConfig};
+pub use watts_strogatz::watts_strogatz;

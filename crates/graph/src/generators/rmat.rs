@@ -1,0 +1,215 @@
+//! RMAT (recursive matrix) power-law graph generator.
+//!
+//! The Pokec social network used by the paper is a power-law graph whose
+//! "vertices with higher out-degrees are concentrated at the front". RMAT
+//! with the classic (0.57, 0.19, 0.19, 0.05) parameters produces the degree
+//! skew; `front_loaded_hubs` then renumbers vertices by descending out-degree
+//! so hub ids cluster at the front of the id space, which is precisely the
+//! property that defeats continuous partitioning in Fig. 6.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT generator parameters.
+#[derive(Clone, Debug)]
+pub struct RmatConfig {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average out-degree; edges = `(1 << scale) * edge_factor`.
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to 1.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Renumber vertices so high out-degree ids come first (pokec-like).
+    pub front_loaded_hubs: bool,
+    /// Remove duplicate edges and self-loops.
+    pub clean: bool,
+    /// Cap per-vertex in- and out-degree by dropping excess edges. Real
+    /// social graphs keep `max_degree / num_edges` tiny (Pokec: ~3e-4);
+    /// uncapped RMAT at small scales concentrates a large fraction of all
+    /// edges on a handful of hubs, which distorts scaled-down experiments.
+    pub degree_cap: Option<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 14,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            front_loaded_hubs: true,
+            clean: true,
+            degree_cap: None,
+            seed: 1,
+        }
+    }
+}
+
+impl RmatConfig {
+    /// Quadrant probability `d` (derived).
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generate an RMAT graph.
+pub fn rmat(cfg: &RmatConfig) -> Csr {
+    assert!(cfg.scale > 0 && cfg.scale < 31, "scale out of range");
+    assert!(cfg.d() >= 0.0, "quadrant probabilities exceed 1");
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut el = EdgeList::new(n);
+    el.edges.reserve(m);
+
+    for _ in 0..m {
+        let (mut lo_s, mut hi_s) = (0usize, n);
+        let (mut lo_d, mut hi_d) = (0usize, n);
+        while hi_s - lo_s > 1 {
+            // Perturb quadrant probabilities slightly per level (standard
+            // RMAT noise to avoid exact self-similarity artifacts).
+            let noise = 0.9 + 0.2 * rng.random::<f64>();
+            let a = cfg.a * noise;
+            let b = cfg.b;
+            let c = cfg.c;
+            let total = a + b + c + cfg.d();
+            let r: f64 = rng.random::<f64>() * total;
+            let mid_s = (lo_s + hi_s) / 2;
+            let mid_d = (lo_d + hi_d) / 2;
+            if r < a {
+                hi_s = mid_s;
+                hi_d = mid_d;
+            } else if r < a + b {
+                hi_s = mid_s;
+                lo_d = mid_d;
+            } else if r < a + b + c {
+                lo_s = mid_s;
+                hi_d = mid_d;
+            } else {
+                lo_s = mid_s;
+                lo_d = mid_d;
+            }
+        }
+        el.push(lo_s as VertexId, lo_d as VertexId);
+    }
+
+    if cfg.clean {
+        el.edges.retain(|&(s, d)| s != d);
+        el.sort_dedup();
+    }
+
+    if let Some(cap) = cfg.degree_cap {
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        el.edges.retain(|&(s, d)| {
+            if out_deg[s as usize] < cap && in_deg[d as usize] < cap {
+                out_deg[s as usize] += 1;
+                in_deg[d as usize] += 1;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
+    let g = Csr::from_edge_list(&el);
+    if cfg.front_loaded_hubs {
+        renumber_by_out_degree(&g)
+    } else {
+        g
+    }
+}
+
+/// Renumber vertices by descending out-degree (stable). Hubs get the lowest
+/// ids, emulating social-network crawls where early-crawled (popular)
+/// accounts have small ids.
+pub fn renumber_by_out_degree(g: &Csr) -> Csr {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by(|&a, &b| g.out_degree(b).cmp(&g.out_degree(a)).then(a.cmp(&b)));
+    let mut new_id = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as VertexId;
+    }
+    let mut el = EdgeList::new(n);
+    el.edges.reserve(g.num_edges());
+    for (s, d) in g.edge_iter() {
+        el.push(new_id[s as usize], new_id[d as usize]);
+    }
+    el.weights = g.weights.clone();
+    Csr::from_edge_list(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree::DegreeStats;
+
+    fn tiny() -> RmatConfig {
+        RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_size() {
+        let g = rmat(&tiny());
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 4000, "cleaning removed too many edges");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = rmat(&tiny());
+        let b = rmat(&tiny());
+        assert_eq!(a, b);
+        let c = rmat(&RmatConfig { seed: 8, ..tiny() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = rmat(&tiny());
+        let s = DegreeStats::out_degrees(&g);
+        assert!(s.cv > 1.0, "RMAT should be heavy-tailed, cv={}", s.cv);
+        assert!(s.top1pct_share > 0.05);
+    }
+
+    #[test]
+    fn front_loading_puts_hubs_first() {
+        let g = rmat(&tiny());
+        let degs = g.out_degrees();
+        let front: u64 = degs[..64].iter().map(|&d| d as u64).sum();
+        let back: u64 = degs[960..].iter().map(|&d| d as u64).sum();
+        assert!(
+            front > 10 * back.max(1),
+            "front mass {front} should dwarf back mass {back}"
+        );
+        // Monotone non-increasing by construction.
+        for w in degs.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn clean_removes_self_loops() {
+        let g = rmat(&tiny());
+        for (s, d) in g.edge_iter() {
+            assert_ne!(s, d);
+        }
+    }
+}

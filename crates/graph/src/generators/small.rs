@@ -1,0 +1,154 @@
+//! Tiny fixed graphs for tests, docs, and the paper's worked example.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+
+/// The 16-vertex example graph from the paper's Figure 1, reconstructed
+/// from its CSR arrays. Used by the Table I and Figure 3 unit tests.
+pub fn paper_example() -> Csr {
+    let offsets = vec![
+        0, 2, 5, 8, 8, 11, 12, 13, 14, 15, 19, 20, 22, 24, 26, 27, 28,
+    ];
+    let targets = vec![
+        4, 5, 0, 2, 5, 3, 5, 7, 5, 8, 9, 2, 2, 2, 0, 4, 5, 6, 8, 11, 6, 9, 8, 13, 9, 12, 10, 7,
+    ];
+    Csr::from_parts(offsets, targets)
+}
+
+/// The set of active vertices in the paper's Table I walk-through.
+pub fn paper_example_actives() -> Vec<VertexId> {
+    vec![6, 7, 11, 13, 14, 15]
+}
+
+/// The messages of Table I as `(src, dst)` pairs, in source order.
+pub fn paper_table1_messages() -> Vec<(VertexId, VertexId)> {
+    vec![
+        (6, 2),
+        (7, 2),
+        (11, 6),
+        (11, 9),
+        (13, 9),
+        (13, 12),
+        (14, 10),
+        (15, 7),
+    ]
+}
+
+/// A directed chain `0 -> 1 -> … -> n-1`.
+pub fn chain(n: usize) -> Csr {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push((v - 1) as VertexId, v as VertexId);
+    }
+    Csr::from_edge_list(&el)
+}
+
+/// A directed star: vertex 0 points at every other vertex.
+pub fn star(n: usize) -> Csr {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(0, v as VertexId);
+    }
+    Csr::from_edge_list(&el)
+}
+
+/// An inward star: every vertex points at vertex 0 (maximal insertion
+/// contention — one column receives every message).
+pub fn inward_star(n: usize) -> Csr {
+    let mut el = EdgeList::new(n);
+    for v in 1..n {
+        el.push(v as VertexId, 0);
+    }
+    Csr::from_edge_list(&el)
+}
+
+/// A directed cycle `0 -> 1 -> … -> n-1 -> 0`.
+pub fn cycle(n: usize) -> Csr {
+    let mut el = EdgeList::new(n);
+    for v in 0..n {
+        el.push(v as VertexId, ((v + 1) % n) as VertexId);
+    }
+    Csr::from_edge_list(&el)
+}
+
+/// A complete directed graph (all ordered pairs, no self-loops).
+pub fn complete(n: usize) -> Csr {
+    let mut el = EdgeList::new(n);
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                el.push(s as VertexId, d as VertexId);
+            }
+        }
+    }
+    Csr::from_edge_list(&el)
+}
+
+/// A weighted diamond used in SSSP unit tests:
+/// `0 -(1)-> 1 -(1)-> 3`, `0 -(5)-> 2 -(1)-> 3`; shortest 0→3 distance is 2.
+pub fn weighted_diamond() -> Csr {
+    let mut el = EdgeList::new(4);
+    el.push_weighted(0, 1, 1.0);
+    el.push_weighted(0, 2, 5.0);
+    el.push_weighted(1, 3, 1.0);
+    el.push_weighted(2, 3, 1.0);
+    Csr::from_edge_list(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_table1_messages_follow_out_edges() {
+        let g = paper_example();
+        for &(src, dst) in &paper_table1_messages() {
+            assert!(
+                g.neighbors(src).contains(&dst),
+                "Table I message ({src},{dst}) is not an edge"
+            );
+        }
+        // Actives send exactly their full out-neighborhoods.
+        let mut derived: Vec<(VertexId, VertexId)> = Vec::new();
+        for &v in &paper_example_actives() {
+            for &d in g.neighbors(v) {
+                derived.push((v, d));
+            }
+        }
+        assert_eq!(derived, paper_table1_messages());
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(4), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn star_shapes() {
+        let out = star(6);
+        assert_eq!(out.out_degree(0), 5);
+        let inw = inward_star(6);
+        assert_eq!(inw.in_degrees()[0], 5);
+        assert_eq!(inw.out_degree(0), 0);
+    }
+
+    #[test]
+    fn cycle_and_complete() {
+        let c = cycle(4);
+        assert_eq!(c.neighbors(3), &[0]);
+        let k = complete(4);
+        assert_eq!(k.num_edges(), 12);
+        assert_eq!(k.out_degree(2), 3);
+    }
+
+    #[test]
+    fn diamond_weights() {
+        let g = weighted_diamond();
+        assert_eq!(g.weight(g.edge_range(0).start), 1.0);
+        assert_eq!(g.weight(g.edge_range(0).start + 1), 5.0);
+    }
+}

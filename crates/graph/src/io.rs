@@ -1,0 +1,380 @@
+//! Graph I/O.
+//!
+//! Four formats:
+//!
+//! * **Adjacency list** — the paper's input ("the graph file stored in an
+//!   adjacency list format"): a header line `n m`, then one line per vertex
+//!   `src: dst1 dst2 …` (vertices with no out-edges may be omitted).
+//!   Weighted variant uses `dst,weight` tokens.
+//! * **SNAP edge list** — `# comment` lines then `src<ws>dst` pairs, the
+//!   distribution format of the real Pokec and DBLP datasets, so they can be
+//!   dropped into the benches unchanged.
+//! * **MatrixMarket** — `.mtx` coordinate matrices (general or symmetric,
+//!   pattern or real), the SuiteSparse collection's format.
+//! * **Binary** — a fast little-endian dump of the CSR arrays for repeated
+//!   benchmarking runs.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write a graph in the adjacency-list format.
+pub fn write_adjacency<W: Write>(g: &Csr, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges())?;
+    for v in 0..g.num_vertices() as VertexId {
+        if g.out_degree(v) == 0 {
+            continue;
+        }
+        write!(w, "{v}:")?;
+        for e in g.edge_range(v) {
+            match &g.weights {
+                Some(weights) => write!(w, " {},{}", g.targets[e], weights[e])?,
+                None => write!(w, " {}", g.targets[e])?,
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read a graph in the adjacency-list format.
+pub fn read_adjacency<R: Read>(input: R) -> io::Result<Csr> {
+    let mut lines = BufReader::new(input).lines();
+    let header = lines.next().ok_or_else(|| bad("empty adjacency file"))??;
+    let mut it = header.split_whitespace();
+    let n: usize = parse(it.next().ok_or_else(|| bad("missing vertex count"))?)?;
+    let m: usize = parse(it.next().ok_or_else(|| bad("missing edge count"))?)?;
+
+    let mut el = EdgeList::new(n);
+    el.edges.reserve(m);
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (src_s, rest) = line
+            .split_once(':')
+            .ok_or_else(|| bad("adjacency line missing ':'"))?;
+        let src: VertexId = parse(src_s.trim())?;
+        for tok in rest.split_whitespace() {
+            match tok.split_once(',') {
+                Some((d, w)) => {
+                    el.push_weighted(src, parse(d)?, parse(w)?);
+                }
+                None => el.push(src, parse(tok)?),
+            }
+        }
+    }
+    if el.num_edges() != m {
+        return Err(bad(&format!(
+            "header declared {m} edges, found {}",
+            el.num_edges()
+        )));
+    }
+    el.validate().map_err(|e| bad(&e))?;
+    Ok(Csr::from_edge_list(&el))
+}
+
+/// Read a SNAP-style edge list (`# comments`, whitespace-separated pairs).
+/// The vertex count is `max id + 1` unless `num_vertices` is given.
+pub fn read_snap_edges<R: Read>(input: R, num_vertices: Option<usize>) -> io::Result<Csr> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for line in BufReader::new(input).lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let s: VertexId = parse(it.next().ok_or_else(|| bad("missing src"))?)?;
+        let d: VertexId = parse(it.next().ok_or_else(|| bad("missing dst"))?)?;
+        max_id = max_id.max(s as u64).max(d as u64);
+        edges.push((s, d));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
+    let el = EdgeList {
+        num_vertices: n,
+        edges,
+        weights: None,
+    };
+    el.validate().map_err(|e| bad(&e))?;
+    Ok(Csr::from_edge_list(&el))
+}
+
+/// Read a MatrixMarket coordinate file (`%%MatrixMarket matrix coordinate
+/// real|pattern general|symmetric`) as a directed graph. Entry `(i, j)` is
+/// the edge `i → j` (1-based ids as per the format); `symmetric` matrices
+/// emit both directions; `real` values become edge weights.
+pub fn read_matrix_market<R: Read>(input: R) -> io::Result<Csr> {
+    let mut lines = BufReader::new(input).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty MatrixMarket file"))??;
+    let header_lc = header.to_lowercase();
+    if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(bad("not a MatrixMarket coordinate matrix"));
+    }
+    let weighted = header_lc.contains(" real") || header_lc.contains(" integer");
+    let symmetric = header_lc.contains("symmetric");
+
+    // Skip comments; first non-comment line is "rows cols entries".
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| bad("missing size line"))?;
+    let mut it = size_line.split_whitespace();
+    let rows: usize = parse(it.next().ok_or_else(|| bad("missing rows"))?)?;
+    let cols: usize = parse(it.next().ok_or_else(|| bad("missing cols"))?)?;
+    let entries: usize = parse(it.next().ok_or_else(|| bad("missing entries"))?)?;
+    let n = rows.max(cols);
+
+    let mut el = EdgeList::new(n);
+    el.edges
+        .reserve(if symmetric { entries * 2 } else { entries });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = parse(it.next().ok_or_else(|| bad("missing row id"))?)?;
+        let j: usize = parse(it.next().ok_or_else(|| bad("missing col id"))?)?;
+        if i == 0 || j == 0 || i > n || j > n {
+            return Err(bad(&format!("entry ({i}, {j}) out of 1..={n}")));
+        }
+        let (s, d) = ((i - 1) as VertexId, (j - 1) as VertexId);
+        if weighted {
+            let w: f32 = parse(it.next().ok_or_else(|| bad("missing value"))?)?;
+            el.push_weighted(s, d, w);
+            if symmetric && s != d {
+                el.push_weighted(d, s, w);
+            }
+        } else {
+            el.push(s, d);
+            if symmetric && s != d {
+                el.push(d, s);
+            }
+        }
+        seen += 1;
+    }
+    if seen != entries {
+        return Err(bad(&format!(
+            "size line declared {entries} entries, found {seen}"
+        )));
+    }
+    Ok(Csr::from_edge_list(&el))
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"PHIGRAF1";
+
+/// Write the binary CSR format.
+pub fn write_binary<W: Write>(g: &Csr, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    w.write_all(BINARY_MAGIC)?;
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    let has_weights = g.weights.is_some() as u64;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    w.write_all(&has_weights.to_le_bytes())?;
+    for &o in &g.offsets {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &t in &g.targets {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    if let Some(weights) = &g.weights {
+        for &x in weights {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read the binary CSR format.
+pub fn read_binary<R: Read>(input: R) -> io::Result<Csr> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let has_weights = read_u64(&mut r)? != 0;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        targets.push(VertexId::from_le_bytes(b));
+    }
+    let weights = if has_weights {
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            w.push(f32::from_le_bytes(b));
+        }
+        Some(w)
+    } else {
+        None
+    };
+    let g = Csr {
+        offsets,
+        targets,
+        weights,
+    };
+    g.validate().map_err(|e| bad(&e))?;
+    Ok(g)
+}
+
+/// Load a graph, picking the format from the file extension: `.adj`,
+/// `.txt`/`.snap` (edge list), or `.bin`.
+pub fn load_path(path: &Path) -> io::Result<Csr> {
+    let f = std::fs::File::open(path)?;
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("adj") => read_adjacency(f),
+        Some("bin") => read_binary(f),
+        Some("txt") | Some("snap") => read_snap_edges(f, None),
+        Some("mtx") => read_matrix_market(f),
+        other => Err(bad(&format!("unknown graph extension {other:?}"))),
+    }
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> io::Result<T> {
+    s.parse()
+        .map_err(|_| bad(&format!("cannot parse token {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::small::{paper_example, weighted_diamond};
+
+    #[test]
+    fn adjacency_round_trip() {
+        let g = paper_example();
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn adjacency_round_trip_weighted() {
+        let g = weighted_diamond();
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn adjacency_rejects_wrong_edge_count() {
+        let text = "3 5\n0: 1 2\n";
+        assert!(read_adjacency(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn snap_parses_comments_and_pairs() {
+        let text = "# Directed graph\n# Nodes: 4 Edges: 3\n0\t1\n1\t2\n3 0\n";
+        let g = read_snap_edges(text.as_bytes(), None).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn snap_respects_explicit_vertex_count() {
+        let text = "0 1\n";
+        let g = read_snap_edges(text.as_bytes(), Some(10)).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = paper_example();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_round_trip_weighted() {
+        let g = weighted_diamond();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(read_binary(&b"NOTAGRAPH"[..]).is_err());
+    }
+
+    #[test]
+    fn matrix_market_general_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % a comment\n\
+                    3 3 3\n1 2\n2 3\n3 1\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_real() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 2\n2 1 1.5\n3 3 9.0\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        // (2,1) mirrored to (1,2); diagonal (3,3) not duplicated.
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.weight(g.edge_range(0).start), 1.5);
+        assert_eq!(g.neighbors(2), &[2]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(read_matrix_market(&b"not a matrix"[..]).is_err());
+        let wrong_count = "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n";
+        assert!(read_matrix_market(wrong_count.as_bytes()).is_err());
+        let out_of_range = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_matrix_market(out_of_range.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Induced-subgraph extraction with vertex relabeling.
+//!
+//! Used by analysis tooling (extract one partition side or one community)
+//! and by tests that need per-device views of a partitioned graph.
+
+use crate::csr::Csr;
+use crate::edge_list::EdgeList;
+use crate::types::VertexId;
+
+/// The result of extracting an induced subgraph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Subgraph {
+    /// The subgraph with vertices relabeled `0..k`.
+    pub graph: Csr,
+    /// `local id → original id`.
+    pub to_parent: Vec<VertexId>,
+    /// `original id → local id` (`None` for vertices outside the subset).
+    pub to_local: Vec<Option<VertexId>>,
+}
+
+/// Extract the subgraph induced by `keep` (edges with both endpoints in the
+/// subset survive; weights carried). `keep` may be in any order; local ids
+/// follow its order after deduplication.
+pub fn induced_subgraph(g: &Csr, keep: &[VertexId]) -> Subgraph {
+    let n = g.num_vertices();
+    let mut to_local: Vec<Option<VertexId>> = vec![None; n];
+    let mut to_parent: Vec<VertexId> = Vec::with_capacity(keep.len());
+    for &v in keep {
+        assert!((v as usize) < n, "vertex {v} out of range");
+        if to_local[v as usize].is_none() {
+            to_local[v as usize] = Some(to_parent.len() as VertexId);
+            to_parent.push(v);
+        }
+    }
+    let mut el = EdgeList::new(to_parent.len());
+    let weighted = g.weights.is_some();
+    for &pv in &to_parent {
+        let s = to_local[pv as usize].unwrap();
+        for e in g.edge_range(pv) {
+            if let Some(d) = to_local[g.targets[e] as usize] {
+                if weighted {
+                    el.push_weighted(s, d, g.weight(e));
+                } else {
+                    el.push(s, d);
+                }
+            }
+        }
+    }
+    Subgraph {
+        graph: Csr::from_edge_list(&el),
+        to_parent,
+        to_local,
+    }
+}
+
+/// Extract the subgraph of one side of a device partition (vertices with
+/// `assign[v] == dev`).
+pub fn partition_side(g: &Csr, assign: &[u8], dev: u8) -> Subgraph {
+    let keep: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| assign[v as usize] == dev)
+        .collect();
+    induced_subgraph(g, &keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::small::{paper_example, weighted_diamond};
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = paper_example();
+        // Keep {0, 4, 5, 9}: edges 0->4, 0->5, 4->5, 9->4, 9->5 survive;
+        // 4->8, 4->9? (4 -> 5,8,9: 9 kept -> 4->9 survives too), 9->6, 9->8 dropped.
+        let sub = induced_subgraph(&g, &[0, 4, 5, 9]);
+        assert_eq!(sub.graph.num_vertices(), 4);
+        let edges: Vec<(u32, u32)> = sub
+            .graph
+            .edge_iter()
+            .map(|(s, d)| (sub.to_parent[s as usize], sub.to_parent[d as usize]))
+            .collect();
+        let mut expect = vec![(0u32, 4u32), (0, 5), (4, 5), (4, 9), (9, 4), (9, 5)];
+        let mut got = edges.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn relabeling_round_trips() {
+        let g = paper_example();
+        let sub = induced_subgraph(&g, &[7, 2, 15]);
+        assert_eq!(sub.to_parent, vec![7, 2, 15]);
+        for (local, &parent) in sub.to_parent.iter().enumerate() {
+            assert_eq!(sub.to_local[parent as usize], Some(local as u32));
+        }
+        assert_eq!(sub.to_local[0], None);
+    }
+
+    #[test]
+    fn weights_are_carried() {
+        let g = weighted_diamond();
+        let sub = induced_subgraph(&g, &[0, 2, 3]);
+        // Edges 0-(5)->2 and 2-(1)->3 survive.
+        assert_eq!(sub.graph.num_edges(), 2);
+        let w: Vec<f32> = sub.graph.weights.clone().unwrap();
+        let mut w_sorted = w.clone();
+        w_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(w_sorted, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicate_keep_entries_are_deduped() {
+        let g = paper_example();
+        let sub = induced_subgraph(&g, &[3, 3, 3]);
+        assert_eq!(sub.graph.num_vertices(), 1);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn partition_side_splits_cleanly() {
+        let g = paper_example();
+        let assign: Vec<u8> = (0..16).map(|v| (v % 2) as u8).collect();
+        let a = partition_side(&g, &assign, 0);
+        let b = partition_side(&g, &assign, 1);
+        assert_eq!(a.graph.num_vertices() + b.graph.num_vertices(), 16);
+        // Internal edges of both sides never cross parity.
+        for (s, d) in a.graph.edge_iter() {
+            assert_eq!(a.to_parent[s as usize] % 2, a.to_parent[d as usize] % 2);
+        }
+    }
+}

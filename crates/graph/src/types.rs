@@ -1,0 +1,11 @@
+//! Core identifier types.
+
+/// Vertex identifier. `u32` keeps index arrays and message headers compact
+/// (the paper's graphs top out in the tens of millions of vertices).
+pub type VertexId = u32;
+
+/// Edge index into the CSR target/weight arrays.
+pub type EdgeIdx = usize;
+
+/// Sentinel for "no vertex".
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;

@@ -1,0 +1,107 @@
+//! Whole-graph structural checks used by tests and the reproduction harness.
+
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// Count weakly connected components (directions ignored).
+pub fn weakly_connected_components(g: &Csr) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let rev = g.transpose();
+    let mut comp = vec![usize::MAX; n];
+    let mut components = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        components += 1;
+        comp[start] = components;
+        stack.push(start as VertexId);
+        while let Some(v) = stack.pop() {
+            for &d in g.neighbors(v).iter().chain(rev.neighbors(v)) {
+                if comp[d as usize] == usize::MAX {
+                    comp[d as usize] = components;
+                    stack.push(d);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Vertices reachable from `src` along directed edges.
+pub fn reachable_count(g: &Csr, src: VertexId) -> usize {
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut stack = vec![src];
+    seen[src as usize] = true;
+    let mut count = 0;
+    while let Some(v) = stack.pop() {
+        count += 1;
+        for &d in g.neighbors(v) {
+            if !seen[d as usize] {
+                seen[d as usize] = true;
+                stack.push(d);
+            }
+        }
+    }
+    count
+}
+
+/// True if the graph contains the reverse of every edge (a symmetrized /
+/// undirected graph stored as directed).
+pub fn is_symmetric(g: &Csr) -> bool {
+    let mut fwd: Vec<(VertexId, VertexId)> = g.edge_iter().collect();
+    let mut rev: Vec<(VertexId, VertexId)> = fwd.iter().map(|&(s, d)| (d, s)).collect();
+    fwd.sort_unstable();
+    rev.sort_unstable();
+    fwd == rev
+}
+
+/// Count self-loops.
+pub fn self_loops(g: &Csr) -> usize {
+    g.edge_iter().filter(|&(s, d)| s == d).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::small::{chain, cycle, paper_example, star};
+
+    #[test]
+    fn chain_is_one_component() {
+        assert_eq!(weakly_connected_components(&chain(10)), 1);
+    }
+
+    #[test]
+    fn disjoint_chains_are_counted() {
+        let mut el = crate::edge_list::EdgeList::new(6);
+        el.push(0, 1);
+        el.push(2, 3);
+        el.push(4, 5);
+        let g = Csr::from_edge_list(&el);
+        assert_eq!(weakly_connected_components(&g), 3);
+    }
+
+    #[test]
+    fn reachability_from_star_center() {
+        let g = star(8);
+        assert_eq!(reachable_count(&g, 0), 8);
+        assert_eq!(reachable_count(&g, 3), 1);
+    }
+
+    #[test]
+    fn cycle_is_symmetric_only_if_mirrored() {
+        assert!(!is_symmetric(&cycle(4)));
+        let (sym, _) = cycle(4).symmetrized_weighted();
+        assert!(is_symmetric(&sym));
+    }
+
+    #[test]
+    fn paper_example_has_no_self_loops() {
+        assert_eq!(self_loops(&paper_example()), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The partitioning-file format.
+//!
+//! The paper's system takes "a graph partitioning file indicating which
+//! device each vertex belongs to" as its second input, produced by "a
+//! separate module". Format: a header `n`, then one device id (0 or 1) per
+//! line, in vertex order.
+
+use crate::ratio::Ratio;
+use crate::scheme::{DevicePartition, PartitionScheme};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write a partition to the text format.
+pub fn write_partition<W: Write>(p: &DevicePartition, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "{}", p.assign.len())?;
+    for &d in &p.assign {
+        writeln!(w, "{d}")?;
+    }
+    w.flush()
+}
+
+/// Read a partition from the text format. The ratio and scheme of the file
+/// are unknown; the returned partition carries the measured vertex-count
+/// ratio and `Continuous` as a placeholder scheme.
+pub fn read_partition<R: Read>(input: R) -> io::Result<DevicePartition> {
+    let mut lines = BufReader::new(input).lines();
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| bad("empty partition file"))??
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad vertex count"))?;
+    let mut assign = Vec::with_capacity(n);
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let d: u8 = t
+            .parse()
+            .map_err(|_| bad(&format!("bad device id {t:?}")))?;
+        if d > 1 {
+            return Err(bad(&format!("device id {d} out of range")));
+        }
+        assign.push(d);
+    }
+    if assign.len() != n {
+        return Err(bad(&format!(
+            "expected {n} assignments, found {}",
+            assign.len()
+        )));
+    }
+    let cpu = assign.iter().filter(|&&d| d == 0).count() as u32;
+    let mic = n as u32 - cpu;
+    Ok(DevicePartition {
+        assign,
+        ratio: if cpu + mic == 0 {
+            Ratio::even()
+        } else {
+            Ratio::new(cpu.max(u32::from(mic == 0)), mic)
+        },
+        scheme: PartitionScheme::Continuous,
+    })
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::partition;
+    use phigraph_graph::generators::small::cycle;
+
+    #[test]
+    fn round_trip() {
+        let g = cycle(10);
+        let p = partition(&g, PartitionScheme::RoundRobin, Ratio::new(2, 3), 0);
+        let mut buf = Vec::new();
+        write_partition(&p, &mut buf).unwrap();
+        let q = read_partition(&buf[..]).unwrap();
+        assert_eq!(q.assign, p.assign);
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        assert!(read_partition(&b"3\n0\n1\n"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_device() {
+        assert!(read_partition(&b"1\n7\n"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(read_partition(&b""[..]).is_err());
+    }
+}

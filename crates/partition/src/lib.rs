@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Workload partitioning between the CPU and the MIC.
+//!
+//! Implements §IV.E of the paper: vertices are statically assigned to the
+//! two devices before the run, according to a user partitioning ratio
+//! `a : b`, under two goals — load balance (edges processed per device close
+//! to the ratio) and minimized cross edges (communication volume).
+//!
+//! Three schemes are provided, exactly the ones compared in Fig. 6:
+//!
+//! * [`scheme::PartitionScheme::Continuous`] — first `a/(a+b)·n` vertices to
+//!   the CPU; breaks on power-law graphs with front-loaded hubs.
+//! * [`scheme::PartitionScheme::RoundRobin`] — interleaved per-vertex deal;
+//!   balanced, but maximizes cross edges.
+//! * [`scheme::PartitionScheme::Hybrid`] — the paper's contribution: a
+//!   min-connectivity blocked partitioning (256 blocks by default) computed
+//!   by the [`mlp`] multilevel partitioner (our from-scratch Metis
+//!   substitute), blocks dealt round-robin to the devices by ratio.
+//!
+//! The blocked partitioning is computed once per graph and reused across
+//! ratios, matching the paper's methodology ("the blocked partitioning
+//! result is reused for generating hybrid partitioning results for
+//! different ratios").
+
+pub mod file;
+pub mod mlp;
+pub mod ratio;
+pub mod scheme;
+pub mod stats;
+
+pub use ratio::Ratio;
+pub use scheme::{partition, DevicePartition, PartitionScheme};
+pub use stats::PartitionStats;

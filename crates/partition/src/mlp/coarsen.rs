@@ -1,0 +1,160 @@
+//! Graph coarsening: collapse a matching into a coarse graph.
+
+use super::matching::{coarse_count, heavy_edge_matching};
+use super::WGraph;
+use std::collections::HashMap;
+
+/// One level of the coarsening hierarchy.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The coarse graph.
+    pub graph: WGraph,
+    /// Fine-vertex → coarse-vertex map.
+    pub map: Vec<u32>,
+}
+
+/// Collapse `mate` pairs of `g` into a coarse graph: matched pairs become
+/// one vertex with summed vertex weight; parallel coarse edges merge with
+/// summed edge weight; self-edges are dropped.
+pub fn contract(g: &WGraph, mate: &[u32]) -> CoarseLevel {
+    let n = g.n();
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if map[v] != u32::MAX {
+            continue;
+        }
+        map[v] = next;
+        let m = mate[v] as usize;
+        if m != v {
+            map[m] = next;
+        }
+        next += 1;
+    }
+    let cn = next as usize;
+
+    let mut vwgt = vec![0.0f32; cn];
+    for v in 0..n {
+        vwgt[map[v] as usize] += g.vwgt[v];
+    }
+
+    // Aggregate coarse edges per coarse source.
+    let mut xadj = Vec::with_capacity(cn + 1);
+    let mut adj: Vec<u32> = Vec::new();
+    let mut ewgt: Vec<f32> = Vec::new();
+    xadj.push(0);
+
+    // Group fine vertices by coarse id.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cn];
+    for v in 0..n {
+        members[map[v] as usize].push(v as u32);
+    }
+
+    let mut acc: HashMap<u32, f32> = HashMap::new();
+    for (c, group) in members.iter().enumerate() {
+        acc.clear();
+        for &v in group {
+            for (u, w) in g.neighbors(v) {
+                let cu = map[u as usize];
+                if cu as usize != c {
+                    *acc.entry(cu).or_insert(0.0) += w;
+                }
+            }
+        }
+        let mut entries: Vec<(u32, f32)> = acc.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        for (u, w) in entries {
+            adj.push(u);
+            ewgt.push(w);
+        }
+        xadj.push(adj.len());
+    }
+
+    CoarseLevel {
+        graph: WGraph {
+            xadj,
+            adj,
+            ewgt,
+            vwgt,
+        },
+        map,
+    }
+}
+
+/// Coarsen repeatedly until the graph has at most `target_n` vertices or
+/// the reduction stalls (< 10% shrink). Returns the hierarchy, finest
+/// first; empty if `g` is already small enough.
+pub fn coarsen_to(g: &WGraph, target_n: usize, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut cur = g.clone();
+    let mut s = seed;
+    while cur.n() > target_n {
+        let mate = heavy_edge_matching(&cur, s);
+        let cn = coarse_count(&mate);
+        if cn as f64 > cur.n() as f64 * 0.95 {
+            break; // stalled (e.g. star graphs match poorly)
+        }
+        let level = contract(&cur, &mate);
+        cur = level.graph.clone();
+        levels.push(level);
+        s = s.wrapping_add(0x9E37_79B9);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::{erdos_renyi::gnm, small::cycle};
+
+    #[test]
+    fn contract_preserves_total_vertex_weight() {
+        let g = WGraph::from_csr(&cycle(12));
+        let mate = heavy_edge_matching(&g, 1);
+        let lvl = contract(&g, &mate);
+        assert!((lvl.graph.total_vwgt() - g.total_vwgt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contract_keeps_symmetry() {
+        let g = WGraph::from_csr(&gnm(200, 800, 3));
+        let mate = heavy_edge_matching(&g, 5);
+        let c = contract(&g, &mate).graph;
+        for v in 0..c.n() as u32 {
+            for (u, w) in c.neighbors(v) {
+                assert_ne!(u, v, "self edge survived");
+                let back = c.neighbors(u).find(|&(x, _)| x == v);
+                assert_eq!(back, Some((v, w)));
+            }
+        }
+    }
+
+    #[test]
+    fn coarsen_reaches_target() {
+        let g = WGraph::from_csr(&gnm(1000, 8000, 7));
+        let levels = coarsen_to(&g, 50, 1);
+        assert!(!levels.is_empty());
+        let last = &levels.last().unwrap().graph;
+        assert!(last.n() <= 120, "coarsest has {} vertices", last.n());
+        // Weight conserved end to end.
+        assert!((last.total_vwgt() - g.total_vwgt()).abs() / g.total_vwgt() < 1e-5);
+    }
+
+    #[test]
+    fn maps_compose_over_levels() {
+        let g = WGraph::from_csr(&gnm(300, 1500, 2));
+        let levels = coarsen_to(&g, 30, 9);
+        // Follow vertex 0 down the hierarchy; must stay in range.
+        let mut id = 0u32;
+        for lvl in &levels {
+            id = lvl.map[id as usize];
+            assert!((id as usize) < lvl.graph.n());
+        }
+    }
+
+    #[test]
+    fn already_small_graph_yields_no_levels() {
+        let g = WGraph::from_csr(&cycle(8));
+        assert!(coarsen_to(&g, 20, 0).is_empty());
+    }
+}

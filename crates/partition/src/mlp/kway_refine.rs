@@ -1,0 +1,167 @@
+//! Direct k-way boundary refinement.
+//!
+//! Recursive bisection optimizes each split in isolation; a final greedy
+//! k-way pass moves boundary vertices to whichever block they have the most
+//! edge weight toward, whenever the move strictly reduces the cut and keeps
+//! every block within the balance tolerance. This is the light-weight
+//! analogue of Metis' k-way refinement and measurably lowers the
+//! cross-block volume the hybrid scheme inherits.
+
+use super::WGraph;
+
+/// Refine a k-way assignment in place. Returns the total cut-weight
+/// improvement (≥ 0). `passes` bounds the number of sweeps; each sweep
+/// visits every boundary vertex once.
+pub fn refine_kway(g: &WGraph, blocks: &mut [u32], k: usize, passes: usize) -> f64 {
+    let n = g.n();
+    if n == 0 || k < 2 {
+        return 0.0;
+    }
+    // Block weights and the balance envelope (same 2% + max-vertex slack
+    // the bisection refinement uses).
+    let mut weight = vec![0f64; k];
+    for v in 0..n {
+        weight[blocks[v] as usize] += g.vwgt[v] as f64;
+    }
+    let total: f64 = weight.iter().sum();
+    let target = total / k as f64;
+    let max_vwgt = g.vwgt.iter().cloned().fold(0.0f32, f32::max) as f64;
+    let ceiling = target + (0.02 * total).max(1.01 * max_vwgt);
+    let floor = (target - (0.02 * total).max(1.01 * max_vwgt)).max(0.0);
+
+    let mut improvement = 0.0f64;
+    let mut conn = vec![0f32; k]; // edge weight from v into each block
+    for _ in 0..passes.max(1) {
+        let mut moved = 0usize;
+        for v in 0..n as u32 {
+            let from = blocks[v as usize] as usize;
+            // Connectivity of v to each adjacent block.
+            let mut touched: Vec<usize> = Vec::with_capacity(8);
+            for (u, w) in g.neighbors(v) {
+                let b = blocks[u as usize] as usize;
+                if conn[b] == 0.0 {
+                    touched.push(b);
+                }
+                conn[b] += w;
+            }
+            // Best alternative block by gain = conn[to] - conn[from].
+            let mut best: Option<(usize, f32)> = None;
+            for &b in &touched {
+                if b == from {
+                    continue;
+                }
+                let gain = conn[b] - conn[from];
+                if gain > 0.0 && best.is_none_or(|(_, bg)| gain > bg) {
+                    best = Some((b, gain));
+                }
+            }
+            if let Some((to, gain)) = best {
+                let vw = g.vwgt[v as usize] as f64;
+                if weight[to] + vw <= ceiling && weight[from] - vw >= floor {
+                    blocks[v as usize] = to as u32;
+                    weight[from] -= vw;
+                    weight[to] += vw;
+                    improvement += gain as f64;
+                    moved += 1;
+                }
+            }
+            for &b in &touched {
+                conn[b] = 0.0;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+    improvement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::kway::block_cut;
+    use crate::mlp::partition_kway;
+    use phigraph_graph::generators::community::{community_graph, CommunityConfig};
+    use phigraph_graph::generators::erdos_renyi::gnm;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn kway_cut(g: &WGraph, blocks: &[u32]) -> f64 {
+        let mut cut = 0.0;
+        for v in 0..g.n() as u32 {
+            for (u, w) in g.neighbors(v) {
+                if u > v && blocks[v as usize] != blocks[u as usize] {
+                    cut += w as f64;
+                }
+            }
+        }
+        cut
+    }
+
+    #[test]
+    fn refinement_never_increases_cut_or_breaks_balance() {
+        let csr = gnm(500, 3000, 4);
+        let g = WGraph::from_csr(&csr);
+        let k = 8;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut blocks: Vec<u32> = (0..g.n()).map(|_| rng.random_range(0..k as u32)).collect();
+        let before = kway_cut(&g, &blocks);
+        let gain = refine_kway(&g, &mut blocks, k, 4);
+        let after = kway_cut(&g, &blocks);
+        assert!(after <= before + 1e-3, "cut rose {before} -> {after}");
+        assert!(
+            (before - after - gain).abs() < 1e-2,
+            "reported gain {gain} vs actual {}",
+            before - after
+        );
+        // Balance within the envelope.
+        let mut weight = vec![0f64; k];
+        for v in 0..g.n() {
+            weight[blocks[v] as usize] += g.vwgt[v] as f64;
+        }
+        let target: f64 = weight.iter().sum::<f64>() / k as f64;
+        for (b, &w) in weight.iter().enumerate() {
+            assert!(w < 1.6 * target, "block {b} weight {w} vs target {target}");
+        }
+    }
+
+    #[test]
+    fn refinement_substantially_improves_random_assignment_on_communities() {
+        let (csr, _) = community_graph(&CommunityConfig {
+            num_vertices: 600,
+            num_communities: 8,
+            intra_degree: 10,
+            inter_degree: 0.2,
+            weighted: false,
+            seed: 6,
+        });
+        let g = WGraph::from_csr(&csr);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut blocks: Vec<u32> = (0..g.n()).map(|_| rng.random_range(0..8)).collect();
+        let before = kway_cut(&g, &blocks);
+        refine_kway(&g, &mut blocks, 8, 8);
+        let after = kway_cut(&g, &blocks);
+        assert!(
+            after < 0.7 * before,
+            "community structure should allow large gains: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn refinement_on_top_of_recursive_bisection_does_not_regress() {
+        let csr = gnm(800, 6400, 7);
+        let blocks = partition_kway(&csr, 16, 3);
+        let g = WGraph::from_csr(&csr);
+        let mut refined = blocks.clone();
+        refine_kway(&g, &mut refined, 16, 2);
+        assert!(block_cut(&csr, &refined) <= block_cut(&csr, &blocks));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_noops() {
+        let csr = gnm(10, 20, 1);
+        let g = WGraph::from_csr(&csr);
+        let mut blocks = vec![0u32; 10];
+        assert_eq!(refine_kway(&g, &mut blocks, 1, 3), 0.0);
+    }
+}

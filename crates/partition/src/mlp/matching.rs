@@ -1,0 +1,125 @@
+//! Heavy-edge matching for the coarsening phase.
+
+use super::WGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Sentinel: vertex is unmatched.
+pub const UNMATCHED: u32 = u32::MAX;
+
+/// Compute a heavy-edge matching: visit vertices in random order; an
+/// unmatched vertex matches its unmatched neighbor with the heaviest edge
+/// (ties broken by lower id). Isolated or fully-matched-neighborhood
+/// vertices match themselves. Returns `mate[v]` (== `v` for self-matched).
+pub fn heavy_edge_matching(g: &WGraph, seed: u64) -> Vec<u32> {
+    let n = g.n();
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u32, f32)> = None;
+        for (u, w) in g.neighbors(v) {
+            if u != v && mate[u as usize] == UNMATCHED {
+                match best {
+                    Some((bu, bw)) if w < bw || (w == bw && u >= bu) => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v,
+        }
+    }
+    mate
+}
+
+/// Number of coarse vertices the matching yields.
+pub fn coarse_count(mate: &[u32]) -> usize {
+    mate.iter()
+        .enumerate()
+        .filter(|&(v, &m)| m as usize >= v)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_graph::generators::small::{chain, cycle};
+
+    fn check_valid(mate: &[u32]) {
+        for (v, &m) in mate.iter().enumerate() {
+            assert_ne!(m, UNMATCHED, "vertex {v} left unmatched");
+            assert_eq!(
+                mate[m as usize] as usize, v,
+                "matching not symmetric at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn matching_is_valid_on_cycle() {
+        let g = WGraph::from_csr(&cycle(10));
+        let mate = heavy_edge_matching(&g, 1);
+        check_valid(&mate);
+        // A cycle of 10 should match at least 3 pairs.
+        let pairs = mate
+            .iter()
+            .enumerate()
+            .filter(|&(v, &m)| (m as usize) > v)
+            .count();
+        assert!(pairs >= 3, "only {pairs} pairs matched");
+    }
+
+    #[test]
+    fn matching_is_valid_on_chain() {
+        let g = WGraph::from_csr(&chain(17));
+        let mate = heavy_edge_matching(&g, 9);
+        check_valid(&mate);
+    }
+
+    #[test]
+    fn heavy_edges_preferred() {
+        // Triangle 0-1 (w=1 via single edge), 0-2 with doubled edge (w=2).
+        let mut el = phigraph_graph::EdgeList::new(3);
+        el.push(0, 1);
+        el.push(0, 2);
+        el.push(2, 0); // doubles 0<->2 multiplicity
+        let g = WGraph::from_csr(&phigraph_graph::Csr::from_edge_list(&el));
+        for seed in 0..8 {
+            let mate = heavy_edge_matching(&g, seed);
+            check_valid(&mate);
+            // Whenever 0 is processed first it must pick 2 (heavier).
+            if mate[0] != 1 {
+                assert_eq!(mate[0], 2);
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_count_halves_cycle() {
+        let g = WGraph::from_csr(&cycle(16));
+        let mate = heavy_edge_matching(&g, 3);
+        let c = coarse_count(&mate);
+        assert!((8..16).contains(&c));
+    }
+
+    #[test]
+    fn isolated_vertices_self_match() {
+        let mut el = phigraph_graph::EdgeList::new(4);
+        el.push(0, 1);
+        let g = WGraph::from_csr(&phigraph_graph::Csr::from_edge_list(&el));
+        let mate = heavy_edge_matching(&g, 0);
+        assert_eq!(mate[2], 2);
+        assert_eq!(mate[3], 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Partitioning ratio `a : b` ("relative amounts of computation assigned to
+//! devices specified by the users").
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A CPU : MIC workload ratio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    /// CPU share numerator (`a`).
+    pub cpu: u32,
+    /// MIC share numerator (`b`).
+    pub mic: u32,
+}
+
+impl Ratio {
+    /// Construct; both parts must not be zero simultaneously.
+    pub fn new(cpu: u32, mic: u32) -> Self {
+        assert!(cpu + mic > 0, "ratio cannot be 0:0");
+        Ratio { cpu, mic }
+    }
+
+    /// Equal split.
+    pub fn even() -> Self {
+        Ratio { cpu: 1, mic: 1 }
+    }
+
+    /// Fractional share of device `dev` (0 = CPU, 1 = MIC).
+    pub fn share(&self, dev: usize) -> f64 {
+        let total = (self.cpu + self.mic) as f64;
+        match dev {
+            0 => self.cpu as f64 / total,
+            1 => self.mic as f64 / total,
+            _ => panic!("only two devices"),
+        }
+    }
+
+    /// Sum `a + b`.
+    pub fn total(&self) -> u32 {
+        self.cpu + self.mic
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.cpu, self.mic)
+    }
+}
+
+impl FromStr for Ratio {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (a, b) = s
+            .split_once(':')
+            .ok_or_else(|| format!("ratio {s:?} missing ':'"))?;
+        let cpu: u32 = a
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad CPU part {a:?}"))?;
+        let mic: u32 = b
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad MIC part {b:?}"))?;
+        if cpu + mic == 0 {
+            return Err("ratio cannot be 0:0".into());
+        }
+        Ok(Ratio { cpu, mic })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let r = Ratio::new(3, 5);
+        assert!((r.share(0) + r.share(1) - 1.0).abs() < 1e-12);
+        assert!((r.share(0) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let r: Ratio = "4:3".parse().unwrap();
+        assert_eq!(r, Ratio::new(4, 3));
+        assert_eq!(r.to_string(), "4:3");
+        assert!("4".parse::<Ratio>().is_err());
+        assert!("0:0".parse::<Ratio>().is_err());
+        assert!("x:1".parse::<Ratio>().is_err());
+    }
+
+    #[test]
+    fn one_sided_ratios_allowed() {
+        let r = Ratio::new(0, 1);
+        assert_eq!(r.share(0), 0.0);
+        assert_eq!(r.share(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0:0")]
+    fn zero_ratio_panics() {
+        Ratio::new(0, 0);
+    }
+}

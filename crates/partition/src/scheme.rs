@@ -1,0 +1,261 @@
+//! The three device-partitioning schemes of §IV.E / Fig. 6.
+
+use crate::mlp::partition_kway;
+use crate::ratio::Ratio;
+use phigraph_graph::Csr;
+
+/// Which algorithm distributes vertices to the two devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// "The first `a/(a+b) · num_vertices` vertices are assigned to CPU,
+    /// and the remaining vertices are assigned to MIC."
+    Continuous,
+    /// "For every `a+b` vertices, the first `a` vertices are assigned to
+    /// CPU, and the remaining `b` vertices are assigned to MIC."
+    RoundRobin,
+    /// "First partition the vertices into small blocks [min-connectivity,
+    /// via the multilevel partitioner], and then assign the blocks to the
+    /// devices in a round-robin fashion."
+    Hybrid {
+        /// Number of min-connectivity blocks (the paper uses 256).
+        blocks: usize,
+    },
+}
+
+impl PartitionScheme {
+    /// The paper's hybrid configuration (256 blocks).
+    pub fn hybrid_default() -> Self {
+        PartitionScheme::Hybrid { blocks: 256 }
+    }
+
+    /// Scheme name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionScheme::Continuous => "continuous",
+            PartitionScheme::RoundRobin => "round-robin",
+            PartitionScheme::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+/// A vertex→device assignment (0 = CPU, 1 = MIC).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DevicePartition {
+    /// Device per vertex.
+    pub assign: Vec<u8>,
+    /// The ratio the assignment targets.
+    pub ratio: Ratio,
+    /// The scheme that produced it.
+    pub scheme: PartitionScheme,
+}
+
+impl DevicePartition {
+    /// Vertices owned by `dev`, in ascending id order.
+    pub fn owned(&self, dev: u8) -> Vec<u32> {
+        self.assign
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == dev)
+            .map(|(v, _)| v as u32)
+            .collect()
+    }
+
+    /// Vertex count per device.
+    pub fn counts(&self) -> [usize; 2] {
+        let mut c = [0usize; 2];
+        for &d in &self.assign {
+            c[d as usize] += 1;
+        }
+        c
+    }
+
+    /// An all-on-one-device partition (single-device execution).
+    pub fn single_device(n: usize, dev: u8) -> Self {
+        DevicePartition {
+            assign: vec![dev; n],
+            ratio: if dev == 0 {
+                Ratio::new(1, 0)
+            } else {
+                Ratio::new(0, 1)
+            },
+            scheme: PartitionScheme::Continuous,
+        }
+    }
+}
+
+/// Partition `g` between CPU and MIC with `scheme` at `ratio`.
+///
+/// # Examples
+///
+/// ```
+/// use phigraph_partition::{partition, PartitionScheme, Ratio};
+/// use phigraph_graph::generators::small::cycle;
+/// let g = cycle(8);
+/// let p = partition(&g, PartitionScheme::RoundRobin, Ratio::new(1, 1), 0);
+/// assert_eq!(p.counts(), [4, 4]);
+/// ```
+pub fn partition(g: &Csr, scheme: PartitionScheme, ratio: Ratio, seed: u64) -> DevicePartition {
+    let n = g.num_vertices();
+    let assign = match scheme {
+        PartitionScheme::Continuous => continuous(n, ratio),
+        PartitionScheme::RoundRobin => round_robin(n, ratio),
+        PartitionScheme::Hybrid { blocks } => {
+            let block_of = partition_kway(g, blocks.max(1), seed);
+            hybrid_from_blocks(g, &block_of, blocks.max(1), ratio)
+        }
+    };
+    DevicePartition {
+        assign,
+        ratio,
+        scheme,
+    }
+}
+
+/// Continuous partitioning.
+fn continuous(n: usize, ratio: Ratio) -> Vec<u8> {
+    let cpu_count = ((n as f64) * ratio.share(0)).round() as usize;
+    (0..n).map(|v| u8::from(v >= cpu_count)).collect()
+}
+
+/// Per-vertex round-robin dealing.
+fn round_robin(n: usize, ratio: Ratio) -> Vec<u8> {
+    let a = ratio.cpu as usize;
+    let period = ratio.total() as usize;
+    (0..n).map(|v| u8::from(v % period >= a)).collect()
+}
+
+/// Deal pre-computed blocks to the devices. Blocks are dealt in id order to
+/// whichever device is furthest below its ratio share of cumulative
+/// workload (weighted round-robin) — this keeps the computation ratio
+/// consistent with the requested ratio even when block workloads differ.
+pub fn hybrid_from_blocks(g: &Csr, block_of: &[u32], blocks: usize, ratio: Ratio) -> Vec<u8> {
+    // Per-block workload = edges sourced in the block (+1 per vertex).
+    let mut work = vec![0f64; blocks];
+    for v in 0..g.num_vertices() {
+        work[block_of[v] as usize] += 1.0 + g.out_degree(v as u32) as f64;
+    }
+    let shares = [ratio.share(0), ratio.share(1)];
+    let mut assigned = [0f64; 2];
+    let mut block_dev = vec![0u8; blocks];
+    for b in 0..blocks {
+        // Pick the device with the smaller normalized load; a zero-share
+        // device never receives blocks.
+        let dev = if shares[0] <= 0.0 {
+            1
+        } else if shares[1] <= 0.0 {
+            0
+        } else {
+            let l0 = (assigned[0] + work[b]) / shares[0];
+            let l1 = (assigned[1] + work[b]) / shares[1];
+            usize::from(l1 < l0)
+        };
+        block_dev[b] = dev as u8;
+        assigned[dev] += work[b];
+    }
+    block_of.iter().map(|&b| block_dev[b as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::PartitionStats;
+    use phigraph_graph::generators::rmat::{rmat, RmatConfig};
+
+    fn pokec_like() -> Csr {
+        rmat(&RmatConfig {
+            scale: 11,
+            edge_factor: 8,
+            seed: 42,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn continuous_splits_by_count() {
+        let g = pokec_like();
+        let p = partition(&g, PartitionScheme::Continuous, Ratio::new(3, 5), 0);
+        let c = p.counts();
+        let expect = (g.num_vertices() as f64 * 0.375).round() as usize;
+        assert_eq!(c[0], expect);
+        // Prefix property.
+        assert!(p.assign[..c[0]].iter().all(|&d| d == 0));
+        assert!(p.assign[c[0]..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn round_robin_interleaves() {
+        let g = pokec_like();
+        let p = partition(&g, PartitionScheme::RoundRobin, Ratio::new(1, 1), 0);
+        for v in 0..16 {
+            assert_eq!(p.assign[v], (v % 2) as u8);
+        }
+    }
+
+    #[test]
+    fn continuous_is_imbalanced_on_front_loaded_graphs() {
+        // The core Fig. 6 phenomenon: hubs at the front overload the CPU.
+        let g = pokec_like();
+        let ratio = Ratio::new(1, 1);
+        let cont = partition(&g, PartitionScheme::Continuous, ratio, 0);
+        let s = PartitionStats::compute(&g, &cont);
+        assert!(
+            s.edge_balance_error(ratio) > 0.25,
+            "continuous should be badly imbalanced, err {}",
+            s.edge_balance_error(ratio)
+        );
+    }
+
+    #[test]
+    fn round_robin_and_hybrid_are_balanced() {
+        let g = pokec_like();
+        let ratio = Ratio::new(3, 5);
+        for scheme in [
+            PartitionScheme::RoundRobin,
+            PartitionScheme::hybrid_default(),
+        ] {
+            let p = partition(&g, scheme, ratio, 1);
+            let s = PartitionStats::compute(&g, &p);
+            assert!(
+                s.edge_balance_error(ratio) < 0.15,
+                "{} balance error {}",
+                scheme.name(),
+                s.edge_balance_error(ratio)
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_cuts_fewer_cross_edges_than_round_robin() {
+        let g = pokec_like();
+        let ratio = Ratio::new(1, 1);
+        let rr = PartitionStats::compute(&g, &partition(&g, PartitionScheme::RoundRobin, ratio, 0));
+        let hy = PartitionStats::compute(
+            &g,
+            &partition(&g, PartitionScheme::hybrid_default(), ratio, 0),
+        );
+        assert!(
+            hy.cross_edges < rr.cross_edges,
+            "hybrid {} vs round-robin {}",
+            hy.cross_edges,
+            rr.cross_edges
+        );
+    }
+
+    #[test]
+    fn one_sided_ratio_gives_single_device() {
+        let g = pokec_like();
+        let p = partition(&g, PartitionScheme::hybrid_default(), Ratio::new(0, 1), 0);
+        assert!(p.assign.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn owned_lists_partition_the_vertices() {
+        let g = pokec_like();
+        let p = partition(&g, PartitionScheme::RoundRobin, Ratio::new(2, 3), 0);
+        let mut all = p.owned(0);
+        all.extend(p.owned(1));
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..g.num_vertices() as u32).collect();
+        assert_eq!(all, expect);
+    }
+}

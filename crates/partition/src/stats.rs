@@ -1,0 +1,108 @@
+//! Partition quality metrics: workload balance and cross-edge volume.
+
+use crate::ratio::Ratio;
+use crate::scheme::DevicePartition;
+use phigraph_graph::Csr;
+
+/// Quality measurements for a device partition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionStats {
+    /// Vertices per device.
+    pub vertices: [usize; 2],
+    /// Out-edges sourced per device ("the number of edges processed by the
+    /// CPU and MIC" — the paper's workload measure).
+    pub edges: [u64; 2],
+    /// Edges whose source and destination live on different devices.
+    pub cross_edges: u64,
+}
+
+impl PartitionStats {
+    /// Measure a partition against its graph.
+    pub fn compute(g: &Csr, p: &DevicePartition) -> Self {
+        let mut vertices = [0usize; 2];
+        let mut edges = [0u64; 2];
+        let mut cross = 0u64;
+        for v in 0..g.num_vertices() {
+            let dv = p.assign[v] as usize;
+            vertices[dv] += 1;
+            edges[dv] += g.out_degree(v as u32) as u64;
+            for &t in g.neighbors(v as u32) {
+                if p.assign[t as usize] as usize != dv {
+                    cross += 1;
+                }
+            }
+        }
+        PartitionStats {
+            vertices,
+            edges,
+            cross_edges: cross,
+        }
+    }
+
+    /// Fraction of all edges that cross devices.
+    pub fn cross_fraction(&self) -> f64 {
+        let total = self.edges[0] + self.edges[1];
+        if total == 0 {
+            0.0
+        } else {
+            self.cross_edges as f64 / total as f64
+        }
+    }
+
+    /// Absolute deviation of the CPU's edge share from its ratio share
+    /// (0 = perfectly proportional workload).
+    pub fn edge_balance_error(&self, ratio: Ratio) -> f64 {
+        let total = (self.edges[0] + self.edges[1]) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        // Normalize by the target share so a 50% miss on a 3:5 target and a
+        // 1:1 target read comparably.
+        let actual = self.edges[0] as f64 / total;
+        let target = ratio.share(0);
+        if target <= 0.0 || target >= 1.0 {
+            (actual - target).abs()
+        } else {
+            (actual - target).abs() / target.min(1.0 - target)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{partition, PartitionScheme};
+    use phigraph_graph::generators::small::{cycle, star};
+
+    #[test]
+    fn cycle_even_split_stats() {
+        let g = cycle(8);
+        let p = partition(&g, PartitionScheme::Continuous, Ratio::even(), 0);
+        let s = PartitionStats::compute(&g, &p);
+        assert_eq!(s.vertices, [4, 4]);
+        assert_eq!(s.edges, [4, 4]);
+        // Exactly two edges cross the 3->4 and 7->0 boundaries.
+        assert_eq!(s.cross_edges, 2);
+        assert!((s.cross_fraction() - 0.25).abs() < 1e-12);
+        assert!(s.edge_balance_error(Ratio::even()) < 1e-12);
+    }
+
+    #[test]
+    fn star_continuous_is_totally_imbalanced() {
+        let g = star(10);
+        let p = partition(&g, PartitionScheme::Continuous, Ratio::even(), 0);
+        let s = PartitionStats::compute(&g, &p);
+        // All 9 edges source at vertex 0, on the CPU.
+        assert_eq!(s.edges, [9, 0]);
+        assert!(s.edge_balance_error(Ratio::even()) > 0.9);
+    }
+
+    #[test]
+    fn empty_graph_stats_are_zero() {
+        let g = Csr::from_parts(vec![0], vec![]);
+        let p = DevicePartition::single_device(0, 0);
+        let s = PartitionStats::compute(&g, &p);
+        assert_eq!(s.cross_edges, 0);
+        assert_eq!(s.cross_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+// Lane kernels use explicit index loops over fixed widths on purpose: the
+// bounds are compile-time constants and LLVM vectorizes them directly;
+// iterator chains obscure that contract.
+#![allow(clippy::needless_range_loop)]
+//! Portable SIMD vector types and lane reductions for the phigraph framework.
+//!
+//! The paper's runtime exposes `vint`, `vfloat` and `vdouble` "vtypes": aligned
+//! groups of scalar elements with overloaded arithmetic, built on IMCI
+//! intrinsics for the Xeon Phi and SSE4.2 for the CPU. This crate provides the
+//! Rust equivalent:
+//!
+//! * [`VLane<T, W>`](VLane) — a `W`-wide register value with element-wise
+//!   arithmetic and min/max, generic over the message scalar type. Fixed-width
+//!   inner loops compile to vector instructions on the host.
+//! * [`MsgValue`] — the trait bound for message scalars (the paper's "basic
+//!   data types supported by SSE": `int`, `float`, `double`, …).
+//! * [`ReduceOp`] — associative + commutative reductions (`Sum`, `Min`, `Max`)
+//!   with both scalar and lane paths, plus row-reduction kernels used by the
+//!   condensed static buffer.
+//! * [`AVec`] — a 64-byte aligned buffer, the backing store for message
+//!   buffers so every row starts on a vector-register boundary.
+//! * [`SimdIsa`] — per-device lane-width configuration (IMCI = 64 bytes,
+//!   SSE4.2 = 16 bytes), which drives both buffer layout and the cost model.
+
+pub mod aligned;
+pub mod masked;
+pub mod ops;
+pub mod scalar;
+pub mod vlane;
+pub mod width;
+
+pub use aligned::AVec;
+pub use masked::LaneMask;
+pub use ops::{
+    hreduce, reduce_column_scalar, reduce_rows, reduce_rows_scalar, reduce_rows_strided, Max, Min,
+    NoReduce, ReduceOp, Sum,
+};
+pub use scalar::MsgValue;
+pub use vlane::VLane;
+pub use width::SimdIsa;
+
+/// Convenience aliases mirroring the paper's vtypes at the MIC's IMCI width.
+pub type VInt16 = VLane<i32, 16>;
+/// 16-wide single-precision lane (IMCI width for `float`).
+pub type VFloat16 = VLane<f32, 16>;
+/// 8-wide double-precision lane (IMCI width for `double`).
+pub type VDouble8 = VLane<f64, 8>;
+/// 4-wide integer lane (SSE4.2 width for `int`).
+pub type VInt4 = VLane<i32, 4>;
+/// 4-wide single-precision lane (SSE4.2 width for `float`).
+pub type VFloat4 = VLane<f32, 4>;
+/// 2-wide double-precision lane (SSE4.2 width for `double`).
+pub type VDouble2 = VLane<f64, 2>;

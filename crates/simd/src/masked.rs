@@ -1,0 +1,233 @@
+//! Masked (write-mask) lane operations — the IMCI idiom.
+//!
+//! §II: IMCI has "a hardware supported mask data type, and write-mask
+//! operations that allow operating on some specific elements within the same
+//! SIMD register". This module provides the portable equivalent: a bitmask
+//! over lanes plus masked load/store/reduce kernels. The condensed buffer's
+//! bubble handling can be expressed either by identity-filling (the default
+//! engine path) or by masked reduction ([`reduce_rows_masked`]) — the two
+//! are equivalence-tested against each other.
+
+use crate::ops::ReduceOp;
+use crate::scalar::MsgValue;
+
+/// A per-lane validity mask (bit `i` = lane `i` active). Supports up to 64
+/// lanes, covering every width the framework uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneMask(pub u64);
+
+impl LaneMask {
+    /// All lanes inactive.
+    pub const NONE: LaneMask = LaneMask(0);
+
+    /// The first `n` lanes active.
+    #[inline]
+    pub fn first(n: usize) -> LaneMask {
+        debug_assert!(n <= 64);
+        if n >= 64 {
+            LaneMask(u64::MAX)
+        } else {
+            LaneMask((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from a per-lane predicate over `lanes` lanes.
+    #[inline]
+    pub fn from_fn(lanes: usize, f: impl Fn(usize) -> bool) -> LaneMask {
+        let mut m = 0u64;
+        for i in 0..lanes.min(64) {
+            if f(i) {
+                m |= 1 << i;
+            }
+        }
+        LaneMask(m)
+    }
+
+    /// Whether lane `i` is active.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// Set lane `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, active: bool) {
+        if active {
+            self.0 |= 1 << i;
+        } else {
+            self.0 &= !(1 << i);
+        }
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    pub fn and(&self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 & other.0)
+    }
+
+    /// Lane-wise OR.
+    #[inline]
+    pub fn or(&self, other: LaneMask) -> LaneMask {
+        LaneMask(self.0 | other.0)
+    }
+}
+
+/// Masked blend: where `mask` is set, copy `src` into `dst` (the write-mask
+/// store, `_mm512_mask_mov_*`).
+#[inline]
+pub fn masked_store<T: MsgValue>(dst: &mut [T], src: &[T], mask: LaneMask) {
+    for i in 0..dst.len().min(src.len()).min(64) {
+        if mask.get(i) {
+            dst[i] = src[i];
+        }
+    }
+}
+
+/// Masked lane combine into `acc`: inactive lanes of `row` are treated as
+/// the operator identity (`_mm512_mask_add_*` etc. with the accumulator as
+/// fallback).
+#[inline]
+pub fn masked_accumulate<T: MsgValue, Op: ReduceOp<T>>(acc: &mut [T], row: &[T], mask: LaneMask) {
+    let lanes = acc.len().min(row.len()).min(64);
+    for i in 0..lanes {
+        if mask.get(i) {
+            acc[i] = Op::apply(acc[i], row[i]);
+        }
+    }
+}
+
+/// Reduce rows `0..rows` of a strided block into `out`, with a per-row
+/// validity mask (`row_mask(r)` — lane `c` of row `r` participates iff
+/// set). Equivalent to identity-filling bubbles and calling the unmasked
+/// kernel; exists as the paper's write-mask alternative and as an oracle
+/// for the engine path.
+#[inline]
+pub fn reduce_rows_masked<T: MsgValue, Op: ReduceOp<T>>(
+    buf: &[T],
+    rows: usize,
+    lanes: usize,
+    stride: usize,
+    row_mask: impl Fn(usize) -> LaneMask,
+    out: &mut [T],
+) {
+    debug_assert!(lanes <= 64 && out.len() >= lanes);
+    for c in 0..lanes {
+        out[c] = Op::identity();
+    }
+    for r in 0..rows {
+        let mask = row_mask(r);
+        if mask == LaneMask::NONE {
+            continue;
+        }
+        masked_accumulate::<T, Op>(
+            &mut out[..lanes],
+            &buf[r * stride..r * stride + lanes],
+            mask,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{reduce_rows_strided, Min, Sum};
+
+    #[test]
+    fn mask_bit_operations() {
+        let mut m = LaneMask::first(4);
+        assert_eq!(m.count(), 4);
+        assert!(m.get(3) && !m.get(4));
+        m.set(10, true);
+        m.set(0, false);
+        assert_eq!(m.count(), 4);
+        assert!(m.get(10) && !m.get(0));
+        assert_eq!(LaneMask::first(64).count(), 64);
+        assert_eq!(
+            LaneMask::first(2).and(LaneMask::first(1)),
+            LaneMask::first(1)
+        );
+        assert_eq!(LaneMask::first(2).or(LaneMask(0b100)), LaneMask(0b111));
+    }
+
+    #[test]
+    fn from_fn_matches_predicate() {
+        let m = LaneMask::from_fn(8, |i| i % 2 == 0);
+        assert_eq!(m.0, 0b0101_0101);
+    }
+
+    #[test]
+    fn masked_store_blends() {
+        let mut dst = [0i32; 4];
+        masked_store(&mut dst, &[1, 2, 3, 4], LaneMask(0b1010));
+        assert_eq!(dst, [0, 2, 0, 4]);
+    }
+
+    #[test]
+    fn masked_reduce_equals_identity_filled_reduce() {
+        // A 4-lane, 5-row block where columns have ragged counts
+        // [5, 3, 0, 1]: the masked reduction must equal the engine's
+        // fill-bubbles-then-reduce result.
+        let lanes = 4;
+        let stride = 4;
+        let rows = 5;
+        let counts = [5u32, 3, 0, 1];
+        let buf: Vec<f32> = (0..rows * stride).map(|i| (i as f32) * 0.5 + 1.0).collect();
+
+        let mut masked_out = vec![0f32; lanes];
+        reduce_rows_masked::<f32, Sum>(
+            &buf,
+            rows,
+            lanes,
+            stride,
+            |r| LaneMask::from_fn(lanes, |c| (r as u32) < counts[c]),
+            &mut masked_out,
+        );
+
+        // Oracle: fill bubbles with identity, use the unmasked kernel.
+        let mut filled = buf.clone();
+        for c in 0..lanes {
+            for r in counts[c] as usize..rows {
+                filled[r * stride + c] = 0.0;
+            }
+        }
+        reduce_rows_strided::<f32, Sum>(&mut filled, rows, lanes, stride);
+        for c in 0..lanes {
+            if counts[c] > 0 {
+                assert!((masked_out[c] - filled[c]).abs() < 1e-5, "lane {c}");
+            } else {
+                assert_eq!(masked_out[c], 0.0, "empty lane yields identity");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_min_ignores_inactive_lanes() {
+        let buf = vec![
+            9.0f32, 1.0, 5.0, 7.0, // row 0
+            2.0, 8.0, 3.0, 0.5, // row 1
+        ];
+        let mut out = vec![0f32; 4];
+        // Lane 3 only valid in row 0; lane 1 only in row 1.
+        reduce_rows_masked::<f32, Min>(
+            &buf,
+            2,
+            4,
+            4,
+            |r| {
+                if r == 0 {
+                    LaneMask(0b1101)
+                } else {
+                    LaneMask(0b0111)
+                }
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![2.0, 8.0, 3.0, 7.0]);
+    }
+}

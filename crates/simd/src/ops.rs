@@ -1,0 +1,371 @@
+//! Associative/commutative reduction operators and row-reduction kernels.
+//!
+//! The condensed static buffer stores messages as rows of `lanes` scalars;
+//! message processing reduces rows `1..r` of each vector array into row 0.
+//! [`reduce_rows`] is the vectorized path (the paper's `process_messages`
+//! called on vtypes) and [`reduce_rows_scalar`] is the deliberately scalar
+//! rewrite used by the Fig. 5(f) vectorization ablation.
+
+use crate::scalar::MsgValue;
+use crate::vlane::VLane;
+
+/// An associative and commutative reduction over message values.
+///
+/// The paper: "limited to associative and commutative reductions, such as
+/// sum, max, or min. However, such operations are very common in most graph
+/// applications."
+pub trait ReduceOp<T: MsgValue>: Send + Sync + 'static {
+    /// Human-readable operator name (for reports).
+    const NAME: &'static str;
+
+    /// The operator identity: filling a bubble slot with this value leaves
+    /// the reduction result unchanged.
+    fn identity() -> T;
+
+    /// Combine two scalars.
+    fn apply(a: T, b: T) -> T;
+
+    /// Combine two lanes element-wise. The default forwards to the scalar
+    /// operator per lane, which LLVM vectorizes for the fixed widths in use.
+    #[inline(always)]
+    fn apply_lane<const W: usize>(a: VLane<T, W>, b: VLane<T, W>) -> VLane<T, W> {
+        a.zip(b, Self::apply)
+    }
+}
+
+/// Sum reduction (PageRank's message combine; TopoSort's in-degree delta).
+pub struct Sum;
+/// Minimum reduction (SSSP distance relaxation; BFS level selection).
+pub struct Min;
+/// Maximum reduction (e.g. widest-path / label propagation variants).
+pub struct Max;
+/// Placeholder for programs whose messages are not reduced (delivered
+/// first-come, e.g. the paper's BFS formulation). `apply` keeps the first
+/// value, which is still associative.
+pub struct NoReduce;
+
+impl<T: MsgValue> ReduceOp<T> for Sum {
+    const NAME: &'static str = "sum";
+    #[inline(always)]
+    fn identity() -> T {
+        T::ZERO
+    }
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.vadd(b)
+    }
+}
+
+impl<T: MsgValue> ReduceOp<T> for Min {
+    const NAME: &'static str = "min";
+    #[inline(always)]
+    fn identity() -> T {
+        T::MAX_ID
+    }
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.vmin(b)
+    }
+}
+
+impl<T: MsgValue> ReduceOp<T> for Max {
+    const NAME: &'static str = "max";
+    #[inline(always)]
+    fn identity() -> T {
+        T::MIN_ID
+    }
+    #[inline(always)]
+    fn apply(a: T, b: T) -> T {
+        a.vmax(b)
+    }
+}
+
+impl<T: MsgValue> ReduceOp<T> for NoReduce {
+    const NAME: &'static str = "first";
+    #[inline(always)]
+    fn identity() -> T {
+        T::ZERO
+    }
+    #[inline(always)]
+    fn apply(a: T, _b: T) -> T {
+        a
+    }
+}
+
+/// Reduce rows `1..rows` of a row-major `rows × lanes` block into row 0,
+/// lane-parallel. `buf.len()` must be at least `rows * lanes`.
+///
+/// `lanes` is runtime (it depends on the device ISA and the message size);
+/// the hot loop dispatches to a const-width kernel for the widths the
+/// framework uses so the compiler emits genuine vector code.
+///
+/// # Examples
+///
+/// ```
+/// use phigraph_simd::{reduce_rows, Sum};
+/// // Two rows of four lanes; the column sums land in row 0.
+/// let mut buf = vec![1.0f32, 2.0, 3.0, 4.0,
+///                    10.0, 20.0, 30.0, 40.0];
+/// reduce_rows::<f32, Sum>(&mut buf, 2, 4);
+/// assert_eq!(&buf[..4], &[11.0, 22.0, 33.0, 44.0]);
+/// ```
+/// # Examples
+///
+/// ```
+/// use phigraph_simd::{reduce_rows, Sum};
+/// // Two rows of four lanes; the column sums land in row 0.
+/// let mut buf = vec![1.0f32, 2.0, 3.0, 4.0,
+///                    10.0, 20.0, 30.0, 40.0];
+/// reduce_rows::<f32, Sum>(&mut buf, 2, 4);
+/// assert_eq!(&buf[..4], &[11.0, 22.0, 33.0, 44.0]);
+/// ```
+#[inline]
+pub fn reduce_rows<T: MsgValue, Op: ReduceOp<T>>(buf: &mut [T], rows: usize, lanes: usize) {
+    debug_assert!(buf.len() >= rows * lanes);
+    if rows <= 1 {
+        return;
+    }
+    match lanes {
+        2 => reduce_rows_const::<T, Op, 2>(buf, rows),
+        4 => reduce_rows_const::<T, Op, 4>(buf, rows),
+        8 => reduce_rows_const::<T, Op, 8>(buf, rows),
+        16 => reduce_rows_const::<T, Op, 16>(buf, rows),
+        _ => reduce_rows_dyn::<T, Op>(buf, rows, lanes),
+    }
+}
+
+#[inline]
+fn reduce_rows_const<T: MsgValue, Op: ReduceOp<T>, const W: usize>(buf: &mut [T], rows: usize) {
+    let mut acc = VLane::<T, W>::load(buf);
+    for r in 1..rows {
+        let row = VLane::<T, W>::load(&buf[r * W..]);
+        acc = Op::apply_lane(acc, row);
+    }
+    acc.store(buf);
+}
+
+#[inline]
+fn reduce_rows_dyn<T: MsgValue, Op: ReduceOp<T>>(buf: &mut [T], rows: usize, lanes: usize) {
+    let (head, tail) = buf.split_at_mut(lanes);
+    for r in 1..rows {
+        let row = &tail[(r - 1) * lanes..r * lanes];
+        for c in 0..lanes {
+            head[c] = Op::apply(head[c], row[c]);
+        }
+    }
+}
+
+/// Scalar (deliberately unvectorizable) variant of [`reduce_rows`]: walks
+/// column-by-column with a data-dependent accumulator chain, matching the
+/// paper's "re-wrote the message processing sub-step in a scalar way".
+#[inline]
+pub fn reduce_rows_scalar<T: MsgValue, Op: ReduceOp<T>>(buf: &mut [T], rows: usize, lanes: usize) {
+    debug_assert!(buf.len() >= rows * lanes);
+    if rows <= 1 {
+        return;
+    }
+    for c in 0..lanes {
+        let mut acc = buf[c];
+        for r in 1..rows {
+            acc = Op::apply(acc, buf[r * lanes + c]);
+        }
+        buf[c] = acc;
+    }
+}
+
+/// Horizontally reduce one row of `lanes` scalars to a single value.
+#[inline]
+pub fn hreduce<T: MsgValue, Op: ReduceOp<T>>(row: &[T]) -> T {
+    let mut acc = Op::identity();
+    for &v in row {
+        acc = Op::apply(acc, v);
+    }
+    acc
+}
+
+/// Strided variant of [`reduce_rows`]: rows live `stride` scalars apart
+/// (the condensed static buffer stores a vertex group's `k` vector arrays
+/// row-major with stride `k × lanes`, so one vector array is a strided view).
+/// Reduces rows `1..rows` into row 0; each row is `lanes` wide.
+#[inline]
+pub fn reduce_rows_strided<T: MsgValue, Op: ReduceOp<T>>(
+    buf: &mut [T],
+    rows: usize,
+    lanes: usize,
+    stride: usize,
+) {
+    debug_assert!(stride >= lanes);
+    if rows <= 1 {
+        return;
+    }
+    debug_assert!(buf.len() >= (rows - 1) * stride + lanes);
+    match lanes {
+        2 => reduce_rows_strided_const::<T, Op, 2>(buf, rows, stride),
+        4 => reduce_rows_strided_const::<T, Op, 4>(buf, rows, stride),
+        8 => reduce_rows_strided_const::<T, Op, 8>(buf, rows, stride),
+        16 => reduce_rows_strided_const::<T, Op, 16>(buf, rows, stride),
+        _ => {
+            let (head, tail) = buf.split_at_mut(stride.min(buf.len()));
+            for r in 1..rows {
+                let off = (r - 1) * stride;
+                for c in 0..lanes {
+                    head[c] = Op::apply(head[c], tail[off + c]);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn reduce_rows_strided_const<T: MsgValue, Op: ReduceOp<T>, const W: usize>(
+    buf: &mut [T],
+    rows: usize,
+    stride: usize,
+) {
+    let mut acc = VLane::<T, W>::load(buf);
+    for r in 1..rows {
+        let row = VLane::<T, W>::load(&buf[r * stride..]);
+        acc = Op::apply_lane(acc, row);
+    }
+    acc.store(buf);
+}
+
+/// Strided scalar column reduction: reduce `rows` values of column `col`
+/// (one value per row, rows `stride` apart) to a single scalar. The
+/// unvectorized path used when SIMD processing is disabled.
+#[inline]
+pub fn reduce_column_scalar<T: MsgValue, Op: ReduceOp<T>>(
+    buf: &[T],
+    rows: usize,
+    col: usize,
+    stride: usize,
+) -> T {
+    let mut acc = Op::identity();
+    for r in 0..rows {
+        acc = Op::apply(acc, buf[r * stride + col]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(rows: usize, lanes: usize) -> Vec<f32> {
+        (0..rows * lanes)
+            .map(|i| (i % 23) as f32 * 0.5 + 1.0)
+            .collect()
+    }
+
+    #[test]
+    fn identities_are_neutral() {
+        assert_eq!(
+            <Sum as ReduceOp<f32>>::apply(<Sum as ReduceOp<f32>>::identity(), 4.0),
+            4.0
+        );
+        assert_eq!(
+            <Min as ReduceOp<i32>>::apply(<Min as ReduceOp<i32>>::identity(), -9),
+            -9
+        );
+        assert_eq!(
+            <Max as ReduceOp<i32>>::apply(<Max as ReduceOp<i32>>::identity(), -9),
+            -9
+        );
+    }
+
+    #[test]
+    fn vector_matches_scalar_reduction_all_widths() {
+        for &lanes in &[2usize, 4, 8, 16, 5] {
+            for &rows in &[1usize, 2, 3, 7, 32] {
+                let src = block(rows, lanes);
+                let mut a = src.clone();
+                let mut b = src.clone();
+                reduce_rows::<f32, Sum>(&mut a, rows, lanes);
+                reduce_rows_scalar::<f32, Sum>(&mut b, rows, lanes);
+                assert_eq!(&a[..lanes], &b[..lanes], "lanes={lanes} rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_reduction_picks_column_minimum() {
+        let lanes = 4;
+        let mut buf = vec![
+            5.0f32, 1.0, 9.0, 2.0, // row 0
+            3.0, 4.0, 8.0, 0.5, // row 1
+            6.0, 0.2, 7.0, 2.5, // row 2
+        ];
+        reduce_rows::<f32, Min>(&mut buf, 3, lanes);
+        assert_eq!(&buf[..4], &[3.0, 0.2, 7.0, 0.5]);
+    }
+
+    #[test]
+    fn single_row_is_noop() {
+        let mut buf = vec![1.0f32, 2.0, 3.0, 4.0];
+        let orig = buf.clone();
+        reduce_rows::<f32, Sum>(&mut buf, 1, 4);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn noreduce_keeps_first_row() {
+        let mut buf = vec![10i32, 20, 1, 2, 3, 4];
+        reduce_rows::<i32, NoReduce>(&mut buf, 3, 2);
+        assert_eq!(&buf[..2], &[10, 20]);
+    }
+
+    #[test]
+    fn hreduce_folds_row() {
+        assert_eq!(hreduce::<i32, Sum>(&[1, 2, 3, 4]), 10);
+        assert_eq!(hreduce::<f32, Min>(&[4.0, 1.5, 2.0]), 1.5);
+        assert_eq!(hreduce::<i32, Max>(&[]), i32::MIN);
+    }
+
+    #[test]
+    fn strided_matches_contiguous_when_stride_equals_lanes() {
+        for &lanes in &[2usize, 4, 8, 16, 3] {
+            let rows = 9;
+            let src = block(rows, lanes);
+            let mut a = src.clone();
+            let mut b = src.clone();
+            reduce_rows::<f32, Min>(&mut a, rows, lanes);
+            reduce_rows_strided::<f32, Min>(&mut b, rows, lanes, lanes);
+            assert_eq!(&a[..lanes], &b[..lanes], "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn strided_reduction_skips_gap_columns() {
+        // 3 rows, stride 8, lanes 4: the last 4 scalars of each row are a
+        // different vector array and must stay untouched.
+        let stride = 8;
+        let mut buf: Vec<f32> = (0..3 * stride).map(|i| i as f32).collect();
+        let orig = buf.clone();
+        reduce_rows_strided::<f32, Sum>(&mut buf, 3, 4, stride);
+        for c in 0..4 {
+            assert_eq!(buf[c], orig[c] + orig[stride + c] + orig[2 * stride + c]);
+        }
+        // Untouched tail of row 0 and all later rows.
+        assert_eq!(&buf[4..8], &orig[4..8]);
+        assert_eq!(&buf[8..], &orig[8..]);
+    }
+
+    #[test]
+    fn column_scalar_reduction() {
+        let stride = 6;
+        let buf: Vec<i32> = (0..4 * stride as i32).collect();
+        let r = reduce_column_scalar::<i32, Sum>(&buf, 4, 2, stride);
+        assert_eq!(r, 2 + 8 + 14 + 20);
+        let m = reduce_column_scalar::<i32, Min>(&buf, 4, 5, stride);
+        assert_eq!(m, 5);
+    }
+
+    #[test]
+    fn sum_reduction_16_wide() {
+        let lanes = 16;
+        let rows = 10;
+        let mut buf = vec![1.0f32; rows * lanes];
+        reduce_rows::<f32, Sum>(&mut buf, rows, lanes);
+        assert!(buf[..lanes].iter().all(|&x| x == rows as f32));
+    }
+}

@@ -1,0 +1,246 @@
+//! `VLane<T, W>` — the register-value view of the paper's vtypes.
+//!
+//! A `VLane` is a `W`-element group of scalars with element-wise overloaded
+//! operators, so user-defined `process_messages` functions read like the
+//! paper's Listing 1: load a row, `min`/`+` it against an accumulator, store
+//! it back. Memory stays in flat 64-byte-aligned buffers ([`crate::AVec`]);
+//! `VLane` values are loaded and stored by copy, which LLVM lowers to vector
+//! loads/stores for the fixed widths used by the framework (2, 4, 8, 16).
+
+use crate::scalar::MsgValue;
+use std::ops::{Add, Div, Index, IndexMut, Mul, Sub};
+
+/// A `W`-wide vector register value over message scalar `T`.
+///
+/// # Examples
+///
+/// Element-wise arithmetic reads like the paper's vtype code:
+///
+/// ```
+/// use phigraph_simd::VLane;
+/// let a = VLane::<f32, 4>::from([1.0, 2.0, 3.0, 4.0]);
+/// let b = VLane::<f32, 4>::splat(10.0);
+/// assert_eq!((a + b).as_slice(), &[11.0, 12.0, 13.0, 14.0]);
+/// assert_eq!(a.min(b).as_slice(), a.as_slice());
+/// assert_eq!((a * 2.0).hfold(|x, y| x + y), 20.0);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct VLane<T, const W: usize>(pub [T; W]);
+
+impl<T: MsgValue, const W: usize> Default for VLane<T, W> {
+    #[inline]
+    fn default() -> Self {
+        Self::splat(T::ZERO)
+    }
+}
+
+impl<T: MsgValue, const W: usize> VLane<T, W> {
+    /// Number of lanes.
+    pub const WIDTH: usize = W;
+
+    /// Broadcast a scalar to every lane.
+    #[inline(always)]
+    pub fn splat(v: T) -> Self {
+        VLane([v; W])
+    }
+
+    /// Load a lane from the first `W` elements of `src`.
+    ///
+    /// # Panics
+    /// Panics if `src.len() < W`.
+    #[inline(always)]
+    pub fn load(src: &[T]) -> Self {
+        let mut out = [T::ZERO; W];
+        out.copy_from_slice(&src[..W]);
+        VLane(out)
+    }
+
+    /// Store the lane into the first `W` elements of `dst`.
+    ///
+    /// # Panics
+    /// Panics if `dst.len() < W`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [T]) {
+        dst[..W].copy_from_slice(&self.0);
+    }
+
+    /// Element-wise minimum (wraps `_mm512_min_*` / `_mm_min_*` in the
+    /// paper's implementation).
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        self.zip(rhs, T::vmin)
+    }
+
+    /// Element-wise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        self.zip(rhs, T::vmax)
+    }
+
+    /// Apply `f` lane-wise against `rhs`.
+    #[inline(always)]
+    pub fn zip(self, rhs: Self, f: impl Fn(T, T) -> T) -> Self {
+        let mut out = [T::ZERO; W];
+        for i in 0..W {
+            out[i] = f(self.0[i], rhs.0[i]);
+        }
+        VLane(out)
+    }
+
+    /// Apply `f` to each lane.
+    #[inline(always)]
+    pub fn map(self, f: impl Fn(T) -> T) -> Self {
+        let mut out = [T::ZERO; W];
+        for i in 0..W {
+            out[i] = f(self.0[i]);
+        }
+        VLane(out)
+    }
+
+    /// Blend lanes from `other` where `mask[i]` is true (the IMCI write-mask
+    /// idiom).
+    #[inline(always)]
+    pub fn select(self, other: Self, mask: [bool; W]) -> Self {
+        let mut out = self.0;
+        for i in 0..W {
+            if mask[i] {
+                out[i] = other.0[i];
+            }
+        }
+        VLane(out)
+    }
+
+    /// Horizontal fold of all lanes with `f`, starting from lane 0.
+    #[inline(always)]
+    pub fn hfold(self, f: impl Fn(T, T) -> T) -> T {
+        let mut acc = self.0[0];
+        for i in 1..W {
+            acc = f(acc, self.0[i]);
+        }
+        acc
+    }
+
+    /// View the lanes as a slice.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        &self.0
+    }
+}
+
+macro_rules! lane_binop {
+    ($trait:ident, $method:ident, $scalar:ident) => {
+        impl<T: MsgValue, const W: usize> $trait for VLane<T, W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                self.zip(rhs, T::$scalar)
+            }
+        }
+        /// Vector–scalar broadcast form, e.g. `lane + 1.0`.
+        impl<T: MsgValue, const W: usize> $trait<T> for VLane<T, W> {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: T) -> Self {
+                self.zip(Self::splat(rhs), T::$scalar)
+            }
+        }
+    };
+}
+
+lane_binop!(Add, add, vadd);
+lane_binop!(Sub, sub, vsub);
+lane_binop!(Mul, mul, vmul);
+lane_binop!(Div, div, vdiv);
+
+impl<T, const W: usize> Index<usize> for VLane<T, W> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &T {
+        &self.0[i]
+    }
+}
+
+impl<T, const W: usize> IndexMut<usize> for VLane<T, W> {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.0[i]
+    }
+}
+
+impl<T: MsgValue, const W: usize> From<[T; W]> for VLane<T, W> {
+    #[inline]
+    fn from(v: [T; W]) -> Self {
+        VLane(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_index() {
+        let v = VLane::<f32, 4>::splat(2.5);
+        for i in 0..4 {
+            assert_eq!(v[i], 2.5);
+        }
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = VLane::<i32, 4>::from([1, 2, 3, 4]);
+        let b = VLane::<i32, 4>::from([10, 20, 30, 40]);
+        assert_eq!((a + b).0, [11, 22, 33, 44]);
+        assert_eq!((b - a).0, [9, 18, 27, 36]);
+        assert_eq!((a * b).0, [10, 40, 90, 160]);
+        assert_eq!((b / a).0, [10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn scalar_broadcast_ops() {
+        let a = VLane::<f32, 8>::splat(3.0);
+        assert_eq!((a + 1.0).0, [4.0; 8]);
+        assert_eq!((a * 2.0).0, [6.0; 8]);
+    }
+
+    #[test]
+    fn min_max_lanes() {
+        let a = VLane::<f32, 4>::from([1.0, 5.0, 3.0, 7.0]);
+        let b = VLane::<f32, 4>::from([4.0, 2.0, 6.0, 0.0]);
+        assert_eq!(a.min(b).0, [1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(a.max(b).0, [4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let data = [9i32, 8, 7, 6, 5];
+        let v = VLane::<i32, 4>::load(&data);
+        assert_eq!(v.0, [9, 8, 7, 6]);
+        let mut out = [0i32; 5];
+        v.store(&mut out);
+        assert_eq!(out, [9, 8, 7, 6, 0]);
+    }
+
+    #[test]
+    fn select_applies_write_mask() {
+        let a = VLane::<i32, 4>::splat(0);
+        let b = VLane::<i32, 4>::splat(1);
+        let r = a.select(b, [true, false, true, false]);
+        assert_eq!(r.0, [1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn hfold_reduces_all_lanes() {
+        let v = VLane::<i32, 16>::from([1; 16].map(|x: i32| x));
+        assert_eq!(v.hfold(|a, b| a + b), 16);
+        let w = VLane::<f32, 4>::from([4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(w.hfold(f32::min), 1.0);
+    }
+
+    #[test]
+    fn division_by_zero_lane_is_total_for_ints() {
+        let a = VLane::<i32, 4>::from([8, 8, 8, 8]);
+        let b = VLane::<i32, 4>::from([2, 0, 4, 0]);
+        assert_eq!((a / b).0, [4, 0, 2, 0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-device SIMD lane-width configuration.
+//!
+//! "The same APIs are built on top of both KNC (for MIC) and SSE4.2 (for
+//! CPU), wrapping corresponding architecture-specific intrinsics." The ISA
+//! choice decides `w` in the paper's layout formulas (`w / msg_size` messages
+//! per vector row), so it is a first-class configuration object here.
+
+use crate::scalar::MsgValue;
+
+/// A SIMD instruction set, reduced to the property that matters for buffer
+/// layout and the cost model: its vector register width in bytes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SimdIsa {
+    /// ISA name for reports.
+    pub name: &'static str,
+    /// Vector register width in bytes (`w` in the paper).
+    pub vector_bytes: usize,
+}
+
+impl SimdIsa {
+    /// Intel Initial Many Core Instructions — the Xeon Phi's 512-bit vectors.
+    pub const IMCI: SimdIsa = SimdIsa {
+        name: "IMCI",
+        vector_bytes: 64,
+    };
+    /// SSE4.2 — the host CPU path used by the paper (128-bit vectors).
+    pub const SSE42: SimdIsa = SimdIsa {
+        name: "SSE4.2",
+        vector_bytes: 16,
+    };
+    /// AVX2 (256-bit) — not used by the paper's testbed but useful for
+    /// what-if ablations on modern hosts.
+    pub const AVX2: SimdIsa = SimdIsa {
+        name: "AVX2",
+        vector_bytes: 32,
+    };
+    /// Scalar pseudo-ISA: one message per "row". Used to express fully
+    /// unvectorized configurations uniformly.
+    pub const SCALAR: SimdIsa = SimdIsa {
+        name: "scalar",
+        vector_bytes: 0,
+    };
+
+    /// Number of lanes for message scalar `T` (`w / msg_size`), minimum 1.
+    #[inline]
+    pub fn lanes_for<T: MsgValue>(&self) -> usize {
+        if self.vector_bytes == 0 {
+            1
+        } else {
+            (self.vector_bytes / T::SIZE).max(1)
+        }
+    }
+
+    /// Number of lanes for a raw message size in bytes.
+    #[inline]
+    pub fn lanes_for_size(&self, msg_size: usize) -> usize {
+        if self.vector_bytes == 0 {
+            1
+        } else {
+            (self.vector_bytes / msg_size.max(1)).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imci_matches_paper_widths() {
+        // "simultaneously 16 messages participate in the overloaded min()"
+        assert_eq!(SimdIsa::IMCI.lanes_for::<f32>(), 16);
+        assert_eq!(SimdIsa::IMCI.lanes_for::<i32>(), 16);
+        // "process 16 (8) identical floating point (double precision) ops"
+        assert_eq!(SimdIsa::IMCI.lanes_for::<f64>(), 8);
+    }
+
+    #[test]
+    fn sse_matches_paper_widths() {
+        // "For CPU, 4 messages are processed simultaneously."
+        assert_eq!(SimdIsa::SSE42.lanes_for::<f32>(), 4);
+        assert_eq!(SimdIsa::SSE42.lanes_for::<f64>(), 2);
+    }
+
+    #[test]
+    fn scalar_isa_is_one_lane() {
+        assert_eq!(SimdIsa::SCALAR.lanes_for::<f32>(), 1);
+        assert_eq!(SimdIsa::SCALAR.lanes_for::<f64>(), 1);
+    }
+
+    #[test]
+    fn oversized_messages_get_one_lane() {
+        // A 128-byte message cannot fit a 64-byte register: fall back to 1.
+        assert_eq!(SimdIsa::IMCI.lanes_for_size(128), 1);
+        assert_eq!(SimdIsa::SSE42.lanes_for_size(0), 16);
+    }
+}

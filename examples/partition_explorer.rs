@@ -1,0 +1,58 @@
+//! Partition explorer: compare the three schemes of §IV.E on one graph and
+//! print balance and cross-edge metrics for a sweep of ratios — the raw
+//! material behind Fig. 6.
+//!
+//! ```sh
+//! cargo run --release -p phigraph-apps --example partition_explorer [scale]
+//! ```
+
+use phigraph_apps::workloads::{self, Scale};
+use phigraph_graph::DegreeStats;
+use phigraph_partition::{partition, PartitionScheme, PartitionStats, Ratio};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Tiny);
+    let graph = workloads::pokec_like(scale, 42);
+    let deg = DegreeStats::out_degrees(&graph);
+    println!(
+        "graph: {} vertices / {} edges, degree skew cv={:.2} (hubs front-loaded)\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        deg.cv
+    );
+
+    println!(
+        "{:<12}{:<8}{:>12}{:>12}{:>14}{:>14}{:>12}",
+        "scheme", "ratio", "CPU edges", "MIC edges", "balance err", "cross edges", "cross %"
+    );
+    for scheme in [
+        PartitionScheme::Continuous,
+        PartitionScheme::RoundRobin,
+        PartitionScheme::hybrid_default(),
+    ] {
+        for ratio in [Ratio::new(1, 1), Ratio::new(3, 5), Ratio::new(1, 4)] {
+            let p = partition(&graph, scheme, ratio, 7);
+            let s = PartitionStats::compute(&graph, &p);
+            println!(
+                "{:<12}{:<8}{:>12}{:>12}{:>14.3}{:>14}{:>12.1}",
+                scheme.name(),
+                ratio.to_string(),
+                s.edges[0],
+                s.edges[1],
+                s.edge_balance_error(ratio),
+                s.cross_edges,
+                s.cross_fraction() * 100.0,
+            );
+        }
+        println!();
+    }
+
+    println!("reading the table:");
+    println!("  * continuous keeps cross edges low but mis-balances the edge load");
+    println!("    (hub vertices cluster at the front of the id space);");
+    println!("  * round-robin balances perfectly but maximizes cross edges;");
+    println!("  * hybrid (min-connectivity blocks dealt by ratio) achieves both.");
+}

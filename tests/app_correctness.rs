@@ -1,0 +1,130 @@
+//! End-to-end application correctness on realistic workloads, against the
+//! sequential reference implementations.
+
+#![allow(clippy::needless_range_loop)] // index loops read clearer in vertex-indexed asserts
+
+use phigraph_apps::reference::{
+    bfs::bfs_reference, pagerank::pagerank_reference, sssp::dijkstra_reference,
+    toposort::kahn_levels,
+};
+use phigraph_apps::semicluster::community_agreement;
+use phigraph_apps::toposort::is_valid_topo;
+use phigraph_apps::{workloads, Bfs, PageRank, SemiClustering, Sssp, TopoSort};
+use phigraph_core::engine::obj::run_obj_single;
+use phigraph_core::engine::{run_single, EngineConfig};
+use phigraph_device::DeviceSpec;
+
+#[test]
+fn pagerank_matches_reference_on_power_law_graph() {
+    let g = workloads::pokec_like(workloads::Scale::Tiny, 41);
+    let out = run_single(
+        &PageRank {
+            damping: 0.85,
+            iterations: 10,
+        },
+        &g,
+        DeviceSpec::xeon_phi_se10p(),
+        &EngineConfig::pipelined().with_host_threads(4),
+    );
+    let expect = pagerank_reference(&g, 0.85, 10);
+    for v in 0..g.num_vertices() {
+        assert!(
+            (out.values[v] - expect[v]).abs() < 1e-3,
+            "vertex {v}: {} vs {}",
+            out.values[v],
+            expect[v]
+        );
+    }
+    // Hubs (front-loaded ids) should accumulate above-average rank.
+    let front_avg: f32 = out.values[..16].iter().sum::<f32>() / 16.0;
+    let total_avg: f32 = out.values.iter().sum::<f32>() / g.num_vertices() as f32;
+    assert!(front_avg > total_avg);
+}
+
+#[test]
+fn bfs_matches_reference_on_power_law_graph() {
+    let g = workloads::pokec_like(workloads::Scale::Tiny, 42);
+    let out = run_single(
+        &Bfs { source: 0 },
+        &g,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::locking(),
+    );
+    assert_eq!(out.values, bfs_reference(&g, 0));
+}
+
+#[test]
+fn sssp_matches_dijkstra_on_weighted_graph() {
+    let g = workloads::pokec_like_weighted(workloads::Scale::Tiny, 43);
+    let out = run_single(
+        &Sssp { source: 0 },
+        &g,
+        DeviceSpec::xeon_phi_se10p(),
+        &EngineConfig::locking(),
+    );
+    let expect = dijkstra_reference(&g, 0);
+    for v in 0..g.num_vertices() {
+        let (a, b) = (out.values[v], expect[v]);
+        if b.is_infinite() {
+            assert!(a.is_infinite(), "vertex {v} should be unreachable");
+        } else {
+            assert!((a - b).abs() < 1e-2, "vertex {v}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn toposort_levels_match_kahn_on_dense_dag() {
+    let g = workloads::toposort_dag(workloads::Scale::Tiny, 44);
+    let out = run_single(
+        &TopoSort::new(&g),
+        &g,
+        DeviceSpec::xeon_phi_se10p(),
+        &EngineConfig::pipelined().with_host_threads(4),
+    );
+    assert!(is_valid_topo(&g, &out.values));
+    let expect = kahn_levels(&g).expect("workload DAG is acyclic");
+    for v in 0..g.num_vertices() {
+        assert_eq!(out.values[v].level, expect[v], "vertex {v}");
+    }
+}
+
+#[test]
+fn semicluster_recovers_planted_structure() {
+    let (g, labels) = workloads::dblp_like(workloads::Scale::Tiny, 45);
+    let out = run_obj_single(
+        &SemiClustering::default(),
+        &g,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::locking(),
+    );
+    let agreement = community_agreement(&out.values, &labels);
+    assert!(agreement > 0.6, "agreement {agreement}");
+}
+
+#[test]
+fn message_counts_match_analytic_expectations() {
+    // PageRank on a graph with E edges sends exactly E messages per
+    // superstep (every vertex propagates along every out-edge).
+    let g = workloads::pokec_like(workloads::Scale::Tiny, 46);
+    let out = run_single(
+        &PageRank {
+            damping: 0.85,
+            iterations: 4,
+        },
+        &g,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::locking(),
+    );
+    for step in &out.report.steps {
+        assert_eq!(step.counters.msgs_total(), g.num_edges() as u64);
+    }
+    // BFS sends each edge's message at most once over the whole run.
+    let bfs = run_single(
+        &Bfs { source: 0 },
+        &g,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::locking(),
+    );
+    assert!(bfs.report.total_msgs() <= g.num_edges() as u64);
+}

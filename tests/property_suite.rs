@@ -1,0 +1,305 @@
+//! Property-based tests (proptest) over the framework's core invariants.
+
+#![allow(clippy::needless_range_loop)] // index loops read clearer in vertex-indexed asserts
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use phigraph_apps::reference::sssp::dijkstra_reference;
+use phigraph_apps::Sssp;
+use phigraph_comm::{combine_messages, WireMsg};
+use phigraph_core::csb::{ColumnMode, Csb, CsbLayout};
+use phigraph_core::engine::{run_single, EngineConfig};
+use phigraph_core::util::SharedSlice;
+use phigraph_device::{makespan, DeviceSpec};
+use phigraph_graph::{Csr, EdgeList};
+use phigraph_partition::{partition, PartitionScheme, PartitionStats, Ratio};
+use phigraph_simd::{Min, ReduceOp, Sum};
+
+/// Arbitrary small directed graph as an edge list.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |edges| {
+            let mut el = EdgeList::new(n);
+            for (s, d) in edges {
+                if s != d {
+                    el.push(s, d);
+                }
+            }
+            el.sort_dedup();
+            Csr::from_edge_list(&el)
+        })
+    })
+}
+
+/// Arbitrary message batch `(dst, value)` bounded by per-dst capacity.
+fn arb_messages(n: usize, cap: u32) -> impl Strategy<Value = Vec<(u32, f32)>> {
+    vec(
+        (0..n as u32, -100.0f32..100.0),
+        0..(n * cap as usize).min(400),
+    )
+    .prop_map(move |mut msgs| {
+        // Enforce the capacity bound per destination.
+        let mut counts = vec![0u32; n];
+        msgs.retain(|&(d, _)| {
+            counts[d as usize] += 1;
+            counts[d as usize] <= cap
+        });
+        msgs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSB insert → process is exactly a per-destination reduction, for
+    /// both column modes and both processing paths.
+    #[test]
+    fn csb_round_trip_is_per_destination_reduce(
+        msgs in arb_messages(48, 6),
+        one_to_one in any::<bool>(),
+        vectorized in any::<bool>(),
+        k in 1usize..5,
+    ) {
+        let n = 48usize;
+        let cap = vec![6u32; n];
+        let owned: Vec<u32> = (0..n as u32).collect();
+        let layout = CsbLayout::build(n, &owned, &cap, 4, k);
+        let mode = if one_to_one { ColumnMode::OneToOne } else { ColumnMode::Dynamic };
+        let csb = Csb::<f32>::new(layout, mode);
+        for &(d, v) in &msgs {
+            csb.insert(d, v);
+        }
+        let positions = csb.layout.num_positions();
+        let mut out = vec![0f32; positions];
+        let mut has = vec![0u8; positions];
+        let mut chunks = Vec::new();
+        {
+            let o = SharedSlice::new(&mut out);
+            let h = SharedSlice::new(&mut has);
+            csb.process_groups::<Sum>(0..csb.layout.num_groups(), vectorized, &o, &h, &mut chunks);
+        }
+        // Work records must account for every message exactly once.
+        let recorded: u64 = chunks.iter().map(|c| c.msgs).sum();
+        prop_assert_eq!(recorded, msgs.len() as u64);
+        // Oracle: plain per-destination fold.
+        let mut expect = vec![0f32; n];
+        let mut got = vec![false; n];
+        for &(d, v) in &msgs {
+            expect[d as usize] += v;
+            got[d as usize] = true;
+        }
+        for v in 0..n as u32 {
+            let pos = csb.layout.position[v as usize] as usize;
+            prop_assert_eq!(has[pos] == 1, got[v as usize], "vertex {}", v);
+            if got[v as usize] {
+                prop_assert!((out[pos] - expect[v as usize]).abs() < 1e-3,
+                    "vertex {}: {} vs {}", v, out[pos], expect[v as usize]);
+            }
+        }
+    }
+
+    /// The engine's SSSP equals Dijkstra on arbitrary weighted digraphs.
+    #[test]
+    fn sssp_equals_dijkstra(g in arb_graph(40, 200), seed in 0u64..1000) {
+        let mut el = g.to_edge_list();
+        el.randomize_weights(0.1, 5.0, seed);
+        let g = Csr::from_edge_list(&el);
+        let out = run_single(
+            &Sssp { source: 0 },
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking(),
+        );
+        let expect = dijkstra_reference(&g, 0);
+        for v in 0..g.num_vertices() {
+            let (a, b) = (out.values[v], expect[v]);
+            if b.is_infinite() {
+                prop_assert!(a.is_infinite());
+            } else {
+                prop_assert!((a - b).abs() < 1e-2, "vertex {}: {} vs {}", v, a, b);
+            }
+        }
+    }
+
+    /// Every partitioning scheme yields a total assignment whose stats are
+    /// internally consistent.
+    #[test]
+    fn partitions_are_total_and_consistent(
+        g in arb_graph(60, 300),
+        a in 1u32..5,
+        b in 1u32..5,
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = [
+            PartitionScheme::Continuous,
+            PartitionScheme::RoundRobin,
+            PartitionScheme::Hybrid { blocks: 8 },
+        ][scheme_idx];
+        let ratio = Ratio::new(a, b);
+        let p = partition(&g, scheme, ratio, 11);
+        prop_assert_eq!(p.assign.len(), g.num_vertices());
+        let s = PartitionStats::compute(&g, &p);
+        prop_assert_eq!(s.vertices[0] + s.vertices[1], g.num_vertices());
+        prop_assert_eq!(s.edges[0] + s.edges[1], g.num_edges() as u64);
+        prop_assert!(s.cross_edges <= g.num_edges() as u64);
+    }
+
+    /// Makespan is sandwiched between the two lower bounds and the serial
+    /// total, and never increases with more workers.
+    #[test]
+    fn makespan_bounds(chunks in vec(0.0f64..100.0, 1..200), workers in 1usize..64) {
+        let r = makespan(&chunks, workers);
+        let total: f64 = chunks.iter().sum();
+        let maxc = chunks.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(r.makespan <= total + 1e-9);
+        prop_assert!(r.makespan + 1e-9 >= total / workers as f64);
+        prop_assert!(r.makespan + 1e-9 >= maxc);
+        let r2 = makespan(&chunks, workers * 2);
+        prop_assert!(r2.makespan <= r.makespan + 1e-9);
+    }
+
+    /// Remote combining preserves the per-destination reduction and emits
+    /// at most one message per destination.
+    #[test]
+    fn combining_preserves_reduction(msgs in vec((0u32..30, -50.0f32..50.0), 0..200)) {
+        let wire: Vec<WireMsg<f32>> = msgs
+            .iter()
+            .map(|&(dst, value)| WireMsg { dst, value })
+            .collect();
+        let (combined, before) = combine_messages::<f32, Min>(wire);
+        prop_assert_eq!(before, msgs.len());
+        // At most one per destination, sorted.
+        for w in combined.windows(2) {
+            prop_assert!(w[0].dst < w[1].dst);
+        }
+        // Values equal the scalar fold.
+        for m in &combined {
+            let expect = msgs
+                .iter()
+                .filter(|&&(d, _)| d == m.dst)
+                .map(|&(_, v)| v)
+                .fold(<Min as ReduceOp<f32>>::identity(), <Min as ReduceOp<f32>>::apply);
+            prop_assert_eq!(m.value, expect);
+        }
+    }
+
+    /// The SPSC queue transfers an arbitrary item sequence across threads
+    /// without loss, duplication, or reordering, for any capacity.
+    #[test]
+    fn spsc_transfer_is_lossless(items in vec(any::<u64>(), 0..500), cap in 2usize..64) {
+        use phigraph_core::queues::SpscQueue;
+        let q = SpscQueue::new(cap);
+        let got: Vec<u64> = std::thread::scope(|s| {
+            s.spawn(|| {
+                for &x in &items {
+                    // SAFETY: single producer thread.
+                    unsafe { q.push(x) };
+                }
+                q.close();
+            });
+            let mut got = Vec::new();
+            while !q.is_drained() {
+                // SAFETY: single consumer thread.
+                unsafe { q.pop_batch(&mut got, 17) };
+            }
+            got
+        });
+        prop_assert_eq!(got, items);
+    }
+
+    /// Wire encode/decode is the identity on arbitrary message batches.
+    #[test]
+    fn wire_codec_round_trips(msgs in vec((any::<u32>(), any::<f32>()), 0..200)) {
+        use phigraph_comm::message::{decode_batch, encode_batch};
+        let wire: Vec<WireMsg<f32>> = msgs
+            .iter()
+            .map(|&(dst, value)| WireMsg { dst, value })
+            .collect();
+        let bytes = encode_batch(&wire);
+        prop_assert_eq!(bytes.len(), wire.len() * 8);
+        let back = decode_batch::<f32>(&bytes);
+        // NaN-safe comparison via bit patterns.
+        prop_assert_eq!(back.len(), wire.len());
+        for (a, b) in back.iter().zip(&wire) {
+            prop_assert_eq!(a.dst, b.dst);
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+
+    /// The CSB layout is a permutation with non-increasing capacities and
+    /// exact group geometry, for arbitrary capacity vectors.
+    #[test]
+    fn csb_layout_invariants(caps in vec(0u32..50, 1..200), lanes_pow in 1u32..5, k in 1usize..5) {
+        use phigraph_core::csb::CsbLayout;
+        let lanes = 1usize << lanes_pow;
+        let n = caps.len();
+        let owned: Vec<u32> = (0..n as u32).collect();
+        let layout = CsbLayout::build(n, &owned, &caps, lanes, k);
+        // order is a permutation of owned.
+        let mut sorted = layout.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, owned);
+        // capacities are non-increasing.
+        for w in layout.capacity.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // redirection map round-trips.
+        for (pos, &v) in layout.order.iter().enumerate() {
+            prop_assert_eq!(layout.position[v as usize] as usize, pos);
+        }
+        // group rows equal the max capacity of their slice, and cell
+        // offsets tile exactly.
+        let width = k * lanes;
+        let mut offset = 0usize;
+        for (gi, info) in layout.groups.iter().enumerate() {
+            let slice = &layout.capacity[gi * width..(gi * width + width).min(n)];
+            prop_assert_eq!(info.rows, slice.iter().copied().max().unwrap_or(0));
+            prop_assert_eq!(info.cell_offset, offset);
+            offset += info.rows as usize * width;
+        }
+        prop_assert_eq!(layout.total_cells, offset);
+        prop_assert!(layout.dense_cells() >= layout.total_cells);
+    }
+
+    /// Ratio display/parse round-trips.
+    #[test]
+    fn ratio_round_trips(a in 1u32..100, b in 0u32..100) {
+        let r = Ratio::new(a, b);
+        let parsed: Ratio = r.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, r);
+        prop_assert!((r.share(0) + r.share(1) - 1.0).abs() < 1e-12);
+    }
+
+    /// Graph adjacency-list I/O round-trips arbitrary graphs.
+    #[test]
+    fn adjacency_io_round_trips(g in arb_graph(50, 250)) {
+        use phigraph_graph::io::{read_adjacency, write_adjacency};
+        let mut buf = Vec::new();
+        write_adjacency(&g, &mut buf).unwrap();
+        let g2 = read_adjacency(&buf[..]).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    /// The engine is bitwise deterministic for a fixed input, regardless of
+    /// threading (PageRank sums are applied in a fixed buffer order).
+    #[test]
+    fn engine_is_deterministic(g in arb_graph(40, 150), threads in 1usize..6) {
+        use phigraph_apps::PageRank;
+        let pr = PageRank { damping: 0.85, iterations: 4 };
+        let a = run_single(
+            &pr, &g, DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking().with_host_threads(threads),
+        );
+        let b = run_single(
+            &pr, &g, DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking().with_host_threads(1),
+        );
+        // Same multiset of messages reduced with an associative op over a
+        // deterministic layout: identical reports step-for-step.
+        prop_assert_eq!(a.report.supersteps(), b.report.supersteps());
+        for v in 0..g.num_vertices() {
+            prop_assert!((a.values[v] - b.values[v]).abs() < 1e-4);
+        }
+    }
+}

@@ -2,14 +2,14 @@
 //! bandwidth and latency (PCIe generations / idealized), and the cost of
 //! the remote combine step itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_bench::harness::{BenchmarkId, Criterion};
+use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_apps::workloads::Scale;
 use phigraph_bench::{AppId, Workbench};
 use phigraph_comm::{combine_messages, PcieLink, WireMsg};
 use phigraph_partition::{partition, PartitionScheme};
 use phigraph_simd::Sum;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
 fn bench_link_sweep(c: &mut Criterion) {
     let wb = Workbench::new(Scale::Tiny);
@@ -50,7 +50,7 @@ fn bench_combiner(c: &mut Criterion) {
         let msgs: Vec<WireMsg<f32>> = (0..n)
             .map(|_| WireMsg {
                 dst: rng.random_range(0..(n as u32 / 8).max(1)),
-                value: rng.random_range(0.0..1.0),
+                value: rng.random_range(0.0f32..1.0),
             })
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &msgs, |b, msgs| {

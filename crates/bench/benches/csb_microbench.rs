@@ -2,15 +2,15 @@
 //! column allocation, group width factor `k`, and raw insertion throughput
 //! under the locking and pipelined disciplines.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phigraph_bench::harness::{BenchmarkId, Criterion, Throughput};
+use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_apps::workloads::{self, Scale};
 use phigraph_apps::Sssp;
 use phigraph_core::csb::{ColumnMode, Csb, CsbLayout};
 use phigraph_core::engine::{run_single, EngineConfig};
 use phigraph_device::pool::run_parallel;
 use phigraph_device::DeviceSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
 fn bench_column_modes(c: &mut Criterion) {
     let g = workloads::pokec_like_weighted(Scale::Tiny, 5);

@@ -1,7 +1,8 @@
 //! Partitioner ablations: block-count sweep for the hybrid scheme, and the
 //! multilevel bisection vs the flat greedy bisection it is built on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_bench::harness::{BenchmarkId, Criterion};
+use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_apps::workloads::{self, Scale};
 use phigraph_partition::mlp::initial::greedy_bisect;
 use phigraph_partition::mlp::kway::{block_cut, multilevel_bisect, partition_kway};
@@ -40,7 +41,7 @@ fn bench_bisection_quality(c: &mut Criterion) {
 
 fn bench_cut_vs_k(c: &mut Criterion) {
     // Record the cut growth with k (printed via assertion messages when it
-    // breaks; criterion tracks the partitioning time).
+    // breaks; the harness tracks the partitioning time).
     let g = workloads::pokec_like(Scale::Tiny, 6);
     c.bench_function("partition/cut_probe_k64", |b| {
         b.iter(|| {

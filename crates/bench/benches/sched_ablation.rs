@@ -3,13 +3,13 @@
 //! scheduling offset, too large imbalances), and the analytic makespan
 //! replay itself.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phigraph_bench::harness::{BenchmarkId, Criterion};
+use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_apps::workloads::{self, Scale};
 use phigraph_apps::PageRank;
 use phigraph_core::engine::{run_single, EngineConfig};
 use phigraph_device::{makespan, DeviceSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
 fn bench_gen_chunk_sweep(c: &mut Criterion) {
     let g = workloads::pokec_like(Scale::Tiny, 5);

@@ -1,0 +1,331 @@
+//! Vendored micro-benchmark harness (criterion-compatible subset).
+//!
+//! The workspace builds hermetically offline, so the benches cannot pull
+//! `criterion` from a registry. This module provides the small slice of its
+//! API the benches actually use — `Criterion`, benchmark groups, per-input
+//! benches, element throughput — with a simple measurement loop: one warmup
+//! iteration, then `sample_size` timed iterations, reporting the mean,
+//! min, and (when a throughput was declared) elements per second.
+//!
+//! Results print as one line per benchmark:
+//!
+//! ```text
+//! csb/insert/Dynamic        mean 12.281ms  min 11.902ms  (16.3 Melem/s)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value (stable-Rust
+/// equivalent of `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    // `read_volatile` of the pointer forces the value to materialize.
+    // SAFETY: `&x` is a valid, initialized, aligned pointer; the value is
+    // returned and `x` is forgotten so no double-drop occurs.
+    unsafe {
+        let ret = std::ptr::read_volatile(&x);
+        std::mem::forget(x);
+        ret
+    }
+}
+
+/// Top-level driver handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {
+    /// Results accumulated over the run (label, mean, min, throughput).
+    results: Vec<BenchResult>,
+}
+
+/// One benchmark's measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark label (`group/function/parameter`).
+    pub label: String,
+    /// Mean iteration time.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Declared elements per iteration, if any.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    fn report(&self) {
+        let thr = match self.elements {
+            Some(e) if self.mean.as_secs_f64() > 0.0 => {
+                let eps = e as f64 / self.mean.as_secs_f64();
+                format!("  ({} elem/s)", human_rate(eps))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{:<44} mean {:>10}  min {:>10}{}",
+            self.label,
+            human_time(self.mean),
+            human_time(self.min),
+            thr
+        );
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3}us", s * 1e6)
+    } else {
+        format!("{:.0}ns", s * 1e9)
+    }
+}
+
+fn human_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let r = run_bench(name, default_sample_size(), None, |b| f(b));
+        r.report();
+        self.results.push(r);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Samples per benchmark; `PHIGRAPH_BENCH_SAMPLES` overrides (CI smoke runs
+/// set it to 1).
+fn default_sample_size() -> usize {
+    std::env::var("PHIGRAPH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Declared per-iteration work, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (messages, edges, …) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` with `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let elements = match self.throughput {
+            Some(Throughput::Elements(e)) => Some(e),
+            _ => None,
+        };
+        let r = run_bench(&label, self.sample_size, elements, |b| f(b, input));
+        r.report();
+        self.parent.results.push(r);
+        self
+    }
+
+    /// Benchmark a plain function under `name` within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let elements = match self.throughput {
+            Some(Throughput::Elements(e)) => Some(e),
+            _ => None,
+        };
+        let r = run_bench(&label, self.sample_size, elements, |b| f(b));
+        r.report();
+        self.parent.results.push(r);
+        self
+    }
+
+    /// End the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmarked closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `body`: one untimed warmup call, then `samples` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        black_box(body()); // warmup (also pre-faults allocations)
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(body());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    elements: Option<u64>,
+    mut f: F,
+) -> BenchResult {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        iters: 0,
+    };
+    f(&mut b);
+    let iters = b.iters.max(1);
+    BenchResult {
+        label: label.to_string(),
+        mean: b.total / iters as u32,
+        min: if b.min == Duration::MAX {
+            Duration::ZERO
+        } else {
+            b.min
+        },
+        elements,
+    }
+}
+
+/// Register bench functions under a group name (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+            eprintln!("\n{} benchmarks completed", c.results().len());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let r = run_bench("t", 3, Some(300), |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..1000u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        assert_eq!(r.label, "t");
+        assert!(r.min <= r.mean);
+        assert_eq!(r.elements, Some(300));
+    }
+
+    #[test]
+    fn group_accumulates_results() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
+                b.iter(|| black_box(x + 1))
+            });
+            g.bench_function("plain", |b| b.iter(|| black_box(2)));
+            g.finish();
+        }
+        c.bench_function("top", |b| b.iter(|| black_box(3)));
+        assert_eq!(c.results().len(), 3);
+        assert_eq!(c.results()[0].label, "g/1");
+        assert_eq!(c.results()[1].label, "g/plain");
+        assert_eq!(c.results()[2].label, "top");
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+        let v = vec![1, 2, 3];
+        assert_eq!(black_box(v.clone()), v);
+    }
+}

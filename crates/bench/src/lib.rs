@@ -2,14 +2,15 @@
 //! Shared experiment harness for the paper reproduction.
 //!
 //! Every table and figure of the paper's §V maps to a function here (see
-//! DESIGN.md §4 for the index); the `reproduce` binary and the criterion
+//! DESIGN.md §4 for the index); the `reproduce` binary and the micro-
 //! benches are thin wrappers over these. All reported times are *simulated*
 //! device times from the cost model (the real product of this
-//! reproduction); criterion additionally tracks host wall-clock for
-//! regressions.
+//! reproduction); the vendored [`harness`] additionally tracks host
+//! wall-clock for regressions.
 
 pub mod fig5;
 pub mod fig6;
+pub mod harness;
 pub mod report;
 pub mod tab2;
 

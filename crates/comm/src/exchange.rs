@@ -8,7 +8,7 @@
 //! supply the wire byte count for the transfer-time model.
 
 use crate::link::PcieLink;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 /// Statistics for one exchange.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -33,7 +33,7 @@ struct Packet<M> {
 
 /// One side of the CPU↔MIC link.
 pub struct Endpoint<M> {
-    tx: Sender<Packet<M>>,
+    tx: SyncSender<Packet<M>>,
     rx: Receiver<Packet<M>>,
     /// The link model used for simulated transfer time.
     pub link: PcieLink,
@@ -43,8 +43,8 @@ pub struct Endpoint<M> {
 
 /// Create a connected pair of endpoints over `link`.
 pub fn duplex_pair<M: Send>(link: PcieLink) -> (Endpoint<M>, Endpoint<M>) {
-    let (tx0, rx1) = bounded(1);
-    let (tx1, rx0) = bounded(1);
+    let (tx0, rx1) = sync_channel(1);
+    let (tx1, rx0) = sync_channel(1);
     (
         Endpoint {
             tx: tx0,

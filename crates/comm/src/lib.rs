@@ -4,7 +4,7 @@
 //! The paper runs "MPI symmetric computing, with CPU being Rank 0, and MIC
 //! being Rank 1", exchanging one combined message buffer per superstep over
 //! the PCIe bus. With the MIC toolchain gone, the two ranks here are two
-//! in-process device runtimes joined by crossbeam channels; what remains
+//! in-process device runtimes joined by bounded std channels; what remains
 //! faithful is everything the paper actually studies:
 //!
 //! * the wire format and byte accounting ([`message`]),

@@ -18,7 +18,7 @@
 //! unique `(row, column)` cell, making the raw write race-free.
 
 use super::layout::{CsbLayout, NOT_OWNED};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use phigraph_device::counters::InsertProfile;
 use phigraph_graph::VertexId;
 use phigraph_simd::{AVec, MsgValue};
@@ -126,6 +126,50 @@ impl<T: MsgValue> Csb<T> {
         unsafe { *self.data.base_ptr().add(cell) = value };
     }
 
+    /// Insert a drained queue slice of `(dst, value)` messages — the
+    /// pipelined movers' batched path. Runs of equal consecutive
+    /// destinations (common: a vertex's in-edges are generated together by
+    /// one worker) resolve the redirection map once and claim their rows
+    /// with a *single* `fetch_add` for the whole run instead of one per
+    /// message.
+    ///
+    /// # Panics
+    /// Same conditions as [`Csb::insert`].
+    pub fn insert_slice(&self, msgs: &[(VertexId, T)]) {
+        let mut i = 0;
+        while i < msgs.len() {
+            let dst = msgs[i].0;
+            let mut j = i + 1;
+            while j < msgs.len() && msgs[j].0 == dst {
+                j += 1;
+            }
+            let run = j - i;
+            let pos = self.layout.position[dst as usize];
+            assert_ne!(pos, NOT_OWNED, "message for non-owned vertex {dst}");
+            let group = self.layout.group_of(pos);
+            let col_in_group = match self.mode {
+                ColumnMode::OneToOne => pos as usize % self.layout.width,
+                ColumnMode::Dynamic => self.column_for(pos, group),
+            };
+            let gcol = self.global_col(group, col_in_group);
+            let row0 = self.col_count[gcol].fetch_add(run as u32, Ordering::Relaxed) as usize;
+            let info = &self.layout.groups[group];
+            assert!(
+                row0 + run <= info.rows as usize,
+                "vertex {dst} received more than its capacity {} messages",
+                info.rows
+            );
+            let base = info.cell_offset + row0 * self.layout.width + col_in_group;
+            for (k, &(_, value)) in msgs[i..j].iter().enumerate() {
+                // SAFETY: rows row0..row0+run of column gcol were claimed
+                // above by one fetch_add; each (row, column) cell is written
+                // exactly once, and row0+run <= rows keeps cells in bounds.
+                unsafe { *self.data.base_ptr().add(base + k * self.layout.width) = value };
+            }
+            i = j;
+        }
+    }
+
     /// Dynamic column allocation for `pos` (Fig. 3b): check the index
     /// array; on miss, take the group lock and claim the next free column.
     #[inline]
@@ -134,7 +178,7 @@ impl<T: MsgValue> Csb<T> {
         if cached >= 0 {
             return cached as usize;
         }
-        let _guard = self.group_locks[group].lock();
+        let _guard = self.group_locks[group].lock().unwrap();
         let again = self.index[pos as usize].load(Ordering::Relaxed);
         if again >= 0 {
             return again as usize;
@@ -358,6 +402,68 @@ mod tests {
         for (i, &v) in seen.iter().enumerate() {
             assert_eq!(v, i as f32);
         }
+    }
+
+    #[test]
+    fn insert_slice_matches_per_message_insert() {
+        let a = paper_csb(ColumnMode::Dynamic);
+        let b = paper_csb(ColumnMode::Dynamic);
+        let msgs: Vec<(VertexId, f32)> = paper_table1_messages()
+            .into_iter()
+            .map(|(src, dst)| (dst, src as f32))
+            .collect();
+        for &(dst, v) in &msgs {
+            a.insert(dst, v);
+        }
+        b.insert_slice(&msgs);
+        let (pa, oa, _) = a.insert_stats();
+        let (pb, ob, _) = b.insert_stats();
+        assert_eq!(pa, pb);
+        assert_eq!(oa, ob);
+        // Same per-destination cell contents (insertion order preserved
+        // within each destination run).
+        for g in 0..a.layout.num_groups() {
+            for c in 0..a.used_columns(g) {
+                let pos = a.column_position(g, c).unwrap();
+                let cb = (0..b.used_columns(g))
+                    .find(|&c2| b.column_position(g, c2) == Some(pos))
+                    .expect("same positions occupied");
+                for r in 0..a.column_count(g, c) as usize {
+                    assert_eq!(a.cell(g, r, c), b.cell(g, r, cb));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_slice_claims_runs_with_one_cursor_bump() {
+        // A run of 3 messages for vertex 9 plus 1 for vertex 2: two runs.
+        let csb = paper_csb(ColumnMode::Dynamic);
+        csb.insert_slice(&[(9, 1.0), (9, 2.0), (9, 3.0), (2, 4.0)]);
+        let (profile, occupied, allocs) = csb.insert_stats();
+        assert_eq!(profile.total, 4);
+        assert_eq!(profile.max_column, 3);
+        assert_eq!(occupied, 2);
+        assert_eq!(allocs, 2, "one column allocation per destination");
+        // The run's values are in rows 0..3 of vertex 9's column, in order.
+        let pos = csb.layout.position[9];
+        let g = csb.layout.group_of(pos);
+        let col = (0..csb.used_columns(g))
+            .find(|&c| csb.column_position(g, c) == Some(pos))
+            .unwrap();
+        assert_eq!(
+            [csb.cell(g, 0, col), csb.cell(g, 1, col), csb.cell(g, 2, col)],
+            [1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more than its capacity")]
+    fn insert_slice_over_capacity_panics() {
+        let csb = paper_csb(ColumnMode::Dynamic);
+        // Vertex 5 has capacity 5; a 6-run overflows in one claim.
+        let msgs: Vec<(VertexId, f32)> = (0..6).map(|i| (5, i as f32)).collect();
+        csb.insert_slice(&msgs);
     }
 
     #[test]

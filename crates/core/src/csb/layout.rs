@@ -223,4 +223,78 @@ mod tests {
         assert_eq!(l.group_of(7), 0);
         assert_eq!(l.group_of(8), 1);
     }
+
+    // -- boundary cases --
+
+    #[test]
+    fn zero_in_degree_vertices_occupy_zero_row_groups() {
+        // All-zero capacities: the layout must exist (positions, groups,
+        // redirection map) but allocate no cells at all.
+        let owned: Vec<VertexId> = (0..10).collect();
+        let cap = vec![0u32; 10];
+        let l = CsbLayout::build(10, &owned, &cap, 4, 1);
+        assert_eq!(l.num_positions(), 10);
+        assert_eq!(l.num_groups(), 3, "10 positions at width 4");
+        assert!(l.groups.iter().all(|g| g.rows == 0));
+        assert_eq!(l.total_cells, 0);
+        // Redirection still covers every vertex.
+        for v in 0..10u32 {
+            assert_ne!(l.position[v as usize], NOT_OWNED);
+        }
+        // Mixed: zero-degree vertices sort to the back; trailing all-zero
+        // groups stay empty while the first group is sized by the max.
+        let cap: Vec<u32> = (0..10).map(|i| if i < 2 { 3 } else { 0 }).collect();
+        let l = CsbLayout::build(10, &owned, &cap, 4, 1);
+        assert_eq!(l.groups[0].rows, 3);
+        assert_eq!(l.groups[1].rows, 0);
+        assert_eq!(l.groups[2].rows, 0);
+        assert_eq!(l.total_cells, 12, "only the first group holds cells");
+        assert_eq!(l.capacity[0], 3);
+        assert_eq!(l.capacity[9], 0);
+    }
+
+    #[test]
+    fn single_vertex_group_when_owned_fits_one_width() {
+        // 5 owned vertices at width 8 (k=2 × lanes=4): exactly one group,
+        // sized by the hottest vertex, padded to the full width.
+        let owned: Vec<VertexId> = vec![3, 1, 4, 0, 2];
+        let cap = vec![2u32, 7, 1, 3, 5];
+        let l = CsbLayout::build(5, &owned, &cap, 4, 2);
+        assert_eq!(l.num_groups(), 1);
+        assert_eq!(l.groups[0].rows, 7);
+        assert_eq!(l.total_cells, 7 * 8, "rows × full width, even half-empty");
+        assert_eq!(l.group_of((l.num_positions() - 1) as u32), 0);
+        // The single-vertex degenerate case: one group, one hot column.
+        let l1 = CsbLayout::build(1, &[0], &[9], 4, 2);
+        assert_eq!(l1.num_groups(), 1);
+        assert_eq!(l1.groups[0].rows, 9);
+        assert_eq!(l1.total_cells, 9 * 8);
+        assert_eq!(l1.position[0], 0);
+    }
+
+    #[test]
+    fn group_rows_may_exceed_column_count() {
+        // A hub with in-degree far beyond the group width: rows (array
+        // length) exceed the column count — the group is tall and narrow,
+        // not an error. Offsets of later groups must account for it.
+        let owned: Vec<VertexId> = (0..12).collect();
+        let mut cap = vec![1u32; 12];
+        cap[0] = 100; // hub
+        let l = CsbLayout::build(12, &owned, &cap, 2, 2); // width 4
+        assert_eq!(l.width, 4);
+        assert_eq!(l.num_groups(), 3);
+        assert_eq!(l.groups[0].rows, 100);
+        assert!(l.groups[0].rows as usize > l.width);
+        assert_eq!(l.groups[1].rows, 1);
+        assert_eq!(l.groups[1].cell_offset, 400);
+        assert_eq!(l.groups[2].cell_offset, 404);
+        assert_eq!(l.total_cells, 408);
+        // The hub sorts to position 0 and its column can hold its degree.
+        assert_eq!(l.position[0], 0);
+        assert_eq!(l.capacity[0], 100);
+        // The condensed layout still beats the dense baseline, which would
+        // give every vertex the hub's capacity.
+        assert_eq!(l.dense_cells(), 12usize.div_ceil(4) * 4 * 100);
+        assert!(l.condensation_factor() > 2.9);
+    }
 }

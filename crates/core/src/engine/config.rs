@@ -60,6 +60,13 @@ pub struct EngineConfig {
     pub gen_chunk: usize,
     /// Vertex groups per processing scheduling chunk; 0 = auto.
     pub proc_chunk: usize,
+    /// Messages a pipelined worker accumulates per (worker, mover) buffer
+    /// before flushing them into the SPSC queue as one batch (0 = auto: 64,
+    /// clamped to the queue capacity).
+    pub pipe_batch: usize,
+    /// Per-queue SPSC ring capacity for the pipelined engine (0 = auto:
+    /// 4096).
+    pub queue_cap: usize,
     /// Superstep cap applied on top of the program's own limit.
     pub max_supersteps: Option<usize>,
 }
@@ -76,6 +83,8 @@ impl EngineConfig {
             sim_movers: 0,
             gen_chunk: 0,
             proc_chunk: 0,
+            pipe_batch: 0,
+            queue_cap: 0,
             max_supersteps: None,
         }
     }
@@ -138,6 +147,38 @@ impl EngineConfig {
     pub fn with_gen_chunk(mut self, n: usize) -> Self {
         self.gen_chunk = n.max(1);
         self
+    }
+
+    /// Set the worker-side flush batch size for the pipelined engine.
+    pub fn with_pipe_batch(mut self, n: usize) -> Self {
+        self.pipe_batch = n.max(1);
+        self
+    }
+
+    /// Set the SPSC ring capacity for the pipelined engine.
+    pub fn with_queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n.max(2);
+        self
+    }
+
+    /// Resolved SPSC ring capacity.
+    pub fn resolved_queue_cap(&self) -> usize {
+        if self.queue_cap > 0 {
+            self.queue_cap.max(2)
+        } else {
+            4096
+        }
+    }
+
+    /// Resolved worker flush batch, clamped so one batch always fits the
+    /// ring (a batch larger than the capacity would only ever chunk-spin).
+    pub fn resolved_pipe_batch(&self) -> usize {
+        let cap = self.resolved_queue_cap();
+        if self.pipe_batch > 0 {
+            self.pipe_batch.min(cap)
+        } else {
+            64.min(cap)
+        }
     }
 
     /// Resolved simulated (worker, mover) split for `spec`.
@@ -262,5 +303,24 @@ mod tests {
         assert_eq!(c.k, 2);
         assert_eq!(c.max_supersteps, Some(5));
         assert_eq!(c.gen_chunk, 64);
+    }
+
+    #[test]
+    fn pipe_batch_defaults_and_clamps() {
+        let auto = EngineConfig::pipelined();
+        assert_eq!(auto.resolved_queue_cap(), 4096);
+        assert_eq!(auto.resolved_pipe_batch(), 64);
+        // Explicit batch larger than the ring clamps to the ring.
+        let tight = EngineConfig::pipelined()
+            .with_queue_cap(16)
+            .with_pipe_batch(1000);
+        assert_eq!(tight.resolved_queue_cap(), 16);
+        assert_eq!(tight.resolved_pipe_batch(), 16);
+        // Tiny ring bounds the auto batch too.
+        let tiny = EngineConfig::pipelined().with_queue_cap(8);
+        assert_eq!(tiny.resolved_pipe_batch(), 8);
+        // Batch of one degenerates to the per-message protocol.
+        let per_msg = EngineConfig::pipelined().with_pipe_batch(1);
+        assert_eq!(per_msg.resolved_pipe_batch(), 1);
     }
 }

@@ -29,7 +29,7 @@ use super::config::EngineConfig;
 const STRIPES: usize = 1024;
 
 struct FlatSink<'a, T: MsgValue> {
-    locks: &'a [parking_lot::Mutex<()>],
+    locks: &'a [std::sync::Mutex<()>],
     acc: &'a SharedSlice<'a, T>,
     counts: &'a [AtomicU32],
     combine: fn(T, T) -> T,
@@ -39,7 +39,7 @@ impl<'a, T: MsgValue> MsgSink<T> for FlatSink<'a, T> {
     #[inline]
     fn send(&mut self, dst: VertexId, msg: T) {
         let d = dst as usize;
-        let _guard = self.locks[d % STRIPES].lock();
+        let _guard = self.locks[d % STRIPES].lock().unwrap();
         // SAFETY: writes to acc[d] are serialized by the stripe lock; the
         // count update rides inside the same critical section.
         unsafe {
@@ -72,8 +72,8 @@ pub fn run_flat<P: VertexProgram>(
     let n = graph.num_vertices();
     let threads = config.resolve_host_threads();
     let cost = CostModel::new(spec.clone());
-    let locks: Vec<parking_lot::Mutex<()>> =
-        (0..STRIPES).map(|_| parking_lot::Mutex::new(())).collect();
+    let locks: Vec<std::sync::Mutex<()>> =
+        (0..STRIPES).map(|_| std::sync::Mutex::new(())).collect();
 
     let mut values = vec![P::Value::default(); n];
     let mut active = ActiveSet::new(n);

@@ -77,7 +77,7 @@ struct ObjEngine<'g, P: ObjVertexProgram> {
     owned: Vec<VertexId>,
     values: Vec<P::Value>,
     active: ActiveSet,
-    mailboxes: Vec<parking_lot::Mutex<Vec<P::Msg>>>,
+    mailboxes: Vec<std::sync::Mutex<Vec<P::Msg>>>,
     host_threads: usize,
     gen_ranges: Vec<std::ops::Range<usize>>,
 }
@@ -123,7 +123,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
             values,
             active,
             mailboxes: (0..n)
-                .map(|_| parking_lot::Mutex::new(Vec::new()))
+                .map(|_| std::sync::Mutex::new(Vec::new()))
                 .collect(),
             host_threads,
             gen_ranges,
@@ -173,7 +173,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
                             bytes += 4 + P::msg_bytes(&msg);
                             let is_local = assign.is_none_or(|a| a[dst as usize] == dev);
                             if is_local {
-                                mailboxes[dst as usize].lock().push(msg);
+                                mailboxes[dst as usize].lock().unwrap().push(msg);
                                 local += 1;
                             } else {
                                 remote.push((dst, msg));
@@ -273,7 +273,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
                                             let is_local =
                                                 assign.is_none_or(|a| a[dst as usize] == dev);
                                             if is_local {
-                                                mailboxes[dst as usize].lock().push(msg);
+                                                mailboxes[dst as usize].lock().unwrap().push(msg);
                                                 local += 1;
                                             } else {
                                                 remote.push((dst, msg));
@@ -339,7 +339,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
         }
         for (dst, msg) in incoming {
             c.bytes_gen += 4 + P::msg_bytes(&msg);
-            self.mailboxes[dst as usize].lock().push(msg);
+            self.mailboxes[dst as usize].lock().unwrap().push(msg);
         }
     }
 
@@ -348,7 +348,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
         // Contention profile from mailbox sizes.
         let mut profile = InsertProfile::default();
         for &v in &self.owned {
-            let len = self.mailboxes[v as usize].lock().len() as u64;
+            let len = self.mailboxes[v as usize].lock().unwrap().len() as u64;
             if len > 0 {
                 profile.record(len);
                 c.occupied_columns += 1;
@@ -376,7 +376,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
                     let mut chunk = ProcChunk::default();
                     for i in ranges[ri].clone() {
                         let v = owned[i];
-                        let msgs = std::mem::take(&mut *mailboxes[v as usize].lock());
+                        let msgs = std::mem::take(&mut *mailboxes[v as usize].lock().unwrap());
                         if msgs.is_empty() {
                             continue;
                         }

@@ -82,6 +82,28 @@ impl RunReport {
         self.steps.len()
     }
 
+    /// Total full-queue spins workers burned on SPSC backpressure
+    /// (pipelined runs; 0 otherwise).
+    pub fn total_queue_full_spins(&self) -> u64 {
+        self.steps.iter().map(|s| s.counters.queue_full_spins).sum()
+    }
+
+    /// Total empty polling rounds movers made (pipelined runs).
+    pub fn total_mover_idle_polls(&self) -> u64 {
+        self.steps.iter().map(|s| s.counters.mover_idle_polls).sum()
+    }
+
+    /// Mean messages per worker→mover flush batch over the run (`None`
+    /// when no batches were flushed, e.g. non-pipelined runs).
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        let batches: u64 = self.steps.iter().map(|s| s.counters.flush_batches).sum();
+        if batches == 0 {
+            return None;
+        }
+        let msgs: u64 = self.steps.iter().map(|s| s.counters.batched_msgs).sum();
+        Some(msgs as f64 / batches as f64)
+    }
+
     /// One-line summary for harness output.
     pub fn summary(&self) -> String {
         format!(
@@ -188,6 +210,28 @@ mod tests {
         let c = combine_hetero("x", &a, &b);
         assert!((c.sim_exec() - 7.0).abs() < 1e-12, "max(1,2) + max(5,1)");
         assert_eq!(c.device, "CPU-MIC");
+    }
+
+    #[test]
+    fn pipeline_helpers_aggregate_counters() {
+        let mut s0 = step(1.0, 0.0);
+        s0.counters.queue_full_spins = 5;
+        s0.counters.flush_batches = 2;
+        s0.counters.batched_msgs = 10;
+        s0.counters.mover_idle_polls = 3;
+        let mut s1 = step(1.0, 0.0);
+        s1.counters.flush_batches = 3;
+        s1.counters.batched_msgs = 30;
+        s1.counters.mover_idle_polls = 1;
+        let r = RunReport {
+            steps: vec![s0, s1],
+            ..Default::default()
+        };
+        assert_eq!(r.total_queue_full_spins(), 5);
+        assert_eq!(r.total_mover_idle_polls(), 4);
+        assert!((r.mean_batch_size().unwrap() - 8.0).abs() < 1e-12);
+        let empty = RunReport::default();
+        assert_eq!(empty.mean_batch_size(), None);
     }
 
     #[test]

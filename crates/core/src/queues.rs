@@ -3,27 +3,62 @@
 //! "This strategy guarantees that each message queue is only written by only
 //! one thread, as well as read by only one thread." Each (worker, mover)
 //! pair owns one bounded ring: the worker pushes generated messages, the
-//! mover drains them into the condensed static buffer. Built directly on
-//! atomics (acquire/release head/tail — the classic SPSC ring of *Rust
-//! Atomics and Locks* ch. 5), no per-message locking anywhere.
+//! mover drains them into the condensed static buffer.
+//!
+//! The ring follows the cached-index design of FastForward/MCRingBuffer
+//! (the lineage the paper's message pipeline descends from): the producer
+//! keeps a private *cache* of the consumer's head and the consumer keeps a
+//! private cache of the producer's tail, so the two threads only touch each
+//! other's control cache line when their cached view runs out. Batched
+//! entry points ([`SpscQueue::push_slice`], [`SpscQueue::pop_slices`])
+//! amortize further: one Release publish per batch instead of per message.
+//! See `docs/pipeline.md` for the full memory-ordering argument.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-/// A bounded SPSC ring buffer.
+/// Pads its contents to (at least) two typical cache lines so the producer
+/// and consumer control words never share a line (false sharing is the
+/// entire cost this design removes).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// Producer-owned control block: the published tail plus a stale-but-safe
+/// cache of the consumer's head.
+struct ProducerSide {
+    /// Next slot to write. Stored with `Release` to publish items.
+    tail: AtomicUsize,
+    /// Last head value the producer observed. Only ever behind the true
+    /// head, so `cap - (tail - head_cache)` under-estimates free space and
+    /// never over-claims. Touched only by the producer thread.
+    head_cache: UnsafeCell<usize>,
+}
+
+/// Consumer-owned control block: the published head plus a stale-but-safe
+/// cache of the producer's tail.
+struct ConsumerSide {
+    /// Next slot to read. Stored with `Release` to return slots.
+    head: AtomicUsize,
+    /// Last tail value the consumer observed. Only ever behind the true
+    /// tail, so `tail_cache - head` under-estimates available items and
+    /// never reads unpublished slots. Touched only by the consumer thread.
+    tail_cache: UnsafeCell<usize>,
+}
+
+/// A bounded SPSC ring buffer with cached indices and batched transfer.
 pub struct SpscQueue<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     cap: usize,
-    /// Next slot to read (owned by the consumer).
-    head: AtomicUsize,
-    /// Next slot to write (owned by the producer).
-    tail: AtomicUsize,
+    prod: CachePadded<ProducerSide>,
+    cons: CachePadded<ConsumerSide>,
     closed: AtomicBool,
 }
 
 // SAFETY: the SPSC discipline (one producer thread, one consumer thread)
-// is enforced by the split into Producer/Consumer handles below.
+// is the documented contract of every unsafe method; under it, each
+// UnsafeCell is touched by exactly one thread and slot ownership is
+// handed over through the Release/Acquire head/tail pairs.
 unsafe impl<T: Send> Send for SpscQueue<T> {}
 unsafe impl<T: Send> Sync for SpscQueue<T> {}
 
@@ -38,48 +73,177 @@ impl<T> SpscQueue<T> {
         SpscQueue {
             slots,
             cap,
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
+            prod: CachePadded(ProducerSide {
+                tail: AtomicUsize::new(0),
+                head_cache: UnsafeCell::new(0),
+            }),
+            cons: CachePadded(ConsumerSide {
+                head: AtomicUsize::new(0),
+                tail_cache: UnsafeCell::new(0),
+            }),
             closed: AtomicBool::new(false),
         }
     }
 
+    /// Ring capacity in items.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Free slots as seen by the producer at `tail`, refreshing the head
+    /// cache from the shared atomic only when the cached view says "full".
+    ///
+    /// # Safety
+    /// Producer thread only.
+    #[inline]
+    unsafe fn free_slots(&self, tail: usize) -> usize {
+        let cached = *self.prod.0.head_cache.get();
+        let free = self.cap - tail.wrapping_sub(cached);
+        if free > 0 {
+            return free;
+        }
+        let head = self.cons.0.head.load(Ordering::Acquire);
+        *self.prod.0.head_cache.get() = head;
+        self.cap - tail.wrapping_sub(head)
+    }
+
+    /// Items available to the consumer at `head`, refreshing the tail cache
+    /// only when the cached view says "empty".
+    ///
+    /// # Safety
+    /// Consumer thread only.
+    #[inline]
+    unsafe fn available(&self, head: usize) -> usize {
+        let cached = *self.cons.0.tail_cache.get();
+        let avail = cached.wrapping_sub(head);
+        if avail > 0 {
+            return avail;
+        }
+        let tail = self.prod.0.tail.load(Ordering::Acquire);
+        *self.cons.0.tail_cache.get() = tail;
+        tail.wrapping_sub(head)
+    }
+
     /// Push one item, spinning (with yields) while the ring is full.
-    /// Producer side only.
+    /// Returns the number of full-queue spin iterations (backpressure).
     ///
     /// # Safety
     /// Must be called from exactly one producer thread.
-    pub unsafe fn push(&self, item: T) {
-        let tail = self.tail.load(Ordering::Relaxed);
-        loop {
-            let head = self.head.load(Ordering::Acquire);
-            if tail.wrapping_sub(head) < self.cap {
-                break;
-            }
+    pub unsafe fn push(&self, item: T) -> u64 {
+        let tail = self.prod.0.tail.load(Ordering::Relaxed);
+        let mut spins = 0u64;
+        while self.free_slots(tail) == 0 {
+            spins += 1;
             std::hint::spin_loop();
             std::thread::yield_now();
         }
         // SAFETY: slot `tail % cap` is free (tail - head < cap) and only
         // this producer writes tails.
         (*self.slots[tail % self.cap].get()).write(item);
-        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.prod.0.tail.store(tail.wrapping_add(1), Ordering::Release);
+        spins
+    }
+
+    /// Push a whole slice, publishing the tail once per contiguous chunk
+    /// (at most twice per ring revolution) instead of once per item.
+    /// Spins with yields whenever the ring fills mid-slice. Returns the
+    /// number of full-queue spin iterations (backpressure).
+    ///
+    /// # Safety
+    /// Must be called from exactly one producer thread.
+    pub unsafe fn push_slice(&self, items: &[T]) -> u64
+    where
+        T: Copy,
+    {
+        let mut spins = 0u64;
+        let mut tail = self.prod.0.tail.load(Ordering::Relaxed);
+        let mut rest = items;
+        while !rest.is_empty() {
+            let mut free = self.free_slots(tail);
+            while free == 0 {
+                spins += 1;
+                std::hint::spin_loop();
+                std::thread::yield_now();
+                free = self.free_slots(tail);
+            }
+            let n = free.min(rest.len());
+            let idx = tail % self.cap;
+            let first = n.min(self.cap - idx);
+            // SAFETY: slots [idx, idx+first) and, on wrap, [0, n-first) are
+            // free (n <= free slots); `T: Copy` means no drops are skipped.
+            std::ptr::copy_nonoverlapping(
+                rest.as_ptr(),
+                self.slots[idx].get().cast::<T>(),
+                first,
+            );
+            if n > first {
+                std::ptr::copy_nonoverlapping(
+                    rest.as_ptr().add(first),
+                    self.slots[0].get().cast::<T>(),
+                    n - first,
+                );
+            }
+            tail = tail.wrapping_add(n);
+            // One Release publish for the whole chunk: the consumer's
+            // Acquire load of `tail` makes every slot write above visible.
+            self.prod.0.tail.store(tail, Ordering::Release);
+            rest = &rest[n..];
+        }
+        spins
     }
 
     /// Pop up to `max` items into `out`. Consumer side only. Returns the
-    /// number popped.
+    /// number popped. (Per-item move path; works for non-`Copy` payloads.)
     ///
     /// # Safety
     /// Must be called from exactly one consumer thread.
     pub unsafe fn pop_batch(&self, out: &mut Vec<T>, max: usize) -> usize {
-        let head = self.head.load(Ordering::Relaxed);
-        let tail = self.tail.load(Ordering::Acquire);
-        let avail = tail.wrapping_sub(head).min(max);
+        let head = self.cons.0.head.load(Ordering::Relaxed);
+        let avail = self.available(head).min(max);
         for i in 0..avail {
             // SAFETY: slots head..head+avail were published by the producer.
             let v = (*self.slots[(head + i) % self.cap].get()).assume_init_read();
             out.push(v);
         }
-        self.head.store(head.wrapping_add(avail), Ordering::Release);
+        self.cons.0.head.store(head.wrapping_add(avail), Ordering::Release);
+        avail
+    }
+
+    /// Drain up to `max` items, handing the consumer *borrowed slices* of
+    /// the ring (one, or two when the range wraps) instead of moving items
+    /// out one by one. The head is republished once after `f` returns.
+    /// Returns the number of items consumed.
+    ///
+    /// # Safety
+    /// Must be called from exactly one consumer thread. The slices passed
+    /// to `f` are invalidated when this call returns.
+    pub unsafe fn pop_slices<F: FnMut(&[T])>(&self, max: usize, mut f: F) -> usize
+    where
+        T: Copy,
+    {
+        let head = self.cons.0.head.load(Ordering::Relaxed);
+        let avail = self.available(head).min(max);
+        if avail == 0 {
+            return 0;
+        }
+        let idx = head % self.cap;
+        let first = avail.min(self.cap - idx);
+        // SAFETY: slots [idx, idx+first) were published by the producer's
+        // Release tail store and are initialized.
+        f(std::slice::from_raw_parts(
+            self.slots[idx].get().cast::<T>(),
+            first,
+        ));
+        if avail > first {
+            // SAFETY: wrap segment [0, avail-first) is likewise published.
+            f(std::slice::from_raw_parts(
+                self.slots[0].get().cast::<T>(),
+                avail - first,
+            ));
+        }
+        // One Release publish returns all consumed slots to the producer.
+        self.cons.0.head.store(head.wrapping_add(avail), Ordering::Release);
         avail
     }
 
@@ -91,15 +255,16 @@ impl<T> SpscQueue<T> {
     /// True when the producer closed the queue *and* everything was popped.
     pub fn is_drained(&self) -> bool {
         self.closed.load(Ordering::Acquire)
-            && self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+            && self.cons.0.head.load(Ordering::Acquire)
+                == self.prod.0.tail.load(Ordering::Acquire)
     }
 }
 
 impl<T> Drop for SpscQueue<T> {
     fn drop(&mut self) {
         // Drop any unconsumed items.
-        let head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        let head = *self.cons.0.head.get_mut();
+        let tail = *self.prod.0.tail.get_mut();
         for i in head..tail {
             // SAFETY: slots head..tail hold initialized values; we have
             // exclusive access in drop.
@@ -116,6 +281,8 @@ pub struct QueueMatrix<T> {
     pub workers: usize,
     /// Mover (consumer) count.
     pub movers: usize,
+    /// Per-queue ring capacity.
+    pub cap: usize,
 }
 
 impl<T> QueueMatrix<T> {
@@ -123,10 +290,14 @@ impl<T> QueueMatrix<T> {
     pub fn new(workers: usize, movers: usize, cap: usize) -> Self {
         let workers = workers.max(1);
         let movers = movers.max(1);
+        let queues: Vec<SpscQueue<T>> =
+            (0..workers * movers).map(|_| SpscQueue::new(cap)).collect();
+        let cap = queues[0].capacity();
         QueueMatrix {
-            queues: (0..workers * movers).map(|_| SpscQueue::new(cap)).collect(),
+            queues,
             workers,
             movers,
+            cap,
         }
     }
 
@@ -170,6 +341,55 @@ mod tests {
     }
 
     #[test]
+    fn push_slice_pop_slices_round_trip_with_wrap() {
+        let q = SpscQueue::new(8);
+        // SAFETY: single thread.
+        unsafe {
+            // Advance the indices so a later slice wraps the ring edge.
+            for i in 0..5u32 {
+                q.push(i);
+            }
+            let mut sink = Vec::new();
+            q.pop_slices(5, |s| sink.extend_from_slice(s));
+            assert_eq!(sink, vec![0, 1, 2, 3, 4]);
+
+            // 6 items into an 8-ring starting at index 5: wraps.
+            let spins = q.push_slice(&[10, 11, 12, 13, 14, 15]);
+            assert_eq!(spins, 0, "ring had space; no backpressure expected");
+            let mut calls = 0;
+            let mut got = Vec::new();
+            let n = q.pop_slices(100, |s| {
+                calls += 1;
+                got.extend_from_slice(s);
+            });
+            assert_eq!(n, 6);
+            assert_eq!(calls, 2, "wrapped range arrives as two slices");
+            assert_eq!(got, vec![10, 11, 12, 13, 14, 15]);
+        }
+    }
+
+    #[test]
+    fn push_slice_larger_than_capacity_chunks_through() {
+        let q = SpscQueue::new(4);
+        let items: Vec<u32> = (0..1000).collect();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // SAFETY: single producer thread.
+                let spins = unsafe { q.push_slice(&items) };
+                // 1000 items through a 4-slot ring must hit the full state.
+                assert!(spins > 0, "expected backpressure spins");
+                q.close();
+            });
+            let mut got = Vec::new();
+            while !q.is_drained() {
+                // SAFETY: single consumer thread.
+                unsafe { q.pop_slices(7, |s| got.extend_from_slice(s)) };
+            }
+            assert_eq!(got, items);
+        });
+    }
+
+    #[test]
     fn cross_thread_transfer_preserves_order_and_count() {
         let q = SpscQueue::new(16);
         let n = 100_000u64;
@@ -207,6 +427,7 @@ mod tests {
     #[test]
     fn matrix_routing_and_termination() {
         let m = QueueMatrix::<u32>::new(2, 3, 8);
+        assert_eq!(m.cap, 8);
         // SAFETY: this test is single-threaded; the SPSC roles are disjoint
         // per queue.
         unsafe {

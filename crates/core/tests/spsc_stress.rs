@@ -1,0 +1,164 @@
+//! Cross-thread stress for the batched SPSC queue protocol.
+//!
+//! For every ring capacity in 1..=64, a producer thread interleaves the
+//! per-item and batched push paths with randomized batch sizes while a
+//! consumer thread interleaves `pop_batch` and `pop_slices` with
+//! randomized drain limits, finishing with a closed-queue drain. The
+//! transfer must be exactly-once and in-order for every combination —
+//! including batches larger than the ring (chunked through) and the
+//! degenerate 1-capacity ring (rounded up to 2). Runs in well under 5 s
+//! with `cargo test --release`.
+
+use phigraph_core::queues::{QueueMatrix, SpscQueue};
+use phigraph_graph::generators::rng::SplitMix64;
+
+/// Items moved per capacity point (kept moderate so the debug-profile
+/// tier-1 run stays fast on small hosts).
+const ITEMS: usize = 4_000;
+
+#[test]
+fn randomized_batches_transfer_exactly_once_in_order() {
+    for cap in 1usize..=64 {
+        let q = SpscQueue::<u64>::new(cap);
+        let mut prod_rng = SplitMix64::seed_from_u64(0xA11CE + cap as u64);
+        let mut cons_rng = SplitMix64::seed_from_u64(0xB0B + cap as u64);
+        let got: Vec<u64> = std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut next = 0u64;
+                // Multi-round production: bursts of randomized size, each
+                // either a push_slice (possibly larger than the ring) or a
+                // run of per-item pushes.
+                while (next as usize) < ITEMS {
+                    let burst = prod_rng.random_range(1usize..(3 * cap + 4));
+                    let burst = burst.min(ITEMS - next as usize);
+                    if prod_rng.random_bool(0.5) {
+                        let items: Vec<u64> = (next..next + burst as u64).collect();
+                        // SAFETY: single producer thread.
+                        unsafe { q.push_slice(&items) };
+                    } else {
+                        for i in 0..burst as u64 {
+                            // SAFETY: single producer thread.
+                            unsafe { q.push(next + i) };
+                        }
+                    }
+                    next += burst as u64;
+                }
+                q.close();
+            });
+            let mut got = Vec::with_capacity(ITEMS);
+            // Drain until the producer closed AND the ring is empty.
+            while !q.is_drained() {
+                let max = cons_rng.random_range(1usize..(2 * cap + 5));
+                let n = if cons_rng.random_bool(0.5) {
+                    // SAFETY: single consumer thread.
+                    unsafe { q.pop_slices(max, |s| got.extend_from_slice(s)) }
+                } else {
+                    // SAFETY: single consumer thread.
+                    unsafe { q.pop_batch(&mut got, max) }
+                };
+                if n == 0 {
+                    // Let the producer run (essential on single-core hosts).
+                    std::thread::yield_now();
+                }
+            }
+            got
+        });
+        assert_eq!(got.len(), ITEMS, "cap {cap}: lost or duplicated items");
+        for (i, &v) in got.iter().enumerate() {
+            assert_eq!(v, i as u64, "cap {cap}: out-of-order at {i}");
+        }
+    }
+}
+
+#[test]
+fn queue_matrix_randomized_fanout_is_exact() {
+    // 3 workers × 2 movers, randomized batch sizes, tiny rings: every
+    // (worker, mover) stream must arrive in-order; the union must be the
+    // exact multiset sent.
+    const WORKERS: usize = 3;
+    const MOVERS: usize = 2;
+    const PER_WORKER: usize = 5_000;
+    let m = QueueMatrix::<(u32, u64)>::new(WORKERS, MOVERS, 8);
+    let m = &m;
+    let mover_out: Vec<Vec<(u32, u64)>> = std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            s.spawn(move || {
+                let mut rng = SplitMix64::seed_from_u64(77 + w as u64);
+                let mut bufs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); MOVERS];
+                let batch = 1 + w * 3; // 1, 4, 7: includes the degenerate 1
+                for i in 0..PER_WORKER as u64 {
+                    let dst: u32 = rng.random_range(0u32..64);
+                    let mv = dst as usize % MOVERS;
+                    bufs[mv].push((dst, (w as u64) << 32 | i));
+                    if bufs[mv].len() >= batch {
+                        // SAFETY: worker w is the sole producer of row w.
+                        unsafe { m.queue(w, mv).push_slice(&bufs[mv]) };
+                        bufs[mv].clear();
+                    }
+                }
+                for (mv, buf) in bufs.iter().enumerate() {
+                    if !buf.is_empty() {
+                        // SAFETY: as above.
+                        unsafe { m.queue(w, mv).push_slice(buf) };
+                    }
+                }
+                m.close_worker(w);
+            });
+        }
+        let handles: Vec<_> = (0..MOVERS)
+            .map(|mv| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let mut moved = false;
+                        for w in 0..WORKERS {
+                            // SAFETY: mover mv is the sole consumer of (w, mv).
+                            let n = unsafe {
+                                m.queue(w, mv).pop_slices(16, |sl| got.extend_from_slice(sl))
+                            };
+                            if n > 0 {
+                                moved = true;
+                            }
+                        }
+                        if !moved {
+                            if m.mover_done(mv) {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut all: Vec<(u32, u64)> = Vec::new();
+    for (mv, got) in mover_out.iter().enumerate() {
+        // Routing: every message landed at its dst's mover class.
+        for &(dst, _) in got {
+            assert_eq!(dst as usize % MOVERS, mv, "misrouted message");
+        }
+        // Per-worker sequence numbers arrive in increasing order within
+        // this mover (SPSC order is preserved per queue).
+        for w in 0..WORKERS as u64 {
+            let seqs: Vec<u64> = got
+                .iter()
+                .filter(|&&(_, tag)| tag >> 32 == w)
+                .map(|&(_, tag)| tag & 0xFFFF_FFFF)
+                .collect();
+            assert!(
+                seqs.windows(2).all(|p| p[0] < p[1]),
+                "worker {w} stream reordered at mover {mv}"
+            );
+        }
+        all.extend_from_slice(got);
+    }
+    assert_eq!(all.len(), WORKERS * PER_WORKER);
+    // Exactly-once: every (worker, seq) tag present once.
+    let mut tags: Vec<u64> = all.iter().map(|&(_, tag)| tag).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), WORKERS * PER_WORKER, "duplicated messages");
+}

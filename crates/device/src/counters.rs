@@ -110,6 +110,19 @@ pub struct StepCounters {
     /// Buffer cells reset at the start of the step (index arrays, cursors).
     pub reset_cells: u64,
 
+    // -- pipeline backpressure / occupancy --
+    /// Full-queue spin iterations workers burned waiting for mover space
+    /// (backpressure: movers could not keep up with generation).
+    pub queue_full_spins: u64,
+    /// Worker→mover batches flushed through the SPSC queues.
+    pub flush_batches: u64,
+    /// Messages that travelled inside those batches (equals `msgs_local +
+    /// msgs_remote` for a pipelined step; 0 otherwise).
+    pub batched_msgs: u64,
+    /// Empty polling rounds movers made over their queues (occupancy: high
+    /// values mean movers were starved, the inverse of backpressure).
+    pub mover_idle_polls: u64,
+
     // -- message processing --
     /// Vector-array rows reduced (lane path).
     pub proc_rows: u64,
@@ -169,6 +182,10 @@ impl StepCounters {
         }
         self.column_allocs += other.column_allocs;
         self.reset_cells += other.reset_cells;
+        self.queue_full_spins += other.queue_full_spins;
+        self.flush_batches += other.flush_batches;
+        self.batched_msgs += other.batched_msgs;
+        self.mover_idle_polls += other.mover_idle_polls;
         self.proc_rows += other.proc_rows;
         self.proc_msgs += other.proc_msgs;
         self.holes_filled += other.holes_filled;
@@ -284,6 +301,29 @@ mod tests {
         assert_eq!(a.msgs_total(), 8);
         assert_eq!(a.mover_msgs, vec![5, 7, 6]);
         assert_eq!(a.gen_chunks.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate() {
+        let mut a = StepCounters {
+            queue_full_spins: 3,
+            flush_batches: 2,
+            batched_msgs: 100,
+            mover_idle_polls: 7,
+            ..Default::default()
+        };
+        let b = StepCounters {
+            queue_full_spins: 1,
+            flush_batches: 4,
+            batched_msgs: 50,
+            mover_idle_polls: 3,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.queue_full_spins, 4);
+        assert_eq!(a.flush_batches, 6);
+        assert_eq!(a.batched_msgs, 150);
+        assert_eq!(a.mover_idle_polls, 10);
     }
 
     #[test]

@@ -102,13 +102,12 @@ impl EdgeList {
     /// Attach uniform random weights in `(lo, hi]` to every edge (the SSSP
     /// workload preparation). Deterministic for a given seed.
     pub fn randomize_weights(&mut self, lo: f32, hi: f32, seed: u64) {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use crate::generators::rng::SplitMix64 as StdRng;
         let mut rng = StdRng::seed_from_u64(seed);
         self.weights = Some(
             (0..self.edges.len())
                 .map(|_| {
-                    let w: f32 = rng.random_range(0.0..1.0);
+                    let w: f32 = rng.random_range(0.0f32..1.0);
                     lo + (hi - lo) * w + f32::EPSILON
                 })
                 .collect(),

@@ -4,8 +4,7 @@
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
 use crate::types::VertexId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::generators::rng::SplitMix64 as StdRng;
 
 /// Generate a Barabási–Albert graph: vertices arrive one at a time and
 /// attach `m` directed edges to existing vertices chosen proportionally to

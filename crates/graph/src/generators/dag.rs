@@ -11,8 +11,7 @@
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
 use crate::types::VertexId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::generators::rng::SplitMix64 as StdRng;
 
 /// Layered DAG parameters.
 #[derive(Clone, Debug)]

@@ -4,8 +4,7 @@
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
 use crate::types::VertexId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::generators::rng::SplitMix64 as StdRng;
 
 /// Generate a directed G(n, m) graph: `m` edges sampled uniformly without
 /// self-loops, duplicates removed (so the result may have slightly fewer

@@ -20,6 +20,7 @@ pub mod dag;
 pub mod erdos_renyi;
 pub mod grid;
 pub mod rmat;
+pub mod rng;
 pub mod small;
 pub mod watts_strogatz;
 
@@ -29,4 +30,5 @@ pub use dag::{layered_dag, DagConfig};
 pub use erdos_renyi::gnm;
 pub use grid::grid;
 pub use rmat::{rmat, RmatConfig};
+pub use rng::SplitMix64;
 pub use watts_strogatz::watts_strogatz;

@@ -10,8 +10,7 @@
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
 use crate::types::VertexId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::generators::rng::SplitMix64 as StdRng;
 
 /// RMAT generator parameters.
 #[derive(Clone, Debug)]

@@ -9,8 +9,7 @@
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
 use crate::types::VertexId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::generators::rng::SplitMix64 as StdRng;
 
 /// Generate a directed Watts–Strogatz graph: each vertex connects to its
 /// `k` nearest ring successors; each edge is rewired to a uniform random

@@ -30,4 +30,5 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use degree::DegreeStats;
 pub use edge_list::EdgeList;
+pub use generators::rng::SplitMix64;
 pub use types::{EdgeIdx, VertexId};

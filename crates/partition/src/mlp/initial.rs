@@ -6,8 +6,7 @@
 //! seeds are tried; the lowest-cut balanced result wins.
 
 use super::WGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
 /// Grow one region to `target_frac` of total weight from `seed_vertex`.
 /// Returns the side assignment (0 = region, 1 = rest).

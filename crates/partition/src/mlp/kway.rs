@@ -138,8 +138,7 @@ mod tests {
     use phigraph_graph::generators::community::{community_graph, CommunityConfig};
     use phigraph_graph::generators::erdos_renyi::gnm;
     use phigraph_graph::generators::small::chain;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
     #[test]
     fn bisect_chain_finds_small_cut() {

@@ -83,8 +83,7 @@ mod tests {
     use crate::mlp::partition_kway;
     use phigraph_graph::generators::community::{community_graph, CommunityConfig};
     use phigraph_graph::generators::erdos_renyi::gnm;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
     fn kway_cut(g: &WGraph, blocks: &[u32]) -> f64 {
         let mut cut = 0.0;
@@ -137,7 +136,7 @@ mod tests {
         });
         let g = WGraph::from_csr(&csr);
         let mut rng = StdRng::seed_from_u64(5);
-        let mut blocks: Vec<u32> = (0..g.n()).map(|_| rng.random_range(0..8)).collect();
+        let mut blocks: Vec<u32> = (0..g.n()).map(|_| rng.random_range(0u32..8)).collect();
         let before = kway_cut(&g, &blocks);
         refine_kway(&g, &mut blocks, 8, 8);
         let after = kway_cut(&g, &blocks);

@@ -1,9 +1,7 @@
 //! Heavy-edge matching for the coarsening phase.
 
 use super::WGraph;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
 /// Sentinel: vertex is unmatched.
 pub const UNMATCHED: u32 = u32::MAX;
@@ -17,7 +15,7 @@ pub fn heavy_edge_matching(g: &WGraph, seed: u64) -> Vec<u32> {
     let mut mate = vec![UNMATCHED; n];
     let mut order: Vec<u32> = (0..n as u32).collect();
     let mut rng = StdRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
 
     for &v in &order {
         if mate[v as usize] != UNMATCHED {

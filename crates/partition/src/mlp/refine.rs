@@ -151,8 +151,7 @@ pub fn fm_refine(g: &WGraph, side: &mut [u8], target_frac: f64, max_passes: usiz
 mod tests {
     use super::*;
     use phigraph_graph::generators::{erdos_renyi::gnm, small::chain};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
     #[test]
     fn refinement_never_increases_cut() {

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# The full offline verification gate: release build, test suite, and
+# warning-free clippy. No network access is required — the workspace has
+# no external dependencies (vendored PRNG + bench harness), so everything
+# resolves from the local toolchain alone.
+#
+# Deeper concurrency checking (loom model checking of the SPSC protocol,
+# ThreadSanitizer runs of tests/spsc_stress.rs) needs a nightly toolchain
+# and is documented as a recipe in docs/pipeline.md rather than run here.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (tier-1, offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q (tier-1, offline)"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -- -D warnings (offline)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> all checks passed"

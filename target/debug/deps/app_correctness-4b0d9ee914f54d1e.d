@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/app_correctness-4b0d9ee914f54d1e.d: crates/apps/../../tests/app_correctness.rs
+
+/root/repo/target/debug/deps/app_correctness-4b0d9ee914f54d1e: crates/apps/../../tests/app_correctness.rs
+
+crates/apps/../../tests/app_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/app_correctness-d4d41f3e46e03387.d: crates/apps/../../tests/app_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapp_correctness-d4d41f3e46e03387.rmeta: crates/apps/../../tests/app_correctness.rs Cargo.toml
+
+crates/apps/../../tests/app_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_end_to_end-0d77971c660ebec0.d: crates/cli/tests/cli_end_to_end.rs
+
+/root/repo/target/debug/deps/cli_end_to_end-0d77971c660ebec0: crates/cli/tests/cli_end_to_end.rs
+
+crates/cli/tests/cli_end_to_end.rs:
+
+# env-dep:CARGO_BIN_EXE_phigraph=/root/repo/target/debug/phigraph

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_end_to_end-1ee80f185519b43b.d: crates/cli/tests/cli_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_end_to_end-1ee80f185519b43b.rmeta: crates/cli/tests/cli_end_to_end.rs Cargo.toml
+
+crates/cli/tests/cli_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_phigraph=placeholder:phigraph
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

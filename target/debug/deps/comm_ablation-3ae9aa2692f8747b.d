@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_ablation-3ae9aa2692f8747b.d: crates/bench/benches/comm_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_ablation-3ae9aa2692f8747b.rmeta: crates/bench/benches/comm_ablation.rs Cargo.toml
+
+crates/bench/benches/comm_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csb_microbench-29df843b2847f9db.d: crates/bench/benches/csb_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsb_microbench-29df843b2847f9db.rmeta: crates/bench/benches/csb_microbench.rs Cargo.toml
+
+crates/bench/benches/csb_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

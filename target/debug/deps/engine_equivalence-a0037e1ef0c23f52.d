@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_equivalence-a0037e1ef0c23f52.d: crates/apps/../../tests/engine_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_equivalence-a0037e1ef0c23f52.rmeta: crates/apps/../../tests/engine_equivalence.rs Cargo.toml
+
+crates/apps/../../tests/engine_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

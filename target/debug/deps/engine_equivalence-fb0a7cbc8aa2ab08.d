@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-fb0a7cbc8aa2ab08.d: crates/apps/../../tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-fb0a7cbc8aa2ab08: crates/apps/../../tests/engine_equivalence.rs
+
+crates/apps/../../tests/engine_equivalence.rs:

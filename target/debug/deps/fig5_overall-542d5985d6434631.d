@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_overall-542d5985d6434631.d: crates/bench/benches/fig5_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_overall-542d5985d6434631.rmeta: crates/bench/benches/fig5_overall.rs Cargo.toml
+
+crates/bench/benches/fig5_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

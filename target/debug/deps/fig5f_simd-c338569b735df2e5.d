@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5f_simd-c338569b735df2e5.d: crates/bench/benches/fig5f_simd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5f_simd-c338569b735df2e5.rmeta: crates/bench/benches/fig5f_simd.rs Cargo.toml
+
+crates/bench/benches/fig5f_simd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetero_correctness-a26acb87b5a31787.d: crates/apps/../../tests/hetero_correctness.rs
+
+/root/repo/target/debug/deps/hetero_correctness-a26acb87b5a31787: crates/apps/../../tests/hetero_correctness.rs
+
+crates/apps/../../tests/hetero_correctness.rs:

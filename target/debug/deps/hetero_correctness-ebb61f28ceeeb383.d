@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetero_correctness-ebb61f28ceeeb383.d: crates/apps/../../tests/hetero_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetero_correctness-ebb61f28ceeeb383.rmeta: crates/apps/../../tests/hetero_correctness.rs Cargo.toml
+
+crates/apps/../../tests/hetero_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

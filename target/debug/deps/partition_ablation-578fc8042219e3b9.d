@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition_ablation-578fc8042219e3b9.d: crates/bench/benches/partition_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition_ablation-578fc8042219e3b9.rmeta: crates/bench/benches/partition_ablation.rs Cargo.toml
+
+crates/bench/benches/partition_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partition_integration-942c0dccaa701836.d: crates/apps/../../tests/partition_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartition_integration-942c0dccaa701836.rmeta: crates/apps/../../tests/partition_integration.rs Cargo.toml
+
+crates/apps/../../tests/partition_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partition_integration-e33433a68cd1156d.d: crates/apps/../../tests/partition_integration.rs
+
+/root/repo/target/debug/deps/partition_integration-e33433a68cd1156d: crates/apps/../../tests/partition_integration.rs
+
+crates/apps/../../tests/partition_integration.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phigraph-613ef9fa99259a4f.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd_generate.rs crates/cli/src/cmd_info.rs crates/cli/src/cmd_partition.rs crates/cli/src/cmd_run.rs crates/cli/src/cmd_check.rs crates/cli/src/cmd_tune.rs
+
+/root/repo/target/debug/deps/phigraph-613ef9fa99259a4f: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd_generate.rs crates/cli/src/cmd_info.rs crates/cli/src/cmd_partition.rs crates/cli/src/cmd_run.rs crates/cli/src/cmd_check.rs crates/cli/src/cmd_tune.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd_generate.rs:
+crates/cli/src/cmd_info.rs:
+crates/cli/src/cmd_partition.rs:
+crates/cli/src/cmd_run.rs:
+crates/cli/src/cmd_check.rs:
+crates/cli/src/cmd_tune.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/phigraph-963ee6e84852c61e.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd_generate.rs crates/cli/src/cmd_info.rs crates/cli/src/cmd_partition.rs crates/cli/src/cmd_run.rs crates/cli/src/cmd_check.rs crates/cli/src/cmd_tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph-963ee6e84852c61e.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd_generate.rs crates/cli/src/cmd_info.rs crates/cli/src/cmd_partition.rs crates/cli/src/cmd_run.rs crates/cli/src/cmd_check.rs crates/cli/src/cmd_tune.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd_generate.rs:
+crates/cli/src/cmd_info.rs:
+crates/cli/src/cmd_partition.rs:
+crates/cli/src/cmd_run.rs:
+crates/cli/src/cmd_check.rs:
+crates/cli/src/cmd_tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/phigraph_apps-70157948f1ddc3e6.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/kcore.rs crates/apps/src/pagerank.rs crates/apps/src/reference/mod.rs crates/apps/src/reference/bfs.rs crates/apps/src/reference/kcore.rs crates/apps/src/reference/pagerank.rs crates/apps/src/reference/semicluster.rs crates/apps/src/reference/sssp.rs crates/apps/src/reference/toposort.rs crates/apps/src/reference/wcc.rs crates/apps/src/semicluster.rs crates/apps/src/sssp.rs crates/apps/src/toposort.rs crates/apps/src/wcc.rs crates/apps/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_apps-70157948f1ddc3e6.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/kcore.rs crates/apps/src/pagerank.rs crates/apps/src/reference/mod.rs crates/apps/src/reference/bfs.rs crates/apps/src/reference/kcore.rs crates/apps/src/reference/pagerank.rs crates/apps/src/reference/semicluster.rs crates/apps/src/reference/sssp.rs crates/apps/src/reference/toposort.rs crates/apps/src/reference/wcc.rs crates/apps/src/semicluster.rs crates/apps/src/sssp.rs crates/apps/src/toposort.rs crates/apps/src/wcc.rs crates/apps/src/workloads.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/kcore.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/reference/mod.rs:
+crates/apps/src/reference/bfs.rs:
+crates/apps/src/reference/kcore.rs:
+crates/apps/src/reference/pagerank.rs:
+crates/apps/src/reference/semicluster.rs:
+crates/apps/src/reference/sssp.rs:
+crates/apps/src/reference/toposort.rs:
+crates/apps/src/reference/wcc.rs:
+crates/apps/src/semicluster.rs:
+crates/apps/src/sssp.rs:
+crates/apps/src/toposort.rs:
+crates/apps/src/wcc.rs:
+crates/apps/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

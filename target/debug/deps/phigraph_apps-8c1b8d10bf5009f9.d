@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/phigraph_apps-8c1b8d10bf5009f9.d: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/kcore.rs crates/apps/src/pagerank.rs crates/apps/src/reference/mod.rs crates/apps/src/reference/bfs.rs crates/apps/src/reference/kcore.rs crates/apps/src/reference/pagerank.rs crates/apps/src/reference/semicluster.rs crates/apps/src/reference/sssp.rs crates/apps/src/reference/toposort.rs crates/apps/src/reference/wcc.rs crates/apps/src/semicluster.rs crates/apps/src/sssp.rs crates/apps/src/toposort.rs crates/apps/src/wcc.rs crates/apps/src/workloads.rs
+
+/root/repo/target/debug/deps/phigraph_apps-8c1b8d10bf5009f9: crates/apps/src/lib.rs crates/apps/src/bfs.rs crates/apps/src/kcore.rs crates/apps/src/pagerank.rs crates/apps/src/reference/mod.rs crates/apps/src/reference/bfs.rs crates/apps/src/reference/kcore.rs crates/apps/src/reference/pagerank.rs crates/apps/src/reference/semicluster.rs crates/apps/src/reference/sssp.rs crates/apps/src/reference/toposort.rs crates/apps/src/reference/wcc.rs crates/apps/src/semicluster.rs crates/apps/src/sssp.rs crates/apps/src/toposort.rs crates/apps/src/wcc.rs crates/apps/src/workloads.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs.rs:
+crates/apps/src/kcore.rs:
+crates/apps/src/pagerank.rs:
+crates/apps/src/reference/mod.rs:
+crates/apps/src/reference/bfs.rs:
+crates/apps/src/reference/kcore.rs:
+crates/apps/src/reference/pagerank.rs:
+crates/apps/src/reference/semicluster.rs:
+crates/apps/src/reference/sssp.rs:
+crates/apps/src/reference/toposort.rs:
+crates/apps/src/reference/wcc.rs:
+crates/apps/src/semicluster.rs:
+crates/apps/src/sssp.rs:
+crates/apps/src/toposort.rs:
+crates/apps/src/wcc.rs:
+crates/apps/src/workloads.rs:

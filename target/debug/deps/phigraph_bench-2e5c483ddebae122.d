@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/phigraph_bench-2e5c483ddebae122.d: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+/root/repo/target/debug/deps/phigraph_bench-2e5c483ddebae122: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab2.rs:

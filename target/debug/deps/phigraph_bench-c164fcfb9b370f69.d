@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/phigraph_bench-c164fcfb9b370f69.d: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_bench-c164fcfb9b370f69.rmeta: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

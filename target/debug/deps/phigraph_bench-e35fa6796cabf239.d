@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/phigraph_bench-e35fa6796cabf239.d: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+/root/repo/target/debug/deps/libphigraph_bench-e35fa6796cabf239.rlib: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+/root/repo/target/debug/deps/libphigraph_bench-e35fa6796cabf239.rmeta: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab2.rs:

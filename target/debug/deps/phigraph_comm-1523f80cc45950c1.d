@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phigraph_comm-1523f80cc45950c1.d: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_comm-1523f80cc45950c1.rmeta: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/combiner.rs:
+crates/comm/src/exchange.rs:
+crates/comm/src/link.rs:
+crates/comm/src/message.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phigraph_comm-40c229d9f7c9cd98.d: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+/root/repo/target/debug/deps/libphigraph_comm-40c229d9f7c9cd98.rlib: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+/root/repo/target/debug/deps/libphigraph_comm-40c229d9f7c9cd98.rmeta: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/combiner.rs:
+crates/comm/src/exchange.rs:
+crates/comm/src/link.rs:
+crates/comm/src/message.rs:

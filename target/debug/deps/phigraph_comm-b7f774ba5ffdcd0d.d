@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/phigraph_comm-b7f774ba5ffdcd0d.d: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+/root/repo/target/debug/deps/phigraph_comm-b7f774ba5ffdcd0d: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/combiner.rs:
+crates/comm/src/exchange.rs:
+crates/comm/src/link.rs:
+crates/comm/src/message.rs:

@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/phigraph_core-725d0a124f0d141e.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_core-725d0a124f0d141e.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/api.rs:
+crates/core/src/check.rs:
+crates/core/src/csb/mod.rs:
+crates/core/src/csb/buffer.rs:
+crates/core/src/csb/layout.rs:
+crates/core/src/csb/process.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/config.rs:
+crates/core/src/engine/device.rs:
+crates/core/src/engine/flat.rs:
+crates/core/src/engine/hetero.rs:
+crates/core/src/engine/obj.rs:
+crates/core/src/engine/seq.rs:
+crates/core/src/metrics.rs:
+crates/core/src/queues.rs:
+crates/core/src/tune.rs:
+crates/core/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/phigraph_core-d69e1230ec270c12.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/phigraph_core-d69e1230ec270c12: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/api.rs:
+crates/core/src/check.rs:
+crates/core/src/csb/mod.rs:
+crates/core/src/csb/buffer.rs:
+crates/core/src/csb/layout.rs:
+crates/core/src/csb/process.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/config.rs:
+crates/core/src/engine/device.rs:
+crates/core/src/engine/flat.rs:
+crates/core/src/engine/hetero.rs:
+crates/core/src/engine/obj.rs:
+crates/core/src/engine/seq.rs:
+crates/core/src/metrics.rs:
+crates/core/src/queues.rs:
+crates/core/src/tune.rs:
+crates/core/src/util.rs:

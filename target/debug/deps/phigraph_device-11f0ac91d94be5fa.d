@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phigraph_device-11f0ac91d94be5fa.d: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+/root/repo/target/debug/deps/phigraph_device-11f0ac91d94be5fa: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+crates/device/src/lib.rs:
+crates/device/src/balance.rs:
+crates/device/src/cost.rs:
+crates/device/src/counters.rs:
+crates/device/src/pool.rs:
+crates/device/src/sched.rs:
+crates/device/src/spec.rs:

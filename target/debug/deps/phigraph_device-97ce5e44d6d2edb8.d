@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phigraph_device-97ce5e44d6d2edb8.d: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+/root/repo/target/debug/deps/libphigraph_device-97ce5e44d6d2edb8.rlib: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+/root/repo/target/debug/deps/libphigraph_device-97ce5e44d6d2edb8.rmeta: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+crates/device/src/lib.rs:
+crates/device/src/balance.rs:
+crates/device/src/cost.rs:
+crates/device/src/counters.rs:
+crates/device/src/pool.rs:
+crates/device/src/sched.rs:
+crates/device/src/spec.rs:

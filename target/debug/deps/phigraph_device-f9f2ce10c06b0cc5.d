@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/phigraph_device-f9f2ce10c06b0cc5.d: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_device-f9f2ce10c06b0cc5.rmeta: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/balance.rs:
+crates/device/src/cost.rs:
+crates/device/src/counters.rs:
+crates/device/src/pool.rs:
+crates/device/src/sched.rs:
+crates/device/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

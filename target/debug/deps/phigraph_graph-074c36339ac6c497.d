@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/phigraph_graph-074c36339ac6c497.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/degree.rs crates/graph/src/edge_list.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/ba.rs crates/graph/src/generators/community.rs crates/graph/src/generators/dag.rs crates/graph/src/generators/erdos_renyi.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/rng.rs crates/graph/src/generators/small.rs crates/graph/src/generators/watts_strogatz.rs crates/graph/src/io.rs crates/graph/src/subgraph.rs crates/graph/src/types.rs crates/graph/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_graph-074c36339ac6c497.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/builder.rs crates/graph/src/csr.rs crates/graph/src/degree.rs crates/graph/src/edge_list.rs crates/graph/src/generators/mod.rs crates/graph/src/generators/ba.rs crates/graph/src/generators/community.rs crates/graph/src/generators/dag.rs crates/graph/src/generators/erdos_renyi.rs crates/graph/src/generators/grid.rs crates/graph/src/generators/rmat.rs crates/graph/src/generators/rng.rs crates/graph/src/generators/small.rs crates/graph/src/generators/watts_strogatz.rs crates/graph/src/io.rs crates/graph/src/subgraph.rs crates/graph/src/types.rs crates/graph/src/validation.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/degree.rs:
+crates/graph/src/edge_list.rs:
+crates/graph/src/generators/mod.rs:
+crates/graph/src/generators/ba.rs:
+crates/graph/src/generators/community.rs:
+crates/graph/src/generators/dag.rs:
+crates/graph/src/generators/erdos_renyi.rs:
+crates/graph/src/generators/grid.rs:
+crates/graph/src/generators/rmat.rs:
+crates/graph/src/generators/rng.rs:
+crates/graph/src/generators/small.rs:
+crates/graph/src/generators/watts_strogatz.rs:
+crates/graph/src/io.rs:
+crates/graph/src/subgraph.rs:
+crates/graph/src/types.rs:
+crates/graph/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/phigraph_partition-67afd18bf550bcd0.d: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_partition-67afd18bf550bcd0.rmeta: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/file.rs:
+crates/partition/src/mlp/mod.rs:
+crates/partition/src/mlp/coarsen.rs:
+crates/partition/src/mlp/initial.rs:
+crates/partition/src/mlp/kway.rs:
+crates/partition/src/mlp/kway_refine.rs:
+crates/partition/src/mlp/matching.rs:
+crates/partition/src/mlp/refine.rs:
+crates/partition/src/ratio.rs:
+crates/partition/src/scheme.rs:
+crates/partition/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/phigraph_partition-6a1c35f3e3adbbd8.d: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+/root/repo/target/debug/deps/phigraph_partition-6a1c35f3e3adbbd8: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/file.rs:
+crates/partition/src/mlp/mod.rs:
+crates/partition/src/mlp/coarsen.rs:
+crates/partition/src/mlp/initial.rs:
+crates/partition/src/mlp/kway.rs:
+crates/partition/src/mlp/kway_refine.rs:
+crates/partition/src/mlp/matching.rs:
+crates/partition/src/mlp/refine.rs:
+crates/partition/src/ratio.rs:
+crates/partition/src/scheme.rs:
+crates/partition/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/phigraph_partition-9b9d1da6151aeaa5.d: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+/root/repo/target/debug/deps/libphigraph_partition-9b9d1da6151aeaa5.rlib: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+/root/repo/target/debug/deps/libphigraph_partition-9b9d1da6151aeaa5.rmeta: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/file.rs:
+crates/partition/src/mlp/mod.rs:
+crates/partition/src/mlp/coarsen.rs:
+crates/partition/src/mlp/initial.rs:
+crates/partition/src/mlp/kway.rs:
+crates/partition/src/mlp/kway_refine.rs:
+crates/partition/src/mlp/matching.rs:
+crates/partition/src/mlp/refine.rs:
+crates/partition/src/ratio.rs:
+crates/partition/src/scheme.rs:
+crates/partition/src/stats.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/phigraph_simd-bcff7f1bf8ad73ad.d: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs Cargo.toml
+
+/root/repo/target/debug/deps/libphigraph_simd-bcff7f1bf8ad73ad.rmeta: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs Cargo.toml
+
+crates/simd/src/lib.rs:
+crates/simd/src/aligned.rs:
+crates/simd/src/masked.rs:
+crates/simd/src/ops.rs:
+crates/simd/src/scalar.rs:
+crates/simd/src/vlane.rs:
+crates/simd/src/width.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/phigraph_simd-cd2747d651da17ab.d: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+/root/repo/target/debug/deps/phigraph_simd-cd2747d651da17ab: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/aligned.rs:
+crates/simd/src/masked.rs:
+crates/simd/src/ops.rs:
+crates/simd/src/scalar.rs:
+crates/simd/src/vlane.rs:
+crates/simd/src/width.rs:

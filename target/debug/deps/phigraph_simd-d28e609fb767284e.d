@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/phigraph_simd-d28e609fb767284e.d: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+/root/repo/target/debug/deps/libphigraph_simd-d28e609fb767284e.rlib: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+/root/repo/target/debug/deps/libphigraph_simd-d28e609fb767284e.rmeta: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/aligned.rs:
+crates/simd/src/masked.rs:
+crates/simd/src/ops.rs:
+crates/simd/src/scalar.rs:
+crates/simd/src/vlane.rs:
+crates/simd/src/width.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_suite-894dd52bca68ac0b.d: crates/apps/../../tests/property_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_suite-894dd52bca68ac0b.rmeta: crates/apps/../../tests/property_suite.rs Cargo.toml
+
+crates/apps/../../tests/property_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_suite-9b5e043b3f2b011d.d: crates/apps/../../tests/property_suite.rs
+
+/root/repo/target/debug/deps/property_suite-9b5e043b3f2b011d: crates/apps/../../tests/property_suite.rs
+
+crates/apps/../../tests/property_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-788cf90483778779.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-788cf90483778779: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

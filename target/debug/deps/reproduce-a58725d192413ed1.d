@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-a58725d192413ed1.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-a58725d192413ed1: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/reproduce_smoke-339e887808535d4e.d: crates/bench/tests/reproduce_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce_smoke-339e887808535d4e.rmeta: crates/bench/tests/reproduce_smoke.rs Cargo.toml
+
+crates/bench/tests/reproduce_smoke.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_reproduce=placeholder:reproduce
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reproduce_smoke-a3af156afe3fbbb7.d: crates/bench/tests/reproduce_smoke.rs
+
+/root/repo/target/debug/deps/reproduce_smoke-a3af156afe3fbbb7: crates/bench/tests/reproduce_smoke.rs
+
+crates/bench/tests/reproduce_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_reproduce=/root/repo/target/debug/reproduce

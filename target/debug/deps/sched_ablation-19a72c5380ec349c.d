@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_ablation-19a72c5380ec349c.d: crates/bench/benches/sched_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_ablation-19a72c5380ec349c.rmeta: crates/bench/benches/sched_ablation.rs Cargo.toml
+
+crates/bench/benches/sched_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spsc_microbench-e55a0ec53d7c84ec.d: crates/bench/benches/spsc_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspsc_microbench-e55a0ec53d7c84ec.rmeta: crates/bench/benches/spsc_microbench.rs Cargo.toml
+
+crates/bench/benches/spsc_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spsc_stress-6212111670978cc3.d: crates/core/tests/spsc_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspsc_stress-6212111670978cc3.rmeta: crates/core/tests/spsc_stress.rs Cargo.toml
+
+crates/core/tests/spsc_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spsc_stress-8ebdfdc9e85558f9.d: crates/core/tests/spsc_stress.rs
+
+/root/repo/target/debug/deps/spsc_stress-8ebdfdc9e85558f9: crates/core/tests/spsc_stress.rs
+
+crates/core/tests/spsc_stress.rs:

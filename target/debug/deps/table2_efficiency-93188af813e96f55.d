@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_efficiency-93188af813e96f55.d: crates/bench/benches/table2_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_efficiency-93188af813e96f55.rmeta: crates/bench/benches/table2_efficiency.rs Cargo.toml
+
+crates/bench/benches/table2_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune-df85078af8dfde34.d: crates/apps/../../examples/autotune.rs
+
+/root/repo/target/debug/examples/autotune-df85078af8dfde34: crates/apps/../../examples/autotune.rs
+
+crates/apps/../../examples/autotune.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune-f877066f13e4611d.d: crates/apps/../../examples/autotune.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune-f877066f13e4611d.rmeta: crates/apps/../../examples/autotune.rs Cargo.toml
+
+crates/apps/../../examples/autotune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous_sssp-47dffa3ae2d120cf.d: crates/apps/../../examples/heterogeneous_sssp.rs
+
+/root/repo/target/debug/examples/heterogeneous_sssp-47dffa3ae2d120cf: crates/apps/../../examples/heterogeneous_sssp.rs
+
+crates/apps/../../examples/heterogeneous_sssp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous_sssp-871cf89409aff375.d: crates/apps/../../examples/heterogeneous_sssp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous_sssp-871cf89409aff375.rmeta: crates/apps/../../examples/heterogeneous_sssp.rs Cargo.toml
+
+crates/apps/../../examples/heterogeneous_sssp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

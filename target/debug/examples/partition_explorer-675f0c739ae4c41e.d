@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_explorer-675f0c739ae4c41e.d: crates/apps/../../examples/partition_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_explorer-675f0c739ae4c41e.rmeta: crates/apps/../../examples/partition_explorer.rs Cargo.toml
+
+crates/apps/../../examples/partition_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

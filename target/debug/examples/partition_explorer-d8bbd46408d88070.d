@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_explorer-d8bbd46408d88070.d: crates/apps/../../examples/partition_explorer.rs
+
+/root/repo/target/debug/examples/partition_explorer-d8bbd46408d88070: crates/apps/../../examples/partition_explorer.rs
+
+crates/apps/../../examples/partition_explorer.rs:

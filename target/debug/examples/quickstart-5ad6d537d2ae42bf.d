@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-5ad6d537d2ae42bf.d: crates/apps/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5ad6d537d2ae42bf.rmeta: crates/apps/../../examples/quickstart.rs Cargo.toml
+
+crates/apps/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bf7a856978954ef9.d: crates/apps/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bf7a856978954ef9: crates/apps/../../examples/quickstart.rs
+
+crates/apps/../../examples/quickstart.rs:

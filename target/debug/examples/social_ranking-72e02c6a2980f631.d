@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/social_ranking-72e02c6a2980f631.d: crates/apps/../../examples/social_ranking.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsocial_ranking-72e02c6a2980f631.rmeta: crates/apps/../../examples/social_ranking.rs Cargo.toml
+
+crates/apps/../../examples/social_ranking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

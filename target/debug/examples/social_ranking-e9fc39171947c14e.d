@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/social_ranking-e9fc39171947c14e.d: crates/apps/../../examples/social_ranking.rs
+
+/root/repo/target/debug/examples/social_ranking-e9fc39171947c14e: crates/apps/../../examples/social_ranking.rs
+
+crates/apps/../../examples/social_ranking.rs:

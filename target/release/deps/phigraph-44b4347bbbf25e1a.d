@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/phigraph-44b4347bbbf25e1a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd_generate.rs crates/cli/src/cmd_info.rs crates/cli/src/cmd_partition.rs crates/cli/src/cmd_run.rs crates/cli/src/cmd_check.rs crates/cli/src/cmd_tune.rs
+
+/root/repo/target/release/deps/phigraph-44b4347bbbf25e1a: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd_generate.rs crates/cli/src/cmd_info.rs crates/cli/src/cmd_partition.rs crates/cli/src/cmd_run.rs crates/cli/src/cmd_check.rs crates/cli/src/cmd_tune.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd_generate.rs:
+crates/cli/src/cmd_info.rs:
+crates/cli/src/cmd_partition.rs:
+crates/cli/src/cmd_run.rs:
+crates/cli/src/cmd_check.rs:
+crates/cli/src/cmd_tune.rs:

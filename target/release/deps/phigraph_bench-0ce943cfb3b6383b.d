@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/phigraph_bench-0ce943cfb3b6383b.d: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+/root/repo/target/release/deps/libphigraph_bench-0ce943cfb3b6383b.rlib: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+/root/repo/target/release/deps/libphigraph_bench-0ce943cfb3b6383b.rmeta: crates/bench/src/lib.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/harness.rs crates/bench/src/report.rs crates/bench/src/tab2.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tab2.rs:

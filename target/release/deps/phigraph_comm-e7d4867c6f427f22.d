@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/phigraph_comm-e7d4867c6f427f22.d: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+/root/repo/target/release/deps/libphigraph_comm-e7d4867c6f427f22.rlib: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+/root/repo/target/release/deps/libphigraph_comm-e7d4867c6f427f22.rmeta: crates/comm/src/lib.rs crates/comm/src/combiner.rs crates/comm/src/exchange.rs crates/comm/src/link.rs crates/comm/src/message.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/combiner.rs:
+crates/comm/src/exchange.rs:
+crates/comm/src/link.rs:
+crates/comm/src/message.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/release/deps/phigraph_core-99f49345986c0b27.d: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/libphigraph_core-99f49345986c0b27.rlib: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/libphigraph_core-99f49345986c0b27.rmeta: crates/core/src/lib.rs crates/core/src/active.rs crates/core/src/api.rs crates/core/src/check.rs crates/core/src/csb/mod.rs crates/core/src/csb/buffer.rs crates/core/src/csb/layout.rs crates/core/src/csb/process.rs crates/core/src/engine/mod.rs crates/core/src/engine/config.rs crates/core/src/engine/device.rs crates/core/src/engine/flat.rs crates/core/src/engine/hetero.rs crates/core/src/engine/obj.rs crates/core/src/engine/seq.rs crates/core/src/metrics.rs crates/core/src/queues.rs crates/core/src/tune.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/active.rs:
+crates/core/src/api.rs:
+crates/core/src/check.rs:
+crates/core/src/csb/mod.rs:
+crates/core/src/csb/buffer.rs:
+crates/core/src/csb/layout.rs:
+crates/core/src/csb/process.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/config.rs:
+crates/core/src/engine/device.rs:
+crates/core/src/engine/flat.rs:
+crates/core/src/engine/hetero.rs:
+crates/core/src/engine/obj.rs:
+crates/core/src/engine/seq.rs:
+crates/core/src/metrics.rs:
+crates/core/src/queues.rs:
+crates/core/src/tune.rs:
+crates/core/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/phigraph_device-f1b68a91254f04cf.d: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+/root/repo/target/release/deps/libphigraph_device-f1b68a91254f04cf.rlib: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+/root/repo/target/release/deps/libphigraph_device-f1b68a91254f04cf.rmeta: crates/device/src/lib.rs crates/device/src/balance.rs crates/device/src/cost.rs crates/device/src/counters.rs crates/device/src/pool.rs crates/device/src/sched.rs crates/device/src/spec.rs
+
+crates/device/src/lib.rs:
+crates/device/src/balance.rs:
+crates/device/src/cost.rs:
+crates/device/src/counters.rs:
+crates/device/src/pool.rs:
+crates/device/src/sched.rs:
+crates/device/src/spec.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/phigraph_partition-934040a44c7b4f1d.d: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+/root/repo/target/release/deps/libphigraph_partition-934040a44c7b4f1d.rlib: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+/root/repo/target/release/deps/libphigraph_partition-934040a44c7b4f1d.rmeta: crates/partition/src/lib.rs crates/partition/src/file.rs crates/partition/src/mlp/mod.rs crates/partition/src/mlp/coarsen.rs crates/partition/src/mlp/initial.rs crates/partition/src/mlp/kway.rs crates/partition/src/mlp/kway_refine.rs crates/partition/src/mlp/matching.rs crates/partition/src/mlp/refine.rs crates/partition/src/ratio.rs crates/partition/src/scheme.rs crates/partition/src/stats.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/file.rs:
+crates/partition/src/mlp/mod.rs:
+crates/partition/src/mlp/coarsen.rs:
+crates/partition/src/mlp/initial.rs:
+crates/partition/src/mlp/kway.rs:
+crates/partition/src/mlp/kway_refine.rs:
+crates/partition/src/mlp/matching.rs:
+crates/partition/src/mlp/refine.rs:
+crates/partition/src/ratio.rs:
+crates/partition/src/scheme.rs:
+crates/partition/src/stats.rs:

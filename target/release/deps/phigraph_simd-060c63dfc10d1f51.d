@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/phigraph_simd-060c63dfc10d1f51.d: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+/root/repo/target/release/deps/libphigraph_simd-060c63dfc10d1f51.rlib: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+/root/repo/target/release/deps/libphigraph_simd-060c63dfc10d1f51.rmeta: crates/simd/src/lib.rs crates/simd/src/aligned.rs crates/simd/src/masked.rs crates/simd/src/ops.rs crates/simd/src/scalar.rs crates/simd/src/vlane.rs crates/simd/src/width.rs
+
+crates/simd/src/lib.rs:
+crates/simd/src/aligned.rs:
+crates/simd/src/masked.rs:
+crates/simd/src/ops.rs:
+crates/simd/src/scalar.rs:
+crates/simd/src/vlane.rs:
+crates/simd/src/width.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-2a50a5413f28bc82.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-2a50a5413f28bc82: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spsc_microbench-f84d48bedb015d22.d: crates/bench/benches/spsc_microbench.rs
+
+/root/repo/target/release/deps/spsc_microbench-f84d48bedb015d22: crates/bench/benches/spsc_microbench.rs
+
+crates/bench/benches/spsc_microbench.rs:

@@ -2,14 +2,14 @@
 //! bandwidth and latency (PCIe generations / idealized), and the cost of
 //! the remote combine step itself.
 
+use phigraph_apps::workloads::Scale;
 use phigraph_bench::harness::{BenchmarkId, Criterion};
 use phigraph_bench::{criterion_group, criterion_main};
-use phigraph_apps::workloads::Scale;
 use phigraph_bench::{AppId, Workbench};
 use phigraph_comm::{combine_messages, PcieLink, WireMsg};
+use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 use phigraph_partition::{partition, PartitionScheme};
 use phigraph_simd::Sum;
-use phigraph_graph::generators::rng::SplitMix64 as StdRng;
 
 fn bench_link_sweep(c: &mut Criterion) {
     let wb = Workbench::new(Scale::Tiny);

@@ -2,10 +2,10 @@
 //! column allocation, group width factor `k`, and raw insertion throughput
 //! under the locking and pipelined disciplines.
 
-use phigraph_bench::harness::{BenchmarkId, Criterion, Throughput};
-use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_apps::workloads::{self, Scale};
 use phigraph_apps::Sssp;
+use phigraph_bench::harness::{BenchmarkId, Criterion, Throughput};
+use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_core::csb::{ColumnMode, Csb, CsbLayout};
 use phigraph_core::engine::{run_single, EngineConfig};
 use phigraph_device::pool::run_parallel;

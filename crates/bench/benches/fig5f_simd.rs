@@ -2,9 +2,9 @@
 //! row-reduction microbenchmark (real host vector units!) and as the full
 //! message-processing phase of the three reducible applications.
 
+use phigraph_apps::workloads::Scale;
 use phigraph_bench::harness::{BenchmarkId, Criterion, Throughput};
 use phigraph_bench::{criterion_group, criterion_main};
-use phigraph_apps::workloads::Scale;
 use phigraph_bench::{AppId, Workbench};
 use phigraph_core::engine::EngineConfig;
 use phigraph_device::DeviceSpec;

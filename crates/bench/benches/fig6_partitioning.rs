@@ -1,9 +1,9 @@
 //! Fig. 6 benches: the cost of computing each partitioning scheme and the
 //! heterogeneous run under each scheme.
 
+use phigraph_apps::workloads::Scale;
 use phigraph_bench::harness::{BenchmarkId, Criterion};
 use phigraph_bench::{criterion_group, criterion_main};
-use phigraph_apps::workloads::Scale;
 use phigraph_bench::{AppId, Workbench};
 use phigraph_partition::{partition, PartitionScheme, Ratio};
 

@@ -1,9 +1,9 @@
 //! Partitioner ablations: block-count sweep for the hybrid scheme, and the
 //! multilevel bisection vs the flat greedy bisection it is built on.
 
+use phigraph_apps::workloads::{self, Scale};
 use phigraph_bench::harness::{BenchmarkId, Criterion};
 use phigraph_bench::{criterion_group, criterion_main};
-use phigraph_apps::workloads::{self, Scale};
 use phigraph_partition::mlp::initial::greedy_bisect;
 use phigraph_partition::mlp::kway::{block_cut, multilevel_bisect, partition_kway};
 use phigraph_partition::mlp::WGraph;

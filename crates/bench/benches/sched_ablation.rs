@@ -3,10 +3,10 @@
 //! scheduling offset, too large imbalances), and the analytic makespan
 //! replay itself.
 
-use phigraph_bench::harness::{BenchmarkId, Criterion};
-use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_apps::workloads::{self, Scale};
 use phigraph_apps::PageRank;
+use phigraph_bench::harness::{BenchmarkId, Criterion};
+use phigraph_bench::{criterion_group, criterion_main};
 use phigraph_core::engine::{run_single, EngineConfig};
 use phigraph_device::{makespan, DeviceSpec};
 use phigraph_graph::generators::rng::SplitMix64 as StdRng;

@@ -205,7 +205,11 @@ fn run_solo(total: usize, batch: Option<usize>) -> u64 {
 fn bench_spsc(c: &mut Criterion) {
     let total = (WORKERS * MSGS_PER_WORKER) as u64;
     let expect: u64 = (0..WORKERS)
-        .map(|w| (0..MSGS_PER_WORKER).map(|i| msg(w, i).0 as u64).sum::<u64>())
+        .map(|w| {
+            (0..MSGS_PER_WORKER)
+                .map(|i| msg(w, i).0 as u64)
+                .sum::<u64>()
+        })
         .sum();
     let mut g = c.benchmark_group("spsc");
     g.throughput(Throughput::Elements(total));

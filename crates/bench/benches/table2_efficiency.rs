@@ -1,8 +1,8 @@
 //! Table II benches: sequential vs parallel engine wall time per app.
 
+use phigraph_apps::workloads::Scale;
 use phigraph_bench::harness::{BenchmarkId, Criterion};
 use phigraph_bench::{criterion_group, criterion_main};
-use phigraph_apps::workloads::Scale;
 use phigraph_bench::{Variant, Workbench, ALL_APPS};
 
 fn bench_table2(c: &mut Criterion) {

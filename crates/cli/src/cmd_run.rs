@@ -6,11 +6,15 @@ use phigraph_apps::{Bfs, KCore, PageRank, SemiClustering, Sssp, TopoSort, Wcc};
 use phigraph_comm::PcieLink;
 use phigraph_core::api::VertexProgram;
 use phigraph_core::engine::obj::{run_obj_hetero, run_obj_single};
-use phigraph_core::engine::{run_hetero, run_single, EngineConfig, ExecMode};
+use phigraph_core::engine::{
+    run_hetero, run_hetero_recovering, run_recoverable, run_single, EngineConfig, ExecMode,
+};
 use phigraph_core::metrics::RunReport;
 use phigraph_device::DeviceSpec;
+use phigraph_graph::state::PodState;
 use phigraph_graph::Csr;
 use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
+use phigraph_recover::{DirStore, FaultKind, FaultPlan};
 use std::io::Write;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -28,7 +32,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let iters: usize = args.flag_parse("iters", 20usize)?;
 
     let (report, lines) = match app.as_str() {
-        "pagerank" => drive(
+        "pagerank" => drive_pod(
             &PageRank {
                 damping: 0.85,
                 iterations: iters,
@@ -37,12 +41,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             &args,
             |v| format!("{v:.6}"),
         )?,
-        "bfs" => drive(&Bfs { source }, &g, &args, |v| v.to_string())?,
-        "sssp" => drive(&Sssp { source }, &g, &args, |v| format!("{v}"))?,
+        "bfs" => drive_pod(&Bfs { source }, &g, &args, |v| v.to_string())?,
+        "sssp" => drive_pod(&Sssp { source }, &g, &args, |v| format!("{v}"))?,
         "toposort" => drive(&TopoSort::new(&g), &g, &args, |v| {
             format!("level={} remaining={}", v.level, v.remaining)
         })?,
-        "wcc" => drive(&Wcc::new(&g), &g, &args, |v| v.to_string())?,
+        "wcc" => drive_pod(&Wcc::new(&g), &g, &args, |v| v.to_string())?,
         "kcore" => {
             let k: u32 = args.flag_parse("k", 2u32)?;
             let (report, lines) = drive(&KCore::new(&g, k), &g, &args, |v| {
@@ -110,12 +114,135 @@ fn load_or_build_partition(g: &Csr, args: &Args) -> Result<DevicePartition, Stri
     }
 }
 
+/// Whether any fault-tolerance flag was given.
+fn recovery_requested(args: &Args) -> bool {
+    args.has("checkpoint-every")
+        || args.has("checkpoint-dir")
+        || args.has("resume")
+        || args.has("faults")
+}
+
+/// Parse `--faults step:kind[:dev],step:kind[:dev],...` where `kind` is one
+/// of `worker|mover|insert|checkpoint|exchange`.
+fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::new();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let fields: Vec<&str> = part.split(':').collect();
+        if fields.len() < 2 || fields.len() > 3 {
+            return Err(format!(
+                "bad fault spec {part:?} (expected step:kind[:device])"
+            ));
+        }
+        let step: u64 = fields[0]
+            .parse()
+            .map_err(|_| format!("bad fault superstep {:?}", fields[0]))?;
+        let kind: FaultKind = fields[1].parse()?;
+        let dev: u8 = match fields.get(2) {
+            None => 0,
+            Some(d) => d
+                .parse()
+                .map_err(|_| format!("bad fault device {d:?} (expected 0 or 1)"))?,
+        };
+        plan = plan.with(step, kind, dev);
+    }
+    if plan.faults.is_empty() {
+        return Err("--faults given but no fault specs parsed".to_string());
+    }
+    Ok(plan)
+}
+
+/// Fold the fault-tolerance flags into an engine configuration.
+fn apply_recovery_flags(mut cfg: EngineConfig, args: &Args) -> Result<EngineConfig, String> {
+    let defaults = cfg.recovery;
+    cfg = cfg
+        .with_checkpoint_every(args.flag_parse("checkpoint-every", defaults.checkpoint_every)?)
+        .with_max_retries(args.flag_parse("max-retries", defaults.max_retries)?)
+        .with_backoff_ms(args.flag_parse("backoff-ms", defaults.backoff_base_ms)?);
+    if let Some(spec) = args.flag("faults") {
+        cfg = cfg.with_fault_plan(parse_fault_plan(spec)?.injector());
+    }
+    Ok(cfg)
+}
+
+/// Driver for the apps whose vertex value is plain-old-data: adds the
+/// checkpoint/resume/fault-injection path on top of [`drive`].
+fn drive_pod<P: VertexProgram>(
+    program: &P,
+    g: &Csr,
+    args: &Args,
+    fmt: impl Fn(&P::Value) -> String,
+) -> Result<(RunReport, Vec<String>), String>
+where
+    P::Value: PodState,
+{
+    if !recovery_requested(args) {
+        return drive(program, g, args, fmt);
+    }
+    let cfg = apply_recovery_flags(engine_config(args)?, args)?;
+    let out = if args.has("hetero") || args.has("partition") {
+        if args.has("checkpoint-every") || args.has("checkpoint-dir") || args.has("resume") {
+            return Err(
+                "checkpointing is single-device; --hetero supports only --faults \
+                 (whole-run retry with sequential degradation)"
+                    .to_string(),
+            );
+        }
+        let p = load_or_build_partition(g, args)?;
+        let mic_cfg = match cfg.mode {
+            ExecMode::Locking => cfg.clone(),
+            _ => apply_recovery_flags(EngineConfig::pipelined(), args)?,
+        };
+        let cpu_cfg = apply_recovery_flags(EngineConfig::locking(), args)?;
+        // Both sides share one injector so each planned fault fires once.
+        let (cpu_cfg, mic_cfg) = match &cfg.fault_plan {
+            Some(inj) => (
+                cpu_cfg.with_fault_plan(inj.clone()),
+                mic_cfg.with_fault_plan(inj.clone()),
+            ),
+            None => (cpu_cfg, mic_cfg),
+        };
+        run_hetero_recovering(
+            program,
+            g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [cpu_cfg, mic_cfg],
+            PcieLink::gen2_x16(),
+        )
+    } else {
+        if !matches!(cfg.mode, ExecMode::Locking | ExecMode::Pipelined) {
+            return Err(
+                "--checkpoint-every/--resume/--faults require --engine lock|pipe".to_string(),
+            );
+        }
+        let dir = args.flag_or("checkpoint-dir", "phigraph-ckpt");
+        let mut store = DirStore::open(dir)?;
+        run_recoverable(
+            program,
+            g,
+            device_spec(args)?,
+            &cfg,
+            &mut store,
+            args.has("resume"),
+        )
+    };
+    let lines = out.values.iter().map(fmt).collect();
+    Ok((out.report, lines))
+}
+
 fn drive<P: VertexProgram>(
     program: &P,
     g: &Csr,
     args: &Args,
     fmt: impl Fn(&P::Value) -> String,
 ) -> Result<(RunReport, Vec<String>), String> {
+    if recovery_requested(args) {
+        return Err(
+            "checkpoint/fault flags are unsupported for this app's value type \
+             (supported: pagerank, bfs, sssp, wcc)"
+                .to_string(),
+        );
+    }
     let out = if args.has("hetero") || args.has("partition") {
         let p = load_or_build_partition(g, args)?;
         let mic_cfg = match engine_config(args)?.mode {

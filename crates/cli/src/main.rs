@@ -14,16 +14,20 @@
 //! phigraph run <app> <graph> [--engine lock|pipe|omp|seq] [--device cpu|mic]
 //!              [--partition file.part | --hetero] [--ratio A:B]
 //!              [--source N] [--iters N] [--out values.txt]
+//!              [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
+//!              [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+//! phigraph recover <checkpoint-dir> [--inspect STEP]
 //! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
 //! phigraph check <app> <graph> [--step-budget N]
 //! ```
 
 mod args;
+mod cmd_check;
 mod cmd_generate;
 mod cmd_info;
 mod cmd_partition;
+mod cmd_recover;
 mod cmd_run;
-mod cmd_check;
 mod cmd_tune;
 
 use std::process::ExitCode;
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
         "info" => cmd_info::run(rest),
         "partition" => cmd_partition::run(rest),
         "run" => cmd_run::run(rest),
+        "recover" => cmd_recover::run(rest),
         "tune" => cmd_tune::run(rest),
         "check" => cmd_check::run(rest),
         "--help" | "-h" | "help" => {
@@ -67,6 +72,11 @@ commands:
       [--engine lock|pipe|omp|seq] [--device cpu|mic]
       [--partition file.part | --hetero] [--ratio A:B]
       [--source N] [--iters N] [--out values.txt]
+      [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
+      [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+      (fault kinds: worker|mover|insert|checkpoint|exchange;
+       checkpoint/resume: pagerank|bfs|sssp|wcc with --engine lock|pipe)
+  recover <checkpoint-dir> [--inspect STEP]
   tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]
   check <pagerank|bfs|sssp|toposort|wcc|kcore> <graph> [--step-budget N]"
 }

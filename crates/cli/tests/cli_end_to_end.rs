@@ -208,7 +208,13 @@ fn tune_command_reports_split_and_ratio() {
 fn check_command_reports_clean_programs() {
     let dir = tmpdir("check");
     let graph = dir.join("g.bin");
-    let o = phigraph(&["generate", "pokec", graph.to_str().unwrap(), "--scale", "tiny"]);
+    let o = phigraph(&[
+        "generate",
+        "pokec",
+        graph.to_str().unwrap(),
+        "--scale",
+        "tiny",
+    ]);
     assert!(o.status.success(), "{}", stderr(&o));
     for app in ["bfs", "sssp", "wcc", "kcore"] {
         let o = phigraph(&["check", app, graph.to_str().unwrap()]);

@@ -8,6 +8,7 @@
 //! supply the wire byte count for the transfer-time model.
 
 use crate::link::PcieLink;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 /// Statistics for one exchange.
@@ -25,16 +26,45 @@ pub struct ExchangeStats {
     pub sim_time: f64,
 }
 
+/// A detected exchange failure: the transfer for this superstep was lost on
+/// the link. Both endpoints observe it at the same barrier (the poisoned
+/// packet still crosses, carrying the failure flag), so the two device
+/// runtimes abort the superstep consistently and recovery can roll both
+/// sides back together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangeDropped {
+    /// Rank whose outgoing transfer was dropped.
+    pub dropped_by: usize,
+}
+
+impl std::fmt::Display for ExchangeDropped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "remote message exchange dropped (injected at rank {})",
+            self.dropped_by
+        )
+    }
+}
+
+impl std::error::Error for ExchangeDropped {}
+
 struct Packet<M> {
     msgs: Vec<M>,
     bytes: u64,
     any_active: bool,
+    /// Failure signal: when set, this superstep's transfer is considered
+    /// lost and both sides fail the exchange.
+    poisoned: bool,
 }
 
 /// One side of the CPU↔MIC link.
 pub struct Endpoint<M> {
     tx: SyncSender<Packet<M>>,
     rx: Receiver<Packet<M>>,
+    /// Armed by [`Endpoint::inject_fault`]: the next exchange transmits a
+    /// poisoned packet and fails on both sides.
+    drop_next: AtomicBool,
     /// The link model used for simulated transfer time.
     pub link: PcieLink,
     /// 0 = CPU ("Rank 0"), 1 = MIC ("Rank 1").
@@ -49,12 +79,14 @@ pub fn duplex_pair<M: Send>(link: PcieLink) -> (Endpoint<M>, Endpoint<M>) {
         Endpoint {
             tx: tx0,
             rx: rx0,
+            drop_next: AtomicBool::new(false),
             link,
             rank: 0,
         },
         Endpoint {
             tx: tx1,
             rx: rx1,
+            drop_next: AtomicBool::new(false),
             link,
             rank: 1,
         },
@@ -72,15 +104,43 @@ impl<M: Send> Endpoint<M> {
         bytes_out: u64,
         any_active: bool,
     ) -> (Vec<M>, bool, ExchangeStats) {
+        self.try_exchange(outgoing, bytes_out, any_active)
+            .expect("exchange dropped with no recovery driver installed")
+    }
+
+    /// Arm a one-shot link failure: the next exchange on this endpoint
+    /// transmits a poisoned packet, and both sides' `try_exchange` returns
+    /// [`ExchangeDropped`] at the same barrier.
+    pub fn inject_fault(&self) {
+        self.drop_next.store(true, Ordering::Release);
+    }
+
+    /// Fallible exchange used by recovery-aware drivers. Behaves exactly
+    /// like [`Endpoint::exchange`] unless a fault was injected on either
+    /// side, in which case both sides get `Err(ExchangeDropped)` for this
+    /// superstep and no payload is delivered.
+    pub fn try_exchange(
+        &self,
+        outgoing: Vec<M>,
+        bytes_out: u64,
+        any_active: bool,
+    ) -> Result<(Vec<M>, bool, ExchangeStats), ExchangeDropped> {
+        let poisoned = self.drop_next.swap(false, Ordering::AcqRel);
         let msgs_sent = outgoing.len() as u64;
         self.tx
             .send(Packet {
                 msgs: outgoing,
                 bytes: bytes_out,
                 any_active,
+                poisoned,
             })
             .expect("peer endpoint dropped before exchange");
         let pkt = self.rx.recv().expect("peer endpoint dropped mid-exchange");
+        if poisoned || pkt.poisoned {
+            return Err(ExchangeDropped {
+                dropped_by: if poisoned { self.rank } else { 1 - self.rank },
+            });
+        }
         let stats = ExchangeStats {
             msgs_sent,
             msgs_recv: pkt.msgs.len() as u64,
@@ -88,7 +148,7 @@ impl<M: Send> Endpoint<M> {
             bytes_recv: pkt.bytes,
             sim_time: self.link.exchange_time(bytes_out, pkt.bytes),
         };
-        (pkt.msgs, pkt.any_active, stats)
+        Ok((pkt.msgs, pkt.any_active, stats))
     }
 
     /// Barrier-style exchange with no payload (used for the final halt
@@ -151,6 +211,26 @@ mod tests {
         let t = std::thread::spawn(move || b.sync_flag(true));
         assert!(a.sync_flag(false));
         assert!(!t.join().unwrap());
+    }
+
+    #[test]
+    fn injected_fault_fails_both_sides_once() {
+        let (a, b) = duplex_pair::<u32>(PcieLink::ideal());
+        a.inject_fault();
+        let t = std::thread::spawn(move || {
+            // Peer did not inject, but observes the same failure.
+            let err = b.try_exchange(vec![7], 4, true).unwrap_err();
+            assert_eq!(err.dropped_by, 0);
+            // Next superstep works again (one-shot fault).
+            let (got, _, _) = b.try_exchange(vec![8], 4, true).unwrap();
+            assert_eq!(got, vec![9]);
+            b
+        });
+        let err = a.try_exchange(vec![1], 4, true).unwrap_err();
+        assert_eq!(err.dropped_by, 0);
+        let (got, _, _) = a.try_exchange(vec![9], 4, true).unwrap();
+        assert_eq!(got, vec![8]);
+        t.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod link;
 pub mod message;
 
 pub use combiner::combine_messages;
-pub use exchange::{duplex_pair, Endpoint, ExchangeStats};
+pub use exchange::{duplex_pair, Endpoint, ExchangeDropped, ExchangeStats};
 pub use link::PcieLink;
 pub use message::WireMsg;

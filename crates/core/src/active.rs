@@ -73,6 +73,21 @@ impl ActiveSet {
         &mut self.flags
     }
 
+    /// Read-only raw flags (snapshotted by the checkpoint writer).
+    pub fn flags(&self) -> &[u8] {
+        &self.flags
+    }
+
+    /// Overwrite all flags from a snapshot and recount.
+    ///
+    /// # Panics
+    /// Panics if `flags.len()` differs from the set's vertex count.
+    pub fn restore_flags(&mut self, flags: &[u8]) {
+        assert_eq!(flags.len(), self.flags.len(), "flag snapshot size mismatch");
+        self.flags.copy_from_slice(flags);
+        self.recount();
+    }
+
     /// Recount after a raw-flags phase.
     pub fn recount(&mut self) {
         let n = self.flags.iter().filter(|&&f| f != 0).count() as u64;

@@ -18,11 +18,11 @@
 //! unique `(row, column)` cell, making the raw write race-free.
 
 use super::layout::{CsbLayout, NOT_OWNED};
-use std::sync::Mutex;
 use phigraph_device::counters::InsertProfile;
 use phigraph_graph::VertexId;
 use phigraph_simd::{AVec, MsgValue};
 use std::sync::atomic::{AtomicI32, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Column-mapping strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -452,7 +452,11 @@ mod tests {
             .find(|&c| csb.column_position(g, c) == Some(pos))
             .unwrap();
         assert_eq!(
-            [csb.cell(g, 0, col), csb.cell(g, 1, col), csb.cell(g, 2, col)],
+            [
+                csb.cell(g, 0, col),
+                csb.cell(g, 1, col),
+                csb.cell(g, 2, col)
+            ],
             [1.0, 2.0, 3.0]
         );
     }

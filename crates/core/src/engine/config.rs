@@ -3,6 +3,7 @@
 use crate::csb::ColumnMode;
 use phigraph_device::cost::GenMode;
 use phigraph_device::DeviceSpec;
+use phigraph_recover::{FaultInjector, RecoveryPolicy};
 
 /// How a device executes a superstep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +70,13 @@ pub struct EngineConfig {
     pub queue_cap: usize,
     /// Superstep cap applied on top of the program's own limit.
     pub max_supersteps: Option<usize>,
+    /// Checkpoint interval, retry budget, and backoff for the recovering
+    /// drivers (`engine::recover`). Ignored by the plain drivers.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault injection plan (compiled, fire-once). `None`
+    /// runs fault-free; the recovering drivers consult it at the defined
+    /// injection sites.
+    pub fault_plan: Option<FaultInjector>,
 }
 
 impl EngineConfig {
@@ -86,6 +94,8 @@ impl EngineConfig {
             pipe_batch: 0,
             queue_cap: 0,
             max_supersteps: None,
+            recovery: RecoveryPolicy::default(),
+            fault_plan: None,
         }
     }
 
@@ -158,6 +168,31 @@ impl EngineConfig {
     /// Set the SPSC ring capacity for the pipelined engine.
     pub fn with_queue_cap(mut self, n: usize) -> Self {
         self.queue_cap = n.max(2);
+        self
+    }
+
+    /// Write a barrier checkpoint every `k` supersteps (0 disables).
+    pub fn with_checkpoint_every(mut self, k: usize) -> Self {
+        self.recovery.checkpoint_every = k;
+        self
+    }
+
+    /// Set the rollback/replay retry budget before sequential degradation.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.recovery.max_retries = n;
+        self
+    }
+
+    /// Set the exponential-backoff base in milliseconds (0 = no sleeping,
+    /// what the deterministic tests use).
+    pub fn with_backoff_ms(mut self, base: u64) -> Self {
+        self.recovery.backoff_base_ms = base;
+        self
+    }
+
+    /// Install a compiled fault-injection plan.
+    pub fn with_fault_plan(mut self, injector: FaultInjector) -> Self {
+        self.fault_plan = Some(injector);
         self
     }
 

@@ -291,6 +291,29 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
         self.active.count()
     }
 
+    /// Raw per-vertex active flags (snapshotted by the checkpoint writer at
+    /// the superstep barrier, alongside [`DeviceEngine::values`]).
+    pub fn active_flags(&self) -> &[u8] {
+        self.active.flags()
+    }
+
+    /// Restore vertex state from a checkpoint taken at a superstep barrier:
+    /// overwrite all values and active flags. Message buffers need no
+    /// restoration — the CSB is reset at the top of every superstep by
+    /// [`DeviceEngine::begin_step`].
+    ///
+    /// # Panics
+    /// Panics if `values` or `flags` do not cover the full vertex range.
+    pub fn restore(&mut self, values: Vec<P::Value>, flags: &[u8]) {
+        assert_eq!(
+            values.len(),
+            self.graph.num_vertices(),
+            "value snapshot size mismatch"
+        );
+        self.values = values;
+        self.active.restore_flags(flags);
+    }
+
     /// Reset per-iteration buffer state; returns fresh counters.
     pub fn begin_step(&mut self) -> StepCounters {
         let c = StepCounters {
@@ -811,7 +834,9 @@ mod tests {
             &Sssp,
             &g,
             DeviceSpec::xeon_e5_2680(),
-            EngineConfig::pipelined().with_host_threads(4).with_pipe_batch(8),
+            EngineConfig::pipelined()
+                .with_host_threads(4)
+                .with_pipe_batch(8),
             0,
             None,
         );

@@ -230,22 +230,20 @@ pub fn run_flat<P: VertexProgram>(
         }
     }
 
+    // `ExecMode::Flat.name()` is the single source of the report name
+    // (`"omp"`, after the paper's OMP bars).
+    let report = RunReport {
+        app: P::NAME.to_string(),
+        device: spec.name.to_string(),
+        mode: config.mode.name().to_string(),
+        steps,
+        wall: wall_start.elapsed().as_secs_f64(),
+        recovery: Default::default(),
+    };
     RunOutput {
         values,
-        report: RunReport {
-            app: P::NAME.to_string(),
-            device: spec.name.to_string(),
-            mode: "omp".to_string(),
-            steps: steps.clone(),
-            wall: wall_start.elapsed().as_secs_f64(),
-        },
-        device_reports: vec![RunReport {
-            app: P::NAME.to_string(),
-            device: spec.name.to_string(),
-            mode: "omp".to_string(),
-            steps,
-            wall: wall_start.elapsed().as_secs_f64(),
-        }],
+        device_reports: vec![report.clone()],
+        report,
     }
 }
 

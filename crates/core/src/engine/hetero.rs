@@ -11,17 +11,23 @@ use crate::api::VertexProgram;
 use crate::engine::config::EngineConfig;
 use crate::engine::device::DeviceEngine;
 use crate::engine::flat::run_cap;
+use crate::engine::seq::run_seq;
 use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
 use phigraph_comm::message::wire_bytes;
 use phigraph_comm::{combine_messages, duplex_pair, Endpoint, PcieLink, WireMsg};
 use phigraph_device::{CostModel, DeviceSpec, StepCounters};
 use phigraph_graph::Csr;
 use phigraph_partition::DevicePartition;
+use phigraph_recover::{FaultKind, RecoveryStats};
 use phigraph_simd::MsgValue;
 use std::time::Instant;
 
 /// Run `program` across both devices. `specs`/`configs` are indexed by
 /// device (0 = CPU, 1 = MIC); `partition` assigns vertices.
+///
+/// # Panics
+/// Panics if a `DropExchange` fault fires — install the fault plan under
+/// [`run_hetero_recovering`] instead, which retries and degrades.
 pub fn run_hetero<P: VertexProgram>(
     program: &P,
     graph: &Csr,
@@ -30,6 +36,82 @@ pub fn run_hetero<P: VertexProgram>(
     configs: [EngineConfig; 2],
     link: PcieLink,
 ) -> RunOutput<P::Value> {
+    attempt_hetero(program, graph, partition, specs, configs, link).unwrap_or_else(|step| {
+        panic!(
+            "remote message exchange dropped at superstep {step} with no \
+             recovery driver installed; use run_hetero_recovering"
+        )
+    })
+}
+
+/// [`run_hetero`] with link-failure recovery: a dropped exchange (observed
+/// by both devices at the same barrier) aborts the superstep consistently,
+/// and the whole run is replayed — generation is deterministic per attempt,
+/// and injected faults fire once, so replay converges. After
+/// `configs[0].recovery.max_retries` failed attempts the run degrades to
+/// the sequential engine on device 0. Recovery events are reported in the
+/// combined report's [`RunReport::recovery`].
+pub fn run_hetero_recovering<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition: &DevicePartition,
+    specs: [DeviceSpec; 2],
+    configs: [EngineConfig; 2],
+    link: PcieLink,
+) -> RunOutput<P::Value> {
+    let policy = configs[0].recovery;
+    let mut stats = RecoveryStats::default();
+    let mut retry = 0u32;
+    loop {
+        match attempt_hetero(
+            program,
+            graph,
+            partition,
+            specs.clone(),
+            configs.clone(),
+            link,
+        ) {
+            Ok(mut out) => {
+                stats.accumulate(&out.report.recovery);
+                out.report.recovery = stats;
+                return out;
+            }
+            Err(_step) => {
+                stats.faults_injected += 1;
+                stats.rollbacks += 1;
+                if retry >= policy.max_retries {
+                    // Retry budget exhausted: degrade to one sequential
+                    // device. The hetero path keeps no checkpoints (both
+                    // sides would need a coordinated snapshot), so the
+                    // degraded run restarts from scratch — slower, still
+                    // correct.
+                    stats.degraded = true;
+                    let mut out = run_seq(program, graph, specs[0].clone(), &configs[0]);
+                    out.report.recovery = stats;
+                    return out;
+                }
+                retry += 1;
+                stats.retries += 1;
+                let backoff = policy.backoff_ms(retry - 1);
+                if backoff > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+}
+
+/// One lock-step attempt. `Err(step)` means the exchange for `step` was
+/// dropped; both device loops observed it at the same barrier and returned
+/// consistently.
+fn attempt_hetero<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition: &DevicePartition,
+    specs: [DeviceSpec; 2],
+    configs: [EngineConfig; 2],
+    link: PcieLink,
+) -> Result<RunOutput<P::Value>, usize> {
     assert_eq!(partition.assign.len(), graph.num_vertices());
     // Both sides must agree on the superstep cap or the lock-step exchange
     // deadlocks.
@@ -55,8 +137,12 @@ pub fn run_hetero<P: VertexProgram>(
         )
     });
 
-    let (values0, report0) = side0;
-    let (values1, report1) = side1;
+    let (values0, report0, fail0) = side0;
+    let (values1, report1, fail1) = side1;
+    if let Some(step) = fail0.or(fail1) {
+        debug_assert_eq!(fail0, fail1, "both sides must fail at the same barrier");
+        return Err(step);
+    }
     // Merge values by ownership.
     let mut values = values0;
     for (v, val) in values1.into_iter().enumerate() {
@@ -65,13 +151,17 @@ pub fn run_hetero<P: VertexProgram>(
         }
     }
     let report = combine_hetero(P::NAME, &report0, &report1);
-    RunOutput {
+    Ok(RunOutput {
         values,
         report,
         device_reports: vec![report0, report1],
-    }
+    })
 }
 
+/// One device's superstep loop. The third return slot is `Some(step)` when
+/// the remote exchange for `step` was dropped (fault injection): the loop
+/// returns early, its peer observes the identical failure at the same
+/// barrier, and the caller decides whether to retry.
 #[allow(clippy::too_many_arguments)]
 fn device_loop<P: VertexProgram>(
     program: &P,
@@ -82,7 +172,7 @@ fn device_loop<P: VertexProgram>(
     config: EngineConfig,
     ep: Endpoint<WireMsg<P::Msg>>,
     cap: usize,
-) -> (Vec<P::Value>, RunReport) {
+) -> (Vec<P::Value>, RunReport, Option<usize>) {
     let cost = CostModel::new(spec.clone());
     let mut engine = DeviceEngine::new(
         program,
@@ -94,6 +184,7 @@ fn device_loop<P: VertexProgram>(
     );
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
+    let mut failed: Option<usize> = None;
 
     for step in 0.. {
         if step >= cap {
@@ -113,9 +204,22 @@ fn device_loop<P: VertexProgram>(
         c.remote_after_combine = combined.len() as u64;
         let bytes_out = wire_bytes::<P::Msg>(combined.len());
 
-        // 3. The implicit remote message exchange.
+        // 3. The implicit remote message exchange. A `DropExchange` fault
+        //    scheduled for this (step, device) arms a one-shot link failure
+        //    that both sides observe at this barrier.
+        if let Some(inj) = &config.fault_plan {
+            if inj.fire(step as u64, FaultKind::DropExchange, dev) {
+                ep.inject_fault();
+            }
+        }
         let my_any = c.msgs_total() > 0;
-        let (incoming, peer_any, xstats) = ep.exchange(combined, bytes_out, my_any);
+        let (incoming, peer_any, xstats) = match ep.try_exchange(combined, bytes_out, my_any) {
+            Ok(r) => r,
+            Err(_dropped) => {
+                failed = Some(step);
+                break;
+            }
+        };
         c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
 
         // 4. Insert received messages, then process and update locally.
@@ -147,8 +251,9 @@ fn device_loop<P: VertexProgram>(
         mode: "cpu-mic".to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
+        recovery: Default::default(),
     };
-    (engine.values, report)
+    (engine.values, report, failed)
 }
 
 #[cfg(test)]
@@ -216,6 +321,93 @@ mod tests {
         // Round-robin on a chain: every edge crosses devices.
         assert!(out.report.sim_comm() > 0.0);
         assert!(out.report.total_comm_bytes() > 0);
+    }
+
+    #[test]
+    fn dropped_exchange_is_retried_and_matches_clean_run() {
+        use phigraph_recover::{FaultKind, FaultPlan};
+        let g = chain(30);
+        let p = partition(&g, PartitionScheme::RoundRobin, Ratio::even(), 0);
+        let clean = run_single(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking(),
+        );
+        let plan = FaultPlan::single(2, FaultKind::DropExchange);
+        let inj = plan.injector();
+        let out = run_hetero_recovering(
+            &Sssp,
+            &g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [
+                EngineConfig::locking()
+                    .with_backoff_ms(0)
+                    .with_fault_plan(inj.clone()),
+                EngineConfig::locking().with_fault_plan(inj),
+            ],
+            PcieLink::gen2_x16(),
+        );
+        assert_eq!(out.values, clean.values);
+        assert_eq!(out.report.recovery.rollbacks, 1);
+        assert_eq!(out.report.recovery.retries, 1);
+        assert_eq!(out.report.recovery.faults_injected, 1);
+        assert!(!out.report.recovery.degraded);
+        assert_eq!(out.report.device, "CPU-MIC");
+    }
+
+    #[test]
+    fn exchange_faults_past_budget_degrade_to_sequential() {
+        use phigraph_recover::{FaultKind, FaultPlan};
+        let g = chain(20);
+        let p = partition(&g, PartitionScheme::RoundRobin, Ratio::even(), 0);
+        // Faults on both devices across attempts, budget of one retry.
+        let plan = FaultPlan::new().with(1, FaultKind::DropExchange, 0).with(
+            2,
+            FaultKind::DropExchange,
+            1,
+        );
+        let inj = plan.injector();
+        let out = run_hetero_recovering(
+            &Sssp,
+            &g,
+            &p,
+            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+            [
+                EngineConfig::locking()
+                    .with_backoff_ms(0)
+                    .with_max_retries(1)
+                    .with_fault_plan(inj.clone()),
+                EngineConfig::locking().with_fault_plan(inj),
+            ],
+            PcieLink::gen2_x16(),
+        );
+        for v in 0..20 {
+            assert_eq!(out.values[v], v as f32, "degraded run still correct");
+        }
+        assert!(out.report.recovery.degraded);
+        assert_eq!(out.report.mode, "seq");
+        assert!(out.report.summary().contains("DEGRADED->seq"));
+    }
+
+    #[test]
+    fn recovering_driver_without_faults_is_plain_hetero() {
+        let g = chain(24);
+        let p = partition(&g, PartitionScheme::Continuous, Ratio::even(), 0);
+        let specs = [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()];
+        let configs = [EngineConfig::locking(), EngineConfig::locking()];
+        let plain = run_hetero(
+            &Sssp,
+            &g,
+            &p,
+            specs.clone(),
+            configs.clone(),
+            PcieLink::ideal(),
+        );
+        let out = run_hetero_recovering(&Sssp, &g, &p, specs, configs, PcieLink::ideal());
+        assert_eq!(out.values, plain.values);
+        assert!(!out.report.recovery.any());
     }
 
     #[test]

@@ -6,13 +6,15 @@ pub mod device;
 pub mod flat;
 pub mod hetero;
 pub mod obj;
+pub mod recover;
 pub mod seq;
 
 pub use config::{EngineConfig, ExecMode};
 pub use device::DeviceEngine;
 pub use flat::run_flat;
-pub use hetero::run_hetero;
-pub use seq::run_seq;
+pub use hetero::{run_hetero, run_hetero_recovering};
+pub use recover::run_recoverable;
+pub use seq::{run_seq, run_seq_resume};
 
 use crate::api::VertexProgram;
 use crate::metrics::{RunOutput, RunReport, StepReport};
@@ -86,6 +88,7 @@ fn run_csb_single<P: VertexProgram>(
         mode: config.mode.name().to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
+        recovery: Default::default(),
     };
     RunOutput {
         values: engine.values,

@@ -122,9 +122,7 @@ impl<'g, P: ObjVertexProgram> ObjEngine<'g, P> {
             owned,
             values,
             active,
-            mailboxes: (0..n)
-                .map(|_| std::sync::Mutex::new(Vec::new()))
-                .collect(),
+            mailboxes: (0..n).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
             host_threads,
             gen_ranges,
         }
@@ -473,6 +471,7 @@ pub fn run_obj_single<P: ObjVertexProgram>(
         mode: config.mode.name().to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
+        recovery: Default::default(),
     };
     RunOutput {
         values: engine.values,
@@ -601,6 +600,7 @@ fn obj_device_loop<P: ObjVertexProgram>(
         mode: "cpu-mic".to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
+        recovery: Default::default(),
     };
     (engine.values, report)
 }

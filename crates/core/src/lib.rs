@@ -21,6 +21,9 @@
 //!   `phigraph_simd` underneath.
 //! * [`engine::obj`] — the object-message path for programs whose messages
 //!   are not basic SSE types (Semi-Clustering).
+//! * [`engine::recover`] — fault tolerance: barrier checkpointing through
+//!   `phigraph_recover`, deterministic fault injection, rollback/replay,
+//!   and sequential graceful degradation (see `docs/fault_tolerance.md`).
 //!
 //! # Quick example
 //!
@@ -68,5 +71,7 @@ pub mod tune;
 pub mod util;
 
 pub use api::{GenContext, MsgSink, VertexProgram};
-pub use engine::{run_hetero, run_single, EngineConfig, ExecMode};
+pub use engine::{
+    run_hetero, run_hetero_recovering, run_recoverable, run_single, EngineConfig, ExecMode,
+};
 pub use metrics::{RunReport, StepReport};

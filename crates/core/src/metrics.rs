@@ -6,6 +6,7 @@
 
 use phigraph_device::cost::PhaseTimes;
 use phigraph_device::StepCounters;
+use phigraph_recover::RecoveryStats;
 
 /// Measurements for one superstep on one device.
 #[derive(Clone, Debug, Default)]
@@ -37,12 +38,19 @@ pub struct RunReport {
     pub app: String,
     /// Device name.
     pub device: String,
-    /// Execution mode name (`lock`, `pipe`, `flat`, `seq`, `cpu-mic`).
+    /// Execution mode name. Matches [`ExecMode::name`]: `lock`, `pipe`,
+    /// `omp` (the flat engine's report name, after the paper's "OMP" bars),
+    /// or `seq` — plus `cpu-mic` for combined heterogeneous reports.
+    ///
+    /// [`ExecMode::name`]: crate::engine::ExecMode::name
     pub mode: String,
     /// Per-superstep reports.
     pub steps: Vec<StepReport>,
     /// Host wall-clock seconds for the whole run.
     pub wall: f64,
+    /// Fault-tolerance events observed during the run (all-zero for the
+    /// plain, non-recovering drivers).
+    pub recovery: RecoveryStats,
 }
 
 impl RunReport {
@@ -93,6 +101,24 @@ impl RunReport {
         self.steps.iter().map(|s| s.counters.mover_idle_polls).sum()
     }
 
+    /// Total barrier checkpoints written during the run.
+    pub fn total_checkpoints(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.counters.checkpoints_written)
+            .sum()
+    }
+
+    /// Total bytes written into checkpoint snapshots.
+    pub fn total_checkpoint_bytes(&self) -> u64 {
+        self.steps.iter().map(|s| s.counters.checkpoint_bytes).sum()
+    }
+
+    /// Total faults injected at this run's injection sites.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.steps.iter().map(|s| s.counters.faults_injected).sum()
+    }
+
     /// Mean messages per worker→mover flush batch over the run (`None`
     /// when no batches were flushed, e.g. non-pipelined runs).
     pub fn mean_batch_size(&self) -> Option<f64> {
@@ -104,9 +130,10 @@ impl RunReport {
         Some(msgs as f64 / batches as f64)
     }
 
-    /// One-line summary for harness output.
+    /// One-line summary for harness output. Appends the recovery event
+    /// summary when any fault-tolerance activity occurred.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{:<10} {:<22} {:<5} steps={:<4} msgs={:<10} exec={:.4}s comm={:.4}s total={:.4}s (wall {:.3}s)",
             self.app,
             self.device,
@@ -117,7 +144,11 @@ impl RunReport {
             self.sim_comm(),
             self.sim_total(),
             self.wall,
-        )
+        );
+        if self.recovery.any() {
+            line.push_str(&format!(" [{}]", self.recovery.summary()));
+        }
+        line
     }
 }
 
@@ -158,12 +189,15 @@ pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunRepor
             }
         })
         .collect();
+    let mut recovery = dev0.recovery;
+    recovery.accumulate(&dev1.recovery);
     RunReport {
         app: app.to_string(),
         device: "CPU-MIC".to_string(),
         mode: "cpu-mic".to_string(),
         steps,
         wall: dev0.wall.max(dev1.wall),
+        recovery,
     }
 }
 
@@ -242,9 +276,54 @@ mod tests {
             mode: "lock".into(),
             steps: vec![step(1.0, 0.0)],
             wall: 0.01,
+            recovery: Default::default(),
         };
         let s = r.summary();
         assert!(s.contains("sssp"));
         assert!(!s.contains('\n'));
+        // No recovery activity → no recovery tail in the summary.
+        assert!(!s.contains('['));
+    }
+
+    #[test]
+    fn summary_appends_recovery_events() {
+        let mut r = RunReport {
+            app: "sssp".into(),
+            mode: "lock".into(),
+            ..Default::default()
+        };
+        r.recovery.rollbacks = 2;
+        r.recovery.retries = 2;
+        let s = r.summary();
+        assert!(s.contains("rollbacks=2"), "summary was: {s}");
+    }
+
+    #[test]
+    fn checkpoint_totals_aggregate_counters() {
+        let mut s0 = step(1.0, 0.0);
+        s0.counters.checkpoints_written = 1;
+        s0.counters.checkpoint_bytes = 100;
+        let mut s1 = step(1.0, 0.0);
+        s1.counters.checkpoints_written = 1;
+        s1.counters.checkpoint_bytes = 150;
+        s1.counters.faults_injected = 1;
+        let r = RunReport {
+            steps: vec![s0, s1],
+            ..Default::default()
+        };
+        assert_eq!(r.total_checkpoints(), 2);
+        assert_eq!(r.total_checkpoint_bytes(), 250);
+        assert_eq!(r.total_faults_injected(), 1);
+    }
+
+    #[test]
+    fn hetero_combination_accumulates_recovery() {
+        let mut a = RunReport::default();
+        a.recovery.rollbacks = 1;
+        let mut b = RunReport::default();
+        b.recovery.retries = 2;
+        let c = combine_hetero("x", &a, &b);
+        assert_eq!(c.recovery.rollbacks, 1);
+        assert_eq!(c.recovery.retries, 2);
     }
 }

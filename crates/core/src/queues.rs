@@ -141,7 +141,10 @@ impl<T> SpscQueue<T> {
         // SAFETY: slot `tail % cap` is free (tail - head < cap) and only
         // this producer writes tails.
         (*self.slots[tail % self.cap].get()).write(item);
-        self.prod.0.tail.store(tail.wrapping_add(1), Ordering::Release);
+        self.prod
+            .0
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
         spins
     }
 
@@ -172,11 +175,7 @@ impl<T> SpscQueue<T> {
             let first = n.min(self.cap - idx);
             // SAFETY: slots [idx, idx+first) and, on wrap, [0, n-first) are
             // free (n <= free slots); `T: Copy` means no drops are skipped.
-            std::ptr::copy_nonoverlapping(
-                rest.as_ptr(),
-                self.slots[idx].get().cast::<T>(),
-                first,
-            );
+            std::ptr::copy_nonoverlapping(rest.as_ptr(), self.slots[idx].get().cast::<T>(), first);
             if n > first {
                 std::ptr::copy_nonoverlapping(
                     rest.as_ptr().add(first),
@@ -206,7 +205,10 @@ impl<T> SpscQueue<T> {
             let v = (*self.slots[(head + i) % self.cap].get()).assume_init_read();
             out.push(v);
         }
-        self.cons.0.head.store(head.wrapping_add(avail), Ordering::Release);
+        self.cons
+            .0
+            .head
+            .store(head.wrapping_add(avail), Ordering::Release);
         avail
     }
 
@@ -243,7 +245,10 @@ impl<T> SpscQueue<T> {
             ));
         }
         // One Release publish returns all consumed slots to the producer.
-        self.cons.0.head.store(head.wrapping_add(avail), Ordering::Release);
+        self.cons
+            .0
+            .head
+            .store(head.wrapping_add(avail), Ordering::Release);
         avail
     }
 
@@ -255,8 +260,7 @@ impl<T> SpscQueue<T> {
     /// True when the producer closed the queue *and* everything was popped.
     pub fn is_drained(&self) -> bool {
         self.closed.load(Ordering::Acquire)
-            && self.cons.0.head.load(Ordering::Acquire)
-                == self.prod.0.tail.load(Ordering::Acquire)
+            && self.cons.0.head.load(Ordering::Acquire) == self.prod.0.tail.load(Ordering::Acquire)
     }
 }
 

@@ -114,7 +114,8 @@ fn queue_matrix_randomized_fanout_is_exact() {
                         for w in 0..WORKERS {
                             // SAFETY: mover mv is the sole consumer of (w, mv).
                             let n = unsafe {
-                                m.queue(w, mv).pop_slices(16, |sl| got.extend_from_slice(sl))
+                                m.queue(w, mv)
+                                    .pop_slices(16, |sl| got.extend_from_slice(sl))
                             };
                             if n > 0 {
                                 moved = true;

@@ -158,6 +158,15 @@ pub struct StepCounters {
     pub remote_after_combine: u64,
     /// Wire bytes exchanged with the peer.
     pub comm_bytes: u64,
+
+    // -- fault tolerance --
+    /// Barrier checkpoints written at the end of this superstep (0 or 1 in
+    /// practice; recovery replays drop superseded step records).
+    pub checkpoints_written: u64,
+    /// Encoded snapshot bytes written at the end of this superstep.
+    pub checkpoint_bytes: u64,
+    /// Faults the injector fired during this superstep.
+    pub faults_injected: u64,
 }
 
 impl StepCounters {
@@ -199,6 +208,9 @@ impl StepCounters {
         self.remote_before_combine += other.remote_before_combine;
         self.remote_after_combine += other.remote_after_combine;
         self.comm_bytes += other.comm_bytes;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_bytes += other.checkpoint_bytes;
+        self.faults_injected += other.faults_injected;
     }
 }
 

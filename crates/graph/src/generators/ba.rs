@@ -3,8 +3,8 @@
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
-use crate::types::VertexId;
 use crate::generators::rng::SplitMix64 as StdRng;
+use crate::types::VertexId;
 
 /// Generate a Barabási–Albert graph: vertices arrive one at a time and
 /// attach `m` directed edges to existing vertices chosen proportionally to

@@ -10,8 +10,8 @@
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
-use crate::types::VertexId;
 use crate::generators::rng::SplitMix64 as StdRng;
+use crate::types::VertexId;
 
 /// Layered DAG parameters.
 #[derive(Clone, Debug)]

@@ -3,8 +3,8 @@
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
-use crate::types::VertexId;
 use crate::generators::rng::SplitMix64 as StdRng;
+use crate::types::VertexId;
 
 /// Generate a directed G(n, m) graph: `m` edges sampled uniformly without
 /// self-loops, duplicates removed (so the result may have slightly fewer

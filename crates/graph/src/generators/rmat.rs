@@ -9,8 +9,8 @@
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
-use crate::types::VertexId;
 use crate::generators::rng::SplitMix64 as StdRng;
+use crate::types::VertexId;
 
 /// RMAT generator parameters.
 #[derive(Clone, Debug)]

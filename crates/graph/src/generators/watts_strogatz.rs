@@ -8,8 +8,8 @@
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
-use crate::types::VertexId;
 use crate::generators::rng::SplitMix64 as StdRng;
+use crate::types::VertexId;
 
 /// Generate a directed Watts–Strogatz graph: each vertex connects to its
 /// `k` nearest ring successors; each edge is rewired to a uniform random

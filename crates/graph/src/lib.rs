@@ -22,6 +22,7 @@ pub mod degree;
 pub mod edge_list;
 pub mod generators;
 pub mod io;
+pub mod state;
 pub mod subgraph;
 pub mod types;
 pub mod validation;
@@ -31,4 +32,5 @@ pub use csr::Csr;
 pub use degree::DegreeStats;
 pub use edge_list::EdgeList;
 pub use generators::rng::SplitMix64;
+pub use state::PodState;
 pub use types::{EdgeIdx, VertexId};

@@ -1,0 +1,125 @@
+//! Fixed-width little-endian serialization of per-vertex state.
+//!
+//! The fault-tolerance subsystem snapshots vertex values at superstep
+//! barriers. Values are plain-old-data (`f32` distances, `i32` levels, …),
+//! so the codec is deliberately simple: a [`PodState`] type writes itself as
+//! a fixed number of little-endian bytes and reads itself back bit-exactly.
+//! Bit-exactness matters — recovery promises *bit-identical* results to a
+//! fault-free run, so the round trip must preserve every NaN payload and
+//! signed zero (hence byte-level encoding, not text formatting).
+//!
+//! The slice helpers ([`encode_state_slice`] / [`decode_state_slice`]) are
+//! what checkpoint writers actually call; they reserve exactly once and
+//! validate lengths on the way back in.
+
+/// A fixed-width plain-old-data vertex state that round-trips through
+/// little-endian bytes bit-exactly.
+pub trait PodState: Copy + Send + Sync + 'static {
+    /// Encoded width in bytes.
+    const STATE_SIZE: usize;
+
+    /// Append exactly [`PodState::STATE_SIZE`] bytes to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+
+    /// Read a value back from exactly [`PodState::STATE_SIZE`] bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != STATE_SIZE` (callers slice exactly).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! pod_state {
+    ($($t:ty),*) => {$(
+        impl PodState for $t {
+            const STATE_SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("exact STATE_SIZE slice"))
+            }
+        }
+    )*};
+}
+pod_state!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+/// Encode a slice of vertex states as `values.len() * STATE_SIZE`
+/// little-endian bytes.
+pub fn encode_state_slice<T: PodState>(values: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * T::STATE_SIZE);
+    for v in values {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+/// Decode `n` vertex states from `bytes`. Returns `None` when the byte
+/// length does not equal `n * STATE_SIZE` (truncated or mis-sized payload).
+pub fn decode_state_slice<T: PodState>(bytes: &[u8], n: usize) -> Option<Vec<T>> {
+    if bytes.len() != n * T::STATE_SIZE {
+        return None;
+    }
+    Some(bytes.chunks_exact(T::STATE_SIZE).map(T::read_le).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::rng::SplitMix64;
+
+    #[test]
+    fn scalar_round_trips_bit_exactly() {
+        // NaN payloads and signed zero must survive.
+        let vals: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::from_bits(0x7FC0_1234), // NaN with payload
+            1.5e-38,
+        ];
+        let bytes = encode_state_slice(&vals);
+        let back: Vec<f32> = decode_state_slice(&bytes, vals.len()).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn integer_types_round_trip() {
+        let v32: Vec<i32> = vec![i32::MIN, -1, 0, 7, i32::MAX];
+        assert_eq!(
+            decode_state_slice::<i32>(&encode_state_slice(&v32), 5).unwrap(),
+            v32
+        );
+        let v64: Vec<u64> = vec![0, u64::MAX, 0xDEAD_BEEF];
+        assert_eq!(
+            decode_state_slice::<u64>(&encode_state_slice(&v64), 3).unwrap(),
+            v64
+        );
+    }
+
+    #[test]
+    fn random_round_trip() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let vals: Vec<f64> = (0..1000).map(|_| f64::from_bits(rng.next_u64())).collect();
+        let bytes = encode_state_slice(&vals);
+        assert_eq!(bytes.len(), 8000);
+        let back: Vec<f64> = decode_state_slice(&bytes, 1000).unwrap();
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        let bytes = encode_state_slice(&[1.0f32, 2.0]);
+        assert!(decode_state_slice::<f32>(&bytes, 3).is_none());
+        assert!(decode_state_slice::<f32>(&bytes[..7], 2).is_none());
+        assert!(decode_state_slice::<f64>(&bytes, 1).unwrap().len() == 1);
+    }
+}

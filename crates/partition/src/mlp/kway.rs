@@ -137,8 +137,8 @@ mod tests {
     use super::*;
     use phigraph_graph::generators::community::{community_graph, CommunityConfig};
     use phigraph_graph::generators::erdos_renyi::gnm;
-    use phigraph_graph::generators::small::chain;
     use phigraph_graph::generators::rng::SplitMix64 as StdRng;
+    use phigraph_graph::generators::small::chain;
 
     #[test]
     fn bisect_chain_finds_small_cut() {

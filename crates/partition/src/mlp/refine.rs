@@ -150,8 +150,8 @@ pub fn fm_refine(g: &WGraph, side: &mut [u8], target_frac: f64, max_passes: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phigraph_graph::generators::{erdos_renyi::gnm, small::chain};
     use phigraph_graph::generators::rng::SplitMix64 as StdRng;
+    use phigraph_graph::generators::{erdos_renyi::gnm, small::chain};
 
     #[test]
     fn refinement_never_increases_cut() {

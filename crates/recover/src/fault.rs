@@ -1,0 +1,285 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is plain data: a list of `(superstep, kind, device)`
+//! triples, built explicitly or drawn from the vendored PRNG so sweeps are
+//! reproducible per seed. The plan compiles into a [`FaultInjector`] — a
+//! cheaply clonable handle with shared fire-once state — which is threaded
+//! through `EngineConfig` and consulted by the engines at well-defined
+//! injection sites. A fault fires exactly once across all clones: after the
+//! engine rolls back and replays the same superstep, the injector stays
+//! quiet, modelling a transient fail-stop failure.
+
+use phigraph_graph::SplitMix64;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A worker thread dies before message generation completes.
+    KillWorker,
+    /// A mover thread dies while draining its SPSC queues.
+    KillMover,
+    /// A CSB insert lands a corrupted cell (detected fail-stop at
+    /// insertion-stat finalization).
+    PoisonInsert,
+    /// The checkpoint writer corrupts the snapshot bytes on their way to
+    /// the store (detected later by the snapshot checksum).
+    CorruptCheckpoint,
+    /// The heterogeneous remote-message exchange is dropped on the link;
+    /// both devices observe the failure at the barrier.
+    DropExchange,
+}
+
+impl FaultKind {
+    /// All kinds, for seeded sampling.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::KillWorker,
+        FaultKind::KillMover,
+        FaultKind::PoisonInsert,
+        FaultKind::CorruptCheckpoint,
+        FaultKind::DropExchange,
+    ];
+
+    /// Short stable name (CLI flag values, report lines).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::KillWorker => "worker",
+            FaultKind::KillMover => "mover",
+            FaultKind::PoisonInsert => "insert",
+            FaultKind::CorruptCheckpoint => "checkpoint",
+            FaultKind::DropExchange => "exchange",
+        }
+    }
+}
+
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        FaultKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown fault kind {s:?} (expected one of worker|mover|insert|checkpoint|exchange)"
+                )
+            })
+    }
+}
+
+/// One planned failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Superstep at which the fault strikes.
+    pub superstep: u64,
+    /// Failure mode.
+    pub kind: FaultKind,
+    /// Device the fault strikes (0 = CPU, 1 = MIC; single-device runs are
+    /// device 0).
+    pub device: u8,
+}
+
+/// A deterministic list of planned failures.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The planned faults.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A plan with a single fault on device 0.
+    pub fn single(superstep: u64, kind: FaultKind) -> Self {
+        FaultPlan {
+            faults: vec![FaultSpec {
+                superstep,
+                kind,
+                device: 0,
+            }],
+        }
+    }
+
+    /// Add a fault (builder style).
+    pub fn with(mut self, superstep: u64, kind: FaultKind, device: u8) -> Self {
+        self.faults.push(FaultSpec {
+            superstep,
+            kind,
+            device,
+        });
+        self
+    }
+
+    /// Draw `count` faults uniformly over supersteps `0..max_step`, kinds
+    /// `kinds`, and devices `0..devices`, from the vendored PRNG. Fully
+    /// deterministic per seed.
+    pub fn random(
+        seed: u64,
+        count: usize,
+        max_step: u64,
+        kinds: &[FaultKind],
+        devices: u8,
+    ) -> Self {
+        assert!(!kinds.is_empty() && max_step > 0 && devices > 0);
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let faults = (0..count)
+            .map(|_| FaultSpec {
+                superstep: rng.random_range(0u64..max_step),
+                kind: kinds[rng.random_range(0usize..kinds.len())],
+                device: rng.random_range(0u8..devices),
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// Compile into the shared fire-once injector handed to engines.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            inner: Arc::new(Inner {
+                faults: self.faults.clone(),
+                fired: self.faults.iter().map(|_| AtomicBool::new(false)).collect(),
+                fired_total: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    faults: Vec<FaultSpec>,
+    fired: Vec<AtomicBool>,
+    fired_total: AtomicU64,
+}
+
+/// Shared fire-once view of a [`FaultPlan`]. Clones share state, so a fault
+/// consumed on one device/config clone stays consumed everywhere.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    inner: Arc<Inner>,
+}
+
+impl FaultInjector {
+    /// Consume and fire the matching planned fault, if any. Returns `true`
+    /// exactly once per matching [`FaultSpec`]; replays of the same
+    /// superstep after rollback see `false`.
+    pub fn fire(&self, superstep: u64, kind: FaultKind, device: u8) -> bool {
+        for (spec, fired) in self.inner.faults.iter().zip(&self.inner.fired) {
+            if spec.superstep == superstep
+                && spec.kind == kind
+                && spec.device == device
+                && fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                self.inner.fired_total.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Peek whether an un-fired fault of `kind` is planned for `superstep`
+    /// on `device` without consuming it.
+    pub fn pending(&self, superstep: u64, kind: FaultKind, device: u8) -> bool {
+        self.inner
+            .faults
+            .iter()
+            .zip(&self.inner.fired)
+            .any(|(spec, fired)| {
+                spec.superstep == superstep
+                    && spec.kind == kind
+                    && spec.device == device
+                    && !fired.load(Ordering::Acquire)
+            })
+    }
+
+    /// Total faults fired so far across all clones.
+    pub fn fired_count(&self) -> u64 {
+        self.inner.fired_total.load(Ordering::Relaxed)
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &[FaultSpec] {
+        &self.inner.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once() {
+        let inj = FaultPlan::single(3, FaultKind::KillWorker).injector();
+        assert!(!inj.fire(2, FaultKind::KillWorker, 0));
+        assert!(!inj.fire(3, FaultKind::KillMover, 0));
+        assert!(!inj.fire(3, FaultKind::KillWorker, 1));
+        assert!(inj.pending(3, FaultKind::KillWorker, 0));
+        assert!(inj.fire(3, FaultKind::KillWorker, 0));
+        // Replay of the same superstep after rollback: quiet.
+        assert!(!inj.fire(3, FaultKind::KillWorker, 0));
+        assert!(!inj.pending(3, FaultKind::KillWorker, 0));
+        assert_eq!(inj.fired_count(), 1);
+    }
+
+    #[test]
+    fn clones_share_fired_state() {
+        let inj = FaultPlan::single(0, FaultKind::PoisonInsert).injector();
+        let clone = inj.clone();
+        assert!(clone.fire(0, FaultKind::PoisonInsert, 0));
+        assert!(!inj.fire(0, FaultKind::PoisonInsert, 0));
+        assert_eq!(inj.fired_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_specs_fire_independently() {
+        let plan =
+            FaultPlan::new()
+                .with(5, FaultKind::KillMover, 0)
+                .with(5, FaultKind::KillMover, 0);
+        let inj = plan.injector();
+        assert!(inj.fire(5, FaultKind::KillMover, 0));
+        assert!(inj.fire(5, FaultKind::KillMover, 0));
+        assert!(!inj.fire(5, FaultKind::KillMover, 0));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let a = FaultPlan::random(9, 16, 10, &FaultKind::ALL, 2);
+        let b = FaultPlan::random(9, 16, 10, &FaultKind::ALL, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 16);
+        assert!(a.faults.iter().all(|f| f.superstep < 10 && f.device < 2));
+        let c = FaultPlan::random(10, 16, 10, &FaultKind::ALL, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in FaultKind::ALL {
+            assert_eq!(k.name().parse::<FaultKind>().unwrap(), k);
+        }
+        assert!("bogus".parse::<FaultKind>().is_err());
+    }
+
+    #[test]
+    fn concurrent_fire_is_exclusive() {
+        let inj = FaultPlan::single(1, FaultKind::KillWorker).injector();
+        let hits: u32 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let inj = inj.clone();
+                    s.spawn(move || u32::from(inj.fire(1, FaultKind::KillWorker, 0)))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(hits, 1);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! Fault tolerance for phigraph: superstep checkpointing, deterministic
+//! fault injection, and crash-recovery policy.
+//!
+//! The paper's BSP engine gives natural consistency points — the barrier
+//! after every superstep's update phase, where the *only* live state is the
+//! vertex value array, the active-vertex flags, and the superstep index
+//! (message buffers are reset at the start of each step). This crate turns
+//! those barriers into recovery points, Pregel-style:
+//!
+//! * [`snapshot`] — a versioned, checksummed binary snapshot of vertex
+//!   state + active set + superstep index ([`Snapshot`]).
+//! * [`store`] — the pluggable [`CheckpointStore`] trait with an in-memory
+//!   implementation for tests ([`MemStore`]) and a file-backed one for the
+//!   CLI ([`DirStore`]).
+//! * [`fault`] — a deterministic, seeded [`FaultPlan`] compiled into a
+//!   fire-once [`FaultInjector`] that the engines consult at well-defined
+//!   injection sites (worker/mover death, poisoned CSB insert, corrupted
+//!   checkpoint, dropped hetero exchange).
+//! * [`policy`] — [`RecoveryPolicy`] (checkpoint interval, retry budget,
+//!   exponential backoff) and [`RecoveryStats`] (checkpoints written/bytes,
+//!   rollbacks, retries, corrupt-snapshot rejections, degradation).
+//!
+//! The engine integration lives in `phigraph_core::engine::recover`; this
+//! crate is deliberately engine-agnostic so the CLI `recover` subcommand
+//! can inspect snapshot files without dragging in the runtime.
+
+pub mod fault;
+pub mod policy;
+pub mod snapshot;
+pub mod store;
+
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use policy::{latest_valid_snapshot, RecoveryPolicy, RecoveryStats};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use store::{CheckpointStore, DirStore, MemStore};

@@ -1,0 +1,198 @@
+//! Pluggable checkpoint storage.
+//!
+//! The engine writes encoded snapshots through the [`CheckpointStore`]
+//! trait; recovery reads them back newest-first. Two implementations ship:
+//! [`MemStore`] (tests, fault-injection sweeps) and [`DirStore`] (one file
+//! per snapshot under a directory — what the CLI's `--checkpoint-dir` and
+//! the `recover` inspection subcommand use).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Where encoded snapshots live. Implementations are keyed by the snapshot's
+/// resume superstep; storage is opaque bytes so stores never depend on the
+/// snapshot format version.
+pub trait CheckpointStore: Send {
+    /// Persist `bytes` as the snapshot for `superstep` (overwrites).
+    fn save(&mut self, superstep: u64, bytes: &[u8]) -> Result<(), String>;
+
+    /// Superstep keys present, ascending.
+    fn list(&self) -> Vec<u64>;
+
+    /// Load the raw bytes for `superstep`.
+    fn load(&self, superstep: u64) -> Result<Vec<u8>, String>;
+
+    /// Remove the snapshot for `superstep` (missing is not an error).
+    fn remove(&mut self, superstep: u64) -> Result<(), String>;
+
+    /// Keep only the newest `keep` snapshots (bounded storage).
+    fn retain_newest(&mut self, keep: usize) -> Result<(), String> {
+        let steps = self.list();
+        if steps.len() > keep {
+            for &s in &steps[..steps.len() - keep] {
+                self.remove(s)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// In-memory store for tests and deterministic fault sweeps.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    snaps: BTreeMap<u64, Vec<u8>>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to a stored snapshot's bytes (tests corrupt
+    /// checkpoints in place with this).
+    pub fn bytes_mut(&mut self, superstep: u64) -> Option<&mut Vec<u8>> {
+        self.snaps.get_mut(&superstep)
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn save(&mut self, superstep: u64, bytes: &[u8]) -> Result<(), String> {
+        self.snaps.insert(superstep, bytes.to_vec());
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<u64> {
+        self.snaps.keys().copied().collect()
+    }
+
+    fn load(&self, superstep: u64) -> Result<Vec<u8>, String> {
+        self.snaps
+            .get(&superstep)
+            .cloned()
+            .ok_or_else(|| format!("no snapshot for superstep {superstep}"))
+    }
+
+    fn remove(&mut self, superstep: u64) -> Result<(), String> {
+        self.snaps.remove(&superstep);
+        Ok(())
+    }
+}
+
+/// File-backed store: one `ckpt_<superstep>.phgs` file per snapshot under a
+/// directory. Writes go through a temporary file + rename so a crash during
+/// `save` never leaves a half-written file under the canonical name (and a
+/// torn rename is still caught by the snapshot checksum).
+#[derive(Debug)]
+pub struct DirStore {
+    dir: PathBuf,
+}
+
+impl DirStore {
+    /// Open (creating if needed) the directory `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, String> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        Ok(DirStore { dir })
+    }
+
+    /// Path of the snapshot file for `superstep`.
+    pub fn path_for(&self, superstep: u64) -> PathBuf {
+        self.dir.join(format!("ckpt_{superstep:08}.phgs"))
+    }
+
+    /// Parse a snapshot filename back into its superstep key.
+    fn parse_name(name: &str) -> Option<u64> {
+        name.strip_prefix("ckpt_")?
+            .strip_suffix(".phgs")?
+            .parse()
+            .ok()
+    }
+}
+
+impl CheckpointStore for DirStore {
+    fn save(&mut self, superstep: u64, bytes: &[u8]) -> Result<(), String> {
+        let tmp = self.dir.join(format!(".ckpt_{superstep:08}.tmp"));
+        std::fs::write(&tmp, bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        let dst = self.path_for(superstep);
+        std::fs::rename(&tmp, &dst).map_err(|e| format!("rename to {}: {e}", dst.display()))
+    }
+
+    fn list(&self) -> Vec<u64> {
+        let mut steps: Vec<u64> = match std::fs::read_dir(&self.dir) {
+            Err(_) => return Vec::new(),
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .filter_map(|e| Self::parse_name(&e.file_name().to_string_lossy()))
+                .collect(),
+        };
+        steps.sort_unstable();
+        steps
+    }
+
+    fn load(&self, superstep: u64) -> Result<Vec<u8>, String> {
+        let p = self.path_for(superstep);
+        std::fs::read(&p).map_err(|e| format!("read {}: {e}", p.display()))
+    }
+
+    fn remove(&mut self, superstep: u64) -> Result<(), String> {
+        let p = self.path_for(superstep);
+        match std::fs::remove_file(&p) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(format!("remove {}: {e}", p.display())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn CheckpointStore) {
+        assert!(store.list().is_empty());
+        store.save(4, b"four").unwrap();
+        store.save(2, b"two").unwrap();
+        store.save(8, b"eight").unwrap();
+        assert_eq!(store.list(), vec![2, 4, 8]);
+        assert_eq!(store.load(4).unwrap(), b"four");
+        assert!(store.load(5).is_err());
+        store.save(4, b"four-v2").unwrap();
+        assert_eq!(store.load(4).unwrap(), b"four-v2");
+        store.retain_newest(2).unwrap();
+        assert_eq!(store.list(), vec![4, 8]);
+        store.remove(8).unwrap();
+        store.remove(8).unwrap(); // idempotent
+        assert_eq!(store.list(), vec![4]);
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&mut MemStore::new());
+    }
+
+    #[test]
+    fn dir_store_contract() {
+        let dir = std::env::temp_dir().join(format!("phgs-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&mut DirStore::open(&dir).unwrap());
+        // Re-opening sees the surviving snapshot.
+        let reopened = DirStore::open(&dir).unwrap();
+        assert_eq!(reopened.list(), vec![4]);
+        assert_eq!(reopened.load(4).unwrap(), b"four-v2");
+        // Foreign files are ignored by list().
+        std::fs::write(dir.join("notes.txt"), b"x").unwrap();
+        std::fs::write(dir.join("ckpt_bad.phgs"), b"x").unwrap();
+        assert_eq!(reopened.list(), vec![4]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_store_bytes_mut_corrupts_in_place() {
+        let mut m = MemStore::new();
+        m.save(1, b"hello").unwrap();
+        m.bytes_mut(1).unwrap()[0] = b'X';
+        assert_eq!(m.load(1).unwrap(), b"Xello");
+        assert!(m.bytes_mut(9).is_none());
+    }
+}

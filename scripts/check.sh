@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# The full offline verification gate: release build, test suite, and
-# warning-free clippy. No network access is required — the workspace has
+# The full offline verification gate: formatting, release build, test
+# suite, and warning-free clippy. No network access is required — the workspace has
 # no external dependencies (vendored PRNG + bench harness), so everything
 # resolves from the local toolchain alone.
 #
@@ -10,6 +10,9 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release (tier-1, offline)"
 cargo build --release --workspace --offline

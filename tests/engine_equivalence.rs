@@ -34,11 +34,15 @@ fn all_configs() -> Vec<(&'static str, EngineConfig)> {
         // equal to the ring capacity (every flush fills the whole ring).
         (
             "pipe-batch1",
-            EngineConfig::pipelined().with_host_threads(4).with_pipe_batch(1),
+            EngineConfig::pipelined()
+                .with_host_threads(4)
+                .with_pipe_batch(1),
         ),
         (
             "pipe-batch7",
-            EngineConfig::pipelined().with_host_threads(4).with_pipe_batch(7),
+            EngineConfig::pipelined()
+                .with_host_threads(4)
+                .with_pipe_batch(7),
         ),
         (
             "pipe-batchcap",
@@ -209,11 +213,15 @@ fn pipe_batch_sizes_do_not_change_results() {
     let batches: [(&str, EngineConfig); 3] = [
         (
             "batch=1",
-            EngineConfig::pipelined().with_host_threads(4).with_pipe_batch(1),
+            EngineConfig::pipelined()
+                .with_host_threads(4)
+                .with_pipe_batch(1),
         ),
         (
             "batch=7",
-            EngineConfig::pipelined().with_host_threads(4).with_pipe_batch(7),
+            EngineConfig::pipelined()
+                .with_host_threads(4)
+                .with_pipe_batch(7),
         ),
         (
             "batch=cap",

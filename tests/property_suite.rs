@@ -155,7 +155,11 @@ fn partitions_are_total_and_consistent() {
         let p = partition(&g, scheme, ratio, 11);
         assert_eq!(p.assign.len(), g.num_vertices(), "case {case}");
         let s = PartitionStats::compute(&g, &p);
-        assert_eq!(s.vertices[0] + s.vertices[1], g.num_vertices(), "case {case}");
+        assert_eq!(
+            s.vertices[0] + s.vertices[1],
+            g.num_vertices(),
+            "case {case}"
+        );
         assert_eq!(s.edges[0] + s.edges[1], g.num_edges() as u64, "case {case}");
         assert!(s.cross_edges <= g.num_edges() as u64, "case {case}");
     }
@@ -190,12 +194,7 @@ fn combining_preserves_reduction() {
         let mut rng = SplitMix64::seed_from_u64(5000 + case);
         let count = rng.random_range(0usize..200);
         let msgs: Vec<(u32, f32)> = (0..count)
-            .map(|_| {
-                (
-                    rng.random_range(0u32..30),
-                    rng.random_range(-50.0f32..50.0),
-                )
-            })
+            .map(|_| (rng.random_range(0u32..30), rng.random_range(-50.0f32..50.0)))
             .collect();
         let wire: Vec<WireMsg<f32>> = msgs
             .iter()
@@ -321,7 +320,11 @@ fn csb_layout_invariants() {
         let mut offset = 0usize;
         for (gi, info) in layout.groups.iter().enumerate() {
             let slice = &layout.capacity[gi * width..(gi * width + width).min(n)];
-            assert_eq!(info.rows, slice.iter().copied().max().unwrap_or(0), "case {case}");
+            assert_eq!(
+                info.rows,
+                slice.iter().copied().max().unwrap_or(0),
+                "case {case}"
+            );
             assert_eq!(info.cell_offset, offset, "case {case}");
             offset += info.rows as usize * width;
         }

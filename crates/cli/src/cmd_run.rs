@@ -7,14 +7,14 @@ use phigraph_comm::PcieLink;
 use phigraph_core::api::VertexProgram;
 use phigraph_core::engine::obj::{run_obj_hetero, run_obj_single};
 use phigraph_core::engine::{
-    run_hetero, run_hetero_recovering, run_recoverable, run_single, EngineConfig, ExecMode,
+    run_hetero, run_hetero_failover, run_recoverable, run_single, EngineConfig, ExecMode,
 };
 use phigraph_core::metrics::RunReport;
 use phigraph_device::DeviceSpec;
 use phigraph_graph::state::PodState;
 use phigraph_graph::Csr;
 use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
-use phigraph_recover::{DirStore, FaultKind, FaultPlan};
+use phigraph_recover::{DirStore, FailoverConfig, FailoverPolicy, FaultKind, FaultPlan};
 use std::io::Write;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -120,10 +120,24 @@ fn recovery_requested(args: &Args) -> bool {
         || args.has("checkpoint-dir")
         || args.has("resume")
         || args.has("faults")
+        || args.has("watchdog-ms")
+        || args.has("failover")
+        || args.has("rebalance-after")
+}
+
+/// Fold the liveness flags into a failover configuration.
+fn failover_config(args: &Args) -> Result<FailoverConfig, String> {
+    let d = FailoverConfig::default();
+    let policy: FailoverPolicy = args.flag_or("failover", "migrate").parse()?;
+    Ok(
+        d.with_watchdog_ms(args.flag_parse("watchdog-ms", d.watchdog_ms)?)
+            .with_policy(policy)
+            .with_rebalance_after(args.flag_parse("rebalance-after", d.rebalance_after)?),
+    )
 }
 
 /// Parse `--faults step:kind[:dev],step:kind[:dev],...` where `kind` is one
-/// of `worker|mover|insert|checkpoint|exchange`.
+/// of `worker|mover|insert|checkpoint|exchange|crash|hang|slow`.
 fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
     let mut plan = FaultPlan::new();
     for part in s.split(',').filter(|p| !p.is_empty()) {
@@ -180,14 +194,8 @@ where
     }
     let cfg = apply_recovery_flags(engine_config(args)?, args)?;
     let out = if args.has("hetero") || args.has("partition") {
-        if args.has("checkpoint-every") || args.has("checkpoint-dir") || args.has("resume") {
-            return Err(
-                "checkpointing is single-device; --hetero supports only --faults \
-                 (whole-run retry with sequential degradation)"
-                    .to_string(),
-            );
-        }
         let p = load_or_build_partition(g, args)?;
+        let fcfg = failover_config(args)?;
         let mic_cfg = match cfg.mode {
             ExecMode::Locking => cfg.clone(),
             _ => apply_recovery_flags(EngineConfig::pipelined(), args)?,
@@ -201,13 +209,20 @@ where
             ),
             None => (cpu_cfg, mic_cfg),
         };
-        run_hetero_recovering(
+        // Each device keeps its own snapshot store under the checkpoint dir.
+        let dir = args.flag_or("checkpoint-dir", "phigraph-ckpt");
+        let mut store0 = DirStore::open(format!("{dir}/dev0"))?;
+        let mut store1 = DirStore::open(format!("{dir}/dev1"))?;
+        run_hetero_failover(
             program,
             g,
             &p,
             [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
             [cpu_cfg, mic_cfg],
             PcieLink::gen2_x16(),
+            &fcfg,
+            [&mut store0, &mut store1],
+            args.has("resume"),
         )
     } else {
         if !matches!(cfg.mode, ExecMode::Locking | ExecMode::Pipelined) {

@@ -9,7 +9,8 @@
 
 use crate::link::PcieLink;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::time::{Duration, Instant};
 
 /// Statistics for one exchange.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -49,10 +50,71 @@ impl std::fmt::Display for ExchangeDropped {
 
 impl std::error::Error for ExchangeDropped {}
 
+/// The peer did not complete the exchange within the caller's deadline.
+/// Unlike [`ExchangeDropped`] this is *asymmetric*: only the surviving rank
+/// observes it (the peer is hung or wedged), so it is the watchdog signal
+/// that drives failover rather than lock-step rollback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExchangeTimeout {
+    /// Rank that timed out waiting.
+    pub rank: usize,
+    /// How long this rank waited before giving up, in milliseconds.
+    pub waited_ms: u64,
+}
+
+impl std::fmt::Display for ExchangeTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "remote message exchange timed out at rank {} after {} ms",
+            self.rank, self.waited_ms
+        )
+    }
+}
+
+impl std::error::Error for ExchangeTimeout {}
+
+/// Every way a deadline-capable exchange can fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// The transfer was lost on the link; both sides observe this at the
+    /// same barrier and can roll back together.
+    Dropped(ExchangeDropped),
+    /// The peer did not show up within the deadline (hung device).
+    Timeout(ExchangeTimeout),
+    /// The peer's endpoint no longer exists (crashed device): its side of
+    /// the channel is disconnected.
+    PeerDead,
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExchangeError::Dropped(e) => e.fmt(f),
+            ExchangeError::Timeout(e) => e.fmt(f),
+            ExchangeError::PeerDead => write!(f, "peer endpoint is gone (device crashed)"),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+/// What the peer reported alongside its payload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PeerInfo {
+    /// Whether the peer still has active vertices (global termination).
+    pub any_active: bool,
+    /// The peer's previous-superstep simulated compute time in seconds
+    /// (straggler detection input; 0.0 before the first completed step).
+    pub step_time: f64,
+}
+
 struct Packet<M> {
     msgs: Vec<M>,
     bytes: u64,
     any_active: bool,
+    /// Sender's previous-superstep simulated compute time (seconds).
+    step_time: f64,
     /// Failure signal: when set, this superstep's transfer is considered
     /// lost and both sides fail the exchange.
     poisoned: bool,
@@ -70,6 +132,11 @@ pub struct Endpoint<M> {
     /// 0 = CPU ("Rank 0"), 1 = MIC ("Rank 1").
     pub rank: usize,
 }
+
+/// Deadline applied when a caller does not supply one: long enough that no
+/// healthy lock-step run ever hits it, short enough that nothing blocks
+/// forever when a peer is truly gone.
+pub const DEFAULT_EXCHANGE_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Create a connected pair of endpoints over `link`.
 pub fn duplex_pair<M: Send>(link: PcieLink) -> (Endpoint<M>, Endpoint<M>) {
@@ -119,27 +186,90 @@ impl<M: Send> Endpoint<M> {
     /// like [`Endpoint::exchange`] unless a fault was injected on either
     /// side, in which case both sides get `Err(ExchangeDropped)` for this
     /// superstep and no payload is delivered.
+    ///
+    /// Waits for the peer with a generous internal deadline
+    /// ([`DEFAULT_EXCHANGE_DEADLINE`]) rather than blocking forever; a peer
+    /// that is gone or silent past that deadline is a bug in a lock-step
+    /// caller and panics. Failover-aware callers should use
+    /// [`Endpoint::try_exchange_deadline`] instead.
     pub fn try_exchange(
         &self,
         outgoing: Vec<M>,
         bytes_out: u64,
         any_active: bool,
     ) -> Result<(Vec<M>, bool, ExchangeStats), ExchangeDropped> {
+        match self.try_exchange_deadline(
+            outgoing,
+            bytes_out,
+            any_active,
+            0.0,
+            Some(DEFAULT_EXCHANGE_DEADLINE),
+        ) {
+            Ok((msgs, peer, stats)) => Ok((msgs, peer.any_active, stats)),
+            Err(ExchangeError::Dropped(e)) => Err(e),
+            Err(ExchangeError::Timeout(t)) => {
+                panic!("lock-step exchange stalled: {t} (no failover driver installed)")
+            }
+            Err(ExchangeError::PeerDead) => {
+                panic!("peer endpoint dropped mid-exchange (no failover driver installed)")
+            }
+        }
+    }
+
+    /// Deadline-capable exchange for failover-aware drivers. Sends this
+    /// rank's payload (plus its previous-step simulated compute time for
+    /// straggler detection) and waits at most `deadline` for the peer's.
+    ///
+    /// Outcomes:
+    /// - `Ok((msgs, peer_info, stats))` — normal lock-step exchange.
+    /// - `Err(Dropped)` — a fault was injected on either side; *both* ranks
+    ///   observe this at the same barrier.
+    /// - `Err(Timeout)` — the peer did not show up within `deadline`
+    ///   (hung); only this rank observes it.
+    /// - `Err(PeerDead)` — the peer's endpoint was dropped (crashed); only
+    ///   this rank observes it.
+    ///
+    /// `deadline = None` waits with [`DEFAULT_EXCHANGE_DEADLINE`] so no
+    /// caller can block unboundedly.
+    pub fn try_exchange_deadline(
+        &self,
+        outgoing: Vec<M>,
+        bytes_out: u64,
+        any_active: bool,
+        step_time: f64,
+        deadline: Option<Duration>,
+    ) -> Result<(Vec<M>, PeerInfo, ExchangeStats), ExchangeError> {
         let poisoned = self.drop_next.swap(false, Ordering::AcqRel);
         let msgs_sent = outgoing.len() as u64;
-        self.tx
+        if self
+            .tx
             .send(Packet {
                 msgs: outgoing,
                 bytes: bytes_out,
                 any_active,
+                step_time,
                 poisoned,
             })
-            .expect("peer endpoint dropped before exchange");
-        let pkt = self.rx.recv().expect("peer endpoint dropped mid-exchange");
+            .is_err()
+        {
+            return Err(ExchangeError::PeerDead);
+        }
+        let wait = deadline.unwrap_or(DEFAULT_EXCHANGE_DEADLINE);
+        let start = Instant::now();
+        let pkt = match self.rx.recv_timeout(wait) {
+            Ok(pkt) => pkt,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(ExchangeError::Timeout(ExchangeTimeout {
+                    rank: self.rank,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                }))
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(ExchangeError::PeerDead),
+        };
         if poisoned || pkt.poisoned {
-            return Err(ExchangeDropped {
+            return Err(ExchangeError::Dropped(ExchangeDropped {
                 dropped_by: if poisoned { self.rank } else { 1 - self.rank },
-            });
+            }));
         }
         let stats = ExchangeStats {
             msgs_sent,
@@ -148,7 +278,14 @@ impl<M: Send> Endpoint<M> {
             bytes_recv: pkt.bytes,
             sim_time: self.link.exchange_time(bytes_out, pkt.bytes),
         };
-        Ok((pkt.msgs, pkt.any_active, stats))
+        Ok((
+            pkt.msgs,
+            PeerInfo {
+                any_active: pkt.any_active,
+                step_time: pkt.step_time,
+            },
+            stats,
+        ))
     }
 
     /// Barrier-style exchange with no payload (used for the final halt
@@ -238,5 +375,74 @@ mod tests {
         let (a, b) = duplex_pair::<()>(PcieLink::ideal());
         assert_eq!(a.rank, 0);
         assert_eq!(b.rank, 1);
+    }
+
+    #[test]
+    fn deadline_exchange_times_out_on_silent_peer() {
+        let (a, b) = duplex_pair::<u32>(PcieLink::ideal());
+        // Peer exists but never exchanges (hung device).
+        let err = a
+            .try_exchange_deadline(vec![1], 4, true, 0.5, Some(Duration::from_millis(20)))
+            .unwrap_err();
+        match err {
+            ExchangeError::Timeout(t) => {
+                assert_eq!(t.rank, 0);
+                assert!(t.waited_ms >= 20, "waited only {} ms", t.waited_ms);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        drop(b);
+    }
+
+    #[test]
+    fn deadline_exchange_reports_dead_peer() {
+        let (a, b) = duplex_pair::<u32>(PcieLink::ideal());
+        drop(b); // crashed device: endpoint torn down
+        let err = a
+            .try_exchange_deadline(vec![1], 4, true, 0.0, Some(Duration::from_millis(50)))
+            .unwrap_err();
+        assert_eq!(err, ExchangeError::PeerDead);
+    }
+
+    #[test]
+    fn deadline_exchange_carries_step_time() {
+        let (a, b) = duplex_pair::<u32>(PcieLink::ideal());
+        let t = std::thread::spawn(move || {
+            let (_, info, _) = b
+                .try_exchange_deadline(vec![2], 4, false, 7.5, None)
+                .unwrap();
+            assert!(info.any_active);
+            assert_eq!(info.step_time, 3.25);
+        });
+        let (got, info, _) = a
+            .try_exchange_deadline(vec![9], 4, true, 3.25, None)
+            .unwrap();
+        assert_eq!(got, vec![2]);
+        assert!(!info.any_active);
+        assert_eq!(info.step_time, 7.5);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_exchange_sees_injected_drop_on_both_sides() {
+        let (a, b) = duplex_pair::<u32>(PcieLink::ideal());
+        b.inject_fault();
+        let t = std::thread::spawn(move || {
+            let err = b
+                .try_exchange_deadline(vec![1], 4, true, 0.0, None)
+                .unwrap_err();
+            assert_eq!(
+                err,
+                ExchangeError::Dropped(ExchangeDropped { dropped_by: 1 })
+            );
+        });
+        let err = a
+            .try_exchange_deadline(vec![2], 4, true, 0.0, None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExchangeError::Dropped(ExchangeDropped { dropped_by: 1 })
+        );
+        t.join().unwrap();
     }
 }

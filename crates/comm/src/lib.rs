@@ -20,6 +20,9 @@ pub mod link;
 pub mod message;
 
 pub use combiner::combine_messages;
-pub use exchange::{duplex_pair, Endpoint, ExchangeDropped, ExchangeStats};
+pub use exchange::{
+    duplex_pair, Endpoint, ExchangeDropped, ExchangeError, ExchangeStats, ExchangeTimeout,
+    PeerInfo, DEFAULT_EXCHANGE_DEADLINE,
+};
 pub use link::PcieLink;
 pub use message::WireMsg;

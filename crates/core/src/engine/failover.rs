@@ -1,0 +1,1025 @@
+//! Live device failover for the heterogeneous CPU-MIC engine.
+//!
+//! The plain hetero drivers assume both devices survive the whole run;
+//! [`run_hetero_recovering`] treats any fault as a whole-run retry. Real
+//! heterogeneous deployments lose or stall *one* device far more often than
+//! both, so this driver degrades gracefully instead:
+//!
+//! * **Liveness**: each device ticks a [`Heartbeat`] at every phase
+//!   boundary, a watchdog thread polls those beacons against the configured
+//!   deadline, and every exchange uses the timeout-capable
+//!   [`Endpoint::try_exchange_deadline`] — nothing in this driver blocks
+//!   unboundedly.
+//! * **Detection**: a crashed device tears its link endpoint down (the
+//!   survivor sees `PeerDead` immediately); a hung device keeps the channel
+//!   alive but goes silent (the survivor sees `ExchangeTimeout` after the
+//!   deadline, and the watchdog records the detection latency).
+//! * **Migration** (the default policy): the survivor loads the newest
+//!   valid barrier snapshot common to both per-device stores, remaps the
+//!   lost device's partition onto itself, and replays from that barrier in
+//!   degraded single-host mode. The replay hosts *both* device engines in
+//!   lockstep with their original configs and the original partition, so
+//!   every per-engine reduction order is preserved and the result is
+//!   bit-identical to a fault-free run — even for order-sensitive `f32`
+//!   combiners.
+//! * **Rebalancing**: a device that merely *slows down* (a straggler, not a
+//!   corpse) is detected from the per-superstep simulated step times the
+//!   devices piggyback on every exchange; after `rebalance_after`
+//!   consecutive lopsided steps both sides leave the loop at the same
+//!   barrier and the partition is re-derived at a ratio proportional to the
+//!   observed throughputs.
+//! * **Rollback**: a dropped exchange (both sides observe it at the same
+//!   barrier) rolls both devices back to the newest common snapshot and
+//!   replays — bounded by the retry budget — instead of restarting the
+//!   whole run.
+//!
+//! [`run_hetero_recovering`]: crate::engine::hetero::run_hetero_recovering
+
+use crate::api::VertexProgram;
+use crate::engine::config::EngineConfig;
+use crate::engine::device::DeviceEngine;
+use crate::engine::flat::run_cap;
+use crate::engine::seq::run_seq_resume;
+use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
+use phigraph_comm::message::wire_bytes;
+use phigraph_comm::{combine_messages, duplex_pair, Endpoint, ExchangeError, PcieLink, WireMsg};
+use phigraph_device::{CostModel, DeviceSpec, Heartbeat, StepCounters};
+use phigraph_graph::state::{decode_state_slice, encode_state_slice, PodState};
+use phigraph_graph::Csr;
+use phigraph_partition::{partition, DevicePartition};
+use phigraph_recover::{
+    CheckpointStore, FailoverConfig, FailoverPolicy, FailoverStats, FaultInjector, FaultKind,
+    RecoveryPolicy, RecoveryStats, Snapshot,
+};
+use phigraph_simd::MsgValue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Seed for straggler-driven re-partitioning (matches the CLI default).
+const REBALANCE_SEED: u64 = 7;
+
+/// Sentinel for "not detected" in the watchdog's latency slots.
+const UNDETECTED: u64 = u64::MAX;
+
+/// How one device loop ended. `Hung` keeps the link endpoint alive inside
+/// the variant so the peer observes a *silent* (timeout) failure rather
+/// than a dead channel — exactly the difference between a hang and a crash.
+enum LoopExit<M: Send> {
+    /// Global termination (or superstep cap) reached.
+    Done,
+    /// An injected `CrashDevice` fault: the endpoint is torn down.
+    Crashed { step: usize },
+    /// An injected `HangDevice` fault: the endpoint stays alive but silent.
+    Hung {
+        step: usize,
+        _keep_alive: Endpoint<WireMsg<M>>,
+    },
+    /// The peer's endpoint disappeared (peer crashed).
+    PeerDead { step: usize },
+    /// The peer went silent past the deadline (peer hung).
+    PeerTimeout { step: usize, waited_ms: u64 },
+    /// The exchange was dropped on the link (both sides observe this).
+    ExchangeDrop { step: usize },
+    /// Straggler threshold reached; both sides leave at the same barrier.
+    Rebalance { step: usize },
+}
+
+/// Plain-data view of [`LoopExit`] (drops the kept-alive endpoint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExitKind {
+    Done,
+    Crashed(usize),
+    Hung(usize),
+    PeerDead(usize),
+    PeerTimeout(usize, u64),
+    ExchangeDrop(usize),
+    Rebalance(usize),
+}
+
+impl ExitKind {
+    fn lost(&self) -> bool {
+        matches!(self, ExitKind::Crashed(_) | ExitKind::Hung(_))
+    }
+}
+
+/// Everything one device loop hands back to the driver.
+struct LoopOut<P: VertexProgram> {
+    values: Vec<P::Value>,
+    flags: Vec<u8>,
+    steps: Vec<StepReport>,
+    exit: LoopExit<P::Msg>,
+    /// Whether a `SlowDevice` fault latched on this device (persists across
+    /// restarts so the straggler stays slow after a rollback/rebalance).
+    slowed: bool,
+    /// Sum of the advertised (straggler-model) step times this attempt.
+    sim_adv_total: f64,
+}
+
+type ResumePair<V> = Option<(Vec<V>, Vec<u8>)>;
+type MergedState<V> = (usize, Vec<V>, Vec<u8>);
+
+/// Encode and save one device's barrier snapshot into its store, honoring
+/// the keep window and the `CorruptCheckpoint` injection site.
+fn write_device_checkpoint<P: VertexProgram>(
+    engine: &DeviceEngine<'_, P>,
+    step: usize,
+    store: &Mutex<&mut dyn CheckpointStore>,
+    policy: &RecoveryPolicy,
+    injector: Option<&FaultInjector>,
+    dev: u8,
+    c: &mut StepCounters,
+) where
+    P::Value: PodState,
+{
+    let next_step = step as u64 + 1;
+    let snap = Snapshot {
+        superstep: next_step,
+        app: P::NAME.to_string(),
+        value_size: P::Value::STATE_SIZE as u16,
+        values: encode_state_slice(&engine.values),
+        active: engine.active_flags().to_vec(),
+    };
+    let mut bytes = snap.encode();
+    if injector.is_some_and(|i| i.fire(step as u64, FaultKind::CorruptCheckpoint, dev)) {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xAA;
+        c.faults_injected += 1;
+    }
+    let mut s = store.lock().expect("checkpoint store poisoned");
+    if s.save(next_step, &bytes).is_ok() {
+        c.checkpoints_written += 1;
+        c.checkpoint_bytes += bytes.len() as u64;
+        if policy.keep_snapshots > 0 {
+            let _ = s.retain_newest(policy.keep_snapshots);
+        }
+    }
+}
+
+/// Load the newest barrier state valid in *both* per-device stores, merged
+/// by `assign`. Corrupt or mismatched pairs are skipped (counted into
+/// `rstats`) in favor of an older common barrier.
+fn load_merged<P: VertexProgram>(
+    stores: &[Mutex<&mut dyn CheckpointStore>; 2],
+    assign: &[u8],
+    rstats: &mut RecoveryStats,
+) -> Option<MergedState<P::Value>>
+where
+    P::Value: PodState,
+{
+    let n = assign.len();
+    let l0 = stores[0].lock().expect("store 0 poisoned").list();
+    let l1 = stores[1].lock().expect("store 1 poisoned").list();
+    let common: Vec<u64> = l0.iter().copied().filter(|s| l1.contains(s)).collect();
+    for k in common.into_iter().rev() {
+        let b0 = stores[0].lock().expect("store 0 poisoned").load(k);
+        let b1 = stores[1].lock().expect("store 1 poisoned").load(k);
+        let (Ok(b0), Ok(b1)) = (b0, b1) else {
+            rstats.corrupt_snapshots_rejected += 1;
+            continue;
+        };
+        let (Ok(s0), Ok(s1)) = (Snapshot::decode(&b0), Snapshot::decode(&b1)) else {
+            rstats.corrupt_snapshots_rejected += 1;
+            continue;
+        };
+        let valid = |s: &Snapshot| {
+            s.app == P::NAME
+                && s.value_size as usize == P::Value::STATE_SIZE
+                && s.active.len() == n
+                && s.superstep == k
+        };
+        if !valid(&s0) || !valid(&s1) {
+            rstats.corrupt_snapshots_rejected += 1;
+            continue;
+        }
+        let (Some(v0), Some(v1)) = (
+            decode_state_slice::<P::Value>(&s0.values, n),
+            decode_state_slice::<P::Value>(&s1.values, n),
+        ) else {
+            rstats.corrupt_snapshots_rejected += 1;
+            continue;
+        };
+        let mut values = v0;
+        let mut flags = s0.active.clone();
+        for (v, val) in v1.into_iter().enumerate() {
+            if assign[v] == 1 {
+                values[v] = val;
+                flags[v] = s1.active[v];
+            }
+        }
+        return Some((k as usize, values, flags));
+    }
+    None
+}
+
+/// Clear both stores and save `state` as the single barrier snapshot in
+/// each (used after a rebalance, when older snapshots were written under a
+/// now-stale assignment).
+fn reset_stores_with<P: VertexProgram>(
+    stores: &[Mutex<&mut dyn CheckpointStore>; 2],
+    step: usize,
+    values: &[P::Value],
+    flags: &[u8],
+) where
+    P::Value: PodState,
+{
+    let snap = Snapshot {
+        superstep: step as u64,
+        app: P::NAME.to_string(),
+        value_size: P::Value::STATE_SIZE as u16,
+        values: encode_state_slice(values),
+        active: flags.to_vec(),
+    };
+    let bytes = snap.encode();
+    for store in stores {
+        let mut s = store.lock().expect("checkpoint store poisoned");
+        for k in s.list() {
+            let _ = s.remove(k);
+        }
+        let _ = s.save(step as u64, &bytes);
+    }
+}
+
+/// One device's superstep loop with liveness instrumentation. Mirrors the
+/// plain hetero loop phase-for-phase (so a fault-free failover run computes
+/// exactly what `run_hetero` computes) and adds: heartbeat ticks at phase
+/// boundaries, step-start crash/hang/slow injection sites, the
+/// deadline-capable exchange, per-device barrier snapshots, and symmetric
+/// straggler detection from the step times piggybacked on each exchange.
+#[allow(clippy::too_many_arguments)]
+fn failover_device_loop<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    assign: &[u8],
+    dev: u8,
+    spec: DeviceSpec,
+    config: EngineConfig,
+    ep: Endpoint<WireMsg<P::Msg>>,
+    cap: usize,
+    start_step: usize,
+    resume: ResumePair<P::Value>,
+    store: &Mutex<&mut dyn CheckpointStore>,
+    fcfg: &FailoverConfig,
+    hb: Heartbeat,
+    finished: &AtomicBool,
+    slowed_in: bool,
+    rebalance_enabled: bool,
+) -> LoopOut<P>
+where
+    P::Value: PodState,
+{
+    let policy = config.recovery;
+    let cost = CostModel::new(spec.clone());
+    let mut engine = DeviceEngine::new(
+        program,
+        graph,
+        spec.clone(),
+        config.clone(),
+        dev,
+        Some(assign),
+    );
+    if let Some((vals, flags)) = resume {
+        engine.restore(vals, &flags);
+    }
+    let deadline = fcfg.deadline();
+    let mut steps: Vec<StepReport> = Vec::new();
+    let mut slowed = slowed_in;
+    let mut prev_adv = 0.0f64;
+    let mut base_ratio: Option<f64> = None;
+    let mut consec_slow = 0u32;
+    let mut sim_adv_total = 0.0f64;
+    let mut exit = LoopExit::Done;
+
+    let mut step = start_step;
+    'run: while step < cap {
+        hb.tick();
+        let mut hb_count = 1u64;
+        if let Some(inj) = &config.fault_plan {
+            if inj.fire(step as u64, FaultKind::CrashDevice, dev) {
+                // Fail-stop: tear the endpoint down so the peer's next
+                // exchange observes a dead channel.
+                drop(ep);
+                exit = LoopExit::Crashed { step };
+                break 'run;
+            }
+            if inj.fire(step as u64, FaultKind::HangDevice, dev) {
+                // Hang: the device goes silent but its endpoint stays
+                // alive; only a deadline can tell this apart from "slow".
+                exit = LoopExit::Hung {
+                    step,
+                    _keep_alive: ep,
+                };
+                break 'run;
+            }
+            if inj.fire(step as u64, FaultKind::SlowDevice, dev) {
+                slowed = true;
+            }
+        }
+        let t0 = Instant::now();
+        let mut c = engine.begin_step();
+        let remote = engine.generate(&mut c);
+        hb.tick();
+        hb_count += 1;
+        c.remote_before_combine = remote.len() as u64;
+        let (combined, _) = combine_messages::<P::Msg, P::Reduce>(remote);
+        c.remote_after_combine = combined.len() as u64;
+        let bytes_out = wire_bytes::<P::Msg>(combined.len());
+        if let Some(inj) = &config.fault_plan {
+            if inj.fire(step as u64, FaultKind::DropExchange, dev) {
+                ep.inject_fault();
+            }
+        }
+        let my_any = c.msgs_total() > 0;
+        let res = ep.try_exchange_deadline(combined, bytes_out, my_any, prev_adv, Some(deadline));
+        hb.tick();
+        hb_count += 1;
+        let (incoming, peer, xstats) = match res {
+            Ok(r) => r,
+            Err(ExchangeError::Dropped(_)) => {
+                exit = LoopExit::ExchangeDrop { step };
+                break 'run;
+            }
+            Err(ExchangeError::Timeout(t)) => {
+                exit = LoopExit::PeerTimeout {
+                    step,
+                    waited_ms: t.waited_ms,
+                };
+                break 'run;
+            }
+            Err(ExchangeError::PeerDead) => {
+                exit = LoopExit::PeerDead { step };
+                break 'run;
+            }
+        };
+        c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
+        engine.absorb_remote(&incoming, &mut c);
+        engine.finalize_insertion_stats(&mut c);
+        engine.process(&mut c);
+        engine.update(&mut c);
+        hb.tick();
+        hb_count += 1;
+        c.heartbeats = hb_count;
+
+        let vectorized = config.vectorized && P::SIMD_REDUCIBLE;
+        let times = cost.step_times(&c, config.gen_mode(&spec), P::Msg::SIZE, vectorized);
+        // Advertised step time: the simulated compute time, inflated by the
+        // straggler model when a SlowDevice fault has latched.
+        let adv = times.total * if slowed { fcfg.slow_time_factor } else { 1.0 };
+        sim_adv_total += adv;
+
+        // Symmetric straggler detection: at this exchange both sides saw
+        // the identical (mine, peer's) previous-step time pair, so both
+        // maintain the same consecutive-slow counter and leave at the same
+        // barrier when it trips. The CPU and the MIC are *naturally*
+        // asymmetric, so raw times are useless — the first comparable
+        // barrier calibrates the healthy ratio and a straggler is a drift
+        // of more than `slow_factor` away from it. `max(cur/base, base/cur)`
+        // is invariant under swapping (mine, peer), so both devices compute
+        // the identical drift and trip at the same barrier.
+        if rebalance_enabled && fcfg.rebalance_after > 0 && prev_adv > 0.0 && peer.step_time > 0.0 {
+            let cur = prev_adv / peer.step_time;
+            match base_ratio {
+                None => base_ratio = Some(cur),
+                Some(base) => {
+                    if (cur / base).max(base / cur) > fcfg.slow_factor {
+                        consec_slow += 1;
+                    } else {
+                        consec_slow = 0;
+                    }
+                }
+            }
+        }
+        prev_adv = adv;
+
+        // The barrier after update is the consistency point: snapshot the
+        // state step `step + 1` will start from, into this device's store.
+        if policy.is_checkpoint_step(step as u64 + 1) {
+            write_device_checkpoint(
+                &engine,
+                step,
+                store,
+                &policy,
+                config.fault_plan.as_ref(),
+                dev,
+                &mut c,
+            );
+        }
+        c.gen_chunks.clear();
+        c.proc_chunks.clear();
+        steps.push(StepReport {
+            step,
+            times,
+            comm_time: xstats.sim_time,
+            wall: t0.elapsed().as_secs_f64(),
+            counters: c,
+        });
+
+        // Global termination: nobody generated messages this superstep.
+        if !my_any && !peer.any_active {
+            break 'run;
+        }
+        if rebalance_enabled && fcfg.rebalance_after > 0 && consec_slow >= fcfg.rebalance_after {
+            exit = LoopExit::Rebalance { step };
+            break 'run;
+        }
+        step += 1;
+    }
+
+    // A device that crashed or hung never reports itself finished — that is
+    // exactly the silence the watchdog is built to notice.
+    if !matches!(exit, LoopExit::Crashed { .. } | LoopExit::Hung { .. }) {
+        finished.store(true, Ordering::Release);
+    }
+    let flags = engine.active_flags().to_vec();
+    LoopOut {
+        values: engine.values,
+        flags,
+        steps,
+        exit,
+        slowed,
+        sim_adv_total,
+    }
+}
+
+/// The watchdog: polls both heartbeats against the deadline and records the
+/// detection latency (milliseconds past the deadline) for any device that
+/// goes silent without reporting itself finished.
+fn watchdog_loop(
+    hb: &[Heartbeat; 2],
+    finished: &[AtomicBool; 2],
+    stop: &AtomicBool,
+    deadline: Duration,
+    detected: &[AtomicU64; 2],
+) {
+    let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
+    while !stop.load(Ordering::Acquire) {
+        for d in 0..2 {
+            if finished[d].load(Ordering::Acquire)
+                || detected[d].load(Ordering::Acquire) != UNDETECTED
+            {
+                continue;
+            }
+            if hb[d].is_stalled(deadline) {
+                let lat = hb[d].since_last().saturating_sub(deadline).as_millis() as u64;
+                detected[d].store(lat, Ordering::Release);
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Degraded single-host replay after a migration: both device engines run
+/// in lockstep on the survivor with the *original* partition and their
+/// *original* configs, restored from the merged barrier state. Every
+/// per-engine operation (generation order, per-destination combine, CSB
+/// insertion, reduction) is identical to the healthy two-thread run, so the
+/// replay is bit-identical by construction — including order-sensitive
+/// floating-point combiners. Simulated exchange time is reproduced from the
+/// same byte counts through the same link model.
+#[allow(clippy::too_many_arguments)]
+fn replay_lockstep<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    assign: &[u8],
+    specs: &[DeviceSpec; 2],
+    configs: &[EngineConfig; 2],
+    link: PcieLink,
+    start_step: usize,
+    resume: ResumePair<P::Value>,
+    stores: &[Mutex<&mut dyn CheckpointStore>; 2],
+    cap: usize,
+) -> (Vec<P::Value>, [Vec<StepReport>; 2])
+where
+    P::Value: PodState,
+{
+    let cost = [
+        CostModel::new(specs[0].clone()),
+        CostModel::new(specs[1].clone()),
+    ];
+    let mut e0 = DeviceEngine::new(
+        program,
+        graph,
+        specs[0].clone(),
+        configs[0].clone(),
+        0,
+        Some(assign),
+    );
+    let mut e1 = DeviceEngine::new(
+        program,
+        graph,
+        specs[1].clone(),
+        configs[1].clone(),
+        1,
+        Some(assign),
+    );
+    if let Some((vals, flags)) = resume {
+        e0.restore(vals.clone(), &flags);
+        e1.restore(vals, &flags);
+    }
+    let policy = configs[0].recovery;
+    let mut steps0: Vec<StepReport> = Vec::new();
+    let mut steps1: Vec<StepReport> = Vec::new();
+
+    for step in start_step..cap {
+        let t0 = Instant::now();
+        let mut c0 = e0.begin_step();
+        let mut c1 = e1.begin_step();
+        let r0 = e0.generate(&mut c0);
+        let r1 = e1.generate(&mut c1);
+        c0.remote_before_combine = r0.len() as u64;
+        c1.remote_before_combine = r1.len() as u64;
+        let (out0, _) = combine_messages::<P::Msg, P::Reduce>(r0);
+        let (out1, _) = combine_messages::<P::Msg, P::Reduce>(r1);
+        c0.remote_after_combine = out0.len() as u64;
+        c1.remote_after_combine = out1.len() as u64;
+        let b0 = wire_bytes::<P::Msg>(out0.len());
+        let b1 = wire_bytes::<P::Msg>(out1.len());
+        // Termination flags are read at the same point as the live loop
+        // (after generation, before absorption).
+        let any0 = c0.msgs_total() > 0;
+        let any1 = c1.msgs_total() > 0;
+        c0.comm_bytes = b0 + b1;
+        c1.comm_bytes = b0 + b1;
+        let comm0 = link.exchange_time(b0, b1);
+        let comm1 = link.exchange_time(b1, b0);
+        e0.absorb_remote(&out1, &mut c0);
+        e0.finalize_insertion_stats(&mut c0);
+        e1.absorb_remote(&out0, &mut c1);
+        e1.finalize_insertion_stats(&mut c1);
+        e0.process(&mut c0);
+        e0.update(&mut c0);
+        e1.process(&mut c1);
+        e1.update(&mut c1);
+        // Report parity with the live loop's four phase-boundary ticks.
+        c0.heartbeats = 4;
+        c1.heartbeats = 4;
+
+        if policy.is_checkpoint_step(step as u64 + 1) {
+            write_device_checkpoint(&e0, step, &stores[0], &policy, None, 0, &mut c0);
+            write_device_checkpoint(&e1, step, &stores[1], &policy, None, 1, &mut c1);
+        }
+
+        let v0 = configs[0].vectorized && P::SIMD_REDUCIBLE;
+        let v1 = configs[1].vectorized && P::SIMD_REDUCIBLE;
+        let times0 = cost[0].step_times(&c0, configs[0].gen_mode(&specs[0]), P::Msg::SIZE, v0);
+        let times1 = cost[1].step_times(&c1, configs[1].gen_mode(&specs[1]), P::Msg::SIZE, v1);
+        c0.gen_chunks.clear();
+        c0.proc_chunks.clear();
+        c1.gen_chunks.clear();
+        c1.proc_chunks.clear();
+        let wall = t0.elapsed().as_secs_f64();
+        steps0.push(StepReport {
+            step,
+            times: times0,
+            comm_time: comm0,
+            wall,
+            counters: c0,
+        });
+        steps1.push(StepReport {
+            step,
+            times: times1,
+            comm_time: comm1,
+            wall,
+            counters: c1,
+        });
+        if !any0 && !any1 {
+            break;
+        }
+    }
+
+    let mut values = e0.values;
+    for (v, val) in e1.values.into_iter().enumerate() {
+        if assign[v] == 1 {
+            values[v] = val;
+        }
+    }
+    (values, [steps0, steps1])
+}
+
+/// Run `program` across both devices with live failover.
+///
+/// Behaves exactly like [`run_hetero`] when nothing fails. Each device
+/// writes barrier snapshots into its own `stores` slot at the
+/// `configs[0].recovery.checkpoint_every` cadence; on a detected device
+/// loss the driver applies `fcfg.policy` (migrate / retry / off), on a
+/// dropped exchange it rolls both devices back to the newest common
+/// snapshot, and on a detected straggler it rebalances the partition once.
+/// With `resume = true` the run starts from the newest common snapshot
+/// already in the stores.
+///
+/// All liveness events land in the combined report's
+/// [`RunReport::failover`] and per-step counters; rollback/degradation
+/// accounting stays in [`RunReport::recovery`].
+///
+/// [`run_hetero`]: crate::engine::hetero::run_hetero
+#[allow(clippy::too_many_arguments)]
+pub fn run_hetero_failover<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition_in: &DevicePartition,
+    specs: [DeviceSpec; 2],
+    configs: [EngineConfig; 2],
+    link: PcieLink,
+    fcfg: &FailoverConfig,
+    stores: [&mut dyn CheckpointStore; 2],
+    resume: bool,
+) -> RunOutput<P::Value>
+where
+    P::Value: PodState,
+{
+    assert_eq!(partition_in.assign.len(), graph.num_vertices());
+    let policy = configs[0].recovery;
+    let cap = run_cap(
+        program.max_supersteps(),
+        match (configs[0].max_supersteps, configs[1].max_supersteps) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+    );
+    let stores: [Mutex<&mut dyn CheckpointStore>; 2] = stores.map(Mutex::new);
+    let deadline = fcfg.deadline();
+
+    let mut fstats = FailoverStats::default();
+    let mut rstats = RecoveryStats::default();
+    let mut part = partition_in.clone();
+    let mut dev_steps: [Vec<StepReport>; 2] = [Vec::new(), Vec::new()];
+    let mut start_step = 0usize;
+    let mut resume_state: ResumePair<P::Value> = None;
+    let mut slowed = [false, false];
+    let mut rebalance_enabled = true;
+    let mut retry = 0u32;
+    let mut last_resume: Option<usize> = None;
+    let wall_start = Instant::now();
+
+    if resume {
+        if let Some((k, vals, flags)) = load_merged::<P>(&stores, &part.assign, &mut rstats) {
+            start_step = k;
+            resume_state = Some((vals, flags));
+        }
+    }
+
+    // Assemble the final combined output from per-device step report vecs.
+    let finish = |dev_steps: [Vec<StepReport>; 2],
+                  values: Vec<P::Value>,
+                  mut rstats: RecoveryStats,
+                  mut fstats: FailoverStats,
+                  last_resume: Option<usize>,
+                  wall: f64|
+     -> RunOutput<P::Value> {
+        let total = dev_steps[0].last().map_or(0, |s| s.step as u64 + 1);
+        fstats.supersteps_total = total;
+        if let Some(k) = last_resume {
+            fstats.resume_step = k as u64;
+            fstats.supersteps_replayed = total.saturating_sub(k as u64);
+        }
+        let [steps0, steps1] = dev_steps;
+        rstats.checkpoints_written += steps0
+            .iter()
+            .chain(&steps1)
+            .map(|s| s.counters.checkpoints_written)
+            .sum::<u64>();
+        rstats.checkpoint_bytes += steps0
+            .iter()
+            .chain(&steps1)
+            .map(|s| s.counters.checkpoint_bytes)
+            .sum::<u64>();
+        let report0 = RunReport {
+            app: P::NAME.to_string(),
+            device: specs[0].name.to_string(),
+            mode: "cpu-mic".to_string(),
+            steps: steps0,
+            wall,
+            ..Default::default()
+        };
+        let report1 = RunReport {
+            app: P::NAME.to_string(),
+            device: specs[1].name.to_string(),
+            mode: "cpu-mic".to_string(),
+            steps: steps1,
+            wall,
+            ..Default::default()
+        };
+        let mut report = combine_hetero(P::NAME, &report0, &report1);
+        report.recovery = rstats;
+        report.failover = fstats;
+        RunOutput {
+            values,
+            report,
+            device_reports: vec![report0, report1],
+        }
+    };
+
+    // Degrade to the sequential engine on one device from the last barrier.
+    macro_rules! degrade_seq {
+        ($survivor:expr) => {{
+            rstats.degraded = true;
+            fstats.degraded_single = true;
+            let merged = load_merged::<P>(&stores, &part.assign, &mut rstats);
+            if let Some((k, _, _)) = &merged {
+                last_resume = Some(*k);
+            }
+            let sd = $survivor;
+            let mut out = run_seq_resume(program, graph, specs[sd].clone(), &configs[sd], merged);
+            fstats.supersteps_total = out.report.steps.last().map_or(0, |s| s.step as u64 + 1);
+            if let Some(k) = last_resume {
+                fstats.resume_step = k as u64;
+                fstats.supersteps_replayed = fstats.supersteps_total.saturating_sub(k as u64);
+            }
+            out.report.recovery = rstats;
+            out.report.failover = fstats;
+            return out;
+        }};
+    }
+
+    loop {
+        let assign_now = part.assign.clone();
+        let hb = [Heartbeat::new(), Heartbeat::new()];
+        let finished = [AtomicBool::new(false), AtomicBool::new(false)];
+        let stop = AtomicBool::new(false);
+        let detected = [AtomicU64::new(UNDETECTED), AtomicU64::new(UNDETECTED)];
+        let resume0 = resume_state.clone();
+        let resume1 = resume_state.take();
+        let (ep0, ep1) = duplex_pair::<WireMsg<P::Msg>>(link);
+        let [spec0, spec1] = [specs[0].clone(), specs[1].clone()];
+        let [config0, config1] = [configs[0].clone(), configs[1].clone()];
+        let (hb0, hb1) = (hb[0].clone(), hb[1].clone());
+
+        let (out0, out1) = std::thread::scope(|s| {
+            let assign = &assign_now;
+            let h0 = s.spawn(|| {
+                failover_device_loop(
+                    program,
+                    graph,
+                    assign,
+                    0,
+                    spec0,
+                    config0,
+                    ep0,
+                    cap,
+                    start_step,
+                    resume0,
+                    &stores[0],
+                    fcfg,
+                    hb0,
+                    &finished[0],
+                    slowed[0],
+                    rebalance_enabled,
+                )
+            });
+            let h1 = s.spawn(|| {
+                failover_device_loop(
+                    program,
+                    graph,
+                    assign,
+                    1,
+                    spec1,
+                    config1,
+                    ep1,
+                    cap,
+                    start_step,
+                    resume1,
+                    &stores[1],
+                    fcfg,
+                    hb1,
+                    &finished[1],
+                    slowed[1],
+                    rebalance_enabled,
+                )
+            });
+            let w = s.spawn(|| watchdog_loop(&hb, &finished, &stop, deadline, &detected));
+            let r0 = h0.join().expect("device 0 panicked");
+            let r1 = h1.join().expect("device 1 panicked");
+            stop.store(true, Ordering::Release);
+            w.join().expect("watchdog panicked");
+            (r0, r1)
+        });
+
+        // Plain-data exits; splice this attempt's step reports in.
+        let exits = [
+            match &out0.exit {
+                LoopExit::Done => ExitKind::Done,
+                LoopExit::Crashed { step } => ExitKind::Crashed(*step),
+                LoopExit::Hung { step, .. } => ExitKind::Hung(*step),
+                LoopExit::PeerDead { step } => ExitKind::PeerDead(*step),
+                LoopExit::PeerTimeout { step, waited_ms } => {
+                    ExitKind::PeerTimeout(*step, *waited_ms)
+                }
+                LoopExit::ExchangeDrop { step } => ExitKind::ExchangeDrop(*step),
+                LoopExit::Rebalance { step } => ExitKind::Rebalance(*step),
+            },
+            match &out1.exit {
+                LoopExit::Done => ExitKind::Done,
+                LoopExit::Crashed { step } => ExitKind::Crashed(*step),
+                LoopExit::Hung { step, .. } => ExitKind::Hung(*step),
+                LoopExit::PeerDead { step } => ExitKind::PeerDead(*step),
+                LoopExit::PeerTimeout { step, waited_ms } => {
+                    ExitKind::PeerTimeout(*step, *waited_ms)
+                }
+                LoopExit::ExchangeDrop { step } => ExitKind::ExchangeDrop(*step),
+                LoopExit::Rebalance { step } => ExitKind::Rebalance(*step),
+            },
+        ];
+        slowed = [out0.slowed, out1.slowed];
+        dev_steps[0].retain(|s| s.step < start_step);
+        dev_steps[0].extend(out0.steps);
+        dev_steps[1].retain(|s| s.step < start_step);
+        dev_steps[1].extend(out1.steps);
+
+        // Watchdog bookkeeping: record the detection latency for every
+        // device that actually went silent (final sweep covers the race
+        // where both loops returned before the poller's next pass).
+        for d in 0..2 {
+            if exits[d].lost() {
+                let lat = match detected[d].load(Ordering::Acquire) {
+                    UNDETECTED => hb[d].since_last().saturating_sub(deadline).as_millis() as u64,
+                    l => l,
+                };
+                fstats.watchdog_latency_ms = fstats.watchdog_latency_ms.max(lat);
+            }
+        }
+
+        if let Some(lost_dev) = (0..2).find(|&d| exits[d].lost()) {
+            let survivor = 1 - lost_dev;
+            match exits[lost_dev] {
+                ExitKind::Hung(_) => fstats.hang_detections += 1,
+                _ => fstats.crash_detections += 1,
+            }
+            if let ExitKind::PeerTimeout(..) = exits[survivor] {
+                fstats.exchange_timeouts += 1;
+            }
+            rstats.faults_injected += 1;
+            if exits[survivor].lost() {
+                // Both devices gone: nothing to migrate onto. Degrade to a
+                // sequential run from the last barrier on device 0.
+                match exits[survivor] {
+                    ExitKind::Hung(_) => fstats.hang_detections += 1,
+                    _ => fstats.crash_detections += 1,
+                }
+                rstats.faults_injected += 1;
+                degrade_seq!(0);
+            }
+            match fcfg.policy {
+                FailoverPolicy::Migrate => {
+                    fstats.migrations += 1;
+                    fstats.degraded_single = true;
+                    rstats.rollbacks += 1;
+                    let merged = load_merged::<P>(&stores, &part.assign, &mut rstats);
+                    let (k, pair) = match merged {
+                        Some((k, vals, flags)) => (k, Some((vals, flags))),
+                        None => (0, None),
+                    };
+                    last_resume = Some(k);
+                    // The survivor absorbs the lost device's partition
+                    // (`migrate_to(survivor)` is the ownership view of the
+                    // migration) but the replay keeps the *original*
+                    // assignment so each engine half reduces in its original
+                    // order — that is what makes the result bit-identical.
+                    let migrated = part.migrate_to(survivor as u8);
+                    debug_assert!(migrated.assign.iter().all(|&d| d as usize == survivor));
+                    let (values, replay_steps) = replay_lockstep(
+                        program,
+                        graph,
+                        &part.assign,
+                        &specs,
+                        &configs,
+                        link,
+                        k,
+                        pair,
+                        &stores,
+                        cap,
+                    );
+                    let [rs0, rs1] = replay_steps;
+                    dev_steps[0].retain(|s| s.step < k);
+                    dev_steps[0].extend(rs0);
+                    dev_steps[1].retain(|s| s.step < k);
+                    dev_steps[1].extend(rs1);
+                    return finish(
+                        dev_steps,
+                        values,
+                        rstats,
+                        fstats,
+                        last_resume,
+                        wall_start.elapsed().as_secs_f64(),
+                    );
+                }
+                FailoverPolicy::Retry => {
+                    // Transient-fault model: roll both devices back to the
+                    // newest common barrier and retry in lock-step.
+                    rstats.rollbacks += 1;
+                    if retry >= policy.max_retries {
+                        degrade_seq!(survivor);
+                    }
+                    retry += 1;
+                    rstats.retries += 1;
+                    let backoff = policy.backoff_ms(retry - 1);
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                    match load_merged::<P>(&stores, &part.assign, &mut rstats) {
+                        Some((k, vals, flags)) => {
+                            start_step = k;
+                            resume_state = Some((vals, flags));
+                            last_resume = Some(k);
+                        }
+                        None => {
+                            start_step = 0;
+                            resume_state = None;
+                            last_resume = Some(0);
+                        }
+                    }
+                    continue;
+                }
+                FailoverPolicy::Off => degrade_seq!(survivor),
+            }
+        }
+
+        match exits {
+            [ExitKind::Done, ExitKind::Done] => {
+                let mut values = out0.values;
+                for (v, val) in out1.values.into_iter().enumerate() {
+                    if assign_now[v] == 1 {
+                        values[v] = val;
+                    }
+                }
+                return finish(
+                    dev_steps,
+                    values,
+                    rstats,
+                    fstats,
+                    last_resume,
+                    wall_start.elapsed().as_secs_f64(),
+                );
+            }
+            [ExitKind::ExchangeDrop(_), ExitKind::ExchangeDrop(_)] => {
+                fstats.exchange_drops += 1;
+                rstats.faults_injected += 1;
+                rstats.rollbacks += 1;
+                if retry >= policy.max_retries {
+                    degrade_seq!(0);
+                }
+                retry += 1;
+                rstats.retries += 1;
+                let backoff = policy.backoff_ms(retry - 1);
+                if backoff > 0 {
+                    std::thread::sleep(Duration::from_millis(backoff));
+                }
+                match load_merged::<P>(&stores, &part.assign, &mut rstats) {
+                    Some((k, vals, flags)) => {
+                        start_step = k;
+                        resume_state = Some((vals, flags));
+                        last_resume = Some(k);
+                    }
+                    None => {
+                        start_step = 0;
+                        resume_state = None;
+                        last_resume = Some(0);
+                    }
+                }
+                continue;
+            }
+            [ExitKind::Rebalance(sr), ExitKind::Rebalance(sr1)] => {
+                debug_assert_eq!(sr, sr1, "rebalance barriers must agree");
+                fstats.rebalances += 1;
+                // Merge live state at the barrier under the old assignment.
+                let mut vals = out0.values;
+                let mut flags = out0.flags;
+                let flags1 = out1.flags;
+                for (v, val) in out1.values.into_iter().enumerate() {
+                    if assign_now[v] == 1 {
+                        vals[v] = val;
+                        flags[v] = flags1[v];
+                    }
+                }
+                // New ratio proportional to observed throughput; re-derive
+                // the partition with the same scheme.
+                let new_ratio = part
+                    .ratio
+                    .rebalanced(out0.sim_adv_total, out1.sim_adv_total);
+                part = partition(graph, part.scheme, new_ratio, REBALANCE_SEED);
+                // Older snapshots were written under the stale assignment:
+                // replace them with the merged barrier state.
+                start_step = sr + 1;
+                reset_stores_with::<P>(&stores, start_step, &vals, &flags);
+                resume_state = Some((vals, flags));
+                rebalance_enabled = false; // one rebalance per run
+                continue;
+            }
+            other => {
+                // Asymmetric exits without a lost device (e.g. one side
+                // dropped while the other rebalanced) should not happen;
+                // degrade rather than guess.
+                debug_assert!(false, "inconsistent device exits: {other:?}");
+                degrade_seq!(0);
+            }
+        }
+    }
+}
+
+fn _assert_send<T: Send>() {}
+const _: () = {
+    fn _check() {
+        _assert_send::<Heartbeat>();
+    }
+};

@@ -238,7 +238,7 @@ pub fn run_flat<P: VertexProgram>(
         mode: config.mode.name().to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
-        recovery: Default::default(),
+        ..Default::default()
     };
     RunOutput {
         values,

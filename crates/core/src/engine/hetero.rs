@@ -61,6 +61,7 @@ pub fn run_hetero_recovering<P: VertexProgram>(
 ) -> RunOutput<P::Value> {
     let policy = configs[0].recovery;
     let mut stats = RecoveryStats::default();
+    let mut dropped_exchanges = 0u64;
     let mut retry = 0u32;
     loop {
         match attempt_hetero(
@@ -74,9 +75,11 @@ pub fn run_hetero_recovering<P: VertexProgram>(
             Ok(mut out) => {
                 stats.accumulate(&out.report.recovery);
                 out.report.recovery = stats;
+                out.report.failover.exchange_drops = dropped_exchanges;
                 return out;
             }
             Err(_step) => {
+                dropped_exchanges += 1;
                 stats.faults_injected += 1;
                 stats.rollbacks += 1;
                 if retry >= policy.max_retries {
@@ -88,6 +91,7 @@ pub fn run_hetero_recovering<P: VertexProgram>(
                     stats.degraded = true;
                     let mut out = run_seq(program, graph, specs[0].clone(), &configs[0]);
                     out.report.recovery = stats;
+                    out.report.failover.exchange_drops = dropped_exchanges;
                     return out;
                 }
                 retry += 1;
@@ -251,7 +255,7 @@ fn device_loop<P: VertexProgram>(
         mode: "cpu-mic".to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
-        recovery: Default::default(),
+        ..Default::default()
     };
     (engine.values, report, failed)
 }

@@ -3,6 +3,7 @@
 
 pub mod config;
 pub mod device;
+pub mod failover;
 pub mod flat;
 pub mod hetero;
 pub mod obj;
@@ -11,6 +12,7 @@ pub mod seq;
 
 pub use config::{EngineConfig, ExecMode};
 pub use device::DeviceEngine;
+pub use failover::run_hetero_failover;
 pub use flat::run_flat;
 pub use hetero::{run_hetero, run_hetero_recovering};
 pub use recover::run_recoverable;
@@ -88,7 +90,7 @@ fn run_csb_single<P: VertexProgram>(
         mode: config.mode.name().to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
-        recovery: Default::default(),
+        ..Default::default()
     };
     RunOutput {
         values: engine.values,

@@ -471,7 +471,7 @@ pub fn run_obj_single<P: ObjVertexProgram>(
         mode: config.mode.name().to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
-        recovery: Default::default(),
+        ..Default::default()
     };
     RunOutput {
         values: engine.values,
@@ -600,7 +600,7 @@ fn obj_device_loop<P: ObjVertexProgram>(
         mode: "cpu-mic".to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
-        recovery: Default::default(),
+        ..Default::default()
     };
     (engine.values, report)
 }

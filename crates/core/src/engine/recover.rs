@@ -294,6 +294,7 @@ where
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
         recovery: stats,
+        ..Default::default()
     };
     RunOutput {
         values: final_values.expect("attempt loop always produces values"),

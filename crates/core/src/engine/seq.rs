@@ -162,7 +162,7 @@ pub fn run_seq_resume<P: VertexProgram>(
         mode: "seq".to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
-        recovery: Default::default(),
+        ..Default::default()
     };
     RunOutput {
         values,

@@ -6,7 +6,7 @@
 
 use phigraph_device::cost::PhaseTimes;
 use phigraph_device::StepCounters;
-use phigraph_recover::RecoveryStats;
+use phigraph_recover::{FailoverStats, RecoveryStats};
 
 /// Measurements for one superstep on one device.
 #[derive(Clone, Debug, Default)]
@@ -51,6 +51,9 @@ pub struct RunReport {
     /// Fault-tolerance events observed during the run (all-zero for the
     /// plain, non-recovering drivers).
     pub recovery: RecoveryStats,
+    /// Liveness/failover events observed during the run (all-zero outside
+    /// the hetero failover driver).
+    pub failover: FailoverStats,
 }
 
 impl RunReport {
@@ -119,6 +122,28 @@ impl RunReport {
         self.steps.iter().map(|s| s.counters.faults_injected).sum()
     }
 
+    /// Total remote exchanges lost on the link during the run. Sums the
+    /// per-step counters (steps that completed despite a drop) with the
+    /// driver-level count (exchanges whose superstep was aborted and
+    /// replayed, which therefore never produced a step report).
+    pub fn total_exchange_drops(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.counters.exchange_drops)
+            .sum::<u64>()
+            + self.failover.exchange_drops
+    }
+
+    /// Total remote exchanges that hit the deadline waiting for the peer
+    /// (per-step counters plus driver-level detections).
+    pub fn total_exchange_timeouts(&self) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| s.counters.exchange_timeouts)
+            .sum::<u64>()
+            + self.failover.exchange_timeouts
+    }
+
     /// Mean messages per worker→mover flush batch over the run (`None`
     /// when no batches were flushed, e.g. non-pipelined runs).
     pub fn mean_batch_size(&self) -> Option<f64> {
@@ -147,6 +172,13 @@ impl RunReport {
         );
         if self.recovery.any() {
             line.push_str(&format!(" [{}]", self.recovery.summary()));
+        }
+        let (drops, timeouts) = (self.total_exchange_drops(), self.total_exchange_timeouts());
+        if drops > 0 || timeouts > 0 {
+            line.push_str(&format!(" [xchg drops={drops} timeouts={timeouts}]"));
+        }
+        if self.failover.any() {
+            line.push_str(&format!(" [failover {}]", self.failover.summary()));
         }
         line
     }
@@ -191,6 +223,8 @@ pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunRepor
         .collect();
     let mut recovery = dev0.recovery;
     recovery.accumulate(&dev1.recovery);
+    let mut failover = dev0.failover;
+    failover.accumulate(&dev1.failover);
     RunReport {
         app: app.to_string(),
         device: "CPU-MIC".to_string(),
@@ -198,6 +232,7 @@ pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunRepor
         steps,
         wall: dev0.wall.max(dev1.wall),
         recovery,
+        failover,
     }
 }
 
@@ -276,7 +311,7 @@ mod tests {
             mode: "lock".into(),
             steps: vec![step(1.0, 0.0)],
             wall: 0.01,
-            recovery: Default::default(),
+            ..Default::default()
         };
         let s = r.summary();
         assert!(s.contains("sssp"));

@@ -7,6 +7,8 @@
 //! parallel efficiency.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Raw work record for one generation-phase scheduling chunk.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -167,6 +169,15 @@ pub struct StepCounters {
     pub checkpoint_bytes: u64,
     /// Faults the injector fired during this superstep.
     pub faults_injected: u64,
+
+    // -- liveness --
+    /// Heartbeat ticks this device emitted during the superstep (one per
+    /// phase boundary; the watchdog uses staleness, this tallies volume).
+    pub heartbeats: u64,
+    /// Remote exchanges lost on the link during this superstep.
+    pub exchange_drops: u64,
+    /// Remote exchanges that hit the deadline waiting for the peer.
+    pub exchange_timeouts: u64,
 }
 
 impl StepCounters {
@@ -211,6 +222,69 @@ impl StepCounters {
         self.checkpoints_written += other.checkpoints_written;
         self.checkpoint_bytes += other.checkpoint_bytes;
         self.faults_injected += other.faults_injected;
+        self.heartbeats += other.heartbeats;
+        self.exchange_drops += other.exchange_drops;
+        self.exchange_timeouts += other.exchange_timeouts;
+    }
+}
+
+#[derive(Debug)]
+struct HeartbeatInner {
+    origin: Instant,
+    ticks: AtomicU64,
+    last_tick_nanos: AtomicU64,
+}
+
+/// A cheaply clonable per-device liveness beacon.
+///
+/// The device loop calls [`Heartbeat::tick`] at every phase boundary; a
+/// watchdog on another thread polls [`Heartbeat::since_last`] /
+/// [`Heartbeat::is_stalled`] against a deadline. Construction counts as the
+/// first tick, so a device that dies before its first phase still shows a
+/// meaningful staleness instead of an unset sentinel.
+#[derive(Clone, Debug)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+impl Heartbeat {
+    /// New beacon; "now" counts as the first observation.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Heartbeat {
+            inner: Arc::new(HeartbeatInner {
+                origin: Instant::now(),
+                ticks: AtomicU64::new(0),
+                last_tick_nanos: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record a phase boundary.
+    #[inline]
+    pub fn tick(&self) {
+        let nanos = self.inner.origin.elapsed().as_nanos() as u64;
+        // Monotone max: concurrent tickers never move the beacon backwards.
+        self.inner
+            .last_tick_nanos
+            .fetch_max(nanos, Ordering::Release);
+        self.inner.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total ticks so far.
+    pub fn ticks(&self) -> u64 {
+        self.inner.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Time since the most recent tick (or since construction if none).
+    pub fn since_last(&self) -> Duration {
+        let last = Duration::from_nanos(self.inner.last_tick_nanos.load(Ordering::Acquire));
+        self.inner.origin.elapsed().saturating_sub(last)
+    }
+
+    /// Whether the beacon has been silent for longer than `deadline`.
+    pub fn is_stalled(&self, deadline: Duration) -> bool {
+        self.since_last() > deadline
     }
 }
 
@@ -336,6 +410,58 @@ mod tests {
         assert_eq!(a.flush_batches, 6);
         assert_eq!(a.batched_msgs, 150);
         assert_eq!(a.mover_idle_polls, 10);
+    }
+
+    #[test]
+    fn liveness_counters_accumulate() {
+        let mut a = StepCounters {
+            heartbeats: 4,
+            exchange_drops: 1,
+            ..Default::default()
+        };
+        let b = StepCounters {
+            heartbeats: 6,
+            exchange_timeouts: 2,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.heartbeats, 10);
+        assert_eq!(a.exchange_drops, 1);
+        assert_eq!(a.exchange_timeouts, 2);
+    }
+
+    #[test]
+    fn heartbeat_ticks_and_staleness() {
+        let hb = Heartbeat::new();
+        assert_eq!(hb.ticks(), 0);
+        hb.tick();
+        hb.tick();
+        assert_eq!(hb.ticks(), 2);
+        // Freshly ticked: not stalled against any humane deadline.
+        assert!(!hb.is_stalled(Duration::from_millis(100)));
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(hb.is_stalled(Duration::from_millis(5)));
+        assert!(hb.since_last() >= Duration::from_millis(10));
+        // A new tick resets staleness.
+        hb.tick();
+        assert!(!hb.is_stalled(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn heartbeat_clones_share_state() {
+        let hb = Heartbeat::new();
+        let clone = hb.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = clone.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        h.tick();
+                    }
+                });
+            }
+        });
+        assert_eq!(hb.ticks(), 400);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Typed errors for graph ingestion and validation.
+//!
+//! Every reader in [`crate::io`] returns [`GraphError`] instead of
+//! panicking, whatever the input bytes look like: truncated files,
+//! unparsable tokens, out-of-range endpoints, inconsistent headers, and
+//! zero-vertex graphs all map to a dedicated variant. This is what makes
+//! the byte-smear property tests possible — feeding arbitrary corrupted
+//! bytes through the parsers must produce `Err`, never a panic.
+
+use std::fmt;
+use std::io;
+
+/// Why a graph could not be ingested or validated.
+#[derive(Debug)]
+pub enum GraphError {
+    /// The underlying reader failed (not a format problem).
+    Io(io::Error),
+    /// The input ended before the format said it would.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+    },
+    /// A token could not be parsed as the expected type.
+    Parse {
+        /// The offending token (possibly truncated for display).
+        token: String,
+    },
+    /// A required field was absent.
+    Missing {
+        /// The missing field.
+        what: &'static str,
+    },
+    /// An edge endpoint is outside `0..vertices`.
+    EdgeOutOfRange {
+        /// Source endpoint.
+        src: u64,
+        /// Destination endpoint.
+        dst: u64,
+        /// Declared vertex count.
+        vertices: u64,
+    },
+    /// A vertex id is outside `0..vertices` (validation helpers).
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The graph's vertex count.
+        vertices: u64,
+    },
+    /// The header declared one count, the body contained another.
+    CountMismatch {
+        /// What was counted (edges, entries, …).
+        what: &'static str,
+        /// Count promised by the header.
+        declared: usize,
+        /// Count actually present.
+        found: usize,
+    },
+    /// The file declares a graph with no vertices.
+    ZeroVertices,
+    /// The file does not start with the expected magic/header.
+    BadHeader {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The decoded structure is internally inconsistent (CSR invariants,
+    /// weight arrays, …).
+    Structure {
+        /// The invariant that failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Truncated { what } => write!(f, "truncated input while reading {what}"),
+            GraphError::Parse { token } => write!(f, "cannot parse token {token:?}"),
+            GraphError::Missing { what } => write!(f, "missing {what}"),
+            GraphError::EdgeOutOfRange { src, dst, vertices } => {
+                write!(
+                    f,
+                    "edge ({src}, {dst}) out of range for {vertices} vertices"
+                )
+            }
+            GraphError::VertexOutOfRange { vertex, vertices } => {
+                write!(f, "vertex {vertex} out of range for {vertices} vertices")
+            }
+            GraphError::CountMismatch {
+                what,
+                declared,
+                found,
+            } => write!(f, "header declared {declared} {what}, found {found}"),
+            GraphError::ZeroVertices => write!(f, "graph has zero vertices"),
+            GraphError::BadHeader { reason } => write!(f, "bad header: {reason}"),
+            GraphError::Structure { reason } => write!(f, "inconsistent graph: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            GraphError::Truncated { what: "input" }
+        } else {
+            GraphError::Io(e)
+        }
+    }
+}
+
+impl GraphError {
+    /// Shorthand for a parse failure on `token`.
+    pub(crate) fn parse(token: &str) -> Self {
+        let mut t = token.to_string();
+        t.truncate(64);
+        GraphError::Parse { token: t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = GraphError::EdgeOutOfRange {
+            src: 9,
+            dst: 2,
+            vertices: 4,
+        };
+        assert!(e.to_string().contains("(9, 2)"));
+        assert!(GraphError::ZeroVertices.to_string().contains("zero"));
+        let e = GraphError::CountMismatch {
+            what: "edges",
+            declared: 5,
+            found: 2,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn eof_maps_to_truncated() {
+        let io = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(GraphError::from(io), GraphError::Truncated { .. }));
+        let io = io::Error::other("disk on fire");
+        assert!(matches!(GraphError::from(io), GraphError::Io(_)));
+    }
+
+    #[test]
+    fn parse_truncates_long_tokens() {
+        let long = "x".repeat(500);
+        let GraphError::Parse { token } = GraphError::parse(&long) else {
+            panic!("wrong variant");
+        };
+        assert_eq!(token.len(), 64);
+    }
+}

@@ -13,12 +13,21 @@
 //!   pattern or real), the SuiteSparse collection's format.
 //! * **Binary** — a fast little-endian dump of the CSR arrays for repeated
 //!   benchmarking runs.
+//!
+//! All readers return the typed [`GraphError`] — truncated files,
+//! unparsable tokens, out-of-range endpoints, inconsistent headers, and
+//! zero-vertex graphs are rejected with a dedicated variant, never a panic.
 
 use crate::csr::Csr;
 use crate::edge_list::EdgeList;
+use crate::error::GraphError;
 use crate::types::VertexId;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Upper bound on speculative `reserve` calls driven by header-declared
+/// counts, so a smashed header cannot trigger a giant allocation.
+const MAX_RESERVE: usize = 1 << 22;
 
 /// Write a graph in the adjacency-list format.
 pub fn write_adjacency<W: Write>(g: &Csr, out: W) -> io::Result<()> {
@@ -41,47 +50,75 @@ pub fn write_adjacency<W: Write>(g: &Csr, out: W) -> io::Result<()> {
 }
 
 /// Read a graph in the adjacency-list format.
-pub fn read_adjacency<R: Read>(input: R) -> io::Result<Csr> {
+pub fn read_adjacency<R: Read>(input: R) -> Result<Csr, GraphError> {
     let mut lines = BufReader::new(input).lines();
-    let header = lines.next().ok_or_else(|| bad("empty adjacency file"))??;
+    let header = lines.next().ok_or(GraphError::Truncated {
+        what: "adjacency header",
+    })??;
     let mut it = header.split_whitespace();
-    let n: usize = parse(it.next().ok_or_else(|| bad("missing vertex count"))?)?;
-    let m: usize = parse(it.next().ok_or_else(|| bad("missing edge count"))?)?;
+    let n: usize = parse(it.next().ok_or(GraphError::Missing {
+        what: "vertex count",
+    })?)?;
+    let m: usize = parse(
+        it.next()
+            .ok_or(GraphError::Missing { what: "edge count" })?,
+    )?;
+    if n == 0 {
+        return Err(GraphError::ZeroVertices);
+    }
 
     let mut el = EdgeList::new(n);
-    el.edges.reserve(m);
+    el.edges.reserve(m.min(MAX_RESERVE));
+    let mut weighted_lines = 0usize;
+    let mut plain_lines = 0usize;
     for line in lines {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (src_s, rest) = line
-            .split_once(':')
-            .ok_or_else(|| bad("adjacency line missing ':'"))?;
+        let (src_s, rest) = line.split_once(':').ok_or(GraphError::Missing {
+            what: "':' in adjacency line",
+        })?;
         let src: VertexId = parse(src_s.trim())?;
         for tok in rest.split_whitespace() {
+            // Mixing weighted and unweighted tokens would leave the weight
+            // array shorter than the edge array: reject it up front.
+            let mixed = GraphError::Structure {
+                reason: "mixed weighted and unweighted edges".to_string(),
+            };
             match tok.split_once(',') {
                 Some((d, w)) => {
+                    if plain_lines > 0 {
+                        return Err(mixed);
+                    }
+                    weighted_lines += 1;
                     el.push_weighted(src, parse(d)?, parse(w)?);
                 }
-                None => el.push(src, parse(tok)?),
+                None => {
+                    if weighted_lines > 0 {
+                        return Err(mixed);
+                    }
+                    plain_lines += 1;
+                    el.push(src, parse(tok)?);
+                }
             }
         }
     }
     if el.num_edges() != m {
-        return Err(bad(&format!(
-            "header declared {m} edges, found {}",
-            el.num_edges()
-        )));
+        return Err(GraphError::CountMismatch {
+            what: "edges",
+            declared: m,
+            found: el.num_edges(),
+        });
     }
-    el.validate().map_err(|e| bad(&e))?;
+    check_edges(&el)?;
     Ok(Csr::from_edge_list(&el))
 }
 
 /// Read a SNAP-style edge list (`# comments`, whitespace-separated pairs).
 /// The vertex count is `max id + 1` unless `num_vertices` is given.
-pub fn read_snap_edges<R: Read>(input: R, num_vertices: Option<usize>) -> io::Result<Csr> {
+pub fn read_snap_edges<R: Read>(input: R, num_vertices: Option<usize>) -> Result<Csr, GraphError> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_id: u64 = 0;
     for line in BufReader::new(input).lines() {
@@ -91,8 +128,8 @@ pub fn read_snap_edges<R: Read>(input: R, num_vertices: Option<usize>) -> io::Re
             continue;
         }
         let mut it = line.split_whitespace();
-        let s: VertexId = parse(it.next().ok_or_else(|| bad("missing src"))?)?;
-        let d: VertexId = parse(it.next().ok_or_else(|| bad("missing dst"))?)?;
+        let s: VertexId = parse(it.next().ok_or(GraphError::Missing { what: "src" })?)?;
+        let d: VertexId = parse(it.next().ok_or(GraphError::Missing { what: "dst" })?)?;
         max_id = max_id.max(s as u64).max(d as u64);
         edges.push((s, d));
     }
@@ -101,12 +138,15 @@ pub fn read_snap_edges<R: Read>(input: R, num_vertices: Option<usize>) -> io::Re
     } else {
         max_id as usize + 1
     });
+    if n == 0 {
+        return Err(GraphError::ZeroVertices);
+    }
     let el = EdgeList {
         num_vertices: n,
         edges,
         weights: None,
     };
-    el.validate().map_err(|e| bad(&e))?;
+    check_edges(&el)?;
     Ok(Csr::from_edge_list(&el))
 }
 
@@ -114,14 +154,16 @@ pub fn read_snap_edges<R: Read>(input: R, num_vertices: Option<usize>) -> io::Re
 /// real|pattern general|symmetric`) as a directed graph. Entry `(i, j)` is
 /// the edge `i → j` (1-based ids as per the format); `symmetric` matrices
 /// emit both directions; `real` values become edge weights.
-pub fn read_matrix_market<R: Read>(input: R) -> io::Result<Csr> {
+pub fn read_matrix_market<R: Read>(input: R) -> Result<Csr, GraphError> {
     let mut lines = BufReader::new(input).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty MatrixMarket file"))??;
+    let header = lines.next().ok_or(GraphError::Truncated {
+        what: "MatrixMarket header",
+    })??;
     let header_lc = header.to_lowercase();
     if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
-        return Err(bad("not a MatrixMarket coordinate matrix"));
+        return Err(GraphError::BadHeader {
+            reason: "not a MatrixMarket coordinate matrix".to_string(),
+        });
     }
     let weighted = header_lc.contains(" real") || header_lc.contains(" integer");
     let symmetric = header_lc.contains("symmetric");
@@ -137,16 +179,25 @@ pub fn read_matrix_market<R: Read>(input: R) -> io::Result<Csr> {
         size_line = Some(t.to_string());
         break;
     }
-    let size_line = size_line.ok_or_else(|| bad("missing size line"))?;
+    let size_line = size_line.ok_or(GraphError::Truncated { what: "size line" })?;
     let mut it = size_line.split_whitespace();
-    let rows: usize = parse(it.next().ok_or_else(|| bad("missing rows"))?)?;
-    let cols: usize = parse(it.next().ok_or_else(|| bad("missing cols"))?)?;
-    let entries: usize = parse(it.next().ok_or_else(|| bad("missing entries"))?)?;
+    let rows: usize = parse(it.next().ok_or(GraphError::Missing { what: "rows" })?)?;
+    let cols: usize = parse(it.next().ok_or(GraphError::Missing { what: "cols" })?)?;
+    let entries: usize = parse(it.next().ok_or(GraphError::Missing { what: "entries" })?)?;
     let n = rows.max(cols);
+    if n == 0 {
+        return Err(GraphError::ZeroVertices);
+    }
 
     let mut el = EdgeList::new(n);
-    el.edges
-        .reserve(if symmetric { entries * 2 } else { entries });
+    el.edges.reserve(
+        (if symmetric {
+            entries.saturating_mul(2)
+        } else {
+            entries
+        })
+        .min(MAX_RESERVE),
+    );
     let mut seen = 0usize;
     for line in lines {
         let line = line?;
@@ -155,14 +206,18 @@ pub fn read_matrix_market<R: Read>(input: R) -> io::Result<Csr> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let i: usize = parse(it.next().ok_or_else(|| bad("missing row id"))?)?;
-        let j: usize = parse(it.next().ok_or_else(|| bad("missing col id"))?)?;
+        let i: usize = parse(it.next().ok_or(GraphError::Missing { what: "row id" })?)?;
+        let j: usize = parse(it.next().ok_or(GraphError::Missing { what: "col id" })?)?;
         if i == 0 || j == 0 || i > n || j > n {
-            return Err(bad(&format!("entry ({i}, {j}) out of 1..={n}")));
+            return Err(GraphError::EdgeOutOfRange {
+                src: i as u64,
+                dst: j as u64,
+                vertices: n as u64,
+            });
         }
         let (s, d) = ((i - 1) as VertexId, (j - 1) as VertexId);
         if weighted {
-            let w: f32 = parse(it.next().ok_or_else(|| bad("missing value"))?)?;
+            let w: f32 = parse(it.next().ok_or(GraphError::Missing { what: "value" })?)?;
             el.push_weighted(s, d, w);
             if symmetric && s != d {
                 el.push_weighted(d, s, w);
@@ -176,9 +231,11 @@ pub fn read_matrix_market<R: Read>(input: R) -> io::Result<Csr> {
         seen += 1;
     }
     if seen != entries {
-        return Err(bad(&format!(
-            "size line declared {entries} entries, found {seen}"
-        )));
+        return Err(GraphError::CountMismatch {
+            what: "entries",
+            declared: entries,
+            found: seen,
+        });
     }
     Ok(Csr::from_edge_list(&el))
 }
@@ -210,28 +267,35 @@ pub fn write_binary<W: Write>(g: &Csr, out: W) -> io::Result<()> {
 }
 
 /// Read the binary CSR format.
-pub fn read_binary<R: Read>(input: R) -> io::Result<Csr> {
+pub fn read_binary<R: Read>(input: R) -> Result<Csr, GraphError> {
     let mut r = BufReader::new(input);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
-        return Err(bad("bad magic"));
+        return Err(GraphError::BadHeader {
+            reason: "bad magic".to_string(),
+        });
     }
     let n = read_u64(&mut r)? as usize;
     let m = read_u64(&mut r)? as usize;
+    if n == 0 {
+        return Err(GraphError::ZeroVertices);
+    }
     let has_weights = read_u64(&mut r)? != 0;
-    let mut offsets = Vec::with_capacity(n + 1);
+    // Capacities are bounded so a smashed header cannot force a giant
+    // allocation before the (truncated) body is even read.
+    let mut offsets = Vec::with_capacity(n.saturating_add(1).min(MAX_RESERVE));
     for _ in 0..=n {
         offsets.push(read_u64(&mut r)? as usize);
     }
-    let mut targets = Vec::with_capacity(m);
+    let mut targets = Vec::with_capacity(m.min(MAX_RESERVE));
     for _ in 0..m {
         let mut b = [0u8; 4];
         r.read_exact(&mut b)?;
         targets.push(VertexId::from_le_bytes(b));
     }
     let weights = if has_weights {
-        let mut w = Vec::with_capacity(m);
+        let mut w = Vec::with_capacity(m.min(MAX_RESERVE));
         for _ in 0..m {
             let mut b = [0u8; 4];
             r.read_exact(&mut b)?;
@@ -246,36 +310,52 @@ pub fn read_binary<R: Read>(input: R) -> io::Result<Csr> {
         targets,
         weights,
     };
-    g.validate().map_err(|e| bad(&e))?;
+    g.validate()
+        .map_err(|reason| GraphError::Structure { reason })?;
     Ok(g)
 }
 
 /// Load a graph, picking the format from the file extension: `.adj`,
 /// `.txt`/`.snap` (edge list), or `.bin`.
-pub fn load_path(path: &Path) -> io::Result<Csr> {
-    let f = std::fs::File::open(path)?;
+pub fn load_path(path: &Path) -> Result<Csr, GraphError> {
+    let f = std::fs::File::open(path).map_err(GraphError::Io)?;
     match path.extension().and_then(|e| e.to_str()) {
         Some("adj") => read_adjacency(f),
         Some("bin") => read_binary(f),
         Some("txt") | Some("snap") => read_snap_edges(f, None),
         Some("mtx") => read_matrix_market(f),
-        other => Err(bad(&format!("unknown graph extension {other:?}"))),
+        other => Err(GraphError::BadHeader {
+            reason: format!("unknown graph extension {other:?}"),
+        }),
     }
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+/// Typed out-of-range endpoint check plus the edge-list invariants.
+fn check_edges(el: &EdgeList) -> Result<(), GraphError> {
+    let n = el.num_vertices as u64;
+    if let Some(&(s, d)) = el
+        .edges
+        .iter()
+        .find(|&&(s, d)| s as u64 >= n || d as u64 >= n)
+    {
+        return Err(GraphError::EdgeOutOfRange {
+            src: s as u64,
+            dst: d as u64,
+            vertices: n,
+        });
+    }
+    el.validate()
+        .map_err(|reason| GraphError::Structure { reason })
 }
 
-fn parse<T: std::str::FromStr>(s: &str) -> io::Result<T> {
-    s.parse()
-        .map_err(|_| bad(&format!("cannot parse token {s:?}")))
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, GraphError> {
+    s.parse().map_err(|_| GraphError::parse(s))
 }
 
 #[cfg(test)]
@@ -367,6 +447,93 @@ mod tests {
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.weight(g.edge_range(0).start), 1.5);
         assert_eq!(g.neighbors(2), &[2]);
+    }
+
+    #[test]
+    fn zero_vertex_graphs_are_rejected() {
+        assert!(matches!(
+            read_adjacency(&b"0 0\n"[..]),
+            Err(GraphError::ZeroVertices)
+        ));
+        assert!(matches!(
+            read_snap_edges(&b"# empty\n"[..], None),
+            Err(GraphError::ZeroVertices)
+        ));
+        let mtx = "%%MatrixMarket matrix coordinate pattern general\n0 0 0\n";
+        assert!(matches!(
+            read_matrix_market(mtx.as_bytes()),
+            Err(GraphError::ZeroVertices)
+        ));
+        let empty = Csr {
+            offsets: vec![0],
+            targets: vec![],
+            weights: None,
+        };
+        let mut buf = Vec::new();
+        write_binary(&empty, &mut buf).unwrap();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::ZeroVertices)
+        ));
+    }
+
+    #[test]
+    fn truncated_binary_is_a_typed_error() {
+        let g = paper_example();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Cut mid-magic, mid-header, mid-offsets, and mid-targets.
+        for cut in [4, 12, 40, buf.len() - 2] {
+            let err = read_binary(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    GraphError::Truncated { .. } | GraphError::BadHeader { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_typed() {
+        let err = read_adjacency(&b"2 1\n0: 7\n"[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::EdgeOutOfRange {
+                src: 0,
+                dst: 7,
+                vertices: 2
+            }
+        ));
+        let err = read_snap_edges(&b"0 9\n"[..], Some(3)).unwrap_err();
+        assert!(matches!(err, GraphError::EdgeOutOfRange { dst: 9, .. }));
+    }
+
+    #[test]
+    fn mixed_weight_tokens_are_rejected() {
+        // Weighted then unweighted and the reverse both fail cleanly
+        // instead of corrupting the parallel weight array.
+        assert!(matches!(
+            read_adjacency(&b"3 2\n0: 1,2.5 2\n"[..]),
+            Err(GraphError::Structure { .. })
+        ));
+        assert!(matches!(
+            read_adjacency(&b"3 2\n0: 1\n1: 2,0.5\n"[..]),
+            Err(GraphError::Structure { .. })
+        ));
+    }
+
+    #[test]
+    fn unparsable_tokens_are_typed() {
+        assert!(matches!(
+            read_adjacency(&b"x y\n"[..]),
+            Err(GraphError::Parse { .. })
+        ));
+        assert!(matches!(
+            read_snap_edges(&b"0 banana\n"[..], None),
+            Err(GraphError::Parse { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod csr;
 pub mod degree;
 pub mod edge_list;
+pub mod error;
 pub mod generators;
 pub mod io;
 pub mod state;
@@ -31,6 +32,7 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use degree::DegreeStats;
 pub use edge_list::EdgeList;
+pub use error::GraphError;
 pub use generators::rng::SplitMix64;
 pub use state::PodState;
 pub use types::{EdgeIdx, VertexId};

@@ -1,6 +1,10 @@
 //! Whole-graph structural checks used by tests and the reproduction harness.
+//!
+//! Checks that take user-supplied vertex ids return the typed
+//! [`GraphError`] instead of panicking on out-of-range input.
 
 use crate::csr::Csr;
+use crate::error::GraphError;
 use crate::types::VertexId;
 
 /// Count weakly connected components (directions ignored).
@@ -32,9 +36,16 @@ pub fn weakly_connected_components(g: &Csr) -> usize {
     components
 }
 
-/// Vertices reachable from `src` along directed edges.
-pub fn reachable_count(g: &Csr, src: VertexId) -> usize {
+/// Vertices reachable from `src` along directed edges. Returns a typed
+/// error (instead of panicking) when `src` is out of range.
+pub fn reachable_count(g: &Csr, src: VertexId) -> Result<usize, GraphError> {
     let n = g.num_vertices();
+    if src as usize >= n {
+        return Err(GraphError::VertexOutOfRange {
+            vertex: src as u64,
+            vertices: n as u64,
+        });
+    }
     let mut seen = vec![false; n];
     let mut stack = vec![src];
     seen[src as usize] = true;
@@ -48,7 +59,7 @@ pub fn reachable_count(g: &Csr, src: VertexId) -> usize {
             }
         }
     }
-    count
+    Ok(count)
 }
 
 /// True if the graph contains the reverse of every edge (a symmetrized /
@@ -89,8 +100,20 @@ mod tests {
     #[test]
     fn reachability_from_star_center() {
         let g = star(8);
-        assert_eq!(reachable_count(&g, 0), 8);
-        assert_eq!(reachable_count(&g, 3), 1);
+        assert_eq!(reachable_count(&g, 0).unwrap(), 8);
+        assert_eq!(reachable_count(&g, 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn reachability_rejects_out_of_range_source() {
+        let g = star(8);
+        assert!(matches!(
+            reachable_count(&g, 99),
+            Err(GraphError::VertexOutOfRange {
+                vertex: 99,
+                vertices: 8
+            })
+        ));
     }
 
     #[test]

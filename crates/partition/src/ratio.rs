@@ -39,6 +39,27 @@ impl Ratio {
     pub fn total(&self) -> u32 {
         self.cpu + self.mic
     }
+
+    /// Derive a rebalanced ratio from observed per-device step times.
+    ///
+    /// Each device's new share is proportional to its *throughput* under
+    /// the current split, `share_d / t_d` — a device that took twice as
+    /// long per step at equal shares should get half the work. The result
+    /// is normalized to parts summing to 100 and clamped to `1..=99` so a
+    /// straggler is never starved to zero (that would be migration, not
+    /// rebalancing). Non-positive timings return the current ratio.
+    pub fn rebalanced(&self, t_cpu: f64, t_mic: f64) -> Ratio {
+        if !t_cpu.is_finite() || t_cpu <= 0.0 || !t_mic.is_finite() || t_mic <= 0.0 {
+            return *self;
+        }
+        let thr = [self.share(0) / t_cpu, self.share(1) / t_mic];
+        let total = thr[0] + thr[1];
+        if !total.is_finite() || total <= 0.0 {
+            return *self;
+        }
+        let cpu = ((thr[0] / total * 100.0).round() as u32).clamp(1, 99);
+        Ratio::new(cpu, 100 - cpu)
+    }
 }
 
 impl fmt::Display for Ratio {
@@ -100,5 +121,41 @@ mod tests {
     #[should_panic(expected = "0:0")]
     fn zero_ratio_panics() {
         Ratio::new(0, 0);
+    }
+
+    #[test]
+    fn rebalance_shifts_work_off_the_straggler() {
+        // Equal split, MIC suddenly 4x slower: it should get ~1/5 of work.
+        let r = Ratio::even().rebalanced(1.0, 4.0);
+        assert_eq!(r.total(), 100);
+        assert!(
+            r.share(0) > 0.75 && r.share(0) < 0.85,
+            "cpu share {}",
+            r.share(0)
+        );
+        // Symmetric case.
+        let r = Ratio::even().rebalanced(4.0, 1.0);
+        assert!(r.share(1) > 0.75 && r.share(1) < 0.85);
+    }
+
+    #[test]
+    fn rebalance_equal_times_keeps_even_split() {
+        let r = Ratio::new(3, 5).rebalanced(1.0, 1.0);
+        // Throughput proportional to current shares: split unchanged.
+        assert!((r.share(0) - 0.375).abs() < 0.01, "share {}", r.share(0));
+    }
+
+    #[test]
+    fn rebalance_never_starves_a_device() {
+        let r = Ratio::even().rebalanced(1.0, 1e9);
+        assert_eq!(r.cpu, 99);
+        assert_eq!(r.mic, 1);
+    }
+
+    #[test]
+    fn rebalance_ignores_degenerate_timings() {
+        let r = Ratio::new(3, 5);
+        assert_eq!(r.rebalanced(0.0, 1.0), r);
+        assert_eq!(r.rebalanced(1.0, f64::NAN), r);
     }
 }

@@ -81,6 +81,21 @@ impl DevicePartition {
             scheme: PartitionScheme::Continuous,
         }
     }
+
+    /// Failover migration: remap every vertex onto `dev`, keeping the
+    /// original scheme tag for reporting. Used when the other device dies
+    /// mid-run and the survivor absorbs its partition.
+    pub fn migrate_to(&self, dev: u8) -> Self {
+        DevicePartition {
+            assign: vec![dev; self.assign.len()],
+            ratio: if dev == 0 {
+                Ratio::new(1, 0)
+            } else {
+                Ratio::new(0, 1)
+            },
+            scheme: self.scheme,
+        }
+    }
 }
 
 /// Partition `g` between CPU and MIC with `scheme` at `ratio`.
@@ -246,6 +261,20 @@ mod tests {
         let g = pokec_like();
         let p = partition(&g, PartitionScheme::hybrid_default(), Ratio::new(0, 1), 0);
         assert!(p.assign.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn migrate_to_moves_everything_to_the_survivor() {
+        let g = pokec_like();
+        let p = partition(&g, PartitionScheme::hybrid_default(), Ratio::new(3, 5), 1);
+        let m = p.migrate_to(0);
+        assert_eq!(m.assign.len(), p.assign.len());
+        assert!(m.assign.iter().all(|&d| d == 0));
+        assert_eq!(m.ratio, Ratio::new(1, 0));
+        assert_eq!(m.scheme.name(), "hybrid");
+        let m1 = p.migrate_to(1);
+        assert!(m1.assign.iter().all(|&d| d == 1));
+        assert_eq!(m1.ratio, Ratio::new(0, 1));
     }
 
     #[test]

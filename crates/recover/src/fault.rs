@@ -29,16 +29,31 @@ pub enum FaultKind {
     /// The heterogeneous remote-message exchange is dropped on the link;
     /// both devices observe the failure at the barrier.
     DropExchange,
+    /// A whole device dies at the start of a superstep (fail-stop): its
+    /// engine loop exits and its link endpoint is torn down, so the peer
+    /// observes a dead channel at the next exchange.
+    CrashDevice,
+    /// A whole device hangs at the start of a superstep: its engine loop
+    /// stalls forever *without* tearing down the link, so only a deadline
+    /// (watchdog / exchange timeout) can detect it.
+    HangDevice,
+    /// A device becomes a straggler from this superstep on: it keeps making
+    /// progress but its per-step time inflates, which should trigger ratio
+    /// re-balancing rather than migration.
+    SlowDevice,
 }
 
 impl FaultKind {
     /// All kinds, for seeded sampling.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::KillWorker,
         FaultKind::KillMover,
         FaultKind::PoisonInsert,
         FaultKind::CorruptCheckpoint,
         FaultKind::DropExchange,
+        FaultKind::CrashDevice,
+        FaultKind::HangDevice,
+        FaultKind::SlowDevice,
     ];
 
     /// Short stable name (CLI flag values, report lines).
@@ -49,6 +64,9 @@ impl FaultKind {
             FaultKind::PoisonInsert => "insert",
             FaultKind::CorruptCheckpoint => "checkpoint",
             FaultKind::DropExchange => "exchange",
+            FaultKind::CrashDevice => "crash",
+            FaultKind::HangDevice => "hang",
+            FaultKind::SlowDevice => "slow",
         }
     }
 }
@@ -62,7 +80,8 @@ impl std::str::FromStr for FaultKind {
             .find(|k| k.name() == s)
             .ok_or_else(|| {
                 format!(
-                    "unknown fault kind {s:?} (expected one of worker|mover|insert|checkpoint|exchange)"
+                    "unknown fault kind {s:?} (expected one of \
+                     worker|mover|insert|checkpoint|exchange|crash|hang|slow)"
                 )
             })
     }

@@ -20,16 +20,22 @@
 //! * [`policy`] — [`RecoveryPolicy`] (checkpoint interval, retry budget,
 //!   exponential backoff) and [`RecoveryStats`] (checkpoints written/bytes,
 //!   rollbacks, retries, corrupt-snapshot rejections, degradation).
+//! * [`failover`] — [`FailoverPolicy`]/[`FailoverConfig`] (watchdog
+//!   deadline, lost-device policy, straggler thresholds) and
+//!   [`FailoverStats`] for the hetero engine's live device failover.
 //!
-//! The engine integration lives in `phigraph_core::engine::recover`; this
-//! crate is deliberately engine-agnostic so the CLI `recover` subcommand
-//! can inspect snapshot files without dragging in the runtime.
+//! The engine integration lives in `phigraph_core::engine::recover` (and
+//! `engine::failover` for the hetero liveness layer); this crate is
+//! deliberately engine-agnostic so the CLI `recover` subcommand can inspect
+//! snapshot files without dragging in the runtime.
 
+pub mod failover;
 pub mod fault;
 pub mod policy;
 pub mod snapshot;
 pub mod store;
 
+pub use failover::{FailoverConfig, FailoverPolicy, FailoverStats};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use policy::{latest_valid_snapshot, RecoveryPolicy, RecoveryStats};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};

@@ -187,6 +187,75 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// Newest-first scan over a store, skipping snapshots whose bytes no
+    /// longer decode — the exact discipline the recovery drivers use.
+    fn newest_valid(store: &dyn CheckpointStore) -> Option<u64> {
+        use crate::snapshot::Snapshot;
+        store.list().into_iter().rev().find_map(|k| {
+            let bytes = store.load(k).ok()?;
+            Snapshot::decode(&bytes).ok().map(|s| s.superstep)
+        })
+    }
+
+    #[test]
+    fn torn_dir_snapshots_fall_back_to_previous() {
+        use crate::snapshot::Snapshot;
+        let dir = std::env::temp_dir().join(format!("phgs-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DirStore::open(&dir).unwrap();
+        let snap = |k: u64| {
+            Snapshot {
+                superstep: k,
+                app: "sssp".to_string(),
+                value_size: 4,
+                values: vec![7u8; 16],
+                active: vec![1u8; 4],
+            }
+            .encode()
+        };
+        store.save(2, &snap(2)).unwrap();
+        store.save(4, &snap(4)).unwrap();
+        assert_eq!(newest_valid(&store), Some(4));
+
+        let full = store.load(4).unwrap();
+        // Torn mid-header: only a few magic/version bytes made it to disk.
+        std::fs::write(store.path_for(4), &full[..6]).unwrap();
+        assert_eq!(newest_valid(&store), Some(2), "mid-header tear");
+        // Torn mid-body: the payload is cut short of the checksum.
+        std::fs::write(store.path_for(4), &full[..full.len() - 3]).unwrap();
+        assert_eq!(newest_valid(&store), Some(2), "mid-body tear");
+        // An empty file (open() crashed before any write) is also skipped.
+        std::fs::write(store.path_for(4), b"").unwrap();
+        assert_eq!(newest_valid(&store), Some(2), "empty file");
+        // Restoring the full bytes makes step 4 the newest again.
+        std::fs::write(store.path_for(4), &full).unwrap();
+        assert_eq!(newest_valid(&store), Some(4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_keeps_exactly_the_newest() {
+        let dir = std::env::temp_dir().join(format!("phgs-retain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut dirs = DirStore::open(&dir).unwrap();
+        let mut mems = MemStore::new();
+        let stores: [&mut dyn CheckpointStore; 2] = [&mut dirs, &mut mems];
+        for store in stores {
+            for k in 1..=5u64 {
+                store.save(k, &[k as u8]).unwrap();
+            }
+            store.retain_newest(3).unwrap();
+            assert_eq!(store.list(), vec![3, 4, 5]);
+            // A keep window larger than the population is a no-op.
+            store.retain_newest(10).unwrap();
+            assert_eq!(store.list(), vec![3, 4, 5]);
+            // keep = 0 empties the store.
+            store.retain_newest(0).unwrap();
+            assert!(store.list().is_empty());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn mem_store_bytes_mut_corrupts_in_place() {
         let mut m = MemStore::new();

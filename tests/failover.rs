@@ -1,0 +1,367 @@
+//! Live-failover acceptance sweeps for the heterogeneous engine.
+//!
+//! The contract under test: kill **or hang** one device at *every*
+//! superstep of a hetero SSSP / PageRank run and the survivor must
+//! reproduce the fault-free result bit for bit by migrating the lost
+//! partition and replaying from the newest barrier snapshot — never by
+//! restarting the whole run. Stragglers (slowdowns) must instead trigger a
+//! partition rebalance, and the watchdog must detect every injected hang
+//! within the configured deadline.
+
+use phigraph_comm::PcieLink;
+use phigraph_core::engine::{run_hetero, run_hetero_failover, EngineConfig};
+use phigraph_core::metrics::RunOutput;
+use phigraph_device::DeviceSpec;
+use phigraph_graph::state::PodState;
+use phigraph_graph::{Csr, EdgeList, SplitMix64};
+use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
+use phigraph_recover::{
+    CheckpointStore, FailoverConfig, FailoverPolicy, FaultInjector, FaultKind, FaultPlan, MemStore,
+};
+
+use phigraph_apps::{PageRank, Sssp};
+use phigraph_core::api::VertexProgram;
+
+/// A connected-ish weighted graph deep enough for ~10 SSSP supersteps.
+fn sweep_graph(seed: u64) -> Csr {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let n = 400usize;
+    let mut el = EdgeList::new(n);
+    for v in 0..n as u32 {
+        el.push(v, (v + 1) % n as u32);
+    }
+    for _ in 0..1_500 {
+        let s = rng.random_range(0..n as u32);
+        let d = rng.random_range(0..n as u32);
+        if s != d {
+            el.push(s, d);
+        }
+    }
+    el.sort_dedup();
+    el.randomize_weights(0.0, 4.0, seed);
+    Csr::from_edge_list(&el)
+}
+
+fn specs() -> [DeviceSpec; 2] {
+    [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()]
+}
+
+fn even_partition(g: &Csr) -> DevicePartition {
+    partition(g, PartitionScheme::RoundRobin, Ratio::even(), 0)
+}
+
+/// Run the failover driver with fresh in-memory stores.
+fn run_failover<P: VertexProgram>(
+    program: &P,
+    g: &Csr,
+    p: &DevicePartition,
+    configs: [EngineConfig; 2],
+    fcfg: &FailoverConfig,
+    injector: Option<FaultInjector>,
+) -> RunOutput<P::Value>
+where
+    P::Value: PodState,
+{
+    let [c0, c1] = configs;
+    let (c0, c1) = match injector {
+        Some(inj) => (c0.with_fault_plan(inj.clone()), c1.with_fault_plan(inj)),
+        None => (c0, c1),
+    };
+    let mut s0 = MemStore::new();
+    let mut s1 = MemStore::new();
+    run_hetero_failover(
+        program,
+        g,
+        p,
+        specs(),
+        [c0, c1],
+        PcieLink::gen2_x16(),
+        fcfg,
+        [&mut s0 as &mut dyn CheckpointStore, &mut s1],
+        false,
+    )
+}
+
+fn sssp_configs() -> [EngineConfig; 2] {
+    [
+        EngineConfig::locking()
+            .with_checkpoint_every(1)
+            .with_backoff_ms(0),
+        EngineConfig::locking()
+            .with_checkpoint_every(1)
+            .with_backoff_ms(0),
+    ]
+}
+
+/// Kill or hang one device at every superstep of a hetero SSSP run: the
+/// survivor must migrate and replay from the newest snapshot, matching the
+/// clean run bit for bit without a whole-run restart.
+#[test]
+fn sssp_crash_or_hang_at_every_superstep_migrates_bit_identically() {
+    let g = sweep_graph(11);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let baseline = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let steps = baseline.report.steps.len() as u64;
+    assert!(steps >= 8, "sweep graph too shallow: {steps} supersteps");
+
+    let fcfg = FailoverConfig::default().with_watchdog_ms(150);
+    for s in 0..steps {
+        // Alternate fault kind and victim device across the sweep.
+        let kind = if s % 2 == 0 {
+            FaultKind::CrashDevice
+        } else {
+            FaultKind::HangDevice
+        };
+        let dev = ((s / 2) % 2) as u8;
+        let plan = FaultPlan::new().with(s, kind, dev);
+        let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+        assert_eq!(
+            out.values,
+            baseline.values,
+            "divergence after {} on device {dev} at superstep {s}",
+            kind.name()
+        );
+        let f = out.report.failover;
+        assert_eq!(f.migrations, 1, "step {s}");
+        assert!(f.degraded_single, "step {s}");
+        if kind == FaultKind::HangDevice {
+            assert_eq!(f.hang_detections, 1, "step {s}");
+            assert_eq!(f.crash_detections, 0, "step {s}");
+        } else {
+            assert_eq!(f.crash_detections, 1, "step {s}");
+            assert_eq!(f.hang_detections, 0, "step {s}");
+        }
+        assert_eq!(f.supersteps_total, steps, "step {s}");
+        assert_eq!(f.resume_step, s, "step {s}");
+        if s > 0 {
+            // Recovery resumed mid-run — no whole-run restart.
+            assert!(
+                f.supersteps_replayed < f.supersteps_total,
+                "step {s}: replayed {}/{}",
+                f.supersteps_replayed,
+                f.supersteps_total
+            );
+        }
+        // Step reports stay monotone through the migration splice.
+        let ids: Vec<usize> = out.report.steps.iter().map(|r| r.step).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "step {s}: {ids:?}");
+        assert!(out.report.summary().contains("failover"), "step {s}");
+    }
+}
+
+/// Same sweep for PageRank: an order-sensitive `f32` `Sum` combiner, pinned
+/// to one host thread per device so the baseline itself is bit-stable. The
+/// migrated replay hosts both engine halves with their original configs, so
+/// every reduction order is preserved.
+#[test]
+fn pagerank_crash_or_hang_sweep_is_bit_identical() {
+    let mut rng = SplitMix64::seed_from_u64(23);
+    let n = rng.random_range(150..250usize);
+    let mut el = EdgeList::new(n);
+    for _ in 0..1_200 {
+        let s = rng.random_range(0..n as u32);
+        let d = rng.random_range(0..n as u32);
+        if s != d {
+            el.push(s, d);
+        }
+    }
+    el.sort_dedup();
+    let g = Csr::from_edge_list(&el);
+    let p = even_partition(&g);
+    let app = PageRank {
+        damping: 0.85,
+        iterations: 7,
+    };
+    let configs = || {
+        [
+            EngineConfig::locking()
+                .with_host_threads(1)
+                .with_checkpoint_every(1)
+                .with_backoff_ms(0),
+            EngineConfig::locking()
+                .with_host_threads(1)
+                .with_checkpoint_every(1)
+                .with_backoff_ms(0),
+        ]
+    };
+    let baseline = run_hetero(&app, &g, &p, specs(), configs(), PcieLink::gen2_x16());
+    let bits = |o: &RunOutput<f32>| -> Vec<u32> { o.values.iter().map(|v| v.to_bits()).collect() };
+    let steps = baseline.report.steps.len() as u64;
+    assert!(steps >= 6);
+
+    let fcfg = FailoverConfig::default().with_watchdog_ms(150);
+    for s in 0..steps {
+        let kind = if s % 2 == 0 {
+            FaultKind::HangDevice
+        } else {
+            FaultKind::CrashDevice
+        };
+        let dev = (s % 2) as u8;
+        let plan = FaultPlan::new().with(s, kind, dev);
+        let out = run_failover(&app, &g, &p, configs(), &fcfg, Some(plan.injector()));
+        assert_eq!(
+            bits(&out),
+            bits(&baseline),
+            "pagerank diverged after {} on device {dev} at superstep {s}",
+            kind.name()
+        );
+        assert_eq!(out.report.failover.migrations, 1, "step {s}");
+        if s > 0 {
+            assert!(
+                out.report.failover.supersteps_replayed < out.report.failover.supersteps_total,
+                "step {s}"
+            );
+        }
+    }
+}
+
+/// The watchdog notices every injected hang within (a small multiple of)
+/// the configured deadline — the detection latency is measured from the
+/// moment the deadline expired.
+#[test]
+fn watchdog_detects_hangs_within_deadline() {
+    let g = sweep_graph(31);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let fcfg = FailoverConfig::default().with_watchdog_ms(40);
+    let plan = FaultPlan::new().with(3, FaultKind::HangDevice, 1);
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+    let f = out.report.failover;
+    assert_eq!(f.hang_detections, 1);
+    assert_eq!(f.exchange_timeouts, 1, "survivor saw the deadline expire");
+    // Detection latency is bounded: deadline (40ms) + poll interval + sched
+    // slack. The bound is generous to stay robust on loaded CI machines.
+    assert!(
+        f.watchdog_latency_ms < 2_000,
+        "watchdog took {}ms past the deadline",
+        f.watchdog_latency_ms
+    );
+    assert!(out.report.total_exchange_timeouts() >= 1);
+    assert!(out.report.summary().contains("timeouts="));
+}
+
+/// A slowdown is not a death: the straggler triggers exactly one partition
+/// rebalance (no migration), the run finishes two-device, and the SSSP
+/// fixpoint is unchanged.
+#[test]
+fn straggler_rebalances_instead_of_migrating() {
+    let g = sweep_graph(47);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let baseline = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let fcfg = FailoverConfig::default()
+        .with_rebalance_after(2)
+        .with_slow_factor(3.0);
+    let plan = FaultPlan::new().with(1, FaultKind::SlowDevice, 1);
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+    // Min-combiner SSSP is partition-independent, so values still match.
+    assert_eq!(out.values, baseline.values);
+    let f = out.report.failover;
+    assert_eq!(f.rebalances, 1);
+    assert_eq!(f.migrations, 0);
+    assert_eq!(f.crash_detections + f.hang_detections, 0);
+    assert!(!f.degraded_single, "rebalance keeps both devices");
+    assert!(out.report.summary().contains("rebalances=1"));
+}
+
+/// `--failover retry`: the lost device's partition is not migrated; both
+/// sides roll back to the newest common snapshot and replay in lock-step.
+#[test]
+fn retry_policy_rolls_back_without_migration() {
+    let g = sweep_graph(53);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let baseline = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let fcfg = FailoverConfig::default()
+        .with_watchdog_ms(150)
+        .with_policy(FailoverPolicy::Retry);
+    let plan = FaultPlan::new().with(3, FaultKind::CrashDevice, 1);
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+    assert_eq!(out.values, baseline.values);
+    let f = out.report.failover;
+    assert_eq!(f.migrations, 0);
+    assert_eq!(f.crash_detections, 1);
+    assert_eq!(f.resume_step, 3, "rolled back to the barrier, not step 0");
+    assert_eq!(out.report.recovery.rollbacks, 1);
+    assert_eq!(out.report.recovery.retries, 1);
+    assert!(!out.report.recovery.degraded);
+}
+
+/// `--failover off`: no migration machinery — the survivor degrades to the
+/// sequential engine from the last barrier and still converges correctly.
+#[test]
+fn off_policy_degrades_to_the_survivor() {
+    let g = sweep_graph(59);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let baseline = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let fcfg = FailoverConfig::default()
+        .with_watchdog_ms(150)
+        .with_policy(FailoverPolicy::Off);
+    let plan = FaultPlan::new().with(2, FaultKind::CrashDevice, 0);
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+    assert_eq!(out.values, baseline.values);
+    assert!(out.report.failover.degraded_single);
+    assert!(out.report.recovery.degraded);
+    assert_eq!(out.report.failover.migrations, 0);
+    assert_eq!(out.report.mode, "seq");
+}
+
+/// Without faults the failover driver computes exactly what the plain
+/// hetero driver computes, and reports no failover activity.
+#[test]
+fn fault_free_failover_run_matches_plain_hetero() {
+    let g = sweep_graph(61);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let plain = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let fcfg = FailoverConfig::default();
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, None);
+    assert_eq!(out.values, plain.values);
+    assert_eq!(out.report.steps.len(), plain.report.steps.len());
+    assert!(!out.report.failover.any());
+    assert_eq!(out.report.recovery.rollbacks, 0);
+    assert!(out.report.recovery.checkpoints_written > 0);
+    assert_eq!(out.report.mode, "cpu-mic");
+}
+
+/// A dropped exchange under the failover driver is a bounded rollback to
+/// the newest common snapshot — both the drop and the rollback are
+/// surfaced in the report.
+#[test]
+fn dropped_exchange_rolls_back_to_snapshot_not_step_zero() {
+    let g = sweep_graph(67);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let baseline = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let fcfg = FailoverConfig::default();
+    let plan = FaultPlan::new().with(4, FaultKind::DropExchange, 1);
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+    assert_eq!(out.values, baseline.values);
+    let f = out.report.failover;
+    assert_eq!(f.exchange_drops, 1);
+    assert_eq!(f.resume_step, 4, "resumed from the barrier before the drop");
+    assert_eq!(out.report.recovery.rollbacks, 1);
+    assert!(out.report.total_exchange_drops() >= 1);
+    assert!(out.report.summary().contains("xchg drops=1"));
+}
+
+/// Both devices lost at the same superstep: nothing to migrate onto, so
+/// the driver degrades to a sequential run from the last barrier.
+#[test]
+fn losing_both_devices_degrades_but_stays_correct() {
+    let g = sweep_graph(71);
+    let p = even_partition(&g);
+    let app = Sssp { source: 0 };
+    let baseline = run_hetero(&app, &g, &p, specs(), sssp_configs(), PcieLink::gen2_x16());
+    let fcfg = FailoverConfig::default().with_watchdog_ms(150);
+    let plan =
+        FaultPlan::new()
+            .with(3, FaultKind::CrashDevice, 0)
+            .with(3, FaultKind::CrashDevice, 1);
+    let out = run_failover(&app, &g, &p, sssp_configs(), &fcfg, Some(plan.injector()));
+    assert_eq!(out.values, baseline.values);
+    assert!(out.report.failover.degraded_single);
+    assert_eq!(out.report.failover.crash_detections, 2);
+}

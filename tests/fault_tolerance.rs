@@ -239,3 +239,53 @@ fn in_engine_checkpoint_corruption_rolls_back_further() {
             .unwrap_or_else(|e| panic!("snapshot {step} still invalid after replay: {e}"));
     }
 }
+
+/// Dropped remote exchanges are not silent: the hetero recovery driver
+/// counts them into [`RunReport::failover`] and the one-line summary
+/// surfaces them next to the recovery stats.
+#[test]
+fn dropped_exchanges_surface_in_the_run_summary() {
+    use phigraph_comm::PcieLink;
+    use phigraph_core::engine::run_hetero_recovering;
+    use phigraph_partition::{partition, PartitionScheme, Ratio};
+
+    let g = sweep_graph(61);
+    let p = partition(&g, PartitionScheme::RoundRobin, Ratio::even(), 0);
+    let app = Sssp { source: 0 };
+    let baseline = run_single(&app, &g, spec(), &EngineConfig::locking());
+
+    let plan = FaultPlan::new().with(3, FaultKind::DropExchange, 1);
+    let inj = plan.injector();
+    let out = run_hetero_recovering(
+        &app,
+        &g,
+        &p,
+        [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+        [
+            EngineConfig::locking()
+                .with_backoff_ms(0)
+                .with_fault_plan(inj.clone()),
+            EngineConfig::locking().with_fault_plan(inj),
+        ],
+        PcieLink::gen2_x16(),
+    );
+    assert_eq!(out.values, baseline.values);
+    assert_eq!(out.report.failover.exchange_drops, 1);
+    assert_eq!(out.report.total_exchange_drops(), 1);
+    assert!(
+        out.report.summary().contains("xchg drops=1"),
+        "summary must surface the dropped exchange: {}",
+        out.report.summary()
+    );
+    // A clean run keeps the summary free of exchange noise.
+    let clean = run_hetero_recovering(
+        &app,
+        &g,
+        &p,
+        [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
+        [EngineConfig::locking(), EngineConfig::locking()],
+        PcieLink::gen2_x16(),
+    );
+    assert_eq!(clean.report.total_exchange_drops(), 0);
+    assert!(!clean.report.summary().contains("xchg drops"));
+}

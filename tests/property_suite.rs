@@ -362,6 +362,41 @@ fn adjacency_io_round_trips() {
     }
 }
 
+/// Byte-smear fuzzing of the ingestion parsers: corrupting arbitrary bytes
+/// of a valid file must yield `Ok` or a typed `GraphError`, never a panic.
+#[test]
+fn graph_parsers_survive_byte_smear() {
+    use phigraph_graph::io::{read_adjacency, read_binary, write_adjacency, write_binary};
+    for case in 0..CASES * 4 {
+        let mut rng = SplitMix64::seed_from_u64(12_000 + case);
+        let g = random_graph(&mut rng, 30, 120);
+        let mut adj = Vec::new();
+        write_adjacency(&g, &mut adj).unwrap();
+        let mut bin = Vec::new();
+        write_binary(&g, &mut bin).unwrap();
+        for buf in [&mut adj, &mut bin] {
+            // Smear a handful of bytes, sometimes truncate the tail.
+            let smears = rng.random_range(1usize..6);
+            for _ in 0..smears {
+                let at = rng.random_range(0..buf.len());
+                buf[at] = (rng.next_u64() & 0xFF) as u8;
+            }
+            if rng.random_bool(0.3) {
+                let keep = rng.random_range(0..buf.len());
+                buf.truncate(keep);
+            }
+        }
+        // Any outcome is fine except a panic; errors must be typed and
+        // printable (the Display path is part of the contract).
+        if let Err(e) = read_adjacency(&adj[..]) {
+            let _ = e.to_string();
+        }
+        if let Err(e) = read_binary(&bin[..]) {
+            let _ = e.to_string();
+        }
+    }
+}
+
 /// The engine is bitwise deterministic for a fixed input, regardless of
 /// threading (PageRank sums are applied in a fixed buffer order).
 #[test]

@@ -3,10 +3,16 @@
 //! Snapshots are the versioned, checksummed barrier images written by
 //! `phigraph run --checkpoint-every`. This subcommand validates each one
 //! with the same decoder the recovery path uses, so "OK" here means the
-//! engine would accept it for `--resume`.
+//! engine would accept it for `--resume`. Heterogeneous failover runs keep
+//! one store per device (`<dir>/dev0`, `<dir>/dev1`); both are listed.
+//!
+//! Runs also drop a `run_report.json` into the checkpoint directory; when
+//! present, the recovery and failover statistics of the run that produced
+//! the snapshots are shown alongside them.
 
 use crate::args::Args;
 use phigraph_recover::{CheckpointStore, DirStore, Snapshot};
+use phigraph_trace::json::Json;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
@@ -14,41 +20,73 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if !std::path::Path::new(dir).is_dir() {
         return Err(format!("no checkpoint directory at {dir}"));
     }
-    let store = DirStore::open(dir)?;
-    let steps = store.list();
-    if steps.is_empty() {
-        println!("no snapshots in {dir}");
-        return Ok(());
+
+    // A heterogeneous failover run keeps one snapshot store per device.
+    let mut stores: Vec<(String, DirStore)> = Vec::new();
+    for dev in ["dev0", "dev1"] {
+        let sub = format!("{dir}/{dev}");
+        if std::path::Path::new(&sub).is_dir() {
+            stores.push((format!("{dev}: "), DirStore::open(&sub)?));
+        }
+    }
+    if stores.is_empty() {
+        stores.push((String::new(), DirStore::open(dir)?));
     }
 
     if let Some(which) = args.flag("inspect") {
         let step: u64 = which
             .parse()
             .map_err(|_| format!("bad --inspect value {which:?}"))?;
-        if !steps.contains(&step) {
+        let mut shown = false;
+        for (label, store) in &stores {
+            if store.list().contains(&step) {
+                inspect(label, store, step)?;
+                shown = true;
+            }
+        }
+        if !shown {
+            let have: Vec<u64> = stores.iter().flat_map(|(_, s)| s.list()).collect();
             return Err(format!(
-                "no snapshot for superstep {step} in {dir} (have: {steps:?})"
+                "no snapshot for superstep {step} in {dir} (have: {have:?})"
             ));
         }
-        let bytes = store.load(step)?;
-        let snap = Snapshot::decode(&bytes).map_err(|e| format!("snapshot {step} invalid: {e}"))?;
-        let n = snap.num_vertices();
-        let active = snap.active.iter().filter(|&&f| f != 0).count();
-        println!("snapshot {}", store.path_for(step).display());
-        println!("  resumes at superstep : {}", snap.superstep);
-        println!("  application          : {}", snap.app);
-        println!("  vertices             : {n}");
-        println!("  value width          : {} bytes", snap.value_size);
-        println!("  active vertices      : {active}");
-        println!(
-            "  encoded size         : {} bytes (checksum OK)",
-            bytes.len()
-        );
+        print_run_report(dir);
         return Ok(());
     }
 
-    println!("{} snapshot(s) in {dir}:", steps.len());
-    for step in steps {
+    let total: usize = stores.iter().map(|(_, s)| s.list().len()).sum();
+    if total == 0 {
+        println!("no snapshots in {dir}");
+    } else {
+        println!("{total} snapshot(s) in {dir}:");
+        for (label, store) in &stores {
+            list(label, store);
+        }
+    }
+    print_run_report(dir);
+    Ok(())
+}
+
+fn inspect(label: &str, store: &DirStore, step: u64) -> Result<(), String> {
+    let bytes = store.load(step)?;
+    let snap = Snapshot::decode(&bytes).map_err(|e| format!("snapshot {step} invalid: {e}"))?;
+    let n = snap.num_vertices();
+    let active = snap.active.iter().filter(|&&f| f != 0).count();
+    println!("{label}snapshot {}", store.path_for(step).display());
+    println!("  resumes at superstep : {}", snap.superstep);
+    println!("  application          : {}", snap.app);
+    println!("  vertices             : {n}");
+    println!("  value width          : {} bytes", snap.value_size);
+    println!("  active vertices      : {active}");
+    println!(
+        "  encoded size         : {} bytes (checksum OK)",
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn list(label: &str, store: &DirStore) {
+    for step in store.list() {
         match store.load(step).and_then(|b| {
             Snapshot::decode(&b)
                 .map(|s| (s, b.len()))
@@ -57,7 +95,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             Ok((snap, len)) => {
                 let active = snap.active.iter().filter(|&&f| f != 0).count();
                 println!(
-                    "  step {:>6}  app={:<10} vertices={:<9} active={:<9} {} bytes  OK",
+                    "  {label}step {:>6}  app={:<10} vertices={:<9} active={:<9} {} bytes  OK",
                     snap.superstep,
                     snap.app,
                     snap.num_vertices(),
@@ -65,8 +103,60 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     len,
                 );
             }
-            Err(e) => println!("  step {step:>6}  INVALID: {e}"),
+            Err(e) => println!("  {label}step {step:>6}  INVALID: {e}"),
         }
     }
-    Ok(())
+}
+
+/// Show the recovery and failover statistics of the run that produced the
+/// snapshots, when it left a `run_report.json` behind.
+fn print_run_report(dir: &str) {
+    let path = format!("{dir}/run_report.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            println!("warning: {path}: {e}");
+            return;
+        }
+    };
+    let Some(combined) = doc.get("combined") else {
+        return;
+    };
+    let app = combined.get("app").and_then(|a| a.as_str()).unwrap_or("?");
+    let mode = combined.get("mode").and_then(|m| m.as_str()).unwrap_or("?");
+    println!("\nlast run ({path}): {app}, engine {mode}");
+    if let Some(r) = combined.get("recovery") {
+        println!(
+            "  recovery : checkpoints={} ({} bytes), rollbacks={}, retries={}, \
+             corrupt_rejected={}, faults_injected={}, degraded={}",
+            r.u64_or_0("checkpoints_written"),
+            r.u64_or_0("checkpoint_bytes"),
+            r.u64_or_0("rollbacks"),
+            r.u64_or_0("retries"),
+            r.u64_or_0("corrupt_snapshots_rejected"),
+            r.u64_or_0("faults_injected"),
+            r.u64_or_0("degraded") != 0,
+        );
+    }
+    if let Some(f) = combined.get("failover") {
+        println!(
+            "  failover : crashes={} hangs={} migrations={} rebalances={} \
+             drops={} timeouts={} watchdog_latency_ms={} resume_step={} \
+             replayed={}/{} degraded_single={}",
+            f.u64_or_0("crash_detections"),
+            f.u64_or_0("hang_detections"),
+            f.u64_or_0("migrations"),
+            f.u64_or_0("rebalances"),
+            f.u64_or_0("exchange_drops"),
+            f.u64_or_0("exchange_timeouts"),
+            f.u64_or_0("watchdog_latency_ms"),
+            f.u64_or_0("resume_step"),
+            f.u64_or_0("supersteps_replayed"),
+            f.u64_or_0("supersteps_total"),
+            f.u64_or_0("degraded_single") != 0,
+        );
+    }
 }

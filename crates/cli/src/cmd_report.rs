@@ -1,0 +1,224 @@
+//! `phigraph report` — pretty-print a dumped run report.
+//!
+//! Consumes the JSON produced by `phigraph run ... --trace-out r.json
+//! --trace-format json` (or the `run_report.json` a checkpointed run leaves
+//! in its checkpoint directory) and reproduces the paper's Fig. 5-style
+//! decomposition: per-device and per-phase simulated time, message totals,
+//! and — when present — recovery and failover statistics.
+
+use crate::args::Args;
+use phigraph_trace::json::Json;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args.pos(0, "report.json")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+    if schema != phigraph_core::export::REPORT_SCHEMA {
+        return Err(format!(
+            "{path}: schema {schema:?} is not {:?} (dump one with \
+             `phigraph run ... --trace-out r.json --trace-format json`)",
+            phigraph_core::export::REPORT_SCHEMA
+        ));
+    }
+    let combined = doc
+        .get("combined")
+        .ok_or_else(|| format!("{path}: missing combined report"))?;
+    let devices: &[Json] = doc.get("devices").and_then(|d| d.as_arr()).unwrap_or(&[]);
+
+    print_header(combined);
+    print_decomposition(combined, devices);
+    print_messages(combined);
+    print_recovery(combined);
+    print_failover(combined);
+    if args.has("steps") {
+        let top: usize = args.flag_parse("top", usize::MAX)?;
+        print_steps(combined, top);
+    }
+    Ok(())
+}
+
+fn str_or<'a>(j: &'a Json, key: &str, default: &'a str) -> &'a str {
+    j.get(key).and_then(|v| v.as_str()).unwrap_or(default)
+}
+
+fn steps(j: &Json) -> &[Json] {
+    j.get("steps").and_then(|s| s.as_arr()).unwrap_or(&[])
+}
+
+/// Sum one simulated phase time over a report's steps.
+fn phase_sum(j: &Json, phase: &str) -> f64 {
+    steps(j)
+        .iter()
+        .map(|s| s.get("times").map_or(0.0, |t| t.f64_or_0(phase)))
+        .sum()
+}
+
+/// Sum one counter over a report's steps.
+fn counter_sum(j: &Json, name: &str) -> u64 {
+    steps(j)
+        .iter()
+        .map(|s| s.get("counters").map_or(0, |c| c.u64_or_0(name)))
+        .sum()
+}
+
+fn print_header(combined: &Json) {
+    println!(
+        "run: {} on {} (engine {})",
+        str_or(combined, "app", "?"),
+        str_or(combined, "device", "?"),
+        str_or(combined, "mode", "?"),
+    );
+    println!(
+        "supersteps: {}   wall {:.3} s   simulated {:.4} s (exec {:.4} + comm {:.4})",
+        steps(combined).len(),
+        combined.f64_or_0("wall"),
+        combined.f64_or_0("sim_total"),
+        combined.f64_or_0("sim_exec"),
+        combined.f64_or_0("sim_comm"),
+    );
+}
+
+/// The Fig. 5 decomposition: simulated seconds per sub-step, per device.
+fn print_decomposition(combined: &Json, devices: &[Json]) {
+    println!("\nphase decomposition (simulated seconds, share of exec):");
+    println!(
+        "  {:<22} {:>14} {:>14} {:>14} {:>10}",
+        "device", "generate", "process", "update", "comm"
+    );
+    let mut rows: Vec<(String, &Json)> = vec![("combined".to_string(), combined)];
+    for (i, d) in devices.iter().enumerate() {
+        // A single-device run dumps the same report twice; skip the echo.
+        if devices.len() == 1 && steps(d).len() == steps(combined).len() {
+            let label = str_or(d, "device", "?");
+            if label == str_or(combined, "device", "?") {
+                continue;
+            }
+        }
+        rows.push((format!("dev{i} {}", str_or(d, "device", "?")), d));
+    }
+    for (label, r) in rows {
+        let (gen, proc_t, upd) = (
+            phase_sum(r, "gen"),
+            phase_sum(r, "process"),
+            phase_sum(r, "update"),
+        );
+        let exec = (gen + proc_t + upd).max(f64::MIN_POSITIVE);
+        let comm: f64 = steps(r).iter().map(|s| s.f64_or_0("comm_time")).sum();
+        println!(
+            "  {:<22} {:>8.4} {:>4.0}% {:>8.4} {:>4.0}% {:>8.4} {:>4.0}% {:>10.4}",
+            truncate(&label, 22),
+            gen,
+            100.0 * gen / exec,
+            proc_t,
+            100.0 * proc_t / exec,
+            upd,
+            100.0 * upd / exec,
+            comm,
+        );
+    }
+}
+
+fn print_messages(combined: &Json) {
+    println!("\nmessage totals:");
+    let rows = [
+        ("active vertices scanned", "active_vertices"),
+        ("edges traversed", "gen_edges"),
+        ("messages inserted locally", "msgs_local"),
+        ("messages sent to peer", "msgs_remote"),
+        ("messages reduced", "proc_msgs"),
+        ("vertices updated", "updated_vertices"),
+        ("wire bytes exchanged", "comm_bytes"),
+    ];
+    for (label, key) in rows {
+        let v = counter_sum(combined, key);
+        if v > 0 {
+            println!("  {label:<28} {v}");
+        }
+    }
+}
+
+fn print_recovery(combined: &Json) {
+    let Some(rec) = combined.get("recovery") else {
+        return;
+    };
+    let fields = [
+        "checkpoints_written",
+        "checkpoint_bytes",
+        "rollbacks",
+        "retries",
+        "corrupt_snapshots_rejected",
+        "faults_injected",
+        "degraded",
+    ];
+    if fields.iter().all(|f| rec.u64_or_0(f) == 0) {
+        return;
+    }
+    println!("\nrecovery:");
+    for f in fields {
+        let v = rec.u64_or_0(f);
+        if v > 0 {
+            println!("  {:<28} {v}", f.replace('_', " "));
+        }
+    }
+}
+
+fn print_failover(combined: &Json) {
+    let Some(f) = combined.get("failover") else {
+        return;
+    };
+    let fields = [
+        "crash_detections",
+        "hang_detections",
+        "migrations",
+        "rebalances",
+        "exchange_drops",
+        "exchange_timeouts",
+        "watchdog_latency_ms",
+        "resume_step",
+        "supersteps_replayed",
+        "degraded_single",
+    ];
+    if fields.iter().all(|k| f.u64_or_0(k) == 0) {
+        return;
+    }
+    println!("\nfailover:");
+    for k in fields {
+        let v = f.u64_or_0(k);
+        if v > 0 {
+            println!("  {:<28} {v}", k.replace('_', " "));
+        }
+    }
+}
+
+fn print_steps(combined: &Json, top: usize) {
+    println!("\nper-superstep breakdown (simulated seconds):");
+    println!(
+        "  {:>5} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "step", "generate", "process", "update", "comm", "msgs", "active"
+    );
+    for s in steps(combined).iter().take(top) {
+        let t = s.get("times");
+        let c = s.get("counters");
+        println!(
+            "  {:>5} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>12} {:>12}",
+            s.u64_or_0("step"),
+            t.map_or(0.0, |t| t.f64_or_0("gen")),
+            t.map_or(0.0, |t| t.f64_or_0("process")),
+            t.map_or(0.0, |t| t.f64_or_0("update")),
+            s.f64_or_0("comm_time"),
+            c.map_or(0, |c| c.u64_or_0("proc_msgs")),
+            c.map_or(0, |c| c.u64_or_0("active_vertices")),
+        );
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}

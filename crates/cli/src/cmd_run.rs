@@ -15,6 +15,7 @@ use phigraph_graph::state::PodState;
 use phigraph_graph::Csr;
 use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
 use phigraph_recover::{DirStore, FailoverConfig, FailoverPolicy, FaultKind, FaultPlan};
+use phigraph_trace::{Trace, TraceLevel};
 use std::io::Write;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -30,8 +31,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ));
     }
     let iters: usize = args.flag_parse("iters", 20usize)?;
+    let trace = build_trace(&args)?;
 
-    let (report, lines) = match app.as_str() {
+    let (report, device_reports, lines) = match app.as_str() {
         "pagerank" => drive_pod(
             &PageRank {
                 damping: 0.85,
@@ -39,31 +41,38 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             },
             &g,
             &args,
+            trace.as_ref(),
             |v| format!("{v:.6}"),
         )?,
-        "bfs" => drive_pod(&Bfs { source }, &g, &args, |v| v.to_string())?,
-        "sssp" => drive_pod(&Sssp { source }, &g, &args, |v| format!("{v}"))?,
-        "toposort" => drive(&TopoSort::new(&g), &g, &args, |v| {
+        "bfs" => drive_pod(&Bfs { source }, &g, &args, trace.as_ref(), |v| {
+            v.to_string()
+        })?,
+        "sssp" => drive_pod(&Sssp { source }, &g, &args, trace.as_ref(), |v| {
+            format!("{v}")
+        })?,
+        "toposort" => drive(&TopoSort::new(&g), &g, &args, trace.as_ref(), |v| {
             format!("level={} remaining={}", v.level, v.remaining)
         })?,
-        "wcc" => drive_pod(&Wcc::new(&g), &g, &args, |v| v.to_string())?,
+        "wcc" => drive_pod(&Wcc::new(&g), &g, &args, trace.as_ref(), |v| v.to_string())?,
         "kcore" => {
             let k: u32 = args.flag_parse("k", 2u32)?;
-            let (report, lines) = drive(&KCore::new(&g, k), &g, &args, |v| {
-                format!("alive={} live_degree={}", v.alive, v.live_degree)
-            })?;
+            let (report, devs, lines) =
+                drive(&KCore::new(&g, k), &g, &args, trace.as_ref(), |v| {
+                    format!("alive={} live_degree={}", v.alive, v.live_degree)
+                })?;
             println!(
                 "k-core(k={k}): {} of {} vertices survive",
                 lines.iter().filter(|l| l.contains("alive=true")).count(),
                 g.num_vertices()
             );
-            (report, lines)
+            (report, devs, lines)
         }
-        "semicluster" => drive_semicluster(&g, &args, iters)?,
+        "semicluster" => drive_semicluster(&g, &args, iters, trace.as_ref())?,
         other => return Err(format!("unknown app {other:?}")),
     };
 
     println!("{}", report.summary());
+    write_trace_output(&args, trace.as_ref(), &report, &device_reports)?;
     if let Some(out) = args.flag("out") {
         let mut f = std::io::BufWriter::new(
             std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
@@ -73,6 +82,66 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
         f.flush().map_err(|e| e.to_string())?;
         println!("wrote {} vertex values -> {out}", lines.len());
+    }
+    Ok(())
+}
+
+/// Build the shared trace from `--trace-level` / `--trace-out`. Giving
+/// `--trace-out` alone implies phase-level tracing.
+fn build_trace(args: &Args) -> Result<Option<Trace>, String> {
+    if !args.has("trace-out") && !args.has("trace-level") {
+        return Ok(None);
+    }
+    let level: TraceLevel = args.flag_or("trace-level", "phase").parse()?;
+    Ok(Some(Trace::new(level)))
+}
+
+/// Attach the shared trace (when one was requested) to an engine config.
+fn attach(cfg: EngineConfig, trace: Option<&Trace>) -> EngineConfig {
+    match trace {
+        Some(t) => cfg.with_trace(t.clone()),
+        None => cfg,
+    }
+}
+
+/// Write `--trace-out` in the format selected by `--trace-format`.
+fn write_trace_output(
+    args: &Args,
+    trace: Option<&Trace>,
+    report: &RunReport,
+    device_reports: &[RunReport],
+) -> Result<(), String> {
+    let Some(path) = args.flag("trace-out") else {
+        return Ok(());
+    };
+    let format = args.flag_or("trace-format", "chrome");
+    let text = match format {
+        "chrome" => match trace {
+            Some(t) => t.export_chrome(),
+            None => return Err("--trace-format chrome needs --trace-level phase|fine".into()),
+        },
+        "json" => phigraph_core::export::run_report_json(report, device_reports),
+        "prom" => {
+            let snap = trace.map(|t| t.snapshot());
+            phigraph_core::export::prometheus_text(report, snap.as_ref())
+        }
+        other => {
+            return Err(format!(
+                "unknown --trace-format {other:?} (expected chrome|json|prom)"
+            ))
+        }
+    };
+    std::fs::write(path, text.as_bytes()).map_err(|e| format!("write {path}: {e}"))?;
+    if let Some(t) = trace {
+        let snap = t.snapshot();
+        println!(
+            "wrote {format} trace -> {path} ({} spans on {} threads, {} dropped)",
+            snap.total_spans(),
+            snap.threads.len(),
+            snap.total_dropped()
+        );
+    } else {
+        println!("wrote {format} trace -> {path}");
     }
     Ok(())
 }
@@ -184,23 +253,27 @@ fn drive_pod<P: VertexProgram>(
     program: &P,
     g: &Csr,
     args: &Args,
+    trace: Option<&Trace>,
     fmt: impl Fn(&P::Value) -> String,
-) -> Result<(RunReport, Vec<String>), String>
+) -> Result<(RunReport, Vec<RunReport>, Vec<String>), String>
 where
     P::Value: PodState,
 {
     if !recovery_requested(args) {
-        return drive(program, g, args, fmt);
+        return drive(program, g, args, trace, fmt);
     }
-    let cfg = apply_recovery_flags(engine_config(args)?, args)?;
+    let cfg = attach(apply_recovery_flags(engine_config(args)?, args)?, trace);
     let out = if args.has("hetero") || args.has("partition") {
         let p = load_or_build_partition(g, args)?;
         let fcfg = failover_config(args)?;
         let mic_cfg = match cfg.mode {
             ExecMode::Locking => cfg.clone(),
-            _ => apply_recovery_flags(EngineConfig::pipelined(), args)?,
+            _ => attach(
+                apply_recovery_flags(EngineConfig::pipelined(), args)?,
+                trace,
+            ),
         };
-        let cpu_cfg = apply_recovery_flags(EngineConfig::locking(), args)?;
+        let cpu_cfg = attach(apply_recovery_flags(EngineConfig::locking(), args)?, trace);
         // Both sides share one injector so each planned fault fires once.
         let (cpu_cfg, mic_cfg) = match &cfg.fault_plan {
             Some(inj) => (
@@ -213,7 +286,7 @@ where
         let dir = args.flag_or("checkpoint-dir", "phigraph-ckpt");
         let mut store0 = DirStore::open(format!("{dir}/dev0"))?;
         let mut store1 = DirStore::open(format!("{dir}/dev1"))?;
-        run_hetero_failover(
+        let out = run_hetero_failover(
             program,
             g,
             &p,
@@ -223,7 +296,9 @@ where
             &fcfg,
             [&mut store0, &mut store1],
             args.has("resume"),
-        )
+        );
+        persist_run_report(dir, &out.report, &out.device_reports)?;
+        out
     } else {
         if !matches!(cfg.mode, ExecMode::Locking | ExecMode::Pipelined) {
             return Err(
@@ -232,25 +307,37 @@ where
         }
         let dir = args.flag_or("checkpoint-dir", "phigraph-ckpt");
         let mut store = DirStore::open(dir)?;
-        run_recoverable(
+        let out = run_recoverable(
             program,
             g,
             device_spec(args)?,
             &cfg,
             &mut store,
             args.has("resume"),
-        )
+        );
+        persist_run_report(dir, &out.report, &out.device_reports)?;
+        out
     };
     let lines = out.values.iter().map(fmt).collect();
-    Ok((out.report, lines))
+    Ok((out.report, out.device_reports, lines))
+}
+
+/// Leave a machine-readable run report next to the snapshots so that
+/// `phigraph recover <dir>` can show the recovery and failover statistics
+/// of the run that produced them.
+fn persist_run_report(dir: &str, report: &RunReport, devices: &[RunReport]) -> Result<(), String> {
+    let path = format!("{dir}/run_report.json");
+    let text = phigraph_core::export::run_report_json(report, devices);
+    std::fs::write(&path, text.as_bytes()).map_err(|e| format!("write {path}: {e}"))
 }
 
 fn drive<P: VertexProgram>(
     program: &P,
     g: &Csr,
     args: &Args,
+    trace: Option<&Trace>,
     fmt: impl Fn(&P::Value) -> String,
-) -> Result<(RunReport, Vec<String>), String> {
+) -> Result<(RunReport, Vec<RunReport>, Vec<String>), String> {
     if recovery_requested(args) {
         return Err(
             "checkpoint/fault flags are unsupported for this app's value type \
@@ -269,21 +356,30 @@ fn drive<P: VertexProgram>(
             g,
             &p,
             [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
-            [EngineConfig::locking(), mic_cfg],
+            [
+                attach(EngineConfig::locking(), trace),
+                attach(mic_cfg, trace),
+            ],
             PcieLink::gen2_x16(),
         )
     } else {
-        run_single(program, g, device_spec(args)?, &engine_config(args)?)
+        run_single(
+            program,
+            g,
+            device_spec(args)?,
+            &attach(engine_config(args)?, trace),
+        )
     };
     let lines = out.values.iter().map(fmt).collect();
-    Ok((out.report, lines))
+    Ok((out.report, out.device_reports, lines))
 }
 
 fn drive_semicluster(
     g: &Csr,
     args: &Args,
     iters: usize,
-) -> Result<(RunReport, Vec<String>), String> {
+    trace: Option<&Trace>,
+) -> Result<(RunReport, Vec<RunReport>, Vec<String>), String> {
     let sc = SemiClustering {
         iterations: iters.min(12),
         ..Default::default()
@@ -295,11 +391,19 @@ fn drive_semicluster(
             g,
             &p,
             [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
-            [EngineConfig::locking(), EngineConfig::pipelined()],
+            [
+                attach(EngineConfig::locking(), trace),
+                attach(EngineConfig::pipelined(), trace),
+            ],
             PcieLink::gen2_x16(),
         )
     } else {
-        run_obj_single(&sc, g, device_spec(args)?, &engine_config(args)?)
+        run_obj_single(
+            &sc,
+            g,
+            device_spec(args)?,
+            &attach(engine_config(args)?, trace),
+        )
     };
     let lines = out
         .values
@@ -313,5 +417,5 @@ fn drive_semicluster(
             None => "no-cluster".to_string(),
         })
         .collect();
-    Ok((out.report, lines))
+    Ok((out.report, out.device_reports, lines))
 }

@@ -16,6 +16,9 @@
 //!              [--source N] [--iters N] [--out values.txt]
 //!              [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
 //!              [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+//!              [--trace-out FILE] [--trace-format chrome|json|prom]
+//!              [--trace-level off|phase|fine]
+//! phigraph report <report.json> [--steps] [--top N]
 //! phigraph recover <checkpoint-dir> [--inspect STEP]
 //! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
 //! phigraph check <app> <graph> [--step-budget N]
@@ -27,6 +30,7 @@ mod cmd_generate;
 mod cmd_info;
 mod cmd_partition;
 mod cmd_recover;
+mod cmd_report;
 mod cmd_run;
 mod cmd_tune;
 
@@ -44,6 +48,7 @@ fn main() -> ExitCode {
         "partition" => cmd_partition::run(rest),
         "run" => cmd_run::run(rest),
         "recover" => cmd_recover::run(rest),
+        "report" => cmd_report::run(rest),
         "tune" => cmd_tune::run(rest),
         "check" => cmd_check::run(rest),
         "--help" | "-h" | "help" => {
@@ -74,8 +79,11 @@ commands:
       [--source N] [--iters N] [--out values.txt]
       [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
       [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+      [--trace-out FILE] [--trace-format chrome|json|prom] [--trace-level off|phase|fine]
       (fault kinds: worker|mover|insert|checkpoint|exchange;
-       checkpoint/resume: pagerank|bfs|sssp|wcc with --engine lock|pipe)
+       checkpoint/resume: pagerank|bfs|sssp|wcc with --engine lock|pipe;
+       chrome traces load in Perfetto / chrome://tracing)
+  report <report.json> [--steps] [--top N]
   recover <checkpoint-dir> [--inspect STEP]
   tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]
   check <pagerank|bfs|sssp|toposort|wcc|kcore> <graph> [--step-budget N]"

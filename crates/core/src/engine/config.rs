@@ -4,6 +4,7 @@ use crate::csb::ColumnMode;
 use phigraph_device::cost::GenMode;
 use phigraph_device::DeviceSpec;
 use phigraph_recover::{FaultInjector, RecoveryPolicy};
+use phigraph_trace::{ThreadTracer, Trace};
 
 /// How a device executes a superstep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +78,10 @@ pub struct EngineConfig {
     /// runs fault-free; the recovering drivers consult it at the defined
     /// injection sites.
     pub fault_plan: Option<FaultInjector>,
+    /// Structured tracing sink. `None` (the default) skips every recording
+    /// site entirely; a [`Trace`] at [`phigraph_trace::TraceLevel::Off`]
+    /// costs one relaxed atomic load per site.
+    pub trace: Option<Trace>,
 }
 
 impl EngineConfig {
@@ -96,6 +101,7 @@ impl EngineConfig {
             max_supersteps: None,
             recovery: RecoveryPolicy::default(),
             fault_plan: None,
+            trace: None,
         }
     }
 
@@ -194,6 +200,29 @@ impl EngineConfig {
     pub fn with_fault_plan(mut self, injector: FaultInjector) -> Self {
         self.fault_plan = Some(injector);
         self
+    }
+
+    /// Install a structured tracing sink (see [`phigraph_trace`]).
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attach a tracer for the logical thread `name` (disabled when no
+    /// trace is installed — the engines' single call site for recording).
+    pub fn tracer(&self, name: &str, sort: u32) -> ThreadTracer {
+        match &self.trace {
+            Some(t) => t.thread(name, sort),
+            None => ThreadTracer::disabled(),
+        }
+    }
+
+    /// Record `v` into histogram `kind` when a trace is installed.
+    #[inline]
+    pub fn record_hist(&self, kind: phigraph_trace::HistKind, v: u64) {
+        if let Some(t) = &self.trace {
+            t.record_hist(kind, v);
+        }
     }
 
     /// Resolved SPSC ring capacity.

@@ -20,6 +20,7 @@ use phigraph_device::pool::{run_parallel, run_parallel_collect};
 use phigraph_device::{ChunkScheduler, DeviceSpec, StepCounters};
 use phigraph_graph::{Csr, VertexId};
 use phigraph_simd::MsgValue;
+use phigraph_trace::{HistKind, Phase, ThreadTracer, Trace};
 
 /// Bytes read per traversed edge during generation (target id + weight).
 const EDGE_BYTES: u64 = 8;
@@ -71,10 +72,23 @@ struct BatchedPipeSink<'a, T: MsgValue> {
     flushes: u64,
     /// Messages carried inside those batches.
     batched: u64,
+    /// Structured tracing sink (`None` skips every recording site).
+    trace: Option<&'a Trace>,
+    /// This worker's tracer ("devN/worker-W" track).
+    tracer: &'a ThreadTracer,
+    /// Superstep the spans/histograms attribute to.
+    step: u32,
 }
 
 impl<'a, T: MsgValue> BatchedPipeSink<'a, T> {
-    fn new(queues: &'a QueueMatrix<(VertexId, T)>, worker: usize, batch: usize) -> Self {
+    fn new(
+        queues: &'a QueueMatrix<(VertexId, T)>,
+        worker: usize,
+        batch: usize,
+        trace: Option<&'a Trace>,
+        tracer: &'a ThreadTracer,
+        step: u32,
+    ) -> Self {
         let batch = batch.clamp(1, queues.cap);
         BatchedPipeSink {
             queues,
@@ -86,6 +100,9 @@ impl<'a, T: MsgValue> BatchedPipeSink<'a, T> {
             spins: 0,
             flushes: 0,
             batched: 0,
+            trace,
+            tracer,
+            step,
         }
     }
 
@@ -95,11 +112,15 @@ impl<'a, T: MsgValue> BatchedPipeSink<'a, T> {
         if buf.is_empty() {
             return;
         }
+        let _f = self.tracer.span(Phase::Flush, self.step);
         // SAFETY: queue (worker, mover) has this worker thread as its only
         // producer.
         self.spins += unsafe { self.queues.queue(self.worker, mover).push_slice(buf) };
         self.flushes += 1;
         self.batched += buf.len() as u64;
+        if let Some(t) = self.trace {
+            t.record_hist(HistKind::FlushBatch, buf.len() as u64);
+        }
         buf.clear();
     }
 
@@ -146,6 +167,9 @@ pub struct DeviceEngine<'g, P: VertexProgram> {
     /// Static generation chunk boundaries over `owned` (edge-balanced, so
     /// hub vertices do not turn one chunk into the critical path).
     gen_ranges: Vec<std::ops::Range<usize>>,
+    /// Supersteps started so far; attributes worker/mover spans to their
+    /// superstep (counts executed attempts — replays re-number).
+    cur_step: u32,
 }
 
 /// Split `owned` into ranges of roughly equal out-edge mass. With
@@ -273,6 +297,7 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
             has_msg: vec![0u8; positions],
             host_threads,
             gen_ranges,
+            cur_step: 0,
         }
     }
 
@@ -321,7 +346,14 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
             ..Default::default()
         };
         self.has_msg.fill(0);
+        self.cur_step = self.cur_step.wrapping_add(1);
         c
+    }
+
+    /// Superstep index spans attribute to (1-based count of
+    /// [`DeviceEngine::begin_step`] calls, 0 before the first).
+    fn trace_step(&self) -> u32 {
+        self.cur_step.wrapping_sub(1)
     }
 
     /// Message generation. Returns the remote (peer-bound) messages,
@@ -369,8 +401,17 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
         let (owned, values, active) = (&self.owned, &self.values, &self.active);
         let (assign, dev) = (self.assign, self.dev_id);
         let ranges = &self.gen_ranges;
+        let (trace, step) = (self.config.trace.as_ref(), self.trace_step());
 
-        let results = run_parallel_collect(self.host_threads, |_tid| {
+        let results = run_parallel_collect(self.host_threads, |tid| {
+            let tracer = match trace {
+                Some(t) => t.thread(
+                    &format!("dev{dev}/worker-{tid}"),
+                    dev as u32 * 1000 + 10 + tid as u32,
+                ),
+                None => ThreadTracer::disabled(),
+            };
+            let _g = tracer.span(Phase::Generate, step);
             let mut chunks: Vec<GenChunk> = Vec::new();
             let mut sink = LockingSink {
                 csb,
@@ -425,6 +466,7 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
         let (program, graph, csb) = (self.program, self.graph, &self.csb);
         let (owned, values, active) = (&self.owned, &self.values, &self.active);
         let (assign, dev) = (self.assign, self.dev_id);
+        let (trace, step) = (self.config.trace.as_ref(), self.trace_step());
         let queues_ref = &queues;
         let sched = &sched;
 
@@ -438,8 +480,18 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
                 let workers: Vec<_> = (0..real_workers)
                     .map(|w| {
                         s.spawn(move || {
+                            let tracer = match trace {
+                                Some(t) => t.thread(
+                                    &format!("dev{dev}/worker-{w}"),
+                                    dev as u32 * 1000 + 10 + w as u32,
+                                ),
+                                None => ThreadTracer::disabled(),
+                            };
+                            let _gen = tracer.span(Phase::Generate, step);
                             let mut chunks = Vec::new();
-                            let mut sink = BatchedPipeSink::new(queues_ref, w, pipe_batch);
+                            let mut sink = BatchedPipeSink::new(
+                                queues_ref, w, pipe_batch, trace, &tracer, step,
+                            );
                             while let Some(batch) = sched.next_batch() {
                                 for ri in batch {
                                     let mut ch = GenChunk::default();
@@ -465,6 +517,14 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
                 let movers: Vec<_> = (0..real_movers)
                     .map(|m| {
                         s.spawn(move || {
+                            let tracer = match trace {
+                                Some(t) => t.thread(
+                                    &format!("dev{dev}/mover-{m}"),
+                                    dev as u32 * 1000 + 500 + m as u32,
+                                ),
+                                None => ThreadTracer::disabled(),
+                            };
+                            let _ins = tracer.span(Phase::Insert, step);
                             let mut remote: Vec<WireMsg<P::Msg>> = Vec::new();
                             let mut local = 0u64;
                             let mut class_counts = vec![0u64; sim_movers];
@@ -472,6 +532,11 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
                             loop {
                                 let mut moved = false;
                                 for w in 0..real_workers {
+                                    let t0 = if tracer.enabled_fine() {
+                                        tracer.now_ns()
+                                    } else {
+                                        0
+                                    };
                                     // SAFETY: mover m is the only consumer
                                     // of queue (w, m). Slices are consumed
                                     // fully inside the closure.
@@ -479,6 +544,12 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
                                         queues_ref.queue(w, m).pop_slices(queue_cap, |slice| {
                                             for &(dst, _) in slice {
                                                 class_counts[dst as usize % sim_movers] += 1;
+                                            }
+                                            if let Some(t) = trace {
+                                                t.record_hist(
+                                                    HistKind::InsertSlice,
+                                                    slice.len() as u64,
+                                                );
                                             }
                                             match assign {
                                                 // Single device: the whole
@@ -504,6 +575,12 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
                                     };
                                     if n > 0 {
                                         moved = true;
+                                        if let Some(t) = trace {
+                                            t.record_hist(HistKind::QueueOccupancy, n as u64);
+                                        }
+                                        if t0 != 0 {
+                                            tracer.record_closing(Phase::Drain, step, t0);
+                                        }
                                     }
                                 }
                                 if !moved {
@@ -848,6 +925,61 @@ mod tests {
         // A 1-message first wavefront fits in one batch.
         assert_eq!(c.msgs_local, 1);
         assert_eq!(c.flush_batches, 1);
+    }
+
+    #[test]
+    fn pipelined_counters_sum_across_all_threads() {
+        // Pin the documented aggregation contract of `StepReport::counters`:
+        // each worker and mover keeps thread-private counters and the engine
+        // folds them into one whole-device record. Every vertex starts
+        // active here, so the generation work spreads over all workers and
+        // the insertions over all movers.
+        struct AllActive;
+        impl VertexProgram for AllActive {
+            type Msg = f32;
+            type Reduce = Min;
+            type Value = f32;
+            const NAME: &'static str = "all-active";
+            fn init(&self, _v: VertexId, _g: &Csr) -> (f32, bool) {
+                (0.0, true)
+            }
+            fn generate<S: MsgSink<f32>>(&self, v: VertexId, ctx: &mut GenContext<'_, f32, S>) {
+                for e in ctx.graph.edge_range(v) {
+                    ctx.send(ctx.graph.targets[e], 1.0);
+                }
+            }
+            fn update(&self, _v: VertexId, _msg: f32, _value: &mut f32, _g: &Csr) -> bool {
+                false
+            }
+        }
+        let g = chain(64); // 63 messages from 63 distinct active sources
+        let mut eng = DeviceEngine::new(
+            &AllActive,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            EngineConfig::pipelined()
+                .with_host_threads(8)
+                .with_pipe_batch(4),
+            0,
+            None,
+        );
+        let mut c = eng.begin_step();
+        eng.generate(&mut c);
+        assert_eq!(c.msgs_local, 63);
+        // Sum over workers: every message travelled in exactly one batch.
+        assert_eq!(c.batched_msgs, c.msgs_local);
+        assert!(
+            c.flush_batches >= 63 / 4,
+            "63 msgs in ≤4-msg batches, got {} flushes",
+            c.flush_batches
+        );
+        // Sum over movers: the per-lane tallies partition the local total.
+        assert_eq!(c.mover_msgs.iter().sum::<u64>(), c.msgs_local);
+        assert!(
+            c.mover_msgs.iter().filter(|&&m| m > 0).count() >= 2,
+            "chain targets spread over mover lanes: {:?}",
+            c.mover_msgs
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@ use phigraph_recover::{
     RecoveryPolicy, RecoveryStats, Snapshot,
 };
 use phigraph_simd::MsgValue;
+use phigraph_trace::{HistKind, Phase, ThreadTracer, Trace};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -283,6 +284,7 @@ where
     if let Some((vals, flags)) = resume {
         engine.restore(vals, &flags);
     }
+    let tracer = config.tracer(&format!("dev{dev}"), dev as u32 * 1000);
     let deadline = fcfg.deadline();
     let mut steps: Vec<StepReport> = Vec::new();
     let mut slowed = slowed_in;
@@ -318,8 +320,12 @@ where
             }
         }
         let t0 = Instant::now();
+        let _step_span = tracer.span(Phase::Superstep, step as u32);
         let mut c = engine.begin_step();
-        let remote = engine.generate(&mut c);
+        let remote = {
+            let _g = tracer.span(Phase::Generate, step as u32);
+            engine.generate(&mut c)
+        };
         hb.tick();
         hb_count += 1;
         c.remote_before_combine = remote.len() as u64;
@@ -332,7 +338,11 @@ where
             }
         }
         let my_any = c.msgs_total() > 0;
+        let x0 = Instant::now();
+        let xspan = tracer.span(Phase::Exchange, step as u32);
         let res = ep.try_exchange_deadline(combined, bytes_out, my_any, prev_adv, Some(deadline));
+        drop(xspan);
+        config.record_hist(HistKind::ExchangeRttUs, x0.elapsed().as_micros() as u64);
         hb.tick();
         hb_count += 1;
         let (incoming, peer, xstats) = match res {
@@ -354,10 +364,19 @@ where
             }
         };
         c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
-        engine.absorb_remote(&incoming, &mut c);
-        engine.finalize_insertion_stats(&mut c);
-        engine.process(&mut c);
-        engine.update(&mut c);
+        {
+            let _i = tracer.span(Phase::Insert, step as u32);
+            engine.absorb_remote(&incoming, &mut c);
+            engine.finalize_insertion_stats(&mut c);
+        }
+        {
+            let _p = tracer.span(Phase::Process, step as u32);
+            engine.process(&mut c);
+        }
+        {
+            let _u = tracer.span(Phase::Update, step as u32);
+            engine.update(&mut c);
+        }
         hb.tick();
         hb_count += 1;
         c.heartbeats = hb_count;
@@ -396,6 +415,8 @@ where
         // The barrier after update is the consistency point: snapshot the
         // state step `step + 1` will start from, into this device's store.
         if policy.is_checkpoint_step(step as u64 + 1) {
+            let ck0 = Instant::now();
+            let _ck = tracer.span(Phase::Checkpoint, step as u32);
             write_device_checkpoint(
                 &engine,
                 step,
@@ -404,6 +425,10 @@ where
                 config.fault_plan.as_ref(),
                 dev,
                 &mut c,
+            );
+            config.record_hist(
+                HistKind::CheckpointWriteUs,
+                ck0.elapsed().as_micros() as u64,
             );
         }
         c.gen_chunks.clear();
@@ -452,9 +477,15 @@ fn watchdog_loop(
     stop: &AtomicBool,
     deadline: Duration,
     detected: &[AtomicU64; 2],
+    trace: Option<&Trace>,
 ) {
+    let tracer = match trace {
+        Some(t) => t.thread("watchdog", 9000),
+        None => ThreadTracer::disabled(),
+    };
     let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
     while !stop.load(Ordering::Acquire) {
+        let sweep0 = tracer.now_ns();
         for d in 0..2 {
             if finished[d].load(Ordering::Acquire)
                 || detected[d].load(Ordering::Acquire) != UNDETECTED
@@ -464,6 +495,12 @@ fn watchdog_loop(
             if hb[d].is_stalled(deadline) {
                 let lat = hb[d].since_last().saturating_sub(deadline).as_millis() as u64;
                 detected[d].store(lat, Ordering::Release);
+                // One Watchdog span per detection (the sweep that noticed
+                // the silence), tagged with the dead device's id.
+                tracer.record_closing(Phase::Watchdog, d as u32, sweep0);
+                if let Some(t) = trace {
+                    t.record_hist(HistKind::WatchdogLatencyMs, lat);
+                }
             }
         }
         std::thread::sleep(poll);
@@ -490,6 +527,7 @@ fn replay_lockstep<P: VertexProgram>(
     resume: ResumePair<P::Value>,
     stores: &[Mutex<&mut dyn CheckpointStore>; 2],
     cap: usize,
+    tracer: &ThreadTracer,
 ) -> (Vec<P::Value>, [Vec<StepReport>; 2])
 where
     P::Value: PodState,
@@ -524,6 +562,7 @@ where
 
     for step in start_step..cap {
         let t0 = Instant::now();
+        let _replay_span = tracer.span(Phase::Replay, step as u32);
         let mut c0 = e0.begin_step();
         let mut c1 = e1.begin_step();
         let r0 = e0.generate(&mut c0);
@@ -651,6 +690,9 @@ where
     let mut rebalance_enabled = true;
     let mut retry = 0u32;
     let mut last_resume: Option<usize> = None;
+    // Driver-thread track: migration replays and rebalances happen here,
+    // outside either device loop.
+    let drv_tracer = configs[0].tracer("driver", 900);
     let wall_start = Instant::now();
 
     if resume {
@@ -788,7 +830,16 @@ where
                     rebalance_enabled,
                 )
             });
-            let w = s.spawn(|| watchdog_loop(&hb, &finished, &stop, deadline, &detected));
+            let w = s.spawn(|| {
+                watchdog_loop(
+                    &hb,
+                    &finished,
+                    &stop,
+                    deadline,
+                    &detected,
+                    configs[0].trace.as_ref(),
+                )
+            });
             let r0 = h0.join().expect("device 0 panicked");
             let r1 = h1.join().expect("device 1 panicked");
             stop.store(true, Ordering::Release);
@@ -878,6 +929,7 @@ where
                     // order — that is what makes the result bit-identical.
                     let migrated = part.migrate_to(survivor as u8);
                     debug_assert!(migrated.assign.iter().all(|&d| d as usize == survivor));
+                    let _mig = drv_tracer.span(Phase::Migrate, k as u32);
                     let (values, replay_steps) = replay_lockstep(
                         program,
                         graph,
@@ -889,6 +941,7 @@ where
                         pair,
                         &stores,
                         cap,
+                        &drv_tracer,
                     );
                     let [rs0, rs1] = replay_steps;
                     dev_steps[0].retain(|s| s.step < k);
@@ -981,6 +1034,7 @@ where
             }
             [ExitKind::Rebalance(sr), ExitKind::Rebalance(sr1)] => {
                 debug_assert_eq!(sr, sr1, "rebalance barriers must agree");
+                let _rb = drv_tracer.span(Phase::Rebalance, sr as u32);
                 fstats.rebalances += 1;
                 // Merge live state at the barrier under the old assignment.
                 let mut vals = out0.values;

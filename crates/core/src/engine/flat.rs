@@ -20,6 +20,7 @@ use phigraph_device::pool::run_parallel_collect;
 use phigraph_device::{ChunkScheduler, CostModel, DeviceSpec, StepCounters};
 use phigraph_graph::{Csr, VertexId};
 use phigraph_simd::{MsgValue, ReduceOp};
+use phigraph_trace::Phase;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
@@ -94,6 +95,7 @@ pub fn run_flat<P: VertexProgram>(
         spec.threads(),
     );
     let gen_ranges = &gen_ranges;
+    let tracer = config.tracer("dev0", 0);
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
 
@@ -102,6 +104,7 @@ pub fn run_flat<P: VertexProgram>(
             break;
         }
         let t0 = Instant::now();
+        let _step_span = tracer.span(Phase::Superstep, step as u32);
         let mut c = StepCounters::default();
         for cnt in &counts {
             cnt.store(0, Ordering::Relaxed);
@@ -109,6 +112,7 @@ pub fn run_flat<P: VertexProgram>(
 
         // Generation + in-place accumulate (the flat engine's whole trick).
         {
+            let _g = tracer.span(Phase::Generate, step as u32);
             let sched = ChunkScheduler::new(gen_ranges.len(), 1);
             let acc_slice = SharedSlice::new(&mut acc);
             let (active_ref, counts_ref, locks_ref) = (&active, &counts[..], &locks[..]);
@@ -181,6 +185,7 @@ pub fn run_flat<P: VertexProgram>(
 
         // Update phase over vertices that received messages.
         {
+            let _u = tracer.span(Phase::Update, step as u32);
             let sched = ChunkScheduler::new(n, 512);
             let vslice = SharedSlice::new(&mut values);
             let fslice = SharedSlice::new(active.flags_mut());

@@ -20,6 +20,7 @@ use phigraph_graph::Csr;
 use phigraph_partition::DevicePartition;
 use phigraph_recover::{FaultKind, RecoveryStats};
 use phigraph_simd::MsgValue;
+use phigraph_trace::{HistKind, Phase};
 use std::time::Instant;
 
 /// Run `program` across both devices. `specs`/`configs` are indexed by
@@ -186,6 +187,7 @@ fn device_loop<P: VertexProgram>(
         dev,
         Some(assign),
     );
+    let tracer = config.tracer(&format!("dev{dev}"), dev as u32 * 1000);
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
     let mut failed: Option<usize> = None;
@@ -195,11 +197,15 @@ fn device_loop<P: VertexProgram>(
             break;
         }
         let t0 = Instant::now();
+        let _step_span = tracer.span(Phase::Superstep, step as u32);
         let mut c: StepCounters = engine.begin_step();
 
         // 1. Message generation (local messages straight into the CSB,
         //    peer-bound ones into the remote buffer).
-        let remote = engine.generate(&mut c);
+        let remote = {
+            let _g = tracer.span(Phase::Generate, step as u32);
+            engine.generate(&mut c)
+        };
         c.remote_before_combine = remote.len() as u64;
 
         // 2. Combine the remote buffer per destination ("the combination
@@ -217,6 +223,8 @@ fn device_loop<P: VertexProgram>(
             }
         }
         let my_any = c.msgs_total() > 0;
+        let x0 = Instant::now();
+        let xspan = tracer.span(Phase::Exchange, step as u32);
         let (incoming, peer_any, xstats) = match ep.try_exchange(combined, bytes_out, my_any) {
             Ok(r) => r,
             Err(_dropped) => {
@@ -224,13 +232,24 @@ fn device_loop<P: VertexProgram>(
                 break;
             }
         };
+        drop(xspan);
+        config.record_hist(HistKind::ExchangeRttUs, x0.elapsed().as_micros() as u64);
         c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
 
         // 4. Insert received messages, then process and update locally.
-        engine.absorb_remote(&incoming, &mut c);
-        engine.finalize_insertion_stats(&mut c);
-        engine.process(&mut c);
-        engine.update(&mut c);
+        {
+            let _i = tracer.span(Phase::Insert, step as u32);
+            engine.absorb_remote(&incoming, &mut c);
+            engine.finalize_insertion_stats(&mut c);
+        }
+        {
+            let _p = tracer.span(Phase::Process, step as u32);
+            engine.process(&mut c);
+        }
+        {
+            let _u = tracer.span(Phase::Update, step as u32);
+            engine.update(&mut c);
+        }
 
         let vectorized = config.vectorized && P::SIMD_REDUCIBLE;
         let times = cost.step_times(&c, config.gen_mode(&spec), P::Msg::SIZE, vectorized);

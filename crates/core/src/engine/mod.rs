@@ -24,6 +24,7 @@ use flat::run_cap;
 use phigraph_device::{CostModel, DeviceSpec};
 use phigraph_graph::Csr;
 use phigraph_simd::MsgValue;
+use phigraph_trace::Phase;
 use std::time::Instant;
 
 /// Run `program` to completion on a single device with any execution mode.
@@ -49,6 +50,7 @@ fn run_csb_single<P: VertexProgram>(
     let cost = CostModel::new(spec.clone());
     let mut engine = DeviceEngine::new(program, graph, spec.clone(), config.clone(), 0, None);
     let cap = run_cap(program.max_supersteps(), config.max_supersteps);
+    let tracer = config.tracer("dev0", 0);
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
 
@@ -57,15 +59,26 @@ fn run_csb_single<P: VertexProgram>(
             break;
         }
         let t0 = Instant::now();
+        let step_span = tracer.span(Phase::Superstep, step as u32);
         let mut c = engine.begin_step();
-        let remote = engine.generate(&mut c);
+        let remote = {
+            let _g = tracer.span(Phase::Generate, step as u32);
+            engine.generate(&mut c)
+        };
         debug_assert!(
             remote.is_empty(),
             "single-device run produced remote messages"
         );
         engine.finalize_insertion_stats(&mut c);
-        engine.process(&mut c);
-        engine.update(&mut c);
+        {
+            let _p = tracer.span(Phase::Process, step as u32);
+            engine.process(&mut c);
+        }
+        {
+            let _u = tracer.span(Phase::Update, step as u32);
+            engine.update(&mut c);
+        }
+        drop(step_span);
 
         let vectorized = config.vectorized && P::SIMD_REDUCIBLE;
         let times = cost.step_times(&c, config.gen_mode(&spec), P::Msg::SIZE, vectorized);

@@ -32,6 +32,7 @@ use phigraph_recover::{
     RecoveryStats, Snapshot,
 };
 use phigraph_simd::MsgValue;
+use phigraph_trace::{HistKind, Phase, ThreadTracer};
 use std::time::Instant;
 
 /// A resume point decoded from a snapshot: next step, values, active flags.
@@ -86,13 +87,17 @@ fn execute_step<P: VertexProgram>(
     c: &mut StepCounters,
     injector: Option<&FaultInjector>,
     step: u64,
+    tracer: &ThreadTracer,
 ) -> Result<(), FaultKind> {
     let fires = |k: FaultKind| injector.is_some_and(|i| i.fire(step, k, 0));
     // Site 1: a worker thread dies during generation (detected at join).
     if fires(FaultKind::KillWorker) {
         return Err(FaultKind::KillWorker);
     }
-    let remote = engine.generate(c);
+    let remote = {
+        let _g = tracer.span(Phase::Generate, step as u32);
+        engine.generate(c)
+    };
     debug_assert!(
         remote.is_empty(),
         "single-device recoverable run produced remote messages"
@@ -106,8 +111,14 @@ fn execute_step<P: VertexProgram>(
     if fires(FaultKind::PoisonInsert) {
         return Err(FaultKind::PoisonInsert);
     }
-    engine.process(c);
-    engine.update(c);
+    {
+        let _p = tracer.span(Phase::Process, step as u32);
+        engine.process(c);
+    }
+    {
+        let _u = tracer.span(Phase::Update, step as u32);
+        engine.update(c);
+    }
     Ok(())
 }
 
@@ -206,6 +217,7 @@ where
         None
     };
 
+    let tracer = config.tracer("dev0", 0);
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
     let mut retry: u32 = 0;
@@ -226,8 +238,9 @@ where
 
         for step in start_step..cap {
             let t0 = Instant::now();
+            let _step_span = tracer.span(Phase::Superstep, step as u32);
             let mut c = engine.begin_step();
-            if execute_step(&mut engine, &mut c, injector.as_ref(), step as u64).is_err() {
+            if execute_step(&mut engine, &mut c, injector.as_ref(), step as u64, &tracer).is_err() {
                 stats.faults_injected += 1;
                 stats.rollbacks += 1;
                 if retry >= policy.max_retries {
@@ -260,6 +273,8 @@ where
             // The barrier after `update` is the consistency point: snapshot
             // the state that step `step + 1` will start from.
             if policy.is_checkpoint_step(step as u64 + 1) {
+                let ck0 = Instant::now();
+                let _ck = tracer.span(Phase::Checkpoint, step as u32);
                 write_checkpoint(
                     &engine,
                     step as u64 + 1,
@@ -269,6 +284,10 @@ where
                     injector.as_ref(),
                     &mut stats,
                     &mut c,
+                );
+                config.record_hist(
+                    HistKind::CheckpointWriteUs,
+                    ck0.elapsed().as_micros() as u64,
                 );
             }
             c.gen_chunks.clear();

@@ -9,6 +9,7 @@ use phigraph_device::cost::GenMode;
 use phigraph_device::{CostModel, DeviceSpec, StepCounters};
 use phigraph_graph::{Csr, VertexId};
 use phigraph_simd::{MsgValue, ReduceOp};
+use phigraph_trace::Phase;
 use std::time::Instant;
 
 use super::config::EngineConfig;
@@ -87,6 +88,7 @@ pub fn run_seq_resume<P: VertexProgram>(
     let mut counts: Vec<u32> = vec![0; n];
 
     let cap = run_cap(program.max_supersteps(), config.max_supersteps);
+    let tracer = config.tracer("seq", 0);
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
 
@@ -95,11 +97,13 @@ pub fn run_seq_resume<P: VertexProgram>(
             break;
         }
         let t0 = Instant::now();
+        let _step_span = tracer.span(Phase::Superstep, step as u32);
         let mut c = StepCounters::default();
         counts.fill(0);
 
         // Generation into the mailbox (reduction applied on arrival).
         {
+            let _g = tracer.span(Phase::Generate, step as u32);
             let mut sink = SeqSink {
                 acc: &mut acc,
                 counts: &mut counts,
@@ -128,11 +132,14 @@ pub fn run_seq_resume<P: VertexProgram>(
         c.bytes_proc = c.msgs_local * P::Msg::SIZE as u64;
 
         // Update pass.
-        for v in 0..n {
-            if counts[v] > 0 {
-                let act = program.update(v as VertexId, acc[v], &mut values[v], graph);
-                active.set(v as VertexId, act);
-                c.updated_vertices += 1;
+        {
+            let _u = tracer.span(Phase::Update, step as u32);
+            for v in 0..n {
+                if counts[v] > 0 {
+                    let act = program.update(v as VertexId, acc[v], &mut values[v], graph);
+                    active.set(v as VertexId, act);
+                    c.updated_vertices += 1;
+                }
             }
         }
         if P::ALWAYS_ACTIVE {

@@ -65,6 +65,7 @@ pub mod api;
 pub mod check;
 pub mod csb;
 pub mod engine;
+pub mod export;
 pub mod metrics;
 pub mod queues;
 pub mod tune;

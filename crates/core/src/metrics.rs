@@ -19,7 +19,14 @@ pub struct StepReport {
     pub comm_time: f64,
     /// Host wall-clock seconds for the superstep.
     pub wall: f64,
-    /// Event counters (chunk records dropped to keep reports small).
+    /// Event counters for the superstep, **summed across every thread that
+    /// executed it**: in the pipelined engine each worker and mover keeps a
+    /// thread-private [`StepCounters`] and the engine folds them all into
+    /// this one record when the phase joins (so `flush_batches`,
+    /// `queue_full_spins`, `mover_idle_polls`, … are whole-device totals,
+    /// not any single thread's view, and `mover_msgs[i]` is the total
+    /// inserted by mover lane `i`). Per-chunk records are dropped after
+    /// folding to keep reports small; only their aggregates survive.
     pub counters: StepCounters,
 }
 

@@ -1,0 +1,108 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! One track (`tid`) per logical thread, named via `thread_name` metadata
+//! events and ordered via `thread_sort_index`. Every span becomes a `"X"`
+//! (complete) event with microsecond `ts`/`dur`; the superstep index rides
+//! along in `args.step` so the UI can filter by superstep.
+
+use crate::json::{num, quote};
+use crate::TraceSnapshot;
+
+/// Render a snapshot as a Chrome trace-event JSON object.
+pub fn export(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(4096 + snap.total_spans() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |s: String, first: &mut bool| -> String {
+        let sep = if *first { "" } else { "," };
+        *first = false;
+        format!("{sep}\n{s}")
+    };
+    let mut body = String::new();
+    for (tid, t) in snap.threads.iter().enumerate() {
+        body.push_str(&push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                quote(&t.name)
+            ),
+            &mut first,
+        ));
+        body.push_str(&push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\
+                 \"args\":{{\"sort_index\":{}}}}}",
+                t.sort
+            ),
+            &mut first,
+        ));
+        for s in &t.spans {
+            body.push_str(&push(
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                     \"name\":{},\"args\":{{\"step\":{}}}}}",
+                    num(s.t0_ns as f64 / 1_000.0),
+                    num(s.dur_ns() as f64 / 1_000.0),
+                    quote(s.phase.name()),
+                    s.step
+                ),
+                &mut first,
+            ));
+        }
+    }
+    out.push_str(&body);
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::Json;
+    use crate::{Phase, Trace, TraceLevel};
+
+    #[test]
+    fn export_parses_and_names_tracks() {
+        let tr = Trace::new(TraceLevel::Phase);
+        let main = tr.thread("dev0", 0);
+        let w = tr.thread("dev0/worker-0", 1);
+        {
+            let _s = main.span(Phase::Superstep, 0);
+            let _g = w.span(Phase::Generate, 0);
+        }
+        let text = tr.export_chrome();
+        let j = Json::parse(&text).expect("chrome export must be valid JSON");
+        let events = j.get("traceEvents").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(names, ["dev0", "dev0/worker-0"]);
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        for s in spans {
+            assert!(s.get("ts").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(s.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            assert_eq!(s.get("args").unwrap().u64_or_0("step"), 0);
+        }
+    }
+
+    #[test]
+    fn empty_trace_exports_empty_event_list() {
+        let tr = Trace::new(TraceLevel::Phase);
+        let j = Json::parse(&tr.export_chrome()).unwrap();
+        assert_eq!(j.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Log2-bucketed histograms for engine distributions.
+//!
+//! Bucket `0` counts the value `0`; bucket `i ≥ 1` counts values `v` with
+//! `2^(i-1) ≤ v < 2^i` — i.e. the bucket index is the bit length of `v`.
+//! 33 buckets cover `0 ..= u32::MAX`-ish ranges; anything wider saturates
+//! into the last bucket. Recording is one `fetch_add` per value plus the
+//! count/sum tallies, so histograms are cheap enough to leave on for every
+//! traced run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets (0 plus bit lengths 1..=32).
+pub const BUCKETS: usize = 33;
+
+/// The distributions the engines feed. A closed set so the registry is a
+/// fixed array with no locking or allocation on the record path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum HistKind {
+    /// SPSC queue occupancy (messages) observed at each mover drain pass.
+    QueueOccupancy = 0,
+    /// Messages per worker→mover flush batch.
+    FlushBatch = 1,
+    /// Slice length per CSB `insert_slice` call on the mover path.
+    InsertSlice = 2,
+    /// Remote exchange round-trip latency in microseconds.
+    ExchangeRttUs = 3,
+    /// Barrier checkpoint write time in microseconds.
+    CheckpointWriteUs = 4,
+    /// Latency between a device going silent and the watchdog noticing,
+    /// in milliseconds.
+    WatchdogLatencyMs = 5,
+}
+
+impl HistKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [HistKind; 6] = [
+        HistKind::QueueOccupancy,
+        HistKind::FlushBatch,
+        HistKind::InsertSlice,
+        HistKind::ExchangeRttUs,
+        HistKind::CheckpointWriteUs,
+        HistKind::WatchdogLatencyMs,
+    ];
+
+    /// Stable metric name (Prometheus/JSON exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HistKind::QueueOccupancy => "queue_occupancy",
+            HistKind::FlushBatch => "flush_batch_msgs",
+            HistKind::InsertSlice => "insert_slice_len",
+            HistKind::ExchangeRttUs => "exchange_rtt_us",
+            HistKind::CheckpointWriteUs => "checkpoint_write_us",
+            HistKind::WatchdogLatencyMs => "watchdog_latency_ms",
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else bit length clamped to the last
+/// bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the saturating
+/// last bucket).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One lock-free log2 histogram.
+#[derive(Debug)]
+pub struct Hist {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Hist {
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self, kind: HistKind) -> HistSnapshot {
+        HistSnapshot {
+            name: kind.name(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain copied-out histogram state.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Metric name from [`HistKind::name`].
+    pub name: &'static str,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket (non-cumulative) counts, length [`BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// Mean recorded value (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest bucket upper bound covering at least `q` (0..=1) of the
+    /// recorded values — a log2-resolution quantile (`None` when empty).
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Some(bucket_upper(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Non-empty `(upper_bound, count)` pairs, for compact export.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_upper(i), *c))
+            .collect()
+    }
+}
+
+/// The fixed registry of all histogram kinds.
+#[derive(Debug, Default)]
+pub struct HistSet {
+    hists: [Hist; HistKind::ALL.len()],
+}
+
+impl HistSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        HistSet::default()
+    }
+
+    /// The histogram for `kind`.
+    #[inline]
+    pub fn get(&self, kind: HistKind) -> &Hist {
+        &self.hists[kind as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        // Every value sits at or below its bucket's upper bound.
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1000, 1 << 40] {
+            assert!(v <= bucket_upper(bucket_index(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Hist::default();
+        for v in [0u64, 1, 2, 3, 8, 8, 1 << 40] {
+            h.record(v);
+        }
+        let s = h.snapshot(HistKind::FlushBatch);
+        assert_eq!(s.name, "flush_batch_msgs");
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 22 + (1 << 40));
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[4], 2);
+        // 1<<40 has bit length 41: saturates into the last bucket.
+        assert_eq!(s.buckets[BUCKETS - 1], 1);
+        assert_eq!(s.nonzero().len(), 5);
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let h = Hist::default();
+        assert_eq!(h.snapshot(HistKind::FlushBatch).mean(), None);
+        assert_eq!(h.snapshot(HistKind::FlushBatch).quantile_upper(0.5), None);
+        for _ in 0..99 {
+            h.record(4);
+        }
+        h.record(1 << 20);
+        let s = h.snapshot(HistKind::FlushBatch);
+        assert_eq!(s.quantile_upper(0.5), Some(7));
+        assert_eq!(s.quantile_upper(1.0), Some((1 << 21) - 1));
+        assert!((s.mean().unwrap() - (99.0 * 4.0 + (1 << 20) as f64) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Hist::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot(HistKind::QueueOccupancy);
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.sum, 4 * (999 * 1000 / 2));
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn kind_names_unique() {
+        let mut names: Vec<&str> = HistKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HistKind::ALL.len());
+    }
+}

@@ -23,4 +23,22 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -- -D warnings (offline)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> observability smoke: run --trace-out + report on a toy graph"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+PHIGRAPH=./target/release/phigraph
+"$PHIGRAPH" generate gnm "$SMOKE_DIR/g.bin" --scale tiny --seed 7 >/dev/null
+"$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --engine pipe \
+    --trace-out "$SMOKE_DIR/trace.json" --trace-format chrome >/dev/null
+grep -q '"thread_name"' "$SMOKE_DIR/trace.json"
+"$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --hetero \
+    --trace-out "$SMOKE_DIR/report.json" --trace-format json >/dev/null
+"$PHIGRAPH" report "$SMOKE_DIR/report.json" --steps | grep -q "phase decomposition"
+"$PHIGRAPH" run pagerank "$SMOKE_DIR/g.bin" --iters 3 \
+    --trace-out "$SMOKE_DIR/metrics.prom" --trace-format prom >/dev/null
+grep -q "^phigraph_supersteps{" "$SMOKE_DIR/metrics.prom"
+"$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --engine lock \
+    --checkpoint-every 4 --checkpoint-dir "$SMOKE_DIR/ckpt" >/dev/null
+"$PHIGRAPH" recover "$SMOKE_DIR/ckpt" | grep -q "failover :"
+
 echo "==> all checks passed"

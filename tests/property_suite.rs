@@ -430,3 +430,81 @@ fn engine_is_deterministic() {
         }
     }
 }
+
+/// The per-thread span recorder under concurrency: with ring capacity above
+/// the per-thread span count nothing is lost, every span closes at or after
+/// it opens, spans land in closing order (the single-writer ring appends on
+/// guard drop), and overflow is accounted rather than silent.
+#[test]
+fn trace_recorder_concurrent_no_loss_below_capacity() {
+    use phigraph_trace::{Phase, Trace, TraceLevel, ALL_PHASES};
+    for case in 0..8u64 {
+        let mut rng = SplitMix64::seed_from_u64(7200 + case);
+        let nthreads = rng.random_range(2..7usize);
+        let spans_per_thread = rng.random_range(10..400usize);
+        let trace = Trace::with_capacity(TraceLevel::Fine, 512);
+        std::thread::scope(|scope| {
+            for i in 0..nthreads {
+                let trace = trace.clone();
+                scope.spawn(move || {
+                    let t = trace.thread(&format!("stress-{i}"), i as u32);
+                    let mut recorded = 0usize;
+                    while recorded < spans_per_thread {
+                        if recorded.is_multiple_of(3) && recorded + 2 <= spans_per_thread {
+                            // Nested pair: inner closes (and records) first.
+                            let _outer =
+                                t.span(ALL_PHASES[recorded % ALL_PHASES.len()], recorded as u32);
+                            let _inner = t.span(
+                                ALL_PHASES[(recorded + 1) % ALL_PHASES.len()],
+                                recorded as u32,
+                            );
+                            recorded += 2;
+                        } else {
+                            let _s =
+                                t.span(ALL_PHASES[recorded % ALL_PHASES.len()], recorded as u32);
+                            recorded += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let snap = trace.snapshot();
+        assert_eq!(snap.threads.len(), nthreads, "case {case}");
+        for th in &snap.threads {
+            assert_eq!(th.dropped, 0, "case {case} thread {}", th.name);
+            assert_eq!(
+                th.spans.len(),
+                spans_per_thread,
+                "case {case} thread {} lost spans below capacity",
+                th.name
+            );
+            let mut last_close = 0u64;
+            for s in &th.spans {
+                assert!(
+                    s.t0_ns <= s.t1_ns,
+                    "case {case}: span closes before it opens"
+                );
+                assert!(
+                    s.t1_ns >= last_close,
+                    "case {case} thread {}: close times must be monotonic",
+                    th.name
+                );
+                last_close = s.t1_ns;
+            }
+        }
+        assert_eq!(snap.total_spans(), nthreads * spans_per_thread);
+        assert_eq!(snap.total_dropped(), 0);
+    }
+
+    // Overflow accounting: a tiny ring keeps the first `capacity` spans and
+    // counts the rest as dropped instead of corrupting the buffer.
+    let trace = Trace::with_capacity(TraceLevel::Phase, 16);
+    let t = trace.thread("tiny", 0);
+    for i in 0..50u32 {
+        let _s = t.span(Phase::Generate, i);
+    }
+    let snap = trace.snapshot();
+    assert_eq!(snap.threads[0].spans.len(), 16);
+    assert_eq!(snap.threads[0].dropped, 34);
+    assert_eq!(snap.total_dropped(), 34);
+}

@@ -54,6 +54,26 @@ impl VertexProgram for Bfs {
             false
         }
     }
+
+    /// Level-monotonicity audit: a visited vertex's level is frozen
+    /// forever, levels are never below [`UNVISITED`], and the source stays
+    /// at level 0.
+    fn audit_step(&self, _step: usize, prev: &[i32], cur: &[i32], stride: usize) -> Option<String> {
+        for i in (0..cur.len()).step_by(stride.max(1)) {
+            let (p, c) = (prev[i], cur[i]);
+            if c < UNVISITED {
+                return Some(format!("bfs: vertex {i} level is {c}"));
+            }
+            if p != UNVISITED && c != p {
+                return Some(format!("bfs: visited vertex {i} level moved {p} -> {c}"));
+            }
+        }
+        let s = self.source as usize;
+        if s < cur.len() && cur[s] != 0 {
+            return Some(format!("bfs: source level drifted to {}", cur[s]));
+        }
+        None
+    }
 }
 
 #[cfg(test)]

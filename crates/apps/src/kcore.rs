@@ -100,6 +100,37 @@ impl VertexProgram for KCore {
     fn capacity_hint(&self, v: VertexId, _g: &Csr) -> Option<u32> {
         Some(self.undirected_degree[v as usize])
     }
+
+    /// Peeling audit: removal is irreversible (`alive` goes true→false
+    /// only), live degree is monotone non-increasing and bounded by the
+    /// vertex's static undirected degree.
+    fn audit_step(
+        &self,
+        _step: usize,
+        prev: &[KCoreValue],
+        cur: &[KCoreValue],
+        stride: usize,
+    ) -> Option<String> {
+        for i in (0..cur.len()).step_by(stride.max(1)) {
+            let (p, c) = (prev[i], cur[i]);
+            if c.alive && !p.alive {
+                return Some(format!("kcore: removed vertex {i} came back alive"));
+            }
+            if c.live_degree > p.live_degree {
+                return Some(format!(
+                    "kcore: vertex {i} live degree rose {} -> {}",
+                    p.live_degree, c.live_degree
+                ));
+            }
+            if c.live_degree > self.undirected_degree[i] {
+                return Some(format!(
+                    "kcore: vertex {i} live degree {} exceeds static degree {}",
+                    c.live_degree, self.undirected_degree[i]
+                ));
+            }
+        }
+        None
+    }
 }
 
 /// Vertices surviving in the k-core.

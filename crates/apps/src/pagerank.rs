@@ -58,6 +58,48 @@ impl VertexProgram for PageRank {
     fn max_supersteps(&self) -> Option<usize> {
         Some(self.iterations)
     }
+
+    /// Mass-conservation audit. Per vertex: ranks stay finite,
+    /// non-negative, at least the teleport mass `1-d` or the untouched
+    /// init value, and no single vertex can hold more than the whole
+    /// graph's mass. With `stride == 1` the total mass is additionally
+    /// bounded by `n` (each iteration redistributes at most the existing
+    /// mass, damped), within a small f32 tolerance.
+    fn audit_step(
+        &self,
+        _step: usize,
+        _prev: &[f32],
+        cur: &[f32],
+        stride: usize,
+    ) -> Option<String> {
+        let n = cur.len() as f32;
+        let floor = (1.0 - self.damping) * 0.999;
+        for i in (0..cur.len()).step_by(stride.max(1)) {
+            let v = cur[i];
+            if !v.is_finite() {
+                return Some(format!("pagerank: vertex {i} rank is {v}"));
+            }
+            if v < floor {
+                return Some(format!(
+                    "pagerank: vertex {i} rank {v} below teleport mass {floor}"
+                ));
+            }
+            if v > n * 1.001 {
+                return Some(format!(
+                    "pagerank: vertex {i} rank {v} exceeds total graph mass {n}"
+                ));
+            }
+        }
+        if stride.max(1) == 1 {
+            let total: f64 = cur.iter().map(|&v| v as f64).sum();
+            if total > n as f64 * 1.001 {
+                return Some(format!(
+                    "pagerank: total mass {total} exceeds vertex count {n}"
+                ));
+            }
+        }
+        None
+    }
 }
 
 /// Per-vertex state of the residual PageRank.
@@ -148,6 +190,30 @@ impl VertexProgram for PageRankDelta {
 
     fn max_supersteps(&self) -> Option<usize> {
         Some(self.max_iterations)
+    }
+
+    /// Residual-PageRank audit: rank is finite and monotone non-decreasing
+    /// (updates only ever *add* damped positive mass).
+    fn audit_step(
+        &self,
+        _step: usize,
+        prev: &[PrDelta],
+        cur: &[PrDelta],
+        stride: usize,
+    ) -> Option<String> {
+        for i in (0..cur.len()).step_by(stride.max(1)) {
+            let (p, c) = (prev[i], cur[i]);
+            if !c.rank.is_finite() || !c.residual.is_finite() {
+                return Some(format!("pagerank-delta: vertex {i} state is non-finite"));
+            }
+            if c.rank < p.rank * 0.999 {
+                return Some(format!(
+                    "pagerank-delta: vertex {i} rank decreased {} -> {}",
+                    p.rank, c.rank
+                ));
+            }
+        }
+        None
     }
 }
 

@@ -47,6 +47,28 @@ impl VertexProgram for Sssp {
             false
         }
     }
+
+    /// Distance-monotonicity audit: relaxation only ever *lowers* a
+    /// distance, distances are non-negative (positive weights), never NaN,
+    /// and the source stays at 0.
+    fn audit_step(&self, _step: usize, prev: &[f32], cur: &[f32], stride: usize) -> Option<String> {
+        for i in (0..cur.len()).step_by(stride.max(1)) {
+            let (p, c) = (prev[i], cur[i]);
+            if c.is_nan() || c < 0.0 {
+                return Some(format!("sssp: vertex {i} distance is {c}"));
+            }
+            // `c` is known non-NaN here, so this is exactly `!(c <= p)`:
+            // a rise, or an incomparable (NaN) previous value.
+            if c > p || p.is_nan() {
+                return Some(format!("sssp: vertex {i} distance rose {p} -> {c}"));
+            }
+        }
+        let s = self.source as usize;
+        if s < cur.len() && cur[s] != 0.0 {
+            return Some(format!("sssp: source distance drifted to {}", cur[s]));
+        }
+        None
+    }
 }
 
 #[cfg(test)]

@@ -63,6 +63,25 @@ impl VertexProgram for Wcc {
         // (reverse sends).
         Some(self.reverse.out_degree(v) as u32 + g.out_degree(v) as u32)
     }
+
+    /// Label audit: labels only ever *decrease* (min-propagation), stay
+    /// non-negative, and never exceed the vertex's own id (every vertex
+    /// starts at its id and min-reduces downward).
+    fn audit_step(&self, _step: usize, prev: &[i32], cur: &[i32], stride: usize) -> Option<String> {
+        for i in (0..cur.len()).step_by(stride.max(1)) {
+            let (p, c) = (prev[i], cur[i]);
+            if c < 0 {
+                return Some(format!("wcc: vertex {i} label is negative ({c})"));
+            }
+            if c > p {
+                return Some(format!("wcc: vertex {i} label rose {p} -> {c}"));
+            }
+            if c > i as i32 {
+                return Some(format!("wcc: vertex {i} label {c} exceeds its own id"));
+            }
+        }
+        None
+    }
 }
 
 /// Count distinct components in a WCC labelling.

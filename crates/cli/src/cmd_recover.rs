@@ -108,21 +108,38 @@ fn list(label: &str, store: &DirStore) {
     }
 }
 
-/// Show the recovery and failover statistics of the run that produced the
-/// snapshots, when it left a `run_report.json` behind.
+/// Show the recovery, failover, and integrity statistics of the run that
+/// produced the snapshots, when it left a `run_report.json` behind.
+///
+/// A run that crashed mid-write (or a disk that rotted) can leave a torn or
+/// truncated report behind; every failure here degrades to "no report" with
+/// a warning — this path must never panic, because it runs exactly when the
+/// operator is trying to diagnose a broken run.
 fn print_run_report(dir: &str) {
     let path = format!("{dir}/run_report.json");
-    let Ok(text) = std::fs::read_to_string(&path) else {
-        return;
+    let text = match std::fs::read(&path) {
+        Err(_) => return, // no report left behind: nothing to show
+        Ok(bytes) => match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(_) => {
+                println!("warning: {path}: not valid UTF-8 (torn write?); ignoring report");
+                return;
+            }
+        },
     };
     let doc = match Json::parse(&text) {
         Ok(doc) => doc,
         Err(e) => {
-            println!("warning: {path}: {e}");
+            println!("warning: {path}: {e} (torn write?); ignoring report");
             return;
         }
     };
+    if doc.get("schema").and_then(|s| s.as_str()) != Some(phigraph_core::export::REPORT_SCHEMA) {
+        println!("warning: {path}: not a phigraph run report; ignoring");
+        return;
+    }
     let Some(combined) = doc.get("combined") else {
+        println!("warning: {path}: missing \"combined\" section; ignoring report");
         return;
     };
     let app = combined.get("app").and_then(|a| a.as_str()).unwrap_or("?");
@@ -157,6 +174,27 @@ fn print_run_report(dir: &str) {
             f.u64_or_0("supersteps_replayed"),
             f.u64_or_0("supersteps_total"),
             f.u64_or_0("degraded_single") != 0,
+        );
+    }
+    if let Some(i) = combined.get("integrity") {
+        let checks =
+            i.u64_or_0("frame_checks") + i.u64_or_0("group_checks") + i.u64_or_0("state_checks");
+        let detections = i.u64_or_0("frame_detections")
+            + i.u64_or_0("group_detections")
+            + i.u64_or_0("state_detections");
+        println!(
+            "  integrity: checks={} detections={} quarantined={} heals={} \
+             replays={} reexch={} audits={} violations={} false_pos={} scrubs={}",
+            checks,
+            detections,
+            i.u64_or_0("quarantined_groups"),
+            i.u64_or_0("group_heals"),
+            i.u64_or_0("step_replays"),
+            i.u64_or_0("frame_reexchanges"),
+            i.u64_or_0("audits_run"),
+            i.u64_or_0("audit_violations"),
+            i.u64_or_0("false_positive_audits"),
+            i.u64_or_0("scrub_passes"),
         );
     }
 }

@@ -32,6 +32,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     print_messages(combined);
     print_recovery(combined);
     print_failover(combined);
+    print_integrity(combined);
     if args.has("steps") {
         let top: usize = args.flag_parse("top", usize::MAX)?;
         print_steps(combined, top);
@@ -186,6 +187,38 @@ fn print_failover(combined: &Json) {
     println!("\nfailover:");
     for k in fields {
         let v = f.u64_or_0(k);
+        if v > 0 {
+            println!("  {:<28} {v}", k.replace('_', " "));
+        }
+    }
+}
+
+fn print_integrity(combined: &Json) {
+    let Some(i) = combined.get("integrity") else {
+        return;
+    };
+    let fields = [
+        "frame_checks",
+        "frame_detections",
+        "frame_reexchanges",
+        "group_checks",
+        "group_detections",
+        "state_checks",
+        "state_detections",
+        "audits_run",
+        "audit_violations",
+        "false_positive_audits",
+        "quarantined_groups",
+        "group_heals",
+        "step_replays",
+        "scrub_passes",
+    ];
+    if fields.iter().all(|k| i.u64_or_0(k) == 0) {
+        return;
+    }
+    println!("\nintegrity:");
+    for k in fields {
+        let v = i.u64_or_0(k);
         if v > 0 {
             println!("  {:<28} {v}", k.replace('_', " "));
         }

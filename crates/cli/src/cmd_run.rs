@@ -14,7 +14,7 @@ use phigraph_device::DeviceSpec;
 use phigraph_graph::state::PodState;
 use phigraph_graph::Csr;
 use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
-use phigraph_recover::{DirStore, FailoverConfig, FailoverPolicy, FaultKind, FaultPlan};
+use phigraph_recover::{DirStore, FailoverConfig, FailoverPolicy, FaultPlan, IntegrityMode};
 use phigraph_trace::{Trace, TraceLevel};
 use std::io::Write;
 
@@ -192,6 +192,8 @@ fn recovery_requested(args: &Args) -> bool {
         || args.has("watchdog-ms")
         || args.has("failover")
         || args.has("rebalance-after")
+        || args.has("integrity")
+        || args.has("scrub-every")
 }
 
 /// Fold the liveness flags into a failover configuration.
@@ -205,42 +207,28 @@ fn failover_config(args: &Args) -> Result<FailoverConfig, String> {
     )
 }
 
-/// Parse `--faults step:kind[:dev],step:kind[:dev],...` where `kind` is one
-/// of `worker|mover|insert|checkpoint|exchange|crash|hang|slow`.
+/// Parse `--faults step:kind[:dev],...` through the shared
+/// [`FaultPlan`] spec-string parser (see `phigraph_recover::fault` for the
+/// kind names; `phigraph run --help` lists them).
 fn parse_fault_plan(s: &str) -> Result<FaultPlan, String> {
-    let mut plan = FaultPlan::new();
-    for part in s.split(',').filter(|p| !p.is_empty()) {
-        let fields: Vec<&str> = part.split(':').collect();
-        if fields.len() < 2 || fields.len() > 3 {
-            return Err(format!(
-                "bad fault spec {part:?} (expected step:kind[:device])"
-            ));
-        }
-        let step: u64 = fields[0]
-            .parse()
-            .map_err(|_| format!("bad fault superstep {:?}", fields[0]))?;
-        let kind: FaultKind = fields[1].parse()?;
-        let dev: u8 = match fields.get(2) {
-            None => 0,
-            Some(d) => d
-                .parse()
-                .map_err(|_| format!("bad fault device {d:?} (expected 0 or 1)"))?,
-        };
-        plan = plan.with(step, kind, dev);
-    }
+    let plan: FaultPlan = s.parse()?;
     if plan.faults.is_empty() {
         return Err("--faults given but no fault specs parsed".to_string());
     }
     Ok(plan)
 }
 
-/// Fold the fault-tolerance flags into an engine configuration.
+/// Fold the fault-tolerance and integrity flags into an engine
+/// configuration.
 fn apply_recovery_flags(mut cfg: EngineConfig, args: &Args) -> Result<EngineConfig, String> {
     let defaults = cfg.recovery;
     cfg = cfg
         .with_checkpoint_every(args.flag_parse("checkpoint-every", defaults.checkpoint_every)?)
         .with_max_retries(args.flag_parse("max-retries", defaults.max_retries)?)
         .with_backoff_ms(args.flag_parse("backoff-ms", defaults.backoff_base_ms)?);
+    let integrity: IntegrityMode = args.flag_or("integrity", cfg.integrity.name()).parse()?;
+    let scrub_every = args.flag_parse("scrub-every", cfg.scrub_every)?;
+    cfg = cfg.with_integrity(integrity).with_scrub_every(scrub_every);
     if let Some(spec) = args.flag("faults") {
         cfg = cfg.with_fault_plan(parse_fault_plan(spec)?.injector());
     }

@@ -16,6 +16,7 @@
 //!              [--source N] [--iters N] [--out values.txt]
 //!              [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
 //!              [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+//!              [--integrity off|frames|full] [--scrub-every N]
 //!              [--trace-out FILE] [--trace-format chrome|json|prom]
 //!              [--trace-level off|phase|fine]
 //! phigraph report <report.json> [--steps] [--top N]
@@ -79,9 +80,11 @@ commands:
       [--source N] [--iters N] [--out values.txt]
       [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
       [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+      [--integrity off|frames|full] [--scrub-every N]
       [--trace-out FILE] [--trace-format chrome|json|prom] [--trace-level off|phase|fine]
-      (fault kinds: worker|mover|insert|checkpoint|exchange;
-       checkpoint/resume: pagerank|bfs|sssp|wcc with --engine lock|pipe;
+      (fault kinds: worker|mover|insert|checkpoint|exchange|crash|hang|slow
+                    |bitflip-msg|bitflip-state|truncate-frame;
+       checkpoint/resume/integrity: pagerank|bfs|sssp|wcc with --engine lock|pipe;
        chrome traces load in Perfetto / chrome://tracing)
   report <report.json> [--steps] [--top N]
   recover <checkpoint-dir> [--inspect STEP]

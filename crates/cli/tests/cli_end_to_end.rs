@@ -205,6 +205,138 @@ fn tune_command_reports_split_and_ratio() {
 }
 
 #[test]
+fn integrity_run_heals_injected_sdc_and_matches_clean_run() {
+    let dir = tmpdir("sdc");
+    let graph = dir.join("g.bin");
+    let graph_s = graph.to_str().unwrap();
+    let o = phigraph(&[
+        "generate", "pokec", graph_s, "--scale", "tiny", "--seed", "5",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Clean reference values (plain engine, no integrity machinery).
+    let clean_out = dir.join("clean.txt");
+    let o = phigraph(&[
+        "run",
+        "sssp",
+        graph_s,
+        "--engine",
+        "lock",
+        "--out",
+        clean_out.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    // Inject silent corruption; full integrity must heal it in place.
+    let ckpt = dir.join("ckpt");
+    let healed_out = dir.join("healed.txt");
+    let o = phigraph(&[
+        "run",
+        "sssp",
+        graph_s,
+        "--engine",
+        "lock",
+        "--integrity",
+        "full",
+        "--faults",
+        "1:bitflip-msg,3:bitflip-state",
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--out",
+        healed_out.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let summary = stdout(&o);
+    assert!(
+        summary.contains("integrity"),
+        "no integrity line: {summary}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean_out).unwrap(),
+        std::fs::read_to_string(&healed_out).unwrap(),
+        "healed run diverged from the clean run"
+    );
+
+    // `recover` shows the integrity stats from the persisted report.
+    let o = phigraph(&["recover", ckpt.to_str().unwrap()]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("integrity:"), "{}", stdout(&o));
+
+    // Bad flag values are rejected with a parse error, not a panic.
+    let o = phigraph(&["run", "sssp", graph_s, "--integrity", "paranoid"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown integrity mode"));
+    let o = phigraph(&["run", "sssp", graph_s, "--faults", "1:nosuchkind"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown fault kind") || stderr(&o).contains("bad fault"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recover_tolerates_torn_run_report() {
+    let dir = tmpdir("torn");
+    let graph = dir.join("g.bin");
+    let graph_s = graph.to_str().unwrap();
+    let o = phigraph(&[
+        "generate", "pokec", graph_s, "--scale", "tiny", "--seed", "9",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let ckpt = dir.join("ckpt");
+    let ckpt_s = ckpt.to_str().unwrap();
+    let o = phigraph(&[
+        "run",
+        "bfs",
+        graph_s,
+        "--engine",
+        "lock",
+        "--checkpoint-every",
+        "2",
+        "--checkpoint-dir",
+        ckpt_s,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    let report = ckpt.join("run_report.json");
+    assert!(report.exists(), "run left no report behind");
+
+    // Intact report: the stats are shown.
+    let o = phigraph(&["recover", ckpt_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("last run"), "{}", stdout(&o));
+
+    // Torn write (truncated mid-file): degrade to a warning, never panic.
+    let full = std::fs::read_to_string(&report).unwrap();
+    std::fs::write(&report, &full[..full.len() / 2]).unwrap();
+    let o = phigraph(&["recover", ckpt_s]);
+    assert!(o.status.success(), "torn report crashed: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("warning"), "{out}");
+    assert!(!out.contains("last run"), "{out}");
+
+    // Non-UTF-8 garbage.
+    std::fs::write(&report, [0xff, 0xfe, 0x00, 0x01, b'{', b'x']).unwrap();
+    let o = phigraph(&["recover", ckpt_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stdout(&o).contains("warning"), "{}", stdout(&o));
+
+    // Valid JSON that is not a run report (wrong schema tag).
+    std::fs::write(&report, "{\"schema\":\"something-else/9\"}").unwrap();
+    let o = phigraph(&["recover", ckpt_s]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(
+        stdout(&o).contains("not a phigraph run report"),
+        "{}",
+        stdout(&o)
+    );
+
+    // Snapshot listing still works through all of the above.
+    assert!(stdout(&o).contains("snapshot(s)"), "{}", stdout(&o));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_command_reports_clean_programs() {
     let dir = tmpdir("check");
     let graph = dir.join("g.bin");

@@ -7,6 +7,7 @@
 //! and the semi-clustering object-message path share the protocol; callers
 //! supply the wire byte count for the transfer-time model.
 
+use crate::frame::FrameHeader;
 use crate::link::PcieLink;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
@@ -118,6 +119,10 @@ struct Packet<M> {
     /// Failure signal: when set, this superstep's transfer is considered
     /// lost and both sides fail the exchange.
     poisoned: bool,
+    /// Integrity seal over `msgs`, present when the sender runs with
+    /// frame integrity enabled. Validation is the *caller's* job (the
+    /// engine knows the wire format); the endpoint only carries the seal.
+    frame: Option<FrameHeader>,
 }
 
 /// One side of the CPU↔MIC link.
@@ -239,6 +244,26 @@ impl<M: Send> Endpoint<M> {
         step_time: f64,
         deadline: Option<Duration>,
     ) -> Result<(Vec<M>, PeerInfo, ExchangeStats), ExchangeError> {
+        self.try_exchange_framed(outgoing, None, bytes_out, any_active, step_time, deadline)
+            .map(|(msgs, _frame, peer, stats)| (msgs, peer, stats))
+    }
+
+    /// Like [`Endpoint::try_exchange_deadline`] but carrying an integrity
+    /// seal ([`FrameHeader`]) alongside the payload. The endpoint is a dumb
+    /// pipe for the seal: sealing before send and validating after receive
+    /// are the caller's job (the engine knows the wire format and owns the
+    /// re-exchange policy on mismatch). Callers running with integrity off
+    /// pass `None` and receive whatever the peer attached (also `None` for
+    /// a peer with integrity off).
+    pub fn try_exchange_framed(
+        &self,
+        outgoing: Vec<M>,
+        frame: Option<FrameHeader>,
+        bytes_out: u64,
+        any_active: bool,
+        step_time: f64,
+        deadline: Option<Duration>,
+    ) -> Result<(Vec<M>, Option<FrameHeader>, PeerInfo, ExchangeStats), ExchangeError> {
         let poisoned = self.drop_next.swap(false, Ordering::AcqRel);
         let msgs_sent = outgoing.len() as u64;
         if self
@@ -249,6 +274,7 @@ impl<M: Send> Endpoint<M> {
                 any_active,
                 step_time,
                 poisoned,
+                frame,
             })
             .is_err()
         {
@@ -280,6 +306,7 @@ impl<M: Send> Endpoint<M> {
         };
         Ok((
             pkt.msgs,
+            pkt.frame,
             PeerInfo {
                 any_active: pkt.any_active,
                 step_time: pkt.step_time,

@@ -16,6 +16,7 @@
 
 pub mod combiner;
 pub mod exchange;
+pub mod frame;
 pub mod link;
 pub mod message;
 
@@ -24,5 +25,6 @@ pub use exchange::{
     duplex_pair, Endpoint, ExchangeDropped, ExchangeError, ExchangeStats, ExchangeTimeout,
     PeerInfo, DEFAULT_EXCHANGE_DEADLINE,
 };
+pub use frame::{FrameError, FrameHeader};
 pub use link::PcieLink;
 pub use message::WireMsg;

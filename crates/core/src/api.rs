@@ -140,6 +140,25 @@ pub trait VertexProgram: Send + Sync + 'static {
     fn capacity_hint(&self, _v: VertexId, _g: &Csr) -> Option<u32> {
         None
     }
+
+    /// Superstep invariant auditor for the integrity subsystem: inspect
+    /// the barrier transition `prev → cur` (vertex values before and after
+    /// one superstep's updates) over every `stride`-th vertex and return a
+    /// violation description if the application's algebraic invariant is
+    /// broken (distance monotonicity, mass conservation, label
+    /// non-increase, …). `None` (the default) means "no invariant to
+    /// check" — plain programs pay nothing. Auditors must tolerate the
+    /// program's own update rule exactly: a false positive costs a
+    /// full-step replay, not correctness, but keep tolerances honest.
+    fn audit_step(
+        &self,
+        _step: usize,
+        _prev: &[Self::Value],
+        _cur: &[Self::Value],
+        _stride: usize,
+    ) -> Option<String> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -22,5 +22,5 @@ pub mod buffer;
 pub mod layout;
 pub mod process;
 
-pub use buffer::{ColumnMode, Csb};
+pub use buffer::{ColumnMode, Csb, CsbInsertError};
 pub use layout::{CsbLayout, GroupInfo, NOT_OWNED};

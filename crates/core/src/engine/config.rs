@@ -3,7 +3,7 @@
 use crate::csb::ColumnMode;
 use phigraph_device::cost::GenMode;
 use phigraph_device::DeviceSpec;
-use phigraph_recover::{FaultInjector, RecoveryPolicy};
+use phigraph_recover::{FaultInjector, IntegrityMode, RecoveryPolicy};
 use phigraph_trace::{ThreadTracer, Trace};
 
 /// How a device executes a superstep.
@@ -82,6 +82,15 @@ pub struct EngineConfig {
     /// site entirely; a [`Trace`] at [`phigraph_trace::TraceLevel::Off`]
     /// costs one relaxed atomic load per site.
     pub trace: Option<Trace>,
+    /// Silent-data-corruption defenses: `Off` (default, bit-identical to
+    /// pre-integrity builds), `Frames` (exchange checksums only), or
+    /// `Full` (frames + group checksums + state digests + app audits +
+    /// quarantine healing). See `engine::integrity`.
+    pub integrity: IntegrityMode,
+    /// Run a background scrub pass (state-digest audit against the barrier
+    /// image) every `n` supersteps even when `integrity` is below `Full`
+    /// (0 disables scrubbing).
+    pub scrub_every: usize,
 }
 
 impl EngineConfig {
@@ -102,6 +111,8 @@ impl EngineConfig {
             recovery: RecoveryPolicy::default(),
             fault_plan: None,
             trace: None,
+            integrity: IntegrityMode::Off,
+            scrub_every: 0,
         }
     }
 
@@ -205,6 +216,18 @@ impl EngineConfig {
     /// Install a structured tracing sink (see [`phigraph_trace`]).
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Set the silent-data-corruption defense level.
+    pub fn with_integrity(mut self, mode: IntegrityMode) -> Self {
+        self.integrity = mode;
+        self
+    }
+
+    /// Scrub (state-digest audit) every `n` supersteps (0 disables).
+    pub fn with_scrub_every(mut self, n: usize) -> Self {
+        self.scrub_every = n;
         self
     }
 

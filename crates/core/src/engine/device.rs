@@ -339,6 +339,144 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
         self.active.restore_flags(flags);
     }
 
+    // ---- Integrity / quarantine hooks ----------------------------------
+    //
+    // The silent-corruption subsystem (engine::integrity + the recovering
+    // driver) needs a handful of narrow windows into the engine: arming the
+    // CSB's per-group message checksums, auditing/quarantining/rebuilding
+    // individual vertex groups, and the two seeded SDC injection sites.
+
+    /// Arm or disarm the CSB's per-group message checksums. Disarmed, every
+    /// checksum branch collapses to one relaxed atomic load per insert (or
+    /// per batch), so the off path stays bit-identical and near-free.
+    pub fn set_integrity_audit(&self, enabled: bool) {
+        self.csb.set_audit(enabled);
+    }
+
+    /// Audit every vertex group's folded message checksum against the
+    /// buffer contents; returns the mismatched groups (the quarantine set).
+    /// Call between the insertion barrier and processing.
+    pub fn audit_message_groups(&self) -> Vec<usize> {
+        self.csb.audit_groups()
+    }
+
+    /// Clear only the quarantined groups' messages (cursors, bindings and
+    /// checksums), leaving every other group's messages intact.
+    pub fn reset_message_groups(&self, groups: &[usize]) {
+        self.csb.reset_groups(groups);
+    }
+
+    /// SDC injection site: flip one bit of one buffered message (the
+    /// `BitFlipMessage` fault). Returns the corrupted group, or `None` when
+    /// the buffer is empty. Deterministic per seed.
+    pub fn corrupt_message_cell(&self, seed: u64) -> Option<usize> {
+        self.csb.corrupt_cell(seed)
+    }
+
+    /// SDC injection site: flip one bit of one owned vertex's value (the
+    /// `BitFlipState` fault — state rots silently between barriers).
+    /// Returns the corrupted vertex. Deterministic per seed.
+    pub fn flip_state_bit(&mut self, seed: u64) -> Option<VertexId>
+    where
+        P::Value: phigraph_graph::state::PodState,
+    {
+        use phigraph_graph::state::PodState;
+        if self.owned.is_empty() || P::Value::STATE_SIZE == 0 {
+            return None;
+        }
+        let mut rng = phigraph_graph::SplitMix64::seed_from_u64(seed);
+        let v = self.owned[rng.random_range(0u64..self.owned.len() as u64) as usize];
+        let bit = rng.random_range(0u64..(P::Value::STATE_SIZE as u64 * 8)) as usize;
+        let mut bytes = Vec::with_capacity(P::Value::STATE_SIZE);
+        self.values[v as usize].write_le(&mut bytes);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        self.values[v as usize] = P::Value::read_le(&bytes);
+        Some(v)
+    }
+
+    /// Quarantine heal for *state*: copy the barrier image's values back
+    /// for every vertex whose CSB position falls in `groups`, and restore
+    /// the image's active flags wholesale (flags are part of the same
+    /// barrier snapshot). Group-granular so only rotted groups are touched.
+    pub fn heal_state_groups(
+        &mut self,
+        groups: &[usize],
+        image_values: &[P::Value],
+        image_flags: &[u8],
+    ) {
+        let mut in_set = vec![false; self.csb.layout.num_groups()];
+        for &g in groups {
+            if let Some(s) = in_set.get_mut(g) {
+                *s = true;
+            }
+        }
+        for pos in 0..self.csb.layout.num_positions() {
+            if in_set[self.csb.layout.group_of(pos as u32)] {
+                let v = self.csb.layout.order[pos] as usize;
+                self.values[v] = image_values[v].clone();
+            }
+        }
+        self.active.restore_flags(image_flags);
+    }
+
+    /// Quarantine recompute for *messages*: re-run generation,
+    /// single-threaded, over the vertices that were active at the barrier
+    /// image, keeping only messages whose destination group is quarantined.
+    /// Call after [`DeviceEngine::reset_message_groups`] — together they
+    /// rebuild exactly the cleared groups without touching the rest of the
+    /// buffer or re-running the parallel phase. Returns the number of
+    /// messages re-inserted.
+    ///
+    /// Peer-bound messages are skipped: they already left through the
+    /// (frame-checksummed) exchange and are not part of the local buffer.
+    pub fn regenerate_groups(
+        &self,
+        groups: &[usize],
+        image_values: &[P::Value],
+        image_flags: &[u8],
+    ) -> u64 {
+        struct QuarantineSink<'a, T: MsgValue> {
+            csb: &'a Csb<T>,
+            in_set: &'a [bool],
+            assign: Option<&'a [u8]>,
+            dev: u8,
+            reinserted: u64,
+        }
+        impl<'a, T: MsgValue> MsgSink<T> for QuarantineSink<'a, T> {
+            #[inline]
+            fn send(&mut self, dst: VertexId, msg: T) {
+                if self.assign.is_some_and(|a| a[dst as usize] != self.dev) {
+                    return; // peer-bound: covered by frame integrity
+                }
+                let pos = self.csb.layout.position[dst as usize];
+                if pos != crate::csb::NOT_OWNED && self.in_set[self.csb.layout.group_of(pos)] {
+                    self.csb.insert(dst, msg);
+                    self.reinserted += 1;
+                }
+            }
+        }
+        let mut in_set = vec![false; self.csb.layout.num_groups()];
+        for &g in groups {
+            if let Some(s) = in_set.get_mut(g) {
+                *s = true;
+            }
+        }
+        let mut sink = QuarantineSink {
+            csb: &self.csb,
+            in_set: &in_set,
+            assign: self.assign,
+            dev: self.dev_id,
+            reinserted: 0,
+        };
+        let mut ctx = GenContext::new(self.graph, image_values, &mut sink);
+        for &v in &self.owned {
+            if image_flags[v as usize] != 0 {
+                self.program.generate(v, &mut ctx);
+            }
+        }
+        sink.reinserted
+    }
+
     /// Reset per-iteration buffer state; returns fresh counters.
     pub fn begin_step(&mut self) -> StepCounters {
         let c = StepCounters {

@@ -39,6 +39,7 @@ use crate::api::VertexProgram;
 use crate::engine::config::EngineConfig;
 use crate::engine::device::DeviceEngine;
 use crate::engine::flat::run_cap;
+use crate::engine::integrity::framed_exchange;
 use crate::engine::seq::run_seq_resume;
 use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
 use phigraph_comm::message::wire_bytes;
@@ -49,7 +50,7 @@ use phigraph_graph::Csr;
 use phigraph_partition::{partition, DevicePartition};
 use phigraph_recover::{
     CheckpointStore, FailoverConfig, FailoverPolicy, FailoverStats, FaultInjector, FaultKind,
-    RecoveryPolicy, RecoveryStats, Snapshot,
+    IntegrityStats, RecoveryPolicy, RecoveryStats, Snapshot,
 };
 use phigraph_simd::MsgValue;
 use phigraph_trace::{HistKind, Phase, ThreadTracer, Trace};
@@ -115,6 +116,8 @@ struct LoopOut<P: VertexProgram> {
     slowed: bool,
     /// Sum of the advertised (straggler-model) step times this attempt.
     sim_adv_total: f64,
+    /// Frame-integrity counters from this device's exchanges.
+    integ: IntegrityStats,
 }
 
 type ResumePair<V> = Option<(Vec<V>, Vec<u8>)>;
@@ -292,6 +295,7 @@ where
     let mut base_ratio: Option<f64> = None;
     let mut consec_slow = 0u32;
     let mut sim_adv_total = 0.0f64;
+    let mut integ = IntegrityStats::default();
     let mut exit = LoopExit::Done;
 
     let mut step = start_step;
@@ -340,7 +344,19 @@ where
         let my_any = c.msgs_total() > 0;
         let x0 = Instant::now();
         let xspan = tracer.span(Phase::Exchange, step as u32);
-        let res = ep.try_exchange_deadline(combined, bytes_out, my_any, prev_adv, Some(deadline));
+        let res = framed_exchange(
+            &ep,
+            combined,
+            bytes_out,
+            my_any,
+            prev_adv,
+            Some(deadline),
+            step as u64,
+            dev,
+            config.integrity,
+            config.fault_plan.as_ref(),
+            &mut integ,
+        );
         drop(xspan);
         config.record_hist(HistKind::ExchangeRttUs, x0.elapsed().as_micros() as u64);
         hb.tick();
@@ -465,6 +481,7 @@ where
         exit,
         slowed,
         sim_adv_total,
+        integ,
     }
 }
 
@@ -682,6 +699,7 @@ where
 
     let mut fstats = FailoverStats::default();
     let mut rstats = RecoveryStats::default();
+    let mut istats = IntegrityStats::default();
     let mut part = partition_in.clone();
     let mut dev_steps: [Vec<StepReport>; 2] = [Vec::new(), Vec::new()];
     let mut start_step = 0usize;
@@ -707,6 +725,7 @@ where
                   values: Vec<P::Value>,
                   mut rstats: RecoveryStats,
                   mut fstats: FailoverStats,
+                  istats: IntegrityStats,
                   last_resume: Option<usize>,
                   wall: f64|
      -> RunOutput<P::Value> {
@@ -746,6 +765,7 @@ where
         let mut report = combine_hetero(P::NAME, &report0, &report1);
         report.recovery = rstats;
         report.failover = fstats;
+        report.integrity = istats;
         RunOutput {
             values,
             report,
@@ -771,6 +791,7 @@ where
             }
             out.report.recovery = rstats;
             out.report.failover = fstats;
+            out.report.integrity.accumulate(&istats);
             return out;
         }};
     }
@@ -873,6 +894,8 @@ where
             },
         ];
         slowed = [out0.slowed, out1.slowed];
+        istats.accumulate(&out0.integ);
+        istats.accumulate(&out1.integ);
         dev_steps[0].retain(|s| s.step < start_step);
         dev_steps[0].extend(out0.steps);
         dev_steps[1].retain(|s| s.step < start_step);
@@ -953,6 +976,7 @@ where
                         values,
                         rstats,
                         fstats,
+                        istats,
                         last_resume,
                         wall_start.elapsed().as_secs_f64(),
                     );
@@ -1001,6 +1025,7 @@ where
                     values,
                     rstats,
                     fstats,
+                    istats,
                     last_resume,
                     wall_start.elapsed().as_secs_f64(),
                 );

@@ -11,6 +11,7 @@ use crate::api::VertexProgram;
 use crate::engine::config::EngineConfig;
 use crate::engine::device::DeviceEngine;
 use crate::engine::flat::run_cap;
+use crate::engine::integrity::framed_exchange;
 use crate::engine::seq::run_seq;
 use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
 use phigraph_comm::message::wire_bytes;
@@ -18,7 +19,7 @@ use phigraph_comm::{combine_messages, duplex_pair, Endpoint, PcieLink, WireMsg};
 use phigraph_device::{CostModel, DeviceSpec, StepCounters};
 use phigraph_graph::Csr;
 use phigraph_partition::DevicePartition;
-use phigraph_recover::{FaultKind, RecoveryStats};
+use phigraph_recover::{FaultKind, IntegrityStats, RecoveryStats};
 use phigraph_simd::MsgValue;
 use phigraph_trace::{HistKind, Phase};
 use std::time::Instant;
@@ -191,6 +192,7 @@ fn device_loop<P: VertexProgram>(
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
     let mut failed: Option<usize> = None;
+    let mut integ_stats = IntegrityStats::default();
 
     for step in 0.. {
         if step >= cap {
@@ -225,8 +227,25 @@ fn device_loop<P: VertexProgram>(
         let my_any = c.msgs_total() > 0;
         let x0 = Instant::now();
         let xspan = tracer.span(Phase::Exchange, step as u32);
-        let (incoming, peer_any, xstats) = match ep.try_exchange(combined, bytes_out, my_any) {
-            Ok(r) => r,
+        // Frame integrity (when configured): seal, verify, and heal corrupt
+        // frames with a bounded verdict-synced re-exchange. With integrity
+        // off this is the plain lock-step exchange (and any injected wire
+        // corruption passes through silently).
+        let exchanged = framed_exchange(
+            &ep,
+            combined,
+            bytes_out,
+            my_any,
+            0.0,
+            None,
+            step as u64,
+            dev,
+            config.integrity,
+            config.fault_plan.as_ref(),
+            &mut integ_stats,
+        );
+        let (incoming, peer_any, xstats) = match exchanged {
+            Ok((msgs, peer, x)) => (msgs, peer.any_active, x),
             Err(_dropped) => {
                 failed = Some(step);
                 break;
@@ -274,6 +293,7 @@ fn device_loop<P: VertexProgram>(
         mode: "cpu-mic".to_string(),
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
+        integrity: integ_stats,
         ..Default::default()
     };
     (engine.values, report, failed)

@@ -6,6 +6,7 @@ pub mod device;
 pub mod failover;
 pub mod flat;
 pub mod hetero;
+pub mod integrity;
 pub mod obj;
 pub mod recover;
 pub mod seq;
@@ -15,6 +16,7 @@ pub use device::DeviceEngine;
 pub use failover::run_hetero_failover;
 pub use flat::run_flat;
 pub use hetero::{run_hetero, run_hetero_recovering};
+pub use integrity::{framed_exchange, BarrierImage, IntegrityCtx};
 pub use recover::run_recoverable;
 pub use seq::{run_seq, run_seq_resume};
 

@@ -22,6 +22,7 @@ use crate::api::VertexProgram;
 use crate::engine::config::{EngineConfig, ExecMode};
 use crate::engine::device::DeviceEngine;
 use crate::engine::flat::run_cap;
+use crate::engine::integrity::{BarrierImage, IntegrityCtx};
 use crate::engine::seq::run_seq_resume;
 use crate::metrics::{RunOutput, RunReport, StepReport};
 use phigraph_device::{CostModel, DeviceSpec, StepCounters};
@@ -80,16 +81,60 @@ where
 }
 
 /// Execute one superstep's phases with the defined injection sites. A
-/// returned `Err` is a detected fail-stop: the step's partial work must be
-/// discarded and the engine considered dirty.
+/// returned `Err` is a detected fail-stop (or an SDC that rung-1 healing
+/// could not contain): the step's partial work must be discarded and the
+/// engine considered dirty.
+///
+/// The silent-corruption sites (`BitFlipState`, `BitFlipMessage`) fire
+/// whether or not integrity checking is on — with it off the damage
+/// propagates undetected, which is exactly the failure mode the detection
+/// lattice exists to close. With `integrity full` the state digest audit
+/// heals rotted barrier state group-granularly, and the message checksum
+/// audit quarantines and *regenerates* just the corrupted vertex groups
+/// (rung 1) instead of rolling the run back.
+#[allow(clippy::too_many_arguments)]
 fn execute_step<P: VertexProgram>(
     engine: &mut DeviceEngine<'_, P>,
     c: &mut StepCounters,
     injector: Option<&FaultInjector>,
     step: u64,
     tracer: &ThreadTracer,
-) -> Result<(), FaultKind> {
+    integ: &mut IntegrityCtx,
+    image: Option<&BarrierImage<P::Value>>,
+    stats: &mut RecoveryStats,
+) -> Result<(), FaultKind>
+where
+    P::Value: PodState,
+{
     let fires = |k: FaultKind| injector.is_some_and(|i| i.fire(step, k, 0));
+    // SDC site A: a bit of barrier state rots silently between barriers.
+    if fires(FaultKind::BitFlipState) && engine.flip_state_bit(step ^ 0x5DC1_57A7).is_some() {
+        stats.faults_injected += 1;
+        c.faults_injected += 1;
+    }
+    // State digest audit (every step in full mode, scrub boundaries
+    // otherwise). Rung 1: heal rotted groups straight from the image.
+    if let Some(img) = image {
+        if integ.audits_state(step as usize) {
+            integ.stats.state_checks += 1;
+            if integ.is_scrub_step(step as usize) {
+                integ.stats.scrub_passes += 1;
+            }
+            let bad = img.audit_state(engine);
+            if !bad.is_empty() {
+                integ.stats.state_detections += bad.len() as u64;
+                integ.stats.quarantined_groups += bad.len() as u64;
+                engine.heal_state_groups(&bad, &img.values, &img.flags);
+                if img.audit_state(engine).is_empty() {
+                    integ.stats.group_heals += bad.len() as u64;
+                } else {
+                    // The image itself cannot reproduce its own digest:
+                    // escalate to rollback.
+                    return Err(FaultKind::BitFlipState);
+                }
+            }
+        }
+    }
     // Site 1: a worker thread dies during generation (detected at join).
     if fires(FaultKind::KillWorker) {
         return Err(FaultKind::KillWorker);
@@ -102,6 +147,12 @@ fn execute_step<P: VertexProgram>(
         remote.is_empty(),
         "single-device recoverable run produced remote messages"
     );
+    // SDC site B: a buffered message bit flips inside the CSB.
+    if fires(FaultKind::BitFlipMessage) && engine.corrupt_message_cell(step ^ 0x0B17_F117).is_some()
+    {
+        stats.faults_injected += 1;
+        c.faults_injected += 1;
+    }
     // Site 2: a mover dies while draining its SPSC queues.
     if fires(FaultKind::KillMover) {
         return Err(FaultKind::KillMover);
@@ -110,6 +161,28 @@ fn execute_step<P: VertexProgram>(
     // Site 3: a poisoned CSB insert surfaces at stat finalization.
     if fires(FaultKind::PoisonInsert) {
         return Err(FaultKind::PoisonInsert);
+    }
+    // Group checksum audit between the insert barrier and processing.
+    // Rung 1: quarantine mismatched groups and regenerate only them.
+    if integ.audits_messages() {
+        if let Some(img) = image {
+            integ.stats.group_checks += 1;
+            let bad = engine.audit_message_groups();
+            if !bad.is_empty() {
+                integ.stats.group_detections += bad.len() as u64;
+                integ.stats.quarantined_groups += bad.len() as u64;
+                engine.reset_message_groups(&bad);
+                engine.regenerate_groups(&bad, &img.values, &img.flags);
+                engine.finalize_insertion_stats(c);
+                if engine.audit_message_groups().is_empty() {
+                    integ.stats.group_heals += bad.len() as u64;
+                } else {
+                    // Regeneration could not reproduce the checksums:
+                    // escalate to rollback.
+                    return Err(FaultKind::BitFlipMessage);
+                }
+            }
+        }
     }
     {
         let _p = tracer.span(Phase::Process, step as u32);
@@ -210,6 +283,7 @@ where
     let policy = config.recovery;
     let injector = config.fault_plan.clone();
     let mut stats = RecoveryStats::default();
+    let mut integ = IntegrityCtx::new(config);
 
     let mut resume_state: Option<ResumePoint<P::Value>> = if resume {
         load_resume::<P>(store, n, &mut stats)
@@ -235,12 +309,80 @@ where
         // Drop step reports past the rollback point (replayed steps get
         // fresh reports).
         steps.retain(|s| s.step < start_step);
+        // Arm the CSB checksums and take the first barrier image.
+        if integ.audits_messages() {
+            engine.set_integrity_audit(true);
+        }
+        let mut image: Option<BarrierImage<P::Value>> = if integ.needs_image() {
+            Some(BarrierImage::capture(&engine))
+        } else {
+            None
+        };
 
         for step in start_step..cap {
             let t0 = Instant::now();
             let _step_span = tracer.span(Phase::Superstep, step as u32);
             let mut c = engine.begin_step();
-            if execute_step(&mut engine, &mut c, injector.as_ref(), step as u64, &tracer).is_err() {
+            let mut step_err = execute_step(
+                &mut engine,
+                &mut c,
+                injector.as_ref(),
+                step as u64,
+                &tracer,
+                &mut integ,
+                image.as_ref(),
+                &mut stats,
+            )
+            .err();
+            // App invariant audit (the semantic safety net). A violation is
+            // rung 2: restore the barrier image and replay the whole step
+            // once. A bit-identical replay means the invariant fired on
+            // clean data (false positive) and the result is accepted; a
+            // persistent violation after a differing replay escalates to
+            // rollback.
+            if step_err.is_none() {
+                if let Some(img) = &image {
+                    if integ.audits_app(step) {
+                        integ.stats.audits_run += 1;
+                        let stride = integ.app_stride(step);
+                        if program
+                            .audit_step(step, &img.values, &engine.values, stride)
+                            .is_some()
+                        {
+                            integ.stats.audit_violations += 1;
+                            integ.stats.step_replays += 1;
+                            let suspect = encode_state_slice(&engine.values);
+                            engine.restore(img.values.clone(), &img.flags);
+                            c = engine.begin_step();
+                            step_err = execute_step(
+                                &mut engine,
+                                &mut c,
+                                injector.as_ref(),
+                                step as u64,
+                                &tracer,
+                                &mut integ,
+                                image.as_ref(),
+                                &mut stats,
+                            )
+                            .err();
+                            if step_err.is_none() {
+                                let replayed = encode_state_slice(&engine.values);
+                                if replayed == suspect {
+                                    // The recompute confirms the state: the
+                                    // alarm was spurious.
+                                    integ.stats.false_positive_audits += 1;
+                                } else if program
+                                    .audit_step(step, &img.values, &engine.values, stride)
+                                    .is_some()
+                                {
+                                    step_err = Some(FaultKind::BitFlipState);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if step_err.is_some() {
                 stats.faults_injected += 1;
                 stats.rollbacks += 1;
                 if retry >= policy.max_retries {
@@ -299,6 +441,10 @@ where
                 wall: t0.elapsed().as_secs_f64(),
                 counters: c,
             });
+            // The barrier after update is the next step's reference state.
+            if let Some(img) = image.as_mut() {
+                *img = BarrierImage::capture(&engine);
+            }
             if msgs == 0 {
                 break;
             }
@@ -313,6 +459,7 @@ where
         steps,
         wall: wall_start.elapsed().as_secs_f64(),
         recovery: stats,
+        integrity: integ.stats,
         ..Default::default()
     };
     RunOutput {

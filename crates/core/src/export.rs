@@ -96,6 +96,7 @@ fn report_obj(r: &RunReport) -> String {
         .collect();
     let rec = &r.recovery;
     let f = &r.failover;
+    let i = &r.integrity;
     format!(
         concat!(
             "{{\"app\":{},\"device\":{},\"mode\":{},\"wall\":{},",
@@ -108,6 +109,13 @@ fn report_obj(r: &RunReport) -> String {
             "\"exchange_timeouts\":{},\"watchdog_latency_ms\":{},",
             "\"resume_step\":{},\"supersteps_replayed\":{},",
             "\"supersteps_total\":{},\"degraded_single\":{}}},",
+            "\"integrity\":{{\"frame_checks\":{},\"frame_detections\":{},",
+            "\"frame_reexchanges\":{},\"group_checks\":{},",
+            "\"group_detections\":{},\"state_checks\":{},",
+            "\"state_detections\":{},\"audits_run\":{},",
+            "\"audit_violations\":{},\"false_positive_audits\":{},",
+            "\"quarantined_groups\":{},\"group_heals\":{},",
+            "\"step_replays\":{},\"scrub_passes\":{}}},",
             "\"steps\":[{}]}}"
         ),
         quote(&r.app),
@@ -135,6 +143,20 @@ fn report_obj(r: &RunReport) -> String {
         f.supersteps_replayed,
         f.supersteps_total,
         f.degraded_single,
+        i.frame_checks,
+        i.frame_detections,
+        i.frame_reexchanges,
+        i.group_checks,
+        i.group_detections,
+        i.state_checks,
+        i.state_detections,
+        i.audits_run,
+        i.audit_violations,
+        i.false_positive_audits,
+        i.quarantined_groups,
+        i.group_heals,
+        i.step_replays,
+        i.scrub_passes,
         steps.join(","),
     )
 }
@@ -425,6 +447,63 @@ pub fn prometheus_text(report: &RunReport, snap: Option<&TraceSnapshot>) -> Stri
         prom_metric(&mut out, &format!("phigraph_{name}"), help, &labels, value);
     }
 
+    let i = &report.integrity;
+    let integ_rows: [(&str, &str, u64); 10] = [
+        (
+            "integrity_frame_checks",
+            "Exchange frames validated against their header checksum.",
+            i.frame_checks,
+        ),
+        (
+            "integrity_frame_detections",
+            "Frames that failed validation (truncation or bit rot).",
+            i.frame_detections,
+        ),
+        (
+            "integrity_frame_reexchanges",
+            "In-place re-exchanges that healed a corrupt frame.",
+            i.frame_reexchanges,
+        ),
+        (
+            "integrity_detections",
+            "Corruptions detected on any rung of the lattice.",
+            i.detections(),
+        ),
+        (
+            "integrity_quarantined_groups",
+            "Vertex groups quarantined for targeted recompute.",
+            i.quarantined_groups,
+        ),
+        (
+            "integrity_group_heals",
+            "Groups healed by targeted regeneration (rung 1).",
+            i.group_heals,
+        ),
+        (
+            "integrity_step_replays",
+            "Full single-step replays (rung 2).",
+            i.step_replays,
+        ),
+        (
+            "integrity_audit_violations",
+            "App invariant violations the auditors flagged.",
+            i.audit_violations,
+        ),
+        (
+            "integrity_false_positive_audits",
+            "Audit alarms a replay reproduced bit-identically.",
+            i.false_positive_audits,
+        ),
+        (
+            "integrity_scrub_passes",
+            "Background scrub passes completed.",
+            i.scrub_passes,
+        ),
+    ];
+    for (name, help, value) in integ_rows {
+        prom_metric(&mut out, &format!("phigraph_{name}"), help, &labels, value);
+    }
+
     if let Some(snap) = snap {
         for h in &snap.hists {
             prom_hist(&mut out, h, &labels);
@@ -465,6 +544,9 @@ mod tests {
         };
         r.recovery.rollbacks = 1;
         r.failover.migrations = 1;
+        r.integrity.frame_checks = 3;
+        r.integrity.frame_detections = 1;
+        r.integrity.group_heals = 2;
         r
     }
 
@@ -487,6 +569,10 @@ mod tests {
         assert_eq!(movers.len(), 2);
         assert_eq!(combined.get("recovery").unwrap().u64_or_0("rollbacks"), 1);
         assert_eq!(combined.get("failover").unwrap().u64_or_0("migrations"), 1);
+        let integ = combined.get("integrity").unwrap();
+        assert_eq!(integ.u64_or_0("frame_checks"), 3);
+        assert_eq!(integ.u64_or_0("frame_detections"), 1);
+        assert_eq!(integ.u64_or_0("group_heals"), 2);
         assert_eq!(doc.get("devices").unwrap().as_arr().unwrap().len(), 1);
     }
 
@@ -502,6 +588,8 @@ mod tests {
         assert!(text.contains("phigraph_msgs_local_total"));
         assert!(text.contains("phigraph_recovery_rollbacks"));
         assert!(text.contains("phigraph_failover_migrations"));
+        assert!(text.contains("phigraph_integrity_frame_checks"));
+        assert!(text.contains("phigraph_integrity_detections"));
         assert!(text.contains("phigraph_flush_batch_msgs_bucket"));
         assert!(text.contains("le=\"+Inf\"} 2\n"));
         assert!(text.contains("phigraph_flush_batch_msgs_sum"));

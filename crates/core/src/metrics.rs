@@ -6,7 +6,7 @@
 
 use phigraph_device::cost::PhaseTimes;
 use phigraph_device::StepCounters;
-use phigraph_recover::{FailoverStats, RecoveryStats};
+use phigraph_recover::{FailoverStats, IntegrityStats, RecoveryStats};
 
 /// Measurements for one superstep on one device.
 #[derive(Clone, Debug, Default)]
@@ -61,6 +61,9 @@ pub struct RunReport {
     /// Liveness/failover events observed during the run (all-zero outside
     /// the hetero failover driver).
     pub failover: FailoverStats,
+    /// Silent-data-corruption detection/healing events observed during the
+    /// run (all-zero when integrity mode is off).
+    pub integrity: IntegrityStats,
 }
 
 impl RunReport {
@@ -187,6 +190,9 @@ impl RunReport {
         if self.failover.any() {
             line.push_str(&format!(" [failover {}]", self.failover.summary()));
         }
+        if self.integrity.any() {
+            line.push_str(&format!(" [integrity {}]", self.integrity.summary()));
+        }
         line
     }
 }
@@ -232,6 +238,8 @@ pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunRepor
     recovery.accumulate(&dev1.recovery);
     let mut failover = dev0.failover;
     failover.accumulate(&dev1.failover);
+    let mut integrity = dev0.integrity;
+    integrity.accumulate(&dev1.integrity);
     RunReport {
         app: app.to_string(),
         device: "CPU-MIC".to_string(),
@@ -240,6 +248,7 @@ pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunRepor
         wall: dev0.wall.max(dev1.wall),
         recovery,
         failover,
+        integrity,
     }
 }
 

@@ -41,11 +41,22 @@ pub enum FaultKind {
     /// progress but its per-step time inflates, which should trigger ratio
     /// re-balancing rather than migration.
     SlowDevice,
+    /// Silent data corruption: a single bit flips in an in-flight message
+    /// (a CSB cell after the drain, modelling a flipped queue slot or
+    /// column write). Nothing crashes — only an integrity audit can see it.
+    BitFlipMessage,
+    /// Silent data corruption: a single bit flips in the per-vertex state
+    /// at a superstep boundary (a rotted barrier value). Nothing crashes.
+    BitFlipState,
+    /// Silent data corruption on the link: an exchange frame arrives
+    /// truncated (payload shorter than its header claims). Only frame
+    /// length/checksum validation can see it.
+    TruncateFrame,
 }
 
 impl FaultKind {
     /// All kinds, for seeded sampling.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 11] = [
         FaultKind::KillWorker,
         FaultKind::KillMover,
         FaultKind::PoisonInsert,
@@ -54,6 +65,17 @@ impl FaultKind {
         FaultKind::CrashDevice,
         FaultKind::HangDevice,
         FaultKind::SlowDevice,
+        FaultKind::BitFlipMessage,
+        FaultKind::BitFlipState,
+        FaultKind::TruncateFrame,
+    ];
+
+    /// The silent-data-corruption subset (nothing fail-stops; only the
+    /// integrity subsystem can observe these).
+    pub const SDC: [FaultKind; 3] = [
+        FaultKind::BitFlipMessage,
+        FaultKind::BitFlipState,
+        FaultKind::TruncateFrame,
     ];
 
     /// Short stable name (CLI flag values, report lines).
@@ -67,7 +89,16 @@ impl FaultKind {
             FaultKind::CrashDevice => "crash",
             FaultKind::HangDevice => "hang",
             FaultKind::SlowDevice => "slow",
+            FaultKind::BitFlipMessage => "bitflip-msg",
+            FaultKind::BitFlipState => "bitflip-state",
+            FaultKind::TruncateFrame => "truncate-frame",
         }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -79,9 +110,10 @@ impl std::str::FromStr for FaultKind {
             .copied()
             .find(|k| k.name() == s)
             .ok_or_else(|| {
+                let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
                 format!(
-                    "unknown fault kind {s:?} (expected one of \
-                     worker|mover|insert|checkpoint|exchange|crash|hang|slow)"
+                    "unknown fault kind {s:?} (expected one of {})",
+                    names.join("|")
                 )
             })
     }
@@ -99,11 +131,85 @@ pub struct FaultSpec {
     pub device: u8,
 }
 
+impl std::fmt::Display for FaultSpec {
+    /// The canonical spec-string form `step:kind:device` (device elided
+    /// when 0, matching the CLI shorthand).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.device == 0 {
+            write!(f, "{}:{}", self.superstep, self.kind)
+        } else {
+            write!(f, "{}:{}:{}", self.superstep, self.kind, self.device)
+        }
+    }
+}
+
+impl std::str::FromStr for FaultSpec {
+    type Err = String;
+
+    /// Parse `step:kind` or `step:kind:device`. Never panics: every
+    /// malformed field becomes a descriptive error.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 2 && parts.len() != 3 {
+            return Err(format!(
+                "bad fault spec {s:?} (expected step:kind or step:kind:device)"
+            ));
+        }
+        let superstep: u64 = parts[0]
+            .parse()
+            .map_err(|_| format!("bad superstep {:?} in fault spec {s:?}", parts[0]))?;
+        let kind: FaultKind = parts[1].parse()?;
+        let device: u8 = if parts.len() == 3 {
+            parts[2]
+                .parse()
+                .map_err(|_| format!("bad device {:?} in fault spec {s:?}", parts[2]))?
+        } else {
+            0
+        };
+        Ok(FaultSpec {
+            superstep,
+            kind,
+            device,
+        })
+    }
+}
+
 /// A deterministic list of planned failures.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// The planned faults.
     pub faults: Vec<FaultSpec>,
+}
+
+impl std::fmt::Display for FaultPlan {
+    /// Comma-joined [`FaultSpec`] spec strings (the `--faults` flag value).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, spec) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{spec}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parse a comma-separated list of `step:kind[:device]` specs. The
+    /// empty string is the empty plan.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            plan.faults.push(part.parse()?);
+        }
+        Ok(plan)
+    }
 }
 
 impl FaultPlan {
@@ -281,8 +387,59 @@ mod tests {
     fn kind_names_round_trip() {
         for k in FaultKind::ALL {
             assert_eq!(k.name().parse::<FaultKind>().unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
         }
         assert!("bogus".parse::<FaultKind>().is_err());
+    }
+
+    #[test]
+    fn spec_strings_round_trip_all_kinds() {
+        // Property: Display → FromStr is the identity for every kind,
+        // every device form, over randomized supersteps.
+        let mut rng = SplitMix64::seed_from_u64(42);
+        for kind in FaultKind::ALL {
+            for device in [0u8, 1, 7] {
+                let spec = FaultSpec {
+                    superstep: rng.random_range(0u64..1_000_000),
+                    kind,
+                    device,
+                };
+                let s = spec.to_string();
+                assert_eq!(s.parse::<FaultSpec>().unwrap(), spec, "spec {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_strings_round_trip() {
+        // Random plans of every size round-trip through the flag syntax.
+        for seed in 0..8 {
+            let plan = FaultPlan::random(seed, 11, 40, &FaultKind::ALL, 3);
+            let s = plan.to_string();
+            assert_eq!(s.parse::<FaultPlan>().unwrap(), plan, "plan {s:?}");
+        }
+        assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::new());
+        assert_eq!(
+            " 3:crash , 4:bitflip-msg:1 ".parse::<FaultPlan>().unwrap(),
+            FaultPlan::new().with(3, FaultKind::CrashDevice, 0).with(
+                4,
+                FaultKind::BitFlipMessage,
+                1
+            )
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive_not_panics() {
+        let e = "2:warp-core".parse::<FaultPlan>().unwrap_err();
+        assert!(e.contains("unknown fault kind"), "got {e:?}");
+        assert!(e.contains("bitflip-msg"), "kind list missing: {e:?}");
+        let e = "abc:crash".parse::<FaultPlan>().unwrap_err();
+        assert!(e.contains("bad superstep"), "got {e:?}");
+        let e = "1:crash:x".parse::<FaultPlan>().unwrap_err();
+        assert!(e.contains("bad device"), "got {e:?}");
+        let e = "1".parse::<FaultPlan>().unwrap_err();
+        assert!(e.contains("bad fault spec"), "got {e:?}");
     }
 
     #[test]

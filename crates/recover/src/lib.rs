@@ -23,6 +23,10 @@
 //! * [`failover`] — [`FailoverPolicy`]/[`FailoverConfig`] (watchdog
 //!   deadline, lost-device policy, straggler thresholds) and
 //!   [`FailoverStats`] for the hetero engine's live device failover.
+//! * [`integrity`] — [`IntegrityMode`] (the `off|frames|full` lattice),
+//!   the one-atomic-load [`IntegritySwitch`], the commutative group
+//!   checksum primitive, and [`IntegrityStats`] for silent-data-corruption
+//!   detection and targeted self-healing.
 //!
 //! The engine integration lives in `phigraph_core::engine::recover` (and
 //! `engine::failover` for the hetero liveness layer); this crate is
@@ -31,12 +35,14 @@
 
 pub mod failover;
 pub mod fault;
+pub mod integrity;
 pub mod policy;
 pub mod snapshot;
 pub mod store;
 
 pub use failover::{FailoverConfig, FailoverPolicy, FailoverStats};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use integrity::{IntegrityMode, IntegrityStats, IntegritySwitch};
 pub use policy::{latest_valid_snapshot, RecoveryPolicy, RecoveryStats};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{CheckpointStore, DirStore, MemStore};

@@ -41,4 +41,13 @@ grep -q "^phigraph_supersteps{" "$SMOKE_DIR/metrics.prom"
     --checkpoint-every 4 --checkpoint-dir "$SMOKE_DIR/ckpt" >/dev/null
 "$PHIGRAPH" recover "$SMOKE_DIR/ckpt" | grep -q "failover :"
 
+echo "==> integrity smoke: seeded SDC chaos run heals bit-identically"
+"$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --engine lock \
+    --out "$SMOKE_DIR/clean.txt" >/dev/null
+"$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --engine lock --integrity full \
+    --faults 1:bitflip-msg,2:bitflip-state --checkpoint-dir "$SMOKE_DIR/sdc" \
+    --out "$SMOKE_DIR/healed.txt" | grep -q "integrity"
+cmp "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/healed.txt"
+"$PHIGRAPH" recover "$SMOKE_DIR/sdc" | grep -q "integrity:"
+
 echo "==> all checks passed"

@@ -1,0 +1,262 @@
+//! The five measured perf areas behind `phigraph-bench run`.
+//!
+//! Each area is a steady-state iteration loop over one hot path of the
+//! runtime, with *fixed-seed deterministic inputs* (the fixtures in
+//! `phigraph_core::benchable` and `phigraph_comm::loopback`): two runs at
+//! the same seed and scale execute the same labels over the same element
+//! counts, so diffs between two `BENCH_*.json` files isolate real perf
+//! movement.
+//!
+//! | area        | hot path                                                  |
+//! |-------------|-----------------------------------------------------------|
+//! | `spsc`      | worker→mover `push_slice`/`pop_slices` pipeline transport |
+//! | `csb`       | `Csb::insert_slice` mover drains (both column modes)      |
+//! | `superstep` | a full run per engine mode (per-superstep mean derivable) |
+//! | `exchange`  | hetero frame-exchange loopback, unframed vs framed        |
+//! | `integrity` | the `off`/`frames`/`full` switch on the recovering driver |
+//!
+//! Smoke mode shrinks every input so the whole sweep finishes in seconds
+//! inside `scripts/check.sh`; the fingerprint records which mode produced
+//! a file, and `compare` refuses to judge entries whose element counts
+//! differ, so a smoke file never silently gates against a full one.
+
+use crate::harness::{BenchmarkId, Criterion, Throughput};
+use phigraph_apps::workloads::{self, Scale};
+use phigraph_apps::Sssp;
+use phigraph_comm::{loopback_rounds, PcieLink};
+use phigraph_core::benchable::{csb_fixture, shuttle_msgs, spsc_shuttle, superstep_work};
+use phigraph_core::csb::ColumnMode;
+use phigraph_core::engine::{run_recoverable, run_single, EngineConfig};
+use phigraph_device::DeviceSpec;
+use phigraph_recover::{IntegrityMode, MemStore};
+
+/// Knobs shared by every area.
+#[derive(Clone, Copy, Debug)]
+pub struct AreaOpts {
+    /// Shrink inputs to CI-smoke size (seconds, not minutes).
+    pub smoke: bool,
+    /// Seed for every generated input.
+    pub seed: u64,
+    /// Timed iterations per benchmark (`None` = harness default, which
+    /// honors `PHIGRAPH_BENCH_SAMPLES`).
+    pub samples: Option<usize>,
+    /// Untimed warmup iterations (`None` = harness default, which honors
+    /// `PHIGRAPH_BENCH_WARMUP`).
+    pub warmup: Option<usize>,
+}
+
+impl Default for AreaOpts {
+    fn default() -> Self {
+        AreaOpts {
+            smoke: false,
+            seed: 7,
+            samples: None,
+            warmup: None,
+        }
+    }
+}
+
+/// Apply the sample/warmup overrides to a group.
+fn tune(g: &mut crate::harness::BenchmarkGroup<'_>, opts: &AreaOpts) {
+    if let Some(n) = opts.samples {
+        g.sample_size(n);
+    }
+    if let Some(w) = opts.warmup {
+        g.warmup_iters(w);
+    }
+}
+
+/// Run one named area's benchmarks into `c`. Unknown areas are an `Err`
+/// listing the valid names.
+pub fn run_area(area: &str, c: &mut Criterion, opts: &AreaOpts) -> Result<(), String> {
+    match area {
+        "spsc" => bench_spsc(c, opts),
+        "csb" => bench_csb(c, opts),
+        "superstep" => bench_superstep(c, opts),
+        "exchange" => bench_exchange(c, opts),
+        "integrity" => bench_integrity(c, opts),
+        other => {
+            return Err(format!(
+                "unknown bench area {other:?} (valid: {})",
+                crate::perf::AREAS.join(", ")
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Worker→mover batched SPSC transport across a queue matrix: the PR 1
+/// pipeline in isolation, at the batch sizes the engine actually uses.
+fn bench_spsc(c: &mut Criterion, opts: &AreaOpts) {
+    let (workers, movers, n_msgs) = if opts.smoke {
+        (2, 2, 40_000)
+    } else {
+        (4, 2, 400_000)
+    };
+    let msgs = shuttle_msgs(n_msgs, 1024, opts.seed);
+    let mut g = c.benchmark_group("spsc/pipeline");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(n_msgs as u64));
+    for batch in [1usize, 64, 512] {
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| spsc_shuttle(workers, movers, 4096, batch, &msgs))
+        });
+    }
+    g.finish();
+}
+
+/// `Csb::insert_slice` steady state: seeded uniform destinations drained
+/// in mover-sized slices, one full buffer fill + reset per iteration.
+fn bench_csb(c: &mut Criterion, opts: &AreaOpts) {
+    let (n_vertices, n_msgs) = if opts.smoke {
+        (1024, 20_000)
+    } else {
+        (4096, 200_000)
+    };
+    let mut g = c.benchmark_group("csb/insert_slice");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(n_msgs as u64));
+    for mode in [ColumnMode::OneToOne, ColumnMode::Dynamic] {
+        let fx = csb_fixture(n_vertices, n_msgs, mode, opts.seed);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mode:?}")),
+            &mode,
+            |b, _| {
+                b.iter(|| {
+                    fx.csb.reset();
+                    for chunk in fx.msgs.chunks(256) {
+                        fx.csb.insert_slice(chunk);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A full SSSP run per engine mode on the seeded pokec-like graph. The
+/// declared elements are the run's total generated messages (measured by a
+/// priming run — deterministic for a fixed input), so the rate reads as
+/// end-to-end messages/second; divide mean by the superstep count for a
+/// per-superstep figure.
+fn bench_superstep(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = workloads::pokec_like_weighted(scale, opts.seed);
+    let spec = DeviceSpec::xeon_e5_2680();
+    let mut g = c.benchmark_group("superstep/sssp");
+    tune(&mut g, opts);
+    for (name, config) in [
+        ("lock", EngineConfig::locking()),
+        ("pipe", EngineConfig::pipelined()),
+        ("flat", EngineConfig::flat()),
+    ] {
+        let work = superstep_work(&Sssp { source: 0 }, &graph, spec.clone(), &config);
+        g.throughput(Throughput::Elements(work.total_msgs));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| run_single(&Sssp { source: 0 }, &graph, spec.clone(), config))
+        });
+    }
+    g.finish();
+}
+
+/// Hetero frame-exchange loopback: lock-step rounds over the modelled
+/// PCIe link, unframed vs sealed+verified frames (the per-exchange cost
+/// the frames integrity mode pays).
+fn bench_exchange(c: &mut Criterion, opts: &AreaOpts) {
+    let (rounds, payload) = if opts.smoke { (50, 1024) } else { (400, 8192) };
+    let mut g = c.benchmark_group("exchange/loopback");
+    tune(&mut g, opts);
+    // Both directions move `payload` messages per round.
+    g.throughput(Throughput::Elements((rounds * payload * 2) as u64));
+    for (name, framed) in [("unframed", false), ("framed", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &framed, |b, &framed| {
+            b.iter(|| loopback_rounds(PcieLink::gen2_x16(), rounds, payload, framed, opts.seed))
+        });
+    }
+    g.finish();
+}
+
+/// The integrity switch on the recovering driver: the same SSSP run at
+/// `off`, `frames`, and `full`. `off` must track the PR 5 zero-overhead
+/// contract (one relaxed load per insert batch); `full` buys the message/
+/// state-digest lattice.
+fn bench_integrity(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = workloads::pokec_like_weighted(scale, opts.seed);
+    let spec = DeviceSpec::xeon_e5_2680();
+    let base = EngineConfig::locking();
+    let work = superstep_work(&Sssp { source: 0 }, &graph, spec.clone(), &base);
+    let mut g = c.benchmark_group("integrity");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(work.total_msgs));
+    for mode in [
+        IntegrityMode::Off,
+        IntegrityMode::Frames,
+        IntegrityMode::Full,
+    ] {
+        let config = base.clone().with_integrity(mode);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut store = MemStore::new();
+                    run_recoverable(
+                        &Sssp { source: 0 },
+                        &graph,
+                        spec.clone(),
+                        config,
+                        &mut store,
+                        false,
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::AREAS;
+
+    #[test]
+    fn every_declared_area_runs_in_smoke_mode() {
+        // One timed sample per bench keeps this a seconds-scale test while
+        // still driving every area end to end.
+        let opts = AreaOpts {
+            smoke: true,
+            seed: 7,
+            samples: Some(1),
+            warmup: Some(0),
+        };
+        for area in AREAS {
+            let mut c = Criterion::default();
+            run_area(area, &mut c, &opts).expect(area);
+            assert!(!c.results().is_empty(), "area {area} produced no results");
+            for r in c.results() {
+                assert!(
+                    r.label.starts_with(area),
+                    "label {:?} not under area {area}",
+                    r.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_area_is_rejected_with_the_valid_list() {
+        let mut c = Criterion::default();
+        let err = run_area("warp-drive", &mut c, &AreaOpts::default()).unwrap_err();
+        assert!(err.contains("superstep"), "{err}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Standalone perf-trajectory binary: measure the hot paths, write
+//! `BENCH_<area>.json`, and gate regressions. All logic lives in
+//! [`phigraph_bench::runner`]; this is the process shell.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = phigraph_bench::runner::main(&argv) {
+        eprintln!("phigraph-bench: {e}");
+        std::process::exit(2);
+    }
+}

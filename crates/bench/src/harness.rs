@@ -3,14 +3,16 @@
 //! The workspace builds hermetically offline, so the benches cannot pull
 //! `criterion` from a registry. This module provides the small slice of its
 //! API the benches actually use — `Criterion`, benchmark groups, per-input
-//! benches, element throughput — with a simple measurement loop: one warmup
-//! iteration, then `sample_size` timed iterations, reporting the mean,
-//! min, and (when a throughput was declared) elements per second.
+//! benches, element throughput — with a simple measurement loop:
+//! `warmup_iters` untimed iterations, then `sample_size` timed iterations,
+//! reporting the mean, min, p50, p99 and (when a throughput was declared)
+//! elements per second. The per-sample durations feed the `BENCH_*.json`
+//! emission in [`crate::perf`].
 //!
 //! Results print as one line per benchmark:
 //!
 //! ```text
-//! csb/insert/Dynamic        mean 12.281ms  min 11.902ms  (16.3 Melem/s)
+//! csb/insert/Dynamic        mean 12.281ms  min 11.902ms  p99 13.020ms  (16.3 Melem/s)
 //! ```
 
 use std::fmt::Display;
@@ -46,27 +48,54 @@ pub struct BenchResult {
     pub mean: Duration,
     /// Fastest iteration.
     pub min: Duration,
+    /// Median iteration time (nearest-rank).
+    pub p50: Duration,
+    /// 99th-percentile iteration time (nearest-rank; equals the slowest
+    /// sample for small sample counts — it is the tail-latency signal the
+    /// mean/min pair hides).
+    pub p99: Duration,
+    /// Untimed warmup iterations that ran before sampling.
+    pub warmup_iters: usize,
+    /// Timed iterations actually recorded.
+    pub samples: usize,
     /// Declared elements per iteration, if any.
     pub elements: Option<u64>,
 }
 
 impl BenchResult {
+    /// Elements per second over the mean iteration, when a throughput was
+    /// declared and the mean is nonzero.
+    pub fn elem_per_sec(&self) -> Option<f64> {
+        match self.elements {
+            Some(e) if self.mean.as_secs_f64() > 0.0 => Some(e as f64 / self.mean.as_secs_f64()),
+            _ => None,
+        }
+    }
+
     fn report(&self) {
-        let thr = match self.elements {
-            Some(e) if self.mean.as_secs_f64() > 0.0 => {
-                let eps = e as f64 / self.mean.as_secs_f64();
-                format!("  ({} elem/s)", human_rate(eps))
-            }
-            _ => String::new(),
+        let thr = match self.elem_per_sec() {
+            Some(eps) => format!("  ({} elem/s)", human_rate(eps)),
+            None => String::new(),
         };
         println!(
-            "{:<44} mean {:>10}  min {:>10}{}",
+            "{:<44} mean {:>10}  min {:>10}  p99 {:>10}{}",
             self.label,
             human_time(self.mean),
             human_time(self.min),
+            human_time(self.p99),
             thr
         );
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set; `q` in
+/// `0.0..=100.0`. Empty input maps to zero.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn human_time(d: Duration) -> String {
@@ -101,13 +130,20 @@ impl Criterion {
             parent: self,
             name: name.to_string(),
             sample_size: default_sample_size(),
+            warmup_iters: default_warmup_iters(),
             throughput: None,
         }
     }
 
     /// Benchmark a single function under `name`.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let r = run_bench(name, default_sample_size(), None, |b| f(b));
+        let r = run_bench(
+            name,
+            default_sample_size(),
+            default_warmup_iters(),
+            None,
+            |b| f(b),
+        );
         r.report();
         self.results.push(r);
         self
@@ -126,6 +162,16 @@ fn default_sample_size() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(10)
+}
+
+/// Untimed warmup iterations per benchmark; `PHIGRAPH_BENCH_WARMUP`
+/// overrides (0 is allowed — the first timed sample then pays the
+/// cold-cache cost, visible as a fat p99).
+fn default_warmup_iters() -> usize {
+    std::env::var("PHIGRAPH_BENCH_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// Declared per-iteration work, for rate reporting.
@@ -163,6 +209,7 @@ pub struct BenchmarkGroup<'a> {
     parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    warmup_iters: usize,
     throughput: Option<Throughput>,
 }
 
@@ -170,6 +217,12 @@ impl BenchmarkGroup<'_> {
     /// Set the number of timed iterations.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the number of untimed warmup iterations (0 allowed).
+    pub fn warmup_iters(&mut self, n: usize) -> &mut Self {
+        self.warmup_iters = n;
         self
     }
 
@@ -194,7 +247,9 @@ impl BenchmarkGroup<'_> {
             Some(Throughput::Elements(e)) => Some(e),
             _ => None,
         };
-        let r = run_bench(&label, self.sample_size, elements, |b| f(b, input));
+        let r = run_bench(&label, self.sample_size, self.warmup_iters, elements, |b| {
+            f(b, input)
+        });
         r.report();
         self.parent.results.push(r);
         self
@@ -207,7 +262,9 @@ impl BenchmarkGroup<'_> {
             Some(Throughput::Elements(e)) => Some(e),
             _ => None,
         };
-        let r = run_bench(&label, self.sample_size, elements, |b| f(b));
+        let r = run_bench(&label, self.sample_size, self.warmup_iters, elements, |b| {
+            f(b)
+        });
         r.report();
         self.parent.results.push(r);
         self
@@ -220,22 +277,22 @@ impl BenchmarkGroup<'_> {
 /// Passed to the benchmarked closure; call [`Bencher::iter`] with the body.
 pub struct Bencher {
     samples: usize,
-    total: Duration,
-    min: Duration,
-    iters: u64,
+    warmup: usize,
+    durations: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Measure `body`: one untimed warmup call, then `samples` timed calls.
+    /// Measure `body`: `warmup` untimed calls (pre-faulting allocations and
+    /// caches), then `samples` timed calls, each recorded individually so
+    /// percentiles can be computed.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
-        black_box(body()); // warmup (also pre-faults allocations)
+        for _ in 0..self.warmup {
+            black_box(body());
+        }
         for _ in 0..self.samples {
             let t0 = Instant::now();
             black_box(body());
-            let dt = t0.elapsed();
-            self.total += dt;
-            self.min = self.min.min(dt);
-            self.iters += 1;
+            self.durations.push(t0.elapsed());
         }
     }
 }
@@ -243,25 +300,29 @@ impl Bencher {
 fn run_bench<F: FnMut(&mut Bencher)>(
     label: &str,
     samples: usize,
+    warmup: usize,
     elements: Option<u64>,
     mut f: F,
 ) -> BenchResult {
     let mut b = Bencher {
         samples,
-        total: Duration::ZERO,
-        min: Duration::MAX,
-        iters: 0,
+        warmup,
+        durations: Vec::with_capacity(samples),
     };
     f(&mut b);
-    let iters = b.iters.max(1);
+    let recorded = b.durations.len();
+    let total: Duration = b.durations.iter().sum();
+    let mean = total / recorded.max(1) as u32;
+    let mut sorted = b.durations;
+    sorted.sort_unstable();
     BenchResult {
         label: label.to_string(),
-        mean: b.total / iters as u32,
-        min: if b.min == Duration::MAX {
-            Duration::ZERO
-        } else {
-            b.min
-        },
+        mean,
+        min: sorted.first().copied().unwrap_or(Duration::ZERO),
+        p50: percentile(&sorted, 50.0),
+        p99: percentile(&sorted, 99.0),
+        warmup_iters: warmup,
+        samples: recorded,
         elements,
     }
 }
@@ -294,7 +355,7 @@ mod tests {
 
     #[test]
     fn bencher_measures_and_counts() {
-        let r = run_bench("t", 3, Some(300), |b| {
+        let r = run_bench("t", 3, 1, Some(300), |b| {
             b.iter(|| {
                 let mut s = 0u64;
                 for i in 0..1000u64 {
@@ -306,6 +367,74 @@ mod tests {
         assert_eq!(r.label, "t");
         assert!(r.min <= r.mean);
         assert_eq!(r.elements, Some(300));
+        assert_eq!(r.warmup_iters, 1);
+        assert_eq!(r.samples, 3);
+        assert!(r.min <= r.p50 && r.p50 <= r.p99);
+        assert!(r.elem_per_sec().unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn warmup_iterations_run_untimed() {
+        // 2 warmup + 4 timed calls: the body must run exactly 6 times but
+        // only 4 samples are recorded.
+        let mut calls = 0u32;
+        let r = run_bench("w", 4, 2, None, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 6);
+        assert_eq!(r.samples, 4);
+        assert_eq!(r.warmup_iters, 2);
+        // Zero warmup is allowed (cold first sample).
+        let mut calls = 0u32;
+        let r = run_bench("w0", 3, 0, None, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+        assert_eq!(r.warmup_iters, 0);
+    }
+
+    #[test]
+    fn percentiles_capture_tail_of_known_duration_workload() {
+        // Synthetic workload with known per-iteration durations: 9 fast
+        // (~1 ms) iterations and 1 slow (~15 ms) outlier. sleep() only
+        // guarantees a lower bound, which is exactly what the assertions
+        // need: p99 must surface the outlier that mean/min smooth over.
+        let mut i = 0u32;
+        let r = run_bench("tail", 10, 0, None, |b| {
+            b.iter(|| {
+                i += 1;
+                let ms = if i == 5 { 15 } else { 1 };
+                std::thread::sleep(Duration::from_millis(ms));
+            })
+        });
+        assert_eq!(r.samples, 10);
+        assert!(r.p99 >= Duration::from_millis(15), "p99 {:?}", r.p99);
+        assert!(r.p50 < Duration::from_millis(15), "p50 {:?}", r.p50);
+        assert!(r.min >= Duration::from_millis(1));
+        assert!(r.min <= r.p50 && r.p50 <= r.p99);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=10).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(5));
+        assert_eq!(percentile(&sorted, 99.0), ms(10));
+        assert_eq!(percentile(&sorted, 100.0), ms(10));
+        assert_eq!(percentile(&sorted, 0.0), ms(1));
+        assert_eq!(percentile(&[ms(7)], 50.0), ms(7));
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn group_warmup_knob_is_plumbed() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("k");
+            g.sample_size(3).warmup_iters(4);
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 7);
+        assert_eq!(c.results()[0].warmup_iters, 4);
+        assert_eq!(c.results()[0].samples, 3);
     }
 
     #[test]

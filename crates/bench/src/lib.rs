@@ -8,10 +8,13 @@
 //! reproduction); the vendored [`harness`] additionally tracks host
 //! wall-clock for regressions.
 
+pub mod areas;
 pub mod fig5;
 pub mod fig6;
 pub mod harness;
+pub mod perf;
 pub mod report;
+pub mod runner;
 pub mod tab2;
 
 use phigraph_apps::workloads::{self, Scale};

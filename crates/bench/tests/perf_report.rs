@@ -1,0 +1,156 @@
+//! Property tests for the `BENCH_*.json` format and the regression gate.
+//!
+//! The trajectory only works if a report written by one PR parses
+//! bit-identically under the next: emit → parse → re-emit must be the
+//! identity for *any* report the harness can produce, not just the two
+//! hand-picked ones in the unit tests. These tests fuzz that property with
+//! seeded random reports, then drive the gate end to end through the same
+//! `runner::main` entry the binary and `phigraph bench` use.
+
+use phigraph_bench::harness::BenchResult;
+use phigraph_bench::perf::{
+    compare_reports, BenchReport, EnvFingerprint, Verdict, AREAS, BENCH_SCHEMA,
+};
+use phigraph_bench::runner;
+use phigraph_graph::generators::rng::SplitMix64;
+use std::time::Duration;
+
+/// A random-but-seeded report: arbitrary labels, timings from ns to
+/// seconds, a mix of with/without declared throughput, zero-sample edge
+/// cases included.
+fn random_report(seed: u64) -> BenchReport {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let area = AREAS[rng.random_range(0..AREAS.len() as u32) as usize];
+    let n_entries = rng.random_range(0..6) as usize;
+    let results: Vec<BenchResult> = (0..n_entries)
+        .map(|i| {
+            let mean_ns = 1 + rng.random_range(0..2_000_000_000) as u64;
+            let spread = 1 + rng.random_range(0..mean_ns.max(2) as u32) as u64;
+            let mean = Duration::from_nanos(mean_ns);
+            BenchResult {
+                label: format!("{area}/case-{i}/p{}", rng.random_range(0..512)),
+                mean,
+                min: Duration::from_nanos(mean_ns.saturating_sub(spread)),
+                p50: mean,
+                p99: Duration::from_nanos(mean_ns + spread),
+                warmup_iters: rng.random_range(0..4) as usize,
+                samples: rng.random_range(0..64) as usize,
+                elements: if rng.random_range(0..2) == 0 {
+                    Some(rng.random_range(0..1_000_000) as u64)
+                } else {
+                    None
+                },
+            }
+        })
+        .collect();
+    let mut env = EnvFingerprint::capture(rng.random_range(0..2) == 0, seed);
+    env.host_threads = 1 + rng.random_range(0..256) as u64;
+    BenchReport::new(area, env, &results)
+}
+
+#[test]
+fn emit_parse_reemit_is_identity_over_seeded_random_reports() {
+    for seed in 0..200u64 {
+        let r = random_report(seed);
+        let text = r.emit();
+        let back = BenchReport::parse(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: own emission failed to parse: {e}"));
+        assert_eq!(back, r, "seed {seed}: parsed report differs");
+        assert_eq!(
+            back.emit(),
+            text,
+            "seed {seed}: re-emission not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn unknown_schema_is_rejected_gracefully() {
+    let mut r = random_report(1);
+    r.schema = "phigraph-bench-v0-from-the-future".to_string();
+    let err = BenchReport::parse(&r.emit()).expect_err("future schema must not parse");
+    assert!(err.contains("phigraph-bench-v0-from-the-future"), "{err}");
+    assert!(
+        err.contains(BENCH_SCHEMA),
+        "error names the supported tag: {err}"
+    );
+    // Truncated/corrupt files are errors too, never panics.
+    let text = random_report(2).emit();
+    for cut in [0, 1, text.len() / 2, text.len() - 1] {
+        let _ = BenchReport::parse(&text[..cut]);
+    }
+}
+
+#[test]
+fn self_comparison_never_regresses() {
+    for seed in 0..50u64 {
+        let r = random_report(seed);
+        let out = compare_reports(&r, &r, 1.01);
+        assert_eq!(
+            out.regressions(),
+            0,
+            "seed {seed}: report regressed against itself"
+        );
+        for (label, v) in &out.verdicts {
+            if let Verdict::Pass { ratio } = v {
+                assert!((ratio - 1.0).abs() < 1e-9, "{label}: self-ratio {ratio}");
+            }
+        }
+    }
+}
+
+/// Gate end to end through `runner::main`, exactly as check.sh drives it:
+/// run (smoke, 1 sample) → compare same-vs-same passes → perturb the
+/// baseline faster → compare fails.
+#[test]
+fn runner_gate_trips_on_perturbed_baseline_and_passes_identity() {
+    let dir = std::env::temp_dir().join(format!("phigraph-bench-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().expect("utf-8 temp dir");
+    let s = |v: &[&str]| -> Vec<String> { v.iter().map(|x| x.to_string()).collect() };
+
+    // Smoke-measure one cheap area.
+    runner::main(&s(&[
+        "run",
+        "--out-dir",
+        d,
+        "--area",
+        "csb",
+        "--smoke",
+        "--samples",
+        "1",
+        "--warmup",
+        "0",
+    ]))
+    .expect("smoke run");
+    let bench_file = dir.join("BENCH_csb.json");
+    assert!(bench_file.is_file(), "run must write BENCH_csb.json");
+    let bf = bench_file.to_str().unwrap();
+
+    // Identity comparison passes.
+    runner::main(&s(&["compare", bf, bf])).expect("self-compare passes");
+
+    // A baseline perturbed 100x faster makes the current run a regression.
+    let fast = dir.join("fast.json");
+    runner::main(&s(&[
+        "perturb",
+        bf,
+        fast.to_str().unwrap(),
+        "--factor",
+        "0.01",
+    ]))
+    .expect("perturb");
+    let err = runner::main(&s(&["compare", fast.to_str().unwrap(), bf]))
+        .expect_err("gate must trip against the perturbed baseline");
+    assert!(err.contains("regressed"), "{err}");
+
+    // Missing baseline file: warning, not failure.
+    runner::main(&s(&[
+        "compare",
+        dir.join("absent.json").to_str().unwrap(),
+        bf,
+    ]))
+    .expect("missing baseline degrades to a warning");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,10 @@
+//! `phigraph bench` — the perf-trajectory harness behind the main driver.
+//!
+//! Thin forwarder to [`phigraph_bench::runner`], which also backs the
+//! standalone `phigraph-bench` binary; both accept the same
+//! `run`/`compare`/`perturb`/`list` commands, and a regression surfaces
+//! here as an `Err` (exit code 2) exactly like any other CLI failure.
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    phigraph_bench::runner::main(argv)
+}

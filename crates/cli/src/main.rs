@@ -23,9 +23,11 @@
 //! phigraph recover <checkpoint-dir> [--inspect STEP]
 //! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
 //! phigraph check <app> <graph> [--step-budget N]
+//! phigraph bench run|compare|perturb|list ...
 //! ```
 
 mod args;
+mod cmd_bench;
 mod cmd_check;
 mod cmd_generate;
 mod cmd_info;
@@ -52,6 +54,7 @@ fn main() -> ExitCode {
         "report" => cmd_report::run(rest),
         "tune" => cmd_tune::run(rest),
         "check" => cmd_check::run(rest),
+        "bench" => cmd_bench::run(rest),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -89,5 +92,11 @@ commands:
   report <report.json> [--steps] [--top N]
   recover <checkpoint-dir> [--inspect STEP]
   tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]
-  check <pagerank|bfs|sssp|toposort|wcc|kcore> <graph> [--step-budget N]"
+  check <pagerank|bfs|sssp|toposort|wcc|kcore> <graph> [--step-budget N]
+  bench run [--out-dir DIR] [--area A[,B...]] [--seed N] [--samples N] [--warmup N] [--smoke]
+        compare <baseline> <current> [--area A[,B...]] [--threshold X]
+        perturb <in.json> <out.json> --factor F
+        list
+        (writes/diffs BENCH_<area>.json; compare exits nonzero on regression —
+         see docs/benchmarks.md)"
 }

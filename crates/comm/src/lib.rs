@@ -18,6 +18,7 @@ pub mod combiner;
 pub mod exchange;
 pub mod frame;
 pub mod link;
+pub mod loopback;
 pub mod message;
 
 pub use combiner::combine_messages;
@@ -27,4 +28,5 @@ pub use exchange::{
 };
 pub use frame::{FrameError, FrameHeader};
 pub use link::PcieLink;
+pub use loopback::{loopback_rounds, LoopbackStats};
 pub use message::WireMsg;

@@ -1,0 +1,120 @@
+//! Loopback bench hook for the exchange path.
+//!
+//! The `phigraph-bench` exchange area needs a steady-state frame-exchange
+//! loop without standing up two full device engines: this module runs N
+//! lock-step rounds over a [`duplex_pair`](crate::exchange::duplex_pair)
+//! with a peer thread echoing a same-sized payload back, optionally sealing
+//! and verifying a [`FrameHeader`] per round (the frames-only integrity
+//! cost). It lives in `phigraph-comm` rather than the bench crate so the
+//! loop stays next to the endpoint implementation it measures and the
+//! crate's own tests can assert on it.
+
+use crate::exchange::duplex_pair;
+use crate::frame::FrameHeader;
+use crate::link::PcieLink;
+use crate::message::WireMsg;
+
+/// What one loopback run moved.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoopbackStats {
+    /// Lock-step rounds completed.
+    pub rounds: u64,
+    /// Messages moved across the link, both directions summed.
+    pub msgs_moved: u64,
+    /// Accumulated simulated transfer time (seconds) from the link model.
+    pub sim_time: f64,
+    /// Frames sealed+verified (0 when running unframed).
+    pub frames_verified: u64,
+}
+
+/// Drive `rounds` lock-step exchanges of `msgs_per_round` messages each
+/// way over `link`. With `framed`, each direction seals its payload with a
+/// [`FrameHeader`] and verifies the peer's — the per-exchange cost of the
+/// frames integrity mode. The payload is deterministic in `seed`, so two
+/// runs move identical bytes.
+///
+/// Panics if a frame fails to verify (the loopback link is lossless; a
+/// mismatch is a bug, not an injected fault).
+pub fn loopback_rounds(
+    link: PcieLink,
+    rounds: usize,
+    msgs_per_round: usize,
+    framed: bool,
+    seed: u64,
+) -> LoopbackStats {
+    let (a, b) = duplex_pair::<WireMsg<f32>>(link);
+    let payload = move |rank: u64| -> Vec<WireMsg<f32>> {
+        (0..msgs_per_round as u64)
+            .map(|i| WireMsg {
+                dst: (seed.wrapping_add(rank).wrapping_add(i) % 1024) as u32,
+                value: (i % 97) as f32,
+            })
+            .collect()
+    };
+    let bytes = (msgs_per_round * std::mem::size_of::<WireMsg<f32>>()) as u64;
+    let peer = std::thread::spawn(move || {
+        let out = payload(1);
+        for step in 0..rounds {
+            let frame = framed.then(|| FrameHeader::seal(step as u64, &out));
+            let (msgs, peer_frame, _, _) = b
+                .try_exchange_framed(out.clone(), frame, bytes, true, 0.0, None)
+                .expect("loopback exchange cannot fail");
+            if let Some(f) = peer_frame {
+                f.verify(step as u64, &msgs).expect("loopback frame intact");
+            }
+        }
+    });
+    let out = payload(0);
+    let mut stats = LoopbackStats::default();
+    for step in 0..rounds {
+        let frame = framed.then(|| FrameHeader::seal(step as u64, &out));
+        let (msgs, peer_frame, _, xstats) = a
+            .try_exchange_framed(out.clone(), frame, bytes, true, 0.0, None)
+            .expect("loopback exchange cannot fail");
+        if let Some(f) = peer_frame {
+            f.verify(step as u64, &msgs).expect("loopback frame intact");
+            stats.frames_verified += 1;
+        }
+        stats.rounds += 1;
+        stats.msgs_moved += xstats.msgs_sent + xstats.msgs_recv;
+        stats.sim_time += xstats.sim_time;
+    }
+    peer.join().expect("loopback peer thread");
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_moves_every_message_both_ways() {
+        let s = loopback_rounds(PcieLink::ideal(), 10, 64, false, 7);
+        assert_eq!(s.rounds, 10);
+        assert_eq!(s.msgs_moved, 10 * 64 * 2);
+        assert_eq!(s.frames_verified, 0);
+    }
+
+    #[test]
+    fn framed_loopback_seals_and_verifies_every_round() {
+        let s = loopback_rounds(PcieLink::gen2_x16(), 8, 32, true, 7);
+        assert_eq!(s.rounds, 8);
+        assert_eq!(s.frames_verified, 8);
+        assert!(s.sim_time > 0.0, "link model accumulates transfer time");
+    }
+
+    #[test]
+    fn loopback_is_deterministic_in_structure() {
+        let a = loopback_rounds(PcieLink::ideal(), 5, 16, true, 42);
+        let b = loopback_rounds(PcieLink::ideal(), 5, 16, true, 42);
+        assert_eq!(a.msgs_moved, b.msgs_moved);
+        assert_eq!(a.frames_verified, b.frames_verified);
+    }
+
+    #[test]
+    fn empty_payload_rounds_are_fine() {
+        let s = loopback_rounds(PcieLink::ideal(), 3, 0, true, 1);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.msgs_moved, 0);
+    }
+}

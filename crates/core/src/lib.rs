@@ -62,6 +62,7 @@
 
 pub mod active;
 pub mod api;
+pub mod benchable;
 pub mod check;
 pub mod csb;
 pub mod engine;

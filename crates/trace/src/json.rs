@@ -130,6 +130,147 @@ impl Json {
     }
 }
 
+/// Incremental pretty-printed JSON builder: the write-side complement of
+/// [`Json::parse`]. Exporters that assemble nested documents (the bench
+/// `BENCH_*.json` reports, future structured dumps) push keyed fields and
+/// containers instead of hand-concatenating braces; indentation and comma
+/// placement are handled here so the output is stable and diff-friendly.
+///
+/// ```
+/// use phigraph_trace::json::{Json, JsonBuf};
+/// let mut b = JsonBuf::obj();
+/// b.str("name", "spsc");
+/// b.num("mean_ns", 12.5);
+/// b.begin_arr("entries");
+/// b.elem_num(1.0);
+/// b.elem_num(2.0);
+/// b.end();
+/// let text = b.finish();
+/// assert!(Json::parse(&text).is_ok());
+/// ```
+pub struct JsonBuf {
+    out: String,
+    /// Open containers: closing byte + "has at least one item" flag.
+    stack: Vec<(u8, bool)>,
+}
+
+impl JsonBuf {
+    /// Start a document whose root is an object.
+    pub fn obj() -> Self {
+        JsonBuf {
+            out: String::from("{"),
+            stack: vec![(b'}', false)],
+        }
+    }
+
+    /// Newline + indent + comma bookkeeping before the next item.
+    fn item(&mut self) {
+        if let Some(top) = self.stack.last_mut() {
+            if top.1 {
+                self.out.push(',');
+            }
+            top.1 = true;
+        }
+        self.out.push('\n');
+        for _ in 0..self.stack.len() {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn keyed(&mut self, key: &str) {
+        self.item();
+        self.out.push_str(&quote(key));
+        self.out.push_str(": ");
+    }
+
+    /// `"key": "value"`.
+    pub fn str(&mut self, key: &str, v: &str) {
+        self.keyed(key);
+        self.out.push_str(&quote(v));
+    }
+
+    /// `"key": <number>` (NaN/Inf map to 0, as in [`num`]).
+    pub fn num(&mut self, key: &str, v: f64) {
+        self.keyed(key);
+        self.out.push_str(&num(v));
+    }
+
+    /// `"key": <integer>`.
+    pub fn int(&mut self, key: &str, v: u64) {
+        self.keyed(key);
+        self.out.push_str(&v.to_string());
+    }
+
+    /// `"key": true|false`.
+    pub fn bool(&mut self, key: &str, v: bool) {
+        self.keyed(key);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Open `"key": {`; close with [`JsonBuf::end`].
+    pub fn begin_obj(&mut self, key: &str) {
+        self.keyed(key);
+        self.out.push('{');
+        self.stack.push((b'}', false));
+    }
+
+    /// Open `"key": [`; close with [`JsonBuf::end`].
+    pub fn begin_arr(&mut self, key: &str) {
+        self.keyed(key);
+        self.out.push('[');
+        self.stack.push((b']', false));
+    }
+
+    /// Open an object as the next *array element*.
+    pub fn elem_obj(&mut self) {
+        self.item();
+        self.out.push('{');
+        self.stack.push((b'}', false));
+    }
+
+    /// Push a number as the next *array element*.
+    pub fn elem_num(&mut self, v: f64) {
+        self.item();
+        self.out.push_str(&num(v));
+    }
+
+    /// Push a string as the next *array element*.
+    pub fn elem_str(&mut self, v: &str) {
+        self.item();
+        self.out.push_str(&quote(v));
+    }
+
+    /// Close the innermost open container (the root closes in `finish`).
+    pub fn end(&mut self) {
+        debug_assert!(self.stack.len() > 1, "end() would close the root");
+        if self.stack.len() > 1 {
+            let (closer, had_items) = self.stack.pop().expect("non-empty stack");
+            if had_items {
+                self.out.push('\n');
+                for _ in 0..self.stack.len() {
+                    self.out.push_str("  ");
+                }
+            }
+            self.out.push(closer as char);
+        }
+    }
+
+    /// Close every open container and return the document (trailing
+    /// newline included, so files end POSIX-clean).
+    pub fn finish(mut self) -> String {
+        while self.stack.len() > 1 {
+            self.end();
+        }
+        let (closer, had_items) = self.stack.pop().expect("root container");
+        if had_items {
+            self.out.push('\n');
+        }
+        self.out.push(closer as char);
+        self.out.push('\n');
+        self.out
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -380,6 +521,59 @@ mod tests {
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn jsonbuf_builds_parseable_nested_documents() {
+        let mut b = JsonBuf::obj();
+        b.str("schema", "v1");
+        b.int("count", 3);
+        b.bool("smoke", true);
+        b.begin_obj("env");
+        b.str("os", "linux");
+        b.num("load", 0.5);
+        b.end();
+        b.begin_arr("entries");
+        b.elem_obj();
+        b.str("label", "a/b");
+        b.num("mean_ns", 1250.0);
+        b.end();
+        b.elem_num(7.0);
+        b.elem_str("tail");
+        b.end();
+        let text = b.finish();
+        let j = Json::parse(&text).expect("builder output parses");
+        assert_eq!(j.get("schema").unwrap().as_str(), Some("v1"));
+        assert_eq!(j.u64_or_0("count"), 3);
+        assert_eq!(j.get("smoke").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("env").unwrap().f64_or_0("load"), 0.5);
+        let entries = j.get("entries").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].f64_or_0("mean_ns"), 1250.0);
+        assert_eq!(entries[2].as_str(), Some("tail"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn jsonbuf_empty_and_unclosed_containers() {
+        // Empty root object.
+        assert_eq!(JsonBuf::obj().finish(), "{}\n");
+        // finish() auto-closes whatever is still open.
+        let mut b = JsonBuf::obj();
+        b.begin_arr("xs");
+        b.elem_num(1.0);
+        let j = Json::parse(&b.finish()).unwrap();
+        assert_eq!(j.get("xs").unwrap().as_arr().unwrap().len(), 1);
+        // Empty nested containers render inline.
+        let mut b = JsonBuf::obj();
+        b.begin_obj("o");
+        b.end();
+        b.begin_arr("a");
+        b.end();
+        let text = b.finish();
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(j.get("o"), Some(&Json::Obj(vec![])));
+        assert_eq!(j.get("a"), Some(&Json::Arr(vec![])));
     }
 
     #[test]

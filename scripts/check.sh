@@ -50,4 +50,29 @@ echo "==> integrity smoke: seeded SDC chaos run heals bit-identically"
 cmp "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/healed.txt"
 "$PHIGRAPH" recover "$SMOKE_DIR/sdc" | grep -q "integrity:"
 
+echo "==> bench smoke: BENCH_*.json emission + regression gate"
+# Smoke-measure every area into the repo root (the per-PR perf artifacts),
+# then prove the gate both passes and trips. Numbers from smoke runs are
+# for trend/gating only; full runs use 'phigraph bench run' without flags.
+"$PHIGRAPH" bench run --out-dir . --smoke --seed 7 --samples 3 --warmup 1
+for area in spsc csb superstep exchange integrity; do
+    test -f "BENCH_$area.json" || { echo "missing BENCH_$area.json" >&2; exit 1; }
+done
+if [ -d bench-baseline ]; then
+    # Generous threshold: CI machines vary wildly; the committed baseline
+    # only guards against order-of-magnitude cliffs.
+    "$PHIGRAPH" bench compare bench-baseline . --threshold 10
+else
+    echo "    (no bench-baseline/ yet; bootstrapping from this run)"
+    mkdir -p bench-baseline
+    cp BENCH_*.json bench-baseline/
+fi
+# The gate must exit nonzero against a baseline perturbed 100x faster.
+"$PHIGRAPH" bench perturb BENCH_spsc.json "$SMOKE_DIR/fast.json" --factor 0.01
+if "$PHIGRAPH" bench compare "$SMOKE_DIR/fast.json" BENCH_spsc.json >/dev/null 2>&1; then
+    echo "bench gate FAILED to trip on a perturbed baseline" >&2
+    exit 1
+fi
+echo "    (gate trips on perturbed baseline: ok)"
+
 echo "==> all checks passed"

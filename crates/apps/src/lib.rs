@@ -12,10 +12,12 @@
 //! | [`SemiClustering`](semicluster::SemiClustering) | cluster lists | sort/merge (object path) | not SIMD-reducible |
 //! | [`Wcc`](wcc::Wcc) | `i32` label | min (SIMD) | extra app beyond the paper's five |
 //! | [`KCore`](kcore::KCore) | `i32` removal count | sum (SIMD) | extra app: message-driven core peeling |
+//! | [`PersonalizedPageRank`](ppr::PersonalizedPageRank) | `f32` rank share | sum (SIMD) | extra app: per-tenant serving query |
 
 pub mod bfs;
 pub mod kcore;
 pub mod pagerank;
+pub mod ppr;
 pub mod reference;
 pub mod semicluster;
 pub mod sssp;
@@ -26,6 +28,7 @@ pub mod workloads;
 pub use bfs::Bfs;
 pub use kcore::KCore;
 pub use pagerank::PageRank;
+pub use ppr::PersonalizedPageRank;
 pub use semicluster::SemiClustering;
 pub use sssp::Sssp;
 pub use toposort::TopoSort;

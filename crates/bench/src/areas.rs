@@ -1,4 +1,4 @@
-//! The five measured perf areas behind `phigraph-bench run`.
+//! The measured perf areas behind `phigraph-bench run`.
 //!
 //! Each area is a steady-state iteration loop over one hot path of the
 //! runtime, with *fixed-seed deterministic inputs* (the fixtures in
@@ -14,6 +14,9 @@
 //! | `superstep` | a full run per engine mode (per-superstep mean derivable) |
 //! | `exchange`  | hetero frame-exchange loopback, unframed vs framed        |
 //! | `integrity` | the `off`/`frames`/`full` switch on the recovering driver |
+//! | `partition` | the three §IV.E device-partitioning schemes               |
+//! | `objmsg`    | the object-message path (semi-clustering merge/sort)      |
+//! | `serve`     | serving-pool jobs/second at 1, 4, and 16 tenants          |
 //!
 //! Smoke mode shrinks every input so the whole sweep finishes in seconds
 //! inside `scripts/check.sh`; the fingerprint records which mode produced
@@ -22,13 +25,17 @@
 
 use crate::harness::{BenchmarkId, Criterion, Throughput};
 use phigraph_apps::workloads::{self, Scale};
-use phigraph_apps::Sssp;
+use phigraph_apps::{SemiClustering, Sssp};
 use phigraph_comm::{loopback_rounds, PcieLink};
 use phigraph_core::benchable::{csb_fixture, shuttle_msgs, spsc_shuttle, superstep_work};
 use phigraph_core::csb::ColumnMode;
-use phigraph_core::engine::{run_recoverable, run_single, EngineConfig};
+use phigraph_core::engine::obj::run_obj_single;
+use phigraph_core::engine::{run_recoverable, run_single, EngineConfig, ExecMode};
 use phigraph_device::DeviceSpec;
+use phigraph_partition::{partition, PartitionScheme, Ratio};
 use phigraph_recover::{IntegrityMode, MemStore};
+use phigraph_serve::{JobKind, JobSpec, ServeConfig, ServePool};
+use std::sync::Arc;
 
 /// Knobs shared by every area.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +82,9 @@ pub fn run_area(area: &str, c: &mut Criterion, opts: &AreaOpts) -> Result<(), St
         "superstep" => bench_superstep(c, opts),
         "exchange" => bench_exchange(c, opts),
         "integrity" => bench_integrity(c, opts),
+        "partition" => bench_partition(c, opts),
+        "objmsg" => bench_objmsg(c, opts),
+        "serve" => bench_serve(c, opts),
         other => {
             return Err(format!(
                 "unknown bench area {other:?} (valid: {})",
@@ -220,6 +230,120 @@ fn bench_integrity(c: &mut Criterion, opts: &AreaOpts) {
                 })
             },
         );
+    }
+    g.finish();
+}
+
+/// The three §IV.E device-partitioning schemes on the seeded pokec-like
+/// graph: what a driver pays to produce a `DevicePartition` before any
+/// superstep runs. Elements are vertices assigned per call.
+fn bench_partition(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = workloads::pokec_like(scale, opts.seed);
+    let blocks = if opts.smoke { 32 } else { 256 };
+    let mut g = c.benchmark_group("partition/schemes");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(graph.num_vertices() as u64));
+    for (name, scheme) in [
+        ("continuous", PartitionScheme::Continuous),
+        ("round-robin", PartitionScheme::RoundRobin),
+        ("hybrid", PartitionScheme::Hybrid { blocks }),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &scheme, |b, &scheme| {
+            b.iter(|| partition(&graph, scheme, Ratio::new(7, 3), opts.seed))
+        });
+    }
+    g.finish();
+}
+
+/// The object-message path: a full semi-clustering run per engine mode.
+/// Its merge/sort reduction is branch-heavy code the SIMD lanes never
+/// touch, so it moves independently of the `superstep` area. Elements are
+/// vertex-iterations (vertices × superstep cap) — deterministic for a
+/// fixed input.
+fn bench_objmsg(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = workloads::pokec_like(scale, opts.seed);
+    let spec = DeviceSpec::xeon_e5_2680();
+    let iterations = if opts.smoke { 3 } else { 6 };
+    let sc = SemiClustering {
+        iterations,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("objmsg/semicluster");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(
+        (graph.num_vertices() * iterations) as u64,
+    ));
+    for (name, config) in [
+        ("lock", EngineConfig::locking()),
+        ("flat", EngineConfig::flat()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| run_obj_single(&sc, &graph, spec.clone(), config))
+        });
+    }
+    g.finish();
+}
+
+/// The serving pool end to end: submit a fixed batch of BFS jobs spread
+/// across 1, 4, and 16 tenants and wait for every result, so the mean
+/// iteration time reads directly as jobs/second through admission,
+/// stride scheduling, and the worker pool. One pool (and one graph load)
+/// per tenant count, reused across iterations — matching the daemon's
+/// load-once contract.
+fn bench_serve(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = Arc::new(workloads::pokec_like_weighted(scale, opts.seed));
+    let jobs_per_iter: usize = if opts.smoke { 8 } else { 32 };
+    let mut g = c.benchmark_group("serve/jobs");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(jobs_per_iter as u64));
+    for tenants in [1usize, 4, 16] {
+        let cfg = ServeConfig {
+            workers: 2,
+            // Must exceed the in-flight batch so admission never rejects.
+            queue_cap: jobs_per_iter.max(64),
+            ..ServeConfig::default()
+        };
+        let (pool, rx) = ServePool::new(Arc::clone(&graph), cfg);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter(|| {
+                    for i in 0..jobs_per_iter {
+                        let spec = JobSpec {
+                            id: format!("j{i}"),
+                            tenant: format!("t{}", i % tenants),
+                            kind: JobKind::Bfs {
+                                source: (i % 7) as u32,
+                            },
+                            mode: ExecMode::Locking,
+                            deadline_ms: None,
+                            conn: 0,
+                        };
+                        pool.submit(spec).expect("bench job admitted");
+                    }
+                    for _ in 0..jobs_per_iter {
+                        rx.recv().expect("bench job result");
+                    }
+                })
+            },
+        );
+        drop(pool);
     }
     g.finish();
 }

@@ -3,7 +3,7 @@
 //!
 //! Every PR that touches a hot path lands with its numbers in this format
 //! (ROADMAP item 5): the `phigraph-bench` binary runs steady-state loops
-//! over the five measured areas ([`AREAS`]) and emits one schema-tagged
+//! over the measured areas ([`AREAS`]) and emits one schema-tagged
 //! JSON file per area through [`BenchReport::emit`]; `compare` diffs two
 //! such files with per-area thresholds and exits nonzero on regression.
 //! Emission and parsing both go through the hand-rolled JSON layer in
@@ -21,10 +21,21 @@ use phigraph_trace::json::{num, Json, JsonBuf};
 /// Schema tag stamped into every report; bump on breaking layout changes.
 pub const BENCH_SCHEMA: &str = "phigraph-bench-v1";
 
-/// The five measured areas, one `BENCH_<area>.json` each: the SPSC
+/// The measured areas, one `BENCH_<area>.json` each: the SPSC
 /// worker→mover pipeline, CSB slice insertion, a full superstep per engine
-/// mode, the hetero frame exchange, and the integrity-switch overhead.
-pub const AREAS: [&str; 5] = ["spsc", "csb", "superstep", "exchange", "integrity"];
+/// mode, the hetero frame exchange, the integrity-switch overhead, the
+/// device-partitioning schemes, the object-message (semi-clustering)
+/// path, and the multi-tenant serving pool.
+pub const AREAS: [&str; 8] = [
+    "spsc",
+    "csb",
+    "superstep",
+    "exchange",
+    "integrity",
+    "partition",
+    "objmsg",
+    "serve",
+];
 
 /// Canonical file name for an area's report.
 pub fn file_name(area: &str) -> String {
@@ -35,10 +46,11 @@ pub fn file_name(area: &str) -> String {
 /// counts as a regression. Thread-scheduling-heavy areas get more slack.
 pub fn default_threshold(area: &str) -> f64 {
     match area {
-        // Cross-thread shuttles: scheduler noise dominates short runs.
-        "spsc" | "exchange" => 1.6,
+        // Cross-thread shuttles: scheduler noise dominates short runs, and
+        // the serving pool adds queueing jitter on top.
+        "spsc" | "exchange" | "serve" => 1.6,
         // Single-process compute loops are steadier.
-        "csb" | "superstep" | "integrity" => 1.5,
+        "csb" | "superstep" | "integrity" | "partition" | "objmsg" => 1.5,
         _ => 1.5,
     }
 }

@@ -28,6 +28,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let devices: &[Json] = doc.get("devices").and_then(|d| d.as_arr()).unwrap_or(&[]);
 
     print_header(combined);
+    if let Some(serve) = doc.get("serve") {
+        // Serving-run report: the interesting decomposition is by
+        // tenant, not by engine phase (a serving run has no steps).
+        print_serve(serve);
+        return Ok(());
+    }
     print_decomposition(combined, devices);
     print_messages(combined);
     print_recovery(combined);
@@ -222,6 +228,47 @@ fn print_integrity(combined: &Json) {
         if v > 0 {
             println!("  {:<28} {v}", k.replace('_', " "));
         }
+    }
+}
+
+/// Tenant decomposition of a serving run (`phigraph serve` reports).
+fn print_serve(serve: &Json) {
+    println!(
+        "\nserving pool: {} workers, queue cap {} ({} queued, {} running at shutdown)",
+        serve.u64_or_0("workers"),
+        serve.u64_or_0("queue_cap"),
+        serve.u64_or_0("queued"),
+        serve.u64_or_0("running"),
+    );
+    println!(
+        "jobs: {} completed, {} rejected",
+        serve.u64_or_0("completed"),
+        serve.u64_or_0("rejected"),
+    );
+    let tenants = serve.get("tenants").and_then(|t| t.as_arr()).unwrap_or(&[]);
+    if tenants.is_empty() {
+        return;
+    }
+    println!("\nper-tenant decomposition:");
+    println!(
+        "  {:<16} {:>3} {:>3} {:>6} {:>6} {:>5} {:>5} {:>5} {:>10} {:>10} {:>8}",
+        "tenant", "w", "cap", "sub", "done", "rej", "canc", "exp", "wait ms", "exec ms", "steps"
+    );
+    for t in tenants {
+        println!(
+            "  {:<16} {:>3} {:>3} {:>6} {:>6} {:>5} {:>5} {:>5} {:>10.1} {:>10.1} {:>8}",
+            truncate(str_or(t, "tenant", "?"), 16),
+            t.u64_or_0("weight"),
+            t.u64_or_0("cap"),
+            t.u64_or_0("submitted"),
+            t.u64_or_0("completed"),
+            t.u64_or_0("rejected"),
+            t.u64_or_0("cancelled"),
+            t.u64_or_0("expired"),
+            t.u64_or_0("wait_us") as f64 / 1000.0,
+            t.u64_or_0("exec_us") as f64 / 1000.0,
+            t.u64_or_0("supersteps"),
+        );
     }
 }
 

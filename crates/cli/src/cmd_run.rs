@@ -2,7 +2,9 @@
 
 use crate::args::Args;
 use crate::cmd_generate::load_graph;
-use phigraph_apps::{Bfs, KCore, PageRank, SemiClustering, Sssp, TopoSort, Wcc};
+use phigraph_apps::{
+    Bfs, KCore, PageRank, PersonalizedPageRank, SemiClustering, Sssp, TopoSort, Wcc,
+};
 use phigraph_comm::PcieLink;
 use phigraph_core::api::VertexProgram;
 use phigraph_core::engine::obj::{run_obj_hetero, run_obj_single};
@@ -17,6 +19,15 @@ use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
 use phigraph_recover::{DirStore, FailoverConfig, FailoverPolicy, FaultPlan, IntegrityMode};
 use phigraph_trace::{Trace, TraceLevel};
 use std::io::Write;
+
+/// What every `drive_*` helper hands back to the dispatcher: the combined
+/// report, per-device reports, formatted value lines, and — for apps with
+/// POD values — the FNV-1a checksum behind `--checksum`.
+type DriveResult = Result<(RunReport, Vec<RunReport>, Vec<String>, Option<u64>), String>;
+
+/// Digest of a final value vector (shared with `phigraph serve`, so the
+/// daemon's per-job checksums compare directly against one-shot runs).
+type ChecksumFn<V> = fn(&[V]) -> u64;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
@@ -33,9 +44,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let iters: usize = args.flag_parse("iters", 20usize)?;
     let trace = build_trace(&args)?;
 
-    let (report, device_reports, lines) = match app.as_str() {
+    let (report, device_reports, lines, checksum) = match app.as_str() {
         "pagerank" => drive_pod(
             &PageRank {
+                damping: 0.85,
+                iterations: iters,
+            },
+            &g,
+            &args,
+            trace.as_ref(),
+            |v| format!("{v:.6}"),
+        )?,
+        "ppr" => drive_pod(
+            &PersonalizedPageRank {
+                source,
                 damping: 0.85,
                 iterations: iters,
             },
@@ -50,14 +72,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "sssp" => drive_pod(&Sssp { source }, &g, &args, trace.as_ref(), |v| {
             format!("{v}")
         })?,
-        "toposort" => drive(&TopoSort::new(&g), &g, &args, trace.as_ref(), |v| {
+        "toposort" => drive(&TopoSort::new(&g), &g, &args, trace.as_ref(), None, |v| {
             format!("level={} remaining={}", v.level, v.remaining)
         })?,
         "wcc" => drive_pod(&Wcc::new(&g), &g, &args, trace.as_ref(), |v| v.to_string())?,
         "kcore" => {
             let k: u32 = args.flag_parse("k", 2u32)?;
-            let (report, devs, lines) =
-                drive(&KCore::new(&g, k), &g, &args, trace.as_ref(), |v| {
+            let (report, devs, lines, chk) =
+                drive(&KCore::new(&g, k), &g, &args, trace.as_ref(), None, |v| {
                     format!("alive={} live_degree={}", v.alive, v.live_degree)
                 })?;
             println!(
@@ -65,12 +87,24 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 lines.iter().filter(|l| l.contains("alive=true")).count(),
                 g.num_vertices()
             );
-            (report, devs, lines)
+            (report, devs, lines, chk)
         }
         "semicluster" => drive_semicluster(&g, &args, iters, trace.as_ref())?,
         other => return Err(format!("unknown app {other:?}")),
     };
 
+    if args.has("checksum") {
+        match checksum {
+            // The same fingerprint the serving daemon reports: FNV-1a
+            // over the little-endian value encoding.
+            Some(c) => println!("checksum={c:#018x}"),
+            None => {
+                return Err(format!(
+                    "--checksum is unsupported for app {app:?} (needs a plain-old-data value type)"
+                ))
+            }
+        }
+    }
     println!("{}", report.summary());
     write_trace_output(&args, trace.as_ref(), &report, &device_reports)?;
     if let Some(out) = args.flag("out") {
@@ -243,12 +277,19 @@ fn drive_pod<P: VertexProgram>(
     args: &Args,
     trace: Option<&Trace>,
     fmt: impl Fn(&P::Value) -> String,
-) -> Result<(RunReport, Vec<RunReport>, Vec<String>), String>
+) -> DriveResult
 where
     P::Value: PodState,
 {
     if !recovery_requested(args) {
-        return drive(program, g, args, trace, fmt);
+        return drive(
+            program,
+            g,
+            args,
+            trace,
+            Some(phigraph_serve::values_checksum::<P::Value>),
+            fmt,
+        );
     }
     let cfg = attach(apply_recovery_flags(engine_config(args)?, args)?, trace);
     let out = if args.has("hetero") || args.has("partition") {
@@ -306,8 +347,9 @@ where
         persist_run_report(dir, &out.report, &out.device_reports)?;
         out
     };
+    let checksum = phigraph_serve::values_checksum(&out.values);
     let lines = out.values.iter().map(fmt).collect();
-    Ok((out.report, out.device_reports, lines))
+    Ok((out.report, out.device_reports, lines, Some(checksum)))
 }
 
 /// Leave a machine-readable run report next to the snapshots so that
@@ -324,8 +366,9 @@ fn drive<P: VertexProgram>(
     g: &Csr,
     args: &Args,
     trace: Option<&Trace>,
+    checksum_fn: Option<ChecksumFn<P::Value>>,
     fmt: impl Fn(&P::Value) -> String,
-) -> Result<(RunReport, Vec<RunReport>, Vec<String>), String> {
+) -> DriveResult {
     if recovery_requested(args) {
         return Err(
             "checkpoint/fault flags are unsupported for this app's value type \
@@ -358,16 +401,12 @@ fn drive<P: VertexProgram>(
             &attach(engine_config(args)?, trace),
         )
     };
+    let checksum = checksum_fn.map(|f| f(&out.values));
     let lines = out.values.iter().map(fmt).collect();
-    Ok((out.report, out.device_reports, lines))
+    Ok((out.report, out.device_reports, lines, checksum))
 }
 
-fn drive_semicluster(
-    g: &Csr,
-    args: &Args,
-    iters: usize,
-    trace: Option<&Trace>,
-) -> Result<(RunReport, Vec<RunReport>, Vec<String>), String> {
+fn drive_semicluster(g: &Csr, args: &Args, iters: usize, trace: Option<&Trace>) -> DriveResult {
     let sc = SemiClustering {
         iterations: iters.min(12),
         ..Default::default()
@@ -405,5 +444,5 @@ fn drive_semicluster(
             None => "no-cluster".to_string(),
         })
         .collect();
-    Ok((out.report, out.device_reports, lines))
+    Ok((out.report, out.device_reports, lines, None))
 }

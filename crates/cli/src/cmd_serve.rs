@@ -1,0 +1,130 @@
+//! `phigraph serve` — load a graph once and answer concurrent
+//! multi-tenant queries over it (line-delimited JSON on stdin/stdout,
+//! or a unix socket with `--socket`).
+
+use crate::args::Args;
+use crate::cmd_generate::load_graph;
+use phigraph_core::engine::ExecMode;
+use phigraph_device::DeviceSpec;
+use phigraph_serve::{run_daemon, DaemonConfig, ServeConfig};
+use phigraph_trace::{Trace, TraceLevel};
+use std::sync::Arc;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let graph_path = args.pos(0, "graph")?;
+    let g = Arc::new(load_graph(graph_path)?);
+    eprintln!(
+        "serve: loaded {} ({} vertices, {} edges)",
+        graph_path,
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let mode = match args.flag_or("engine", "lock") {
+        "lock" => ExecMode::Locking,
+        "pipe" => ExecMode::Pipelined,
+        "omp" => ExecMode::Flat,
+        "seq" => ExecMode::Sequential,
+        other => return Err(format!("unknown engine {other:?}")),
+    };
+    let (device, device_label) = match args.flag_or("device", "cpu") {
+        "cpu" => (DeviceSpec::xeon_e5_2680(), "cpu"),
+        "mic" => (DeviceSpec::xeon_phi_se10p(), "mic"),
+        other => return Err(format!("unknown device {other:?}")),
+    };
+    let trace = if args.has("trace-level") {
+        let level: TraceLevel = args.flag_or("trace-level", "phase").parse()?;
+        Some(Trace::new(level))
+    } else {
+        None
+    };
+
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        workers: args.flag_parse("workers", defaults.workers)?,
+        queue_cap: args.flag_parse("queue-cap", defaults.queue_cap)?,
+        default_deadline_ms: match args.flag("deadline-ms") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value {v:?} for --deadline-ms"))?,
+            ),
+            None => None,
+        },
+        mode,
+        device,
+        default_weight: args.flag_parse("default-weight", defaults.default_weight)?,
+        default_cap: args.flag_parse("default-cap", defaults.default_cap)?,
+        watchdog_tick_ms: args.flag_parse("watchdog-tick-ms", defaults.watchdog_tick_ms)?,
+        trace,
+    };
+
+    let dcfg = DaemonConfig {
+        socket: args.flag("socket").map(String::from),
+        report_out: Some(args.flag_or("report-out", "run_report.json").to_string()),
+        prom_out: args.flag("prom-out").map(String::from),
+        tenants: parse_tenants(args.flag("tenants"))?,
+        device_label: device_label.to_string(),
+    };
+    eprintln!(
+        "serve: {} workers, queue cap {}, engine {}, {} tenants preconfigured",
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.mode.name(),
+        dcfg.tenants.len()
+    );
+    run_daemon(g, cfg, dcfg)
+}
+
+/// Parse `--tenants "a:4:2,b:1:1"` (name:weight:cap, comma-separated;
+/// weight and cap optional, defaulting to 1).
+fn parse_tenants(flag: Option<&str>) -> Result<Vec<(String, u64, usize)>, String> {
+    let Some(spec) = flag else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for entry in spec.split(',').filter(|s| !s.is_empty()) {
+        let mut parts = entry.split(':');
+        let name = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("empty tenant name in {entry:?}"))?;
+        let weight: u64 = match parts.next() {
+            Some(w) => w
+                .parse()
+                .map_err(|_| format!("bad weight in tenant spec {entry:?}"))?,
+            None => 1,
+        };
+        let cap: usize = match parts.next() {
+            Some(c) => c
+                .parse()
+                .map_err(|_| format!("bad cap in tenant spec {entry:?}"))?,
+            None => 1,
+        };
+        if parts.next().is_some() {
+            return Err(format!("tenant spec {entry:?} has too many fields"));
+        }
+        out.push((name.to_string(), weight.max(1), cap.max(1)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_specs_parse() {
+        assert_eq!(parse_tenants(None).unwrap(), vec![]);
+        assert_eq!(
+            parse_tenants(Some("a:4:2,b:1:1,c")).unwrap(),
+            vec![
+                ("a".to_string(), 4, 2),
+                ("b".to_string(), 1, 1),
+                ("c".to_string(), 1, 1),
+            ]
+        );
+        assert!(parse_tenants(Some("a:x:1")).is_err());
+        assert!(parse_tenants(Some("a:1:2:3")).is_err());
+    }
+}

@@ -19,6 +19,8 @@
 //!              [--integrity off|frames|full] [--scrub-every N]
 //!              [--trace-out FILE] [--trace-format chrome|json|prom]
 //!              [--trace-level off|phase|fine]
+//! phigraph serve <graph> [--workers N] [--queue-cap N] [--engine E] [--socket PATH]
+//!                [--tenants a:4:2,b:1:1] [--deadline-ms N] [--prom-out FILE]
 //! phigraph report <report.json> [--steps] [--top N]
 //! phigraph recover <checkpoint-dir> [--inspect STEP]
 //! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
@@ -35,6 +37,7 @@ mod cmd_partition;
 mod cmd_recover;
 mod cmd_report;
 mod cmd_run;
+mod cmd_serve;
 mod cmd_tune;
 
 use std::process::ExitCode;
@@ -50,6 +53,7 @@ fn main() -> ExitCode {
         "info" => cmd_info::run(rest),
         "partition" => cmd_partition::run(rest),
         "run" => cmd_run::run(rest),
+        "serve" => cmd_serve::run(rest),
         "recover" => cmd_recover::run(rest),
         "report" => cmd_report::run(rest),
         "tune" => cmd_tune::run(rest),
@@ -77,10 +81,10 @@ commands:
   generate <pokec|dblp|dag|gnm> <out.{adj|bin}> [--scale tiny|small|medium] [--seed N]
   info <graph.{adj|bin|txt|snap}>
   partition <graph> <out.part> [--scheme continuous|round-robin|hybrid] [--ratio A:B] [--blocks N] [--seed N]
-  run <pagerank|bfs|sssp|toposort|wcc|kcore|semicluster> <graph>
+  run <pagerank|ppr|bfs|sssp|toposort|wcc|kcore|semicluster> <graph>
       [--engine lock|pipe|omp|seq] [--device cpu|mic]
       [--partition file.part | --hetero] [--ratio A:B]
-      [--source N] [--iters N] [--out values.txt]
+      [--source N] [--iters N] [--out values.txt] [--checksum]
       [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
       [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
       [--integrity off|frames|full] [--scrub-every N]
@@ -89,6 +93,12 @@ commands:
                     |bitflip-msg|bitflip-state|truncate-frame;
        checkpoint/resume/integrity: pagerank|bfs|sssp|wcc with --engine lock|pipe;
        chrome traces load in Perfetto / chrome://tracing)
+  serve <graph> [--workers N] [--queue-cap N] [--engine lock|pipe|omp|seq] [--device cpu|mic]
+        [--socket PATH] [--tenants name:weight:cap,...] [--default-weight N] [--default-cap N]
+        [--deadline-ms N] [--report-out FILE] [--prom-out FILE] [--trace-level off|phase|fine]
+        (line-delimited JSON jobs on stdin or the socket:
+         {\"op\":\"job\",\"id\":\"q1\",\"tenant\":\"a\",\"app\":\"sssp\",\"sources\":[0,7]}
+         plus ops tenant/stats/shutdown; see docs/serving.md)
   report <report.json> [--steps] [--top N]
   recover <checkpoint-dir> [--inspect STEP]
   tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]

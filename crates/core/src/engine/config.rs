@@ -2,7 +2,7 @@
 
 use crate::csb::ColumnMode;
 use phigraph_device::cost::GenMode;
-use phigraph_device::DeviceSpec;
+use phigraph_device::{CancelToken, DeviceSpec};
 use phigraph_recover::{FaultInjector, IntegrityMode, RecoveryPolicy};
 use phigraph_trace::{ThreadTracer, Trace};
 
@@ -91,6 +91,12 @@ pub struct EngineConfig {
     /// image) every `n` supersteps even when `integrity` is below `Full`
     /// (0 disables scrubbing).
     pub scrub_every: usize,
+    /// Cooperative cancellation token, polled at superstep phase
+    /// boundaries. When it fires the engine stops cleanly at the next
+    /// boundary and returns the partial output; the caller reads
+    /// [`CancelToken::reason`] to learn why. `None` (the default) skips
+    /// every poll site.
+    pub cancel: Option<CancelToken>,
 }
 
 impl EngineConfig {
@@ -113,6 +119,7 @@ impl EngineConfig {
             trace: None,
             integrity: IntegrityMode::Off,
             scrub_every: 0,
+            cancel: None,
         }
     }
 
@@ -229,6 +236,22 @@ impl EngineConfig {
     pub fn with_scrub_every(mut self, n: usize) -> Self {
         self.scrub_every = n;
         self
+    }
+
+    /// Install a cooperative cancellation token (see [`CancelToken`]).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Poll the cancellation token (ticking its liveness heartbeat); true
+    /// when the run should stop at the current phase boundary.
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        match &self.cancel {
+            Some(t) => t.poll(),
+            None => false,
+        }
     }
 
     /// Attach a tracer for the logical thread `name` (disabled when no

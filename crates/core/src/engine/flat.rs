@@ -100,7 +100,7 @@ pub fn run_flat<P: VertexProgram>(
     let mut steps: Vec<StepReport> = Vec::new();
 
     for step in 0.. {
-        if step >= cap {
+        if step >= cap || config.cancelled() {
             break;
         }
         let t0 = Instant::now();

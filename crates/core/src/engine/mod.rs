@@ -30,6 +30,23 @@ use phigraph_trace::Phase;
 use std::time::Instant;
 
 /// Run `program` to completion on a single device with any execution mode.
+///
+/// # Re-entrancy
+///
+/// Every driver borrows the graph (`&Csr`) and allocates all mutable run
+/// state — values, CSB arenas, queues, counters — per call, so any number
+/// of runs may execute concurrently against one shared CSR (e.g. behind an
+/// `Arc<Csr>`). The serving daemon in `phigraph-serve` relies on this:
+/// one loaded graph, many concurrent per-tenant jobs.
+///
+/// # Cancellation
+///
+/// When [`EngineConfig::cancel`] holds a token, the drivers poll it at
+/// superstep phase boundaries (including *inside* a superstep, between
+/// generate/process/update) and stop cleanly at the first boundary after
+/// it fires, returning the partial output computed so far. Each poll ticks
+/// the token's embedded heartbeat, so a watchdog can distinguish a slow
+/// run (heartbeat advancing) from a hung one.
 pub fn run_single<P: VertexProgram>(
     program: &P,
     graph: &Csr,
@@ -57,7 +74,7 @@ fn run_csb_single<P: VertexProgram>(
     let mut steps: Vec<StepReport> = Vec::new();
 
     for step in 0.. {
-        if step >= cap {
+        if step >= cap || config.cancelled() {
             break;
         }
         let t0 = Instant::now();
@@ -72,6 +89,11 @@ fn run_csb_single<P: VertexProgram>(
             "single-device run produced remote messages"
         );
         engine.finalize_insertion_stats(&mut c);
+        // Mid-superstep cancellation point: the partial step is abandoned
+        // (values still hold the last completed superstep's state).
+        if config.cancelled() {
+            break;
+        }
         {
             let _p = tracer.span(Phase::Process, step as u32);
             engine.process(&mut c);

@@ -93,7 +93,7 @@ pub fn run_seq_resume<P: VertexProgram>(
     let mut steps: Vec<StepReport> = Vec::new();
 
     for step in start_step.. {
-        if step >= cap {
+        if step >= cap || config.cancelled() {
             break;
         }
         let t0 = Instant::now();

@@ -148,6 +148,41 @@ impl<T> SpscQueue<T> {
         spins
     }
 
+    /// Push one item *without* waiting: when the ring is full the item
+    /// comes straight back as `Err`, so the caller can reject instead of
+    /// blocking. This is the admission-control face of the ring — the
+    /// serving daemon turns an `Err` into a reject-with-retry-after
+    /// response rather than stalling the accept loop.
+    ///
+    /// # Safety
+    /// Must be called from exactly one producer thread (or producers
+    /// serialized by an external lock, which restores the single-producer
+    /// discipline).
+    pub unsafe fn try_push(&self, item: T) -> Result<(), T> {
+        let tail = self.prod.0.tail.load(Ordering::Relaxed);
+        if self.free_slots(tail) == 0 {
+            return Err(item);
+        }
+        // SAFETY: slot `tail % cap` is free (tail - head < cap) and only
+        // this producer writes tails.
+        (*self.slots[tail % self.cap].get()).write(item);
+        self.prod
+            .0
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently in the ring, as seen from the producer side. An
+    /// estimate under concurrency (the consumer may drain concurrently),
+    /// but it only ever *over*-states occupancy, so admission decisions
+    /// based on it are conservative.
+    pub fn occupancy(&self) -> usize {
+        let tail = self.prod.0.tail.load(Ordering::Acquire);
+        let head = self.cons.0.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
     /// Push a whole slice, publishing the tail once per contiguous chunk
     /// (at most twice per ring revolution) instead of once per item.
     /// Spins with yields whenever the ring fills mid-slice. Returns the
@@ -415,6 +450,29 @@ mod tests {
                 assert_eq!(v, i as u64);
             }
         });
+    }
+
+    #[test]
+    fn try_push_rejects_when_full_without_spinning() {
+        let q = SpscQueue::new(2);
+        // SAFETY: single thread.
+        unsafe {
+            assert_eq!(q.try_push(1u32), Ok(()));
+            assert_eq!(q.try_push(2u32), Ok(()));
+            assert_eq!(q.occupancy(), 2);
+            // Full ring: the item comes back instead of blocking.
+            assert_eq!(q.try_push(3u32), Err(3));
+            let mut out = Vec::new();
+            q.pop_batch(&mut out, 1);
+            assert_eq!(q.occupancy(), 1);
+            assert_eq!(q.try_push(3u32), Ok(()));
+            // Two pops: the consumer's tail cache is refreshed lazily, so
+            // the item pushed after the first drain needs a second pass.
+            q.pop_batch(&mut out, 10);
+            q.pop_batch(&mut out, 10);
+            assert_eq!(out, vec![1, 2, 3]);
+            assert_eq!(q.occupancy(), 0);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! to obtain a load-balance-aware makespan instead of assuming perfect
 //! parallel efficiency.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -288,6 +288,117 @@ impl Heartbeat {
     }
 }
 
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    /// Why the token was cancelled: 0 = not cancelled, otherwise a
+    /// [`CancelReason`] discriminant.
+    reason: AtomicU64,
+    /// Liveness beacon ticked at every poll site, so the same watchdog
+    /// that detects silent devices (PR 3) can tell a *hung* job (no polls)
+    /// from a merely *slow* one (polling but not finishing).
+    hb: Heartbeat,
+}
+
+/// Why a [`CancelToken`] fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The job's wall-clock deadline passed.
+    Deadline = 1,
+    /// The owner is shutting down and revoked the work.
+    Shutdown = 2,
+    /// Cancelled explicitly by the submitter.
+    Requested = 3,
+}
+
+impl CancelReason {
+    /// Stable short name for protocol responses and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CancelReason::Deadline => "deadline",
+            CancelReason::Shutdown => "shutdown",
+            CancelReason::Requested => "cancelled",
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<CancelReason> {
+        match v {
+            1 => Some(CancelReason::Deadline),
+            2 => Some(CancelReason::Shutdown),
+            3 => Some(CancelReason::Requested),
+            _ => None,
+        }
+    }
+}
+
+/// A cheaply clonable cooperative cancellation token.
+///
+/// The engines poll [`CancelToken::poll`] at phase boundaries inside each
+/// superstep and abandon the run early once the token fires; the owner
+/// (e.g. the serving daemon's deadline watchdog) calls
+/// [`CancelToken::cancel`] from any thread. Every poll also ticks an
+/// embedded [`Heartbeat`], so the watchdog can distinguish a job that
+/// stopped polling (hung inside a phase) from one that is still making
+/// progress. A fired token stays fired; the first reason wins.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// New, un-fired token.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                reason: AtomicU64::new(0),
+                hb: Heartbeat::new(),
+            }),
+        }
+    }
+
+    /// Fire the token. The first caller's reason is kept.
+    pub fn cancel(&self, reason: CancelReason) {
+        // Publish the reason before the flag so a poller that observes
+        // `cancelled` can always read a coherent reason.
+        let _ = self.inner.reason.compare_exchange(
+            0,
+            reason as u64,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Poll site for the worker executing under this token: ticks the
+    /// liveness beacon and reports whether the token fired. One relaxed
+    /// heartbeat update plus one acquire load — cheap enough for every
+    /// phase boundary.
+    #[inline]
+    pub fn poll(&self) -> bool {
+        self.inner.hb.tick();
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the token fired, without ticking the beacon (observer side).
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Why the token fired (`None` while un-fired).
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_u64(self.inner.reason.load(Ordering::Acquire))
+    }
+
+    /// The liveness beacon ticked by [`CancelToken::poll`] — the watchdog
+    /// side of the PR 3 machinery.
+    pub fn heartbeat(&self) -> &Heartbeat {
+        &self.inner.hb
+    }
+}
+
 /// A set of atomic tallies shared by worker threads during one phase, folded
 /// into [`StepCounters`] afterwards.
 #[derive(Debug, Default)]
@@ -478,5 +589,43 @@ mod tests {
             }
         });
         assert_eq!(t.snapshot(), (4000, 8000, 0));
+    }
+
+    #[test]
+    fn cancel_token_fires_once_with_first_reason() {
+        let t = CancelToken::new();
+        assert!(!t.poll());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+        t.cancel(CancelReason::Deadline);
+        t.cancel(CancelReason::Shutdown); // loses the race; first reason wins
+        assert!(t.poll());
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::Deadline));
+        assert_eq!(t.reason().unwrap().name(), "deadline");
+    }
+
+    #[test]
+    fn cancel_token_polls_tick_the_heartbeat() {
+        let t = CancelToken::new();
+        let before = t.heartbeat().ticks();
+        t.poll();
+        t.poll();
+        assert_eq!(t.heartbeat().ticks(), before + 2);
+    }
+
+    #[test]
+    fn cancel_token_crosses_threads() {
+        let t = CancelToken::new();
+        std::thread::scope(|s| {
+            let observer = t.clone();
+            s.spawn(move || {
+                while !observer.poll() {
+                    std::hint::spin_loop();
+                }
+                assert_eq!(observer.reason(), Some(CancelReason::Requested));
+            });
+            t.cancel(CancelReason::Requested);
+        });
     }
 }

@@ -32,6 +32,6 @@ pub mod sched;
 pub mod spec;
 
 pub use cost::CostModel;
-pub use counters::{Heartbeat, InsertProfile, StepCounters};
+pub use counters::{CancelReason, CancelToken, Heartbeat, InsertProfile, StepCounters};
 pub use sched::{makespan, ChunkScheduler, MakespanReport};
 pub use spec::DeviceSpec;

@@ -1,0 +1,325 @@
+//! The daemon frontends: line-delimited JSON over stdin (the default)
+//! or a unix socket, shared shutdown orchestration, and the final
+//! report/Prometheus file writes.
+//!
+//! Life cycle:
+//!
+//! 1. Block SIGTERM/SIGINT and open a signalfd **before** any thread
+//!    exists ([`crate::signals::SignalFd::install`]).
+//! 2. Spawn the [`ServePool`] and a writer thread that turns
+//!    [`JobResult`]s into response lines.
+//! 3. Read request lines until EOF / `{"op":"shutdown"}` (graceful
+//!    drain) or a termination signal (forced: running jobs cancelled
+//!    with the `shutdown` reason, queued jobs reported cancelled).
+//! 4. Whoever triggers shutdown writes `run_report.json` (with the
+//!    `"serve"` tenant breakdown) and the Prometheus text file, then the
+//!    process exits cleanly with every thread joined.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use phigraph_graph::Csr;
+
+use crate::job::{error_line, parse_request, peek_id, rejection_line, JobResult, Request};
+use crate::pool::{AdmitError, ServeConfig, ServePool};
+use crate::signals::SignalFd;
+use crate::stats::{serve_prometheus_text, serve_report_json, ServeStats};
+
+/// Daemon options on top of the pool configuration.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonConfig {
+    /// Unix-socket path; `None` serves stdin/stdout.
+    pub socket: Option<String>,
+    /// Where to write the final run report (`None`: skip).
+    pub report_out: Option<String>,
+    /// Where to write the final Prometheus text (`None`: skip).
+    pub prom_out: Option<String>,
+    /// Tenants to configure up front: `(name, weight, cap)`.
+    pub tenants: Vec<(String, u64, usize)>,
+    /// Device label for the report.
+    pub device_label: String,
+}
+
+struct Core {
+    pool: Mutex<Option<ServePool>>,
+    cfg: ServeConfig,
+    dcfg: DaemonConfig,
+    started: Instant,
+    /// Set when shutdown came from a signal: the writer thread exits the
+    /// process once the last result is flushed, because the main thread
+    /// is still parked in a blocking read.
+    exit_when_drained: AtomicBool,
+    final_stats: Mutex<Option<ServeStats>>,
+}
+
+impl Core {
+    /// Shut the pool down (at most once). Returns whether this call did
+    /// the work.
+    fn finish(&self, drain: bool) -> bool {
+        let taken = self.pool.lock().unwrap().take();
+        match taken {
+            Some(mut p) => {
+                // Join the workers but keep the results channel open:
+                // the final stats must be stored before the writer
+                // thread sees disconnection, because the writer is what
+                // turns them into run_report.json / the Prometheus file.
+                p.shutdown_workers(drain);
+                *self.final_stats.lock().unwrap() = Some(p.stats());
+                drop(p); // now the channel closes and the writer finishes
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn write_reports(&self) {
+        let stats = match self.final_stats.lock().unwrap().clone() {
+            Some(s) => s,
+            None => return,
+        };
+        let wall = self.started.elapsed().as_secs_f64();
+        if let Some(path) = &self.dcfg.report_out {
+            let doc = serve_report_json(&stats, &self.dcfg.device_label, wall);
+            if let Err(e) = std::fs::write(path, doc) {
+                eprintln!("serve: write {path}: {e}");
+            }
+        }
+        if let Some(path) = &self.dcfg.prom_out {
+            let mut text = serve_prometheus_text(&stats);
+            if let Some(trace) = &self.cfg.trace {
+                crate::stats::append_job_hists(&mut text, &trace.snapshot());
+            }
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("serve: write {path}: {e}");
+            }
+        }
+    }
+
+    /// Handle one request line; responses go through `out`. Returns
+    /// `true` when the line asked for shutdown.
+    fn handle_line(&self, line: &str, conn: u64, out: &dyn Fn(&str)) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        match parse_request(line, self.cfg.mode, conn) {
+            Err(e) => out(&error_line(&peek_id(line), &e)),
+            Ok(Request::Job(spec)) => {
+                let guard = self.pool.lock().unwrap();
+                match guard.as_ref() {
+                    None => out(&error_line(&spec.id, "daemon is shutting down")),
+                    Some(pool) => match pool.submit(spec.clone()) {
+                        Ok(()) => {}
+                        Err(AdmitError::QueueFull { retry_after_ms }) => {
+                            out(&rejection_line(&spec.id, &spec.tenant, retry_after_ms))
+                        }
+                        Err(AdmitError::Closed) => {
+                            out(&error_line(&spec.id, "daemon is shutting down"))
+                        }
+                    },
+                }
+            }
+            Ok(Request::Tenant {
+                tenant,
+                weight,
+                cap,
+            }) => {
+                if let Some(pool) = self.pool.lock().unwrap().as_ref() {
+                    pool.set_tenant(&tenant, weight, cap);
+                }
+                out(&format!(
+                    "{{\"op\":\"tenant\",\"tenant\":{},\"status\":\"ok\"}}",
+                    phigraph_trace::json::quote(&tenant)
+                ));
+            }
+            Ok(Request::Stats) => {
+                let snap = match self.pool.lock().unwrap().as_ref() {
+                    Some(pool) => pool.stats(),
+                    None => self.final_stats.lock().unwrap().clone().unwrap_or_default(),
+                };
+                out(&snap.to_line());
+            }
+            Ok(Request::Shutdown) => {
+                out("{\"op\":\"shutdown\",\"status\":\"ok\"}");
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn stdout_line(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+/// Run the daemon over `graph` until EOF, a shutdown request, or a
+/// termination signal. Blocks the calling thread.
+pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Result<(), String> {
+    // Must precede every thread spawn so the mask is inherited.
+    let sfd = SignalFd::install();
+
+    let (pool, rx) = ServePool::new(graph, cfg.clone());
+    for (name, weight, cap) in &dcfg.tenants {
+        pool.set_tenant(name, *weight, *cap);
+    }
+    let core = Arc::new(Core {
+        pool: Mutex::new(Some(pool)),
+        cfg,
+        dcfg: dcfg.clone(),
+        started: Instant::now(),
+        exit_when_drained: AtomicBool::new(false),
+        final_stats: Mutex::new(None),
+    });
+
+    if let Some(sfd) = sfd {
+        let core = Arc::clone(&core);
+        std::thread::Builder::new()
+            .name("serve-signals".to_string())
+            .spawn(move || {
+                if sfd.wait().is_some() {
+                    // Forced shutdown: the main thread is blocked in a
+                    // read, so the writer thread exits the process once
+                    // the cancellation results are flushed.
+                    core.exit_when_drained.store(true, Ordering::Release);
+                    if core.finish(false) {
+                        eprintln!("serve: termination signal: cancelling and exiting");
+                    }
+                }
+            })
+            .map_err(|e| format!("spawn signal thread: {e}"))?;
+    }
+
+    match dcfg.socket.clone() {
+        None => run_stdin(core, rx),
+        Some(path) => run_socket(core, rx, &path),
+    }
+}
+
+fn spawn_writer(
+    core: Arc<Core>,
+    rx: Receiver<JobResult>,
+    route: impl Fn(&JobResult) + Send + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("serve-writer".to_string())
+        .spawn(move || {
+            for r in rx {
+                route(&r);
+            }
+            // Channel disconnected: the pool is down and every result is
+            // out. Reports are written here so they exist on every exit
+            // path, including signal-forced ones.
+            core.write_reports();
+            if core.exit_when_drained.load(Ordering::Acquire) {
+                std::process::exit(0);
+            }
+        })
+        .expect("spawn serve writer")
+}
+
+fn run_stdin(core: Arc<Core>, rx: Receiver<JobResult>) -> Result<(), String> {
+    let writer = spawn_writer(Arc::clone(&core), rx, |r| stdout_line(&r.to_line()));
+    let stdin = std::io::stdin();
+    let mut requested_shutdown = false;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if core.handle_line(&line, 0, &stdout_line) {
+            requested_shutdown = true;
+            break;
+        }
+    }
+    // EOF or an explicit shutdown op: drain admitted jobs, then leave.
+    let _ = requested_shutdown;
+    core.finish(true);
+    let _ = writer.join();
+    Ok(())
+}
+
+fn run_socket(core: Arc<Core>, rx: Receiver<JobResult>, path: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| format!("bind {path}: {e}"))?;
+    eprintln!("serve: listening on {path}");
+
+    type Conns = Arc<Mutex<HashMap<u64, Arc<Mutex<UnixStream>>>>>;
+    let conns: Conns = Arc::new(Mutex::new(HashMap::new()));
+
+    let writer = {
+        let conns = Arc::clone(&conns);
+        spawn_writer(Arc::clone(&core), rx, move |r| {
+            let target = conns.lock().unwrap().get(&r.conn).cloned();
+            match target {
+                Some(stream) => {
+                    let mut s = stream.lock().unwrap();
+                    let _ = writeln!(s, "{}", r.to_line());
+                    let _ = s.flush();
+                }
+                None => stdout_line(&r.to_line()),
+            }
+        })
+    };
+
+    // When a connection asks for shutdown we still need to fall out of
+    // the blocking accept loop; connecting to ourselves unblocks it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut next_conn: u64 = 1;
+    let mut readers = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let conn = next_conn;
+        next_conn += 1;
+        let write_half = Arc::new(Mutex::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("clone stream: {e}"))?,
+        ));
+        conns.lock().unwrap().insert(conn, Arc::clone(&write_half));
+        let core = Arc::clone(&core);
+        let conns = Arc::clone(&conns);
+        let stop = Arc::clone(&stop);
+        let sock_path = path.to_string();
+        readers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-conn{conn}"))
+                .spawn(move || {
+                    let reader = std::io::BufReader::new(stream);
+                    let out = |line: &str| {
+                        let mut s = write_half.lock().unwrap();
+                        let _ = writeln!(s, "{line}");
+                        let _ = s.flush();
+                    };
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        if core.handle_line(&line, conn, &out) {
+                            stop.store(true, Ordering::Release);
+                            // Poke the accept loop awake.
+                            let _ = UnixStream::connect(&sock_path);
+                            break;
+                        }
+                    }
+                    conns.lock().unwrap().remove(&conn);
+                })
+                .map_err(|e| format!("spawn conn thread: {e}"))?,
+        );
+    }
+    core.finish(true);
+    for h in readers {
+        let _ = h.join();
+    }
+    let _ = writer.join();
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

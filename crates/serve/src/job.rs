@@ -1,0 +1,459 @@
+//! The serving protocol: job descriptions, results, and the
+//! line-delimited JSON codec both the stdin and unix-socket frontends
+//! speak.
+//!
+//! One request per line, one response per line. A request is an object
+//! whose `op` field selects the verb (`job` is the default when the field
+//! is absent, so the common case stays short):
+//!
+//! ```text
+//! {"op":"job","id":"q1","tenant":"a","app":"sssp","sources":[0,7]}
+//! {"op":"tenant","tenant":"a","weight":4,"cap":2}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses echo the job `id` and report a `status` of `ok`,
+//! `rejected` (with `retry_after_ms`), `cancelled` (with the
+//! [`CancelReason`](phigraph_device::CancelReason) name), `expired`, or
+//! `error`. Checksums are emitted as `"0x…"` hex strings because JSON
+//! numbers cannot carry 64 bits faithfully.
+
+use phigraph_core::engine::ExecMode;
+use phigraph_graph::VertexId;
+use phigraph_trace::json::{Json, JsonBuf};
+
+/// What a job computes. Each variant maps onto one vertex program from
+/// `phigraph-apps`; SSSP takes a landmark batch so one admission covers a
+/// whole distance-oracle refresh.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobKind {
+    /// Global PageRank.
+    PageRank {
+        /// Damping factor.
+        damping: f32,
+        /// Fixed iteration count.
+        iterations: usize,
+    },
+    /// Personalized PageRank from one teleport source.
+    Ppr {
+        /// Teleport target.
+        source: VertexId,
+        /// Damping factor.
+        damping: f32,
+        /// Fixed iteration count.
+        iterations: usize,
+    },
+    /// Breadth-first levels from one root.
+    Bfs {
+        /// Traversal root.
+        source: VertexId,
+    },
+    /// Batched landmark SSSP: one run per source, executed back to back
+    /// inside the job's slot.
+    Sssp {
+        /// Landmark sources (at least one).
+        sources: Vec<VertexId>,
+    },
+    /// Weakly connected components.
+    Wcc,
+}
+
+impl JobKind {
+    /// The app name used in responses and per-tenant metrics.
+    pub fn app_name(&self) -> &'static str {
+        match self {
+            JobKind::PageRank { .. } => "pagerank",
+            JobKind::Ppr { .. } => "ppr",
+            JobKind::Bfs { .. } => "bfs",
+            JobKind::Sssp { .. } => "sssp",
+            JobKind::Wcc => "wcc",
+        }
+    }
+}
+
+/// One admitted unit of work.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Caller-chosen id, echoed in the response.
+    pub id: String,
+    /// Tenant the job is billed to (scheduling weight / cap / stats key).
+    pub tenant: String,
+    /// What to compute.
+    pub kind: JobKind,
+    /// Engine mode for this job's private `EngineConfig`.
+    pub mode: ExecMode,
+    /// Per-job deadline in milliseconds from admission (`None` = the
+    /// pool default).
+    pub deadline_ms: Option<u64>,
+    /// Frontend connection tag, so the socket frontend can route the
+    /// response back. `0` for stdin.
+    pub conn: u64,
+}
+
+/// A request line, decoded.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Run a job.
+    Job(JobSpec),
+    /// Set a tenant's scheduling weight and concurrency cap.
+    Tenant {
+        /// Tenant name.
+        tenant: String,
+        /// Stride-scheduling weight (≥ 1).
+        weight: u64,
+        /// Max jobs of this tenant running at once (≥ 1).
+        cap: usize,
+    },
+    /// Ask for the current [`ServeStats`](crate::stats::ServeStats).
+    Stats,
+    /// Graceful shutdown: drain admitted jobs, then exit.
+    Shutdown,
+}
+
+/// Why a job finished the way it did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to completion.
+    Ok,
+    /// Cancelled mid-run; the string is the
+    /// [`CancelReason`](phigraph_device::CancelReason) name
+    /// (`deadline` / `shutdown` / `cancelled`).
+    Cancelled(&'static str),
+    /// Expired in the queue before any worker picked it up.
+    Expired,
+    /// Failed with an error message.
+    Error(String),
+}
+
+impl JobStatus {
+    /// Protocol status string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Ok => "ok",
+            JobStatus::Cancelled(_) => "cancelled",
+            JobStatus::Expired => "expired",
+            JobStatus::Error(_) => "error",
+        }
+    }
+}
+
+/// The outcome of one job, sent back over the results channel.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Echoed job id.
+    pub id: String,
+    /// Echoed tenant.
+    pub tenant: String,
+    /// App name.
+    pub app: &'static str,
+    /// Outcome.
+    pub status: JobStatus,
+    /// FNV-1a checksum of the final vertex values (folded across the
+    /// batch for multi-source SSSP); `0` unless `status` is `Ok`.
+    pub checksum: u64,
+    /// Supersteps executed (summed across a batch).
+    pub supersteps: u64,
+    /// Time spent queued before pickup, µs.
+    pub wait_us: u64,
+    /// Execution time on the worker, µs.
+    pub exec_us: u64,
+    /// Frontend connection tag (copied from the spec).
+    pub conn: u64,
+}
+
+/// Collapse a pretty-printed [`JsonBuf`] document onto one line.
+/// Newlines in the output are always formatting (string values escape
+/// theirs), so stripping them and the indent that follows is safe.
+pub(crate) fn one_line(doc: String) -> String {
+    doc.split('\n').map(str::trim_start).collect()
+}
+
+impl JobResult {
+    /// Encode as one response line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut b = JsonBuf::obj();
+        b.str("id", &self.id);
+        b.str("tenant", &self.tenant);
+        b.str("app", self.app);
+        b.str("status", self.status.name());
+        match &self.status {
+            JobStatus::Ok => {
+                b.str("checksum", &format!("{:#018x}", self.checksum));
+                b.int("supersteps", self.supersteps);
+            }
+            JobStatus::Cancelled(reason) => b.str("reason", reason),
+            JobStatus::Expired => {}
+            JobStatus::Error(msg) => b.str("error", msg),
+        }
+        b.int("wait_us", self.wait_us);
+        b.int("exec_us", self.exec_us);
+        one_line(b.finish())
+    }
+}
+
+/// Encode a rejection response for a job that never got admitted.
+pub fn rejection_line(id: &str, tenant: &str, retry_after_ms: u64) -> String {
+    let mut b = JsonBuf::obj();
+    b.str("id", id);
+    b.str("tenant", tenant);
+    b.str("status", "rejected");
+    b.int("retry_after_ms", retry_after_ms);
+    one_line(b.finish())
+}
+
+/// Encode an error response for a line that failed to parse.
+pub fn error_line(id: &str, msg: &str) -> String {
+    let mut b = JsonBuf::obj();
+    if !id.is_empty() {
+        b.str("id", id);
+    }
+    b.str("status", "error");
+    b.str("error", msg);
+    one_line(b.finish())
+}
+
+fn parse_mode(name: &str) -> Result<ExecMode, String> {
+    Ok(match name {
+        "lock" => ExecMode::Locking,
+        "pipe" => ExecMode::Pipelined,
+        "omp" => ExecMode::Flat,
+        "seq" => ExecMode::Sequential,
+        other => return Err(format!("unknown engine {other:?}")),
+    })
+}
+
+fn source_of(j: &Json) -> Result<VertexId, String> {
+    j.get("source")
+        .and_then(|v| v.as_u64())
+        .map(|v| v as VertexId)
+        .ok_or_else(|| "missing source".to_string())
+}
+
+fn kind_of(j: &Json) -> Result<JobKind, String> {
+    let app = j
+        .get("app")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| "missing app".to_string())?;
+    Ok(match app {
+        "pagerank" => JobKind::PageRank {
+            damping: j.get("damping").and_then(|v| v.as_f64()).unwrap_or(0.85) as f32,
+            iterations: j.get("iters").and_then(|v| v.as_u64()).unwrap_or(20) as usize,
+        },
+        "ppr" => JobKind::Ppr {
+            source: source_of(j)?,
+            damping: j.get("damping").and_then(|v| v.as_f64()).unwrap_or(0.85) as f32,
+            iterations: j.get("iters").and_then(|v| v.as_u64()).unwrap_or(20) as usize,
+        },
+        "bfs" => JobKind::Bfs {
+            source: source_of(j)?,
+        },
+        "sssp" => {
+            let sources: Vec<VertexId> = match j.get("sources").and_then(|v| v.as_arr()) {
+                Some(arr) => arr
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .map(|s| s as VertexId)
+                            .ok_or_else(|| "non-integer entry in sources".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => vec![source_of(j)?],
+            };
+            if sources.is_empty() {
+                return Err("sssp needs at least one source".to_string());
+            }
+            JobKind::Sssp { sources }
+        }
+        "wcc" => JobKind::Wcc,
+        other => return Err(format!("unknown app {other:?}")),
+    })
+}
+
+/// Decode one request line. `default_mode` fills in the engine when the
+/// line does not pick one; `conn` tags the spec for response routing.
+pub fn parse_request(line: &str, default_mode: ExecMode, conn: u64) -> Result<Request, String> {
+    let j = Json::parse(line)?;
+    let op = j.get("op").and_then(|v| v.as_str()).unwrap_or("job");
+    match op {
+        "job" => {
+            let id = j
+                .get("id")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| "missing id".to_string())?
+                .to_string();
+            let tenant = j
+                .get("tenant")
+                .and_then(|v| v.as_str())
+                .unwrap_or("default")
+                .to_string();
+            let mode = match j.get("engine").and_then(|v| v.as_str()) {
+                Some(name) => parse_mode(name)?,
+                None => default_mode,
+            };
+            Ok(Request::Job(JobSpec {
+                id,
+                tenant,
+                kind: kind_of(&j)?,
+                mode,
+                deadline_ms: j.get("deadline_ms").and_then(|v| v.as_u64()),
+                conn,
+            }))
+        }
+        "tenant" => Ok(Request::Tenant {
+            tenant: j
+                .get("tenant")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| "missing tenant".to_string())?
+                .to_string(),
+            weight: j.get("weight").and_then(|v| v.as_u64()).unwrap_or(1).max(1),
+            cap: j.get("cap").and_then(|v| v.as_u64()).unwrap_or(1).max(1) as usize,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Best-effort id extraction from a line that may not parse fully, so
+/// error responses can still be correlated.
+pub fn peek_id(line: &str) -> String {
+    Json::parse(line)
+        .ok()
+        .and_then(|j| j.get("id").and_then(|v| v.as_str()).map(String::from))
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_job_line() {
+        let r = parse_request(
+            r#"{"id":"q1","tenant":"a","app":"bfs","source":3}"#,
+            ExecMode::Locking,
+            7,
+        )
+        .unwrap();
+        match r {
+            Request::Job(spec) => {
+                assert_eq!(spec.id, "q1");
+                assert_eq!(spec.tenant, "a");
+                assert_eq!(spec.kind, JobKind::Bfs { source: 3 });
+                assert_eq!(spec.mode, ExecMode::Locking);
+                assert_eq!(spec.deadline_ms, None);
+                assert_eq!(spec.conn, 7);
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_batched_sssp_and_engine_override() {
+        let r = parse_request(
+            r#"{"op":"job","id":"q2","app":"sssp","sources":[0,5,9],"engine":"pipe","deadline_ms":250}"#,
+            ExecMode::Locking,
+            0,
+        )
+        .unwrap();
+        match r {
+            Request::Job(spec) => {
+                assert_eq!(
+                    spec.kind,
+                    JobKind::Sssp {
+                        sources: vec![0, 5, 9]
+                    }
+                );
+                assert_eq!(spec.tenant, "default");
+                assert_eq!(spec.mode, ExecMode::Pipelined);
+                assert_eq!(spec.deadline_ms, Some(250));
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        match parse_request(
+            r#"{"op":"tenant","tenant":"b","weight":4,"cap":2}"#,
+            ExecMode::Locking,
+            0,
+        )
+        .unwrap()
+        {
+            Request::Tenant {
+                tenant,
+                weight,
+                cap,
+            } => {
+                assert_eq!(tenant, "b");
+                assert_eq!(weight, 4);
+                assert_eq!(cap, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#, ExecMode::Locking, 0).unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#, ExecMode::Locking, 0).unwrap(),
+            Request::Shutdown
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("not json", ExecMode::Locking, 0).is_err());
+        assert!(parse_request(r#"{"id":"x","app":"nope"}"#, ExecMode::Locking, 0).is_err());
+        assert!(parse_request(r#"{"app":"bfs","source":1}"#, ExecMode::Locking, 0).is_err());
+        assert!(parse_request(
+            r#"{"id":"x","app":"sssp","sources":[]}"#,
+            ExecMode::Locking,
+            0
+        )
+        .is_err());
+        assert!(parse_request(
+            r#"{"id":"x","app":"bfs","source":1,"engine":"gpu"}"#,
+            ExecMode::Locking,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn result_lines_round_trip_through_the_parser() {
+        let ok = JobResult {
+            id: "q9".into(),
+            tenant: "a".into(),
+            app: "sssp",
+            status: JobStatus::Ok,
+            checksum: 0xdead_beef_0102_0304,
+            supersteps: 12,
+            wait_us: 40,
+            exec_us: 900,
+            conn: 0,
+        };
+        let line = ok.to_line();
+        assert!(!line.contains('\n'), "response must be one line: {line:?}");
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            j.get("checksum").unwrap().as_str(),
+            Some("0xdeadbeef01020304")
+        );
+        assert_eq!(j.u64_or_0("supersteps"), 12);
+
+        let j = Json::parse(&rejection_line("q1", "a", 15)).unwrap();
+        assert_eq!(j.get("status").unwrap().as_str(), Some("rejected"));
+        assert_eq!(j.u64_or_0("retry_after_ms"), 15);
+
+        let cancelled = JobResult {
+            status: JobStatus::Cancelled("deadline"),
+            ..ok
+        };
+        let j = Json::parse(&cancelled.to_line()).unwrap();
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("deadline"));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! The phigraph query-serving daemon: load a graph once, answer many
+//! concurrent tenant queries over it.
+//!
+//! The batch engines (PR 1–5) run one algorithm to completion per
+//! process. This crate turns the same machinery into a *service*: the
+//! CSR is loaded once and shared immutably (`Arc<Csr>`), and every
+//! admitted job — batched landmark SSSP, personalized PageRank,
+//! per-tenant BFS/WCC — gets its own private [`EngineConfig`]
+//! (own CSB arenas, own cancel token) executed by a fixed worker pool.
+//! Engine re-entrancy makes this safe: drivers only ever *borrow* the
+//! graph, so any number of jobs can run over it at once and each
+//! produces bit-identical results to a one-shot `phigraph run`.
+//!
+//! The moving parts:
+//!
+//! - [`pool::ServePool`] — bounded admission through the PR 1 SPSC
+//!   ring (reject-with-retry-after on overflow), stride-scheduled
+//!   weighted fairness across tenants with per-tenant concurrency caps
+//!   ([`sched::Scheduler`]), and a watchdog enforcing deadlines through
+//!   the PR 3 cancel tokens.
+//! - [`job`] — the line-delimited JSON protocol (requests in, one
+//!   response line per job out).
+//! - [`stats`] — per-tenant accounting, the `"serve"` block in
+//!   `run_report.json`, and the `phigraph_serve_*{tenant="…"}`
+//!   Prometheus series.
+//! - [`daemon`] — the stdin and unix-socket frontends plus clean
+//!   SIGTERM/SIGINT shutdown via [`signals::SignalFd`].
+//!
+//! [`EngineConfig`]: phigraph_core::engine::EngineConfig
+
+pub mod daemon;
+pub mod job;
+pub mod pool;
+pub mod sched;
+pub mod signals;
+pub mod stats;
+
+pub use daemon::{run_daemon, DaemonConfig};
+pub use job::{JobKind, JobResult, JobSpec, JobStatus, Request};
+pub use pool::{values_checksum, AdmitError, ServeConfig, ServePool};
+pub use stats::{serve_prometheus_text, serve_report_json, ServeStats, TenantStats};

@@ -1,0 +1,771 @@
+//! The serving pool: a fixed set of worker threads executing admitted
+//! jobs over one shared immutable [`Csr`], plus the watchdog thread that
+//! enforces deadlines.
+//!
+//! Admission goes through a bounded SPSC ring (the PR 1 cached-index
+//! queue): frontend threads `try_push` behind a producer mutex, workers
+//! drain the ring into the per-tenant scheduler queues while holding the
+//! scheduler mutex — each side of the SPSC contract is serialized by a
+//! lock, which the queue's safety rules explicitly allow. When the ring
+//! or the admitted-job budget is full, [`ServePool::submit`] rejects
+//! immediately with a retry hint instead of blocking the frontend.
+//!
+//! Every job runs with its own [`EngineConfig`] carrying a
+//! [`CancelToken`]; the watchdog cancels tokens whose deadline passed
+//! (the engine stops at the next superstep boundary) and expires queued
+//! jobs that would start already late.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use phigraph_core::engine::{run_single, EngineConfig, ExecMode};
+use phigraph_core::queues::SpscQueue;
+use phigraph_device::{CancelReason, CancelToken, DeviceSpec};
+use phigraph_graph::state::{encode_state_slice, PodState};
+use phigraph_graph::Csr;
+use phigraph_trace::{HistKind, Phase, Trace};
+
+use phigraph_apps::{Bfs, PageRank, PersonalizedPageRank, Sssp, Wcc};
+
+use crate::job::{JobKind, JobResult, JobSpec, JobStatus};
+use crate::sched::{QueuedJob, Scheduler};
+use crate::stats::ServeStats;
+
+/// FNV-1a over the little-endian encoding of the final vertex values:
+/// the bit-identity fingerprint both `phigraph run --checksum` and the
+/// serving daemon report.
+pub fn values_checksum<V: PodState>(values: &[V]) -> u64 {
+    phigraph_recover::snapshot::fnv1a64(&encode_state_slice(values))
+}
+
+/// Pool configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Admitted-but-not-started job budget (admission queue capacity).
+    pub queue_cap: usize,
+    /// Default per-job deadline; `None` = no deadline unless the job
+    /// line carries one.
+    pub default_deadline_ms: Option<u64>,
+    /// Default engine mode for jobs that do not pick one.
+    pub mode: ExecMode,
+    /// Simulated device executing the jobs.
+    pub device: DeviceSpec,
+    /// Stride weight for tenants first seen on a job line.
+    pub default_weight: u64,
+    /// Concurrency cap for implicitly created tenants.
+    pub default_cap: usize,
+    /// Watchdog scan period.
+    pub watchdog_tick_ms: u64,
+    /// Trace sink for per-job spans and wait/exec histograms.
+    pub trace: Option<Trace>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2),
+            queue_cap: 64,
+            default_deadline_ms: None,
+            mode: ExecMode::Locking,
+            device: DeviceSpec::xeon_e5_2680(),
+            default_weight: 1,
+            default_cap: 2,
+            watchdog_tick_ms: 5,
+            trace: None,
+        }
+    }
+}
+
+/// Why a submission bounced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// Queue full: retry after the hinted backoff.
+    QueueFull {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The pool is shutting down and takes no new work.
+    Closed,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shutdown {
+    /// Accepting and running.
+    None,
+    /// No new admissions; queued jobs still run, then workers exit.
+    Drain,
+    /// No new admissions; queued jobs dropped, running jobs cancelled.
+    Now,
+}
+
+struct RunningEntry {
+    seq: u64,
+    deadline: Option<Instant>,
+    token: CancelToken,
+}
+
+struct State {
+    sched: Scheduler,
+    running: Vec<RunningEntry>,
+    shutdown: Shutdown,
+    next_seq: u64,
+}
+
+struct Shared {
+    ring: SpscQueue<QueuedJob>,
+    prod: Mutex<()>,
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Jobs admitted (in the ring or a tenant queue) not yet started.
+    pending: AtomicUsize,
+    stop_watchdog: AtomicBool,
+    queue_cap: usize,
+}
+
+/// The serving pool. Dropping it performs a forced shutdown.
+pub struct ServePool {
+    shared: Arc<Shared>,
+    cfg: ServeConfig,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
+    tx: Option<Sender<JobResult>>,
+}
+
+impl ServePool {
+    /// Spawn the pool over `graph`. The returned receiver delivers every
+    /// job outcome (completed, cancelled, expired); it disconnects once
+    /// the pool has shut down and all results are out.
+    pub fn new(graph: Arc<Csr>, cfg: ServeConfig) -> (ServePool, Receiver<JobResult>) {
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            ring: SpscQueue::new(cfg.queue_cap.next_power_of_two().max(2)),
+            prod: Mutex::new(()),
+            state: Mutex::new(State {
+                sched: Scheduler::new(cfg.default_weight, cfg.default_cap),
+                running: Vec::new(),
+                shutdown: Shutdown::None,
+                next_seq: 0,
+            }),
+            cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            stop_watchdog: AtomicBool::new(false),
+            queue_cap: cfg.queue_cap,
+        });
+        let (tx, rx) = channel();
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let graph = Arc::clone(&graph);
+                let cfg = cfg.clone();
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker{i}"))
+                    .spawn(move || worker_loop(i, shared, graph, cfg, tx))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let tick = Duration::from_millis(cfg.watchdog_tick_ms.max(1));
+            Some(
+                std::thread::Builder::new()
+                    .name("serve-watchdog".to_string())
+                    .spawn(move || watchdog_loop(shared, tx, tick))
+                    .expect("spawn serve watchdog"),
+            )
+        };
+        (
+            ServePool {
+                shared,
+                cfg,
+                workers,
+                watchdog,
+                tx: Some(tx),
+            },
+            rx,
+        )
+    }
+
+    /// Set a tenant's stride weight and concurrency cap.
+    pub fn set_tenant(&self, name: &str, weight: u64, cap: usize) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.sched.configure(name, weight, cap);
+    }
+
+    /// Admit a job, or bounce it with backpressure. The queue budget
+    /// covers jobs admitted but not yet started; once it is full the
+    /// caller is told how long to back off (scaled by the backlog).
+    pub fn submit(&self, spec: JobSpec) -> Result<(), AdmitError> {
+        let _prod = self.shared.prod.lock().unwrap();
+        {
+            let st = self.shared.state.lock().unwrap();
+            if st.shutdown != Shutdown::None {
+                return Err(AdmitError::Closed);
+            }
+        }
+        let pending = self.shared.pending.load(Ordering::Acquire);
+        if pending >= self.shared.queue_cap {
+            self.note_rejected(&spec.tenant);
+            return Err(AdmitError::QueueFull {
+                retry_after_ms: retry_hint(pending),
+            });
+        }
+        let admitted = Instant::now();
+        let deadline_ms = spec.deadline_ms.or(self.cfg.default_deadline_ms);
+        let job = QueuedJob {
+            spec,
+            admitted,
+            deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
+        };
+        // SAFETY: `prod` is held, so this thread is the sole producer.
+        match unsafe { self.shared.ring.try_push(job) } {
+            Ok(()) => {
+                self.shared.pending.fetch_add(1, Ordering::Release);
+                // Take the state lock before notifying so a worker that
+                // just saw "no work" is already parked and hears this.
+                let _st = self.shared.state.lock().unwrap();
+                self.shared.cv.notify_one();
+                Ok(())
+            }
+            Err(job) => {
+                self.note_rejected(&job.spec.tenant);
+                Err(AdmitError::QueueFull {
+                    retry_after_ms: retry_hint(pending),
+                })
+            }
+        }
+    }
+
+    fn note_rejected(&self, tenant: &str) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.sched.stats_mut(tenant).rejected += 1;
+    }
+
+    /// Snapshot the per-tenant accounting.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.shared.state.lock().unwrap();
+        let mut out = ServeStats {
+            queued: st.sched.queued() + self.shared.ring.occupancy(),
+            running: st.sched.running(),
+            queue_cap: self.shared.queue_cap,
+            workers: self.cfg.workers,
+            ..ServeStats::default()
+        };
+        for (name, t) in st.sched.tenants() {
+            let mut stats = t.stats.clone();
+            stats.running = t.running;
+            out.tenants.insert(name.to_string(), stats);
+        }
+        out
+    }
+
+    /// Jobs admitted but not yet started.
+    pub fn backlog(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Shut the pool down and join every thread. `drain` finishes the
+    /// queued jobs first; otherwise queued jobs are reported cancelled
+    /// and running jobs get their tokens cancelled with
+    /// [`CancelReason::Shutdown`]. The results receiver disconnects once
+    /// every outcome is delivered.
+    pub fn shutdown(&mut self, drain: bool) {
+        self.shutdown_workers(drain);
+        // Drop the master sender so the results receiver disconnects.
+        self.tx = None;
+    }
+
+    /// Like [`ServePool::shutdown`], but keeps the results channel open
+    /// so the caller can snapshot [`ServePool::stats`] *before* the
+    /// receiver observes disconnection (the daemon needs that ordering
+    /// to write its final reports from the writer thread).
+    pub fn shutdown_workers(&mut self, drain: bool) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown == Shutdown::None || (st.shutdown == Shutdown::Drain && !drain) {
+                st.shutdown = if drain {
+                    Shutdown::Drain
+                } else {
+                    Shutdown::Now
+                };
+            }
+            if !drain {
+                // Pull whatever is still in the ring so it can be
+                // reported, then drop the per-tenant queues too.
+                drain_ring(&self.shared, &mut st);
+                let dropped = st.sched.drain_all();
+                self.shared
+                    .pending
+                    .fetch_sub(dropped.len(), Ordering::Release);
+                if let Some(tx) = &self.tx {
+                    for q in dropped {
+                        st.sched.stats_mut(&q.spec.tenant).cancelled += 1;
+                        let _ = tx.send(abort_result(&q, JobStatus::Cancelled("shutdown")));
+                    }
+                }
+                for r in &st.running {
+                    r.token.cancel(CancelReason::Shutdown);
+                }
+            }
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.stop_watchdog.store(true, Ordering::Release);
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() || self.watchdog.is_some() {
+            self.shutdown(false);
+        }
+    }
+}
+
+fn retry_hint(pending: usize) -> u64 {
+    // Scale the client backoff with the backlog: a deeper queue means a
+    // longer wait before capacity frees up.
+    (pending as u64 * 2).clamp(5, 1000)
+}
+
+fn abort_result(q: &QueuedJob, status: JobStatus) -> JobResult {
+    JobResult {
+        id: q.spec.id.clone(),
+        tenant: q.spec.tenant.clone(),
+        app: q.spec.kind.app_name(),
+        status,
+        checksum: 0,
+        supersteps: 0,
+        wait_us: q.admitted.elapsed().as_micros() as u64,
+        exec_us: 0,
+        conn: q.spec.conn,
+    }
+}
+
+/// Move everything from the admission ring into the per-tenant queues.
+/// Caller holds the state lock, which serializes the consumer side.
+fn drain_ring(shared: &Shared, st: &mut State) {
+    let mut buf: Vec<QueuedJob> = Vec::new();
+    loop {
+        // SAFETY: the state lock is held; sole consumer.
+        let n = unsafe { shared.ring.pop_batch(&mut buf, usize::MAX) };
+        if n == 0 {
+            // The cached-index queue refreshes its view lazily: one more
+            // empty pop confirms the ring is actually empty.
+            let again = unsafe { shared.ring.pop_batch(&mut buf, usize::MAX) };
+            if again == 0 {
+                break;
+            }
+        }
+        for q in buf.drain(..) {
+            st.sched.enqueue(q);
+        }
+    }
+}
+
+fn worker_loop(
+    idx: usize,
+    shared: Arc<Shared>,
+    graph: Arc<Csr>,
+    cfg: ServeConfig,
+    tx: Sender<JobResult>,
+) {
+    let tracer = cfg
+        .trace
+        .as_ref()
+        .map(|t| t.thread(&format!("serve-worker{idx}"), 200 + idx as u32));
+    loop {
+        let picked = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                drain_ring(&shared, &mut st);
+                if let Some(q) = st.sched.pick() {
+                    shared.pending.fetch_sub(1, Ordering::Release);
+                    let token = CancelToken::new();
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.running.push(RunningEntry {
+                        seq,
+                        deadline: q.deadline,
+                        token: token.clone(),
+                    });
+                    break Some((q, token, seq));
+                }
+                match st.shutdown {
+                    Shutdown::None => {}
+                    Shutdown::Drain => {
+                        if st.sched.queued() == 0 && shared.ring.occupancy() == 0 {
+                            break None;
+                        }
+                    }
+                    Shutdown::Now => break None,
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+        };
+        let Some((q, token, seq)) = picked else {
+            return;
+        };
+
+        let wait_us = q.admitted.elapsed().as_micros() as u64;
+        let t0 = Instant::now();
+        let t0_ns = tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
+        let exec = execute(&graph, &q.spec, &cfg, token.clone());
+        let exec_us = t0.elapsed().as_micros() as u64;
+        if let Some(t) = &tracer {
+            t.record_closing(Phase::Job, seq as u32, t0_ns);
+        }
+        if let Some(trace) = &cfg.trace {
+            trace.record_hist(HistKind::JobWaitUs, wait_us);
+            trace.record_hist(HistKind::JobExecUs, exec_us);
+        }
+
+        let status = match (&exec.error, token.reason()) {
+            (Some(msg), _) => JobStatus::Error(msg.clone()),
+            (None, Some(reason)) => JobStatus::Cancelled(reason.name()),
+            (None, None) => JobStatus::Ok,
+        };
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.sched.finish(&q.spec.tenant);
+            st.running.retain(|r| r.seq != seq);
+            let stats = st.sched.stats_mut(&q.spec.tenant);
+            match &status {
+                JobStatus::Ok => stats.completed += 1,
+                JobStatus::Cancelled(_) => stats.cancelled += 1,
+                JobStatus::Error(_) => stats.failed += 1,
+                JobStatus::Expired => unreachable!("workers never expire jobs"),
+            }
+            stats.wait_us += wait_us;
+            stats.max_wait_us = stats.max_wait_us.max(wait_us);
+            stats.exec_us += exec_us;
+            stats.supersteps += exec.supersteps;
+        }
+        // A finished job frees its tenant's cap slot: wake a waiter.
+        shared.cv.notify_all();
+        let ok = status == JobStatus::Ok;
+        let _ = tx.send(JobResult {
+            id: q.spec.id.clone(),
+            tenant: q.spec.tenant.clone(),
+            app: q.spec.kind.app_name(),
+            status,
+            checksum: if ok { exec.checksum } else { 0 },
+            supersteps: exec.supersteps,
+            wait_us,
+            exec_us,
+            conn: q.spec.conn,
+        });
+    }
+}
+
+fn watchdog_loop(shared: Arc<Shared>, tx: Sender<JobResult>, tick: Duration) {
+    while !shared.stop_watchdog.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let now = Instant::now();
+        let mut st = shared.state.lock().unwrap();
+        // Queued jobs already past their deadline never reach a worker.
+        drain_ring(&shared, &mut st);
+        let expired = st.sched.expire(now);
+        if !expired.is_empty() {
+            shared.pending.fetch_sub(expired.len(), Ordering::Release);
+            for q in expired {
+                st.sched.stats_mut(&q.spec.tenant).expired += 1;
+                let _ = tx.send(abort_result(&q, JobStatus::Expired));
+            }
+        }
+        // Running jobs get their token cancelled; the engine notices at
+        // the next superstep boundary (the token's heartbeat tells a
+        // stalled engine from one that simply has not reached a
+        // boundary yet — both resolve at the next poll).
+        for r in &st.running {
+            if let Some(d) = r.deadline {
+                if d <= now && !r.token.is_cancelled() {
+                    r.token.cancel(CancelReason::Deadline);
+                }
+            }
+        }
+    }
+}
+
+struct ExecOut {
+    checksum: u64,
+    supersteps: u64,
+    error: Option<String>,
+}
+
+fn base_config(mode: ExecMode) -> EngineConfig {
+    match mode {
+        ExecMode::Locking => EngineConfig::locking(),
+        ExecMode::Pipelined => EngineConfig::pipelined(),
+        ExecMode::Flat => EngineConfig::flat(),
+        ExecMode::Sequential => EngineConfig::sequential(),
+    }
+}
+
+/// Run one job against the shared graph. Each invocation builds a
+/// private `EngineConfig` (own CSB arenas, own cancel token); the graph
+/// is only borrowed, which is what makes concurrent jobs safe.
+fn execute(graph: &Csr, spec: &JobSpec, cfg: &ServeConfig, token: CancelToken) -> ExecOut {
+    let mut config = base_config(spec.mode).with_cancel(token);
+    if let Some(t) = &cfg.trace {
+        config = config.with_trace(t.clone());
+    }
+    let n = graph.num_vertices() as u64;
+    let bad_source = |s: u64| -> Option<ExecOut> {
+        if s >= n.max(1) {
+            Some(ExecOut {
+                checksum: 0,
+                supersteps: 0,
+                error: Some(format!("source {s} out of range (graph has {n} vertices)")),
+            })
+        } else {
+            None
+        }
+    };
+    match &spec.kind {
+        JobKind::PageRank {
+            damping,
+            iterations,
+        } => one_run(
+            &PageRank {
+                damping: *damping,
+                iterations: *iterations,
+            },
+            graph,
+            cfg,
+            &config,
+        ),
+        JobKind::Ppr {
+            source,
+            damping,
+            iterations,
+        } => bad_source(*source as u64).unwrap_or_else(|| {
+            one_run(
+                &PersonalizedPageRank {
+                    source: *source,
+                    damping: *damping,
+                    iterations: *iterations,
+                },
+                graph,
+                cfg,
+                &config,
+            )
+        }),
+        JobKind::Bfs { source } => bad_source(*source as u64)
+            .unwrap_or_else(|| one_run(&Bfs { source: *source }, graph, cfg, &config)),
+        JobKind::Sssp { sources } => {
+            for &s in sources {
+                if let Some(out) = bad_source(s as u64) {
+                    return out;
+                }
+            }
+            if sources.len() == 1 {
+                return one_run(&Sssp { source: sources[0] }, graph, cfg, &config);
+            }
+            // Landmark batch: one run per source inside this job's slot,
+            // checksums folded so the batch has a single fingerprint.
+            let mut supersteps = 0u64;
+            let mut folded = Vec::with_capacity(sources.len() * 8);
+            for &source in sources {
+                let out = one_run(&Sssp { source }, graph, cfg, &config);
+                supersteps += out.supersteps;
+                folded.extend_from_slice(&out.checksum.to_le_bytes());
+                if config.cancelled() {
+                    break;
+                }
+            }
+            ExecOut {
+                checksum: phigraph_recover::snapshot::fnv1a64(&folded),
+                supersteps,
+                error: None,
+            }
+        }
+        JobKind::Wcc => one_run(&Wcc::new(graph), graph, cfg, &config),
+    }
+}
+
+fn one_run<P: phigraph_core::api::VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    cfg: &ServeConfig,
+    config: &EngineConfig,
+) -> ExecOut
+where
+    P::Value: PodState,
+{
+    let out = run_single(program, graph, cfg.device.clone(), config);
+    ExecOut {
+        checksum: values_checksum(&out.values),
+        supersteps: out.report.supersteps() as u64,
+        error: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_apps::workloads::{pokec_like_weighted, Scale};
+    use std::collections::HashMap;
+
+    fn small_graph() -> Arc<Csr> {
+        Arc::new(pokec_like_weighted(Scale::Tiny, 42))
+    }
+
+    fn spec(id: &str, tenant: &str, kind: JobKind) -> JobSpec {
+        JobSpec {
+            id: id.to_string(),
+            tenant: tenant.to_string(),
+            kind,
+            mode: ExecMode::Sequential,
+            deadline_ms: None,
+            conn: 0,
+        }
+    }
+
+    #[test]
+    fn jobs_complete_and_match_direct_runs() {
+        let g = small_graph();
+        let (mut pool, rx) = ServePool::new(
+            Arc::clone(&g),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        );
+        pool.submit(spec("bfs0", "a", JobKind::Bfs { source: 0 }))
+            .unwrap();
+        pool.submit(spec("sssp0", "b", JobKind::Sssp { sources: vec![0] }))
+            .unwrap();
+        let mut got = HashMap::new();
+        for _ in 0..2 {
+            let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(r.status, JobStatus::Ok, "{:?}", r);
+            got.insert(r.id.clone(), r);
+        }
+        // Same checksum as running the app directly with the same config.
+        let direct = run_single(
+            &Bfs { source: 0 },
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::sequential(),
+        );
+        assert_eq!(got["bfs0"].checksum, values_checksum(&direct.values));
+        let direct = run_single(
+            &Sssp { source: 0 },
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::sequential(),
+        );
+        assert_eq!(got["sssp0"].checksum, values_checksum(&direct.values));
+        pool.shutdown(true);
+    }
+
+    #[test]
+    fn queue_full_submissions_are_rejected_with_retry_hint() {
+        let g = small_graph();
+        let (mut pool, rx) = ServePool::new(
+            Arc::clone(&g),
+            ServeConfig {
+                workers: 1,
+                queue_cap: 2,
+                default_cap: 1,
+                ..ServeConfig::default()
+            },
+        );
+        // One long-ish job occupies the worker; 2 more fill the budget.
+        let slow = JobKind::PageRank {
+            damping: 0.85,
+            iterations: 50,
+        };
+        pool.submit(spec("run", "a", slow.clone())).unwrap();
+        let mut accepted = 1;
+        let mut rejected = 0;
+        for i in 0..20 {
+            match pool.submit(spec(&format!("q{i}"), "a", slow.clone())) {
+                Ok(()) => accepted += 1,
+                Err(AdmitError::QueueFull { retry_after_ms }) => {
+                    assert!(retry_after_ms >= 5);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(rejected > 0, "queue never filled");
+        let stats = pool.stats();
+        assert_eq!(stats.tenants["a"].rejected, rejected);
+        pool.shutdown(true);
+        // Every accepted job eventually completes.
+        let done = rx.iter().filter(|r| r.status == JobStatus::Ok).count();
+        assert_eq!(done as u64, accepted);
+    }
+
+    #[test]
+    fn forced_shutdown_cancels_queued_and_running() {
+        let g = small_graph();
+        let (mut pool, rx) = ServePool::new(
+            Arc::clone(&g),
+            ServeConfig {
+                workers: 1,
+                queue_cap: 8,
+                default_cap: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let slow = JobKind::PageRank {
+            damping: 0.85,
+            iterations: 100_000,
+        };
+        for i in 0..4 {
+            pool.submit(spec(&format!("j{i}"), "a", slow.clone()))
+                .unwrap();
+        }
+        // Give the worker a moment to start the first job.
+        std::thread::sleep(Duration::from_millis(30));
+        pool.shutdown(false);
+        let results: Vec<JobResult> = rx.iter().collect();
+        assert_eq!(results.len(), 4);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r.status, JobStatus::Cancelled("shutdown"))));
+        // New submissions bounce.
+        assert_eq!(
+            pool.submit(spec("late", "a", JobKind::Wcc)),
+            Err(AdmitError::Closed)
+        );
+    }
+
+    #[test]
+    fn bad_sources_fail_cleanly() {
+        let g = small_graph();
+        let (mut pool, rx) = ServePool::new(Arc::clone(&g), ServeConfig::default());
+        pool.submit(spec(
+            "oob",
+            "a",
+            JobKind::Bfs {
+                source: 999_999_999,
+            },
+        ))
+        .unwrap();
+        let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(matches!(r.status, JobStatus::Error(_)), "{:?}", r);
+        pool.shutdown(true);
+        let stats = pool.stats();
+        assert_eq!(stats.tenants["a"].failed, 1);
+    }
+}

@@ -1,0 +1,341 @@
+//! Per-tenant serving statistics, the `ServeStats` block for
+//! `run_report.json`, and the Prometheus rendering `phigraph serve`
+//! writes next to it.
+
+use std::collections::BTreeMap;
+
+use phigraph_trace::json::JsonBuf;
+
+/// Accounting for one tenant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// Stride weight in effect.
+    pub weight: u64,
+    /// Concurrency cap in effect.
+    pub cap: usize,
+    /// Jobs running at snapshot time (gauge, filled by the pool).
+    pub running: usize,
+    /// Jobs admitted to this tenant's queue.
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs bounced at admission (queue full).
+    pub rejected: u64,
+    /// Jobs cancelled mid-run (deadline or shutdown).
+    pub cancelled: u64,
+    /// Jobs that expired in the queue before pickup.
+    pub expired: u64,
+    /// Jobs that failed with an error.
+    pub failed: u64,
+    /// Total queue wait across finished jobs, µs.
+    pub wait_us: u64,
+    /// Worst single queue wait, µs.
+    pub max_wait_us: u64,
+    /// Total execution time across finished jobs, µs.
+    pub exec_us: u64,
+    /// Supersteps executed on behalf of this tenant.
+    pub supersteps: u64,
+}
+
+impl TenantStats {
+    /// Fresh stats for a tenant with the given weight and cap.
+    pub fn new(weight: u64, cap: usize) -> Self {
+        TenantStats {
+            weight,
+            cap,
+            ..TenantStats::default()
+        }
+    }
+
+    /// Jobs that left the system one way or another.
+    pub fn finished(&self) -> u64 {
+        self.completed + self.cancelled + self.expired + self.failed
+    }
+}
+
+/// A snapshot of the whole pool's accounting.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Per-tenant breakdown, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Jobs currently queued (at snapshot time).
+    pub queued: usize,
+    /// Jobs currently running (at snapshot time).
+    pub running: usize,
+    /// Admission-queue capacity.
+    pub queue_cap: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+impl ServeStats {
+    /// Sum of a per-tenant field across tenants.
+    fn total(&self, f: impl Fn(&TenantStats) -> u64) -> u64 {
+        self.tenants.values().map(f).sum()
+    }
+
+    /// Total completed jobs.
+    pub fn completed(&self) -> u64 {
+        self.total(|t| t.completed)
+    }
+
+    /// Total rejected jobs.
+    pub fn rejected(&self) -> u64 {
+        self.total(|t| t.rejected)
+    }
+
+    /// Append the `"serve"` object (tenant breakdown plus pool gauges)
+    /// onto an open [`JsonBuf`] object.
+    pub fn write_json(&self, b: &mut JsonBuf) {
+        b.begin_obj("serve");
+        b.int("workers", self.workers as u64);
+        b.int("queue_cap", self.queue_cap as u64);
+        b.int("queued", self.queued as u64);
+        b.int("running", self.running as u64);
+        b.int("completed", self.completed());
+        b.int("rejected", self.rejected());
+        b.begin_arr("tenants");
+        for (name, t) in &self.tenants {
+            b.elem_obj();
+            b.str("tenant", name);
+            b.int("weight", t.weight);
+            b.int("cap", t.cap as u64);
+            b.int("running", t.running as u64);
+            b.int("submitted", t.submitted);
+            b.int("completed", t.completed);
+            b.int("rejected", t.rejected);
+            b.int("cancelled", t.cancelled);
+            b.int("expired", t.expired);
+            b.int("failed", t.failed);
+            b.int("wait_us", t.wait_us);
+            b.int("max_wait_us", t.max_wait_us);
+            b.int("exec_us", t.exec_us);
+            b.int("supersteps", t.supersteps);
+            b.end();
+        }
+        b.end();
+        b.end();
+    }
+
+    /// Render one stats response line for the `{"op":"stats"}` verb.
+    pub fn to_line(&self) -> String {
+        let mut b = JsonBuf::obj();
+        b.str("status", "ok");
+        self.write_json(&mut b);
+        crate::job::one_line(b.finish())
+    }
+}
+
+/// Full `run_report.json`-compatible document for a serving run: the
+/// usual schema/combined/devices skeleton (so `phigraph report` accepts
+/// it) plus the `"serve"` block with the tenant breakdown.
+pub fn serve_report_json(stats: &ServeStats, device: &str, wall_seconds: f64) -> String {
+    let mut b = JsonBuf::obj();
+    b.str("schema", phigraph_core::export::REPORT_SCHEMA);
+    b.begin_obj("combined");
+    b.str("app", "serve");
+    b.str("device", device);
+    b.str("mode", "serve");
+    b.num("wall_seconds", wall_seconds);
+    b.begin_arr("steps");
+    b.end();
+    b.end();
+    b.begin_arr("devices");
+    b.end();
+    stats.write_json(&mut b);
+    b.finish()
+}
+
+fn prom_metric(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Prometheus text exposition for a serving run: pool gauges plus one
+/// series per tenant for every counter, labelled `tenant="…"`.
+pub fn serve_prometheus_text(stats: &ServeStats) -> String {
+    let mut out = String::new();
+    prom_metric(
+        &mut out,
+        "phigraph_serve_workers",
+        "Worker threads in the serving pool.",
+        "gauge",
+    );
+    out.push_str(&format!("phigraph_serve_workers {}\n", stats.workers));
+    prom_metric(
+        &mut out,
+        "phigraph_serve_queue_cap",
+        "Admission queue capacity.",
+        "gauge",
+    );
+    out.push_str(&format!("phigraph_serve_queue_cap {}\n", stats.queue_cap));
+    prom_metric(
+        &mut out,
+        "phigraph_serve_queued",
+        "Jobs waiting for a worker.",
+        "gauge",
+    );
+    out.push_str(&format!("phigraph_serve_queued {}\n", stats.queued));
+    prom_metric(
+        &mut out,
+        "phigraph_serve_running",
+        "Jobs currently executing.",
+        "gauge",
+    );
+    out.push_str(&format!("phigraph_serve_running {}\n", stats.running));
+
+    type CounterRow = (&'static str, &'static str, fn(&TenantStats) -> u64);
+    let counters: [CounterRow; 9] = [
+        (
+            "phigraph_serve_jobs_submitted",
+            "Jobs admitted, by tenant.",
+            |t| t.submitted,
+        ),
+        (
+            "phigraph_serve_jobs_completed",
+            "Jobs completed, by tenant.",
+            |t| t.completed,
+        ),
+        (
+            "phigraph_serve_jobs_rejected",
+            "Jobs rejected at admission, by tenant.",
+            |t| t.rejected,
+        ),
+        (
+            "phigraph_serve_jobs_cancelled",
+            "Jobs cancelled mid-run, by tenant.",
+            |t| t.cancelled,
+        ),
+        (
+            "phigraph_serve_jobs_expired",
+            "Jobs expired in queue, by tenant.",
+            |t| t.expired,
+        ),
+        (
+            "phigraph_serve_jobs_failed",
+            "Jobs failed, by tenant.",
+            |t| t.failed,
+        ),
+        (
+            "phigraph_serve_wait_us_total",
+            "Total queue wait in microseconds, by tenant.",
+            |t| t.wait_us,
+        ),
+        (
+            "phigraph_serve_exec_us_total",
+            "Total execution time in microseconds, by tenant.",
+            |t| t.exec_us,
+        ),
+        (
+            "phigraph_serve_supersteps_total",
+            "Supersteps executed, by tenant.",
+            |t| t.supersteps,
+        ),
+    ];
+    for (name, help, get) in counters {
+        prom_metric(&mut out, name, help, "counter");
+        for (tenant, t) in &stats.tenants {
+            out.push_str(&format!("{name}{{tenant={}}} {}\n", quote(tenant), get(t)));
+        }
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    phigraph_trace::json::quote(s)
+}
+
+/// Append the serving histograms (`job_wait_us` / `job_exec_us`) from a
+/// trace snapshot as Prometheus histogram families.
+pub fn append_job_hists(out: &mut String, snap: &phigraph_trace::TraceSnapshot) {
+    for h in &snap.hists {
+        if h.count == 0 || !h.name.starts_with("job_") {
+            continue;
+        }
+        let name = format!("phigraph_serve_{}", h.name);
+        prom_metric(out, &name, "Log2-bucketed serving latency.", "histogram");
+        let mut cumulative = 0u64;
+        for (upper, count) in h.nonzero() {
+            cumulative += count;
+            if upper == u64::MAX {
+                continue; // folded into the +Inf bucket below
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phigraph_trace::json::Json;
+
+    fn sample() -> ServeStats {
+        let mut stats = ServeStats {
+            queued: 2,
+            running: 1,
+            queue_cap: 64,
+            workers: 4,
+            ..ServeStats::default()
+        };
+        let mut a = TenantStats::new(4, 2);
+        a.submitted = 10;
+        a.completed = 7;
+        a.rejected = 2;
+        a.cancelled = 1;
+        a.wait_us = 1234;
+        a.max_wait_us = 500;
+        a.exec_us = 9876;
+        a.supersteps = 88;
+        stats.tenants.insert("alpha".to_string(), a);
+        stats
+            .tenants
+            .insert("beta".to_string(), TenantStats::new(1, 1));
+        stats
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_the_tenant_table() {
+        let doc = serve_report_json(&sample(), "cpu", 1.5);
+        let j = Json::parse(&doc).unwrap();
+        assert_eq!(
+            j.get("schema").unwrap().as_str(),
+            Some(phigraph_core::export::REPORT_SCHEMA)
+        );
+        let combined = j.get("combined").unwrap();
+        assert_eq!(combined.get("app").unwrap().as_str(), Some("serve"));
+        assert!(combined.get("steps").unwrap().as_arr().unwrap().is_empty());
+        let serve = j.get("serve").unwrap();
+        assert_eq!(serve.u64_or_0("completed"), 7);
+        let tenants = serve.get("tenants").unwrap().as_arr().unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].get("tenant").unwrap().as_str(), Some("alpha"));
+        assert_eq!(tenants[0].u64_or_0("completed"), 7);
+        assert_eq!(tenants[0].u64_or_0("weight"), 4);
+    }
+
+    #[test]
+    fn prometheus_has_per_tenant_series() {
+        let text = serve_prometheus_text(&sample());
+        assert!(text.contains("phigraph_serve_jobs_completed{tenant=\"alpha\"} 7\n"));
+        assert!(text.contains("phigraph_serve_jobs_rejected{tenant=\"alpha\"} 2\n"));
+        assert!(text.contains("phigraph_serve_jobs_completed{tenant=\"beta\"} 0\n"));
+        assert!(text.contains("phigraph_serve_workers 4\n"));
+        // Every exposed family carries HELP/TYPE headers.
+        assert_eq!(
+            text.matches("# HELP ").count(),
+            text.matches("# TYPE ").count()
+        );
+    }
+
+    #[test]
+    fn stats_line_is_one_parseable_line() {
+        let line = sample().to_line();
+        assert!(!line.contains('\n'));
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(j.get("serve").unwrap().u64_or_0("running"), 1);
+    }
+}

@@ -30,17 +30,24 @@ pub enum HistKind {
     /// Latency between a device going silent and the watchdog noticing,
     /// in milliseconds.
     WatchdogLatencyMs = 5,
+    /// Serving daemon: time a job spent queued before a worker picked it
+    /// up, in microseconds.
+    JobWaitUs = 6,
+    /// Serving daemon: job execution time on a worker, in microseconds.
+    JobExecUs = 7,
 }
 
 impl HistKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [HistKind; 6] = [
+    pub const ALL: [HistKind; 8] = [
         HistKind::QueueOccupancy,
         HistKind::FlushBatch,
         HistKind::InsertSlice,
         HistKind::ExchangeRttUs,
         HistKind::CheckpointWriteUs,
         HistKind::WatchdogLatencyMs,
+        HistKind::JobWaitUs,
+        HistKind::JobExecUs,
     ];
 
     /// Stable metric name (Prometheus/JSON exports).
@@ -52,6 +59,8 @@ impl HistKind {
             HistKind::ExchangeRttUs => "exchange_rtt_us",
             HistKind::CheckpointWriteUs => "checkpoint_write_us",
             HistKind::WatchdogLatencyMs => "watchdog_latency_ms",
+            HistKind::JobWaitUs => "job_wait_us",
+            HistKind::JobExecUs => "job_exec_us",
         }
     }
 }

@@ -112,10 +112,13 @@ pub enum Phase {
     Rebalance = 11,
     /// Post-failover lockstep replay of missed supersteps.
     Replay = 12,
+    /// One serving-daemon job, admission to completion (the worker-side
+    /// envelope around that job's supersteps).
+    Job = 13,
 }
 
 /// Every phase, in discriminant order (exporters and tests iterate this).
-pub const ALL_PHASES: [Phase; 13] = [
+pub const ALL_PHASES: [Phase; 14] = [
     Phase::Superstep,
     Phase::Generate,
     Phase::Insert,
@@ -129,6 +132,7 @@ pub const ALL_PHASES: [Phase; 13] = [
     Phase::Watchdog,
     Phase::Rebalance,
     Phase::Replay,
+    Phase::Job,
 ];
 
 impl Phase {
@@ -148,6 +152,7 @@ impl Phase {
             Phase::Watchdog => "watchdog",
             Phase::Rebalance => "rebalance",
             Phase::Replay => "replay",
+            Phase::Job => "job",
         }
     }
 

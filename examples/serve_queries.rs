@@ -1,0 +1,127 @@
+//! Serving queries in-process: load one graph, share it across tenants,
+//! and push concurrent jobs through the `phigraph-serve` pool — the same
+//! machinery behind the `phigraph serve` daemon, minus the JSON protocol.
+//!
+//! ```sh
+//! cargo run --release -p phigraph-serve --example serve_queries
+//! ```
+//!
+//! For the wire-protocol version of the same flow, pipe line-delimited
+//! JSON into `phigraph serve <graph>` (see `docs/serving.md`).
+
+use phigraph_apps::workloads::{self, Scale};
+use phigraph_apps::Bfs;
+use phigraph_core::engine::{run_single, EngineConfig, ExecMode};
+use phigraph_device::DeviceSpec;
+use phigraph_serve::{values_checksum, JobKind, JobSpec, ServeConfig, ServePool};
+use std::sync::Arc;
+
+fn main() {
+    // The daemon's contract: the graph is loaded ONCE into an immutable
+    // CSR and shared by every job; only per-job message arenas and value
+    // vectors are private.
+    let graph = Arc::new(workloads::pokec_like_weighted(Scale::Tiny, 7));
+    println!(
+        "graph: {} vertices, {} edges (shared, immutable)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let (pool, results) = ServePool::new(
+        Arc::clone(&graph),
+        ServeConfig {
+            workers: 2,
+            queue_cap: 64,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Two tenants: "gold" gets 4x the scheduling weight of "bronze" and
+    // may run two jobs at once; "bronze" is capped at one.
+    pool.set_tenant("gold", 4, 2);
+    pool.set_tenant("bronze", 1, 1);
+
+    // A mixed batch: BFS frontiers, a landmark-SSSP batch, personalized
+    // PageRank, and connected components, interleaved across tenants.
+    let jobs = [
+        ("q1", "gold", JobKind::Bfs { source: 0 }),
+        (
+            "q2",
+            "bronze",
+            JobKind::Sssp {
+                sources: vec![0, 3, 9],
+            },
+        ),
+        (
+            "q3",
+            "gold",
+            JobKind::Ppr {
+                source: 2,
+                damping: 0.85,
+                iterations: 10,
+            },
+        ),
+        ("q4", "bronze", JobKind::Wcc),
+        ("q5", "gold", JobKind::Bfs { source: 5 }),
+        (
+            "q6",
+            "bronze",
+            JobKind::PageRank {
+                damping: 0.85,
+                iterations: 8,
+            },
+        ),
+    ];
+    let n_jobs = jobs.len();
+    for (id, tenant, kind) in jobs {
+        pool.submit(JobSpec {
+            id: id.to_string(),
+            tenant: tenant.to_string(),
+            kind,
+            mode: ExecMode::Locking,
+            deadline_ms: None,
+            conn: 0,
+        })
+        .expect("queue has room for the whole batch");
+    }
+
+    println!("\nresults (completion order — workers race):");
+    let mut bfs_q1_checksum = 0u64;
+    for _ in 0..n_jobs {
+        let r = results.recv().expect("pool delivers every outcome");
+        println!(
+            "  {:<3} {:<7} {:<9} {:<9} checksum={:#018x} steps={} wait={}us exec={}us",
+            r.id,
+            r.tenant,
+            r.app,
+            r.status.name(),
+            r.checksum,
+            r.supersteps,
+            r.wait_us,
+            r.exec_us,
+        );
+        if r.id == "q1" {
+            bfs_q1_checksum = r.checksum;
+        }
+    }
+
+    // Bit-identity: a job through the concurrent pool must equal the same
+    // computation run alone — same graph, same engine, same checksum.
+    let solo = run_single(
+        &Bfs { source: 0 },
+        &graph,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::locking(),
+    );
+    assert_eq!(bfs_q1_checksum, values_checksum(&solo.values));
+    println!("\nq1 matches a one-shot run bit for bit ✓");
+
+    let stats = pool.stats();
+    println!("\nper-tenant accounting:");
+    for (name, t) in &stats.tenants {
+        println!(
+            "  {:<7} weight={} cap={} submitted={} completed={} wait={}us exec={}us steps={}",
+            name, t.weight, t.cap, t.submitted, t.completed, t.wait_us, t.exec_us, t.supersteps
+        );
+    }
+}

@@ -55,7 +55,7 @@ echo "==> bench smoke: BENCH_*.json emission + regression gate"
 # then prove the gate both passes and trips. Numbers from smoke runs are
 # for trend/gating only; full runs use 'phigraph bench run' without flags.
 "$PHIGRAPH" bench run --out-dir . --smoke --seed 7 --samples 3 --warmup 1
-for area in spsc csb superstep exchange integrity; do
+for area in spsc csb superstep exchange integrity partition objmsg serve; do
     test -f "BENCH_$area.json" || { echo "missing BENCH_$area.json" >&2; exit 1; }
 done
 if [ -d bench-baseline ]; then
@@ -74,5 +74,56 @@ if "$PHIGRAPH" bench compare "$SMOKE_DIR/fast.json" BENCH_spsc.json >/dev/null 2
     exit 1
 fi
 echo "    (gate trips on perturbed baseline: ok)"
+
+echo "==> serving smoke: concurrent multi-tenant daemon over stdin"
+# ≥8 concurrent mixed-tenant queries through a live daemon; all must
+# complete with correct answers (checksum parity with one-shot runs),
+# the Prometheus dump must carry per-tenant counters, and the report
+# must decompose the run by tenant.
+SERVE_FIFO="$SMOKE_DIR/serve.fifo"
+mkfifo "$SERVE_FIFO"
+"$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 2 --queue-cap 32 \
+    --tenants gold:4:2,silver:2:1,bronze:1:1 \
+    --report-out "$SMOKE_DIR/serve_report.json" \
+    --prom-out "$SMOKE_DIR/serve.prom" \
+    < "$SERVE_FIFO" > "$SMOKE_DIR/serve_out.jsonl" 2>/dev/null &
+SERVE_PID=$!
+# Hold the write end open so every job is in flight before EOF.
+exec 9> "$SERVE_FIFO"
+printf '%s\n' \
+    '{"id":"q1","tenant":"gold","app":"bfs","source":0}' \
+    '{"id":"q2","tenant":"silver","app":"sssp","sources":[0,3]}' \
+    '{"id":"q3","tenant":"bronze","app":"pagerank","iters":5}' \
+    '{"id":"q4","tenant":"gold","app":"ppr","source":2,"iters":8}' \
+    '{"id":"q5","tenant":"silver","app":"wcc"}' \
+    '{"id":"q6","tenant":"bronze","app":"bfs","source":5}' \
+    '{"id":"q7","tenant":"gold","app":"sssp","sources":[1]}' \
+    '{"id":"q8","tenant":"silver","app":"bfs","source":9}' \
+    >&9
+exec 9>&-                       # EOF: graceful drain, then exit
+wait "$SERVE_PID"
+test "$(grep -c '"status": "ok"' "$SMOKE_DIR/serve_out.jsonl")" -eq 8
+# Correctness: the daemon's BFS answer equals a one-shot run bit for bit.
+WANT="$("$PHIGRAPH" run bfs "$SMOKE_DIR/g.bin" --checksum | sed -n 's/^checksum=//p')"
+grep '"id": "q1"' "$SMOKE_DIR/serve_out.jsonl" | grep -q "$WANT"
+grep -q 'phigraph_serve_jobs_completed{tenant="gold"} 3' "$SMOKE_DIR/serve.prom"
+grep -q 'phigraph_serve_jobs_completed{tenant="bronze"} 2' "$SMOKE_DIR/serve.prom"
+# (capture, then grep: grep -q closing the pipe early would EPIPE the CLI)
+"$PHIGRAPH" report "$SMOKE_DIR/serve_report.json" > "$SMOKE_DIR/serve_report.txt"
+grep -q "per-tenant decomposition" "$SMOKE_DIR/serve_report.txt"
+grep -q "gold" "$SMOKE_DIR/serve_report.txt"
+# SIGTERM with stdin held open: clean exit 0 without leaking the pool.
+SERVE_FIFO2="$SMOKE_DIR/serve2.fifo"
+mkfifo "$SERVE_FIFO2"
+"$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 2 \
+    --report-out "$SMOKE_DIR/serve_report2.json" \
+    < "$SERVE_FIFO2" >/dev/null 2>&1 &
+SERVE2_PID=$!
+exec 8> "$SERVE_FIFO2"
+sleep 1
+kill -TERM "$SERVE2_PID"
+wait "$SERVE2_PID"              # set -e: fails unless the daemon exits 0
+exec 8>&-
+echo "    (8 mixed-tenant jobs ok, checksum parity, clean SIGTERM: ok)"
 
 echo "==> all checks passed"

@@ -17,6 +17,7 @@
 //! | `partition` | the three §IV.E device-partitioning schemes               |
 //! | `objmsg`    | the object-message path (semi-clustering merge/sort)      |
 //! | `serve`     | serving-pool jobs/second at 1, 4, and 16 tenants          |
+//! | `serve_degraded` | the pool held at 2× admission capacity: shed ladder, breaker, and journal on the admission path |
 //!
 //! Smoke mode shrinks every input so the whole sweep finishes in seconds
 //! inside `scripts/check.sh`; the fingerprint records which mode produced
@@ -34,7 +35,7 @@ use phigraph_core::engine::{run_recoverable, run_single, EngineConfig, ExecMode}
 use phigraph_device::DeviceSpec;
 use phigraph_partition::{partition, PartitionScheme, Ratio};
 use phigraph_recover::{IntegrityMode, MemStore};
-use phigraph_serve::{JobKind, JobSpec, ServeConfig, ServePool};
+use phigraph_serve::{JobKind, JobSpec, Journal, ServeConfig, ServePool, ShedPolicy};
 use std::sync::Arc;
 
 /// Knobs shared by every area.
@@ -85,6 +86,7 @@ pub fn run_area(area: &str, c: &mut Criterion, opts: &AreaOpts) -> Result<(), St
         "partition" => bench_partition(c, opts),
         "objmsg" => bench_objmsg(c, opts),
         "serve" => bench_serve(c, opts),
+        "serve_degraded" => bench_serve_degraded(c, opts),
         other => {
             return Err(format!(
                 "unknown bench area {other:?} (valid: {})",
@@ -333,6 +335,8 @@ fn bench_serve(c: &mut Criterion, opts: &AreaOpts) {
                             },
                             mode: ExecMode::Locking,
                             deadline_ms: None,
+                            integrity: None,
+                            replay: false,
                             conn: 0,
                         };
                         pool.submit(spec).expect("bench job admitted");
@@ -345,6 +349,84 @@ fn bench_serve(c: &mut Criterion, opts: &AreaOpts) {
         );
         drop(pool);
     }
+    g.finish();
+}
+
+/// The serving pool held *at overload*: every iteration pushes twice the
+/// admission capacity through three unevenly weighted tenants, so the
+/// shed ladder, the circuit breakers, and (in the `+journal` variant)
+/// the journal appends all sit on the measured path. Throughput counts
+/// *submissions* — admitted or shed — so the number reads as sustained
+/// intake under pressure, which is exactly what degrades if the
+/// admission ladder gets slower.
+fn bench_serve_degraded(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = Arc::new(workloads::pokec_like_weighted(scale, opts.seed));
+    let queue_cap: usize = if opts.smoke { 8 } else { 16 };
+    let submissions = queue_cap * 2; // the chaos harness's overload factor
+    let mut g = c.benchmark_group("serve_degraded/overload");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(submissions as u64));
+    let journal_dir = std::env::temp_dir().join(format!(
+        "phigraph-bench-serve-degraded-{}",
+        std::process::id()
+    ));
+    for (label, shed, journalled) in [
+        ("off", ShedPolicy::Off, false),
+        ("ladder", ShedPolicy::Ladder, false),
+        ("ladder+journal", ShedPolicy::Ladder, true),
+    ] {
+        let journal = if journalled {
+            let (j, _) = Journal::open(&journal_dir, ExecMode::Locking).expect("bench journal");
+            Some(Arc::new(j))
+        } else {
+            None
+        };
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_cap,
+            shed,
+            journal,
+            ..ServeConfig::default()
+        };
+        let (pool, rx) = ServePool::new(Arc::clone(&graph), cfg);
+        for (tenant, weight, cap) in [("gold", 4u64, 4usize), ("silver", 2, 2), ("bronze", 1, 2)] {
+            pool.set_tenant(tenant, weight, cap);
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                let mut accepted = 0usize;
+                for i in 0..submissions {
+                    let tenant = ["gold", "silver", "bronze"][i % 3];
+                    let spec = JobSpec {
+                        id: format!("d{i}"),
+                        tenant: tenant.to_string(),
+                        kind: JobKind::Bfs {
+                            source: (i % 7) as u32,
+                        },
+                        mode: ExecMode::Locking,
+                        deadline_ms: None,
+                        integrity: None,
+                        replay: false,
+                        conn: 0,
+                    };
+                    if pool.submit(spec).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                // Drain so the next iteration starts from an empty queue.
+                for _ in 0..accepted {
+                    rx.recv().expect("bench job result");
+                }
+            })
+        });
+        drop(pool);
+    }
+    let _ = std::fs::remove_dir_all(&journal_dir);
     g.finish();
 }
 

@@ -25,8 +25,9 @@ pub const BENCH_SCHEMA: &str = "phigraph-bench-v1";
 /// worker→mover pipeline, CSB slice insertion, a full superstep per engine
 /// mode, the hetero frame exchange, the integrity-switch overhead, the
 /// device-partitioning schemes, the object-message (semi-clustering)
-/// path, and the multi-tenant serving pool.
-pub const AREAS: [&str; 8] = [
+/// path, the multi-tenant serving pool, and the serving pool held at
+/// overload (the shed ladder + journal on the admission path).
+pub const AREAS: [&str; 9] = [
     "spsc",
     "csb",
     "superstep",
@@ -35,6 +36,7 @@ pub const AREAS: [&str; 8] = [
     "partition",
     "objmsg",
     "serve",
+    "serve_degraded",
 ];
 
 /// Canonical file name for an area's report.
@@ -48,7 +50,7 @@ pub fn default_threshold(area: &str) -> f64 {
     match area {
         // Cross-thread shuttles: scheduler noise dominates short runs, and
         // the serving pool adds queueing jitter on top.
-        "spsc" | "exchange" | "serve" => 1.6,
+        "spsc" | "exchange" | "serve" | "serve_degraded" => 1.6,
         // Single-process compute loops are steadier.
         "csb" | "superstep" | "integrity" | "partition" | "objmsg" => 1.5,
         _ => 1.5,

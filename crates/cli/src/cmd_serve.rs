@@ -1,12 +1,20 @@
 //! `phigraph serve` — load a graph once and answer concurrent
 //! multi-tenant queries over it (line-delimited JSON on stdin/stdout,
 //! or a unix socket with `--socket`).
+//!
+//! Survivability flags: `--journal-dir` turns on the crash-recovery job
+//! journal (a restarted daemon replays incomplete jobs and re-emits
+//! completed results), `--drain` requeues still-queued jobs into the
+//! journal at shutdown instead of running them, `--shed-policy`
+//! selects the overload ladder, and `--integrity-max` clamps per-job
+//! integrity requests.
 
 use crate::args::Args;
 use crate::cmd_generate::load_graph;
 use phigraph_core::engine::ExecMode;
 use phigraph_device::DeviceSpec;
-use phigraph_serve::{run_daemon, DaemonConfig, ServeConfig};
+use phigraph_recover::IntegrityMode;
+use phigraph_serve::{run_daemon, DaemonConfig, ServeConfig, ShedPolicy};
 use phigraph_trace::{Trace, TraceLevel};
 use std::sync::Arc;
 
@@ -57,6 +65,17 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         default_cap: args.flag_parse("default-cap", defaults.default_cap)?,
         watchdog_tick_ms: args.flag_parse("watchdog-tick-ms", defaults.watchdog_tick_ms)?,
         trace,
+        // The daemon opens the journal itself (it owns recovery).
+        journal: None,
+        default_integrity: args
+            .flag_or("integrity", defaults.default_integrity.name())
+            .parse::<IntegrityMode>()?,
+        integrity_max: args
+            .flag_or("integrity-max", defaults.integrity_max.name())
+            .parse::<IntegrityMode>()?,
+        shed: args
+            .flag_or("shed-policy", defaults.shed.name())
+            .parse::<ShedPolicy>()?,
     };
 
     let dcfg = DaemonConfig {
@@ -65,6 +84,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         prom_out: args.flag("prom-out").map(String::from),
         tenants: parse_tenants(args.flag("tenants"))?,
         device_label: device_label.to_string(),
+        journal_dir: args.flag("journal-dir").map(String::from),
+        drain_on_exit: args.has("drain"),
+        loader: Some(Arc::new(|path: &str| load_graph(path))),
     };
     eprintln!(
         "serve: {} workers, queue cap {}, engine {}, {} tenants preconfigured",

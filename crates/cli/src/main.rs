@@ -21,6 +21,10 @@
 //!              [--trace-level off|phase|fine]
 //! phigraph serve <graph> [--workers N] [--queue-cap N] [--engine E] [--socket PATH]
 //!                [--tenants a:4:2,b:1:1] [--deadline-ms N] [--prom-out FILE]
+//!                [--journal-dir DIR] [--drain] [--shed-policy off|ladder]
+//!                [--integrity M] [--integrity-max M]
+//! phigraph serve-chaos [--cycles N] [--seed N] [--workers N] [--queue-cap N]
+//!                      [--jobs-per-cycle N] [--journal-dir DIR] [--reload-every N]
 //! phigraph report <report.json> [--steps] [--top N]
 //! phigraph recover <checkpoint-dir> [--inspect STEP]
 //! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
@@ -38,6 +42,7 @@ mod cmd_recover;
 mod cmd_report;
 mod cmd_run;
 mod cmd_serve;
+mod cmd_serve_chaos;
 mod cmd_tune;
 
 use std::process::ExitCode;
@@ -54,6 +59,7 @@ fn main() -> ExitCode {
         "partition" => cmd_partition::run(rest),
         "run" => cmd_run::run(rest),
         "serve" => cmd_serve::run(rest),
+        "serve-chaos" => cmd_serve_chaos::run(rest),
         "recover" => cmd_recover::run(rest),
         "report" => cmd_report::run(rest),
         "tune" => cmd_tune::run(rest),
@@ -90,15 +96,23 @@ commands:
       [--integrity off|frames|full] [--scrub-every N]
       [--trace-out FILE] [--trace-format chrome|json|prom] [--trace-level off|phase|fine]
       (fault kinds: worker|mover|insert|checkpoint|exchange|crash|hang|slow
-                    |bitflip-msg|bitflip-state|truncate-frame;
+                    |bitflip-msg|bitflip-state|truncate-frame
+                    |daemon-kill|worker-hang|slow-client|malformed-line;
        checkpoint/resume/integrity: pagerank|bfs|sssp|wcc with --engine lock|pipe;
        chrome traces load in Perfetto / chrome://tracing)
   serve <graph> [--workers N] [--queue-cap N] [--engine lock|pipe|omp|seq] [--device cpu|mic]
         [--socket PATH] [--tenants name:weight:cap,...] [--default-weight N] [--default-cap N]
         [--deadline-ms N] [--report-out FILE] [--prom-out FILE] [--trace-level off|phase|fine]
+        [--journal-dir DIR] [--drain] [--shed-policy off|ladder]
+        [--integrity off|frames|full] [--integrity-max off|frames|full]
         (line-delimited JSON jobs on stdin or the socket:
          {\"op\":\"job\",\"id\":\"q1\",\"tenant\":\"a\",\"app\":\"sssp\",\"sources\":[0,7]}
-         plus ops tenant/stats/shutdown; see docs/serving.md)
+         plus ops tenant/stats/reload/shutdown; rejects carry a machine-readable
+         code + retry_after_ms; see docs/serving.md)
+  serve-chaos [--cycles N] [--seed N] [--workers N] [--queue-cap N] [--jobs-per-cycle N]
+        [--journal-dir DIR] [--reload-every N] [--engine lock|pipe|omp|seq]
+        (seeded kill/restart/reload soak over the serving stack; exits nonzero
+         if any job is lost, duplicated with different bytes, or corrupted)
   report <report.json> [--steps] [--top N]
   recover <checkpoint-dir> [--inspect STEP]
   tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]

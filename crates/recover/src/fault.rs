@@ -52,11 +52,26 @@ pub enum FaultKind {
     /// truncated (payload shorter than its header claims). Only frame
     /// length/checksum validation can see it.
     TruncateFrame,
+    /// The serving daemon process dies abruptly (kill -9): no drain, no
+    /// final reports — only the job journal survives. The chaos harness
+    /// restarts the daemon and asserts replay loses/duplicates nothing.
+    KillDaemon,
+    /// A serving-pool worker wedges on one job (modelled as a runaway job
+    /// with a tight deadline): only the watchdog's cancel token frees the
+    /// slot.
+    HangWorkerJob,
+    /// A serving client stalls mid-stream: long gaps between request
+    /// lines while earlier jobs are still in flight.
+    SlowClient,
+    /// A serving client sends a malformed / smeared protocol line; the
+    /// daemon must answer with a typed error, never drop the connection
+    /// or panic.
+    MalformedLine,
 }
 
 impl FaultKind {
     /// All kinds, for seeded sampling.
-    pub const ALL: [FaultKind; 11] = [
+    pub const ALL: [FaultKind; 15] = [
         FaultKind::KillWorker,
         FaultKind::KillMover,
         FaultKind::PoisonInsert,
@@ -68,6 +83,19 @@ impl FaultKind {
         FaultKind::BitFlipMessage,
         FaultKind::BitFlipState,
         FaultKind::TruncateFrame,
+        FaultKind::KillDaemon,
+        FaultKind::HangWorkerJob,
+        FaultKind::SlowClient,
+        FaultKind::MalformedLine,
+    ];
+
+    /// The serving-chaos subset (`phigraph serve-chaos` draws its seeded
+    /// event plan from these; the batch engines never see them).
+    pub const SERVE: [FaultKind; 4] = [
+        FaultKind::KillDaemon,
+        FaultKind::HangWorkerJob,
+        FaultKind::SlowClient,
+        FaultKind::MalformedLine,
     ];
 
     /// The silent-data-corruption subset (nothing fail-stops; only the
@@ -92,6 +120,10 @@ impl FaultKind {
             FaultKind::BitFlipMessage => "bitflip-msg",
             FaultKind::BitFlipState => "bitflip-state",
             FaultKind::TruncateFrame => "truncate-frame",
+            FaultKind::KillDaemon => "daemon-kill",
+            FaultKind::HangWorkerJob => "worker-hang",
+            FaultKind::SlowClient => "slow-client",
+            FaultKind::MalformedLine => "malformed-line",
         }
     }
 }

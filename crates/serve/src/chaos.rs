@@ -1,0 +1,616 @@
+//! The seeded serving-chaos soak harness behind `phigraph serve-chaos`.
+//!
+//! One soak is a sequence of daemon *incarnations* over a shared
+//! journal directory. Each cycle opens the journal, recovers whatever
+//! the previous incarnation left (re-emitting completed results,
+//! resubmitting incomplete jobs), then hammers the pool with roughly
+//! twice its admission capacity while a seeded [`FaultPlan`] — drawn
+//! from [`FaultKind::SERVE`] — injects trouble:
+//!
+//! - `daemon-kill`: the incarnation is aborted mid-burst, exactly the
+//!   journal state a `kill -9` leaves (running and queued jobs never
+//!   gain a `done` record and must replay).
+//! - `worker-hang`: a runaway job with a tight deadline wedges a
+//!   worker until the watchdog's cancel token frees it.
+//! - `slow-client`: the submission loop stalls between request bursts.
+//! - `malformed-line`: a seeded byte-smeared protocol line is pushed
+//!   through the parser, which must answer with an error, never panic.
+//!
+//! Every few cycles the soak hot-swaps a freshly generated graph
+//! mid-traffic ([`ServePool::reload`]), so in-flight jobs finish on
+//! their old epoch while new pickups bind the new one.
+//!
+//! The ledger at the end decides the verdict ([`ChaosReport::ok`]):
+//! every admitted job must reach exactly one terminal outcome (zero
+//! *lost*), any re-emitted duplicate must be bit-identical to the first
+//! copy, and every `ok` checksum must equal a direct
+//! `phigraph run --checksum`-style execution of the same job on the
+//! graph epoch it reports (zero *corrupt*).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use phigraph_apps::workloads::{pokec_like_weighted, Scale};
+use phigraph_apps::{Bfs, PageRank, Sssp, Wcc};
+use phigraph_core::engine::{run_single, EngineConfig, ExecMode};
+use phigraph_device::DeviceSpec;
+use phigraph_graph::state::PodState;
+use phigraph_graph::{Csr, SplitMix64};
+use phigraph_recover::{FaultKind, FaultPlan, IntegrityMode};
+use phigraph_trace::json::JsonBuf;
+
+use crate::job::{job_request_line, parse_request, JobKind, JobResult, JobSpec, JobStatus};
+use crate::journal::{Journal, JOURNAL_FILE};
+use crate::pool::{values_checksum, AdmitError, DrainMode, ServeConfig, ServePool};
+
+/// Soak parameters. Everything is seeded: two runs with the same config
+/// inject the same faults against the same job stream.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Kill/restart/reload cycles (daemon incarnations).
+    pub cycles: usize,
+    /// PRNG seed for the fault plan, the job stream, and the graphs.
+    pub seed: u64,
+    /// Worker threads per incarnation.
+    pub workers: usize,
+    /// Admission queue capacity.
+    pub queue_cap: usize,
+    /// Jobs submitted per cycle; `0` means `2 * queue_cap` (the
+    /// acceptance criterion's overload factor).
+    pub jobs_per_cycle: usize,
+    /// Journal directory shared by every incarnation. Any existing
+    /// journal in it is removed before the soak starts.
+    pub journal_dir: PathBuf,
+    /// Hot-swap a freshly generated graph every N cycles (`0` = never).
+    pub reload_every: usize,
+    /// Engine mode for every job (and the direct verification runs).
+    pub mode: ExecMode,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            cycles: 20,
+            seed: 42,
+            workers: 2,
+            queue_cap: 16,
+            jobs_per_cycle: 0,
+            journal_dir: std::env::temp_dir().join("phigraph-serve-chaos"),
+            reload_every: 5,
+            mode: ExecMode::Sequential,
+        }
+    }
+}
+
+/// What the soak observed, and whether it adds up.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Incarnations run (the final flush incarnation included).
+    pub cycles: usize,
+    /// Jobs the pool accepted (each owes exactly one terminal result).
+    pub admitted: usize,
+    /// Submissions bounced (queue-full / shed / breaker); owed nothing.
+    pub rejected: usize,
+    /// Distinct jobs that reached a terminal outcome.
+    pub terminal: usize,
+    /// Terminal `ok` results among those.
+    pub completed_ok: usize,
+    /// Re-emitted duplicates observed (allowed; must be bit-identical).
+    pub duplicates: usize,
+    /// Non-terminal observations (shutdown-cancelled / requeued lines):
+    /// these jobs replayed in a later incarnation.
+    pub carried_over: usize,
+    /// Malformed protocol lines fed to the parser and answered.
+    pub malformed_answered: usize,
+    /// Hot graph swaps performed mid-traffic.
+    pub swaps: usize,
+    /// Faults injected, by kind name.
+    pub faults: BTreeMap<&'static str, usize>,
+    /// Admitted jobs that never reached a terminal outcome. Must be
+    /// empty.
+    pub lost: Vec<String>,
+    /// Jobs whose duplicate copies disagreed, or whose `ok` checksum
+    /// did not match the direct run. Must be empty.
+    pub corrupt: Vec<String>,
+}
+
+impl ChaosReport {
+    /// The soak's verdict: nothing lost, nothing corrupted.
+    pub fn ok(&self) -> bool {
+        self.lost.is_empty() && self.corrupt.is_empty()
+    }
+
+    /// One-line JSON for scripts (`scripts/check.sh` greps this).
+    pub fn to_line(&self) -> String {
+        let mut b = JsonBuf::obj();
+        b.str("op", "serve-chaos");
+        b.str("status", if self.ok() { "ok" } else { "failed" });
+        b.int("cycles", self.cycles as u64);
+        b.int("admitted", self.admitted as u64);
+        b.int("rejected", self.rejected as u64);
+        b.int("terminal", self.terminal as u64);
+        b.int("completed_ok", self.completed_ok as u64);
+        b.int("duplicates", self.duplicates as u64);
+        b.int("carried_over", self.carried_over as u64);
+        b.int("malformed_answered", self.malformed_answered as u64);
+        b.int("swaps", self.swaps as u64);
+        b.int("lost", self.lost.len() as u64);
+        b.int("corrupt", self.corrupt.len() as u64);
+        b.begin_obj("faults");
+        for (name, count) in &self.faults {
+            b.int(name, *count as u64);
+        }
+        b.end();
+        crate::job::one_line(b.finish())
+    }
+}
+
+/// Tracks every observed outcome and verifies it against first-seen
+/// copies and direct executions.
+struct Ledger {
+    /// Admitted job → its kind (for the direct verification run).
+    specs: BTreeMap<String, JobKind>,
+    /// First terminal outcome per job: `(status name, checksum)`.
+    terminal: BTreeMap<String, (&'static str, u64)>,
+    /// Jobs caught lying (mismatched duplicate or checksum).
+    corrupt: BTreeSet<String>,
+    /// Expected checksum cache: `(graph index, kind debug key)`.
+    expected: HashMap<(usize, String), u64>,
+    duplicates: usize,
+    carried_over: usize,
+    completed_ok: usize,
+}
+
+fn checksum_of<P: phigraph_core::api::VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    device: &DeviceSpec,
+    config: &EngineConfig,
+) -> u64
+where
+    P::Value: PodState,
+{
+    values_checksum(&run_single(program, graph, device.clone(), config).values)
+}
+
+/// What `phigraph run --checksum` would print for this job: a direct,
+/// single-job execution with the same engine mode.
+fn direct_checksum(graph: &Csr, kind: &JobKind, device: &DeviceSpec, mode: ExecMode) -> u64 {
+    let config = match mode {
+        ExecMode::Locking => EngineConfig::locking(),
+        ExecMode::Pipelined => EngineConfig::pipelined(),
+        ExecMode::Flat => EngineConfig::flat(),
+        ExecMode::Sequential => EngineConfig::sequential(),
+    };
+    match kind {
+        JobKind::PageRank {
+            damping,
+            iterations,
+        } => checksum_of(
+            &PageRank {
+                damping: *damping,
+                iterations: *iterations,
+            },
+            graph,
+            device,
+            &config,
+        ),
+        JobKind::Ppr {
+            source,
+            damping,
+            iterations,
+        } => checksum_of(
+            &phigraph_apps::PersonalizedPageRank {
+                source: *source,
+                damping: *damping,
+                iterations: *iterations,
+            },
+            graph,
+            device,
+            &config,
+        ),
+        JobKind::Bfs { source } => checksum_of(&Bfs { source: *source }, graph, device, &config),
+        JobKind::Sssp { sources } => {
+            if sources.len() == 1 {
+                checksum_of(&Sssp { source: sources[0] }, graph, device, &config)
+            } else {
+                // Fold per-source checksums exactly like the pool does.
+                let mut folded = Vec::with_capacity(sources.len() * 8);
+                for &s in sources {
+                    folded.extend_from_slice(
+                        &checksum_of(&Sssp { source: s }, graph, device, &config).to_le_bytes(),
+                    );
+                }
+                phigraph_recover::snapshot::fnv1a64(&folded)
+            }
+        }
+        JobKind::Wcc => checksum_of(&Wcc::new(graph), graph, device, &config),
+    }
+}
+
+impl Ledger {
+    fn new() -> Self {
+        Ledger {
+            specs: BTreeMap::new(),
+            terminal: BTreeMap::new(),
+            corrupt: BTreeSet::new(),
+            expected: HashMap::new(),
+            duplicates: 0,
+            carried_over: 0,
+            completed_ok: 0,
+        }
+    }
+
+    fn expected_checksum(
+        &mut self,
+        graphs: &[Arc<Csr>],
+        gidx: usize,
+        kind: &JobKind,
+        device: &DeviceSpec,
+        mode: ExecMode,
+    ) -> u64 {
+        let key = (gidx, format!("{kind:?}"));
+        if let Some(&c) = self.expected.get(&key) {
+            return c;
+        }
+        let c = direct_checksum(&graphs[gidx], kind, device, mode);
+        self.expected.insert(key, c);
+        c
+    }
+
+    /// Record one observed result. `epoch_base` maps the result's graph
+    /// epoch onto the soak's graph list (epoch 1 of that incarnation =
+    /// `graphs[epoch_base]`); `None` for journal re-emissions, whose
+    /// producing incarnation is unknown — those are only checked for
+    /// bit-identity against the first-seen copy (or any known graph
+    /// when they arrive first).
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        r: &JobResult,
+        epoch_base: Option<usize>,
+        graphs: &[Arc<Csr>],
+        device: &DeviceSpec,
+        mode: ExecMode,
+    ) {
+        if !r.status.is_terminal() {
+            self.carried_over += 1;
+            return;
+        }
+        let name = r.status.name();
+        if let Some(&(first_name, first_sum)) = self.terminal.get(&r.id) {
+            self.duplicates += 1;
+            if first_name != name || first_sum != r.checksum {
+                self.corrupt.insert(r.id.clone());
+            }
+            return;
+        }
+        if r.status == JobStatus::Ok {
+            self.completed_ok += 1;
+            if let Some(kind) = self.specs.get(&r.id).cloned() {
+                let matches = match epoch_base {
+                    Some(base) => {
+                        let gidx = (base + r.epoch.saturating_sub(1) as usize)
+                            .min(graphs.len().saturating_sub(1));
+                        self.expected_checksum(graphs, gidx, &kind, device, mode) == r.checksum
+                    }
+                    // First seen via replay: the producing epoch cannot
+                    // be mapped, so accept a match against any graph
+                    // the soak has served.
+                    None => (0..graphs.len()).any(|g| {
+                        self.expected_checksum(graphs, g, &kind, device, mode) == r.checksum
+                    }),
+                };
+                if !matches {
+                    self.corrupt.insert(r.id.clone());
+                }
+            }
+        }
+        self.terminal.insert(r.id.clone(), (name, r.checksum));
+    }
+}
+
+/// Resubmit a recovered spec, waiting out transient backpressure.
+fn submit_with_retry(pool: &ServePool, spec: &JobSpec) -> Result<(), AdmitError> {
+    let mut tries = 0;
+    loop {
+        match pool.submit(spec.clone()) {
+            Ok(()) => return Ok(()),
+            Err(AdmitError::Closed) => return Err(AdmitError::Closed),
+            Err(e) if tries >= 10_000 => return Err(e),
+            Err(_) => {
+                tries += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Smear random bytes over a valid request line; the parser must answer
+/// every such line with an error (or, rarely, still parse it) — never
+/// panic.
+fn smear_line(rng: &mut SplitMix64, line: &str) -> String {
+    let mut bytes = line.as_bytes().to_vec();
+    let smears = rng.random_range(1usize..5);
+    for _ in 0..smears {
+        let i = rng.random_range(0usize..bytes.len());
+        bytes[i] = (rng.next_u64() & 0x7f) as u8; // keep it UTF-8
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn draw_kind(rng: &mut SplitMix64, vertices: usize) -> JobKind {
+    let n = vertices.max(1) as u64;
+    match rng.random_range(0u32..4) {
+        0 => JobKind::Bfs {
+            source: (rng.random_range(0u64..n.min(8))) as u32,
+        },
+        1 => JobKind::Wcc,
+        2 => JobKind::Sssp {
+            sources: vec![(rng.random_range(0u64..n.min(8))) as u32],
+        },
+        _ => JobKind::PageRank {
+            damping: 0.85,
+            iterations: 5,
+        },
+    }
+}
+
+const TENANTS: [(&str, u64, usize); 3] = [("gold", 4, 4), ("silver", 2, 2), ("bronze", 1, 2)];
+
+/// Run the chaos soak. Fully deterministic fault/job schedule per
+/// config; wall-clock (thread interleaving) decides only *when* jobs
+/// finish, never what they compute.
+pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
+    let jobs_per_cycle = if cfg.jobs_per_cycle == 0 {
+        cfg.queue_cap * 2
+    } else {
+        cfg.jobs_per_cycle
+    };
+    std::fs::create_dir_all(&cfg.journal_dir)
+        .map_err(|e| format!("chaos journal dir {:?}: {e}", cfg.journal_dir))?;
+    let _ = std::fs::remove_file(cfg.journal_dir.join(JOURNAL_FILE));
+
+    let device = DeviceSpec::xeon_e5_2680();
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed);
+    // One seeded fault per cycle on average, drawn from the serving
+    // subset; `superstep` doubles as the cycle index it strikes.
+    let plan = FaultPlan::random(
+        cfg.seed,
+        cfg.cycles,
+        cfg.cycles.max(1) as u64,
+        &FaultKind::SERVE,
+        1,
+    );
+
+    let mut graphs: Vec<Arc<Csr>> = vec![Arc::new(pokec_like_weighted(Scale::Tiny, cfg.seed))];
+    let mut graph_idx = 0usize;
+    let mut ledger = Ledger::new();
+    let mut report = ChaosReport::default();
+
+    // The final iteration is a clean flush incarnation: no faults, no
+    // new jobs, drain everything the journal still owes.
+    for cycle in 0..=cfg.cycles {
+        let flush = cycle == cfg.cycles;
+        let faults: Vec<FaultKind> = if flush {
+            Vec::new()
+        } else {
+            plan.faults
+                .iter()
+                .filter(|f| f.superstep == cycle as u64)
+                .map(|f| f.kind)
+                .collect()
+        };
+        for f in &faults {
+            *report.faults.entry(f.name()).or_insert(0) += 1;
+        }
+        let kill = faults.contains(&FaultKind::KillDaemon);
+        let hang = faults.contains(&FaultKind::HangWorkerJob);
+        let slow = faults.contains(&FaultKind::SlowClient);
+        let malformed = faults.contains(&FaultKind::MalformedLine);
+
+        let (journal, recovery) = Journal::open(&cfg.journal_dir, cfg.mode)?;
+        let journal = Arc::new(journal);
+        let epoch_base = graph_idx;
+        let (mut pool, rx) = ServePool::new(
+            Arc::clone(&graphs[graph_idx]),
+            ServeConfig {
+                workers: cfg.workers,
+                queue_cap: cfg.queue_cap,
+                mode: cfg.mode,
+                journal: Some(Arc::clone(&journal)),
+                default_integrity: IntegrityMode::Off,
+                ..ServeConfig::default()
+            },
+        );
+        for (name, weight, cap) in TENANTS {
+            pool.set_tenant(name, weight, cap);
+        }
+        let collector = std::thread::spawn(move || rx.iter().collect::<Vec<JobResult>>());
+
+        // Recovery first: re-emit completed results, compact, resubmit
+        // the incomplete jobs ahead of any new traffic.
+        for r in &recovery.completed {
+            pool.note_replayed(&r.tenant);
+            ledger.record(r, None, &graphs, &device, cfg.mode);
+        }
+        journal
+            .compact(&recovery.incomplete)
+            .map_err(|e| format!("chaos compact: {e}"))?;
+        for spec in &recovery.incomplete {
+            if submit_with_retry(&pool, spec).is_err() {
+                // Still journalled; a later incarnation tries again.
+                report.rejected += 1;
+            }
+        }
+
+        if malformed {
+            // Seeded byte-smear fuzz against the protocol parser.
+            let victim = job_request_line(&JobSpec {
+                id: format!("fuzz-{cycle}"),
+                tenant: "gold".to_string(),
+                kind: draw_kind(&mut rng, graphs[graph_idx].num_vertices()),
+                mode: cfg.mode,
+                deadline_ms: None,
+                integrity: None,
+                replay: false,
+                conn: 0,
+            });
+            for _ in 0..8 {
+                let smeared = smear_line(&mut rng, &victim);
+                // Must classify (almost always an error), never panic.
+                let _ = parse_request(&smeared, cfg.mode, 0);
+                report.malformed_answered += 1;
+            }
+        }
+
+        let burst = if flush { 0 } else { jobs_per_cycle };
+        let kill_at = if kill { burst / 2 } else { usize::MAX };
+        for i in 0..burst {
+            if i == kill_at {
+                break;
+            }
+            let id = format!("c{cycle}-j{i}");
+            let tenant = TENANTS[rng.random_range(0usize..TENANTS.len())].0;
+            let (kind, deadline_ms) = if hang && i == 0 {
+                // The wedged-worker fault: a runaway job only the
+                // watchdog's deadline cancel can dislodge.
+                (
+                    JobKind::PageRank {
+                        damping: 0.85,
+                        iterations: 1_000_000,
+                    },
+                    Some(25),
+                )
+            } else {
+                (draw_kind(&mut rng, graphs[graph_idx].num_vertices()), None)
+            };
+            let integrity = match rng.random_range(0u32..3) {
+                0 => None,
+                1 => Some(IntegrityMode::Frames),
+                _ => Some(IntegrityMode::Full),
+            };
+            let spec = JobSpec {
+                id: id.clone(),
+                tenant: tenant.to_string(),
+                kind: kind.clone(),
+                mode: cfg.mode,
+                deadline_ms,
+                integrity,
+                replay: false,
+                conn: 0,
+            };
+            match pool.submit(spec) {
+                Ok(()) => {
+                    report.admitted += 1;
+                    ledger.specs.insert(id, kind);
+                }
+                Err(AdmitError::Closed) => break,
+                Err(_) => report.rejected += 1,
+            }
+            if slow && i % 8 == 7 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+
+        // Mid-traffic hot swap: jobs already picked up finish on the
+        // old epoch, later pickups bind the new graph.
+        if !flush && !kill && cfg.reload_every > 0 && (cycle + 1) % cfg.reload_every == 0 {
+            let seed = cfg.seed.wrapping_add(graphs.len() as u64);
+            pool.reload(pokec_like_weighted(Scale::Tiny, seed));
+            graphs.push(Arc::new(pokec_like_weighted(Scale::Tiny, seed)));
+            graph_idx = graphs.len() - 1;
+            report.swaps += 1;
+        }
+
+        if kill {
+            // Abort ≈ kill -9 as far as the journal can tell: running
+            // and queued jobs never gain a `done` record.
+            pool.shutdown(false);
+        } else if cycle % 2 == 1 && !flush {
+            // Odd cycles exercise `--drain`: running jobs finish,
+            // queued jobs are requeued into the journal.
+            pool.shutdown_mode(DrainMode::Requeue);
+        } else {
+            pool.shutdown_mode(DrainMode::Finish);
+        }
+        drop(pool);
+        let results = collector
+            .join()
+            .map_err(|_| "chaos collector panicked".to_string())?;
+        for r in &results {
+            ledger.record(r, Some(epoch_base), &graphs, &device, cfg.mode);
+        }
+        report.cycles += 1;
+    }
+
+    report.lost = ledger
+        .specs
+        .keys()
+        .filter(|id| !ledger.terminal.contains_key(*id))
+        .cloned()
+        .collect();
+    report.corrupt = ledger.corrupt.into_iter().collect();
+    report.terminal = ledger.terminal.len();
+    report.completed_ok = ledger.completed_ok;
+    report.duplicates = ledger.duplicates;
+    report.carried_over = ledger.carried_over;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "phigraph-chaos-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn small_soak_loses_and_corrupts_nothing() {
+        let dir = tempdir("soak");
+        let report = run_chaos(&ChaosConfig {
+            cycles: 6,
+            seed: 7,
+            workers: 2,
+            queue_cap: 8,
+            jobs_per_cycle: 0,
+            journal_dir: dir.clone(),
+            reload_every: 3,
+            mode: ExecMode::Sequential,
+        })
+        .unwrap();
+        assert!(
+            report.ok(),
+            "lost={:?} corrupt={:?}",
+            report.lost,
+            report.corrupt
+        );
+        assert_eq!(report.cycles, 7, "6 chaos cycles + the flush");
+        assert!(report.admitted > 0);
+        // Terminal ids are a subset of admitted ids; zero lost means
+        // every admitted job got exactly one terminal outcome.
+        assert_eq!(report.terminal, report.admitted);
+        assert!(report.completed_ok > 0);
+        assert!(report.swaps >= 1, "reload_every=3 over 6 cycles must swap");
+        let line = report.to_line();
+        assert!(line.contains("\"status\": \"ok\""), "{line}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let a = FaultPlan::random(3, 10, 10, &FaultKind::SERVE, 1);
+        let b = FaultPlan::random(3, 10, 10, &FaultKind::SERVE, 1);
+        assert_eq!(a, b);
+        assert!(a.faults.iter().all(|f| FaultKind::SERVE.contains(&f.kind)));
+    }
+}

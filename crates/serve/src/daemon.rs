@@ -1,35 +1,54 @@
 //! The daemon frontends: line-delimited JSON over stdin (the default)
-//! or a unix socket, shared shutdown orchestration, and the final
-//! report/Prometheus file writes.
+//! or a unix socket, journal recovery on startup, hot graph swap,
+//! shared shutdown orchestration, and the final report/Prometheus file
+//! writes.
 //!
 //! Life cycle:
 //!
 //! 1. Block SIGTERM/SIGINT and open a signalfd **before** any thread
 //!    exists ([`crate::signals::SignalFd::install`]).
-//! 2. Spawn the [`ServePool`] and a writer thread that turns
+//! 2. Open the journal (when `--journal-dir` is set) and recover the
+//!    previous incarnation: re-emit every completed result (tagged
+//!    `"replayed":true`), compact the journal down to the incomplete
+//!    admissions, and resubmit those for execution.
+//! 3. Spawn the [`ServePool`] and a writer thread that turns
 //!    [`JobResult`]s into response lines.
-//! 3. Read request lines until EOF / `{"op":"shutdown"}` (graceful
-//!    drain) or a termination signal (forced: running jobs cancelled
-//!    with the `shutdown` reason, queued jobs reported cancelled).
-//! 4. Whoever triggers shutdown writes `run_report.json` (with the
-//!    `"serve"` tenant breakdown) and the Prometheus text file, then the
-//!    process exits cleanly with every thread joined.
+//! 4. Read request lines — bounded by [`MAX_LINE_BYTES`], with
+//!    oversized and non-UTF-8 lines answered by typed error responses —
+//!    until EOF / `{"op":"shutdown"}` or a termination signal.
+//! 5. Shut down with the appropriate [`DrainMode`]: `finish` runs every
+//!    admitted job, `drain` (or `--drain` at EOF) requeues queued jobs
+//!    into the journal for the next incarnation, a signal aborts.
+//!    Whoever triggers shutdown writes `run_report.json` (with the
+//!    `"serve"` tenant breakdown) and the Prometheus text file, then
+//!    the process exits cleanly with every thread joined.
 
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use phigraph_graph::Csr;
+use phigraph_trace::HistKind;
 
-use crate::job::{error_line, parse_request, peek_id, rejection_line, JobResult, Request};
-use crate::pool::{AdmitError, ServeConfig, ServePool};
+use crate::job::{
+    error_line, parse_request, peek_id, read_bounded_line, rejection_line, JobResult, LineRead,
+    Request, MAX_LINE_BYTES,
+};
+use crate::journal::{Journal, Recovery};
+use crate::pool::{AdmitError, DrainMode, ServeConfig, ServePool};
 use crate::signals::SignalFd;
 use crate::stats::{serve_prometheus_text, serve_report_json, ServeStats};
 
+/// Loads a CSR for the `reload` op. The daemon core stays
+/// format-agnostic: the CLI supplies whatever loader matches its graph
+/// sources (binary files, generators, …).
+pub type GraphLoader = Arc<dyn Fn(&str) -> Result<Csr, String> + Send + Sync>;
+
 /// Daemon options on top of the pool configuration.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct DaemonConfig {
     /// Unix-socket path; `None` serves stdin/stdout.
     pub socket: Option<String>,
@@ -41,6 +60,28 @@ pub struct DaemonConfig {
     pub tenants: Vec<(String, u64, usize)>,
     /// Device label for the report.
     pub device_label: String,
+    /// Directory for the crash-recovery job journal (`None`: off).
+    pub journal_dir: Option<String>,
+    /// `--drain`: at EOF / `{"op":"shutdown"}` without a mode, requeue
+    /// still-queued jobs into the journal instead of running them.
+    pub drain_on_exit: bool,
+    /// Graph loader for the `reload` op (`None`: reload unsupported).
+    pub loader: Option<GraphLoader>,
+}
+
+impl std::fmt::Debug for DaemonConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonConfig")
+            .field("socket", &self.socket)
+            .field("report_out", &self.report_out)
+            .field("prom_out", &self.prom_out)
+            .field("tenants", &self.tenants)
+            .field("device_label", &self.device_label)
+            .field("journal_dir", &self.journal_dir)
+            .field("drain_on_exit", &self.drain_on_exit)
+            .field("loader", &self.loader.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 struct Core {
@@ -52,13 +93,35 @@ struct Core {
     /// process once the last result is flushed, because the main thread
     /// is still parked in a blocking read.
     exit_when_drained: AtomicBool,
+    /// Drain mode picked by an explicit `{"op":"shutdown"}` line.
+    requested_mode: Mutex<Option<DrainMode>>,
     final_stats: Mutex<Option<ServeStats>>,
 }
 
 impl Core {
+    /// The drain mode an EOF should use: `--drain` requeues, the
+    /// default finishes everything admitted.
+    fn eof_mode(&self) -> DrainMode {
+        if self.dcfg.drain_on_exit {
+            DrainMode::Requeue
+        } else {
+            DrainMode::Finish
+        }
+    }
+
+    /// The mode a protocol shutdown asked for, falling back to the EOF
+    /// default.
+    fn take_requested_mode(&self) -> DrainMode {
+        self.requested_mode
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| self.eof_mode())
+    }
+
     /// Shut the pool down (at most once). Returns whether this call did
     /// the work.
-    fn finish(&self, drain: bool) -> bool {
+    fn finish(&self, mode: DrainMode) -> bool {
         let taken = self.pool.lock().unwrap().take();
         match taken {
             Some(mut p) => {
@@ -66,7 +129,7 @@ impl Core {
                 // the final stats must be stored before the writer
                 // thread sees disconnection, because the writer is what
                 // turns them into run_report.json / the Prometheus file.
-                p.shutdown_workers(drain);
+                p.shutdown_workers_mode(mode);
                 *self.final_stats.lock().unwrap() = Some(p.stats());
                 drop(p); // now the channel closes and the writer finishes
                 true
@@ -98,27 +161,68 @@ impl Core {
         }
     }
 
+    /// Swap in the graph at `path` (the `reload` op). The load and
+    /// validation run outside every pool lock; only the final Arc swap
+    /// synchronizes with workers.
+    fn handle_reload(&self, path: &str, out: &dyn Fn(&str)) {
+        let Some(loader) = &self.dcfg.loader else {
+            out(&error_line(
+                "",
+                "reload_unsupported",
+                "daemon was started without a graph loader",
+            ));
+            return;
+        };
+        let loaded = loader(path);
+        match loaded {
+            Err(e) => out(&error_line("", "graph_load", &e)),
+            Ok(csr) => match self.pool.lock().unwrap().as_ref() {
+                None => out(&error_line(
+                    "",
+                    "reload_unsupported",
+                    "daemon is shutting down",
+                )),
+                Some(pool) => {
+                    let t0 = Instant::now();
+                    let (epoch, v, e) = pool.reload(csr);
+                    if let Some(trace) = &self.cfg.trace {
+                        trace.record_hist(HistKind::GraphSwapUs, t0.elapsed().as_micros() as u64);
+                    }
+                    out(&format!(
+                        "{{\"op\":\"reload\",\"status\":\"ok\",\"epoch\":{epoch},\"vertices\":{v},\"edges\":{e}}}"
+                    ));
+                }
+            },
+        }
+    }
+
     /// Handle one request line; responses go through `out`. Returns
-    /// `true` when the line asked for shutdown.
+    /// `true` when the line asked for shutdown (the mode is stored for
+    /// [`Core::take_requested_mode`]).
     fn handle_line(&self, line: &str, conn: u64, out: &dyn Fn(&str)) -> bool {
         let line = line.trim();
         if line.is_empty() {
             return false;
         }
         match parse_request(line, self.cfg.mode, conn) {
-            Err(e) => out(&error_line(&peek_id(line), &e)),
+            Err(e) => out(&error_line(&peek_id(line), "bad_request", &e)),
             Ok(Request::Job(spec)) => {
                 let guard = self.pool.lock().unwrap();
                 match guard.as_ref() {
-                    None => out(&error_line(&spec.id, "daemon is shutting down")),
+                    None => out(&rejection_line(
+                        &spec.id,
+                        &spec.tenant,
+                        AdmitError::Closed.code(),
+                        AdmitError::Closed.retry_after_ms(),
+                    )),
                     Some(pool) => match pool.submit(spec.clone()) {
                         Ok(()) => {}
-                        Err(AdmitError::QueueFull { retry_after_ms }) => {
-                            out(&rejection_line(&spec.id, &spec.tenant, retry_after_ms))
-                        }
-                        Err(AdmitError::Closed) => {
-                            out(&error_line(&spec.id, "daemon is shutting down"))
-                        }
+                        Err(e) => out(&rejection_line(
+                            &spec.id,
+                            &spec.tenant,
+                            e.code(),
+                            e.retry_after_ms(),
+                        )),
                     },
                 }
             }
@@ -142,8 +246,18 @@ impl Core {
                 };
                 out(&snap.to_line());
             }
-            Ok(Request::Shutdown) => {
-                out("{\"op\":\"shutdown\",\"status\":\"ok\"}");
+            Ok(Request::Reload { path }) => self.handle_reload(&path, out),
+            Ok(Request::Shutdown { requeue }) => {
+                let mode = if requeue {
+                    DrainMode::Requeue
+                } else {
+                    DrainMode::Finish
+                };
+                *self.requested_mode.lock().unwrap() = Some(mode);
+                out(&format!(
+                    "{{\"op\":\"shutdown\",\"mode\":\"{}\",\"status\":\"ok\"}}",
+                    if requeue { "drain" } else { "finish" }
+                ));
                 return true;
             }
         }
@@ -157,15 +271,74 @@ fn stdout_line(line: &str) {
     let _ = out.flush();
 }
 
+/// Re-emit what the journal recovered and resubmit the incomplete jobs.
+/// Completed results go to stdout — the connections that asked for them
+/// died with the previous incarnation. Called before the frontends
+/// start, so replay output precedes any new traffic's.
+fn replay_recovery(pool: &ServePool, journal: &Journal, recovery: Recovery) {
+    if recovery.dropped > 0 {
+        eprintln!(
+            "serve: journal: dropped {} torn/corrupt trailing line(s)",
+            recovery.dropped
+        );
+    }
+    for r in &recovery.completed {
+        pool.note_replayed(&r.tenant);
+        stdout_line(&r.to_line());
+    }
+    // Compact only after the completed results are back out: until
+    // then their `done` records must survive a second crash.
+    if let Err(e) = journal.compact(&recovery.incomplete) {
+        eprintln!("serve: journal compact: {e}");
+    }
+    for spec in recovery.incomplete {
+        // The pool is freshly spawned, but replaying more incomplete
+        // jobs than the queue holds still needs a bounded retry.
+        let mut tries = 0;
+        loop {
+            match pool.submit(spec.clone()) {
+                Ok(()) => break,
+                Err(e) if e == AdmitError::Closed || tries >= 200 => {
+                    // Still journalled as incomplete: the next
+                    // incarnation gets another chance.
+                    stdout_line(&rejection_line(
+                        &spec.id,
+                        &spec.tenant,
+                        e.code(),
+                        e.retry_after_ms(),
+                    ));
+                    break;
+                }
+                Err(e) => {
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(e.retry_after_ms().clamp(1, 10)));
+                }
+            }
+        }
+    }
+}
+
 /// Run the daemon over `graph` until EOF, a shutdown request, or a
 /// termination signal. Blocks the calling thread.
 pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Result<(), String> {
     // Must precede every thread spawn so the mask is inherited.
     let sfd = SignalFd::install();
 
+    let mut cfg = cfg;
+    let mut recovered = None;
+    if let Some(dir) = &dcfg.journal_dir {
+        let (journal, recovery) = Journal::open(Path::new(dir), cfg.mode)?;
+        let journal = Arc::new(journal);
+        cfg.journal = Some(Arc::clone(&journal));
+        recovered = Some((journal, recovery));
+    }
+
     let (pool, rx) = ServePool::new(graph, cfg.clone());
     for (name, weight, cap) in &dcfg.tenants {
         pool.set_tenant(name, *weight, *cap);
+    }
+    if let Some((journal, recovery)) = recovered {
+        replay_recovery(&pool, &journal, recovery);
     }
     let core = Arc::new(Core {
         pool: Mutex::new(Some(pool)),
@@ -173,6 +346,7 @@ pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Resu
         dcfg: dcfg.clone(),
         started: Instant::now(),
         exit_when_drained: AtomicBool::new(false),
+        requested_mode: Mutex::new(None),
         final_stats: Mutex::new(None),
     });
 
@@ -186,7 +360,7 @@ pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Resu
                     // read, so the writer thread exits the process once
                     // the cancellation results are flushed.
                     core.exit_when_drained.store(true, Ordering::Release);
-                    if core.finish(false) {
+                    if core.finish(DrainMode::Abort) {
                         eprintln!("serve: termination signal: cancelling and exiting");
                     }
                 }
@@ -222,20 +396,46 @@ fn spawn_writer(
         .expect("spawn serve writer")
 }
 
+/// Read protocol lines from `reader` until EOF or a shutdown request,
+/// answering oversized and non-UTF-8 lines with typed errors instead of
+/// dropping the stream.
+fn serve_lines(
+    core: &Core,
+    reader: &mut impl BufRead,
+    conn: u64,
+    out: &dyn Fn(&str),
+) -> std::io::Result<bool> {
+    loop {
+        match read_bounded_line(reader)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::TooLong => out(&error_line(
+                "",
+                "oversized_line",
+                &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            )),
+            LineRead::BadUtf8 => out(&error_line(
+                "",
+                "bad_utf8",
+                "request line is not valid UTF-8",
+            )),
+            LineRead::Line(line) => {
+                if core.handle_line(&line, conn, out) {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+}
+
 fn run_stdin(core: Arc<Core>, rx: Receiver<JobResult>) -> Result<(), String> {
     let writer = spawn_writer(Arc::clone(&core), rx, |r| stdout_line(&r.to_line()));
     let stdin = std::io::stdin();
-    let mut requested_shutdown = false;
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
-        if core.handle_line(&line, 0, &stdout_line) {
-            requested_shutdown = true;
-            break;
-        }
-    }
-    // EOF or an explicit shutdown op: drain admitted jobs, then leave.
-    let _ = requested_shutdown;
-    core.finish(true);
+    let mut reader = stdin.lock();
+    serve_lines(&core, &mut reader, 0, &stdout_line).map_err(|e| format!("stdin: {e}"))?;
+    // EOF or an explicit shutdown op: honour the requested (or the
+    // configured EOF) drain mode, then leave.
+    let mode = core.take_requested_mode();
+    core.finish(mode);
     let _ = writer.join();
     Ok(())
 }
@@ -295,27 +495,24 @@ fn run_socket(core: Arc<Core>, rx: Receiver<JobResult>, path: &str) -> Result<()
             std::thread::Builder::new()
                 .name(format!("serve-conn{conn}"))
                 .spawn(move || {
-                    let reader = std::io::BufReader::new(stream);
+                    let mut reader = std::io::BufReader::new(stream);
                     let out = |line: &str| {
                         let mut s = write_half.lock().unwrap();
                         let _ = writeln!(s, "{line}");
                         let _ = s.flush();
                     };
-                    for line in reader.lines() {
-                        let Ok(line) = line else { break };
-                        if core.handle_line(&line, conn, &out) {
-                            stop.store(true, Ordering::Release);
-                            // Poke the accept loop awake.
-                            let _ = UnixStream::connect(&sock_path);
-                            break;
-                        }
+                    if serve_lines(&core, &mut reader, conn, &out).unwrap_or(false) {
+                        stop.store(true, Ordering::Release);
+                        // Poke the accept loop awake.
+                        let _ = UnixStream::connect(&sock_path);
                     }
                     conns.lock().unwrap().remove(&conn);
                 })
                 .map_err(|e| format!("spawn conn thread: {e}"))?,
         );
     }
-    core.finish(true);
+    let mode = core.take_requested_mode();
+    core.finish(mode);
     for h in readers {
         let _ = h.join();
     }

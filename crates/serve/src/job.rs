@@ -8,19 +8,27 @@
 //!
 //! ```text
 //! {"op":"job","id":"q1","tenant":"a","app":"sssp","sources":[0,7]}
+//! {"op":"job","id":"q2","app":"bfs","source":3,"integrity":"frames"}
 //! {"op":"tenant","tenant":"a","weight":4,"cap":2}
 //! {"op":"stats"}
+//! {"op":"reload","path":"graphs/fresh.bin"}
 //! {"op":"shutdown"}
+//! {"op":"shutdown","mode":"drain"}
 //! ```
 //!
 //! Responses echo the job `id` and report a `status` of `ok`,
-//! `rejected` (with `retry_after_ms`), `cancelled` (with the
-//! [`CancelReason`](phigraph_device::CancelReason) name), `expired`, or
-//! `error`. Checksums are emitted as `"0x…"` hex strings because JSON
-//! numbers cannot carry 64 bits faithfully.
+//! `rejected` (with a machine-readable `code` and `retry_after_ms`),
+//! `cancelled` (with the
+//! [`CancelReason`](phigraph_device::CancelReason) name), `expired`,
+//! `requeued` (journalled for the next daemon incarnation), or `error`
+//! (always with a `code`). Checksums are emitted as `"0x…"` hex strings
+//! because JSON numbers cannot carry 64 bits faithfully.
+
+use std::io::BufRead;
 
 use phigraph_core::engine::ExecMode;
 use phigraph_graph::VertexId;
+use phigraph_recover::IntegrityMode;
 use phigraph_trace::json::{Json, JsonBuf};
 
 /// What a job computes. Each variant maps onto one vertex program from
@@ -86,6 +94,13 @@ pub struct JobSpec {
     /// Per-job deadline in milliseconds from admission (`None` = the
     /// pool default).
     pub deadline_ms: Option<u64>,
+    /// Per-job integrity override (`None` = the pool default); the
+    /// effective level is clamped by the pool's `integrity_max` and may
+    /// be degraded to `Off` under load shedding.
+    pub integrity: Option<IntegrityMode>,
+    /// True when this spec was resubmitted from the journal after a
+    /// restart; the result line is tagged `"replayed":true`.
+    pub replay: bool,
     /// Frontend connection tag, so the socket frontend can route the
     /// response back. `0` for stdin.
     pub conn: u64,
@@ -107,8 +122,20 @@ pub enum Request {
     },
     /// Ask for the current [`ServeStats`](crate::stats::ServeStats).
     Stats,
-    /// Graceful shutdown: drain admitted jobs, then exit.
-    Shutdown,
+    /// Hot graph swap: load and validate the CSR at `path`, then swap
+    /// the shared graph at a job boundary.
+    Reload {
+        /// Graph file to load.
+        path: String,
+    },
+    /// Graceful shutdown. `requeue = false` finishes every admitted job
+    /// first; `requeue = true` (`"mode":"drain"`) finishes only the
+    /// *running* jobs and leaves the queued remainder journalled for
+    /// the next daemon incarnation.
+    Shutdown {
+        /// Requeue queued jobs into the journal instead of running them.
+        requeue: bool,
+    },
 }
 
 /// Why a job finished the way it did.
@@ -124,6 +151,9 @@ pub enum JobStatus {
     Expired,
     /// Failed with an error message.
     Error(String),
+    /// Still queued at a `--drain` shutdown: journalled as incomplete,
+    /// to be replayed by the next daemon incarnation.
+    Requeued,
 }
 
 impl JobStatus {
@@ -134,6 +164,19 @@ impl JobStatus {
             JobStatus::Cancelled(_) => "cancelled",
             JobStatus::Expired => "expired",
             JobStatus::Error(_) => "error",
+            JobStatus::Requeued => "requeued",
+        }
+    }
+
+    /// True when the job left the system for good: the journal records
+    /// a `done` entry and no replay will ever re-run it. `Requeued` and
+    /// shutdown-cancellations are *not* terminal — those jobs belong to
+    /// the next incarnation.
+    pub fn is_terminal(&self) -> bool {
+        match self {
+            JobStatus::Ok | JobStatus::Expired | JobStatus::Error(_) => true,
+            JobStatus::Cancelled(reason) => *reason != "shutdown",
+            JobStatus::Requeued => false,
         }
     }
 }
@@ -158,6 +201,15 @@ pub struct JobResult {
     pub wait_us: u64,
     /// Execution time on the worker, µs.
     pub exec_us: u64,
+    /// Graph epoch the job executed against (`0` for jobs that never
+    /// reached a worker).
+    pub epoch: u64,
+    /// Integrity level actually applied (after the `integrity_max`
+    /// clamp and any shed-ladder degradation).
+    pub integrity: IntegrityMode,
+    /// True when this result was re-emitted from the journal after a
+    /// restart (the client may see it twice; all copies are identical).
+    pub replayed: bool,
     /// Frontend connection tag (copied from the spec).
     pub conn: u64,
 }
@@ -181,34 +233,45 @@ impl JobResult {
             JobStatus::Ok => {
                 b.str("checksum", &format!("{:#018x}", self.checksum));
                 b.int("supersteps", self.supersteps);
+                b.str("integrity", self.integrity.name());
             }
             JobStatus::Cancelled(reason) => b.str("reason", reason),
-            JobStatus::Expired => {}
+            JobStatus::Expired | JobStatus::Requeued => {}
             JobStatus::Error(msg) => b.str("error", msg),
         }
         b.int("wait_us", self.wait_us);
         b.int("exec_us", self.exec_us);
+        b.int("epoch", self.epoch);
+        if self.replayed {
+            b.bool("replayed", true);
+        }
         one_line(b.finish())
     }
 }
 
 /// Encode a rejection response for a job that never got admitted.
-pub fn rejection_line(id: &str, tenant: &str, retry_after_ms: u64) -> String {
+/// `code` is the machine-readable reason (`queue_full`, `shed`,
+/// `breaker_open`, `shutting_down`); `retry_after_ms` is always set.
+pub fn rejection_line(id: &str, tenant: &str, code: &str, retry_after_ms: u64) -> String {
     let mut b = JsonBuf::obj();
     b.str("id", id);
     b.str("tenant", tenant);
     b.str("status", "rejected");
+    b.str("code", code);
     b.int("retry_after_ms", retry_after_ms);
     one_line(b.finish())
 }
 
-/// Encode an error response for a line that failed to parse.
-pub fn error_line(id: &str, msg: &str) -> String {
+/// Encode an error response for a request that could not be served.
+/// `code` is the machine-readable class (`bad_request`,
+/// `oversized_line`, `bad_utf8`, `graph_load`, `reload_unsupported`).
+pub fn error_line(id: &str, code: &str, msg: &str) -> String {
     let mut b = JsonBuf::obj();
     if !id.is_empty() {
         b.str("id", id);
     }
     b.str("status", "error");
+    b.str("code", code);
     b.str("error", msg);
     one_line(b.finish())
 }
@@ -221,6 +284,15 @@ fn parse_mode(name: &str) -> Result<ExecMode, String> {
         "seq" => ExecMode::Sequential,
         other => return Err(format!("unknown engine {other:?}")),
     })
+}
+
+fn mode_name(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Locking => "lock",
+        ExecMode::Pipelined => "pipe",
+        ExecMode::Flat => "omp",
+        ExecMode::Sequential => "seq",
+    }
 }
 
 fn source_of(j: &Json) -> Result<VertexId, String> {
@@ -291,12 +363,18 @@ pub fn parse_request(line: &str, default_mode: ExecMode, conn: u64) -> Result<Re
                 Some(name) => parse_mode(name)?,
                 None => default_mode,
             };
+            let integrity = match j.get("integrity").and_then(|v| v.as_str()) {
+                Some(name) => Some(name.parse::<IntegrityMode>()?),
+                None => None,
+            };
             Ok(Request::Job(JobSpec {
                 id,
                 tenant,
                 kind: kind_of(&j)?,
                 mode,
                 deadline_ms: j.get("deadline_ms").and_then(|v| v.as_u64()),
+                integrity,
+                replay: false,
                 conn,
             }))
         }
@@ -310,8 +388,138 @@ pub fn parse_request(line: &str, default_mode: ExecMode, conn: u64) -> Result<Re
             cap: j.get("cap").and_then(|v| v.as_u64()).unwrap_or(1).max(1) as usize,
         }),
         "stats" => Ok(Request::Stats),
-        "shutdown" => Ok(Request::Shutdown),
+        "reload" => Ok(Request::Reload {
+            path: j
+                .get("path")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| "missing path".to_string())?
+                .to_string(),
+        }),
+        "shutdown" => match j.get("mode").and_then(|v| v.as_str()) {
+            None | Some("finish") => Ok(Request::Shutdown { requeue: false }),
+            Some("drain") => Ok(Request::Shutdown { requeue: true }),
+            Some(other) => Err(format!("unknown shutdown mode {other:?}")),
+        },
         other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Re-encode a [`JobSpec`] as the protocol request line that produces
+/// it. The journal stores admitted jobs in exactly this form, so replay
+/// goes back through [`parse_request`] — one codec, no second format.
+/// Engine, deadline, and integrity are always written explicitly: the
+/// replaying daemon may run with different defaults.
+pub fn job_request_line(spec: &JobSpec) -> String {
+    let mut b = JsonBuf::obj();
+    b.str("op", "job");
+    b.str("id", &spec.id);
+    b.str("tenant", &spec.tenant);
+    match &spec.kind {
+        JobKind::PageRank {
+            damping,
+            iterations,
+        } => {
+            b.str("app", "pagerank");
+            b.num("damping", f64::from(*damping));
+            b.int("iters", *iterations as u64);
+        }
+        JobKind::Ppr {
+            source,
+            damping,
+            iterations,
+        } => {
+            b.str("app", "ppr");
+            b.int("source", *source as u64);
+            b.num("damping", f64::from(*damping));
+            b.int("iters", *iterations as u64);
+        }
+        JobKind::Bfs { source } => {
+            b.str("app", "bfs");
+            b.int("source", *source as u64);
+        }
+        JobKind::Sssp { sources } => {
+            b.str("app", "sssp");
+            b.begin_arr("sources");
+            for &s in sources {
+                b.elem_num(s as f64);
+            }
+            b.end();
+        }
+        JobKind::Wcc => b.str("app", "wcc"),
+    }
+    b.str("engine", mode_name(spec.mode));
+    if let Some(ms) = spec.deadline_ms {
+        b.int("deadline_ms", ms);
+    }
+    if let Some(m) = spec.integrity {
+        b.str("integrity", m.name());
+    }
+    one_line(b.finish())
+}
+
+/// Longest request line either frontend accepts, in bytes. Long enough
+/// for a many-thousand-landmark SSSP batch, short enough that one
+/// misbehaving client cannot balloon the daemon's memory.
+pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// One read from [`read_bounded_line`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line (terminator stripped).
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; the reader skipped to its
+    /// newline, so the stream stays parseable.
+    TooLong,
+    /// The line held invalid UTF-8; consumed through its newline.
+    BadUtf8,
+    /// End of stream.
+    Eof,
+}
+
+/// Read one protocol line with a hard length bound. Unlike
+/// `BufRead::lines`, oversized or non-UTF-8 input yields a typed value
+/// the caller can answer with an error response instead of silently
+/// dropping the connection.
+pub fn read_bounded_line(r: &mut impl BufRead) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    {
+        let mut limited = std::io::Read::take(&mut *r, MAX_LINE_BYTES as u64 + 1);
+        limited.read_until(b'\n', &mut buf)?;
+    }
+    if buf.is_empty() {
+        return Ok(LineRead::Eof);
+    }
+    let newline = buf.last() == Some(&b'\n');
+    if newline {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() > MAX_LINE_BYTES {
+        // Oversized: discard the remainder of the line so the next read
+        // starts on a fresh one.
+        loop {
+            let chunk = r.fill_buf()?;
+            if chunk.is_empty() {
+                break;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    r.consume(i + 1);
+                    break;
+                }
+                None => {
+                    let len = chunk.len();
+                    r.consume(len);
+                }
+            }
+        }
+        return Ok(LineRead::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(LineRead::Line(s)),
+        Err(_) => Ok(LineRead::BadUtf8),
     }
 }
 
@@ -399,8 +607,38 @@ mod tests {
         ));
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#, ExecMode::Locking, 0).unwrap(),
-            Request::Shutdown
+            Request::Shutdown { requeue: false }
         ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown","mode":"drain"}"#, ExecMode::Locking, 0).unwrap(),
+            Request::Shutdown { requeue: true }
+        ));
+        assert!(parse_request(r#"{"op":"shutdown","mode":"hard"}"#, ExecMode::Locking, 0).is_err());
+        match parse_request(r#"{"op":"reload","path":"g2.bin"}"#, ExecMode::Locking, 0).unwrap() {
+            Request::Reload { path } => assert_eq!(path, "g2.bin"),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"reload"}"#, ExecMode::Locking, 0).is_err());
+    }
+
+    #[test]
+    fn parses_per_job_integrity() {
+        match parse_request(
+            r#"{"id":"q","app":"wcc","integrity":"frames"}"#,
+            ExecMode::Locking,
+            0,
+        )
+        .unwrap()
+        {
+            Request::Job(spec) => assert_eq!(spec.integrity, Some(IntegrityMode::Frames)),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_request(
+            r#"{"id":"q","app":"wcc","integrity":"paranoid"}"#,
+            ExecMode::Locking,
+            0
+        )
+        .is_err());
     }
 
     #[test]
@@ -433,6 +671,9 @@ mod tests {
             supersteps: 12,
             wait_us: 40,
             exec_us: 900,
+            epoch: 3,
+            integrity: IntegrityMode::Frames,
+            replayed: false,
             conn: 0,
         };
         let line = ok.to_line();
@@ -444,16 +685,120 @@ mod tests {
             Some("0xdeadbeef01020304")
         );
         assert_eq!(j.u64_or_0("supersteps"), 12);
+        assert_eq!(j.u64_or_0("epoch"), 3);
+        assert_eq!(j.get("integrity").unwrap().as_str(), Some("frames"));
+        assert!(j.get("replayed").is_none());
 
-        let j = Json::parse(&rejection_line("q1", "a", 15)).unwrap();
+        let j = Json::parse(&rejection_line("q1", "a", "queue_full", 15)).unwrap();
         assert_eq!(j.get("status").unwrap().as_str(), Some("rejected"));
+        assert_eq!(j.get("code").unwrap().as_str(), Some("queue_full"));
         assert_eq!(j.u64_or_0("retry_after_ms"), 15);
+
+        let j = Json::parse(&error_line("", "bad_request", "nope")).unwrap();
+        assert_eq!(j.get("code").unwrap().as_str(), Some("bad_request"));
 
         let cancelled = JobResult {
             status: JobStatus::Cancelled("deadline"),
-            ..ok
+            ..ok.clone()
         };
         let j = Json::parse(&cancelled.to_line()).unwrap();
         assert_eq!(j.get("reason").unwrap().as_str(), Some("deadline"));
+
+        let replayed = JobResult {
+            replayed: true,
+            ..ok
+        };
+        let j = Json::parse(&replayed.to_line()).unwrap();
+        assert_eq!(j.get("replayed").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn terminal_statuses_are_exactly_the_non_replayable_ones() {
+        assert!(JobStatus::Ok.is_terminal());
+        assert!(JobStatus::Expired.is_terminal());
+        assert!(JobStatus::Error("x".into()).is_terminal());
+        assert!(JobStatus::Cancelled("deadline").is_terminal());
+        assert!(!JobStatus::Cancelled("shutdown").is_terminal());
+        assert!(!JobStatus::Requeued.is_terminal());
+    }
+
+    #[test]
+    fn job_request_lines_round_trip_through_the_parser() {
+        let kinds = [
+            JobKind::PageRank {
+                damping: 0.85,
+                iterations: 20,
+            },
+            JobKind::Ppr {
+                source: 7,
+                damping: 0.5,
+                iterations: 8,
+            },
+            JobKind::Bfs { source: 3 },
+            JobKind::Sssp {
+                sources: vec![0, 5, 9],
+            },
+            JobKind::Wcc,
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let spec = JobSpec {
+                id: format!("j{i}"),
+                tenant: "acme".to_string(),
+                kind,
+                mode: ExecMode::Pipelined,
+                deadline_ms: Some(250),
+                integrity: Some(IntegrityMode::Full),
+                replay: false,
+                conn: 0,
+            };
+            let line = job_request_line(&spec);
+            assert!(!line.contains('\n'), "{line:?}");
+            // Different defaults on the replaying side must not matter:
+            // the serialized line pins engine and integrity explicitly.
+            match parse_request(&line, ExecMode::Sequential, 9).unwrap() {
+                Request::Job(back) => {
+                    assert_eq!(back.id, spec.id);
+                    assert_eq!(back.tenant, spec.tenant);
+                    assert_eq!(back.kind, spec.kind);
+                    assert_eq!(back.mode, spec.mode);
+                    assert_eq!(back.deadline_ms, spec.deadline_ms);
+                    assert_eq!(back.integrity, spec.integrity);
+                    assert_eq!(back.conn, 9);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_reader_types_oversized_and_bad_utf8_lines() {
+        use std::io::Cursor;
+        let mut big = vec![b'x'; MAX_LINE_BYTES + 10];
+        big.push(b'\n');
+        big.extend_from_slice(b"after\n");
+        big.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        big.extend_from_slice(b"tail");
+        let mut r = Cursor::new(big);
+        assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::TooLong);
+        assert_eq!(
+            read_bounded_line(&mut r).unwrap(),
+            LineRead::Line("after".to_string())
+        );
+        assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::BadUtf8);
+        // Final line without a trailing newline still arrives.
+        assert_eq!(
+            read_bounded_line(&mut r).unwrap(),
+            LineRead::Line("tail".to_string())
+        );
+        assert_eq!(read_bounded_line(&mut r).unwrap(), LineRead::Eof);
+
+        // A line of exactly MAX_LINE_BYTES is accepted.
+        let mut exact = vec![b'y'; MAX_LINE_BYTES];
+        exact.push(b'\n');
+        let mut r = Cursor::new(exact);
+        match read_bounded_line(&mut r).unwrap() {
+            LineRead::Line(s) => assert_eq!(s.len(), MAX_LINE_BYTES),
+            other => panic!("{other:?}"),
+        }
     }
 }

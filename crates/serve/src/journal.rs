@@ -1,0 +1,416 @@
+//! The crash-recovering job journal: an append-only, FNV-checksummed
+//! record of every job the daemon admitted, started, and finished.
+//!
+//! Each record is one line, `<16-hex-fnv1a64> <json>`, where the
+//! checksum covers the JSON bytes exactly — the same torn-write
+//! discipline as the PR 2 snapshot format. Three record kinds:
+//!
+//! ```text
+//! 8f3a… {"rec": "admitted","op": "job","id": "q1","tenant": "a",…}
+//! 02bc… {"rec": "started","id": "q1"}
+//! 77d1… {"rec": "done","id": "q1","status": "ok","checksum": "0x…",…}
+//! ```
+//!
+//! An `admitted` record is the job's own protocol request line (see
+//! [`job_request_line`]) with a `rec` tag spliced in, so replay feeds it
+//! straight back through [`parse_request`] — one codec, no second
+//! format. A job is *incomplete* until a `done` record lands; `done` is
+//! only written for terminal outcomes ([`JobStatus::is_terminal`]), so
+//! shutdown-cancelled and requeued jobs replay on the next start.
+//!
+//! Recovery ([`Journal::open`]) scans the file front to back, stops at
+//! the first checksum mismatch or parse failure (a torn tail from the
+//! crash), and splits the intact prefix into completed results (to
+//! re-emit, tagged `"replayed":true`) and incomplete specs (to
+//! resubmit). [`Journal::compact`] then rewrites the file via the
+//! tmp-then-rename idiom from `phigraph_recover::DirStore`, keeping only
+//! the still-incomplete admissions.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use phigraph_recover::snapshot::fnv1a64;
+use phigraph_recover::IntegrityMode;
+use phigraph_trace::json::{Json, JsonBuf};
+
+use phigraph_core::engine::ExecMode;
+
+use crate::job::{
+    job_request_line, one_line, parse_request, JobResult, JobSpec, JobStatus, Request,
+};
+
+/// Journal file name inside `--journal-dir`.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// What a previous daemon incarnation left behind.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Jobs admitted but never finished: resubmit these (in admission
+    /// order) before serving new traffic.
+    pub incomplete: Vec<JobSpec>,
+    /// Terminal results already produced: re-emit these so a client
+    /// that lost its connection mid-crash still sees every outcome.
+    pub completed: Vec<JobResult>,
+    /// Journal lines dropped as torn or corrupt (always a suffix).
+    pub dropped: usize,
+}
+
+/// An open journal. All appends are serialized by an internal mutex and
+/// flushed before returning, so a `kill -9` can lose at most the record
+/// being written — which the checksum prefix then detects as a torn
+/// tail.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+fn frame(json: &str) -> String {
+    format!("{:016x} {json}\n", fnv1a64(json.as_bytes()))
+}
+
+fn unframe(line: &str) -> Option<&str> {
+    let (sum, json) = line.split_once(' ')?;
+    let want = u64::from_str_radix(sum, 16).ok()?;
+    if sum.len() == 16 && fnv1a64(json.as_bytes()) == want {
+        Some(json)
+    } else {
+        None
+    }
+}
+
+/// Splice `"rec": "<tag>"` into an already-encoded one-line JSON
+/// object.
+fn tag_record(json_obj: &str, tag: &str) -> String {
+    debug_assert!(json_obj.starts_with('{'));
+    format!("{{\"rec\": \"{tag}\",{}", &json_obj[1..])
+}
+
+fn parse_hex_checksum(j: &Json) -> u64 {
+    j.get("checksum")
+        .and_then(|v| v.as_str())
+        .and_then(|s| s.strip_prefix("0x"))
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .unwrap_or(0)
+}
+
+fn done_to_result(j: &Json) -> Option<JobResult> {
+    let id = j.get("id")?.as_str()?.to_string();
+    let tenant = j.get("tenant")?.as_str()?.to_string();
+    let status = match j.get("status")?.as_str()? {
+        "ok" => JobStatus::Ok,
+        "expired" => JobStatus::Expired,
+        "cancelled" => match j.get("reason").and_then(|v| v.as_str()) {
+            Some("cancelled") => JobStatus::Cancelled("cancelled"),
+            _ => JobStatus::Cancelled("deadline"),
+        },
+        "error" => JobStatus::Error(
+            j.get("error")
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown")
+                .to_string(),
+        ),
+        _ => return None,
+    };
+    let integrity = j
+        .get("integrity")
+        .and_then(|v| v.as_str())
+        .and_then(|s| s.parse::<IntegrityMode>().ok())
+        .unwrap_or(IntegrityMode::Off);
+    // `app` strings in the journal are the closed `app_name()` set;
+    // anything else marks a corrupt record.
+    let app = match j.get("app").and_then(|v| v.as_str()) {
+        Some("pagerank") => "pagerank",
+        Some("ppr") => "ppr",
+        Some("bfs") => "bfs",
+        Some("sssp") => "sssp",
+        Some("wcc") => "wcc",
+        _ => return None,
+    };
+    Some(JobResult {
+        id,
+        tenant,
+        app,
+        status,
+        checksum: parse_hex_checksum(j),
+        supersteps: j.u64_or_0("supersteps"),
+        wait_us: j.u64_or_0("wait_us"),
+        exec_us: j.u64_or_0("exec_us"),
+        epoch: j.u64_or_0("epoch"),
+        integrity,
+        replayed: true,
+        conn: 0,
+    })
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal under `dir` and recover
+    /// whatever the previous incarnation left. `default_mode` fills in
+    /// the engine for admitted records that somehow lack one (current
+    /// writers always pin it).
+    pub fn open(dir: &Path, default_mode: ExecMode) -> Result<(Journal, Recovery), String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("journal dir {dir:?}: {e}"))?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut rec = Recovery::default();
+        if path.exists() {
+            let f = File::open(&path).map_err(|e| format!("open {path:?}: {e}"))?;
+            let mut admitted: Vec<(String, JobSpec)> = Vec::new();
+            let mut torn = false;
+            let mut lines = BufReader::new(f).lines();
+            for line in &mut lines {
+                let line = line.map_err(|e| format!("read {path:?}: {e}"))?;
+                if line.is_empty() {
+                    continue;
+                }
+                let parsed = unframe(&line).and_then(|json| {
+                    let j = Json::parse(json).ok()?;
+                    match j.get("rec").and_then(|v| v.as_str())? {
+                        "admitted" => {
+                            // The admitted record *is* a request line.
+                            match parse_request(json, default_mode, 0).ok()? {
+                                Request::Job(mut spec) => {
+                                    spec.replay = true;
+                                    admitted.retain(|(id, _)| id != &spec.id);
+                                    admitted.push((spec.id.clone(), spec));
+                                    Some(())
+                                }
+                                _ => None,
+                            }
+                        }
+                        "started" => Some(()), // informative only
+                        "done" => {
+                            let r = done_to_result(&j)?;
+                            admitted.retain(|(id, _)| id != &r.id);
+                            rec.completed.push(r);
+                            Some(())
+                        }
+                        _ => None,
+                    }
+                });
+                if parsed.is_none() {
+                    // Torn or corrupt: everything from here on is
+                    // untrustworthy — stop replaying.
+                    torn = true;
+                    rec.dropped += 1;
+                    break;
+                }
+            }
+            if torn {
+                rec.dropped += lines.count();
+            }
+            rec.incomplete = admitted.into_iter().map(|(_, spec)| spec).collect();
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("append {path:?}: {e}"))?;
+        Ok((
+            Journal {
+                path,
+                file: Mutex::new(file),
+            },
+            rec,
+        ))
+    }
+
+    /// Path of the journal file (for tests and diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, json: &str) {
+        let mut f = self.file.lock().unwrap();
+        let framed = frame(json);
+        if f.write_all(framed.as_bytes())
+            .and_then(|()| f.flush())
+            .is_err()
+        {
+            // Journalling is best-effort durability on top of a live
+            // service: losing an append must not take the daemon down.
+            eprintln!("serve: journal append failed ({:?})", self.path);
+        }
+    }
+
+    /// Record an admission. Replayed specs are skipped: their admitted
+    /// record was re-written by [`Journal::compact`] already.
+    pub fn admitted(&self, spec: &JobSpec) {
+        if spec.replay {
+            return;
+        }
+        self.append(&tag_record(&job_request_line(spec), "admitted"));
+    }
+
+    /// Record that a worker picked the job up.
+    pub fn started(&self, id: &str) {
+        let mut b = JsonBuf::obj();
+        b.str("rec", "started");
+        b.str("id", id);
+        self.append(&one_line(b.finish()));
+    }
+
+    /// Record a terminal outcome. Callers must only pass results whose
+    /// status [`is_terminal`](JobStatus::is_terminal).
+    pub fn done(&self, r: &JobResult) {
+        debug_assert!(r.status.is_terminal());
+        let mut b = JsonBuf::obj();
+        b.str("rec", "done");
+        b.str("id", &r.id);
+        b.str("tenant", &r.tenant);
+        b.str("app", r.app);
+        b.str("status", r.status.name());
+        match &r.status {
+            JobStatus::Error(msg) => b.str("error", msg),
+            JobStatus::Cancelled(reason) => b.str("reason", reason),
+            _ => {}
+        }
+        b.str("checksum", &format!("{:#018x}", r.checksum));
+        b.int("supersteps", r.supersteps);
+        b.int("wait_us", r.wait_us);
+        b.int("exec_us", r.exec_us);
+        b.int("epoch", r.epoch);
+        b.str("integrity", r.integrity.name());
+        self.append(&one_line(b.finish()));
+    }
+
+    /// Rewrite the journal to hold only the admitted records of
+    /// `incomplete` (tmp + rename, so a crash mid-compaction leaves the
+    /// old file intact). Call after re-emitting the recovered completed
+    /// results: until then their `done` records must survive so another
+    /// crash still re-emits them.
+    pub fn compact(&self, incomplete: &[JobSpec]) -> Result<(), String> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| format!("create {tmp:?}: {e}"))?;
+            for spec in incomplete {
+                let rec = frame(&tag_record(&job_request_line(spec), "admitted"));
+                f.write_all(rec.as_bytes())
+                    .map_err(|e| format!("write {tmp:?}: {e}"))?;
+            }
+            f.flush().map_err(|e| format!("flush {tmp:?}: {e}"))?;
+        }
+        let mut guard = self.file.lock().unwrap();
+        std::fs::rename(&tmp, &self.path).map_err(|e| format!("rename {tmp:?}: {e}"))?;
+        *guard = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| format!("reopen {:?}: {e}", self.path))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_string(),
+            tenant: "t".to_string(),
+            kind: JobKind::Bfs { source: 0 },
+            mode: ExecMode::Sequential,
+            deadline_ms: None,
+            integrity: None,
+            replay: false,
+            conn: 0,
+        }
+    }
+
+    fn ok_result(id: &str, checksum: u64) -> JobResult {
+        JobResult {
+            id: id.to_string(),
+            tenant: "t".to_string(),
+            app: "bfs",
+            status: JobStatus::Ok,
+            checksum,
+            supersteps: 4,
+            wait_us: 10,
+            exec_us: 20,
+            epoch: 1,
+            integrity: IntegrityMode::Off,
+            replayed: false,
+            conn: 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_incomplete_and_completed() {
+        let dir = tempdir("journal-rt");
+        let (j, rec) = Journal::open(&dir, ExecMode::Sequential).unwrap();
+        assert!(rec.incomplete.is_empty() && rec.completed.is_empty());
+        j.admitted(&spec("a"));
+        j.admitted(&spec("b"));
+        j.started("a");
+        j.done(&ok_result("a", 0xabcd));
+        drop(j);
+
+        let (_j, rec) = Journal::open(&dir, ExecMode::Sequential).unwrap();
+        assert_eq!(rec.dropped, 0);
+        assert_eq!(rec.incomplete.len(), 1);
+        assert_eq!(rec.incomplete[0].id, "b");
+        assert!(rec.incomplete[0].replay);
+        assert_eq!(rec.completed.len(), 1);
+        assert_eq!(rec.completed[0].id, "a");
+        assert_eq!(rec.completed[0].checksum, 0xabcd);
+        assert!(rec.completed[0].replayed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = tempdir("journal-torn");
+        let (j, _) = Journal::open(&dir, ExecMode::Sequential).unwrap();
+        j.admitted(&spec("a"));
+        j.done(&ok_result("a", 7));
+        j.admitted(&spec("b"));
+        let path = j.path().to_path_buf();
+        drop(j);
+        // Simulate a kill mid-append: truncate the last record in half,
+        // then add garbage after it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep: Vec<&str> = text.lines().collect();
+        let mut torn = keep[..2].join("\n");
+        torn.push('\n');
+        torn.push_str(&keep[2][..keep[2].len() / 2]);
+        torn.push('\n');
+        torn.push_str("zzzz not a record\n");
+        std::fs::write(&path, torn).unwrap();
+
+        let (_j, rec) = Journal::open(&dir, ExecMode::Sequential).unwrap();
+        assert_eq!(rec.completed.len(), 1);
+        assert!(rec.incomplete.is_empty(), "torn admit must not replay");
+        assert_eq!(rec.dropped, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_keeps_only_the_given_specs() {
+        let dir = tempdir("journal-compact");
+        let (j, _) = Journal::open(&dir, ExecMode::Sequential).unwrap();
+        j.admitted(&spec("a"));
+        j.done(&ok_result("a", 1));
+        j.admitted(&spec("b"));
+        j.compact(&[spec("b")]).unwrap();
+        // Appends after compaction land in the new file.
+        j.admitted(&spec("c"));
+        drop(j);
+        let (_j, rec) = Journal::open(&dir, ExecMode::Sequential).unwrap();
+        assert!(rec.completed.is_empty());
+        let ids: Vec<&str> = rec.incomplete.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["b", "c"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "phigraph-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+}

@@ -20,23 +20,39 @@
 //!   ([`sched::Scheduler`]), and a watchdog enforcing deadlines through
 //!   the PR 3 cancel tokens.
 //! - [`job`] — the line-delimited JSON protocol (requests in, one
-//!   response line per job out).
+//!   response line per job out), with a bounded line reader that
+//!   answers malformed/oversized input with typed errors.
+//! - [`journal`] — the append-only, FNV-checksummed job journal: a
+//!   killed daemon replays incomplete jobs and re-emits completed
+//!   results bit-identically on restart.
+//! - [`shed`] — the overload ladder (degrade optional work, then shed
+//!   low-weight tenants) and the per-tenant circuit breaker.
 //! - [`stats`] — per-tenant accounting, the `"serve"` block in
 //!   `run_report.json`, and the `phigraph_serve_*{tenant="…"}`
 //!   Prometheus series.
-//! - [`daemon`] — the stdin and unix-socket frontends plus clean
-//!   SIGTERM/SIGINT shutdown via [`signals::SignalFd`].
+//! - [`daemon`] — the stdin and unix-socket frontends, hot graph swap
+//!   (`reload`), journal recovery on startup, and clean SIGTERM/SIGINT
+//!   shutdown via [`signals::SignalFd`].
+//! - [`chaos`] — the seeded `serve-chaos` soak driver: kill/restart/
+//!   reload cycles at overload, asserting zero lost, duplicated, or
+//!   corrupted results.
 //!
 //! [`EngineConfig`]: phigraph_core::engine::EngineConfig
 
+pub mod chaos;
 pub mod daemon;
 pub mod job;
+pub mod journal;
 pub mod pool;
 pub mod sched;
+pub mod shed;
 pub mod signals;
 pub mod stats;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use daemon::{run_daemon, DaemonConfig};
 pub use job::{JobKind, JobResult, JobSpec, JobStatus, Request};
-pub use pool::{values_checksum, AdmitError, ServeConfig, ServePool};
+pub use journal::{Journal, Recovery};
+pub use pool::{values_checksum, AdmitError, DrainMode, ServeConfig, ServePool};
+pub use shed::ShedPolicy;
 pub use stats::{serve_prometheus_text, serve_report_json, ServeStats, TenantStats};

@@ -25,12 +25,15 @@ use phigraph_core::queues::SpscQueue;
 use phigraph_device::{CancelReason, CancelToken, DeviceSpec};
 use phigraph_graph::state::{encode_state_slice, PodState};
 use phigraph_graph::Csr;
+use phigraph_recover::IntegrityMode;
 use phigraph_trace::{HistKind, Phase, Trace};
 
 use phigraph_apps::{Bfs, PageRank, PersonalizedPageRank, Sssp, Wcc};
 
 use crate::job::{JobKind, JobResult, JobSpec, JobStatus};
+use crate::journal::Journal;
 use crate::sched::{QueuedJob, Scheduler};
+use crate::shed::{shed_level, sheds_tenant, BreakerCheck, ShedPolicy, ShedState};
 use crate::stats::ServeStats;
 
 /// FNV-1a over the little-endian encoding of the final vertex values:
@@ -62,6 +65,14 @@ pub struct ServeConfig {
     pub watchdog_tick_ms: u64,
     /// Trace sink for per-job spans and wait/exec histograms.
     pub trace: Option<Trace>,
+    /// Crash-recovery job journal; `None` = journalling off.
+    pub journal: Option<Arc<Journal>>,
+    /// Integrity mode for jobs that do not request one.
+    pub default_integrity: IntegrityMode,
+    /// Upper clamp on per-job integrity requests.
+    pub integrity_max: IntegrityMode,
+    /// Overload policy: the shedding ladder, or plain queue-full.
+    pub shed: ShedPolicy,
 }
 
 impl Default for ServeConfig {
@@ -78,11 +89,18 @@ impl Default for ServeConfig {
             default_cap: 2,
             watchdog_tick_ms: 5,
             trace: None,
+            journal: None,
+            default_integrity: IntegrityMode::Off,
+            integrity_max: IntegrityMode::Full,
+            shed: ShedPolicy::Ladder,
         }
     }
 }
 
-/// Why a submission bounced.
+/// Why a submission bounced. Every variant except [`AdmitError::Closed`]
+/// carries a populated retry hint; [`AdmitError::retry_after_ms`] fills
+/// one in for `Closed` too so every protocol rejection can comply with
+/// the "machine-readable code + retry_after_ms" contract.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AdmitError {
     /// Queue full: retry after the hinted backoff.
@@ -90,16 +108,63 @@ pub enum AdmitError {
         /// Suggested client backoff in milliseconds.
         retry_after_ms: u64,
     },
+    /// The load-shedding ladder dropped this tenant's traffic.
+    Shed {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The tenant's circuit breaker is open.
+    BreakerOpen {
+        /// Milliseconds until the breaker half-opens.
+        retry_after_ms: u64,
+    },
     /// The pool is shutting down and takes no new work.
     Closed,
 }
 
+impl AdmitError {
+    /// Machine-readable error code for the protocol response.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AdmitError::QueueFull { .. } => "queue_full",
+            AdmitError::Shed { .. } => "shed",
+            AdmitError::BreakerOpen { .. } => "breaker_open",
+            AdmitError::Closed => "shutting_down",
+        }
+    }
+
+    /// The retry hint, populated on every variant.
+    pub fn retry_after_ms(&self) -> u64 {
+        match self {
+            AdmitError::QueueFull { retry_after_ms }
+            | AdmitError::Shed { retry_after_ms }
+            | AdmitError::BreakerOpen { retry_after_ms } => *retry_after_ms,
+            AdmitError::Closed => 1000,
+        }
+    }
+}
+
+/// How [`ServePool::shutdown_mode`] treats admitted work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainMode {
+    /// Run every admitted job to completion first.
+    Finish,
+    /// Finish only the *running* jobs; report queued ones `requeued`
+    /// (their journal records stay incomplete, so the next daemon
+    /// incarnation replays them).
+    Requeue,
+    /// Cancel running jobs, drop queued ones.
+    Abort,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Shutdown {
     /// Accepting and running.
     None,
     /// No new admissions; queued jobs still run, then workers exit.
     Drain,
+    /// No new admissions; running jobs finish, queued jobs requeued.
+    Requeue,
     /// No new admissions; queued jobs dropped, running jobs cancelled.
     Now,
 }
@@ -115,6 +180,17 @@ struct State {
     running: Vec<RunningEntry>,
     shutdown: Shutdown,
     next_seq: u64,
+    shed: ShedState,
+}
+
+/// The served graph plus its epoch. Workers bind `(epoch, csr)` at each
+/// job pickup — the hot-swap boundary: in-flight jobs keep their `Arc`
+/// (the old CSR lives until the last borrower drops it), later pickups
+/// see the new epoch.
+struct GraphSlot {
+    epoch: u64,
+    swaps: u64,
+    csr: Arc<Csr>,
 }
 
 struct Shared {
@@ -126,6 +202,7 @@ struct Shared {
     pending: AtomicUsize,
     stop_watchdog: AtomicBool,
     queue_cap: usize,
+    graph: Mutex<GraphSlot>,
 }
 
 /// The serving pool. Dropping it performs a forced shutdown.
@@ -155,33 +232,39 @@ impl ServePool {
                 running: Vec::new(),
                 shutdown: Shutdown::None,
                 next_seq: 0,
+                shed: ShedState::default(),
             }),
             cv: Condvar::new(),
             pending: AtomicUsize::new(0),
             stop_watchdog: AtomicBool::new(false),
             queue_cap: cfg.queue_cap,
+            graph: Mutex::new(GraphSlot {
+                epoch: 1,
+                swaps: 0,
+                csr: graph,
+            }),
         });
         let (tx, rx) = channel();
         let workers = (0..cfg.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let graph = Arc::clone(&graph);
                 let cfg = cfg.clone();
                 let tx = tx.clone();
                 std::thread::Builder::new()
                     .name(format!("serve-worker{i}"))
-                    .spawn(move || worker_loop(i, shared, graph, cfg, tx))
+                    .spawn(move || worker_loop(i, shared, cfg, tx))
                     .expect("spawn serve worker")
             })
             .collect();
         let watchdog = {
             let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
             let tx = tx.clone();
             let tick = Duration::from_millis(cfg.watchdog_tick_ms.max(1));
             Some(
                 std::thread::Builder::new()
                     .name("serve-watchdog".to_string())
-                    .spawn(move || watchdog_loop(shared, tx, tick))
+                    .spawn(move || watchdog_loop(shared, cfg, tx, tick))
                     .expect("spawn serve watchdog"),
             )
         };
@@ -203,43 +286,90 @@ impl ServePool {
         st.sched.configure(name, weight, cap);
     }
 
-    /// Admit a job, or bounce it with backpressure. The queue budget
-    /// covers jobs admitted but not yet started; once it is full the
-    /// caller is told how long to back off (scaled by the backlog).
+    /// Admit a job, or bounce it with backpressure. Admission walks the
+    /// degradation ladder before giving up: at moderate pressure jobs
+    /// are accepted *degraded* (integrity off, no per-job span), at high
+    /// pressure the lowest-weight tenants are shed, and only a full
+    /// queue rejects unconditionally. Every bounce feeds the tenant's
+    /// circuit breaker; enough consecutive bounces open it and
+    /// subsequent submissions are answered from the breaker alone with
+    /// an exponentially backed-off retry hint.
     pub fn submit(&self, spec: JobSpec) -> Result<(), AdmitError> {
         let _prod = self.shared.prod.lock().unwrap();
-        {
-            let st = self.shared.state.lock().unwrap();
-            if st.shutdown != Shutdown::None {
-                return Err(AdmitError::Closed);
+        let pending = self.shared.pending.load(Ordering::Acquire);
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown != Shutdown::None {
+            return Err(AdmitError::Closed);
+        }
+        let now = Instant::now();
+        let ladder = self.cfg.shed == ShedPolicy::Ladder;
+        if ladder {
+            if let BreakerCheck::Open { retry_after_ms } = st.shed.check(&spec.tenant, now) {
+                let stats = st.sched.stats_mut(&spec.tenant);
+                stats.rejected += 1;
+                stats.breaker += 1;
+                return Err(AdmitError::BreakerOpen { retry_after_ms });
             }
         }
-        let pending = self.shared.pending.load(Ordering::Acquire);
+        let level = if ladder {
+            shed_level(pending, self.shared.queue_cap, st.shed.miss_rate())
+        } else {
+            0
+        };
+        if let Some(trace) = &self.cfg.trace {
+            trace.record_hist(HistKind::ShedLevel, level as u64);
+        }
+        if ladder
+            && sheds_tenant(
+                level,
+                st.sched.weight_of(&spec.tenant),
+                st.sched.max_weight(),
+            )
+        {
+            self.note_reject(&mut st, &spec.tenant, now, true);
+            return Err(AdmitError::Shed {
+                retry_after_ms: retry_hint(pending).max(50),
+            });
+        }
         if pending >= self.shared.queue_cap {
-            self.note_rejected(&spec.tenant);
+            self.note_reject(&mut st, &spec.tenant, now, false);
             return Err(AdmitError::QueueFull {
                 retry_after_ms: retry_hint(pending),
             });
         }
-        let admitted = Instant::now();
+        if ladder {
+            st.shed.note_admitted(&spec.tenant);
+        }
+        let degraded = level >= 1;
+        if degraded {
+            st.sched.stats_mut(&spec.tenant).degraded += 1;
+        }
+        if let Some(journal) = &self.cfg.journal {
+            let t0 = Instant::now();
+            journal.admitted(&spec);
+            if let Some(trace) = &self.cfg.trace {
+                trace.record_hist(HistKind::JournalAppendUs, t0.elapsed().as_micros() as u64);
+            }
+        }
+        let admitted = now;
         let deadline_ms = spec.deadline_ms.or(self.cfg.default_deadline_ms);
         let job = QueuedJob {
             spec,
             admitted,
             deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
+            degraded,
         };
         // SAFETY: `prod` is held, so this thread is the sole producer.
         match unsafe { self.shared.ring.try_push(job) } {
             Ok(()) => {
                 self.shared.pending.fetch_add(1, Ordering::Release);
-                // Take the state lock before notifying so a worker that
-                // just saw "no work" is already parked and hears this.
-                let _st = self.shared.state.lock().unwrap();
+                // The state lock is held, so a worker that just saw "no
+                // work" is already parked and hears this.
                 self.shared.cv.notify_one();
                 Ok(())
             }
             Err(job) => {
-                self.note_rejected(&job.spec.tenant);
+                self.note_reject(&mut st, &job.spec.tenant, now, false);
                 Err(AdmitError::QueueFull {
                     retry_after_ms: retry_hint(pending),
                 })
@@ -247,19 +377,67 @@ impl ServePool {
         }
     }
 
-    fn note_rejected(&self, tenant: &str) {
+    /// Rejection bookkeeping: counters plus the breaker's consecutive-
+    /// reject tally.
+    fn note_reject(&self, st: &mut State, tenant: &str, now: Instant, shed: bool) {
+        let tripped = if self.cfg.shed == ShedPolicy::Ladder {
+            st.shed.note_rejected(tenant, now)
+        } else {
+            false
+        };
+        let stats = st.sched.stats_mut(tenant);
+        stats.rejected += 1;
+        if shed {
+            stats.shed += 1;
+        }
+        if tripped {
+            stats.breaker_trips += 1;
+        }
+    }
+
+    /// Swap in a new graph: the epoch advances, later job pickups bind
+    /// the new CSR, in-flight jobs finish on the Arc they hold. Returns
+    /// `(epoch, vertices, edges)`.
+    pub fn reload(&self, graph: Csr) -> (u64, usize, usize) {
+        let (v, e) = (graph.num_vertices(), graph.num_edges());
+        let mut slot = self.shared.graph.lock().unwrap();
+        slot.epoch += 1;
+        slot.swaps += 1;
+        slot.csr = Arc::new(graph);
+        (slot.epoch, v, e)
+    }
+
+    /// Epoch of the graph new pickups bind.
+    pub fn graph_epoch(&self) -> u64 {
+        self.shared.graph.lock().unwrap().epoch
+    }
+
+    /// Count a journal-recovered result re-emitted for `tenant`.
+    pub fn note_replayed(&self, tenant: &str) {
         let mut st = self.shared.state.lock().unwrap();
-        st.sched.stats_mut(tenant).rejected += 1;
+        st.sched.stats_mut(tenant).replayed += 1;
     }
 
     /// Snapshot the per-tenant accounting.
     pub fn stats(&self) -> ServeStats {
+        let (epoch, swaps) = {
+            let slot = self.shared.graph.lock().unwrap();
+            (slot.epoch, slot.swaps)
+        };
         let st = self.shared.state.lock().unwrap();
+        let pending = self.shared.pending.load(Ordering::Acquire);
         let mut out = ServeStats {
             queued: st.sched.queued() + self.shared.ring.occupancy(),
             running: st.sched.running(),
             queue_cap: self.shared.queue_cap,
             workers: self.cfg.workers,
+            shed_level: if self.cfg.shed == ShedPolicy::Ladder {
+                shed_level(pending, self.shared.queue_cap, st.shed.miss_rate())
+            } else {
+                0
+            },
+            epoch,
+            swaps,
             ..ServeStats::default()
         };
         for (name, t) in st.sched.tenants() {
@@ -281,7 +459,16 @@ impl ServePool {
     /// [`CancelReason::Shutdown`]. The results receiver disconnects once
     /// every outcome is delivered.
     pub fn shutdown(&mut self, drain: bool) {
-        self.shutdown_workers(drain);
+        self.shutdown_mode(if drain {
+            DrainMode::Finish
+        } else {
+            DrainMode::Abort
+        });
+    }
+
+    /// Shut down with an explicit [`DrainMode`] and join every thread.
+    pub fn shutdown_mode(&mut self, mode: DrainMode) {
+        self.shutdown_workers_mode(mode);
         // Drop the master sender so the results receiver disconnects.
         self.tx = None;
     }
@@ -291,31 +478,62 @@ impl ServePool {
     /// receiver observes disconnection (the daemon needs that ordering
     /// to write its final reports from the writer thread).
     pub fn shutdown_workers(&mut self, drain: bool) {
+        self.shutdown_workers_mode(if drain {
+            DrainMode::Finish
+        } else {
+            DrainMode::Abort
+        });
+    }
+
+    /// [`ServePool::shutdown_workers`] with an explicit [`DrainMode`].
+    pub fn shutdown_workers_mode(&mut self, mode: DrainMode) {
         {
             let mut st = self.shared.state.lock().unwrap();
-            if st.shutdown == Shutdown::None || (st.shutdown == Shutdown::Drain && !drain) {
-                st.shutdown = if drain {
-                    Shutdown::Drain
-                } else {
-                    Shutdown::Now
-                };
+            let target = match mode {
+                DrainMode::Finish => Shutdown::Drain,
+                DrainMode::Requeue => Shutdown::Requeue,
+                DrainMode::Abort => Shutdown::Now,
+            };
+            // Only escalate: a drain in progress can harden into a
+            // requeue or abort, never soften back.
+            if target > st.shutdown {
+                st.shutdown = target;
             }
-            if !drain {
-                // Pull whatever is still in the ring so it can be
-                // reported, then drop the per-tenant queues too.
-                drain_ring(&self.shared, &mut st);
-                let dropped = st.sched.drain_all();
-                self.shared
-                    .pending
-                    .fetch_sub(dropped.len(), Ordering::Release);
-                if let Some(tx) = &self.tx {
-                    for q in dropped {
-                        st.sched.stats_mut(&q.spec.tenant).cancelled += 1;
-                        let _ = tx.send(abort_result(&q, JobStatus::Cancelled("shutdown")));
+            match mode {
+                DrainMode::Finish => {}
+                DrainMode::Requeue => {
+                    // Queued jobs go back to the journal (their admitted
+                    // records simply never gain a `done`); running jobs
+                    // keep their tokens and finish.
+                    drain_ring(&self.shared, &mut st);
+                    let dropped = st.sched.drain_all();
+                    self.shared
+                        .pending
+                        .fetch_sub(dropped.len(), Ordering::Release);
+                    if let Some(tx) = &self.tx {
+                        for q in dropped {
+                            st.sched.stats_mut(&q.spec.tenant).requeued += 1;
+                            let _ = tx.send(abort_result(&q, JobStatus::Requeued));
+                        }
                     }
                 }
-                for r in &st.running {
-                    r.token.cancel(CancelReason::Shutdown);
+                DrainMode::Abort => {
+                    // Pull whatever is still in the ring so it can be
+                    // reported, then drop the per-tenant queues too.
+                    drain_ring(&self.shared, &mut st);
+                    let dropped = st.sched.drain_all();
+                    self.shared
+                        .pending
+                        .fetch_sub(dropped.len(), Ordering::Release);
+                    if let Some(tx) = &self.tx {
+                        for q in dropped {
+                            st.sched.stats_mut(&q.spec.tenant).cancelled += 1;
+                            let _ = tx.send(abort_result(&q, JobStatus::Cancelled("shutdown")));
+                        }
+                    }
+                    for r in &st.running {
+                        r.token.cancel(CancelReason::Shutdown);
+                    }
                 }
             }
         }
@@ -354,6 +572,9 @@ fn abort_result(q: &QueuedJob, status: JobStatus) -> JobResult {
         supersteps: 0,
         wait_us: q.admitted.elapsed().as_micros() as u64,
         exec_us: 0,
+        epoch: 0,
+        integrity: IntegrityMode::Off,
+        replayed: q.spec.replay,
         conn: q.spec.conn,
     }
 }
@@ -379,13 +600,7 @@ fn drain_ring(shared: &Shared, st: &mut State) {
     }
 }
 
-fn worker_loop(
-    idx: usize,
-    shared: Arc<Shared>,
-    graph: Arc<Csr>,
-    cfg: ServeConfig,
-    tx: Sender<JobResult>,
-) {
+fn worker_loop(idx: usize, shared: Arc<Shared>, cfg: ServeConfig, tx: Sender<JobResult>) {
     let tracer = cfg
         .trace
         .as_ref()
@@ -395,17 +610,19 @@ fn worker_loop(
             let mut st = shared.state.lock().unwrap();
             loop {
                 drain_ring(&shared, &mut st);
-                if let Some(q) = st.sched.pick() {
-                    shared.pending.fetch_sub(1, Ordering::Release);
-                    let token = CancelToken::new();
-                    let seq = st.next_seq;
-                    st.next_seq += 1;
-                    st.running.push(RunningEntry {
-                        seq,
-                        deadline: q.deadline,
-                        token: token.clone(),
-                    });
-                    break Some((q, token, seq));
+                if st.shutdown != Shutdown::Requeue && st.shutdown != Shutdown::Now {
+                    if let Some(q) = st.sched.pick() {
+                        shared.pending.fetch_sub(1, Ordering::Release);
+                        let token = CancelToken::new();
+                        let seq = st.next_seq;
+                        st.next_seq += 1;
+                        st.running.push(RunningEntry {
+                            seq,
+                            deadline: q.deadline,
+                            token: token.clone(),
+                        });
+                        break Some((q, token, seq));
+                    }
                 }
                 match st.shutdown {
                     Shutdown::None => {}
@@ -414,7 +631,7 @@ fn worker_loop(
                             break None;
                         }
                     }
-                    Shutdown::Now => break None,
+                    Shutdown::Requeue | Shutdown::Now => break None,
                 }
                 st = shared.cv.wait(st).unwrap();
             }
@@ -423,13 +640,39 @@ fn worker_loop(
             return;
         };
 
+        // The hot-swap boundary: bind the graph (and its epoch) at
+        // pickup. A reload between pickups lands here; a reload during
+        // execution does not touch the Arc this job already holds.
+        let (epoch, graph) = {
+            let slot = shared.graph.lock().unwrap();
+            (slot.epoch, Arc::clone(&slot.csr))
+        };
+        if let Some(journal) = &cfg.journal {
+            let t0 = Instant::now();
+            journal.started(&q.spec.id);
+            if let Some(trace) = &cfg.trace {
+                trace.record_hist(HistKind::JournalAppendUs, t0.elapsed().as_micros() as u64);
+            }
+        }
+
+        let requested = q.spec.integrity.unwrap_or(cfg.default_integrity);
+        let integrity = if q.degraded {
+            // Degraded admission: integrity is the first optional work
+            // the ladder gives up.
+            IntegrityMode::Off
+        } else {
+            requested.min(cfg.integrity_max)
+        };
+
         let wait_us = q.admitted.elapsed().as_micros() as u64;
         let t0 = Instant::now();
         let t0_ns = tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
-        let exec = execute(&graph, &q.spec, &cfg, token.clone());
+        let exec = execute(&graph, &q.spec, &cfg, token.clone(), integrity, q.degraded);
         let exec_us = t0.elapsed().as_micros() as u64;
-        if let Some(t) = &tracer {
-            t.record_closing(Phase::Job, seq as u32, t0_ns);
+        if !q.degraded {
+            if let Some(t) = &tracer {
+                t.record_closing(Phase::Job, seq as u32, t0_ns);
+            }
         }
         if let Some(trace) = &cfg.trace {
             trace.record_hist(HistKind::JobWaitUs, wait_us);
@@ -445,12 +688,18 @@ fn worker_loop(
             let mut st = shared.state.lock().unwrap();
             st.sched.finish(&q.spec.tenant);
             st.running.retain(|r| r.seq != seq);
+            let missed = matches!(&status, JobStatus::Cancelled("deadline"));
+            if status.is_terminal() {
+                st.shed.note_finished(missed);
+            }
             let stats = st.sched.stats_mut(&q.spec.tenant);
             match &status {
                 JobStatus::Ok => stats.completed += 1,
                 JobStatus::Cancelled(_) => stats.cancelled += 1,
                 JobStatus::Error(_) => stats.failed += 1,
-                JobStatus::Expired => unreachable!("workers never expire jobs"),
+                JobStatus::Expired | JobStatus::Requeued => {
+                    unreachable!("workers never expire or requeue jobs")
+                }
             }
             stats.wait_us += wait_us;
             stats.max_wait_us = stats.max_wait_us.max(wait_us);
@@ -460,7 +709,7 @@ fn worker_loop(
         // A finished job frees its tenant's cap slot: wake a waiter.
         shared.cv.notify_all();
         let ok = status == JobStatus::Ok;
-        let _ = tx.send(JobResult {
+        let result = JobResult {
             id: q.spec.id.clone(),
             tenant: q.spec.tenant.clone(),
             app: q.spec.kind.app_name(),
@@ -469,12 +718,27 @@ fn worker_loop(
             supersteps: exec.supersteps,
             wait_us,
             exec_us,
+            epoch,
+            integrity,
+            replayed: q.spec.replay,
             conn: q.spec.conn,
-        });
+        };
+        // Journal the outcome *before* emitting it: a crash in between
+        // re-emits from the journal, never re-runs a completed job.
+        if result.status.is_terminal() {
+            if let Some(journal) = &cfg.journal {
+                let t0 = Instant::now();
+                journal.done(&result);
+                if let Some(trace) = &cfg.trace {
+                    trace.record_hist(HistKind::JournalAppendUs, t0.elapsed().as_micros() as u64);
+                }
+            }
+        }
+        let _ = tx.send(result);
     }
 }
 
-fn watchdog_loop(shared: Arc<Shared>, tx: Sender<JobResult>, tick: Duration) {
+fn watchdog_loop(shared: Arc<Shared>, cfg: ServeConfig, tx: Sender<JobResult>, tick: Duration) {
     while !shared.stop_watchdog.load(Ordering::Acquire) {
         std::thread::sleep(tick);
         let now = Instant::now();
@@ -486,7 +750,12 @@ fn watchdog_loop(shared: Arc<Shared>, tx: Sender<JobResult>, tick: Duration) {
             shared.pending.fetch_sub(expired.len(), Ordering::Release);
             for q in expired {
                 st.sched.stats_mut(&q.spec.tenant).expired += 1;
-                let _ = tx.send(abort_result(&q, JobStatus::Expired));
+                st.shed.note_finished(true);
+                let result = abort_result(&q, JobStatus::Expired);
+                if let Some(journal) = &cfg.journal {
+                    journal.done(&result);
+                }
+                let _ = tx.send(result);
             }
         }
         // Running jobs get their token cancelled; the engine notices at
@@ -521,10 +790,24 @@ fn base_config(mode: ExecMode) -> EngineConfig {
 /// Run one job against the shared graph. Each invocation builds a
 /// private `EngineConfig` (own CSB arenas, own cancel token); the graph
 /// is only borrowed, which is what makes concurrent jobs safe.
-fn execute(graph: &Csr, spec: &JobSpec, cfg: &ServeConfig, token: CancelToken) -> ExecOut {
-    let mut config = base_config(spec.mode).with_cancel(token);
+/// `integrity` is the post-clamp effective level; `degraded` jobs also
+/// skip the per-run trace attachment (the shed ladder's "optional work
+/// first" step).
+fn execute(
+    graph: &Csr,
+    spec: &JobSpec,
+    cfg: &ServeConfig,
+    token: CancelToken,
+    integrity: IntegrityMode,
+    degraded: bool,
+) -> ExecOut {
+    let mut config = base_config(spec.mode)
+        .with_cancel(token)
+        .with_integrity(integrity);
     if let Some(t) = &cfg.trace {
-        config = config.with_trace(t.clone());
+        if !degraded {
+            config = config.with_trace(t.clone());
+        }
     }
     let n = graph.num_vertices() as u64;
     let bad_source = |s: u64| -> Option<ExecOut> {
@@ -634,6 +917,8 @@ mod tests {
             kind,
             mode: ExecMode::Sequential,
             deadline_ms: None,
+            integrity: None,
+            replay: false,
             conn: 0,
         }
     }
@@ -696,19 +981,29 @@ mod tests {
         pool.submit(spec("run", "a", slow.clone())).unwrap();
         let mut accepted = 1;
         let mut rejected = 0;
+        let mut queue_full = 0;
         for i in 0..20 {
             match pool.submit(spec(&format!("q{i}"), "a", slow.clone())) {
                 Ok(()) => accepted += 1,
                 Err(AdmitError::QueueFull { retry_after_ms }) => {
                     assert!(retry_after_ms >= 5);
                     rejected += 1;
+                    queue_full += 1;
+                }
+                Err(AdmitError::BreakerOpen { retry_after_ms }) => {
+                    // Consecutive queue-full bounces trip the tenant's
+                    // circuit breaker; those rejections answer from the
+                    // breaker alone.
+                    assert!(retry_after_ms >= 1);
+                    rejected += 1;
                 }
                 Err(e) => panic!("unexpected {e:?}"),
             }
         }
-        assert!(rejected > 0, "queue never filled");
+        assert!(queue_full > 0, "queue never filled");
         let stats = pool.stats();
         assert_eq!(stats.tenants["a"].rejected, rejected);
+        assert!(stats.tenants["a"].breaker_trips >= 1);
         pool.shutdown(true);
         // Every accepted job eventually completes.
         let done = rx.iter().filter(|r| r.status == JobStatus::Ok).count();

@@ -45,6 +45,9 @@ pub struct QueuedJob {
     pub admitted: Instant,
     /// Absolute deadline, if any.
     pub deadline: Option<Instant>,
+    /// Admitted at shed-ladder level ≥ 1: run with integrity off and
+    /// without a per-job trace span.
+    pub degraded: bool,
 }
 
 impl Tenant {
@@ -182,6 +185,26 @@ impl Scheduler {
         out
     }
 
+    /// The stride weight `name` would schedule at (its configured
+    /// weight, or the default for tenants not seen yet).
+    pub fn weight_of(&self, name: &str) -> u64 {
+        self.tenants
+            .get(name)
+            .map(|t| t.weight)
+            .unwrap_or(self.default_weight)
+    }
+
+    /// The largest weight across known tenants (at least the default):
+    /// the shed ladder's reference point for "important enough to keep".
+    pub fn max_weight(&self) -> u64 {
+        self.tenants
+            .values()
+            .map(|t| t.weight)
+            .max()
+            .unwrap_or(self.default_weight)
+            .max(self.default_weight)
+    }
+
     /// Iterate tenants for stats snapshots.
     pub fn tenants(&self) -> impl Iterator<Item = (&str, &Tenant)> {
         self.tenants.iter().map(|(k, v)| (k.as_str(), v))
@@ -207,11 +230,26 @@ mod tests {
                 kind: JobKind::Wcc,
                 mode: ExecMode::Sequential,
                 deadline_ms: None,
+                integrity: None,
+                replay: false,
                 conn: 0,
             },
             admitted: Instant::now(),
             deadline: None,
+            degraded: false,
         }
+    }
+
+    #[test]
+    fn weight_queries_cover_unknown_tenants() {
+        let mut s = Scheduler::new(2, 1);
+        assert_eq!(s.weight_of("ghost"), 2);
+        assert_eq!(s.max_weight(), 2);
+        s.configure("vip", 8, 4);
+        s.configure("basic", 1, 1);
+        assert_eq!(s.weight_of("vip"), 8);
+        assert_eq!(s.weight_of("ghost"), 2);
+        assert_eq!(s.max_weight(), 8);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Graceful degradation under overload: the load-shedding ladder and
+//! the per-tenant circuit breaker.
+//!
+//! Pressure is read at every admission from two signals — queue
+//! occupancy (`pending / queue_cap`) and the recent deadline-miss rate —
+//! and mapped onto a four-level ladder:
+//!
+//! | level | occupancy   | action                                        |
+//! |-------|-------------|-----------------------------------------------|
+//! | 0     | < 50%       | admit normally                                |
+//! | 1     | < 75%       | admit *degraded*: integrity off, no job spans |
+//! | 2     | < 90%       | also shed tenants with ≤ half the max weight  |
+//! | 3     | ≥ 90%       | also shed every below-max-weight tenant       |
+//!
+//! A deadline-miss rate above 20% in the recent window bumps the level
+//! by one: the queue may look shallow while jobs are already arriving
+//! too late to matter. Shedding the *lowest-weight* tenants first keeps
+//! the tenants the operator marked important responsive for longest —
+//! degrading optional work always precedes rejecting anyone.
+//!
+//! On top of the ladder, each tenant carries a circuit breaker: enough
+//! consecutive rejections open it, and while open every submission is
+//! bounced immediately with an exponentially backed-off
+//! `retry_after_ms` — a misbehaving client burns its own budget, not
+//! the admission lock. One accepted job closes the breaker.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Overload-handling policy for the pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// No shedding: admit until the queue is full (PR 7 behaviour).
+    Off,
+    /// The occupancy/miss-rate ladder documented on this module.
+    #[default]
+    Ladder,
+}
+
+impl ShedPolicy {
+    /// Stable flag-value name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedPolicy::Off => "off",
+            ShedPolicy::Ladder => "ladder",
+        }
+    }
+}
+
+impl std::str::FromStr for ShedPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(ShedPolicy::Off),
+            "ladder" => Ok(ShedPolicy::Ladder),
+            other => Err(format!("unknown shed policy {other:?} (off|ladder)")),
+        }
+    }
+}
+
+/// Consecutive rejections that open a tenant's breaker.
+const BREAKER_TRIP: u32 = 4;
+/// First open interval; doubles per re-trip up to [`BREAKER_MAX_MS`].
+const BREAKER_BASE_MS: u64 = 100;
+/// Backoff ceiling.
+const BREAKER_MAX_MS: u64 = 5_000;
+
+/// Deadline-miss fraction that bumps the ladder one level.
+const MISS_RATE_BUMP: f64 = 0.2;
+
+/// Compute the ladder level from queue occupancy and the recent
+/// deadline-miss rate.
+pub fn shed_level(pending: usize, queue_cap: usize, miss_rate: f64) -> u8 {
+    let occupancy = pending as f64 / queue_cap.max(1) as f64;
+    let base: u8 = if occupancy < 0.5 {
+        0
+    } else if occupancy < 0.75 {
+        1
+    } else if occupancy < 0.9 {
+        2
+    } else {
+        3
+    };
+    if miss_rate > MISS_RATE_BUMP {
+        (base + 1).min(3)
+    } else {
+        base
+    }
+}
+
+/// True when the ladder says to shed this tenant outright. Degradation
+/// (level ≥ 1) is handled by the caller; this is only the reject step.
+pub fn sheds_tenant(level: u8, weight: u64, max_weight: u64) -> bool {
+    match level {
+        0 | 1 => false,
+        2 => weight.saturating_mul(2) <= max_weight,
+        _ => weight < max_weight,
+    }
+}
+
+#[derive(Debug, Default)]
+struct Breaker {
+    consecutive_rejects: u32,
+    backoff_ms: u64,
+    open_until: Option<Instant>,
+}
+
+/// Per-tenant circuit breakers plus the deadline-miss window the ladder
+/// reads. Lives inside the pool's state lock.
+#[derive(Debug, Default)]
+pub struct ShedState {
+    breakers: BTreeMap<String, Breaker>,
+    window_finished: u64,
+    window_missed: u64,
+}
+
+/// Outcome of a breaker check at admission time.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BreakerCheck {
+    /// Closed (or half-open): proceed to the ladder and queue checks.
+    Proceed,
+    /// Open: bounce immediately, retry after the remaining interval.
+    Open {
+        /// Milliseconds until the breaker half-opens.
+        retry_after_ms: u64,
+    },
+}
+
+impl ShedState {
+    /// Check `tenant`'s breaker before any other admission work.
+    pub fn check(&mut self, tenant: &str, now: Instant) -> BreakerCheck {
+        let Some(b) = self.breakers.get(tenant) else {
+            return BreakerCheck::Proceed;
+        };
+        match b.open_until {
+            Some(until) if until > now => BreakerCheck::Open {
+                retry_after_ms: (until - now).as_millis().max(1) as u64,
+            },
+            _ => BreakerCheck::Proceed,
+        }
+    }
+
+    /// Note a rejection (queue-full or shed). Returns `true` when this
+    /// rejection tripped the breaker open.
+    pub fn note_rejected(&mut self, tenant: &str, now: Instant) -> bool {
+        let b = self.breakers.entry(tenant.to_string()).or_default();
+        b.consecutive_rejects += 1;
+        if b.consecutive_rejects >= BREAKER_TRIP {
+            b.consecutive_rejects = 0;
+            b.backoff_ms = if b.backoff_ms == 0 {
+                BREAKER_BASE_MS
+            } else {
+                (b.backoff_ms * 2).min(BREAKER_MAX_MS)
+            };
+            b.open_until = Some(now + Duration::from_millis(b.backoff_ms));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Note a successful admission: close the tenant's breaker and
+    /// forget its backoff.
+    pub fn note_admitted(&mut self, tenant: &str) {
+        self.breakers.remove(tenant);
+    }
+
+    /// Note a finished job for the deadline-miss window. `missed` means
+    /// it expired in queue or was cancelled by its deadline.
+    pub fn note_finished(&mut self, missed: bool) {
+        self.window_finished += 1;
+        if missed {
+            self.window_missed += 1;
+        }
+        // Exponential-decay window: halve both counters periodically so
+        // old history fades instead of dominating forever.
+        if self.window_finished >= 64 {
+            self.window_finished /= 2;
+            self.window_missed /= 2;
+        }
+    }
+
+    /// Deadline-miss fraction over the recent window.
+    pub fn miss_rate(&self) -> f64 {
+        if self.window_finished == 0 {
+            0.0
+        } else {
+            self.window_missed as f64 / self.window_finished as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_levels_track_occupancy_and_miss_rate() {
+        assert_eq!(shed_level(0, 64, 0.0), 0);
+        assert_eq!(shed_level(31, 64, 0.0), 0);
+        assert_eq!(shed_level(32, 64, 0.0), 1);
+        assert_eq!(shed_level(48, 64, 0.0), 2);
+        assert_eq!(shed_level(58, 64, 0.0), 3);
+        assert_eq!(shed_level(64, 64, 0.0), 3);
+        // A high miss rate bumps a calm queue one level, capped at 3.
+        assert_eq!(shed_level(0, 64, 0.5), 1);
+        assert_eq!(shed_level(64, 64, 0.5), 3);
+        assert_eq!(shed_level(1, 1, 0.0), 3, "a full queue is always level 3");
+    }
+
+    #[test]
+    fn shedding_prefers_low_weight_tenants() {
+        // Uniform weights: nobody is shed at any level (queue-full still
+        // guards the ceiling), so the pre-existing single-tenant tests
+        // keep their semantics.
+        for level in 0..=3 {
+            assert!(!sheds_tenant(level, 4, 4));
+        }
+        assert!(!sheds_tenant(1, 1, 8));
+        assert!(sheds_tenant(2, 4, 8));
+        assert!(!sheds_tenant(2, 5, 8));
+        assert!(sheds_tenant(3, 7, 8));
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_rejects_and_backs_off() {
+        let mut s = ShedState::default();
+        let t0 = Instant::now();
+        assert_eq!(s.check("a", t0), BreakerCheck::Proceed);
+        for _ in 0..BREAKER_TRIP - 1 {
+            assert!(!s.note_rejected("a", t0));
+        }
+        assert!(s.note_rejected("a", t0), "4th reject trips the breaker");
+        match s.check("a", t0) {
+            BreakerCheck::Open { retry_after_ms } => {
+                assert!(retry_after_ms <= BREAKER_BASE_MS && retry_after_ms > 0)
+            }
+            other => panic!("{other:?}"),
+        }
+        // Past the open interval it half-opens…
+        let later = t0 + Duration::from_millis(BREAKER_BASE_MS + 1);
+        assert_eq!(s.check("a", later), BreakerCheck::Proceed);
+        // …and re-tripping doubles the backoff.
+        for _ in 0..BREAKER_TRIP {
+            s.note_rejected("a", later);
+        }
+        match s.check("a", later) {
+            BreakerCheck::Open { retry_after_ms } => {
+                assert!(retry_after_ms > BREAKER_BASE_MS);
+                assert!(retry_after_ms <= 2 * BREAKER_BASE_MS);
+            }
+            other => panic!("{other:?}"),
+        }
+        // One admission closes it and resets the backoff.
+        s.note_admitted("a");
+        assert_eq!(s.check("a", later), BreakerCheck::Proceed);
+        // Other tenants are untouched throughout.
+        assert_eq!(s.check("b", later), BreakerCheck::Proceed);
+    }
+
+    #[test]
+    fn miss_window_decays() {
+        let mut s = ShedState::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        for _ in 0..10 {
+            s.note_finished(true);
+        }
+        assert!(s.miss_rate() > 0.99);
+        for _ in 0..100 {
+            s.note_finished(false);
+        }
+        assert!(s.miss_rate() < MISS_RATE_BUMP, "{}", s.miss_rate());
+    }
+}

@@ -27,6 +27,19 @@ pub struct TenantStats {
     pub expired: u64,
     /// Jobs that failed with an error.
     pub failed: u64,
+    /// Jobs bounced by the load-shedding ladder (subset of `rejected`).
+    pub shed: u64,
+    /// Jobs bounced by this tenant's open circuit breaker (subset of
+    /// `rejected`).
+    pub breaker: u64,
+    /// Times this tenant's circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Jobs admitted in degraded mode (integrity off, no job span).
+    pub degraded: u64,
+    /// Jobs returned to the journal by a `--drain` shutdown.
+    pub requeued: u64,
+    /// Results re-emitted from the journal after a restart.
+    pub replayed: u64,
     /// Total queue wait across finished jobs, µs.
     pub wait_us: u64,
     /// Worst single queue wait, µs.
@@ -66,6 +79,12 @@ pub struct ServeStats {
     pub queue_cap: usize,
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Shed-ladder level at snapshot time (0 = normal, 3 = max).
+    pub shed_level: u8,
+    /// Graph epoch being served (starts at 1, bumped by each reload).
+    pub epoch: u64,
+    /// Hot graph swaps performed since startup.
+    pub swaps: u64,
 }
 
 impl ServeStats {
@@ -94,6 +113,13 @@ impl ServeStats {
         b.int("running", self.running as u64);
         b.int("completed", self.completed());
         b.int("rejected", self.rejected());
+        b.int("shed_level", self.shed_level as u64);
+        b.int("epoch", self.epoch);
+        b.int("swaps", self.swaps);
+        b.int("shed", self.total(|t| t.shed));
+        b.int("degraded", self.total(|t| t.degraded));
+        b.int("requeued", self.total(|t| t.requeued));
+        b.int("replayed", self.total(|t| t.replayed));
         b.begin_arr("tenants");
         for (name, t) in &self.tenants {
             b.elem_obj();
@@ -107,6 +133,12 @@ impl ServeStats {
             b.int("cancelled", t.cancelled);
             b.int("expired", t.expired);
             b.int("failed", t.failed);
+            b.int("shed", t.shed);
+            b.int("breaker", t.breaker);
+            b.int("breaker_trips", t.breaker_trips);
+            b.int("degraded", t.degraded);
+            b.int("requeued", t.requeued);
+            b.int("replayed", t.replayed);
             b.int("wait_us", t.wait_us);
             b.int("max_wait_us", t.max_wait_us);
             b.int("exec_us", t.exec_us);
@@ -182,9 +214,30 @@ pub fn serve_prometheus_text(stats: &ServeStats) -> String {
         "gauge",
     );
     out.push_str(&format!("phigraph_serve_running {}\n", stats.running));
+    prom_metric(
+        &mut out,
+        "phigraph_serve_shed_level",
+        "Load-shedding ladder level (0 = normal, 3 = max shedding).",
+        "gauge",
+    );
+    out.push_str(&format!("phigraph_serve_shed_level {}\n", stats.shed_level));
+    prom_metric(
+        &mut out,
+        "phigraph_serve_graph_epoch",
+        "Epoch of the graph currently served (bumped by each reload).",
+        "gauge",
+    );
+    out.push_str(&format!("phigraph_serve_graph_epoch {}\n", stats.epoch));
+    prom_metric(
+        &mut out,
+        "phigraph_serve_graph_swaps",
+        "Hot graph swaps performed since startup.",
+        "counter",
+    );
+    out.push_str(&format!("phigraph_serve_graph_swaps {}\n", stats.swaps));
 
     type CounterRow = (&'static str, &'static str, fn(&TenantStats) -> u64);
-    let counters: [CounterRow; 9] = [
+    let counters: [CounterRow; 15] = [
         (
             "phigraph_serve_jobs_submitted",
             "Jobs admitted, by tenant.",
@@ -216,6 +269,36 @@ pub fn serve_prometheus_text(stats: &ServeStats) -> String {
             |t| t.failed,
         ),
         (
+            "phigraph_serve_jobs_shed",
+            "Jobs bounced by the load-shedding ladder, by tenant.",
+            |t| t.shed,
+        ),
+        (
+            "phigraph_serve_jobs_breaker_rejected",
+            "Jobs bounced by an open circuit breaker, by tenant.",
+            |t| t.breaker,
+        ),
+        (
+            "phigraph_serve_breaker_trips",
+            "Circuit-breaker trips, by tenant.",
+            |t| t.breaker_trips,
+        ),
+        (
+            "phigraph_serve_jobs_degraded",
+            "Jobs admitted in degraded mode, by tenant.",
+            |t| t.degraded,
+        ),
+        (
+            "phigraph_serve_jobs_requeued",
+            "Jobs journalled back by a drain shutdown, by tenant.",
+            |t| t.requeued,
+        ),
+        (
+            "phigraph_serve_jobs_replayed",
+            "Results re-emitted from the journal, by tenant.",
+            |t| t.replayed,
+        ),
+        (
             "phigraph_serve_wait_us_total",
             "Total queue wait in microseconds, by tenant.",
             |t| t.wait_us,
@@ -244,11 +327,16 @@ fn quote(s: &str) -> String {
     phigraph_trace::json::quote(s)
 }
 
-/// Append the serving histograms (`job_wait_us` / `job_exec_us`) from a
-/// trace snapshot as Prometheus histogram families.
+/// Append the serving histograms (`job_*`, `journal_append_us`,
+/// `graph_swap_us`, `shed_level`) from a trace snapshot as Prometheus
+/// histogram families.
 pub fn append_job_hists(out: &mut String, snap: &phigraph_trace::TraceSnapshot) {
     for h in &snap.hists {
-        if h.count == 0 || !h.name.starts_with("job_") {
+        let serving = h.name.starts_with("job_")
+            || h.name.starts_with("journal_")
+            || h.name.starts_with("graph_")
+            || h.name.starts_with("shed_");
+        if h.count == 0 || !serving {
             continue;
         }
         let name = format!("phigraph_serve_{}", h.name);
@@ -278,6 +366,9 @@ mod tests {
             running: 1,
             queue_cap: 64,
             workers: 4,
+            shed_level: 2,
+            epoch: 3,
+            swaps: 2,
             ..ServeStats::default()
         };
         let mut a = TenantStats::new(4, 2);
@@ -285,6 +376,10 @@ mod tests {
         a.completed = 7;
         a.rejected = 2;
         a.cancelled = 1;
+        a.shed = 1;
+        a.breaker_trips = 1;
+        a.degraded = 3;
+        a.replayed = 2;
         a.wait_us = 1234;
         a.max_wait_us = 500;
         a.exec_us = 9876;
@@ -323,6 +418,12 @@ mod tests {
         assert!(text.contains("phigraph_serve_jobs_rejected{tenant=\"alpha\"} 2\n"));
         assert!(text.contains("phigraph_serve_jobs_completed{tenant=\"beta\"} 0\n"));
         assert!(text.contains("phigraph_serve_workers 4\n"));
+        assert!(text.contains("phigraph_serve_shed_level 2\n"));
+        assert!(text.contains("phigraph_serve_graph_epoch 3\n"));
+        assert!(text.contains("phigraph_serve_graph_swaps 2\n"));
+        assert!(text.contains("phigraph_serve_jobs_shed{tenant=\"alpha\"} 1\n"));
+        assert!(text.contains("phigraph_serve_jobs_degraded{tenant=\"alpha\"} 3\n"));
+        assert!(text.contains("phigraph_serve_jobs_replayed{tenant=\"alpha\"} 2\n"));
         // Every exposed family carries HELP/TYPE headers.
         assert_eq!(
             text.matches("# HELP ").count(),

@@ -28,6 +28,8 @@ fn spec(id: &str, tenant: &str, kind: JobKind, mode: ExecMode) -> JobSpec {
         mode,
         deadline_ms: None,
         conn: 0,
+        integrity: None,
+        replay: false,
     }
 }
 

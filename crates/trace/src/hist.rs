@@ -35,11 +35,20 @@ pub enum HistKind {
     JobWaitUs = 6,
     /// Serving daemon: job execution time on a worker, in microseconds.
     JobExecUs = 7,
+    /// Serving daemon: one append to the crash-recovery job journal
+    /// (serialize + write + flush), in microseconds.
+    JournalAppendUs = 8,
+    /// Serving daemon: hot graph reload time (load + validate + swap the
+    /// shared CSR), in microseconds.
+    GraphSwapUs = 9,
+    /// Serving daemon: load-shedding ladder level observed at each
+    /// admission decision (0 = normal, 3 = max shedding).
+    ShedLevel = 10,
 }
 
 impl HistKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [HistKind; 8] = [
+    pub const ALL: [HistKind; 11] = [
         HistKind::QueueOccupancy,
         HistKind::FlushBatch,
         HistKind::InsertSlice,
@@ -48,6 +57,9 @@ impl HistKind {
         HistKind::WatchdogLatencyMs,
         HistKind::JobWaitUs,
         HistKind::JobExecUs,
+        HistKind::JournalAppendUs,
+        HistKind::GraphSwapUs,
+        HistKind::ShedLevel,
     ];
 
     /// Stable metric name (Prometheus/JSON exports).
@@ -61,6 +73,9 @@ impl HistKind {
             HistKind::WatchdogLatencyMs => "watchdog_latency_ms",
             HistKind::JobWaitUs => "job_wait_us",
             HistKind::JobExecUs => "job_exec_us",
+            HistKind::JournalAppendUs => "journal_append_us",
+            HistKind::GraphSwapUs => "graph_swap_us",
+            HistKind::ShedLevel => "shed_level",
         }
     }
 }

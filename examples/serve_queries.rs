@@ -81,6 +81,8 @@ fn main() {
             mode: ExecMode::Locking,
             deadline_ms: None,
             conn: 0,
+            integrity: None,
+            replay: false,
         })
         .expect("queue has room for the whole batch");
     }

@@ -55,7 +55,7 @@ echo "==> bench smoke: BENCH_*.json emission + regression gate"
 # then prove the gate both passes and trips. Numbers from smoke runs are
 # for trend/gating only; full runs use 'phigraph bench run' without flags.
 "$PHIGRAPH" bench run --out-dir . --smoke --seed 7 --samples 3 --warmup 1
-for area in spsc csb superstep exchange integrity partition objmsg serve; do
+for area in spsc csb superstep exchange integrity partition objmsg serve serve_degraded; do
     test -f "BENCH_$area.json" || { echo "missing BENCH_$area.json" >&2; exit 1; }
 done
 if [ -d bench-baseline ]; then
@@ -125,5 +125,65 @@ kill -TERM "$SERVE2_PID"
 wait "$SERVE2_PID"              # set -e: fails unless the daemon exits 0
 exec 8>&-
 echo "    (8 mixed-tenant jobs ok, checksum parity, clean SIGTERM: ok)"
+
+echo "==> chaos smoke: seeded kill/restart/reload soak at 2x admission capacity"
+# 20 in-process daemon incarnations sharing one journal, faults drawn
+# from the serving fault catalog (daemon-kill, worker-hang, slow-client,
+# malformed-line), hot reloads mid-traffic. Exits nonzero unless every
+# admitted job reached exactly one terminal outcome with a checksum
+# bit-identical to a direct one-shot execution.
+"$PHIGRAPH" serve-chaos --cycles 20 --seed 7 \
+    --journal-dir "$SMOKE_DIR/chaos-journal" \
+    > "$SMOKE_DIR/chaos.jsonl" 2>/dev/null
+grep -q '"status": "ok"' "$SMOKE_DIR/chaos.jsonl"
+echo "    (20 kill/restart/reload cycles: zero lost, zero corrupted)"
+
+echo "==> journal smoke: kill -9 mid-burst, restart replays bit-identically"
+JDIR="$SMOKE_DIR/serve-journal"
+JOBS_FIFO="$SMOKE_DIR/journal.fifo"
+mkfifo "$JOBS_FIFO"
+"$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 1 --journal-dir "$JDIR" \
+    --report-out "$SMOKE_DIR/journal_report1.json" \
+    < "$JOBS_FIFO" > "$SMOKE_DIR/journal_out1.jsonl" 2>/dev/null &
+JPID=$!
+exec 7> "$JOBS_FIFO"
+printf '%s\n' \
+    '{"id":"j1","tenant":"gold","app":"bfs","source":0}' \
+    '{"id":"j2","tenant":"gold","app":"pagerank","iters":40}' \
+    '{"id":"j3","tenant":"silver","app":"wcc"}' \
+    '{"id":"j4","tenant":"silver","app":"sssp","sources":[3]}' \
+    >&7
+sleep 1
+kill -9 "$JPID" 2>/dev/null || true
+wait "$JPID" 2>/dev/null || true
+exec 7>&-
+# Restart on the same journal with an immediate EOF: recovery re-emits
+# every finished result and replays the incomplete remainder to
+# completion before exiting.
+"$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 1 --journal-dir "$JDIR" \
+    --report-out "$SMOKE_DIR/journal_report2.json" \
+    < /dev/null > "$SMOKE_DIR/journal_out2.jsonl" 2>/dev/null
+for id in j1 j2 j3 j4; do
+    grep "\"id\": \"$id\"" "$SMOKE_DIR/journal_out2.jsonl" | grep -q '"status": "ok"' \
+        || { echo "journal replay lost $id" >&2; exit 1; }
+done
+# Checksum parity: the replayed BFS answer equals the one-shot run.
+grep '"id": "j1"' "$SMOKE_DIR/journal_out2.jsonl" | grep -q "$WANT"
+echo "    (kill -9 -> restart -> 4/4 jobs ok, checksum parity: ok)"
+
+echo "==> hot-swap smoke: reload mid-traffic drops no queries"
+"$PHIGRAPH" generate gnm "$SMOKE_DIR/g2.bin" --scale tiny --seed 8 >/dev/null
+printf '%s\n' \
+    '{"id":"r1","app":"bfs","source":0}' \
+    '{"id":"r2","app":"wcc"}' \
+    "{\"op\":\"reload\",\"path\":\"$SMOKE_DIR/g2.bin\"}" \
+    '{"id":"r3","app":"bfs","source":0}' \
+    '{"id":"r4","app":"sssp","sources":[1]}' \
+    | "$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 2 \
+        --report-out "$SMOKE_DIR/reload_report.json" \
+        > "$SMOKE_DIR/reload_out.jsonl" 2>/dev/null
+grep '"op":"reload"' "$SMOKE_DIR/reload_out.jsonl" | grep -q '"epoch":2'
+test "$(grep -c '"status": "ok"' "$SMOKE_DIR/reload_out.jsonl")" -eq 4
+echo "    (reload to epoch 2 mid-traffic, 4/4 queries + reload ack ok)"
 
 echo "==> all checks passed"

@@ -18,6 +18,7 @@
 //! | `objmsg`    | the object-message path (semi-clustering merge/sort)      |
 //! | `serve`     | serving-pool jobs/second at 1, 4, and 16 tenants          |
 //! | `serve_degraded` | the pool held at 2× admission capacity: shed ladder, breaker, and journal on the admission path |
+//! | `obs`       | serving throughput with the observability plane off / windows / windows+events |
 //!
 //! Smoke mode shrinks every input so the whole sweep finishes in seconds
 //! inside `scripts/check.sh`; the fingerprint records which mode produced
@@ -35,7 +36,11 @@ use phigraph_core::engine::{run_recoverable, run_single, EngineConfig, ExecMode}
 use phigraph_device::DeviceSpec;
 use phigraph_partition::{partition, PartitionScheme, Ratio};
 use phigraph_recover::{IntegrityMode, MemStore};
-use phigraph_serve::{JobKind, JobSpec, Journal, ServeConfig, ServePool, ShedPolicy};
+use phigraph_serve::{
+    EventSink, JobKind, JobSpec, Journal, MetricsHub, ServeConfig, ServePool, ShedPolicy,
+};
+use phigraph_trace::{Trace, TraceLevel};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Knobs shared by every area.
@@ -87,6 +92,7 @@ pub fn run_area(area: &str, c: &mut Criterion, opts: &AreaOpts) -> Result<(), St
         "objmsg" => bench_objmsg(c, opts),
         "serve" => bench_serve(c, opts),
         "serve_degraded" => bench_serve_degraded(c, opts),
+        "obs" => bench_obs(c, opts),
         other => {
             return Err(format!(
                 "unknown bench area {other:?} (valid: {})",
@@ -427,6 +433,97 @@ fn bench_serve_degraded(c: &mut Criterion, opts: &AreaOpts) {
         drop(pool);
     }
     let _ = std::fs::remove_dir_all(&journal_dir);
+    g.finish();
+}
+
+/// Observability overhead on the serving hot path: the same fixed BFS
+/// batch as `serve` (4 tenants), measured three ways —
+///
+/// - `off`: no trace, no sink — the PR 4 zero-cost baseline;
+/// - `windows`: phase-level histograms plus a live [`MetricsHub`]
+///   sampled at 1 Hz by a background thread, exactly the daemon's
+///   steady-state scrape plane;
+/// - `windows+events`: the above plus an armed [`EventSink`] writing
+///   per-job admit/start/done JSONL — every hot-path hook live.
+///
+/// The acceptance pin (windows ≤ 2% over off) is documented by the
+/// committed full-run `BENCH_obs.json`; the compare gate holds the
+/// trajectory.
+fn bench_obs(c: &mut Criterion, opts: &AreaOpts) {
+    let scale = if opts.smoke {
+        Scale::Tiny
+    } else {
+        Scale::Small
+    };
+    let graph = Arc::new(workloads::pokec_like_weighted(scale, opts.seed));
+    let jobs_per_iter: usize = if opts.smoke { 8 } else { 32 };
+    let tenants = 4usize;
+    let events_path =
+        std::env::temp_dir().join(format!("phigraph-bench-obs-{}.jsonl", std::process::id()));
+    let mut g = c.benchmark_group("obs/serve");
+    tune(&mut g, opts);
+    g.throughput(Throughput::Elements(jobs_per_iter as u64));
+    for label in ["off", "windows", "windows+events"] {
+        let trace = (label != "off").then(|| Trace::new(TraceLevel::Phase));
+        let events = (label == "windows+events").then(|| {
+            EventSink::with_file(&events_path.display().to_string()).expect("bench event log")
+        });
+        let cfg = ServeConfig {
+            workers: 2,
+            queue_cap: jobs_per_iter.max(64),
+            trace: trace.clone(),
+            events,
+            ..ServeConfig::default()
+        };
+        let (pool, rx) = ServePool::new(Arc::clone(&graph), cfg);
+        // The daemon's 1 Hz sampler, concurrent with the measured loop:
+        // windows maintenance must contend with hot-path recording, not
+        // run in a vacuum.
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = trace.clone().map(|trace| {
+            let hub = MetricsHub::new();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    hub.sample(Default::default(), trace.snapshot().hists);
+                    for _ in 0..10 {
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                for i in 0..jobs_per_iter {
+                    let spec = JobSpec {
+                        id: format!("o{i}"),
+                        tenant: format!("t{}", i % tenants),
+                        kind: JobKind::Bfs {
+                            source: (i % 7) as u32,
+                        },
+                        mode: ExecMode::Locking,
+                        deadline_ms: None,
+                        integrity: None,
+                        replay: false,
+                        conn: 0,
+                    };
+                    pool.submit(spec).expect("bench job admitted");
+                }
+                for _ in 0..jobs_per_iter {
+                    rx.recv().expect("bench job result");
+                }
+            })
+        });
+        stop.store(true, Ordering::Release);
+        if let Some(h) = sampler {
+            let _ = h.join();
+        }
+        drop(pool);
+    }
+    let _ = std::fs::remove_file(&events_path);
     g.finish();
 }
 

@@ -25,9 +25,11 @@ pub const BENCH_SCHEMA: &str = "phigraph-bench-v1";
 /// worker→mover pipeline, CSB slice insertion, a full superstep per engine
 /// mode, the hetero frame exchange, the integrity-switch overhead, the
 /// device-partitioning schemes, the object-message (semi-clustering)
-/// path, the multi-tenant serving pool, and the serving pool held at
-/// overload (the shed ladder + journal on the admission path).
-pub const AREAS: [&str; 9] = [
+/// path, the multi-tenant serving pool, the serving pool held at
+/// overload (the shed ladder + journal on the admission path), and the
+/// observability plane's overhead on the serving hot path (off vs
+/// windows vs windows+events).
+pub const AREAS: [&str; 10] = [
     "spsc",
     "csb",
     "superstep",
@@ -37,6 +39,7 @@ pub const AREAS: [&str; 9] = [
     "objmsg",
     "serve",
     "serve_degraded",
+    "obs",
 ];
 
 /// Canonical file name for an area's report.
@@ -49,8 +52,9 @@ pub fn file_name(area: &str) -> String {
 pub fn default_threshold(area: &str) -> f64 {
     match area {
         // Cross-thread shuttles: scheduler noise dominates short runs, and
-        // the serving pool adds queueing jitter on top.
-        "spsc" | "exchange" | "serve" | "serve_degraded" => 1.6,
+        // the serving pool adds queueing jitter on top (`obs` rides the
+        // same pool, so it inherits the same slack).
+        "spsc" | "exchange" | "serve" | "serve_degraded" | "obs" => 1.6,
         // Single-process compute loops are steadier.
         "csb" | "superstep" | "integrity" | "partition" | "objmsg" => 1.5,
         _ => 1.5,

@@ -28,7 +28,8 @@ commands:
           rewrite a report with every timing scaled by F (gate self-tests)
   list    print the measured areas and their default thresholds
 
-areas: spsc csb superstep exchange integrity partition objmsg serve";
+areas: spsc csb superstep exchange integrity partition objmsg serve
+       serve_degraded obs";
 
 /// Entry point for both the standalone binary and `phigraph bench`.
 pub fn main(argv: &[String]) -> Result<(), String> {

@@ -5,17 +5,50 @@
 //! in its checkpoint directory) and reproduces the paper's Fig. 5-style
 //! decomposition: per-device and per-phase simulated time, message totals,
 //! and — when present — recovery and failover statistics.
+//!
+//! Observability artifacts degrade instead of erroring: a `--events-out`
+//! JSONL log (even one still being written, with a torn final line) gets
+//! an event tally with a warning, and a flight recording — including a
+//! torn one from a crash mid-write — gets a postmortem summary.
 
 use crate::args::Args;
+use phigraph_serve::FLIGHT_SCHEMA;
 use phigraph_trace::json::Json;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let path = args.pos(0, "report.json")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            // Not one JSON document. An in-progress `--events-out` log
+            // is JSONL (summarize what parses); a torn flight.json still
+            // carries its schema marker (warn, don't fail the run).
+            if looks_like_event_log(&text) {
+                eprintln!("report: warning: {path}: partial/in-progress event log; summarizing the lines that parse");
+                emit(&summarize_event_log(&text));
+                return Ok(());
+            }
+            if text.contains(FLIGHT_SCHEMA) {
+                eprintln!("report: warning: {path}: torn flight recording ({e}); the daemon died mid-persist");
+                return Ok(());
+            }
+            return Err(format!("{path}: {e}"));
+        }
+    };
     let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+    if schema == FLIGHT_SCHEMA {
+        print_flight(&doc);
+        return Ok(());
+    }
     if schema != phigraph_core::export::REPORT_SCHEMA {
+        // A one-line event log parses as a single event object.
+        if doc.get("ev").and_then(|v| v.as_str()).is_some() {
+            eprintln!("report: warning: {path}: single-event log; summarizing");
+            emit(&summarize_event_log(&text));
+            return Ok(());
+        }
         return Err(format!(
             "{path}: schema {schema:?} is not {:?} (dump one with \
              `phigraph run ... --trace-out r.json --trace-format json`)",
@@ -294,11 +327,146 @@ fn print_steps(combined: &Json, top: usize) {
     }
 }
 
+/// Does this text look like a `--events-out` JSONL log? (Its first
+/// parseable line is an object with an `"ev"` tag.)
+fn looks_like_event_log(text: &str) -> bool {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .take(3)
+        .any(|l| {
+            Json::parse(l)
+                .ok()
+                .and_then(|j| j.get("ev").and_then(|v| v.as_str()).map(|_| ()))
+                .is_some()
+        })
+}
+
+/// Tally a JSONL event log line by line. Unparseable lines (the torn
+/// tail of a crashed daemon) are counted, never fatal.
+fn summarize_event_log(text: &str) -> String {
+    use std::collections::BTreeMap;
+    let mut by_ev: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_tenant: BTreeMap<String, usize> = BTreeMap::new();
+    let mut traces: std::collections::BTreeSet<String> = Default::default();
+    let (mut parsed, mut torn) = (0usize, 0usize);
+    let (mut first_ms, mut last_ms) = (f64::INFINITY, 0.0f64);
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(j) = Json::parse(line) else {
+            torn += 1;
+            continue;
+        };
+        let Some(ev) = j.get("ev").and_then(|v| v.as_str()) else {
+            torn += 1;
+            continue;
+        };
+        parsed += 1;
+        *by_ev.entry(ev.to_string()).or_insert(0) += 1;
+        if let Some(t) = j.get("tenant").and_then(|v| v.as_str()) {
+            *by_tenant.entry(t.to_string()).or_insert(0) += 1;
+        }
+        if let Some(t) = j.get("trace").and_then(|v| v.as_str()) {
+            traces.insert(t.to_string());
+        }
+        let ms = j.f64_or_0("t_ms");
+        first_ms = first_ms.min(ms);
+        last_ms = last_ms.max(ms);
+    }
+    let mut out = format!("event log: {parsed} event(s)");
+    if torn > 0 {
+        out.push_str(&format!(", {torn} torn/foreign line(s) skipped"));
+    }
+    if parsed > 0 && last_ms >= first_ms {
+        out.push_str(&format!(
+            ", spanning {:.1} ms of daemon time",
+            last_ms - first_ms
+        ));
+    }
+    out.push('\n');
+    if !traces.is_empty() {
+        out.push_str(&format!("distinct traces: {}\n", traces.len()));
+    }
+    if !by_ev.is_empty() {
+        out.push_str("by event:\n");
+        for (ev, n) in &by_ev {
+            out.push_str(&format!("  {ev:<10} {n}\n"));
+        }
+    }
+    if !by_tenant.is_empty() {
+        out.push_str("by tenant:\n");
+        for (t, n) in &by_tenant {
+            out.push_str(&format!("  {:<16} {n}\n", truncate(t, 16)));
+        }
+    }
+    out
+}
+
+/// Write to stdout ignoring errors: postmortem output is routinely
+/// piped into `grep -q`/`head`, which close the pipe early — that must
+/// not turn into a panic.
+fn emit(s: &str) {
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(s.as_bytes());
+}
+
+/// Postmortem summary of a flight recording (`flight.json`).
+fn print_flight(doc: &Json) {
+    let mut out = format!(
+        "flight recording: reason {:?}, {} event(s) in the ring, {} dropped before the crash\n",
+        doc.get("reason").and_then(|v| v.as_str()).unwrap_or("?"),
+        doc.get("events")
+            .and_then(|v| v.as_arr())
+            .map_or(0, |a| a.len()),
+        doc.u64_or_0("dropped"),
+    );
+    let events = doc.get("events").and_then(|v| v.as_arr()).unwrap_or(&[]);
+    let tail = events.len().saturating_sub(10);
+    if !events.is_empty() {
+        out.push_str(&format!("last {} event(s):\n", events.len() - tail));
+    }
+    for e in &events[tail..] {
+        out.push_str(&format!(
+            "  {:>10.1} ms  {:<8} {:<8} id={} tenant={}\n",
+            e.f64_or_0("t_ms"),
+            e.get("ev").and_then(|v| v.as_str()).unwrap_or("?"),
+            e.get("trace").and_then(|v| v.as_str()).unwrap_or("-"),
+            e.get("id").and_then(|v| v.as_str()).unwrap_or("-"),
+            e.get("tenant").and_then(|v| v.as_str()).unwrap_or("-"),
+        ));
+    }
+    emit(&out);
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.chars().count() <= n {
         s.to_string()
     } else {
         let cut: String = s.chars().take(n.saturating_sub(1)).collect();
         format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "\
+{\"ev\":\"admit\",\"t_ms\":1.0,\"trace\":\"t1\",\"id\":\"q1\",\"tenant\":\"gold\"}
+{\"ev\":\"start\",\"t_ms\":2.0,\"trace\":\"t1\",\"id\":\"q1\",\"tenant\":\"gold\"}
+{\"ev\":\"done\",\"t_ms\":9.5,\"trace\":\"t1\",\"id\":\"q1\",\"tenant\":\"gold\"}
+{\"ev\":\"admit\",\"t_ms\":3.0,\"trace\":\"t2\",\"id\":\"q2\",\"tenant\":\"br";
+
+    #[test]
+    fn partial_event_logs_are_recognized_and_tallied() {
+        assert!(looks_like_event_log(LOG));
+        assert!(!looks_like_event_log("{\"schema\":\"other\"}"));
+        let summary = summarize_event_log(LOG);
+        assert!(summary.contains("3 event(s)"), "{summary}");
+        assert!(summary.contains("1 torn/foreign line(s)"), "{summary}");
+        assert!(summary.contains("8.5 ms"), "t_ms span: {summary}");
+        assert!(summary.contains("distinct traces: 1"), "{summary}");
+        assert!(
+            summary.contains("admit") && summary.contains("gold"),
+            "{summary}"
+        );
     }
 }

@@ -8,6 +8,13 @@
 //! journal at shutdown instead of running them, `--shed-policy`
 //! selects the overload ladder, and `--integrity-max` clamps per-job
 //! integrity requests.
+//!
+//! Observability flags: `--metrics-sock <path>` serves one full
+//! Prometheus scrape per connection (poll it with `phigraph top`),
+//! `--metrics-every <secs>` writes periodic snapshot files,
+//! `--events-out <path>` streams per-job causal trace events as JSONL,
+//! and `--trace-level off` disables the histogram plane entirely
+//! (it defaults to `phase` so live scrapes carry latency quantiles).
 
 use crate::args::Args;
 use crate::cmd_generate::load_graph;
@@ -41,11 +48,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "mic" => (DeviceSpec::xeon_phi_se10p(), "mic"),
         other => return Err(format!("unknown device {other:?}")),
     };
-    let trace = if args.has("trace-level") {
-        let level: TraceLevel = args.flag_or("trace-level", "phase").parse()?;
-        Some(Trace::new(level))
-    } else {
-        None
+    // The serving daemon traces at `phase` by default: the sliding
+    // windows and live quantiles need histograms. `--trace-level off`
+    // opts out (the zero-cost batch-engine default).
+    let trace = match args.flag_or("trace-level", "phase") {
+        "off" => None,
+        level => Some(Trace::new(level.parse::<TraceLevel>()?)),
     };
 
     let defaults = ServeConfig::default();
@@ -76,6 +84,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         shed: args
             .flag_or("shed-policy", defaults.shed.name())
             .parse::<ShedPolicy>()?,
+        // The daemon builds the event sink itself (it owns the flight
+        // recorder's persistence paths).
+        events: None,
     };
 
     let dcfg = DaemonConfig {
@@ -87,6 +98,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         journal_dir: args.flag("journal-dir").map(String::from),
         drain_on_exit: args.has("drain"),
         loader: Some(Arc::new(|path: &str| load_graph(path))),
+        metrics_sock: args.flag("metrics-sock").map(String::from),
+        metrics_every: match args.flag("metrics-every") {
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| format!("invalid value {v:?} for --metrics-every"))?,
+            ),
+            None => None,
+        },
+        events_out: args.flag("events-out").map(String::from),
     };
     eprintln!(
         "serve: {} workers, queue cap {}, engine {}, {} tenants preconfigured",

@@ -23,9 +23,11 @@
 //!                [--tenants a:4:2,b:1:1] [--deadline-ms N] [--prom-out FILE]
 //!                [--journal-dir DIR] [--drain] [--shed-policy off|ladder]
 //!                [--integrity M] [--integrity-max M]
+//!                [--metrics-sock PATH] [--metrics-every SECS] [--events-out FILE]
 //! phigraph serve-chaos [--cycles N] [--seed N] [--workers N] [--queue-cap N]
 //!                      [--jobs-per-cycle N] [--journal-dir DIR] [--reload-every N]
-//! phigraph report <report.json> [--steps] [--top N]
+//! phigraph top <metrics.sock> [--interval SECS] [--count N] [--window 1s|10s|60s] [--raw]
+//! phigraph report <report.json|events.jsonl|flight.json> [--steps] [--top N]
 //! phigraph recover <checkpoint-dir> [--inspect STEP]
 //! phigraph tune <app> <graph> [--probe-steps N] [--blocks N]
 //! phigraph check <app> <graph> [--step-budget N]
@@ -43,6 +45,7 @@ mod cmd_report;
 mod cmd_run;
 mod cmd_serve;
 mod cmd_serve_chaos;
+mod cmd_top;
 mod cmd_tune;
 
 use std::process::ExitCode;
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
         "run" => cmd_run::run(rest),
         "serve" => cmd_serve::run(rest),
         "serve-chaos" => cmd_serve_chaos::run(rest),
+        "top" => cmd_top::run(rest),
         "recover" => cmd_recover::run(rest),
         "report" => cmd_report::run(rest),
         "tune" => cmd_tune::run(rest),
@@ -105,15 +109,21 @@ commands:
         [--deadline-ms N] [--report-out FILE] [--prom-out FILE] [--trace-level off|phase|fine]
         [--journal-dir DIR] [--drain] [--shed-policy off|ladder]
         [--integrity off|frames|full] [--integrity-max off|frames|full]
+        [--metrics-sock PATH] [--metrics-every SECS] [--events-out FILE]
         (line-delimited JSON jobs on stdin or the socket:
          {\"op\":\"job\",\"id\":\"q1\",\"tenant\":\"a\",\"app\":\"sssp\",\"sources\":[0,7]}
          plus ops tenant/stats/reload/shutdown; rejects carry a machine-readable
-         code + retry_after_ms; see docs/serving.md)
+         code + retry_after_ms; {\"op\":\"stats\",\"format\":\"prom\"} scrapes the
+         full Prometheus exposition mid-traffic; see docs/serving.md)
   serve-chaos [--cycles N] [--seed N] [--workers N] [--queue-cap N] [--jobs-per-cycle N]
         [--journal-dir DIR] [--reload-every N] [--engine lock|pipe|omp|seq]
         (seeded kill/restart/reload soak over the serving stack; exits nonzero
-         if any job is lost, duplicated with different bytes, or corrupted)
-  report <report.json> [--steps] [--top N]
+         if any job is lost, duplicated with different bytes, or corrupted;
+         each killed incarnation leaves flight-c<cycle>.json in --journal-dir)
+  top <metrics.sock> [--interval SECS] [--count N] [--window 1s|10s|60s] [--raw]
+        (poll a daemon's --metrics-sock: per-tenant jobs/s + windowed p50/p99;
+         --raw prints the Prometheus text verbatim for scripts)
+  report <report.json|events.jsonl|flight.json> [--steps] [--top N]
   recover <checkpoint-dir> [--inspect STEP]
   tune <pagerank|bfs|sssp|toposort|wcc> <graph> [--probe-steps N] [--blocks N]
   check <pagerank|bfs|sssp|toposort|wcc|kcore> <graph> [--step-budget N]

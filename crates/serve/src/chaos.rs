@@ -41,6 +41,7 @@ use phigraph_graph::{Csr, SplitMix64};
 use phigraph_recover::{FaultKind, FaultPlan, IntegrityMode};
 use phigraph_trace::json::JsonBuf;
 
+use crate::events::EventSink;
 use crate::job::{job_request_line, parse_request, JobKind, JobResult, JobSpec, JobStatus};
 use crate::journal::{Journal, JOURNAL_FILE};
 use crate::pool::{values_checksum, AdmitError, DrainMode, ServeConfig, ServePool};
@@ -106,6 +107,10 @@ pub struct ChaosReport {
     pub malformed_answered: usize,
     /// Hot graph swaps performed mid-traffic.
     pub swaps: usize,
+    /// Flight-recorder postmortems persisted (one per killed
+    /// incarnation: `flight-c<cycle>.json` plus the canonical
+    /// `flight.json` in the journal directory).
+    pub flights: usize,
     /// Faults injected, by kind name.
     pub faults: BTreeMap<&'static str, usize>,
     /// Admitted jobs that never reached a terminal outcome. Must be
@@ -136,6 +141,7 @@ impl ChaosReport {
         b.int("carried_over", self.carried_over as u64);
         b.int("malformed_answered", self.malformed_answered as u64);
         b.int("swaps", self.swaps as u64);
+        b.int("flights", self.flights as u64);
         b.int("lost", self.lost.len() as u64);
         b.int("corrupt", self.corrupt.len() as u64);
         b.begin_obj("faults");
@@ -414,6 +420,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         let (journal, recovery) = Journal::open(&cfg.journal_dir, cfg.mode)?;
         let journal = Arc::new(journal);
         let epoch_base = graph_idx;
+        // Per-incarnation flight recorder: trace ids restart at 1 each
+        // cycle, exactly like a restarted daemon.
+        let sink = EventSink::new();
         let (mut pool, rx) = ServePool::new(
             Arc::clone(&graphs[graph_idx]),
             ServeConfig {
@@ -422,6 +431,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
                 mode: cfg.mode,
                 journal: Some(Arc::clone(&journal)),
                 default_integrity: IntegrityMode::Off,
+                events: Some(sink.clone()),
                 ..ServeConfig::default()
             },
         );
@@ -526,6 +536,23 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, String> {
         }
 
         if kill {
+            // The killed incarnation's postmortem: a per-cycle artifact
+            // plus the canonical `flight.json` (latest kill wins), both
+            // written *before* the abort — a real crash persists from
+            // the panic hook / signal thread while workers still run.
+            sink.note("chaos", &format!("killing incarnation at cycle {cycle}"));
+            for (name, path) in [
+                (
+                    "flight",
+                    cfg.journal_dir.join(format!("flight-c{cycle}.json")),
+                ),
+                ("flight", cfg.journal_dir.join("flight.json")),
+            ] {
+                if let Err(e) = sink.persist_flight(&path, "chaos-kill") {
+                    eprintln!("serve-chaos: persist {name} {path:?}: {e}");
+                }
+            }
+            report.flights += 1;
             // Abort ≈ kill -9 as far as the journal can tell: running
             // and queued jobs never gain a `done` record.
             pool.shutdown(false);
@@ -603,6 +630,50 @@ mod tests {
         assert!(report.swaps >= 1, "reload_every=3 over 6 cycles must swap");
         let line = report.to_line();
         assert!(line.contains("\"status\": \"ok\""), "{line}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_incarnations_leave_parseable_flight_recordings() {
+        // Pick the first seed whose 4-cycle plan contains a daemon
+        // kill, so the assertion never depends on one magic seed.
+        let seed = (1..64)
+            .find(|&s| {
+                FaultPlan::random(s, 4, 4, &FaultKind::SERVE, 1)
+                    .faults
+                    .iter()
+                    .any(|f| f.kind == FaultKind::KillDaemon)
+            })
+            .expect("some small seed draws a daemon kill");
+        let dir = tempdir("flight");
+        let report = run_chaos(&ChaosConfig {
+            cycles: 4,
+            seed,
+            workers: 2,
+            queue_cap: 8,
+            jobs_per_cycle: 0,
+            journal_dir: dir.clone(),
+            reload_every: 0,
+            mode: ExecMode::Sequential,
+        })
+        .unwrap();
+        assert!(report.ok(), "lost={:?}", report.lost);
+        let kills = *report.faults.get("daemon-kill").unwrap_or(&0);
+        assert!(kills > 0, "probed seed must inject a kill");
+        assert_eq!(report.flights, kills, "one postmortem per kill");
+        let text = std::fs::read_to_string(dir.join("flight.json")).unwrap();
+        let doc = phigraph_trace::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some(crate::events::FLIGHT_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("chaos-kill")
+        );
+        let events = doc.get("events").and_then(|v| v.as_arr()).unwrap();
+        assert!(!events.is_empty(), "a killed burst leaves events behind");
+        assert!(report.to_line().contains("\"flights\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

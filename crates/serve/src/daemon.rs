@@ -24,23 +24,26 @@
 //!    the process exits cleanly with every thread joined.
 
 use std::io::{BufRead, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use phigraph_graph::Csr;
+use phigraph_trace::json::JsonBuf;
 use phigraph_trace::HistKind;
 
+use crate::events::EventSink;
 use crate::job::{
-    error_line, parse_request, peek_id, read_bounded_line, rejection_line, JobResult, LineRead,
-    Request, MAX_LINE_BYTES,
+    error_line, one_line, parse_request, peek_id, read_bounded_line, rejection_line, JobResult,
+    LineRead, Request, MAX_LINE_BYTES,
 };
 use crate::journal::{Journal, Recovery};
+use crate::metrics::{live_prometheus_text, MetricsHub, SAMPLE_EVERY_SECS};
 use crate::pool::{AdmitError, DrainMode, ServeConfig, ServePool};
 use crate::signals::SignalFd;
-use crate::stats::{serve_prometheus_text, serve_report_json, ServeStats};
+use crate::stats::{serve_report_json, ServeStats};
 
 /// Loads a CSR for the `reload` op. The daemon core stays
 /// format-agnostic: the CLI supplies whatever loader matches its graph
@@ -67,6 +70,15 @@ pub struct DaemonConfig {
     pub drain_on_exit: bool,
     /// Graph loader for the `reload` op (`None`: reload unsupported).
     pub loader: Option<GraphLoader>,
+    /// Unix-socket path answering one full Prometheus scrape per
+    /// connection (`--metrics-sock`; `None`: off).
+    pub metrics_sock: Option<String>,
+    /// Write a Prometheus snapshot file every this many seconds
+    /// (`--metrics-every`; the file is `prom_out`, or
+    /// `serve_metrics.prom` when `prom_out` is unset).
+    pub metrics_every: Option<u64>,
+    /// JSONL per-job event log path (`--events-out`; `None`: ring only).
+    pub events_out: Option<String>,
 }
 
 impl std::fmt::Debug for DaemonConfig {
@@ -80,6 +92,9 @@ impl std::fmt::Debug for DaemonConfig {
             .field("journal_dir", &self.journal_dir)
             .field("drain_on_exit", &self.drain_on_exit)
             .field("loader", &self.loader.as_ref().map(|_| "<fn>"))
+            .field("metrics_sock", &self.metrics_sock)
+            .field("metrics_every", &self.metrics_every)
+            .field("events_out", &self.events_out)
             .finish()
     }
 }
@@ -96,9 +111,50 @@ struct Core {
     /// Drain mode picked by an explicit `{"op":"shutdown"}` line.
     requested_mode: Mutex<Option<DrainMode>>,
     final_stats: Mutex<Option<ServeStats>>,
+    /// Sliding-window metric samples backing live scrapes.
+    hub: MetricsHub,
+    /// Per-job event sink: flight-recorder ring plus optional JSONL log.
+    events: EventSink,
 }
 
 impl Core {
+    /// Current stats: live from the pool, or the final snapshot once the
+    /// pool is gone.
+    fn live_stats(&self) -> ServeStats {
+        match self.pool.lock().unwrap().as_ref() {
+            Some(pool) => pool.stats(),
+            None => self.final_stats.lock().unwrap().clone().unwrap_or_default(),
+        }
+    }
+
+    /// Take one hub sample right now so windows are current at scrape
+    /// time (the background sampler only runs at 1 Hz).
+    fn sample_now(&self) -> ServeStats {
+        let stats = self.live_stats();
+        let hists = match &self.cfg.trace {
+            Some(trace) => trace.snapshot().hists,
+            None => Vec::new(),
+        };
+        self.hub.sample(stats.clone(), hists);
+        stats
+    }
+
+    /// Full live Prometheus exposition: cumulative counters, on-demand
+    /// histogram snapshots, and the sliding-window gauge families.
+    fn scrape_prom(&self) -> String {
+        let stats = self.sample_now();
+        let snap = self.cfg.trace.as_ref().map(|t| t.snapshot());
+        live_prometheus_text(&stats, snap.as_ref(), Some(&self.hub))
+    }
+
+    /// Where the flight recorder persists on panic/SIGTERM (`None` when
+    /// the daemon runs without a journal directory).
+    fn flight_path(dcfg: &DaemonConfig) -> Option<PathBuf> {
+        dcfg.journal_dir
+            .as_ref()
+            .map(|d| Path::new(d).join("flight.json"))
+    }
+
     /// The drain mode an EOF should use: `--drain` requeues, the
     /// default finishes everything admitted.
     fn eof_mode(&self) -> DrainMode {
@@ -139,6 +195,12 @@ impl Core {
     }
 
     fn write_reports(&self) {
+        // Every exit path runs through here: make sure the event log is
+        // durable and no stale metrics socket file survives the daemon.
+        self.events.flush();
+        if let Some(sock) = &self.dcfg.metrics_sock {
+            let _ = std::fs::remove_file(sock);
+        }
         let stats = match self.final_stats.lock().unwrap().clone() {
             Some(s) => s,
             None => return,
@@ -151,10 +213,8 @@ impl Core {
             }
         }
         if let Some(path) = &self.dcfg.prom_out {
-            let mut text = serve_prometheus_text(&stats);
-            if let Some(trace) = &self.cfg.trace {
-                crate::stats::append_job_hists(&mut text, &trace.snapshot());
-            }
+            let snap = self.cfg.trace.as_ref().map(|t| t.snapshot());
+            let text = live_prometheus_text(&stats, snap.as_ref(), Some(&self.hub));
             if let Err(e) = std::fs::write(path, text) {
                 eprintln!("serve: write {path}: {e}");
             }
@@ -239,12 +299,25 @@ impl Core {
                     phigraph_trace::json::quote(&tenant)
                 ));
             }
-            Ok(Request::Stats) => {
-                let snap = match self.pool.lock().unwrap().as_ref() {
-                    Some(pool) => pool.stats(),
-                    None => self.final_stats.lock().unwrap().clone().unwrap_or_default(),
-                };
-                out(&snap.to_line());
+            Ok(Request::Stats { prom }) => {
+                if prom {
+                    // Full Prometheus exposition as one JSON-escaped
+                    // protocol line, scrapeable mid-traffic.
+                    let text = self.scrape_prom();
+                    let mut b = JsonBuf::obj();
+                    b.str("op", "stats");
+                    b.str("format", "prom");
+                    b.str("status", "ok");
+                    b.str("text", &text);
+                    out(&one_line(b.finish()));
+                } else {
+                    let stats = self.live_stats();
+                    let hists = match &self.cfg.trace {
+                        Some(trace) => trace.snapshot().hists,
+                        None => Vec::new(),
+                    };
+                    out(&stats.to_line_with_hists(&hists));
+                }
             }
             Ok(Request::Reload { path }) => self.handle_reload(&path, out),
             Ok(Request::Shutdown { requeue }) => {
@@ -325,6 +398,12 @@ pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Resu
     let sfd = SignalFd::install();
 
     let mut cfg = cfg;
+    // Always-on flight ring; the JSONL file only with `--events-out`.
+    let events = match &dcfg.events_out {
+        Some(path) => EventSink::with_file(path).map_err(|e| format!("events-out {path}: {e}"))?,
+        None => EventSink::new(),
+    };
+    cfg.events = Some(events.clone());
     let mut recovered = None;
     if let Some(dir) = &dcfg.journal_dir {
         let (journal, recovery) = Journal::open(Path::new(dir), cfg.mode)?;
@@ -348,14 +427,34 @@ pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Resu
         exit_when_drained: AtomicBool::new(false),
         requested_mode: Mutex::new(None),
         final_stats: Mutex::new(None),
+        hub: MetricsHub::new(),
+        events,
     });
+
+    let flight = Core::flight_path(&dcfg);
+    if let Some(path) = flight.clone() {
+        // Chain onto the existing hook so a panicking daemon still
+        // prints its backtrace *after* the postmortem is on disk.
+        let sink = core.events.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = sink.persist_flight(&path, "panic");
+            prev(info);
+        }));
+    }
 
     if let Some(sfd) = sfd {
         let core = Arc::clone(&core);
+        let flight = flight.clone();
         std::thread::Builder::new()
             .name("serve-signals".to_string())
             .spawn(move || {
                 if sfd.wait().is_some() {
+                    // Persist the flight recorder first: `finish` joins
+                    // workers, and anything after it races process exit.
+                    if let Some(path) = &flight {
+                        let _ = core.events.persist_flight(path, "sigterm");
+                    }
                     // Forced shutdown: the main thread is blocked in a
                     // read, so the writer thread exits the process once
                     // the cancellation results are flushed.
@@ -368,10 +467,88 @@ pub fn run_daemon(graph: Arc<Csr>, cfg: ServeConfig, dcfg: DaemonConfig) -> Resu
             .map_err(|e| format!("spawn signal thread: {e}"))?;
     }
 
+    spawn_sampler(Arc::clone(&core))?;
+    if let Some(path) = dcfg.metrics_sock.clone() {
+        spawn_metrics_sock(Arc::clone(&core), &path)?;
+    }
+    if let Some(secs) = dcfg.metrics_every {
+        spawn_metrics_ticker(Arc::clone(&core), secs)?;
+    }
+
     match dcfg.socket.clone() {
         None => run_stdin(core, rx),
         Some(path) => run_socket(core, rx, &path),
     }
+}
+
+/// Background 1 Hz hub sampler. Exits once the pool is gone; checks in
+/// 100 ms steps so shutdown never waits a full sample period.
+fn spawn_sampler(core: Arc<Core>) -> Result<(), String> {
+    std::thread::Builder::new()
+        .name("serve-metrics".to_string())
+        .spawn(move || loop {
+            for _ in 0..(SAMPLE_EVERY_SECS * 10) {
+                std::thread::sleep(Duration::from_millis(100));
+                if core.pool.lock().unwrap().is_none() {
+                    return;
+                }
+            }
+            core.sample_now();
+        })
+        .map(|_| ())
+        .map_err(|e| format!("spawn metrics sampler: {e}"))
+}
+
+/// Listener answering one full Prometheus scrape per connection, then
+/// closing. Detached: it dies with the process, and `write_reports`
+/// removes the socket file on every exit path.
+fn spawn_metrics_sock(core: Arc<Core>, path: &str) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("bind metrics sock {path}: {e}"))?;
+    std::thread::Builder::new()
+        .name("serve-metrics-sock".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { continue };
+                let text = core.scrape_prom();
+                let _ = s.write_all(text.as_bytes());
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        })
+        .map(|_| ())
+        .map_err(|e| format!("spawn metrics sock thread: {e}"))
+}
+
+/// Periodic Prometheus snapshot files (`--metrics-every`), written
+/// atomically via tmp+rename next to the final `prom_out` (or to
+/// `serve_metrics.prom` when no `prom_out` is configured).
+fn spawn_metrics_ticker(core: Arc<Core>, secs: u64) -> Result<(), String> {
+    let out: PathBuf = core
+        .dcfg
+        .prom_out
+        .as_deref()
+        .unwrap_or("serve_metrics.prom")
+        .into();
+    let secs = secs.max(1);
+    std::thread::Builder::new()
+        .name("serve-metrics-tick".to_string())
+        .spawn(move || loop {
+            for _ in 0..(secs * 10) {
+                std::thread::sleep(Duration::from_millis(100));
+                if core.pool.lock().unwrap().is_none() {
+                    return;
+                }
+            }
+            let text = core.scrape_prom();
+            let tmp = out.with_extension("prom.tmp");
+            if std::fs::write(&tmp, text).is_ok() {
+                let _ = std::fs::rename(&tmp, &out);
+            }
+        })
+        .map(|_| ())
+        .map_err(|e| format!("spawn metrics ticker: {e}"))
 }
 
 fn spawn_writer(

@@ -1,0 +1,403 @@
+//! Per-job causal events, the `--events-out` JSONL log, and the crash
+//! flight recorder.
+//!
+//! Every admitted job gets a trace id at admission; the same id tags
+//! the `admit` → `start` → `done` events the pool emits as the job
+//! moves admission→queue→exec→journal→reply, and is echoed on the
+//! response line (`"trace":"t42"`), so a client-visible result can be
+//! joined back to its full causal trail with per-phase timing and the
+//! graph epoch it executed against.
+//!
+//! Events flow into two places:
+//!
+//! - an optional JSONL file (`--events-out`), one event object per
+//!   line, written through a buffered writer and flushed per event so
+//!   `tail -f` sees jobs as they happen;
+//! - an always-on bounded ring of the most recent
+//!   [`FLIGHT_RING_CAP`] event lines — the *flight recorder* —
+//!   persisted as `flight.json` on panic, SIGTERM, and chaos kill, so
+//!   a dead daemon leaves a postmortem of its last moments.
+//!
+//! Cost discipline (PR 4): with no sink attached the pool pays
+//! nothing; with a sink attached the hot-path gate is
+//! [`EventSink::armed`] — one relaxed atomic load — before any string
+//! is built.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use phigraph_trace::json::{quote, JsonBuf};
+
+use crate::job::{one_line, JobResult, JobSpec};
+
+/// How many recent event lines the flight recorder retains.
+pub const FLIGHT_RING_CAP: usize = 256;
+
+/// Schema tag on persisted flight-recorder files.
+pub const FLIGHT_SCHEMA: &str = "phigraph-flight-v1";
+
+const ARM_RING: u8 = 1;
+const ARM_FILE: u8 = 2;
+
+#[derive(Debug)]
+struct SinkInner {
+    /// Bitmask of `ARM_*`; `0` means every emit is a no-op. The one
+    /// relaxed load of this field is the entire hot-path cost when off.
+    armed: AtomicU8,
+    /// Monotonic trace-id source (first id is 1; 0 means "untraced").
+    seq: AtomicU64,
+    /// Timestamp origin for the `t_ms` field on every event.
+    origin: Instant,
+    /// The flight ring: most recent event lines, oldest first.
+    ring: Mutex<VecDeque<String>>,
+    /// Events pushed out of the ring since the sink was created.
+    dropped: AtomicU64,
+    /// The `--events-out` JSONL writer, when configured.
+    file: Mutex<Option<BufWriter<File>>>,
+}
+
+/// A cloneable handle to one daemon incarnation's event stream: the
+/// JSONL event log plus the crash flight recorder. See the module docs.
+#[derive(Clone, Debug)]
+pub struct EventSink {
+    inner: Arc<SinkInner>,
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        EventSink::new()
+    }
+}
+
+impl EventSink {
+    /// A sink with the flight ring armed and no event-log file.
+    pub fn new() -> Self {
+        EventSink {
+            inner: Arc::new(SinkInner {
+                armed: AtomicU8::new(ARM_RING),
+                seq: AtomicU64::new(0),
+                origin: Instant::now(),
+                ring: Mutex::new(VecDeque::with_capacity(FLIGHT_RING_CAP)),
+                dropped: AtomicU64::new(0),
+                file: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A sink that additionally appends one JSON object per event to
+    /// the file at `path` (created or truncated).
+    pub fn with_file(path: &str) -> std::io::Result<Self> {
+        let sink = EventSink::new();
+        let f = File::create(path)?;
+        *sink.inner.file.lock().unwrap() = Some(BufWriter::new(f));
+        sink.inner
+            .armed
+            .store(ARM_RING | ARM_FILE, Ordering::Relaxed);
+        Ok(sink)
+    }
+
+    /// The hot-path gate: one relaxed atomic load. Callers skip all
+    /// event construction when this is false.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.inner.armed.load(Ordering::Relaxed) != 0
+    }
+
+    /// A fresh trace id (≥ 1), assigned once per admission attempt.
+    #[inline]
+    pub fn next_trace_id(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Milliseconds since the sink was created, for event timestamps.
+    fn t_ms(&self) -> f64 {
+        self.inner.origin.elapsed().as_micros() as f64 / 1000.0
+    }
+
+    fn push(&self, line: String) {
+        let armed = self.inner.armed.load(Ordering::Relaxed);
+        if armed & ARM_FILE != 0 {
+            let mut guard = self.inner.file.lock().unwrap();
+            let ok = match guard.as_mut() {
+                Some(w) => writeln!(w, "{line}").and_then(|_| w.flush()).is_ok(),
+                None => true,
+            };
+            if !ok {
+                // A dead event log must not take the daemon with it:
+                // drop the writer and keep only the flight ring armed.
+                *guard = None;
+                self.inner.armed.store(ARM_RING, Ordering::Relaxed);
+            }
+        }
+        let mut ring = self.inner.ring.lock().unwrap();
+        if ring.len() == FLIGHT_RING_CAP {
+            ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(line);
+    }
+
+    fn base(&self, ev: &str, trace: u64, id: &str, tenant: &str) -> JsonBuf {
+        let mut b = JsonBuf::obj();
+        b.str("ev", ev);
+        b.num("t_ms", (self.t_ms() * 1000.0).round() / 1000.0);
+        if trace != 0 {
+            b.str("trace", &format!("t{trace}"));
+        }
+        b.str("id", id);
+        b.str("tenant", tenant);
+        b
+    }
+
+    /// A job passed admission: it is journalled and queued.
+    pub fn admit(&self, trace: u64, spec: &JobSpec, degraded: bool) {
+        let mut b = self.base("admit", trace, &spec.id, &spec.tenant);
+        b.str("app", spec.kind.app_name());
+        if spec.replay {
+            b.bool("replay", true);
+        }
+        if degraded {
+            b.bool("degraded", true);
+        }
+        self.push(one_line(b.finish()));
+    }
+
+    /// A job was rejected at admission with the machine-readable `code`
+    /// (`queue_full`, `shed`, `breaker_open`, `shutting_down`).
+    pub fn reject(&self, trace: u64, id: &str, tenant: &str, code: &str) {
+        let mut b = self.base("reject", trace, id, tenant);
+        b.str("code", code);
+        self.push(one_line(b.finish()));
+    }
+
+    /// A worker picked the job up after `wait_us` in the queue, bound
+    /// to graph `epoch`.
+    pub fn start(&self, trace: u64, spec: &JobSpec, wait_us: u64, epoch: u64) {
+        let mut b = self.base("start", trace, &spec.id, &spec.tenant);
+        b.str("app", spec.kind.app_name());
+        b.int("wait_us", wait_us);
+        b.int("epoch", epoch);
+        self.push(one_line(b.finish()));
+    }
+
+    /// The job produced its result (any terminal or shutdown status).
+    /// `journal_us` is the time spent appending the `done` record, the
+    /// third leg of the per-phase breakdown after wait and exec.
+    pub fn done(&self, r: &JobResult, journal_us: u64) {
+        let mut b = self.base("done", r.trace, &r.id, &r.tenant);
+        b.str("app", r.app);
+        b.str("status", r.status.name());
+        b.int("wait_us", r.wait_us);
+        b.int("exec_us", r.exec_us);
+        b.int("journal_us", journal_us);
+        b.int("epoch", r.epoch);
+        if r.replayed {
+            b.bool("replayed", true);
+        }
+        self.push(one_line(b.finish()));
+    }
+
+    /// A daemon lifecycle event (graph swap, signal, recovery…): free
+    /// text under a stable `what` tag.
+    pub fn note(&self, what: &str, detail: &str) {
+        let mut b = JsonBuf::obj();
+        b.str("ev", "note");
+        b.num("t_ms", (self.t_ms() * 1000.0).round() / 1000.0);
+        b.str("what", what);
+        if !detail.is_empty() {
+            b.str("detail", detail);
+        }
+        self.push(one_line(b.finish()));
+    }
+
+    /// Copy of the flight ring, oldest event first.
+    pub fn recent(&self) -> Vec<String> {
+        self.inner.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Flush the JSONL event log (no-op without one). The daemon calls
+    /// this on exit paths that bypass destructors.
+    pub fn flush(&self) {
+        if let Some(w) = self.inner.file.lock().unwrap().as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    /// Persist the flight ring to `path` as one `flight.json` document:
+    /// `{"schema":"phigraph-flight-v1","reason":…,"dropped":…,"events":[…]}`.
+    /// Called from the panic hook, the SIGTERM path, and the chaos
+    /// kill, so it also flushes the event log while it is at it.
+    pub fn persist_flight(&self, path: &Path, reason: &str) -> std::io::Result<()> {
+        self.flush();
+        let events = self.recent();
+        // Event lines are already serialized JSON objects; splice them
+        // into the array verbatim rather than re-parsing.
+        let mut doc = String::with_capacity(events.iter().map(|e| e.len() + 1).sum::<usize>() + 96);
+        doc.push_str("{\"schema\":");
+        doc.push_str(&quote(FLIGHT_SCHEMA));
+        doc.push_str(",\"reason\":");
+        doc.push_str(&quote(reason));
+        doc.push_str(&format!(
+            ",\"dropped\":{}",
+            self.inner.dropped.load(Ordering::Relaxed)
+        ));
+        doc.push_str(",\"events\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(e);
+        }
+        doc.push_str("]}");
+        let mut f = File::create(path)?;
+        f.write_all(doc.as_bytes())?;
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, JobStatus};
+    use phigraph_core::engine::ExecMode;
+    use phigraph_trace::json::Json;
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.to_string(),
+            tenant: "acme".to_string(),
+            kind: JobKind::Wcc,
+            mode: ExecMode::Sequential,
+            deadline_ms: None,
+            integrity: None,
+            replay: false,
+            conn: 0,
+        }
+    }
+
+    fn result(id: &str, trace: u64) -> JobResult {
+        JobResult {
+            id: id.to_string(),
+            tenant: "acme".to_string(),
+            app: "wcc",
+            status: JobStatus::Ok,
+            checksum: 1,
+            supersteps: 2,
+            wait_us: 10,
+            exec_us: 20,
+            epoch: 1,
+            integrity: phigraph_recover::IntegrityMode::Off,
+            replayed: false,
+            conn: 0,
+            trace,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let sink = EventSink::new();
+        let a = sink.next_trace_id();
+        let b = sink.next_trace_id();
+        assert!(a >= 1);
+        assert_eq!(b, a + 1);
+    }
+
+    #[test]
+    fn events_are_one_line_json_with_shared_trace() {
+        let sink = EventSink::new();
+        assert!(sink.armed());
+        let t = sink.next_trace_id();
+        sink.admit(t, &spec("q1"), false);
+        sink.start(t, &spec("q1"), 15, 3);
+        sink.done(&result("q1", t), 7);
+        sink.reject(0, "q2", "acme", "queue_full");
+        let lines = sink.recent();
+        assert_eq!(lines.len(), 4);
+        let want_ev = ["admit", "start", "done", "reject"];
+        for (line, ev) in lines.iter().zip(want_ev) {
+            assert!(!line.contains('\n'));
+            let j = Json::parse(line).unwrap();
+            assert_eq!(j.get("ev").unwrap().as_str(), Some(ev));
+        }
+        // admit/start/done all carry the same trace id.
+        let tag = format!("t{t}");
+        for line in &lines[..3] {
+            let j = Json::parse(line).unwrap();
+            assert_eq!(j.get("trace").unwrap().as_str(), Some(tag.as_str()));
+        }
+        let j = Json::parse(&lines[2]).unwrap();
+        assert_eq!(j.u64_or_0("journal_us"), 7);
+        assert_eq!(j.u64_or_0("epoch"), 1);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_counts_drops() {
+        let sink = EventSink::new();
+        for i in 0..(FLIGHT_RING_CAP + 25) {
+            sink.note("tick", &i.to_string());
+        }
+        let lines = sink.recent();
+        assert_eq!(lines.len(), FLIGHT_RING_CAP);
+        // Oldest events fell out; the newest survives at the back.
+        let last = Json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(
+            last.get("detail").unwrap().as_str(),
+            Some((FLIGHT_RING_CAP + 24).to_string().as_str())
+        );
+    }
+
+    #[test]
+    fn persisted_flight_parses_with_schema_reason_and_drops() {
+        let dir = std::env::temp_dir().join(format!("phigraph-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.json");
+        let sink = EventSink::new();
+        for i in 0..(FLIGHT_RING_CAP + 3) {
+            sink.note("tick", &i.to_string());
+        }
+        sink.persist_flight(&path, "chaos-kill").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let j = Json::parse(&text).unwrap();
+        assert_eq!(j.get("schema").unwrap().as_str(), Some(FLIGHT_SCHEMA));
+        assert_eq!(j.get("reason").unwrap().as_str(), Some("chaos-kill"));
+        assert_eq!(j.u64_or_0("dropped"), 3);
+        assert_eq!(
+            j.get("events").unwrap().as_arr().unwrap().len(),
+            FLIGHT_RING_CAP
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_log_file_gets_one_json_line_per_event() {
+        let dir = std::env::temp_dir().join(format!("phigraph-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = EventSink::with_file(path.to_str().unwrap()).unwrap();
+        let t = sink.next_trace_id();
+        sink.admit(t, &spec("q1"), true);
+        sink.done(&result("q1", t), 0);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            Json::parse(lines[0]).unwrap().get("ev").unwrap().as_str(),
+            Some("admit")
+        );
+        assert_eq!(
+            Json::parse(lines[0])
+                .unwrap()
+                .get("degraded")
+                .unwrap()
+                .as_bool(),
+            Some(true)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

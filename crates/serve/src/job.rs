@@ -11,6 +11,7 @@
 //! {"op":"job","id":"q2","app":"bfs","source":3,"integrity":"frames"}
 //! {"op":"tenant","tenant":"a","weight":4,"cap":2}
 //! {"op":"stats"}
+//! {"op":"stats","format":"prom"}
 //! {"op":"reload","path":"graphs/fresh.bin"}
 //! {"op":"shutdown"}
 //! {"op":"shutdown","mode":"drain"}
@@ -121,7 +122,14 @@ pub enum Request {
         cap: usize,
     },
     /// Ask for the current [`ServeStats`](crate::stats::ServeStats).
-    Stats,
+    Stats {
+        /// `"format":"prom"`: answer with one JSON line whose `text`
+        /// field carries the full Prometheus exposition — counters,
+        /// live histogram snapshots, and sliding-window gauges — taken
+        /// on demand, mid-traffic. The default (`"json"` or absent)
+        /// answers with the compact stats object.
+        prom: bool,
+    },
     /// Hot graph swap: load and validate the CSR at `path`, then swap
     /// the shared graph at a job boundary.
     Reload {
@@ -212,6 +220,12 @@ pub struct JobResult {
     pub replayed: bool,
     /// Frontend connection tag (copied from the spec).
     pub conn: u64,
+    /// Per-job trace id assigned at admission (`0` = no event sink was
+    /// attached, e.g. journal replays from an older incarnation). The
+    /// same id tags every event this job emitted into the JSONL event
+    /// log and the flight recorder, so a response line can be joined
+    /// back to its admission→queue→exec→journal causal trail.
+    pub trace: u64,
 }
 
 /// Collapse a pretty-printed [`JsonBuf`] document onto one line.
@@ -244,6 +258,9 @@ impl JobResult {
         b.int("epoch", self.epoch);
         if self.replayed {
             b.bool("replayed", true);
+        }
+        if self.trace != 0 {
+            b.str("trace", &format!("t{}", self.trace));
         }
         one_line(b.finish())
     }
@@ -387,7 +404,11 @@ pub fn parse_request(line: &str, default_mode: ExecMode, conn: u64) -> Result<Re
             weight: j.get("weight").and_then(|v| v.as_u64()).unwrap_or(1).max(1),
             cap: j.get("cap").and_then(|v| v.as_u64()).unwrap_or(1).max(1) as usize,
         }),
-        "stats" => Ok(Request::Stats),
+        "stats" => match j.get("format").and_then(|v| v.as_str()) {
+            None | Some("json") => Ok(Request::Stats { prom: false }),
+            Some("prom") => Ok(Request::Stats { prom: true }),
+            Some(other) => Err(format!("unknown stats format {other:?}")),
+        },
         "reload" => Ok(Request::Reload {
             path: j
                 .get("path")
@@ -603,8 +624,17 @@ mod tests {
         }
         assert!(matches!(
             parse_request(r#"{"op":"stats"}"#, ExecMode::Locking, 0).unwrap(),
-            Request::Stats
+            Request::Stats { prom: false }
         ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","format":"json"}"#, ExecMode::Locking, 0).unwrap(),
+            Request::Stats { prom: false }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","format":"prom"}"#, ExecMode::Locking, 0).unwrap(),
+            Request::Stats { prom: true }
+        ));
+        assert!(parse_request(r#"{"op":"stats","format":"xml"}"#, ExecMode::Locking, 0).is_err());
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#, ExecMode::Locking, 0).unwrap(),
             Request::Shutdown { requeue: false }
@@ -675,11 +705,14 @@ mod tests {
             integrity: IntegrityMode::Frames,
             replayed: false,
             conn: 0,
+            trace: 0,
         };
         let line = ok.to_line();
         assert!(!line.contains('\n'), "response must be one line: {line:?}");
         let j = Json::parse(&line).unwrap();
         assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        // trace 0 means "no sink": the field is omitted entirely.
+        assert!(j.get("trace").is_none());
         assert_eq!(
             j.get("checksum").unwrap().as_str(),
             Some("0xdeadbeef01020304")
@@ -703,6 +736,13 @@ mod tests {
         };
         let j = Json::parse(&cancelled.to_line()).unwrap();
         assert_eq!(j.get("reason").unwrap().as_str(), Some("deadline"));
+
+        let traced = JobResult {
+            trace: 42,
+            ..ok.clone()
+        };
+        let j = Json::parse(&traced.to_line()).unwrap();
+        assert_eq!(j.get("trace").unwrap().as_str(), Some("t42"));
 
         let replayed = JobResult {
             replayed: true,

@@ -142,6 +142,9 @@ fn done_to_result(j: &Json) -> Option<JobResult> {
         integrity,
         replayed: true,
         conn: 0,
+        // Trace ids are per-incarnation; a replayed result starts a
+        // fresh causal history, so it carries none.
+        trace: 0,
     })
 }
 
@@ -333,6 +336,7 @@ mod tests {
             integrity: IntegrityMode::Off,
             replayed: false,
             conn: 0,
+            trace: 0,
         }
     }
 

@@ -33,6 +33,15 @@
 //! - [`daemon`] — the stdin and unix-socket frontends, hot graph swap
 //!   (`reload`), journal recovery on startup, and clean SIGTERM/SIGINT
 //!   shutdown via [`signals::SignalFd`].
+//! - [`metrics`] — the live observability plane: a sliding-window
+//!   [`MetricsHub`](metrics::MetricsHub) (1s/10s/60s) over the counters
+//!   and histograms, scraped mid-traffic through
+//!   `{"op":"stats","format":"prom"}`, `--metrics-sock`, and
+//!   `--metrics-every` snapshot files.
+//! - [`events`] — per-job causal trace ids
+//!   (admission→queue→exec→journal→reply), the `--events-out` JSONL
+//!   event log, and the crash flight recorder persisted to
+//!   `flight.json` on panic, SIGTERM, and chaos kill.
 //! - [`chaos`] — the seeded `serve-chaos` soak driver: kill/restart/
 //!   reload cycles at overload, asserting zero lost, duplicated, or
 //!   corrupted results.
@@ -41,8 +50,10 @@
 
 pub mod chaos;
 pub mod daemon;
+pub mod events;
 pub mod job;
 pub mod journal;
+pub mod metrics;
 pub mod pool;
 pub mod sched;
 pub mod shed;
@@ -51,8 +62,10 @@ pub mod stats;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use daemon::{run_daemon, DaemonConfig};
+pub use events::{EventSink, FLIGHT_SCHEMA};
 pub use job::{JobKind, JobResult, JobSpec, JobStatus, Request};
 pub use journal::{Journal, Recovery};
+pub use metrics::{live_prometheus_text, MetricsHub, WindowView};
 pub use pool::{values_checksum, AdmitError, DrainMode, ServeConfig, ServePool};
 pub use shed::ShedPolicy;
 pub use stats::{serve_prometheus_text, serve_report_json, ServeStats, TenantStats};

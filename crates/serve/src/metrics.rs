@@ -1,0 +1,409 @@
+//! The live metrics hub: sliding-window aggregation over the serving
+//! counters and log2 histograms.
+//!
+//! Recording stays exactly as cheap as before — the pool's per-tenant
+//! counters and the [`Hist`](phigraph_trace::Hist) registry are plain
+//! relaxed atomics, and nothing on the hot path knows the hub exists.
+//! The hub is a bounded ring of *cumulative* samples (pool stats plus
+//! histogram snapshots) pushed roughly once a second by the daemon's
+//! sampler thread, plus once more at every scrape so a scrape is never
+//! stale. A trailing window is then just `newest − baseline`:
+//! subtracting the youngest sample older than the window edge from the
+//! newest sample yields the counts, rates, and histogram deltas for
+//! exactly that interval ([`HistSnapshot::delta`] keeps torn buckets
+//! non-negative). Three windows are materialized per scrape: 1s, 10s,
+//! and 60s.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use phigraph_trace::{HistSnapshot, TraceSnapshot};
+
+use crate::stats::{append_job_hists, serve_prometheus_text, ServeStats};
+
+/// The trailing windows the hub materializes, in seconds.
+pub const WINDOWS_SECS: [u64; 3] = [1, 10, 60];
+
+/// Seconds between sampler pushes (the ring keeps a bit more than the
+/// largest window's worth).
+pub const SAMPLE_EVERY_SECS: u64 = 1;
+
+const RING_CAP: usize = 90;
+
+/// One cumulative observation of the pool.
+#[derive(Debug)]
+struct Sample {
+    at: Instant,
+    stats: ServeStats,
+    hists: Vec<HistSnapshot>,
+}
+
+/// The sliding-window metrics hub. Cloneable handle; see module docs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsHub {
+    ring: Arc<Mutex<VecDeque<Sample>>>,
+}
+
+/// One materialized trailing window.
+#[derive(Debug)]
+pub struct WindowView {
+    /// Nominal window length in seconds (1, 10, or 60).
+    pub secs: u64,
+    /// Seconds actually covered (shorter than `secs` early in life,
+    /// when the process is younger than the window).
+    pub covered: f64,
+    /// Completed jobs per second over the window, by tenant.
+    pub jobs_per_sec: BTreeMap<String, f64>,
+    /// Jobs waiting for a worker at the newest sample.
+    pub queued: usize,
+    /// Worst shed-ladder level observed across the window's samples.
+    pub shed_level: u8,
+    /// Windowed histogram deltas (values recorded inside the window),
+    /// same order as [`HistKind::ALL`](phigraph_trace::HistKind::ALL).
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl WindowView {
+    /// The windowed histogram named `name`, if histograms were sampled.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+}
+
+impl MetricsHub {
+    /// An empty hub.
+    pub fn new() -> Self {
+        MetricsHub::default()
+    }
+
+    /// Push one cumulative sample: the pool's stats snapshot plus the
+    /// histogram snapshots from the trace (empty when tracing is off).
+    pub fn sample(&self, stats: ServeStats, hists: Vec<HistSnapshot>) {
+        self.push_at(Instant::now(), stats, hists);
+    }
+
+    fn push_at(&self, at: Instant, stats: ServeStats, hists: Vec<HistSnapshot>) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(Sample { at, stats, hists });
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().len()
+    }
+
+    /// True when no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize every window in [`WINDOWS_SECS`] from the current
+    /// ring (empty vec when fewer than one sample exists).
+    pub fn windows(&self) -> Vec<WindowView> {
+        let ring = self.ring.lock().unwrap();
+        let newest = match ring.back() {
+            Some(s) => s,
+            None => return Vec::new(),
+        };
+        WINDOWS_SECS
+            .iter()
+            .map(|&secs| {
+                // Baseline: the youngest sample at or outside the
+                // window edge; a ring younger than the window falls
+                // back to its oldest sample, so early scrapes still
+                // cover everything since startup.
+                let baseline = ring
+                    .iter()
+                    .rev()
+                    .find(|s| newest.at.duration_since(s.at).as_secs_f64() >= secs as f64)
+                    .or_else(|| ring.front())
+                    .unwrap();
+                let covered = newest.at.duration_since(baseline.at).as_secs_f64();
+                let dt = covered.max(1e-3);
+                let mut jobs_per_sec = BTreeMap::new();
+                for (name, t) in &newest.stats.tenants {
+                    let before = baseline
+                        .stats
+                        .tenants
+                        .get(name)
+                        .map(|b| b.completed)
+                        .unwrap_or(0);
+                    jobs_per_sec
+                        .insert(name.clone(), t.completed.saturating_sub(before) as f64 / dt);
+                }
+                let shed_level = ring
+                    .iter()
+                    .filter(|s| newest.at.duration_since(s.at).as_secs_f64() <= secs as f64)
+                    .map(|s| s.stats.shed_level)
+                    .max()
+                    .unwrap_or(newest.stats.shed_level);
+                let hists = newest
+                    .hists
+                    .iter()
+                    .zip(&baseline.hists)
+                    .map(|(now, then)| now.delta(then))
+                    .collect();
+                WindowView {
+                    secs,
+                    covered,
+                    jobs_per_sec,
+                    queued: newest.stats.queued,
+                    shed_level,
+                    hists,
+                }
+            })
+            .collect()
+    }
+
+    /// Append the sliding-window gauge families to a Prometheus
+    /// exposition: per-tenant jobs/sec, queue occupancy, shed level,
+    /// and windowed p50/p99 for the wait/exec/journal-append latency
+    /// histograms, each labelled `window="1s"|"10s"|"60s"`.
+    pub fn append_prometheus_windows(&self, out: &mut String) {
+        let windows = self.windows();
+        if windows.is_empty() {
+            return;
+        }
+        prom_head(
+            out,
+            "phigraph_serve_window_jobs_per_sec",
+            "Completed jobs per second over the trailing window, by tenant.",
+        );
+        for w in &windows {
+            for (tenant, rate) in &w.jobs_per_sec {
+                out.push_str(&format!(
+                    "phigraph_serve_window_jobs_per_sec{{tenant={},window=\"{}s\"}} {rate:.3}\n",
+                    quote(tenant),
+                    w.secs
+                ));
+            }
+        }
+        prom_head(
+            out,
+            "phigraph_serve_window_queued",
+            "Jobs waiting for a worker at the newest sample in the window.",
+        );
+        for w in &windows {
+            out.push_str(&format!(
+                "phigraph_serve_window_queued{{window=\"{}s\"}} {}\n",
+                w.secs, w.queued
+            ));
+        }
+        prom_head(
+            out,
+            "phigraph_serve_window_shed_level",
+            "Worst load-shedding ladder level observed across the window.",
+        );
+        for w in &windows {
+            out.push_str(&format!(
+                "phigraph_serve_window_shed_level{{window=\"{}s\"}} {}\n",
+                w.secs, w.shed_level
+            ));
+        }
+        for (hist, family, help) in [
+            (
+                "job_wait_us",
+                "phigraph_serve_window_job_wait_us",
+                "Windowed queue-wait latency quantiles, µs.",
+            ),
+            (
+                "job_exec_us",
+                "phigraph_serve_window_job_exec_us",
+                "Windowed execution latency quantiles, µs.",
+            ),
+            (
+                "journal_append_us",
+                "phigraph_serve_window_journal_append_us",
+                "Windowed journal-append latency quantiles, µs.",
+            ),
+        ] {
+            prom_head(out, family, help);
+            for w in &windows {
+                let h = w.hist(hist);
+                for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+                    let v = h.and_then(|h| h.quantile_upper(q)).unwrap_or(0);
+                    out.push_str(&format!(
+                        "{family}{{window=\"{}s\",quantile=\"{label}\"}} {v}\n",
+                        w.secs
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn prom_head(out: &mut String, name: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+}
+
+fn quote(s: &str) -> String {
+    phigraph_trace::json::quote(s)
+}
+
+/// The full live Prometheus exposition, assembled on demand: the pool
+/// gauges and per-tenant counters, the current histogram snapshots
+/// (mid-traffic, not just at exit), and the sliding-window section.
+pub fn live_prometheus_text(
+    stats: &ServeStats,
+    snap: Option<&TraceSnapshot>,
+    hub: Option<&MetricsHub>,
+) -> String {
+    let mut out = serve_prometheus_text(stats);
+    if let Some(s) = snap {
+        append_job_hists(&mut out, s);
+    }
+    if let Some(h) = hub {
+        h.append_prometheus_windows(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TenantStats;
+    use phigraph_trace::{Hist, HistKind};
+    use std::time::Duration;
+
+    fn stats_with(tenants: &[(&str, u64)], queued: usize, shed: u8) -> ServeStats {
+        let mut s = ServeStats {
+            queued,
+            shed_level: shed,
+            workers: 2,
+            queue_cap: 64,
+            epoch: 1,
+            ..ServeStats::default()
+        };
+        for (name, completed) in tenants {
+            let mut t = TenantStats::new(1, 1);
+            t.completed = *completed;
+            t.submitted = *completed;
+            s.tenants.insert(name.to_string(), t);
+        }
+        s
+    }
+
+    fn hists_with_waits(values: &[u64]) -> Vec<HistSnapshot> {
+        let wait = Hist::default();
+        for &v in values {
+            wait.record(v);
+        }
+        HistKind::ALL
+            .iter()
+            .map(|&k| {
+                if k == HistKind::JobWaitUs {
+                    wait.snapshot(k)
+                } else {
+                    HistSnapshot::empty(k)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_hub_yields_no_windows_and_no_text() {
+        let hub = MetricsHub::new();
+        assert!(hub.is_empty());
+        assert!(hub.windows().is_empty());
+        let mut out = String::new();
+        hub.append_prometheus_windows(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn windows_subtract_the_right_baseline() {
+        let hub = MetricsHub::new();
+        let now = Instant::now();
+        let t0 = now - Duration::from_secs(30);
+        let t1 = now - Duration::from_secs(12);
+        hub.push_at(t0, stats_with(&[("a", 0)], 0, 0), hists_with_waits(&[]));
+        hub.push_at(
+            t1,
+            stats_with(&[("a", 100)], 4, 3),
+            hists_with_waits(&[8; 100]),
+        );
+        hub.push_at(
+            now,
+            stats_with(&[("a", 160)], 2, 1),
+            hists_with_waits(&[&[8; 100][..], &[64; 60][..]].concat()),
+        );
+        let windows = hub.windows();
+        assert_eq!(windows.len(), WINDOWS_SECS.len());
+
+        // 10s window: baseline is t1 (30s-old t0 also qualifies, but t1
+        // is the *youngest* sample outside the edge) → 60 jobs over 12s.
+        let w10 = &windows[1];
+        assert_eq!(w10.secs, 10);
+        assert!((w10.covered - 12.0).abs() < 0.5);
+        assert!((w10.jobs_per_sec["a"] - 5.0).abs() < 0.5);
+        // Shed level is the max over in-window samples (t1 at level 3
+        // sits outside the 10s edge; only the newest sample counts).
+        assert_eq!(w10.shed_level, 1);
+        // The windowed wait histogram holds only the 60 new records.
+        let wait = w10.hist("job_wait_us").unwrap();
+        assert_eq!(wait.count, 60);
+        assert_eq!(wait.quantile_upper(0.5), Some(127));
+
+        // 60s window: the ring is younger than 60s, so it falls back to
+        // the oldest sample and covers everything since t0.
+        let w60 = &windows[2];
+        assert!((w60.covered - 30.0).abs() < 0.5);
+        assert!((w60.jobs_per_sec["a"] - 160.0 / 30.0).abs() < 0.5);
+        assert_eq!(w60.shed_level, 3);
+        assert_eq!(w60.hist("job_wait_us").unwrap().count, 160);
+        assert_eq!(w60.queued, 2);
+    }
+
+    #[test]
+    fn sixteen_tenant_scrape_has_per_tenant_rates_and_quantiles() {
+        let hub = MetricsHub::new();
+        let names: Vec<String> = (0..16).map(|i| format!("tenant{i:02}")).collect();
+        let now = Instant::now();
+        let zero: Vec<(&str, u64)> = names.iter().map(|n| (n.as_str(), 0)).collect();
+        let busy: Vec<(&str, u64)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), 10 * (i as u64 + 1)))
+            .collect();
+        hub.push_at(
+            now - Duration::from_secs(20),
+            stats_with(&zero, 0, 0),
+            hists_with_waits(&[]),
+        );
+        hub.push_at(now, stats_with(&busy, 7, 2), hists_with_waits(&[50; 200]));
+        let stats = stats_with(&busy, 7, 2);
+        let text = live_prometheus_text(&stats, None, Some(&hub));
+        for n in &names {
+            assert!(
+                text.contains(&format!(
+                    "phigraph_serve_window_jobs_per_sec{{tenant=\"{n}\",window=\"10s\"}}"
+                )),
+                "missing rate series for {n}"
+            );
+        }
+        assert!(text.contains("phigraph_serve_window_shed_level{window=\"10s\"} 2\n"));
+        assert!(text.contains("phigraph_serve_window_queued{window=\"1s\"} 7\n"));
+        assert!(text
+            .contains("phigraph_serve_window_job_wait_us{window=\"60s\",quantile=\"0.5\"} 63\n"));
+        assert!(text
+            .contains("phigraph_serve_window_job_wait_us{window=\"60s\",quantile=\"0.99\"} 63\n"));
+        // Exposition hygiene: HELP and TYPE stay paired.
+        assert_eq!(
+            text.matches("# HELP ").count(),
+            text.matches("# TYPE ").count()
+        );
+    }
+
+    #[test]
+    fn ring_stays_bounded() {
+        let hub = MetricsHub::new();
+        for _ in 0..(RING_CAP + 10) {
+            hub.sample(ServeStats::default(), Vec::new());
+        }
+        assert_eq!(hub.len(), RING_CAP);
+    }
+}

@@ -30,6 +30,7 @@ use phigraph_trace::{HistKind, Phase, Trace};
 
 use phigraph_apps::{Bfs, PageRank, PersonalizedPageRank, Sssp, Wcc};
 
+use crate::events::EventSink;
 use crate::job::{JobKind, JobResult, JobSpec, JobStatus};
 use crate::journal::Journal;
 use crate::sched::{QueuedJob, Scheduler};
@@ -73,6 +74,10 @@ pub struct ServeConfig {
     pub integrity_max: IntegrityMode,
     /// Overload policy: the shedding ladder, or plain queue-full.
     pub shed: ShedPolicy,
+    /// Per-job event sink (trace ids, JSONL event log, flight
+    /// recorder); `None` = no events, zero hot-path cost. With a sink
+    /// attached each emit is gated on one relaxed atomic load.
+    pub events: Option<EventSink>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +98,7 @@ impl Default for ServeConfig {
             default_integrity: IntegrityMode::Off,
             integrity_max: IntegrityMode::Full,
             shed: ShedPolicy::Ladder,
+            events: None,
         }
     }
 }
@@ -295,10 +301,16 @@ impl ServePool {
     /// subsequent submissions are answered from the breaker alone with
     /// an exponentially backed-off retry hint.
     pub fn submit(&self, spec: JobSpec) -> Result<(), AdmitError> {
+        // The one-relaxed-load gate: with no sink (or a disarmed one)
+        // no event is ever built on this path.
+        let sink = self.cfg.events.as_ref().filter(|s| s.armed());
         let _prod = self.shared.prod.lock().unwrap();
         let pending = self.shared.pending.load(Ordering::Acquire);
         let mut st = self.shared.state.lock().unwrap();
         if st.shutdown != Shutdown::None {
+            if let Some(s) = sink {
+                s.reject(0, &spec.id, &spec.tenant, "shutting_down");
+            }
             return Err(AdmitError::Closed);
         }
         let now = Instant::now();
@@ -308,6 +320,9 @@ impl ServePool {
                 let stats = st.sched.stats_mut(&spec.tenant);
                 stats.rejected += 1;
                 stats.breaker += 1;
+                if let Some(s) = sink {
+                    s.reject(0, &spec.id, &spec.tenant, "breaker_open");
+                }
                 return Err(AdmitError::BreakerOpen { retry_after_ms });
             }
         }
@@ -327,12 +342,18 @@ impl ServePool {
             )
         {
             self.note_reject(&mut st, &spec.tenant, now, true);
+            if let Some(s) = sink {
+                s.reject(0, &spec.id, &spec.tenant, "shed");
+            }
             return Err(AdmitError::Shed {
                 retry_after_ms: retry_hint(pending).max(50),
             });
         }
         if pending >= self.shared.queue_cap {
             self.note_reject(&mut st, &spec.tenant, now, false);
+            if let Some(s) = sink {
+                s.reject(0, &spec.id, &spec.tenant, "queue_full");
+            }
             return Err(AdmitError::QueueFull {
                 retry_after_ms: retry_hint(pending),
             });
@@ -353,12 +374,17 @@ impl ServePool {
         }
         let admitted = now;
         let deadline_ms = spec.deadline_ms.or(self.cfg.default_deadline_ms);
+        let trace = sink.map(|s| s.next_trace_id()).unwrap_or(0);
         let job = QueuedJob {
             spec,
             admitted,
             deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
             degraded,
+            trace,
         };
+        if let Some(s) = sink {
+            s.admit(trace, &job.spec, degraded);
+        }
         // SAFETY: `prod` is held, so this thread is the sole producer.
         match unsafe { self.shared.ring.try_push(job) } {
             Ok(()) => {
@@ -370,6 +396,9 @@ impl ServePool {
             }
             Err(job) => {
                 self.note_reject(&mut st, &job.spec.tenant, now, false);
+                if let Some(s) = sink {
+                    s.reject(trace, &job.spec.id, &job.spec.tenant, "queue_full");
+                }
                 Err(AdmitError::QueueFull {
                     retry_after_ms: retry_hint(pending),
                 })
@@ -513,7 +542,11 @@ impl ServePool {
                     if let Some(tx) = &self.tx {
                         for q in dropped {
                             st.sched.stats_mut(&q.spec.tenant).requeued += 1;
-                            let _ = tx.send(abort_result(&q, JobStatus::Requeued));
+                            let r = abort_result(&q, JobStatus::Requeued);
+                            if let Some(s) = self.cfg.events.as_ref().filter(|s| s.armed()) {
+                                s.done(&r, 0);
+                            }
+                            let _ = tx.send(r);
                         }
                     }
                 }
@@ -528,7 +561,11 @@ impl ServePool {
                     if let Some(tx) = &self.tx {
                         for q in dropped {
                             st.sched.stats_mut(&q.spec.tenant).cancelled += 1;
-                            let _ = tx.send(abort_result(&q, JobStatus::Cancelled("shutdown")));
+                            let r = abort_result(&q, JobStatus::Cancelled("shutdown"));
+                            if let Some(s) = self.cfg.events.as_ref().filter(|s| s.armed()) {
+                                s.done(&r, 0);
+                            }
+                            let _ = tx.send(r);
                         }
                     }
                     for r in &st.running {
@@ -576,6 +613,7 @@ fn abort_result(q: &QueuedJob, status: JobStatus) -> JobResult {
         integrity: IntegrityMode::Off,
         replayed: q.spec.replay,
         conn: q.spec.conn,
+        trace: q.trace,
     }
 }
 
@@ -665,6 +703,9 @@ fn worker_loop(idx: usize, shared: Arc<Shared>, cfg: ServeConfig, tx: Sender<Job
         };
 
         let wait_us = q.admitted.elapsed().as_micros() as u64;
+        if let Some(s) = cfg.events.as_ref().filter(|s| s.armed()) {
+            s.start(q.trace, &q.spec, wait_us, epoch);
+        }
         let t0 = Instant::now();
         let t0_ns = tracer.as_ref().map(|t| t.now_ns()).unwrap_or(0);
         let exec = execute(&graph, &q.spec, &cfg, token.clone(), integrity, q.degraded);
@@ -722,17 +763,23 @@ fn worker_loop(idx: usize, shared: Arc<Shared>, cfg: ServeConfig, tx: Sender<Job
             integrity,
             replayed: q.spec.replay,
             conn: q.spec.conn,
+            trace: q.trace,
         };
         // Journal the outcome *before* emitting it: a crash in between
         // re-emits from the journal, never re-runs a completed job.
+        let mut journal_us = 0u64;
         if result.status.is_terminal() {
             if let Some(journal) = &cfg.journal {
                 let t0 = Instant::now();
                 journal.done(&result);
+                journal_us = t0.elapsed().as_micros() as u64;
                 if let Some(trace) = &cfg.trace {
-                    trace.record_hist(HistKind::JournalAppendUs, t0.elapsed().as_micros() as u64);
+                    trace.record_hist(HistKind::JournalAppendUs, journal_us);
                 }
             }
+        }
+        if let Some(s) = cfg.events.as_ref().filter(|s| s.armed()) {
+            s.done(&result, journal_us);
         }
         let _ = tx.send(result);
     }
@@ -754,6 +801,9 @@ fn watchdog_loop(shared: Arc<Shared>, cfg: ServeConfig, tx: Sender<JobResult>, t
                 let result = abort_result(&q, JobStatus::Expired);
                 if let Some(journal) = &cfg.journal {
                     journal.done(&result);
+                }
+                if let Some(s) = cfg.events.as_ref().filter(|s| s.armed()) {
+                    s.done(&result, 0);
                 }
                 let _ = tx.send(result);
             }
@@ -1042,6 +1092,45 @@ mod tests {
         assert_eq!(
             pool.submit(spec("late", "a", JobKind::Wcc)),
             Err(AdmitError::Closed)
+        );
+    }
+
+    #[test]
+    fn event_sink_traces_jobs_admission_to_reply() {
+        use phigraph_trace::json::Json;
+        let g = small_graph();
+        let sink = EventSink::new();
+        let (mut pool, rx) = ServePool::new(
+            Arc::clone(&g),
+            ServeConfig {
+                workers: 1,
+                events: Some(sink.clone()),
+                ..ServeConfig::default()
+            },
+        );
+        pool.submit(spec("t1", "a", JobKind::Wcc)).unwrap();
+        let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(r.status, JobStatus::Ok);
+        assert!(r.trace >= 1, "result must carry the admission trace id");
+        pool.shutdown(true);
+
+        // The flight ring holds the full causal trail for the job, all
+        // three phases tagged with the id echoed on the response line.
+        let tag = format!("t{}", r.trace);
+        let mut phases = Vec::new();
+        for line in sink.recent() {
+            let j = Json::parse(&line).unwrap();
+            if j.get("trace").and_then(|v| v.as_str()) == Some(tag.as_str()) {
+                phases.push(j.get("ev").unwrap().as_str().unwrap().to_string());
+            }
+        }
+        assert_eq!(phases, ["admit", "start", "done"]);
+        // The response line itself exposes the id to clients.
+        assert!(
+            r.to_line().contains(&format!("\"trace\": \"{tag}\"")) || {
+                let j = Json::parse(&r.to_line()).unwrap();
+                j.get("trace").unwrap().as_str() == Some(tag.as_str())
+            }
         );
     }
 

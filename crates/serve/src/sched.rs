@@ -48,6 +48,10 @@ pub struct QueuedJob {
     /// Admitted at shed-ladder level ≥ 1: run with integrity off and
     /// without a per-job trace span.
     pub degraded: bool,
+    /// Trace id assigned at admission (`0` when no event sink is
+    /// attached), carried through pickup and execution so every event
+    /// and the final response line share one causal id.
+    pub trace: u64,
 }
 
 impl Tenant {
@@ -237,6 +241,7 @@ mod tests {
             admitted: Instant::now(),
             deadline: None,
             degraded: false,
+            trace: 0,
         }
     }
 

@@ -151,11 +151,45 @@ impl ServeStats {
 
     /// Render one stats response line for the `{"op":"stats"}` verb.
     pub fn to_line(&self) -> String {
+        self.to_line_with_hists(&[])
+    }
+
+    /// Render one stats response line including on-demand summaries of
+    /// the serving histograms (count, mean, log2-resolution p50/p99).
+    /// This is the live counterpart of the exit-time Prometheus dump:
+    /// histograms used to be visible only after shutdown.
+    pub fn to_line_with_hists(&self, hists: &[phigraph_trace::HistSnapshot]) -> String {
         let mut b = JsonBuf::obj();
         b.str("status", "ok");
         self.write_json(&mut b);
+        let serving: Vec<_> = hists
+            .iter()
+            .filter(|h| is_serving_hist(h.name) && h.count > 0)
+            .collect();
+        if !serving.is_empty() {
+            b.begin_arr("hists");
+            for h in serving {
+                b.elem_obj();
+                b.str("name", h.name);
+                b.int("count", h.count);
+                b.num("mean", h.mean().unwrap_or(0.0));
+                b.int("p50", h.quantile_upper(0.5).unwrap_or(0));
+                b.int("p99", h.quantile_upper(0.99).unwrap_or(0));
+                b.end();
+            }
+            b.end();
+        }
         crate::job::one_line(b.finish())
     }
+}
+
+/// True for the histogram kinds the serving daemon feeds (the ones
+/// worth exporting from `phigraph serve`).
+pub(crate) fn is_serving_hist(name: &str) -> bool {
+    name.starts_with("job_")
+        || name.starts_with("journal_")
+        || name.starts_with("graph_")
+        || name.starts_with("shed_")
 }
 
 /// Full `run_report.json`-compatible document for a serving run: the
@@ -332,11 +366,7 @@ fn quote(s: &str) -> String {
 /// histogram families.
 pub fn append_job_hists(out: &mut String, snap: &phigraph_trace::TraceSnapshot) {
     for h in &snap.hists {
-        let serving = h.name.starts_with("job_")
-            || h.name.starts_with("journal_")
-            || h.name.starts_with("graph_")
-            || h.name.starts_with("shed_");
-        if h.count == 0 || !serving {
+        if h.count == 0 || !is_serving_hist(h.name) {
             continue;
         }
         let name = format!("phigraph_serve_{}", h.name);
@@ -438,5 +468,32 @@ mod tests {
         let j = Json::parse(&line).unwrap();
         assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
         assert_eq!(j.get("serve").unwrap().u64_or_0("running"), 1);
+        // Without histogram snapshots the field is absent entirely.
+        assert!(j.get("hists").is_none());
+    }
+
+    #[test]
+    fn stats_line_carries_on_demand_hist_summaries() {
+        use phigraph_trace::{Hist, HistKind};
+        let wait = Hist::default();
+        for _ in 0..100 {
+            wait.record(12);
+        }
+        let engine_side = Hist::default(); // non-serving: filtered out
+        engine_side.record(5);
+        let hists = vec![
+            wait.snapshot(HistKind::JobWaitUs),
+            engine_side.snapshot(HistKind::FlushBatch),
+            Hist::default().snapshot(HistKind::JobExecUs), // empty: skipped
+        ];
+        let line = sample().to_line_with_hists(&hists);
+        assert!(!line.contains('\n'));
+        let j = Json::parse(&line).unwrap();
+        let arr = j.get("hists").unwrap().as_arr().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("name").unwrap().as_str(), Some("job_wait_us"));
+        assert_eq!(arr[0].u64_or_0("count"), 100);
+        assert_eq!(arr[0].u64_or_0("p50"), 15);
+        assert!((arr[0].f64_or_0("mean") - 12.0).abs() < 1e-9);
     }
 }

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::io::Cursor;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use phigraph_apps::workloads::{pokec_like_weighted, Scale};
 use phigraph_apps::{Bfs, PageRank, Sssp, Wcc};
@@ -237,6 +237,17 @@ fn drain_shutdown_requeues_queued_jobs_for_the_next_incarnation() {
         },
     ))
     .unwrap();
+    // Wait until the worker has actually picked it up — shutting down
+    // before then would (legitimately) requeue all four jobs, but this
+    // test is about the finish-the-running-job half of the contract.
+    let t0 = Instant::now();
+    while pool.stats().running == 0 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "worker never started"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let tail = ["d1", "d2", "d3"];
     for id in tail {
         pool.submit(spec(id, "t", JobKind::Wcc)).unwrap();

@@ -153,6 +153,52 @@ pub struct HistSnapshot {
 }
 
 impl HistSnapshot {
+    /// An all-zero snapshot for `kind` — the identity for [`merge`] and
+    /// the baseline for [`delta`] when no earlier sample exists.
+    ///
+    /// [`merge`]: HistSnapshot::merge
+    /// [`delta`]: HistSnapshot::delta
+    pub fn empty(kind: HistKind) -> Self {
+        HistSnapshot {
+            name: kind.name(),
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Fold `other` into `self` bucket-by-bucket (plus count and sum).
+    /// Merging snapshots of different kinds is a logic error and panics.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        assert_eq!(self.name, other.name, "merging mismatched histograms");
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// The difference `self − earlier`, saturating per bucket: the
+    /// histogram of values recorded *between* the two snapshots. Because
+    /// snapshots of a live histogram are not atomic across buckets, a
+    /// bucket incremented mid-snapshot can appear in `earlier` but not
+    /// yet in `self`; saturation keeps such windows non-negative instead
+    /// of wrapping.
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        assert_eq!(self.name, earlier.name, "delta over mismatched histograms");
+        HistSnapshot {
+            name: self.name,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
     /// Mean recorded value (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
         if self.count == 0 {
@@ -281,6 +327,119 @@ mod tests {
         assert_eq!(s.count, 4000);
         assert_eq!(s.sum, 4 * (999 * 1000 / 2));
         assert_eq!(s.buckets.iter().sum::<u64>(), 4000);
+    }
+
+    #[test]
+    fn empty_snapshot_merges_and_deltas_as_identity() {
+        let empty = HistSnapshot::empty(HistKind::JobWaitUs);
+        assert_eq!(empty.name, "job_wait_us");
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.buckets.len(), BUCKETS);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.quantile_upper(0.99), None);
+        assert!(empty.nonzero().is_empty());
+
+        let h = Hist::default();
+        h.record(5);
+        h.record(9);
+        let s = h.snapshot(HistKind::JobWaitUs);
+
+        // empty is the additive identity for merge …
+        let mut merged = s.clone();
+        merged.merge(&HistSnapshot::empty(HistKind::JobWaitUs));
+        assert_eq!(merged.count, s.count);
+        assert_eq!(merged.sum, s.sum);
+        assert_eq!(merged.buckets, s.buckets);
+        // … and the zero baseline for delta.
+        let d = s.delta(&HistSnapshot::empty(HistKind::JobWaitUs));
+        assert_eq!(d.count, s.count);
+        assert_eq!(d.sum, s.sum);
+        assert_eq!(d.buckets, s.buckets);
+        // Delta of a snapshot against itself is empty.
+        let z = s.delta(&s);
+        assert_eq!(z.count, 0);
+        assert_eq!(z.sum, 0);
+        assert!(z.nonzero().is_empty());
+    }
+
+    #[test]
+    fn single_bucket_snapshot_quantiles_collapse() {
+        let h = Hist::default();
+        for _ in 0..17 {
+            h.record(6); // bit length 3 → bucket 3, upper bound 7.
+        }
+        let s = h.snapshot(HistKind::JobExecUs);
+        assert_eq!(s.nonzero(), vec![(7, 17)]);
+        // Every quantile of a one-bucket histogram is that bucket's
+        // upper bound.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile_upper(q), Some(7), "q={q}");
+        }
+        assert!((s.mean().unwrap() - 6.0).abs() < 1e-9);
+        // Merging two copies doubles counts but leaves quantiles fixed.
+        let mut m = s.clone();
+        m.merge(&s);
+        assert_eq!(m.count, 34);
+        assert_eq!(m.quantile_upper(0.5), Some(7));
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_merge_and_delta() {
+        let h = Hist::default();
+        h.record(u64::MAX); // saturates into the last bucket …
+        h.record(1 << 60); // … as does anything past bucket 32.
+        let s = h.snapshot(HistKind::ExchangeRttUs);
+        assert_eq!(s.buckets[BUCKETS - 1], 2);
+        assert_eq!(s.quantile_upper(0.5), Some(u64::MAX));
+        assert_eq!(s.quantile_upper(1.0), Some(u64::MAX));
+        // The sum wrapped (u64::MAX + 2^60 overflows); count stays exact
+        // and delta/merge stay well-defined on the buckets.
+        let mut doubled = s.clone();
+        doubled.merge(&s);
+        assert_eq!(doubled.buckets[BUCKETS - 1], 4);
+        let back = doubled.delta(&s);
+        assert_eq!(back.buckets[BUCKETS - 1], 2);
+        assert_eq!(back.count, 2);
+        // Torn windows (earlier ahead of later in one bucket) saturate
+        // to zero rather than wrapping to u64::MAX.
+        let torn = s.delta(&doubled);
+        assert_eq!(torn.count, 0);
+        assert_eq!(torn.buckets[BUCKETS - 1], 0);
+    }
+
+    #[test]
+    fn concurrent_record_during_snapshot_stays_consistent() {
+        let h = std::sync::Arc::new(Hist::default());
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        for v in [1u64, 3, 200, 70_000] {
+                            h.record(v);
+                        }
+                    }
+                });
+            }
+            let mut last_total = 0u64;
+            for _ in 0..200 {
+                let snap = h.snapshot(HistKind::JournalAppendUs);
+                let total: u64 = snap.buckets.iter().sum();
+                // Bucket totals never regress across snapshots, and every
+                // windowed delta against the previous snapshot is
+                // non-negative in every bucket (the saturating contract).
+                assert!(total >= last_total);
+                last_total = total;
+                // count is loaded before the buckets and bumped after
+                // the bucket on the record path, so a mid-record
+                // snapshot sees buckets at or ahead of the count —
+                // never behind it.
+                assert!(total >= snap.count);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let fin = h.snapshot(HistKind::JournalAppendUs);
+        assert_eq!(fin.buckets.iter().sum::<u64>(), fin.count);
     }
 
     #[test]

@@ -55,7 +55,7 @@ echo "==> bench smoke: BENCH_*.json emission + regression gate"
 # then prove the gate both passes and trips. Numbers from smoke runs are
 # for trend/gating only; full runs use 'phigraph bench run' without flags.
 "$PHIGRAPH" bench run --out-dir . --smoke --seed 7 --samples 3 --warmup 1
-for area in spsc csb superstep exchange integrity partition objmsg serve serve_degraded; do
+for area in spsc csb superstep exchange integrity partition objmsg serve serve_degraded obs; do
     test -f "BENCH_$area.json" || { echo "missing BENCH_$area.json" >&2; exit 1; }
 done
 if [ -d bench-baseline ]; then
@@ -81,11 +81,14 @@ echo "==> serving smoke: concurrent multi-tenant daemon over stdin"
 # the Prometheus dump must carry per-tenant counters, and the report
 # must decompose the run by tenant.
 SERVE_FIFO="$SMOKE_DIR/serve.fifo"
+MSOCK="$SMOKE_DIR/metrics.sock"
 mkfifo "$SERVE_FIFO"
 "$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 2 --queue-cap 32 \
     --tenants gold:4:2,silver:2:1,bronze:1:1 \
     --report-out "$SMOKE_DIR/serve_report.json" \
     --prom-out "$SMOKE_DIR/serve.prom" \
+    --metrics-sock "$MSOCK" \
+    --events-out "$SMOKE_DIR/serve_events.jsonl" \
     < "$SERVE_FIFO" > "$SMOKE_DIR/serve_out.jsonl" 2>/dev/null &
 SERVE_PID=$!
 # Hold the write end open so every job is in flight before EOF.
@@ -100,9 +103,47 @@ printf '%s\n' \
     '{"id":"q7","tenant":"gold","app":"sssp","sources":[1]}' \
     '{"id":"q8","tenant":"silver","app":"bfs","source":9}' \
     >&9
+# Mid-traffic scrape of the metrics socket while the daemon is live
+# (stdin still open). Give the 1 Hz sampler a beat so the sliding
+# windows have a baseline, then retry until the listener answers.
+sleep 1.5
+SCRAPED=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    if "$PHIGRAPH" top "$MSOCK" --raw --count 1 > "$SMOKE_DIR/scrape.prom" 2>/dev/null \
+        && grep -q '^phigraph_serve_' "$SMOKE_DIR/scrape.prom"; then
+        SCRAPED=yes
+        break
+    fi
+    sleep 0.5
+done
+test -n "$SCRAPED" || { echo "metrics socket never answered" >&2; exit 1; }
+# Prometheus exposition shape: paired HELP/TYPE, no malformed sample
+# lines, live histogram buckets, and the sliding-window gauge families.
+test "$(grep -c '^# HELP' "$SMOKE_DIR/scrape.prom")" \
+    -eq "$(grep -c '^# TYPE' "$SMOKE_DIR/scrape.prom")"
+if grep -v '^#' "$SMOKE_DIR/scrape.prom" | grep -q -v '^[a-zA-Z_][a-zA-Z0-9_]*\({[^}]*}\)\{0,1\} -\{0,1\}[0-9]'; then
+    echo "malformed Prometheus sample line in mid-traffic scrape" >&2
+    exit 1
+fi
+grep -q '_bucket{le=' "$SMOKE_DIR/scrape.prom"
+grep -q 'phigraph_serve_window_jobs_per_sec{tenant="gold",window="10s"}' "$SMOKE_DIR/scrape.prom"
+grep -q 'phigraph_serve_window_shed_level{window="10s"}' "$SMOKE_DIR/scrape.prom"
+grep -q 'quantile="0.99"' "$SMOKE_DIR/scrape.prom"
+# The rendered per-tenant table reads the same scrape.
+"$PHIGRAPH" top "$MSOCK" --count 1 --window 10s | grep -q "gold"
+# The same exposition is reachable in-protocol, mid-traffic.
+printf '%s\n' '{"op":"stats","format":"prom"}' >&9
 exec 9>&-                       # EOF: graceful drain, then exit
 wait "$SERVE_PID"
-test "$(grep -c '"status": "ok"' "$SMOKE_DIR/serve_out.jsonl")" -eq 8
+test "$(grep -c '"status": "ok"' "$SMOKE_DIR/serve_out.jsonl")" -eq 9
+grep '"format": "prom"' "$SMOKE_DIR/serve_out.jsonl" | grep -q 'phigraph_serve_window_queued'
+test ! -e "$MSOCK" || { echo "stale metrics socket left behind" >&2; exit 1; }
+# The JSONL event log threads trace ids admission -> reply, and the
+# report command tallies it (degrading, never erroring, on partials).
+grep -q '"ev": "admit"' "$SMOKE_DIR/serve_events.jsonl"
+grep -q '"ev": "done"' "$SMOKE_DIR/serve_events.jsonl"
+grep '"ev": "done"' "$SMOKE_DIR/serve_events.jsonl" | grep -q '"trace": "t'
+"$PHIGRAPH" report "$SMOKE_DIR/serve_events.jsonl" 2>/dev/null | grep -q "^event log:"
 # Correctness: the daemon's BFS answer equals a one-shot run bit for bit.
 WANT="$("$PHIGRAPH" run bfs "$SMOKE_DIR/g.bin" --checksum | sed -n 's/^checksum=//p')"
 grep '"id": "q1"' "$SMOKE_DIR/serve_out.jsonl" | grep -q "$WANT"
@@ -117,6 +158,7 @@ SERVE_FIFO2="$SMOKE_DIR/serve2.fifo"
 mkfifo "$SERVE_FIFO2"
 "$PHIGRAPH" serve "$SMOKE_DIR/g.bin" --workers 2 \
     --report-out "$SMOKE_DIR/serve_report2.json" \
+    --journal-dir "$SMOKE_DIR/sigterm-journal" \
     < "$SERVE_FIFO2" >/dev/null 2>&1 &
 SERVE2_PID=$!
 exec 8> "$SERVE_FIFO2"
@@ -124,7 +166,10 @@ sleep 1
 kill -TERM "$SERVE2_PID"
 wait "$SERVE2_PID"              # set -e: fails unless the daemon exits 0
 exec 8>&-
-echo "    (8 mixed-tenant jobs ok, checksum parity, clean SIGTERM: ok)"
+# A SIGTERM'd daemon with a journal leaves its flight recording behind.
+"$PHIGRAPH" report "$SMOKE_DIR/sigterm-journal/flight.json" \
+    | grep -q 'flight recording: reason "sigterm"'
+echo "    (8 mixed-tenant jobs + live scrape ok, checksum parity, clean SIGTERM + flight: ok)"
 
 echo "==> chaos smoke: seeded kill/restart/reload soak at 2x admission capacity"
 # 20 in-process daemon incarnations sharing one journal, faults drawn
@@ -136,6 +181,16 @@ echo "==> chaos smoke: seeded kill/restart/reload soak at 2x admission capacity"
     --journal-dir "$SMOKE_DIR/chaos-journal" \
     > "$SMOKE_DIR/chaos.jsonl" 2>/dev/null
 grep -q '"status": "ok"' "$SMOKE_DIR/chaos.jsonl"
+# Every killed incarnation leaves a flight-recorder postmortem; the
+# canonical flight.json must exist and parse whenever a kill fired.
+if grep '"daemon-kill"' "$SMOKE_DIR/chaos.jsonl" | grep -q -v '"daemon-kill": 0'; then
+    test -f "$SMOKE_DIR/chaos-journal/flight.json" \
+        || { echo "chaos kill left no flight.json" >&2; exit 1; }
+    "$PHIGRAPH" report "$SMOKE_DIR/chaos-journal/flight.json" \
+        | grep -q 'flight recording: reason "chaos-kill"'
+    ls "$SMOKE_DIR/chaos-journal"/flight-c*.json >/dev/null 2>&1 \
+        || { echo "chaos kill left no per-cycle flight artifact" >&2; exit 1; }
+fi
 echo "    (20 kill/restart/reload cycles: zero lost, zero corrupted)"
 
 echo "==> journal smoke: kill -9 mid-burst, restart replays bit-identically"

@@ -28,13 +28,13 @@
 use crate::harness::{BenchmarkId, Criterion, Throughput};
 use phigraph_apps::workloads::{self, Scale};
 use phigraph_apps::{SemiClustering, Sssp};
-use phigraph_comm::{loopback_rounds, PcieLink};
+use phigraph_comm::{loopback_all_to_all, loopback_rounds, PcieLink};
 use phigraph_core::benchable::{csb_fixture, shuttle_msgs, spsc_shuttle, superstep_work};
 use phigraph_core::csb::ColumnMode;
 use phigraph_core::engine::obj::run_obj_single;
-use phigraph_core::engine::{run_recoverable, run_single, EngineConfig, ExecMode};
+use phigraph_core::engine::{run_ranks, run_recoverable, run_single, EngineConfig, ExecMode};
 use phigraph_device::DeviceSpec;
-use phigraph_partition::{partition, PartitionScheme, Ratio};
+use phigraph_partition::{partition, partition_n, PartitionScheme, Ratio, Shares};
 use phigraph_recover::{IntegrityMode, MemStore};
 use phigraph_serve::{
     EventSink, JobKind, JobSpec, Journal, MetricsHub, ServeConfig, ServePool, ShedPolicy,
@@ -178,6 +178,51 @@ fn bench_superstep(c: &mut Criterion, opts: &AreaOpts) {
             b.iter(|| run_single(&Sssp { source: 0 }, &graph, spec.clone(), config))
         });
     }
+    // The same run over an N-rank device fabric (rank 0 = CPU locking,
+    // ranks 1.. = MIC pipelined): what the mesh exchange and per-rank
+    // barriers add on top of the single-device superstep.
+    let work = superstep_work(
+        &Sssp { source: 0 },
+        &graph,
+        spec.clone(),
+        &EngineConfig::locking(),
+    );
+    for n in [2usize, 4] {
+        let p = partition_n(
+            &graph,
+            PartitionScheme::hybrid_default(),
+            &Shares::even(n),
+            opts.seed,
+        );
+        let specs: Vec<DeviceSpec> = (0..n)
+            .map(|r| {
+                if r == 0 {
+                    DeviceSpec::xeon_e5_2680()
+                } else {
+                    DeviceSpec::xeon_phi_se10p()
+                }
+            })
+            .collect();
+        let mut configs = vec![EngineConfig::locking()];
+        configs.resize(n, EngineConfig::pipelined());
+        g.throughput(Throughput::Elements(work.total_msgs));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("fabric-n{n}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    run_ranks(
+                        &Sssp { source: 0 },
+                        &graph,
+                        p,
+                        &specs,
+                        &configs,
+                        PcieLink::gen2_x16(),
+                    )
+                })
+            },
+        );
+    }
     g.finish();
 }
 
@@ -194,6 +239,30 @@ fn bench_exchange(c: &mut Criterion, opts: &AreaOpts) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &framed, |b, &framed| {
             b.iter(|| loopback_rounds(PcieLink::gen2_x16(), rounds, payload, framed, opts.seed))
         });
+    }
+    // All-to-all over an N-rank mesh (unframed): rank 0 moves
+    // `payload × 2 × (N-1)` messages per round, so the per-link protocol
+    // cost and the mesh fan-out cost read off the same scale.
+    for ranks in [2usize, 4] {
+        g.throughput(Throughput::Elements(
+            (rounds * payload * 2 * (ranks - 1)) as u64,
+        ));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("mesh-n{ranks}")),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    loopback_all_to_all(
+                        PcieLink::gen2_x16(),
+                        ranks,
+                        rounds,
+                        payload,
+                        false,
+                        opts.seed,
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

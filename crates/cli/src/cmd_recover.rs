@@ -4,7 +4,10 @@
 //! `phigraph run --checkpoint-every`. This subcommand validates each one
 //! with the same decoder the recovery path uses, so "OK" here means the
 //! engine would accept it for `--resume`. Heterogeneous failover runs keep
-//! one store per device (`<dir>/dev0`, `<dir>/dev1`); both are listed.
+//! one store per rank (`<dir>/rank0`..`<dir>/rankN-1`); all are listed.
+//! The legacy 2-device layout (`<dir>/dev0`, `<dir>/dev1`) is still
+//! understood; a directory mixing both layouts is listed with a warning,
+//! since `--resume` would only read the `rank*` stores.
 //!
 //! Runs also drop a `run_report.json` into the checkpoint directory; when
 //! present, the recovery and failover statistics of the run that produced
@@ -21,14 +24,31 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err(format!("no checkpoint directory at {dir}"));
     }
 
-    // A heterogeneous failover run keeps one snapshot store per device.
+    // A heterogeneous failover run keeps one snapshot store per rank
+    // (`rank0`..`rankN-1`); older runs used `dev0`/`dev1`. Learn whichever
+    // layout is present — and if both are, keep going with a warning
+    // rather than refusing to show anything.
     let mut stores: Vec<(String, DirStore)> = Vec::new();
+    let mut legacy: Vec<(String, DirStore)> = Vec::new();
+    for r in 0..phigraph_partition::MAX_RANKS {
+        let sub = format!("{dir}/rank{r}");
+        if std::path::Path::new(&sub).is_dir() {
+            stores.push((format!("rank{r}: "), DirStore::open(&sub)?));
+        }
+    }
     for dev in ["dev0", "dev1"] {
         let sub = format!("{dir}/{dev}");
         if std::path::Path::new(&sub).is_dir() {
-            stores.push((format!("{dev}: "), DirStore::open(&sub)?));
+            legacy.push((format!("{dev}: "), DirStore::open(&sub)?));
         }
     }
+    if !stores.is_empty() && !legacy.is_empty() {
+        println!(
+            "warning: {dir} mixes per-rank (rank*) and legacy (dev*) stores; \
+             listing both, but --resume would only read the rank* layout"
+        );
+    }
+    stores.append(&mut legacy);
     if stores.is_empty() {
         stores.push((String::new(), DirStore::open(dir)?));
     }

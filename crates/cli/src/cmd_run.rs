@@ -9,14 +9,16 @@ use phigraph_comm::PcieLink;
 use phigraph_core::api::VertexProgram;
 use phigraph_core::engine::obj::{run_obj_hetero, run_obj_single};
 use phigraph_core::engine::{
-    run_hetero, run_hetero_failover, run_recoverable, run_single, EngineConfig, ExecMode,
+    run_ranks, run_ranks_failover, run_recoverable, run_single, EngineConfig, ExecMode,
 };
 use phigraph_core::metrics::RunReport;
 use phigraph_device::DeviceSpec;
 use phigraph_graph::state::PodState;
 use phigraph_graph::Csr;
-use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
-use phigraph_recover::{DirStore, FailoverConfig, FailoverPolicy, FaultPlan, IntegrityMode};
+use phigraph_partition::{partition_n, DevicePartition, PartitionScheme, Shares, MAX_RANKS};
+use phigraph_recover::{
+    CheckpointStore, DirStore, FailoverConfig, FailoverPolicy, FaultPlan, IntegrityMode,
+};
 use phigraph_trace::{Trace, TraceLevel};
 use std::io::Write;
 
@@ -198,7 +200,32 @@ fn device_spec(args: &Args) -> Result<DeviceSpec, String> {
     })
 }
 
-fn load_or_build_partition(g: &Csr, args: &Args) -> Result<DevicePartition, String> {
+/// `--devices N`: size of the rank fabric for hetero runs. Rank 0 models
+/// the host CPU; ranks 1..N-1 model coprocessor cards.
+fn device_count(args: &Args) -> Result<usize, String> {
+    let n: usize = args.flag_parse("devices", 2usize)?;
+    if !(2..=MAX_RANKS).contains(&n) {
+        return Err(format!(
+            "--devices {n} out of range (expected 2..={MAX_RANKS})"
+        ));
+    }
+    Ok(n)
+}
+
+/// Device specs for an N-rank fabric: rank 0 is the CPU, the rest MICs.
+fn fabric_specs(n: usize) -> Vec<DeviceSpec> {
+    (0..n)
+        .map(|r| {
+            if r == 0 {
+                DeviceSpec::xeon_e5_2680()
+            } else {
+                DeviceSpec::xeon_phi_se10p()
+            }
+        })
+        .collect()
+}
+
+fn load_or_build_partition(g: &Csr, args: &Args, n: usize) -> Result<DevicePartition, String> {
     if let Some(path) = args.flag("partition") {
         let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
         let p =
@@ -210,10 +237,30 @@ fn load_or_build_partition(g: &Csr, args: &Args) -> Result<DevicePartition, Stri
                 g.num_vertices()
             ));
         }
+        if p.num_ranks() > n {
+            return Err(format!(
+                "partition file assigns {} ranks but --devices is {n}",
+                p.num_ranks()
+            ));
+        }
         Ok(p)
     } else {
-        let ratio: Ratio = args.flag_or("ratio", "1:1").parse()?;
-        Ok(partition(g, PartitionScheme::hybrid_default(), ratio, 7))
+        let shares: Shares = match args.flag("ratio") {
+            Some(s) => s.parse()?,
+            None => Shares::even(n),
+        };
+        if shares.num_ranks() != n {
+            return Err(format!(
+                "--ratio has {} parts but --devices is {n}",
+                shares.num_ranks()
+            ));
+        }
+        Ok(partition_n(
+            g,
+            PartitionScheme::hybrid_default(),
+            &shares,
+            7,
+        ))
     }
 }
 
@@ -292,8 +339,9 @@ where
         );
     }
     let cfg = attach(apply_recovery_flags(engine_config(args)?, args)?, trace);
-    let out = if args.has("hetero") || args.has("partition") {
-        let p = load_or_build_partition(g, args)?;
+    let out = if args.has("hetero") || args.has("partition") || args.has("devices") {
+        let n = device_count(args)?;
+        let p = load_or_build_partition(g, args, n)?;
         let fcfg = failover_config(args)?;
         let mic_cfg = match cfg.mode {
             ExecMode::Locking => cfg.clone(),
@@ -303,7 +351,7 @@ where
             ),
         };
         let cpu_cfg = attach(apply_recovery_flags(EngineConfig::locking(), args)?, trace);
-        // Both sides share one injector so each planned fault fires once.
+        // All ranks share one injector so each planned fault fires once.
         let (cpu_cfg, mic_cfg) = match &cfg.fault_plan {
             Some(inj) => (
                 cpu_cfg.with_fault_plan(inj.clone()),
@@ -311,19 +359,38 @@ where
             ),
             None => (cpu_cfg, mic_cfg),
         };
-        // Each device keeps its own snapshot store under the checkpoint dir.
+        let mut configs = vec![cpu_cfg];
+        configs.resize(n, mic_cfg);
+        // Each rank keeps its own snapshot store under the checkpoint dir
+        // (`rank0`..`rankN-1`); a 2-device resume still accepts the legacy
+        // `dev0`/`dev1` layout written by earlier versions.
         let dir = args.flag_or("checkpoint-dir", "phigraph-ckpt");
-        let mut store0 = DirStore::open(format!("{dir}/dev0"))?;
-        let mut store1 = DirStore::open(format!("{dir}/dev1"))?;
-        let out = run_hetero_failover(
+        let legacy = n == 2
+            && !std::path::Path::new(&format!("{dir}/rank0")).exists()
+            && std::path::Path::new(&format!("{dir}/dev0")).exists();
+        let mut owned: Vec<DirStore> = (0..n)
+            .map(|r| {
+                let sub = if legacy {
+                    format!("{dir}/dev{r}")
+                } else {
+                    format!("{dir}/rank{r}")
+                };
+                DirStore::open(sub)
+            })
+            .collect::<Result<_, _>>()?;
+        let stores: Vec<&mut dyn CheckpointStore> = owned
+            .iter_mut()
+            .map(|s| s as &mut dyn CheckpointStore)
+            .collect();
+        let out = run_ranks_failover(
             program,
             g,
             &p,
-            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
-            [cpu_cfg, mic_cfg],
+            &fabric_specs(n),
+            &configs,
             PcieLink::gen2_x16(),
             &fcfg,
-            [&mut store0, &mut store1],
+            stores,
             args.has("resume"),
         );
         persist_run_report(dir, &out.report, &out.device_reports)?;
@@ -376,21 +443,21 @@ fn drive<P: VertexProgram>(
                 .to_string(),
         );
     }
-    let out = if args.has("hetero") || args.has("partition") {
-        let p = load_or_build_partition(g, args)?;
+    let out = if args.has("hetero") || args.has("partition") || args.has("devices") {
+        let n = device_count(args)?;
+        let p = load_or_build_partition(g, args, n)?;
         let mic_cfg = match engine_config(args)?.mode {
             ExecMode::Locking => EngineConfig::locking(),
             _ => EngineConfig::pipelined(),
         };
-        run_hetero(
+        let mut configs = vec![attach(EngineConfig::locking(), trace)];
+        configs.resize(n, attach(mic_cfg, trace));
+        run_ranks(
             program,
             g,
             &p,
-            [DeviceSpec::xeon_e5_2680(), DeviceSpec::xeon_phi_se10p()],
-            [
-                attach(EngineConfig::locking(), trace),
-                attach(mic_cfg, trace),
-            ],
+            &fabric_specs(n),
+            &configs,
             PcieLink::gen2_x16(),
         )
     } else {
@@ -411,8 +478,15 @@ fn drive_semicluster(g: &Csr, args: &Args, iters: usize, trace: Option<&Trace>) 
         iterations: iters.min(12),
         ..Default::default()
     };
-    let out = if args.has("hetero") || args.has("partition") {
-        let p = load_or_build_partition(g, args)?;
+    let out = if args.has("hetero") || args.has("partition") || args.has("devices") {
+        if device_count(args)? > 2 {
+            return Err(
+                "semicluster runs on at most 2 devices (object messages are not \
+                 yet rank-fabric aware); drop --devices or set it to 2"
+                    .to_string(),
+            );
+        }
+        let p = load_or_build_partition(g, args, 2)?;
         run_obj_hetero(
             &sc,
             g,

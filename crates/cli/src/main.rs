@@ -12,10 +12,11 @@
 //! phigraph partition <graph> <out.part> [--scheme continuous|round-robin|hybrid]
 //!                    [--ratio A:B] [--blocks N] [--seed N]
 //! phigraph run <app> <graph> [--engine lock|pipe|omp|seq] [--device cpu|mic]
-//!              [--partition file.part | --hetero] [--ratio A:B]
+//!              [--partition file.part | --hetero | --devices N] [--ratio A:B:...]
 //!              [--source N] [--iters N] [--out values.txt]
 //!              [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
 //!              [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+//!              [--failover migrate|retry|off] [--watchdog-ms N] [--rebalance-after N]
 //!              [--integrity off|frames|full] [--scrub-every N]
 //!              [--trace-out FILE] [--trace-format chrome|json|prom]
 //!              [--trace-level off|phase|fine]
@@ -93,17 +94,21 @@ commands:
   partition <graph> <out.part> [--scheme continuous|round-robin|hybrid] [--ratio A:B] [--blocks N] [--seed N]
   run <pagerank|ppr|bfs|sssp|toposort|wcc|kcore|semicluster> <graph>
       [--engine lock|pipe|omp|seq] [--device cpu|mic]
-      [--partition file.part | --hetero] [--ratio A:B]
+      [--partition file.part | --hetero | --devices N] [--ratio A:B[:C...]]
       [--source N] [--iters N] [--out values.txt] [--checksum]
       [--checkpoint-every K] [--checkpoint-dir DIR] [--resume]
       [--faults step:kind[:dev],...] [--max-retries N] [--backoff-ms N]
+      [--failover migrate|retry|off] [--watchdog-ms N] [--rebalance-after N]
       [--integrity off|frames|full] [--scrub-every N]
       [--trace-out FILE] [--trace-format chrome|json|prom] [--trace-level off|phase|fine]
       (fault kinds: worker|mover|insert|checkpoint|exchange|crash|hang|slow
+                    |crash-rank:K|partition-link:I-J
                     |bitflip-msg|bitflip-state|truncate-frame
                     |daemon-kill|worker-hang|slow-client|malformed-line;
-       checkpoint/resume/integrity: pagerank|bfs|sssp|wcc with --engine lock|pipe;
-       chrome traces load in Perfetto / chrome://tracing)
+       --devices N runs an N-rank fabric (rank 0 = CPU, ranks 1.. = MIC);
+       --ratio then takes N colon-separated shares and snapshots live under
+       <dir>/rank0..rankN-1; checkpoint/resume/integrity: pagerank|bfs|sssp|wcc
+       with --engine lock|pipe; chrome traces load in Perfetto / chrome://tracing)
   serve <graph> [--workers N] [--queue-cap N] [--engine lock|pipe|omp|seq] [--device cpu|mic]
         [--socket PATH] [--tenants name:weight:cap,...] [--default-weight N] [--default-cap N]
         [--deadline-ms N] [--report-out FILE] [--prom-out FILE] [--trace-level off|phase|fine]

@@ -125,7 +125,9 @@ struct Packet<M> {
     frame: Option<FrameHeader>,
 }
 
-/// One side of the CPU↔MIC link.
+/// One side of a rank↔rank link. In the paper's 2-device topology this is
+/// the CPU↔MIC PCIe link; the N-rank fabric holds one endpoint per
+/// (rank, peer) pair.
 pub struct Endpoint<M> {
     tx: SyncSender<Packet<M>>,
     rx: Receiver<Packet<M>>,
@@ -134,8 +136,10 @@ pub struct Endpoint<M> {
     drop_next: AtomicBool,
     /// The link model used for simulated transfer time.
     pub link: PcieLink,
-    /// 0 = CPU ("Rank 0"), 1 = MIC ("Rank 1").
+    /// This side's rank id (0 = CPU in the 2-device topology).
     pub rank: usize,
+    /// The rank id on the other side of the link.
+    pub peer: usize,
 }
 
 /// Deadline applied when a caller does not supply one: long enough that no
@@ -143,8 +147,20 @@ pub struct Endpoint<M> {
 /// forever when a peer is truly gone.
 pub const DEFAULT_EXCHANGE_DEADLINE: Duration = Duration::from_secs(30);
 
-/// Create a connected pair of endpoints over `link`.
+/// Create a connected pair of endpoints over `link` (ranks 0 and 1).
 pub fn duplex_pair<M: Send>(link: PcieLink) -> (Endpoint<M>, Endpoint<M>) {
+    duplex_pair_ranked(link, 0, 1)
+}
+
+/// Create a connected pair of endpoints over `link` between two arbitrary
+/// ranks: the first returned endpoint belongs to `rank_a`, the second to
+/// `rank_b`. Building an all-to-all fabric is one call per rank pair.
+pub fn duplex_pair_ranked<M: Send>(
+    link: PcieLink,
+    rank_a: usize,
+    rank_b: usize,
+) -> (Endpoint<M>, Endpoint<M>) {
+    assert!(rank_a != rank_b, "a link needs two distinct ranks");
     let (tx0, rx1) = sync_channel(1);
     let (tx1, rx0) = sync_channel(1);
     (
@@ -153,16 +169,38 @@ pub fn duplex_pair<M: Send>(link: PcieLink) -> (Endpoint<M>, Endpoint<M>) {
             rx: rx0,
             drop_next: AtomicBool::new(false),
             link,
-            rank: 0,
+            rank: rank_a,
+            peer: rank_b,
         },
         Endpoint {
             tx: tx1,
             rx: rx1,
             drop_next: AtomicBool::new(false),
             link,
-            rank: 1,
+            rank: rank_b,
+            peer: rank_a,
         },
     )
+}
+
+/// Build the full N-rank mesh: one duplex link per unordered rank pair.
+/// Returns, for each rank, its endpoints sorted by ascending peer id. The
+/// engines iterate peers in exactly that order, which is deadlock-free
+/// because sends never block (each link's channel has capacity 1 and is
+/// empty at the start of a round).
+pub fn mesh<M: Send>(link: PcieLink, ranks: &[usize]) -> Vec<Vec<Endpoint<M>>> {
+    let mut eps: Vec<Vec<Endpoint<M>>> = ranks.iter().map(|_| Vec::new()).collect();
+    for i in 0..ranks.len() {
+        for j in (i + 1)..ranks.len() {
+            let (a, b) = duplex_pair_ranked(link, ranks[i], ranks[j]);
+            eps[i].push(a);
+            eps[j].push(b);
+        }
+    }
+    for side in &mut eps {
+        side.sort_by_key(|e| e.peer);
+    }
+    eps
 }
 
 impl<M: Send> Endpoint<M> {
@@ -294,7 +332,7 @@ impl<M: Send> Endpoint<M> {
         };
         if poisoned || pkt.poisoned {
             return Err(ExchangeError::Dropped(ExchangeDropped {
-                dropped_by: if poisoned { self.rank } else { 1 - self.rank },
+                dropped_by: if poisoned { self.rank } else { self.peer },
             }));
         }
         let stats = ExchangeStats {
@@ -401,7 +439,57 @@ mod tests {
     fn ranks_are_assigned() {
         let (a, b) = duplex_pair::<()>(PcieLink::ideal());
         assert_eq!(a.rank, 0);
+        assert_eq!(a.peer, 1);
         assert_eq!(b.rank, 1);
+        assert_eq!(b.peer, 0);
+    }
+
+    #[test]
+    fn ranked_pairs_carry_arbitrary_ids() {
+        let (a, b) = duplex_pair_ranked::<u32>(PcieLink::ideal(), 2, 5);
+        assert_eq!((a.rank, a.peer), (2, 5));
+        assert_eq!((b.rank, b.peer), (5, 2));
+        // dropped_by names the injecting side by its real rank id.
+        a.inject_fault();
+        let t = std::thread::spawn(move || {
+            let err = b.try_exchange(vec![1], 4, true).unwrap_err();
+            assert_eq!(err.dropped_by, 2);
+        });
+        let err = a.try_exchange(vec![1], 4, true).unwrap_err();
+        assert_eq!(err.dropped_by, 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn mesh_connects_every_pair_in_peer_order() {
+        let eps = mesh::<u32>(PcieLink::ideal(), &[0, 1, 2, 3]);
+        assert_eq!(eps.len(), 4);
+        for (i, side) in eps.iter().enumerate() {
+            let peers: Vec<usize> = side.iter().map(|e| e.peer).collect();
+            let want: Vec<usize> = (0..4).filter(|&j| j != i).collect();
+            assert_eq!(peers, want, "rank {i}");
+            assert!(side.iter().all(|e| e.rank == i));
+        }
+        // All-to-all round: every rank sends its id to every peer.
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, side)| {
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for ep in &side {
+                        let (incoming, _, _) = ep.exchange(vec![i as u32], 4, true);
+                        got.extend(incoming);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let got = h.join().unwrap();
+            let want: Vec<u32> = (0..4u32).filter(|&j| j != i as u32).collect();
+            assert_eq!(got, want, "rank {i}");
+        }
     }
 
     #[test]

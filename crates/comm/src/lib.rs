@@ -23,10 +23,10 @@ pub mod message;
 
 pub use combiner::combine_messages;
 pub use exchange::{
-    duplex_pair, Endpoint, ExchangeDropped, ExchangeError, ExchangeStats, ExchangeTimeout,
-    PeerInfo, DEFAULT_EXCHANGE_DEADLINE,
+    duplex_pair, duplex_pair_ranked, mesh, Endpoint, ExchangeDropped, ExchangeError, ExchangeStats,
+    ExchangeTimeout, PeerInfo, DEFAULT_EXCHANGE_DEADLINE,
 };
 pub use frame::{FrameError, FrameHeader};
 pub use link::PcieLink;
-pub use loopback::{loopback_rounds, LoopbackStats};
+pub use loopback::{loopback_all_to_all, loopback_rounds, LoopbackStats};
 pub use message::WireMsg;

@@ -83,6 +83,65 @@ pub fn loopback_rounds(
     stats
 }
 
+/// Drive `rounds` lock-step all-to-all rounds over an N-rank
+/// [`mesh`](crate::exchange::mesh): every rank exchanges `msgs_per_round`
+/// messages with every peer (ascending peer order, the engines' order) per
+/// round, optionally sealing/verifying a [`FrameHeader`] per link. Returns
+/// rank 0's stats; `ranks = 2` measures the same protocol as
+/// [`loopback_rounds`] over the pairwise link.
+pub fn loopback_all_to_all(
+    link: PcieLink,
+    ranks: usize,
+    rounds: usize,
+    msgs_per_round: usize,
+    framed: bool,
+    seed: u64,
+) -> LoopbackStats {
+    assert!(ranks >= 2, "all-to-all needs at least two ranks");
+    let ids: Vec<usize> = (0..ranks).collect();
+    let mut eps = crate::exchange::mesh::<WireMsg<f32>>(link, &ids);
+    let payload = move |rank: u64| -> Vec<WireMsg<f32>> {
+        (0..msgs_per_round as u64)
+            .map(|i| WireMsg {
+                dst: (seed.wrapping_add(rank).wrapping_add(i) % 1024) as u32,
+                value: (i % 97) as f32,
+            })
+            .collect()
+    };
+    let bytes = (msgs_per_round * std::mem::size_of::<WireMsg<f32>>()) as u64;
+    let run_rank = move |rank: usize, side: Vec<crate::exchange::Endpoint<WireMsg<f32>>>| {
+        let out = payload(rank as u64);
+        let mut stats = LoopbackStats::default();
+        for step in 0..rounds {
+            for ep in &side {
+                let frame = framed.then(|| FrameHeader::seal(step as u64, &out));
+                let (msgs, peer_frame, _, xstats) = ep
+                    .try_exchange_framed(out.clone(), frame, bytes, true, 0.0, None)
+                    .expect("loopback exchange cannot fail");
+                if let Some(f) = peer_frame {
+                    f.verify(step as u64, &msgs).expect("loopback frame intact");
+                    stats.frames_verified += 1;
+                }
+                stats.msgs_moved += xstats.msgs_sent + xstats.msgs_recv;
+                stats.sim_time += xstats.sim_time;
+            }
+            stats.rounds += 1;
+        }
+        stats
+    };
+    let mine = eps.remove(0);
+    let peers: Vec<_> = eps
+        .into_iter()
+        .enumerate()
+        .map(|(i, side)| std::thread::spawn(move || run_rank(i + 1, side)))
+        .collect();
+    let stats = run_rank(0, mine);
+    for p in peers {
+        p.join().expect("loopback peer thread");
+    }
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +175,31 @@ mod tests {
         let s = loopback_rounds(PcieLink::ideal(), 3, 0, true, 1);
         assert_eq!(s.rounds, 3);
         assert_eq!(s.msgs_moved, 0);
+    }
+
+    #[test]
+    fn all_to_all_two_ranks_matches_pairwise_accounting() {
+        let pair = loopback_rounds(PcieLink::ideal(), 10, 64, false, 7);
+        let mesh = loopback_all_to_all(PcieLink::ideal(), 2, 10, 64, false, 7);
+        assert_eq!(mesh.rounds, pair.rounds);
+        assert_eq!(mesh.msgs_moved, pair.msgs_moved);
+        assert_eq!(mesh.frames_verified, pair.frames_verified);
+    }
+
+    #[test]
+    fn all_to_all_four_ranks_moves_messages_over_every_link() {
+        let s = loopback_all_to_all(PcieLink::gen2_x16(), 4, 6, 32, true, 11);
+        assert_eq!(s.rounds, 6);
+        // Rank 0 has 3 links, each moving 32 messages out and 32 back.
+        assert_eq!(s.msgs_moved, 6 * 3 * 32 * 2);
+        assert_eq!(s.frames_verified, 6 * 3);
+        assert!(s.sim_time > 0.0);
+    }
+
+    #[test]
+    fn all_to_all_is_deterministic_in_structure() {
+        let a = loopback_all_to_all(PcieLink::ideal(), 3, 4, 16, true, 42);
+        let b = loopback_all_to_all(PcieLink::ideal(), 3, 4, 16, true, 42);
+        assert_eq!(a, b);
     }
 }

@@ -243,18 +243,25 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
             }
         };
         // Message capacity per owned vertex: local in-degree plus one slot
-        // for the peer's combined remote message — unless the program
-        // declares its own bound (programs that message beyond their
-        // out-neighborhood, like WCC).
+        // per remote *sender rank* (each peer combines its messages to a
+        // destination into one) — unless the program declares its own bound
+        // (programs that message beyond their out-neighborhood, like WCC).
+        let num_ranks = assign.map_or(1, |a| a.iter().copied().max().map_or(1, |m| m as usize + 1));
+        assert!(
+            num_ranks <= phigraph_partition::MAX_RANKS,
+            "assignment names rank {} but the fabric caps at {} ranks",
+            num_ranks - 1,
+            phigraph_partition::MAX_RANKS
+        );
         let mut local_in = vec![0u32; n];
-        let mut remote_in = vec![false; n];
+        let mut remote_mask = vec![0u64; n];
         let is_local = |v: VertexId| assign.is_none_or(|a| a[v as usize] == dev_id);
         for (s, d) in graph.edge_iter() {
             if is_local(d) {
                 if is_local(s) {
                     local_in[d as usize] += 1;
                 } else {
-                    remote_in[d as usize] = true;
+                    remote_mask[d as usize] |= 1 << assign.expect("remote sender")[s as usize];
                 }
             }
         }
@@ -262,9 +269,9 @@ impl<'g, P: VertexProgram> DeviceEngine<'g, P> {
             .iter()
             .map(|&v| match program.capacity_hint(v, graph) {
                 // Custom bound: all senders might be local, plus one
-                // combined remote message in heterogeneous runs.
-                Some(hint) => hint + u32::from(assign.is_some()),
-                None => local_in[v as usize] + u32::from(remote_in[v as usize]),
+                // combined remote message per peer rank.
+                Some(hint) => hint + (num_ranks - 1) as u32,
+                None => local_in[v as usize] + remote_mask[v as usize].count_ones(),
             })
             .collect();
 

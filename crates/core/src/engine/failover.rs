@@ -1,39 +1,49 @@
-//! Live device failover for the heterogeneous CPU-MIC engine.
+//! Live rank failover for the N-device fabric.
 //!
-//! The plain hetero drivers assume both devices survive the whole run;
-//! [`run_hetero_recovering`] treats any fault as a whole-run retry. Real
-//! heterogeneous deployments lose or stall *one* device far more often than
-//! both, so this driver degrades gracefully instead:
+//! The plain rank drivers assume every device survives the whole run;
+//! [`run_ranks_recovering`] treats any fault as a whole-run retry. Real
+//! heterogeneous deployments lose or stall *one* rank far more often than
+//! all of them, so this driver maintains a live membership instead:
 //!
-//! * **Liveness**: each device ticks a [`Heartbeat`] at every phase
+//! * **Liveness**: each rank ticks a [`Heartbeat`] at every phase
 //!   boundary, a watchdog thread polls those beacons against the configured
-//!   deadline, and every exchange uses the timeout-capable
-//!   [`Endpoint::try_exchange_deadline`] — nothing in this driver blocks
-//!   unboundedly.
-//! * **Detection**: a crashed device tears its link endpoint down (the
-//!   survivor sees `PeerDead` immediately); a hung device keeps the channel
-//!   alive but goes silent (the survivor sees `ExchangeTimeout` after the
-//!   deadline, and the watchdog records the detection latency).
-//! * **Migration** (the default policy): the survivor loads the newest
-//!   valid barrier snapshot common to both per-device stores, remaps the
-//!   lost device's partition onto itself, and replays from that barrier in
-//!   degraded single-host mode. The replay hosts *both* device engines in
-//!   lockstep with their original configs and the original partition, so
-//!   every per-engine reduction order is preserved and the result is
-//!   bit-identical to a fault-free run — even for order-sensitive `f32`
-//!   combiners.
-//! * **Rebalancing**: a device that merely *slows down* (a straggler, not a
-//!   corpse) is detected from the per-superstep simulated step times the
-//!   devices piggyback on every exchange; after `rebalance_after`
-//!   consecutive lopsided steps both sides leave the loop at the same
-//!   barrier and the partition is re-derived at a ratio proportional to the
-//!   observed throughputs.
-//! * **Rollback**: a dropped exchange (both sides observe it at the same
-//!   barrier) rolls both devices back to the newest common snapshot and
+//!   deadline, and every per-link exchange carries a timeout — nothing in
+//!   this driver blocks unboundedly.
+//! * **Detection**: a crashed rank tears all its link endpoints down (every
+//!   peer sees `PeerDead` immediately); a hung rank keeps its channels
+//!   alive but goes silent (peers see a timeout after the deadline, and the
+//!   watchdog records the detection latency).
+//! * **Eviction & migration** (the default policy): the failed ranks are
+//!   evicted from the membership at the failure barrier `s*`. With one
+//!   survivor left, it hosts *every* current engine in lockstep with the
+//!   current assignment and replays to completion — bit-identical by
+//!   construction, including order-sensitive `f32` combiners. With two or
+//!   more survivors, the driver reconstructs the exact barrier state at
+//!   `s*` (catch-up replay under the old assignment when the newest common
+//!   snapshot is older), re-splits the dead ranks' partition over the
+//!   survivors proportionally to their shares, and continues live — so a
+//!   second (or third) failure later in the run cascades through the same
+//!   machinery onto any survivor subset.
+//! * **Verdict sync on link partitions**: when a *link* dies but both of
+//!   its ends are alive, exactly one deterministic side — the higher rank —
+//!   is evicted, so survivors re-anchor on the smallest live rank instead
+//!   of splitting into two mutually-suspicious halves.
+//! * **Rebalancing**: a rank that merely *slows down* (a straggler, not a
+//!   corpse) is detected from the per-superstep simulated step times every
+//!   rank piggybacks on every exchange; after `rebalance_after` consecutive
+//!   lopsided barriers all ranks leave the loop at the same barrier and the
+//!   live ranks' shares are re-derived proportionally to the observed
+//!   throughputs.
+//! * **Rollback**: a dropped exchange (all parties observe it at the same
+//!   barrier) rolls every rank back to the newest common snapshot and
 //!   replays — bounded by the retry budget — instead of restarting the
 //!   whole run.
 //!
-//! [`run_hetero_recovering`]: crate::engine::hetero::run_hetero_recovering
+//! The 2-device path is the N = 2 instance of this machinery, not a
+//! parallel implementation: [`run_hetero_failover`] simply forwards to
+//! [`run_ranks_failover`].
+//!
+//! [`run_ranks_recovering`]: crate::engine::hetero::run_ranks_recovering
 
 use crate::api::VertexProgram;
 use crate::engine::config::EngineConfig;
@@ -41,13 +51,13 @@ use crate::engine::device::DeviceEngine;
 use crate::engine::flat::run_cap;
 use crate::engine::integrity::framed_exchange;
 use crate::engine::seq::run_seq_resume;
-use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
+use crate::metrics::{combine_ranks, RunOutput, RunReport, StepReport};
 use phigraph_comm::message::wire_bytes;
-use phigraph_comm::{combine_messages, duplex_pair, Endpoint, ExchangeError, PcieLink, WireMsg};
+use phigraph_comm::{combine_messages, mesh, Endpoint, ExchangeError, PcieLink, WireMsg};
 use phigraph_device::{CostModel, DeviceSpec, Heartbeat, StepCounters};
 use phigraph_graph::state::{decode_state_slice, encode_state_slice, PodState};
 use phigraph_graph::Csr;
-use phigraph_partition::{partition, DevicePartition};
+use phigraph_partition::{partition_n, DevicePartition, Shares};
 use phigraph_recover::{
     CheckpointStore, FailoverConfig, FailoverPolicy, FailoverStats, FaultInjector, FaultKind,
     IntegrityStats, RecoveryPolicy, RecoveryStats, Snapshot,
@@ -64,30 +74,34 @@ const REBALANCE_SEED: u64 = 7;
 /// Sentinel for "not detected" in the watchdog's latency slots.
 const UNDETECTED: u64 = u64::MAX;
 
-/// How one device loop ended. `Hung` keeps the link endpoint alive inside
-/// the variant so the peer observes a *silent* (timeout) failure rather
-/// than a dead channel — exactly the difference between a hang and a crash.
+/// How one rank loop ended. `Hung` keeps every link endpoint alive inside
+/// the variant so peers observe a *silent* (timeout) failure rather than a
+/// dead channel — exactly the difference between a hang and a crash.
 enum LoopExit<M: Send> {
     /// Global termination (or superstep cap) reached.
     Done,
-    /// An injected `CrashDevice` fault: the endpoint is torn down.
+    /// An injected `CrashDevice`/`CrashRank` fault: all endpoints torn down.
     Crashed { step: usize },
-    /// An injected `HangDevice` fault: the endpoint stays alive but silent.
+    /// An injected `HangDevice` fault: endpoints stay alive but silent.
     Hung {
         step: usize,
-        _keep_alive: Endpoint<WireMsg<M>>,
+        _keep_alive: Vec<Endpoint<WireMsg<M>>>,
     },
-    /// The peer's endpoint disappeared (peer crashed).
+    /// A peer's endpoint disappeared (that peer crashed).
     PeerDead { step: usize },
-    /// The peer went silent past the deadline (peer hung).
+    /// A peer went silent past the deadline (that peer hung).
     PeerTimeout { step: usize, waited_ms: u64 },
-    /// The exchange was dropped on the link (both sides observe this).
+    /// The exchange was dropped on a link (both ends observe this).
     ExchangeDrop { step: usize },
-    /// Straggler threshold reached; both sides leave at the same barrier.
+    /// An injected `PartitionLink` severed the link to `high`; this end
+    /// (the lower rank, which armed the fault) names the pair so the
+    /// driver can evict the deterministic side.
+    LinkPartitioned { step: usize, low: u8, high: u8 },
+    /// Straggler threshold reached; all ranks leave at the same barrier.
     Rebalance { step: usize },
 }
 
-/// Plain-data view of [`LoopExit`] (drops the kept-alive endpoint).
+/// Plain-data view of [`LoopExit`] (drops the kept-alive endpoints).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ExitKind {
     Done,
@@ -96,34 +110,57 @@ enum ExitKind {
     PeerDead(usize),
     PeerTimeout(usize, u64),
     ExchangeDrop(usize),
+    LinkPartitioned(usize, u8, u8),
     Rebalance(usize),
 }
 
+impl<M: Send> LoopExit<M> {
+    fn kind(&self) -> ExitKind {
+        match self {
+            LoopExit::Done => ExitKind::Done,
+            LoopExit::Crashed { step } => ExitKind::Crashed(*step),
+            LoopExit::Hung { step, .. } => ExitKind::Hung(*step),
+            LoopExit::PeerDead { step } => ExitKind::PeerDead(*step),
+            LoopExit::PeerTimeout { step, waited_ms } => ExitKind::PeerTimeout(*step, *waited_ms),
+            LoopExit::ExchangeDrop { step } => ExitKind::ExchangeDrop(*step),
+            LoopExit::LinkPartitioned { step, low, high } => {
+                ExitKind::LinkPartitioned(*step, *low, *high)
+            }
+            LoopExit::Rebalance { step } => ExitKind::Rebalance(*step),
+        }
+    }
+}
+
 impl ExitKind {
+    /// Only a self-reported crash/hang marks the rank itself as lost;
+    /// `PeerDead`/`PeerTimeout` from healthy ranks are observations.
     fn lost(&self) -> bool {
         matches!(self, ExitKind::Crashed(_) | ExitKind::Hung(_))
     }
 }
 
-/// Everything one device loop hands back to the driver.
+/// Everything one rank loop hands back to the driver.
 struct LoopOut<P: VertexProgram> {
     values: Vec<P::Value>,
     flags: Vec<u8>,
     steps: Vec<StepReport>,
     exit: LoopExit<P::Msg>,
-    /// Whether a `SlowDevice` fault latched on this device (persists across
+    /// Whether a `SlowDevice` fault latched on this rank (persists across
     /// restarts so the straggler stays slow after a rollback/rebalance).
     slowed: bool,
     /// Sum of the advertised (straggler-model) step times this attempt.
     sim_adv_total: f64,
-    /// Frame-integrity counters from this device's exchanges.
+    /// Frame-integrity counters from this rank's exchanges.
     integ: IntegrityStats,
 }
 
 type ResumePair<V> = Option<(Vec<V>, Vec<u8>)>;
 type MergedState<V> = (usize, Vec<V>, Vec<u8>);
+/// Merged values, merged active flags, and per-rank step reports keyed by
+/// original rank id — what a lockstep replay hands back.
+type ReplayOut<V> = (Vec<V>, Vec<u8>, Vec<(usize, Vec<StepReport>)>);
 
-/// Encode and save one device's barrier snapshot into its store, honoring
+/// Encode and save one rank's barrier snapshot into its store, honoring
 /// the keep window and the `CorruptCheckpoint` injection site.
 fn write_device_checkpoint<P: VertexProgram>(
     engine: &DeviceEngine<'_, P>,
@@ -162,11 +199,12 @@ fn write_device_checkpoint<P: VertexProgram>(
     }
 }
 
-/// Load the newest barrier state valid in *both* per-device stores, merged
-/// by `assign`. Corrupt or mismatched pairs are skipped (counted into
-/// `rstats`) in favor of an older common barrier.
+/// Load the newest barrier state valid in *every* `membership` rank's
+/// store, merged by `assign`. Corrupt or mismatched snapshots are skipped
+/// (counted into `rstats`) in favor of an older common barrier.
 fn load_merged<P: VertexProgram>(
-    stores: &[Mutex<&mut dyn CheckpointStore>; 2],
+    stores: &[Mutex<&mut dyn CheckpointStore>],
+    membership: &[usize],
     assign: &[u8],
     rstats: &mut RecoveryStats,
 ) -> Option<MergedState<P::Value>>
@@ -174,55 +212,64 @@ where
     P::Value: PodState,
 {
     let n = assign.len();
-    let l0 = stores[0].lock().expect("store 0 poisoned").list();
-    let l1 = stores[1].lock().expect("store 1 poisoned").list();
-    let common: Vec<u64> = l0.iter().copied().filter(|s| l1.contains(s)).collect();
-    for k in common.into_iter().rev() {
-        let b0 = stores[0].lock().expect("store 0 poisoned").load(k);
-        let b1 = stores[1].lock().expect("store 1 poisoned").load(k);
-        let (Ok(b0), Ok(b1)) = (b0, b1) else {
-            rstats.corrupt_snapshots_rejected += 1;
-            continue;
-        };
-        let (Ok(s0), Ok(s1)) = (Snapshot::decode(&b0), Snapshot::decode(&b1)) else {
-            rstats.corrupt_snapshots_rejected += 1;
-            continue;
-        };
-        let valid = |s: &Snapshot| {
-            s.app == P::NAME
+    let mut lists: Vec<Vec<u64>> = membership
+        .iter()
+        .map(|&r| stores[r].lock().expect("checkpoint store poisoned").list())
+        .collect();
+    let first = lists.remove(0);
+    let common: Vec<u64> = first
+        .into_iter()
+        .filter(|s| lists.iter().all(|l| l.contains(s)))
+        .collect();
+    'barrier: for k in common.into_iter().rev() {
+        let mut merged: Option<(Vec<P::Value>, Vec<u8>)> = None;
+        for &r in membership {
+            let bytes = stores[r].lock().expect("checkpoint store poisoned").load(k);
+            let Ok(bytes) = bytes else {
+                rstats.corrupt_snapshots_rejected += 1;
+                continue 'barrier;
+            };
+            let Ok(s) = Snapshot::decode(&bytes) else {
+                rstats.corrupt_snapshots_rejected += 1;
+                continue 'barrier;
+            };
+            let valid = s.app == P::NAME
                 && s.value_size as usize == P::Value::STATE_SIZE
                 && s.active.len() == n
-                && s.superstep == k
-        };
-        if !valid(&s0) || !valid(&s1) {
-            rstats.corrupt_snapshots_rejected += 1;
-            continue;
-        }
-        let (Some(v0), Some(v1)) = (
-            decode_state_slice::<P::Value>(&s0.values, n),
-            decode_state_slice::<P::Value>(&s1.values, n),
-        ) else {
-            rstats.corrupt_snapshots_rejected += 1;
-            continue;
-        };
-        let mut values = v0;
-        let mut flags = s0.active.clone();
-        for (v, val) in v1.into_iter().enumerate() {
-            if assign[v] == 1 {
-                values[v] = val;
-                flags[v] = s1.active[v];
+                && s.superstep == k;
+            if !valid {
+                rstats.corrupt_snapshots_rejected += 1;
+                continue 'barrier;
+            }
+            let Some(v) = decode_state_slice::<P::Value>(&s.values, n) else {
+                rstats.corrupt_snapshots_rejected += 1;
+                continue 'barrier;
+            };
+            match &mut merged {
+                None => merged = Some((v, s.active)),
+                Some((vals, flags)) => {
+                    let rd = r as u8;
+                    for (x, val) in v.into_iter().enumerate() {
+                        if assign[x] == rd {
+                            vals[x] = val;
+                            flags[x] = s.active[x];
+                        }
+                    }
+                }
             }
         }
-        return Some((k as usize, values, flags));
+        let (vals, flags) = merged.expect("membership is never empty");
+        return Some((k as usize, vals, flags));
     }
     None
 }
 
-/// Clear both stores and save `state` as the single barrier snapshot in
-/// each (used after a rebalance, when older snapshots were written under a
-/// now-stale assignment).
+/// Clear the `membership` ranks' stores and save `state` as the single
+/// barrier snapshot in each (used after a rebalance or an eviction, when
+/// older snapshots were written under a now-stale assignment).
 fn reset_stores_with<P: VertexProgram>(
-    stores: &[Mutex<&mut dyn CheckpointStore>; 2],
+    stores: &[Mutex<&mut dyn CheckpointStore>],
+    membership: &[usize],
     step: usize,
     values: &[P::Value],
     flags: &[u8],
@@ -237,8 +284,8 @@ fn reset_stores_with<P: VertexProgram>(
         active: flags.to_vec(),
     };
     let bytes = snap.encode();
-    for store in stores {
-        let mut s = store.lock().expect("checkpoint store poisoned");
+    for &r in membership {
+        let mut s = stores[r].lock().expect("checkpoint store poisoned");
         for k in s.list() {
             let _ = s.remove(k);
         }
@@ -246,21 +293,22 @@ fn reset_stores_with<P: VertexProgram>(
     }
 }
 
-/// One device's superstep loop with liveness instrumentation. Mirrors the
-/// plain hetero loop phase-for-phase (so a fault-free failover run computes
-/// exactly what `run_hetero` computes) and adds: heartbeat ticks at phase
-/// boundaries, step-start crash/hang/slow injection sites, the
-/// deadline-capable exchange, per-device barrier snapshots, and symmetric
-/// straggler detection from the step times piggybacked on each exchange.
+/// One rank's superstep loop with liveness instrumentation. Mirrors the
+/// plain rank loop phase-for-phase (so a fault-free failover run computes
+/// exactly what `run_ranks` computes) and adds: heartbeat ticks at phase
+/// boundaries, step-start crash/hang/slow injection sites, link-partition
+/// arming on the lower end of each link, deadline-capable per-link
+/// exchanges, per-rank barrier snapshots, and symmetric straggler detection
+/// from the N-vector of step times piggybacked on every exchange.
 #[allow(clippy::too_many_arguments)]
-fn failover_device_loop<P: VertexProgram>(
+fn failover_rank_loop<P: VertexProgram>(
     program: &P,
     graph: &Csr,
     assign: &[u8],
-    dev: u8,
+    rank: usize,
     spec: DeviceSpec,
     config: EngineConfig,
-    ep: Endpoint<WireMsg<P::Msg>>,
+    eps: Vec<Endpoint<WireMsg<P::Msg>>>,
     cap: usize,
     start_step: usize,
     resume: ResumePair<P::Value>,
@@ -270,10 +318,12 @@ fn failover_device_loop<P: VertexProgram>(
     finished: &AtomicBool,
     slowed_in: bool,
     rebalance_enabled: bool,
+    membership: &[usize],
 ) -> LoopOut<P>
 where
     P::Value: PodState,
 {
+    let dev = rank as u8;
     let policy = config.recovery;
     let cost = CostModel::new(spec.clone());
     let mut engine = DeviceEngine::new(
@@ -289,10 +339,20 @@ where
     }
     let tracer = config.tracer(&format!("dev{dev}"), dev as u32 * 1000);
     let deadline = fcfg.deadline();
+    let my_pos = membership
+        .iter()
+        .position(|&r| r == rank)
+        .expect("rank not in its own membership");
+    // Destination rank -> outgoing link index (links are peer-ascending).
+    let max_peer = eps.iter().map(|e| e.peer).max().unwrap_or(0);
+    let mut bucket_of = vec![usize::MAX; max_peer + 1];
+    for (i, ep) in eps.iter().enumerate() {
+        bucket_of[ep.peer] = i;
+    }
     let mut steps: Vec<StepReport> = Vec::new();
     let mut slowed = slowed_in;
     let mut prev_adv = 0.0f64;
-    let mut base_ratio: Option<f64> = None;
+    let mut base_times: Option<Vec<f64>> = None;
     let mut consec_slow = 0u32;
     let mut sim_adv_total = 0.0f64;
     let mut integ = IntegrityStats::default();
@@ -303,19 +363,21 @@ where
         hb.tick();
         let mut hb_count = 1u64;
         if let Some(inj) = &config.fault_plan {
-            if inj.fire(step as u64, FaultKind::CrashDevice, dev) {
-                // Fail-stop: tear the endpoint down so the peer's next
+            if inj.fire(step as u64, FaultKind::CrashDevice, dev)
+                || inj.fire(step as u64, FaultKind::CrashRank(dev), 0)
+            {
+                // Fail-stop: tear every endpoint down so each peer's next
                 // exchange observes a dead channel.
-                drop(ep);
+                drop(eps);
                 exit = LoopExit::Crashed { step };
                 break 'run;
             }
             if inj.fire(step as u64, FaultKind::HangDevice, dev) {
-                // Hang: the device goes silent but its endpoint stays
+                // Hang: the rank goes silent but its endpoints stay
                 // alive; only a deadline can tell this apart from "slow".
                 exit = LoopExit::Hung {
                     step,
-                    _keep_alive: ep,
+                    _keep_alive: eps,
                 };
                 break 'run;
             }
@@ -333,56 +395,110 @@ where
         hb.tick();
         hb_count += 1;
         c.remote_before_combine = remote.len() as u64;
-        let (combined, _) = combine_messages::<P::Msg, P::Reduce>(remote);
-        c.remote_after_combine = combined.len() as u64;
-        let bytes_out = wire_bytes::<P::Msg>(combined.len());
+        // Bucket by destination rank (generation order preserved within a
+        // bucket), then combine per link — the N = 2 case is exactly the
+        // old single-peer combine.
+        let mut buckets: Vec<Vec<WireMsg<P::Msg>>> = (0..eps.len()).map(|_| Vec::new()).collect();
+        for msg in remote {
+            buckets[bucket_of[assign[msg.dst as usize] as usize]].push(msg);
+        }
+        let mut outgoing: Vec<Vec<WireMsg<P::Msg>>> = Vec::with_capacity(eps.len());
+        for b in buckets {
+            let (combined, _) = combine_messages::<P::Msg, P::Reduce>(b);
+            c.remote_after_combine += combined.len() as u64;
+            outgoing.push(combined);
+        }
+        // Arm injected link faults before exchanging. A partition is armed
+        // by the lower end of the link (fire-once, so exactly one side
+        // arms) and remembered so the resulting drop is attributed to the
+        // partition, not a generic exchange fault.
+        let mut partitioned: Option<usize> = None;
         if let Some(inj) = &config.fault_plan {
             if inj.fire(step as u64, FaultKind::DropExchange, dev) {
-                ep.inject_fault();
+                eps[0].inject_fault();
+            }
+            for ep in &eps {
+                if ep.peer > rank
+                    && inj.fire(
+                        step as u64,
+                        FaultKind::partition_link(dev, ep.peer as u8),
+                        0,
+                    )
+                {
+                    ep.inject_fault();
+                    partitioned = Some(ep.peer);
+                }
             }
         }
         let my_any = c.msgs_total() > 0;
         let x0 = Instant::now();
         let xspan = tracer.span(Phase::Exchange, step as u32);
-        let res = framed_exchange(
-            &ep,
-            combined,
-            bytes_out,
-            my_any,
-            prev_adv,
-            Some(deadline),
-            step as u64,
-            dev,
-            config.integrity,
-            config.fault_plan.as_ref(),
-            &mut integ,
-        );
+        let mut incoming_all: Vec<Vec<WireMsg<P::Msg>>> = Vec::with_capacity(eps.len());
+        let mut peer_any = false;
+        let mut peer_times: Vec<(usize, f64)> = Vec::with_capacity(eps.len());
+        let mut comm_time = 0.0f64;
+        let mut fail: Option<LoopExit<P::Msg>> = None;
+        for (ep, out) in eps.iter().zip(outgoing) {
+            let bytes_out = wire_bytes::<P::Msg>(out.len());
+            let res = framed_exchange(
+                ep,
+                out,
+                bytes_out,
+                my_any,
+                prev_adv,
+                Some(deadline),
+                step as u64,
+                dev,
+                config.integrity,
+                config.fault_plan.as_ref(),
+                &mut integ,
+            );
+            match res {
+                Ok((incoming, peer, xstats)) => {
+                    peer_any |= peer.any_active;
+                    peer_times.push((ep.peer, peer.step_time));
+                    c.comm_bytes += xstats.bytes_sent + xstats.bytes_recv;
+                    comm_time += xstats.sim_time;
+                    incoming_all.push(incoming);
+                }
+                Err(ExchangeError::Dropped(_)) => {
+                    fail = Some(if partitioned == Some(ep.peer) {
+                        LoopExit::LinkPartitioned {
+                            step,
+                            low: dev,
+                            high: ep.peer as u8,
+                        }
+                    } else {
+                        LoopExit::ExchangeDrop { step }
+                    });
+                    break;
+                }
+                Err(ExchangeError::Timeout(t)) => {
+                    fail = Some(LoopExit::PeerTimeout {
+                        step,
+                        waited_ms: t.waited_ms,
+                    });
+                    break;
+                }
+                Err(ExchangeError::PeerDead) => {
+                    fail = Some(LoopExit::PeerDead { step });
+                    break;
+                }
+            }
+        }
         drop(xspan);
         config.record_hist(HistKind::ExchangeRttUs, x0.elapsed().as_micros() as u64);
         hb.tick();
         hb_count += 1;
-        let (incoming, peer, xstats) = match res {
-            Ok(r) => r,
-            Err(ExchangeError::Dropped(_)) => {
-                exit = LoopExit::ExchangeDrop { step };
-                break 'run;
-            }
-            Err(ExchangeError::Timeout(t)) => {
-                exit = LoopExit::PeerTimeout {
-                    step,
-                    waited_ms: t.waited_ms,
-                };
-                break 'run;
-            }
-            Err(ExchangeError::PeerDead) => {
-                exit = LoopExit::PeerDead { step };
-                break 'run;
-            }
-        };
-        c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
+        if let Some(f) = fail {
+            exit = f;
+            break 'run;
+        }
         {
             let _i = tracer.span(Phase::Insert, step as u32);
-            engine.absorb_remote(&incoming, &mut c);
+            for incoming in &incoming_all {
+                engine.absorb_remote(incoming, &mut c);
+            }
             engine.finalize_insertion_stats(&mut c);
         }
         {
@@ -404,24 +520,39 @@ where
         let adv = times.total * if slowed { fcfg.slow_time_factor } else { 1.0 };
         sim_adv_total += adv;
 
-        // Symmetric straggler detection: at this exchange both sides saw
-        // the identical (mine, peer's) previous-step time pair, so both
-        // maintain the same consecutive-slow counter and leave at the same
-        // barrier when it trips. The CPU and the MIC are *naturally*
-        // asymmetric, so raw times are useless — the first comparable
-        // barrier calibrates the healthy ratio and a straggler is a drift
-        // of more than `slow_factor` away from it. `max(cur/base, base/cur)`
-        // is invariant under swapping (mine, peer), so both devices compute
-        // the identical drift and trip at the same barrier.
-        if rebalance_enabled && fcfg.rebalance_after > 0 && prev_adv > 0.0 && peer.step_time > 0.0 {
-            let cur = prev_adv / peer.step_time;
-            match base_ratio {
-                None => base_ratio = Some(cur),
-                Some(base) => {
-                    if (cur / base).max(base / cur) > fcfg.slow_factor {
-                        consec_slow += 1;
-                    } else {
-                        consec_slow = 0;
+        // Symmetric straggler detection: at this barrier every rank saw the
+        // identical N-vector of previous-step times (its own plus each
+        // peer's piggybacked advertisement), so all ranks maintain the same
+        // consecutive-slow counter and leave at the same barrier when it
+        // trips. The devices are *naturally* asymmetric, so raw times are
+        // useless — the first fully-populated barrier calibrates the
+        // healthy per-rank baselines, and a straggler is a max/min drift of
+        // the normalized times beyond `slow_factor`. The N = 2 drift
+        // equals the old pairwise `max(cur/base, base/cur)`.
+        if rebalance_enabled && fcfg.rebalance_after > 0 {
+            let mut t = vec![0.0f64; membership.len()];
+            t[my_pos] = prev_adv;
+            for &(peer, pt) in &peer_times {
+                if let Some(i) = membership.iter().position(|&r| r == peer) {
+                    t[i] = pt;
+                }
+            }
+            if t.iter().all(|&x| x > 0.0) {
+                match &base_times {
+                    None => base_times = Some(t),
+                    Some(base) => {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = 0.0f64;
+                        for (x, b) in t.iter().zip(base) {
+                            let norm = x / b;
+                            lo = lo.min(norm);
+                            hi = hi.max(norm);
+                        }
+                        if hi / lo > fcfg.slow_factor {
+                            consec_slow += 1;
+                        } else {
+                            consec_slow = 0;
+                        }
                     }
                 }
             }
@@ -429,7 +560,7 @@ where
         prev_adv = adv;
 
         // The barrier after update is the consistency point: snapshot the
-        // state step `step + 1` will start from, into this device's store.
+        // state step `step + 1` will start from, into this rank's store.
         if policy.is_checkpoint_step(step as u64 + 1) {
             let ck0 = Instant::now();
             let _ck = tracer.span(Phase::Checkpoint, step as u32);
@@ -452,13 +583,13 @@ where
         steps.push(StepReport {
             step,
             times,
-            comm_time: xstats.sim_time,
+            comm_time,
             wall: t0.elapsed().as_secs_f64(),
             counters: c,
         });
 
         // Global termination: nobody generated messages this superstep.
-        if !my_any && !peer.any_active {
+        if !my_any && !peer_any {
             break 'run;
         }
         if rebalance_enabled && fcfg.rebalance_after > 0 && consec_slow >= fcfg.rebalance_after {
@@ -468,7 +599,7 @@ where
         step += 1;
     }
 
-    // A device that crashed or hung never reports itself finished — that is
+    // A rank that crashed or hung never reports itself finished — that is
     // exactly the silence the watchdog is built to notice.
     if !matches!(exit, LoopExit::Crashed { .. } | LoopExit::Hung { .. }) {
         finished.store(true, Ordering::Release);
@@ -485,15 +616,16 @@ where
     }
 }
 
-/// The watchdog: polls both heartbeats against the deadline and records the
-/// detection latency (milliseconds past the deadline) for any device that
-/// goes silent without reporting itself finished.
+/// The watchdog: polls every rank's heartbeat against the deadline and
+/// records the detection latency (milliseconds past the deadline) for any
+/// rank that goes silent without reporting itself finished.
 fn watchdog_loop(
-    hb: &[Heartbeat; 2],
-    finished: &[AtomicBool; 2],
+    hb: &[Heartbeat],
+    finished: &[AtomicBool],
     stop: &AtomicBool,
     deadline: Duration,
-    detected: &[AtomicU64; 2],
+    detected: &[AtomicU64],
+    ranks: &[usize],
     trace: Option<&Trace>,
 ) {
     let tracer = match trace {
@@ -503,18 +635,18 @@ fn watchdog_loop(
     let poll = (deadline / 8).clamp(Duration::from_millis(1), Duration::from_millis(25));
     while !stop.load(Ordering::Acquire) {
         let sweep0 = tracer.now_ns();
-        for d in 0..2 {
+        for (d, h) in hb.iter().enumerate() {
             if finished[d].load(Ordering::Acquire)
                 || detected[d].load(Ordering::Acquire) != UNDETECTED
             {
                 continue;
             }
-            if hb[d].is_stalled(deadline) {
-                let lat = hb[d].since_last().saturating_sub(deadline).as_millis() as u64;
+            if h.is_stalled(deadline) {
+                let lat = h.since_last().saturating_sub(deadline).as_millis() as u64;
                 detected[d].store(lat, Ordering::Release);
                 // One Watchdog span per detection (the sweep that noticed
-                // the silence), tagged with the dead device's id.
-                tracer.record_closing(Phase::Watchdog, d as u32, sweep0);
+                // the silence), tagged with the dead rank's id.
+                tracer.record_closing(Phase::Watchdog, ranks[d] as u32, sweep0);
                 if let Some(t) = trace {
                     t.record_hist(HistKind::WatchdogLatencyMs, lat);
                 }
@@ -524,204 +656,280 @@ fn watchdog_loop(
     }
 }
 
-/// Degraded single-host replay after a migration: both device engines run
-/// in lockstep on the survivor with the *original* partition and their
-/// *original* configs, restored from the merged barrier state. Every
-/// per-engine operation (generation order, per-destination combine, CSB
-/// insertion, reduction) is identical to the healthy two-thread run, so the
-/// replay is bit-identical by construction — including order-sensitive
-/// floating-point combiners. Simulated exchange time is reproduced from the
-/// same byte counts through the same link model.
+/// Lockstep replay of an arbitrary membership on one host. Every
+/// `membership` rank's engine runs with its original spec/config and the
+/// given assignment, restored from the merged barrier state; messages are
+/// bucketed and combined per (source, destination) pair exactly as the
+/// live per-link exchange does. Every per-engine operation (generation
+/// order, per-destination combine, CSB insertion, reduction) is identical
+/// to the healthy multi-thread run, so the replay is bit-identical by
+/// construction — including order-sensitive floating-point combiners.
+/// Simulated exchange time is reproduced from the same per-link byte
+/// counts through the same link model.
+///
+/// With `stop_step = None` the replay runs to completion (terminal
+/// single-survivor migration); with `Some(s)` it stops at the barrier
+/// *before* step `s` (catch-up reconstruction for an elastic eviction).
+/// Returns the merged values, merged active flags, and the per-rank step
+/// reports keyed by original rank id.
 #[allow(clippy::too_many_arguments)]
-fn replay_lockstep<P: VertexProgram>(
+fn replay_lockstep_n<P: VertexProgram>(
     program: &P,
     graph: &Csr,
     assign: &[u8],
-    specs: &[DeviceSpec; 2],
-    configs: &[EngineConfig; 2],
+    membership: &[usize],
+    specs: &[DeviceSpec],
+    configs: &[EngineConfig],
     link: PcieLink,
     start_step: usize,
+    stop_step: Option<usize>,
     resume: ResumePair<P::Value>,
-    stores: &[Mutex<&mut dyn CheckpointStore>; 2],
+    stores: &[Mutex<&mut dyn CheckpointStore>],
     cap: usize,
     tracer: &ThreadTracer,
-) -> (Vec<P::Value>, [Vec<StepReport>; 2])
+) -> ReplayOut<P::Value>
 where
     P::Value: PodState,
 {
-    let cost = [
-        CostModel::new(specs[0].clone()),
-        CostModel::new(specs[1].clone()),
-    ];
-    let mut e0 = DeviceEngine::new(
-        program,
-        graph,
-        specs[0].clone(),
-        configs[0].clone(),
-        0,
-        Some(assign),
-    );
-    let mut e1 = DeviceEngine::new(
-        program,
-        graph,
-        specs[1].clone(),
-        configs[1].clone(),
-        1,
-        Some(assign),
-    );
+    let m = membership.len();
+    let cost: Vec<CostModel> = membership
+        .iter()
+        .map(|&r| CostModel::new(specs[r].clone()))
+        .collect();
+    let mut engines: Vec<DeviceEngine<'_, P>> = membership
+        .iter()
+        .map(|&r| {
+            DeviceEngine::new(
+                program,
+                graph,
+                specs[r].clone(),
+                configs[r].clone(),
+                r as u8,
+                Some(assign),
+            )
+        })
+        .collect();
     if let Some((vals, flags)) = resume {
-        e0.restore(vals.clone(), &flags);
-        e1.restore(vals, &flags);
+        for e in &mut engines {
+            e.restore(vals.clone(), &flags);
+        }
     }
-    let policy = configs[0].recovery;
-    let mut steps0: Vec<StepReport> = Vec::new();
-    let mut steps1: Vec<StepReport> = Vec::new();
+    let policy = configs[membership[0]].recovery;
+    let mut pos_of = vec![usize::MAX; membership.iter().copied().max().unwrap_or(0) + 1];
+    for (i, &r) in membership.iter().enumerate() {
+        pos_of[r] = i;
+    }
+    let mut steps: Vec<Vec<StepReport>> = vec![Vec::new(); m];
+    let stop = stop_step.unwrap_or(cap);
 
-    for step in start_step..cap {
+    for step in start_step..stop {
         let t0 = Instant::now();
         let _replay_span = tracer.span(Phase::Replay, step as u32);
-        let mut c0 = e0.begin_step();
-        let mut c1 = e1.begin_step();
-        let r0 = e0.generate(&mut c0);
-        let r1 = e1.generate(&mut c1);
-        c0.remote_before_combine = r0.len() as u64;
-        c1.remote_before_combine = r1.len() as u64;
-        let (out0, _) = combine_messages::<P::Msg, P::Reduce>(r0);
-        let (out1, _) = combine_messages::<P::Msg, P::Reduce>(r1);
-        c0.remote_after_combine = out0.len() as u64;
-        c1.remote_after_combine = out1.len() as u64;
-        let b0 = wire_bytes::<P::Msg>(out0.len());
-        let b1 = wire_bytes::<P::Msg>(out1.len());
-        // Termination flags are read at the same point as the live loop
-        // (after generation, before absorption).
-        let any0 = c0.msgs_total() > 0;
-        let any1 = c1.msgs_total() > 0;
-        c0.comm_bytes = b0 + b1;
-        c1.comm_bytes = b0 + b1;
-        let comm0 = link.exchange_time(b0, b1);
-        let comm1 = link.exchange_time(b1, b0);
-        e0.absorb_remote(&out1, &mut c0);
-        e0.finalize_insertion_stats(&mut c0);
-        e1.absorb_remote(&out0, &mut c1);
-        e1.finalize_insertion_stats(&mut c1);
-        e0.process(&mut c0);
-        e0.update(&mut c0);
-        e1.process(&mut c1);
-        e1.update(&mut c1);
-        // Report parity with the live loop's four phase-boundary ticks.
-        c0.heartbeats = 4;
-        c1.heartbeats = 4;
-
-        if policy.is_checkpoint_step(step as u64 + 1) {
-            write_device_checkpoint(&e0, step, &stores[0], &policy, None, 0, &mut c0);
-            write_device_checkpoint(&e1, step, &stores[1], &policy, None, 1, &mut c1);
+        let mut counters: Vec<StepCounters> = Vec::with_capacity(m);
+        let mut remotes: Vec<Vec<WireMsg<P::Msg>>> = Vec::with_capacity(m);
+        for e in engines.iter_mut() {
+            let mut c = e.begin_step();
+            let r = e.generate(&mut c);
+            c.remote_before_combine = r.len() as u64;
+            counters.push(c);
+            remotes.push(r);
+        }
+        // Bucket and combine per (source, destination) pair — the same
+        // per-link payloads the live loop exchanges (the self bucket is
+        // empty by construction).
+        let mut out: Vec<Vec<Vec<WireMsg<P::Msg>>>> = Vec::with_capacity(m);
+        for (i, remote) in remotes.into_iter().enumerate() {
+            let mut buckets: Vec<Vec<WireMsg<P::Msg>>> = (0..m).map(|_| Vec::new()).collect();
+            for msg in remote {
+                buckets[pos_of[assign[msg.dst as usize] as usize]].push(msg);
+            }
+            let mut row = Vec::with_capacity(m);
+            for b in buckets {
+                let (combined, _) = combine_messages::<P::Msg, P::Reduce>(b);
+                counters[i].remote_after_combine += combined.len() as u64;
+                row.push(combined);
+            }
+            out.push(row);
+        }
+        // Per-rank simulated comm: one link traversal per peer, the same
+        // byte counts and link model as the live per-link exchange.
+        let mut comm_times = vec![0.0f64; m];
+        for i in 0..m {
+            let mut bytes = 0u64;
+            let mut t = 0.0f64;
+            for (j, row_j) in out.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let bo = wire_bytes::<P::Msg>(out[i][j].len());
+                let bi = wire_bytes::<P::Msg>(row_j[i].len());
+                bytes += bo + bi;
+                t += link.exchange_time(bo, bi);
+            }
+            counters[i].comm_bytes = bytes;
+            comm_times[i] = t;
+        }
+        // Absorb in ascending peer order (the live loop's link order),
+        // then the per-engine tail phases.
+        for i in 0..m {
+            let c = &mut counters[i];
+            for (j, row) in out.iter().enumerate() {
+                if j != i {
+                    engines[i].absorb_remote(&row[i], c);
+                }
+            }
+            engines[i].finalize_insertion_stats(c);
+            engines[i].process(c);
+            engines[i].update(c);
+            // Report parity with the live loop's four phase-boundary ticks.
+            c.heartbeats = 4;
         }
 
-        let v0 = configs[0].vectorized && P::SIMD_REDUCIBLE;
-        let v1 = configs[1].vectorized && P::SIMD_REDUCIBLE;
-        let times0 = cost[0].step_times(&c0, configs[0].gen_mode(&specs[0]), P::Msg::SIZE, v0);
-        let times1 = cost[1].step_times(&c1, configs[1].gen_mode(&specs[1]), P::Msg::SIZE, v1);
-        c0.gen_chunks.clear();
-        c0.proc_chunks.clear();
-        c1.gen_chunks.clear();
-        c1.proc_chunks.clear();
+        if policy.is_checkpoint_step(step as u64 + 1) {
+            for (i, &r) in membership.iter().enumerate() {
+                write_device_checkpoint(
+                    &engines[i],
+                    step,
+                    &stores[r],
+                    &policy,
+                    None,
+                    r as u8,
+                    &mut counters[i],
+                );
+            }
+        }
+
         let wall = t0.elapsed().as_secs_f64();
-        steps0.push(StepReport {
-            step,
-            times: times0,
-            comm_time: comm0,
-            wall,
-            counters: c0,
-        });
-        steps1.push(StepReport {
-            step,
-            times: times1,
-            comm_time: comm1,
-            wall,
-            counters: c1,
-        });
-        if !any0 && !any1 {
+        let mut all_quiet = true;
+        for (i, mut c) in counters.into_iter().enumerate() {
+            let r = membership[i];
+            if c.msgs_total() > 0 {
+                all_quiet = false;
+            }
+            let vectorized = configs[r].vectorized && P::SIMD_REDUCIBLE;
+            let times =
+                cost[i].step_times(&c, configs[r].gen_mode(&specs[r]), P::Msg::SIZE, vectorized);
+            c.gen_chunks.clear();
+            c.proc_chunks.clear();
+            steps[i].push(StepReport {
+                step,
+                times,
+                comm_time: comm_times[i],
+                wall,
+                counters: c,
+            });
+        }
+        if all_quiet {
             break;
         }
     }
 
-    let mut values = e0.values;
-    for (v, val) in e1.values.into_iter().enumerate() {
-        if assign[v] == 1 {
-            values[v] = val;
+    let mut merged: Option<(Vec<P::Value>, Vec<u8>)> = None;
+    for (i, e) in engines.into_iter().enumerate() {
+        let f = e.active_flags().to_vec();
+        let v = e.values;
+        match &mut merged {
+            None => merged = Some((v, f)),
+            Some((vals, flags)) => {
+                let rd = membership[i] as u8;
+                for (x, val) in v.into_iter().enumerate() {
+                    if assign[x] == rd {
+                        vals[x] = val;
+                        flags[x] = f[x];
+                    }
+                }
+            }
         }
     }
-    (values, [steps0, steps1])
+    let (values, flags) = merged.expect("membership is never empty");
+    (
+        values,
+        flags,
+        membership.iter().copied().zip(steps).collect(),
+    )
 }
 
-/// Run `program` across both devices with live failover.
+/// Run `program` across an N-rank device fabric with live failover.
 ///
-/// Behaves exactly like [`run_hetero`] when nothing fails. Each device
-/// writes barrier snapshots into its own `stores` slot at the
-/// `configs[0].recovery.checkpoint_every` cadence; on a detected device
-/// loss the driver applies `fcfg.policy` (migrate / retry / off), on a
-/// dropped exchange it rolls both devices back to the newest common
-/// snapshot, and on a detected straggler it rebalances the partition once.
-/// With `resume = true` the run starts from the newest common snapshot
-/// already in the stores.
+/// Behaves exactly like [`run_ranks`] when nothing fails. Each rank writes
+/// barrier snapshots into its own `stores` slot at the
+/// `configs[0].recovery.checkpoint_every` cadence. On a detected rank loss
+/// the driver applies `fcfg.policy`: under `Migrate` the dead ranks are
+/// evicted and their partition re-split over the survivors (a lone
+/// survivor replays everything in lockstep; two or more survivors
+/// reconstruct the failure barrier and continue live, so later failures
+/// cascade onto any survivor subset). A severed link evicts its higher
+/// end. A dropped exchange rolls every rank back to the newest common
+/// snapshot, and a detected straggler rebalances the live shares once.
+/// With `resume = true` the run starts from the newest snapshot common to
+/// all stores.
 ///
 /// All liveness events land in the combined report's
 /// [`RunReport::failover`] and per-step counters; rollback/degradation
 /// accounting stays in [`RunReport::recovery`].
 ///
-/// [`run_hetero`]: crate::engine::hetero::run_hetero
+/// [`run_ranks`]: crate::engine::hetero::run_ranks
 #[allow(clippy::too_many_arguments)]
-pub fn run_hetero_failover<P: VertexProgram>(
+pub fn run_ranks_failover<P: VertexProgram>(
     program: &P,
     graph: &Csr,
     partition_in: &DevicePartition,
-    specs: [DeviceSpec; 2],
-    configs: [EngineConfig; 2],
+    specs: &[DeviceSpec],
+    configs: &[EngineConfig],
     link: PcieLink,
     fcfg: &FailoverConfig,
-    stores: [&mut dyn CheckpointStore; 2],
+    stores: Vec<&mut dyn CheckpointStore>,
     resume: bool,
 ) -> RunOutput<P::Value>
 where
     P::Value: PodState,
 {
+    let n = specs.len();
+    assert!(n >= 2, "a rank fabric needs at least two devices");
+    assert_eq!(configs.len(), n, "one config per rank");
+    assert_eq!(stores.len(), n, "one checkpoint store per rank");
     assert_eq!(partition_in.assign.len(), graph.num_vertices());
+    assert!(
+        partition_in.assign.iter().all(|&d| (d as usize) < n),
+        "partition names a rank outside the fabric"
+    );
     let policy = configs[0].recovery;
     let cap = run_cap(
         program.max_supersteps(),
-        match (configs[0].max_supersteps, configs[1].max_supersteps) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        },
+        configs.iter().filter_map(|c| c.max_supersteps).min(),
     );
-    let stores: [Mutex<&mut dyn CheckpointStore>; 2] = stores.map(Mutex::new);
+    let stores: Vec<Mutex<&mut dyn CheckpointStore>> = stores.into_iter().map(Mutex::new).collect();
     let deadline = fcfg.deadline();
 
     let mut fstats = FailoverStats::default();
     let mut rstats = RecoveryStats::default();
     let mut istats = IntegrityStats::default();
     let mut part = partition_in.clone();
-    let mut dev_steps: [Vec<StepReport>; 2] = [Vec::new(), Vec::new()];
+    let mut live: Vec<usize> = (0..n).collect();
+    let mut dev_steps: Vec<Vec<StepReport>> = vec![Vec::new(); n];
     let mut start_step = 0usize;
     let mut resume_state: ResumePair<P::Value> = None;
-    let mut slowed = [false, false];
+    let mut slowed = vec![false; n];
     let mut rebalance_enabled = true;
     let mut retry = 0u32;
     let mut last_resume: Option<usize> = None;
     // Driver-thread track: migration replays and rebalances happen here,
-    // outside either device loop.
+    // outside any rank loop.
     let drv_tracer = configs[0].tracer("driver", 900);
     let wall_start = Instant::now();
 
     if resume {
-        if let Some((k, vals, flags)) = load_merged::<P>(&stores, &part.assign, &mut rstats) {
+        if let Some((k, vals, flags)) = load_merged::<P>(&stores, &live, &part.assign, &mut rstats)
+        {
             start_step = k;
             resume_state = Some((vals, flags));
         }
     }
 
-    // Assemble the final combined output from per-device step report vecs.
-    let finish = |dev_steps: [Vec<StepReport>; 2],
+    // Assemble the final combined output from per-rank step report vecs
+    // (ragged after evictions: an evicted rank's reports simply stop at
+    // its eviction barrier).
+    let finish = |dev_steps: Vec<Vec<StepReport>>,
                   values: Vec<P::Value>,
                   mut rstats: RecoveryStats,
                   mut fstats: FailoverStats,
@@ -729,60 +937,60 @@ where
                   last_resume: Option<usize>,
                   wall: f64|
      -> RunOutput<P::Value> {
-        let total = dev_steps[0].last().map_or(0, |s| s.step as u64 + 1);
+        let total = dev_steps
+            .iter()
+            .filter_map(|s| s.last())
+            .map(|s| s.step as u64 + 1)
+            .max()
+            .unwrap_or(0);
         fstats.supersteps_total = total;
         if let Some(k) = last_resume {
             fstats.resume_step = k as u64;
             fstats.supersteps_replayed = total.saturating_sub(k as u64);
         }
-        let [steps0, steps1] = dev_steps;
-        rstats.checkpoints_written += steps0
+        rstats.checkpoints_written += dev_steps
             .iter()
-            .chain(&steps1)
+            .flatten()
             .map(|s| s.counters.checkpoints_written)
             .sum::<u64>();
-        rstats.checkpoint_bytes += steps0
+        rstats.checkpoint_bytes += dev_steps
             .iter()
-            .chain(&steps1)
+            .flatten()
             .map(|s| s.counters.checkpoint_bytes)
             .sum::<u64>();
-        let report0 = RunReport {
-            app: P::NAME.to_string(),
-            device: specs[0].name.to_string(),
-            mode: "cpu-mic".to_string(),
-            steps: steps0,
-            wall,
-            ..Default::default()
-        };
-        let report1 = RunReport {
-            app: P::NAME.to_string(),
-            device: specs[1].name.to_string(),
-            mode: "cpu-mic".to_string(),
-            steps: steps1,
-            wall,
-            ..Default::default()
-        };
-        let mut report = combine_hetero(P::NAME, &report0, &report1);
+        let reports: Vec<RunReport> = dev_steps
+            .into_iter()
+            .enumerate()
+            .map(|(r, steps)| RunReport {
+                app: P::NAME.to_string(),
+                device: specs[r].name.to_string(),
+                mode: "cpu-mic".to_string(),
+                steps,
+                wall,
+                ..Default::default()
+            })
+            .collect();
+        let mut report = combine_ranks(P::NAME, &reports);
         report.recovery = rstats;
         report.failover = fstats;
         report.integrity = istats;
         RunOutput {
             values,
             report,
-            device_reports: vec![report0, report1],
+            device_reports: reports,
         }
     };
 
-    // Degrade to the sequential engine on one device from the last barrier.
+    // Degrade to the sequential engine on one rank from the last barrier.
     macro_rules! degrade_seq {
         ($survivor:expr) => {{
             rstats.degraded = true;
             fstats.degraded_single = true;
-            let merged = load_merged::<P>(&stores, &part.assign, &mut rstats);
+            let merged = load_merged::<P>(&stores, &live, &part.assign, &mut rstats);
             if let Some((k, _, _)) = &merged {
                 last_resume = Some(*k);
             }
-            let sd = $survivor;
+            let sd: usize = $survivor;
             let mut out = run_seq_resume(program, graph, specs[sd].clone(), &configs[sd], merged);
             fstats.supersteps_total = out.report.steps.last().map_or(0, |s| s.step as u64 + 1);
             if let Some(k) = last_resume {
@@ -798,59 +1006,56 @@ where
 
     loop {
         let assign_now = part.assign.clone();
-        let hb = [Heartbeat::new(), Heartbeat::new()];
-        let finished = [AtomicBool::new(false), AtomicBool::new(false)];
+        let m = live.len();
+        let hb: Vec<Heartbeat> = (0..m).map(|_| Heartbeat::new()).collect();
+        let finished: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+        let detected: Vec<AtomicU64> = (0..m).map(|_| AtomicU64::new(UNDETECTED)).collect();
         let stop = AtomicBool::new(false);
-        let detected = [AtomicU64::new(UNDETECTED), AtomicU64::new(UNDETECTED)];
-        let resume0 = resume_state.clone();
-        let resume1 = resume_state.take();
-        let (ep0, ep1) = duplex_pair::<WireMsg<P::Msg>>(link);
-        let [spec0, spec1] = [specs[0].clone(), specs[1].clone()];
-        let [config0, config1] = [configs[0].clone(), configs[1].clone()];
-        let (hb0, hb1) = (hb[0].clone(), hb[1].clone());
+        let sides = mesh::<WireMsg<P::Msg>>(link, &live);
+        let mut resume_now = resume_state.take();
 
-        let (out0, out1) = std::thread::scope(|s| {
+        let outs: Vec<LoopOut<P>> = std::thread::scope(|s| {
             let assign = &assign_now;
-            let h0 = s.spawn(|| {
-                failover_device_loop(
-                    program,
-                    graph,
-                    assign,
-                    0,
-                    spec0,
-                    config0,
-                    ep0,
-                    cap,
-                    start_step,
-                    resume0,
-                    &stores[0],
-                    fcfg,
-                    hb0,
-                    &finished[0],
-                    slowed[0],
-                    rebalance_enabled,
-                )
-            });
-            let h1 = s.spawn(|| {
-                failover_device_loop(
-                    program,
-                    graph,
-                    assign,
-                    1,
-                    spec1,
-                    config1,
-                    ep1,
-                    cap,
-                    start_step,
-                    resume1,
-                    &stores[1],
-                    fcfg,
-                    hb1,
-                    &finished[1],
-                    slowed[1],
-                    rebalance_enabled,
-                )
-            });
+            let membership = &live;
+            let stores_ref = &stores;
+            let finished_ref = &finished;
+            let handles: Vec<_> = sides
+                .into_iter()
+                .enumerate()
+                .map(|(i, eps)| {
+                    let r = membership[i];
+                    let spec = specs[r].clone();
+                    let config = configs[r].clone();
+                    let hb_i = hb[i].clone();
+                    let resume_i = if i + 1 == m {
+                        resume_now.take()
+                    } else {
+                        resume_now.clone()
+                    };
+                    let slowed_i = slowed[r];
+                    s.spawn(move || {
+                        failover_rank_loop(
+                            program,
+                            graph,
+                            assign,
+                            r,
+                            spec,
+                            config,
+                            eps,
+                            cap,
+                            start_step,
+                            resume_i,
+                            &stores_ref[r],
+                            fcfg,
+                            hb_i,
+                            &finished_ref[i],
+                            slowed_i,
+                            rebalance_enabled,
+                            membership,
+                        )
+                    })
+                })
+                .collect();
             let w = s.spawn(|| {
                 watchdog_loop(
                     &hb,
@@ -858,135 +1063,216 @@ where
                     &stop,
                     deadline,
                     &detected,
+                    membership,
                     configs[0].trace.as_ref(),
                 )
             });
-            let r0 = h0.join().expect("device 0 panicked");
-            let r1 = h1.join().expect("device 1 panicked");
+            let outs: Vec<LoopOut<P>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("rank loop panicked"))
+                .collect();
             stop.store(true, Ordering::Release);
             w.join().expect("watchdog panicked");
-            (r0, r1)
+            outs
         });
 
-        // Plain-data exits; splice this attempt's step reports in.
-        let exits = [
-            match &out0.exit {
-                LoopExit::Done => ExitKind::Done,
-                LoopExit::Crashed { step } => ExitKind::Crashed(*step),
-                LoopExit::Hung { step, .. } => ExitKind::Hung(*step),
-                LoopExit::PeerDead { step } => ExitKind::PeerDead(*step),
-                LoopExit::PeerTimeout { step, waited_ms } => {
-                    ExitKind::PeerTimeout(*step, *waited_ms)
-                }
-                LoopExit::ExchangeDrop { step } => ExitKind::ExchangeDrop(*step),
-                LoopExit::Rebalance { step } => ExitKind::Rebalance(*step),
-            },
-            match &out1.exit {
-                LoopExit::Done => ExitKind::Done,
-                LoopExit::Crashed { step } => ExitKind::Crashed(*step),
-                LoopExit::Hung { step, .. } => ExitKind::Hung(*step),
-                LoopExit::PeerDead { step } => ExitKind::PeerDead(*step),
-                LoopExit::PeerTimeout { step, waited_ms } => {
-                    ExitKind::PeerTimeout(*step, *waited_ms)
-                }
-                LoopExit::ExchangeDrop { step } => ExitKind::ExchangeDrop(*step),
-                LoopExit::Rebalance { step } => ExitKind::Rebalance(*step),
-            },
-        ];
-        slowed = [out0.slowed, out1.slowed];
-        istats.accumulate(&out0.integ);
-        istats.accumulate(&out1.integ);
-        dev_steps[0].retain(|s| s.step < start_step);
-        dev_steps[0].extend(out0.steps);
-        dev_steps[1].retain(|s| s.step < start_step);
-        dev_steps[1].extend(out1.steps);
+        // Plain-data exits; splice this attempt's step reports in and keep
+        // the per-rank state the driver needs after the scope.
+        let mut exits: Vec<ExitKind> = Vec::with_capacity(m);
+        let mut vals_out: Vec<Vec<P::Value>> = Vec::with_capacity(m);
+        let mut flags_out: Vec<Vec<u8>> = Vec::with_capacity(m);
+        let mut sim_adv: Vec<f64> = Vec::with_capacity(m);
+        for (i, o) in outs.into_iter().enumerate() {
+            let r = live[i];
+            exits.push(o.exit.kind());
+            slowed[r] = o.slowed;
+            istats.accumulate(&o.integ);
+            sim_adv.push(o.sim_adv_total);
+            dev_steps[r].retain(|s| s.step < start_step);
+            dev_steps[r].extend(o.steps);
+            vals_out.push(o.values);
+            flags_out.push(o.flags);
+        }
 
         // Watchdog bookkeeping: record the detection latency for every
-        // device that actually went silent (final sweep covers the race
-        // where both loops returned before the poller's next pass).
-        for d in 0..2 {
-            if exits[d].lost() {
-                let lat = match detected[d].load(Ordering::Acquire) {
-                    UNDETECTED => hb[d].since_last().saturating_sub(deadline).as_millis() as u64,
+        // rank that actually went silent (final sweep covers the race
+        // where all loops returned before the poller's next pass).
+        for (i, e) in exits.iter().enumerate() {
+            if e.lost() {
+                let lat = match detected[i].load(Ordering::Acquire) {
+                    UNDETECTED => hb[i].since_last().saturating_sub(deadline).as_millis() as u64,
                     l => l,
                 };
                 fstats.watchdog_latency_ms = fstats.watchdog_latency_ms.max(lat);
             }
         }
 
-        if let Some(lost_dev) = (0..2).find(|&d| exits[d].lost()) {
-            let survivor = 1 - lost_dev;
-            match exits[lost_dev] {
-                ExitKind::Hung(_) => fstats.hang_detections += 1,
-                _ => fstats.crash_detections += 1,
-            }
-            if let ExitKind::PeerTimeout(..) = exits[survivor] {
-                fstats.exchange_timeouts += 1;
-            }
-            rstats.faults_injected += 1;
-            if exits[survivor].lost() {
-                // Both devices gone: nothing to migrate onto. Degrade to a
-                // sequential run from the last barrier on device 0.
-                match exits[survivor] {
-                    ExitKind::Hung(_) => fstats.hang_detections += 1,
-                    _ => fstats.crash_detections += 1,
+        // Eviction verdict: self-reported crash/hang exits mark their rank
+        // lost; otherwise a reported link partition evicts exactly its
+        // higher end (verdict sync — survivors re-anchor on the smallest
+        // live rank). `PeerDead`/`PeerTimeout` observations from healthy
+        // ranks never evict anyone on their own.
+        let lost: Vec<usize> = exits
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.lost())
+            .map(|(i, _)| live[i])
+            .collect();
+        let linkpart = exits.iter().find_map(|e| match e {
+            ExitKind::LinkPartitioned(s, _, hi) => Some((*s, *hi as usize)),
+            _ => None,
+        });
+        let evict: Option<(Vec<usize>, usize)> = if !lost.is_empty() {
+            let mut s_star = usize::MAX;
+            for e in &exits {
+                match e {
+                    ExitKind::Crashed(s) => {
+                        fstats.crash_detections += 1;
+                        rstats.faults_injected += 1;
+                        s_star = s_star.min(*s);
+                    }
+                    ExitKind::Hung(s) => {
+                        fstats.hang_detections += 1;
+                        rstats.faults_injected += 1;
+                        s_star = s_star.min(*s);
+                    }
+                    ExitKind::PeerTimeout(..) => fstats.exchange_timeouts += 1,
+                    _ => {}
                 }
-                rstats.faults_injected += 1;
-                degrade_seq!(0);
+            }
+            Some((lost, s_star))
+        } else if let Some((s, hi)) = linkpart {
+            fstats.link_partitions += 1;
+            rstats.faults_injected += 1;
+            Some((vec![hi], s))
+        } else {
+            None
+        };
+
+        if let Some((evict_set, s_star)) = evict {
+            let survivors: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|r| !evict_set.contains(r))
+                .collect();
+            if survivors.is_empty() {
+                // Every rank gone: nothing to migrate onto. Degrade to a
+                // sequential run from the last barrier.
+                degrade_seq!(live[0]);
             }
             match fcfg.policy {
                 FailoverPolicy::Migrate => {
                     fstats.migrations += 1;
-                    fstats.degraded_single = true;
                     rstats.rollbacks += 1;
-                    let merged = load_merged::<P>(&stores, &part.assign, &mut rstats);
+                    for &r in &evict_set {
+                        fstats.evicted_ranks |= 1u64 << r;
+                    }
+                    let merged = load_merged::<P>(&stores, &live, &part.assign, &mut rstats);
                     let (k, pair) = match merged {
                         Some((k, vals, flags)) => (k, Some((vals, flags))),
                         None => (0, None),
                     };
                     last_resume = Some(k);
-                    // The survivor absorbs the lost device's partition
-                    // (`migrate_to(survivor)` is the ownership view of the
-                    // migration) but the replay keeps the *original*
-                    // assignment so each engine half reduces in its original
-                    // order — that is what makes the result bit-identical.
-                    let migrated = part.migrate_to(survivor as u8);
-                    debug_assert!(migrated.assign.iter().all(|&d| d as usize == survivor));
-                    let _mig = drv_tracer.span(Phase::Migrate, k as u32);
-                    let (values, replay_steps) = replay_lockstep(
-                        program,
-                        graph,
-                        &part.assign,
-                        &specs,
-                        &configs,
-                        link,
-                        k,
-                        pair,
-                        &stores,
-                        cap,
-                        &drv_tracer,
-                    );
-                    let [rs0, rs1] = replay_steps;
-                    dev_steps[0].retain(|s| s.step < k);
-                    dev_steps[0].extend(rs0);
-                    dev_steps[1].retain(|s| s.step < k);
-                    dev_steps[1].extend(rs1);
-                    return finish(
-                        dev_steps,
-                        values,
-                        rstats,
-                        fstats,
-                        istats,
-                        last_resume,
-                        wall_start.elapsed().as_secs_f64(),
-                    );
+                    if survivors.len() == 1 {
+                        // Terminal: the lone survivor hosts every current
+                        // engine in lockstep with the *current* assignment
+                        // so each engine half reduces in its original
+                        // order — that is what makes the result
+                        // bit-identical.
+                        fstats.degraded_single = true;
+                        let _mig = drv_tracer.span(Phase::Migrate, k as u32);
+                        let (values, _flags, replay) = replay_lockstep_n(
+                            program,
+                            graph,
+                            &part.assign,
+                            &live,
+                            specs,
+                            configs,
+                            link,
+                            k,
+                            None,
+                            pair,
+                            &stores,
+                            cap,
+                            &drv_tracer,
+                        );
+                        for (r, rs) in replay {
+                            dev_steps[r].retain(|s| s.step < k);
+                            dev_steps[r].extend(rs);
+                        }
+                        return finish(
+                            dev_steps,
+                            values,
+                            rstats,
+                            fstats,
+                            istats,
+                            last_resume,
+                            wall_start.elapsed().as_secs_f64(),
+                        );
+                    }
+                    // Elastic: two or more survivors. Reconstruct the exact
+                    // barrier state at the failure step s* (catch-up replay
+                    // under the old assignment when the newest common
+                    // snapshot is older), then re-split the dead ranks'
+                    // partition over the survivors and continue live —
+                    // later failures cascade through this same arm.
+                    let _mig = drv_tracer.span(Phase::Migrate, s_star as u32);
+                    let caught_up: ResumePair<P::Value> = if k < s_star {
+                        let (v, f, replay) = replay_lockstep_n(
+                            program,
+                            graph,
+                            &part.assign,
+                            &live,
+                            specs,
+                            configs,
+                            link,
+                            k,
+                            Some(s_star),
+                            pair,
+                            &stores,
+                            cap,
+                            &drv_tracer,
+                        );
+                        for (r, rs) in replay {
+                            dev_steps[r].retain(|s| s.step < k);
+                            dev_steps[r].extend(rs);
+                        }
+                        Some((v, f))
+                    } else {
+                        pair
+                    };
+                    part = part.redistribute(&evict_set, &survivors);
+                    live = survivors;
+                    start_step = s_star;
+                    match caught_up {
+                        Some((vals, flags)) => {
+                            // Older snapshots were written under the stale
+                            // assignment: replace them with the barrier
+                            // state the survivors resume from.
+                            reset_stores_with::<P>(&stores, &live, s_star, &vals, &flags);
+                            resume_state = Some((vals, flags));
+                        }
+                        None => {
+                            // Failure at step 0 before any snapshot:
+                            // restart fresh on the survivor subset.
+                            for &r in &live {
+                                let mut st = stores[r].lock().expect("checkpoint store poisoned");
+                                for key in st.list() {
+                                    let _ = st.remove(key);
+                                }
+                            }
+                            resume_state = None;
+                        }
+                    }
+                    continue;
                 }
                 FailoverPolicy::Retry => {
-                    // Transient-fault model: roll both devices back to the
-                    // newest common barrier and retry in lock-step.
+                    // Transient-fault model: roll every rank back to the
+                    // newest common barrier and retry in lock-step with the
+                    // membership unchanged.
                     rstats.rollbacks += 1;
                     if retry >= policy.max_retries {
-                        degrade_seq!(survivor);
+                        degrade_seq!(survivors[0]);
                     }
                     retry += 1;
                     rstats.retries += 1;
@@ -994,7 +1280,7 @@ where
                     if backoff > 0 {
                         std::thread::sleep(Duration::from_millis(backoff));
                     }
-                    match load_merged::<P>(&stores, &part.assign, &mut rstats) {
+                    match load_merged::<P>(&stores, &live, &part.assign, &mut rstats) {
                         Some((k, vals, flags)) => {
                             start_step = k;
                             resume_state = Some((vals, flags));
@@ -1008,92 +1294,145 @@ where
                     }
                     continue;
                 }
-                FailoverPolicy::Off => degrade_seq!(survivor),
+                FailoverPolicy::Off => degrade_seq!(survivors[0]),
             }
         }
 
-        match exits {
-            [ExitKind::Done, ExitKind::Done] => {
-                let mut values = out0.values;
-                for (v, val) in out1.values.into_iter().enumerate() {
-                    if assign_now[v] == 1 {
-                        values[v] = val;
+        if exits.iter().all(|e| matches!(e, ExitKind::Done)) {
+            let mut it = vals_out.into_iter();
+            let mut values = it.next().expect("at least one rank");
+            for (i, v) in it.enumerate() {
+                let rd = live[i + 1] as u8;
+                for (x, val) in v.into_iter().enumerate() {
+                    if assign_now[x] == rd {
+                        values[x] = val;
                     }
                 }
-                return finish(
-                    dev_steps,
-                    values,
-                    rstats,
-                    fstats,
-                    istats,
-                    last_resume,
-                    wall_start.elapsed().as_secs_f64(),
-                );
             }
-            [ExitKind::ExchangeDrop(_), ExitKind::ExchangeDrop(_)] => {
-                fstats.exchange_drops += 1;
-                rstats.faults_injected += 1;
-                rstats.rollbacks += 1;
-                if retry >= policy.max_retries {
-                    degrade_seq!(0);
-                }
-                retry += 1;
-                rstats.retries += 1;
-                let backoff = policy.backoff_ms(retry - 1);
-                if backoff > 0 {
-                    std::thread::sleep(Duration::from_millis(backoff));
-                }
-                match load_merged::<P>(&stores, &part.assign, &mut rstats) {
-                    Some((k, vals, flags)) => {
-                        start_step = k;
-                        resume_state = Some((vals, flags));
-                        last_resume = Some(k);
-                    }
-                    None => {
-                        start_step = 0;
-                        resume_state = None;
-                        last_resume = Some(0);
-                    }
-                }
-                continue;
-            }
-            [ExitKind::Rebalance(sr), ExitKind::Rebalance(sr1)] => {
-                debug_assert_eq!(sr, sr1, "rebalance barriers must agree");
-                let _rb = drv_tracer.span(Phase::Rebalance, sr as u32);
-                fstats.rebalances += 1;
-                // Merge live state at the barrier under the old assignment.
-                let mut vals = out0.values;
-                let mut flags = out0.flags;
-                let flags1 = out1.flags;
-                for (v, val) in out1.values.into_iter().enumerate() {
-                    if assign_now[v] == 1 {
-                        vals[v] = val;
-                        flags[v] = flags1[v];
-                    }
-                }
-                // New ratio proportional to observed throughput; re-derive
-                // the partition with the same scheme.
-                let new_ratio = part
-                    .ratio
-                    .rebalanced(out0.sim_adv_total, out1.sim_adv_total);
-                part = partition(graph, part.scheme, new_ratio, REBALANCE_SEED);
-                // Older snapshots were written under the stale assignment:
-                // replace them with the merged barrier state.
-                start_step = sr + 1;
-                reset_stores_with::<P>(&stores, start_step, &vals, &flags);
-                resume_state = Some((vals, flags));
-                rebalance_enabled = false; // one rebalance per run
-                continue;
-            }
-            other => {
-                // Asymmetric exits without a lost device (e.g. one side
-                // dropped while the other rebalanced) should not happen;
-                // degrade rather than guess.
-                debug_assert!(false, "inconsistent device exits: {other:?}");
-                degrade_seq!(0);
-            }
+            return finish(
+                dev_steps,
+                values,
+                rstats,
+                fstats,
+                istats,
+                last_resume,
+                wall_start.elapsed().as_secs_f64(),
+            );
         }
+
+        if exits.iter().all(|e| matches!(e, ExitKind::Rebalance(_))) {
+            let sr = match exits[0] {
+                ExitKind::Rebalance(s) => s,
+                _ => unreachable!(),
+            };
+            debug_assert!(
+                exits
+                    .iter()
+                    .all(|e| matches!(e, ExitKind::Rebalance(s) if *s == sr)),
+                "rebalance barriers must agree: {exits:?}"
+            );
+            let _rb = drv_tracer.span(Phase::Rebalance, sr as u32);
+            fstats.rebalances += 1;
+            // Merge live state at the barrier under the old assignment.
+            let mut it = vals_out.into_iter().zip(flags_out);
+            let (mut vals, mut flags) = it.next().expect("at least one rank");
+            for (i, (v, f)) in it.enumerate() {
+                let rd = live[i + 1] as u8;
+                for (x, val) in v.into_iter().enumerate() {
+                    if assign_now[x] == rd {
+                        vals[x] = val;
+                        flags[x] = f[x];
+                    }
+                }
+            }
+            // New shares proportional to the live ranks' observed
+            // throughputs (dead ranks keep a zero share); re-derive the
+            // partition with the same scheme.
+            let live_shares =
+                Shares::new(live.iter().map(|&r| part.shares.part(r).max(1)).collect());
+            let rebal = live_shares.rebalanced(&sim_adv);
+            let mut parts = vec![0u32; part.shares.num_ranks()];
+            for (i, &r) in live.iter().enumerate() {
+                parts[r] = rebal.part(i);
+            }
+            part = partition_n(graph, part.scheme, &Shares::new(parts), REBALANCE_SEED);
+            // Older snapshots were written under the stale assignment:
+            // replace them with the merged barrier state.
+            start_step = sr + 1;
+            reset_stores_with::<P>(&stores, &live, start_step, &vals, &flags);
+            resume_state = Some((vals, flags));
+            rebalance_enabled = false; // one rebalance per run
+            continue;
+        }
+
+        if exits.iter().any(|e| matches!(e, ExitKind::ExchangeDrop(_))) {
+            // A dropped exchange is observed by both ends of the faulted
+            // link at the same barrier; other ranks see dead links as the
+            // pair tears down. Roll everyone back together.
+            fstats.exchange_drops += 1;
+            rstats.faults_injected += 1;
+            rstats.rollbacks += 1;
+            if retry >= policy.max_retries {
+                degrade_seq!(live[0]);
+            }
+            retry += 1;
+            rstats.retries += 1;
+            let backoff = policy.backoff_ms(retry - 1);
+            if backoff > 0 {
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            match load_merged::<P>(&stores, &live, &part.assign, &mut rstats) {
+                Some((k, vals, flags)) => {
+                    start_step = k;
+                    resume_state = Some((vals, flags));
+                    last_resume = Some(k);
+                }
+                None => {
+                    start_step = 0;
+                    resume_state = None;
+                    last_resume = Some(0);
+                }
+            }
+            continue;
+        }
+
+        // Any remaining mix (peer-dead/timeout without a lost rank or a
+        // reported partition) is a race we cannot attribute; degrade
+        // rather than guess.
+        debug_assert!(false, "inconsistent rank exits: {exits:?}");
+        degrade_seq!(live[0]);
     }
+}
+
+/// Run `program` across both devices with live failover — the N = 2 form
+/// of [`run_ranks_failover`], kept for the classic CPU+MIC topology.
+#[allow(clippy::too_many_arguments)]
+pub fn run_hetero_failover<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition_in: &DevicePartition,
+    specs: [DeviceSpec; 2],
+    configs: [EngineConfig; 2],
+    link: PcieLink,
+    fcfg: &FailoverConfig,
+    stores: [&mut dyn CheckpointStore; 2],
+    resume: bool,
+) -> RunOutput<P::Value>
+where
+    P::Value: PodState,
+{
+    let [s0, s1] = stores;
+    run_ranks_failover(
+        program,
+        graph,
+        partition_in,
+        &specs,
+        &configs,
+        link,
+        fcfg,
+        vec![s0, s1],
+        resume,
+    )
 }
 
 fn _assert_send<T: Send>() {}

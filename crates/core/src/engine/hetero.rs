@@ -1,11 +1,16 @@
-//! Heterogeneous CPU-MIC execution (§IV.A / §IV.E).
+//! Heterogeneous N-rank execution (§IV.A / §IV.E, generalized).
 //!
 //! "The system is built using MPI symmetric computing, with CPU being Rank
-//! 0, and MIC being Rank 1." Both device runtimes execute the same
-//! superstep in lockstep; between generation and processing they combine
-//! their remote buffers per destination and exchange them over the modelled
-//! PCIe link. Global termination: a superstep in which neither device
-//! generated any message.
+//! 0, and MIC being Rank 1." Every device runtime executes the same
+//! superstep in lockstep; between generation and processing each rank
+//! buckets its remote buffer per destination rank, combines each bucket
+//! per destination, and exchanges the combined payloads over its per-peer
+//! links (ascending peer order on every rank — sends never block, so the
+//! mesh schedule is deadlock-free). Global termination: a superstep in
+//! which no rank generated any message — each rank sees its own flag plus
+//! every peer's, so all ranks reach the identical decision at the same
+//! barrier. The classic 2-device CPU+MIC topology is the `N = 2` case of
+//! this one code path.
 
 use crate::api::VertexProgram;
 use crate::engine::config::EngineConfig;
@@ -13,9 +18,9 @@ use crate::engine::device::DeviceEngine;
 use crate::engine::flat::run_cap;
 use crate::engine::integrity::framed_exchange;
 use crate::engine::seq::run_seq;
-use crate::metrics::{combine_hetero, RunOutput, RunReport, StepReport};
+use crate::metrics::{combine_ranks, RunOutput, RunReport, StepReport};
 use phigraph_comm::message::wire_bytes;
-use phigraph_comm::{combine_messages, duplex_pair, Endpoint, PcieLink, WireMsg};
+use phigraph_comm::{combine_messages, mesh, Endpoint, PcieLink, WireMsg};
 use phigraph_device::{CostModel, DeviceSpec, StepCounters};
 use phigraph_graph::Csr;
 use phigraph_partition::DevicePartition;
@@ -24,8 +29,30 @@ use phigraph_simd::MsgValue;
 use phigraph_trace::{HistKind, Phase};
 use std::time::Instant;
 
-/// Run `program` across both devices. `specs`/`configs` are indexed by
-/// device (0 = CPU, 1 = MIC); `partition` assigns vertices.
+/// Run `program` across `specs.len()` ranks. `specs`/`configs` are indexed
+/// by rank (0 = CPU, 1.. = accelerators); `partition` assigns vertices.
+///
+/// # Panics
+/// Panics if a `DropExchange` fault fires — install the fault plan under
+/// [`run_ranks_recovering`] instead, which retries and degrades.
+pub fn run_ranks<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition: &DevicePartition,
+    specs: &[DeviceSpec],
+    configs: &[EngineConfig],
+    link: PcieLink,
+) -> RunOutput<P::Value> {
+    attempt_ranks(program, graph, partition, specs, configs, link).unwrap_or_else(|step| {
+        panic!(
+            "remote message exchange dropped at superstep {step} with no \
+             recovery driver installed; use run_ranks_recovering"
+        )
+    })
+}
+
+/// Run `program` across both devices of the classic CPU+MIC pair — the
+/// `N = 2` case of [`run_ranks`].
 ///
 /// # Panics
 /// Panics if a `DropExchange` fault fires — install the fault plan under
@@ -38,27 +65,23 @@ pub fn run_hetero<P: VertexProgram>(
     configs: [EngineConfig; 2],
     link: PcieLink,
 ) -> RunOutput<P::Value> {
-    attempt_hetero(program, graph, partition, specs, configs, link).unwrap_or_else(|step| {
-        panic!(
-            "remote message exchange dropped at superstep {step} with no \
-             recovery driver installed; use run_hetero_recovering"
-        )
-    })
+    run_ranks(program, graph, partition, &specs, &configs, link)
 }
 
-/// [`run_hetero`] with link-failure recovery: a dropped exchange (observed
-/// by both devices at the same barrier) aborts the superstep consistently,
-/// and the whole run is replayed — generation is deterministic per attempt,
-/// and injected faults fire once, so replay converges. After
+/// [`run_ranks`] with link-failure recovery: a dropped exchange aborts the
+/// superstep consistently on every rank (a dropped link cascades dead-peer
+/// errors over the survivors' links within one barrier), and the whole run
+/// is replayed — generation is deterministic per attempt, and injected
+/// faults fire once, so replay converges. After
 /// `configs[0].recovery.max_retries` failed attempts the run degrades to
-/// the sequential engine on device 0. Recovery events are reported in the
+/// the sequential engine on rank 0. Recovery events are reported in the
 /// combined report's [`RunReport::recovery`].
-pub fn run_hetero_recovering<P: VertexProgram>(
+pub fn run_ranks_recovering<P: VertexProgram>(
     program: &P,
     graph: &Csr,
     partition: &DevicePartition,
-    specs: [DeviceSpec; 2],
-    configs: [EngineConfig; 2],
+    specs: &[DeviceSpec],
+    configs: &[EngineConfig],
     link: PcieLink,
 ) -> RunOutput<P::Value> {
     let policy = configs[0].recovery;
@@ -66,14 +89,7 @@ pub fn run_hetero_recovering<P: VertexProgram>(
     let mut dropped_exchanges = 0u64;
     let mut retry = 0u32;
     loop {
-        match attempt_hetero(
-            program,
-            graph,
-            partition,
-            specs.clone(),
-            configs.clone(),
-            link,
-        ) {
+        match attempt_ranks(program, graph, partition, specs, configs, link) {
             Ok(mut out) => {
                 stats.accumulate(&out.report.recovery);
                 out.report.recovery = stats;
@@ -86,8 +102,8 @@ pub fn run_hetero_recovering<P: VertexProgram>(
                 stats.rollbacks += 1;
                 if retry >= policy.max_retries {
                     // Retry budget exhausted: degrade to one sequential
-                    // device. The hetero path keeps no checkpoints (both
-                    // sides would need a coordinated snapshot), so the
+                    // device. The hetero path keeps no checkpoints (all
+                    // ranks would need a coordinated snapshot), so the
                     // degraded run restarts from scratch — slower, still
                     // correct.
                     stats.degraded = true;
@@ -107,78 +123,102 @@ pub fn run_hetero_recovering<P: VertexProgram>(
     }
 }
 
-/// One lock-step attempt. `Err(step)` means the exchange for `step` was
-/// dropped; both device loops observed it at the same barrier and returned
-/// consistently.
-fn attempt_hetero<P: VertexProgram>(
+/// [`run_hetero`] with link-failure recovery — the `N = 2` case of
+/// [`run_ranks_recovering`].
+pub fn run_hetero_recovering<P: VertexProgram>(
     program: &P,
     graph: &Csr,
     partition: &DevicePartition,
     specs: [DeviceSpec; 2],
     configs: [EngineConfig; 2],
     link: PcieLink,
+) -> RunOutput<P::Value> {
+    run_ranks_recovering(program, graph, partition, &specs, &configs, link)
+}
+
+/// One lock-step attempt over the full fabric. `Err(step)` is the earliest
+/// superstep whose exchange was dropped: the rank with the poisoned link
+/// fails at that barrier, and its peers observe dead links at the same or
+/// the following barrier — the minimum is the authoritative failure point.
+fn attempt_ranks<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    partition: &DevicePartition,
+    specs: &[DeviceSpec],
+    configs: &[EngineConfig],
+    link: PcieLink,
 ) -> Result<RunOutput<P::Value>, usize> {
     assert_eq!(partition.assign.len(), graph.num_vertices());
-    // Both sides must agree on the superstep cap or the lock-step exchange
+    assert!(specs.len() >= 2, "heterogeneous runs need at least 2 ranks");
+    assert_eq!(specs.len(), configs.len(), "one config per rank");
+    let n_ranks = specs.len();
+    // All ranks must agree on the superstep cap or the lock-step exchange
     // deadlocks.
     let cap = run_cap(
         program.max_supersteps(),
-        match (configs[0].max_supersteps, configs[1].max_supersteps) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        },
+        configs.iter().filter_map(|c| c.max_supersteps).min(),
     );
 
-    let (ep0, ep1) = duplex_pair::<WireMsg<P::Msg>>(link);
-    let [spec0, spec1] = specs;
-    let [config0, config1] = configs;
+    let ranks: Vec<usize> = (0..n_ranks).collect();
+    let sides = mesh::<WireMsg<P::Msg>>(link, &ranks);
     let assign = &partition.assign;
 
-    let (side0, side1) = std::thread::scope(|s| {
-        let h0 = s.spawn(|| device_loop(program, graph, assign, 0, spec0, config0, ep0, cap));
-        let h1 = s.spawn(|| device_loop(program, graph, assign, 1, spec1, config1, ep1, cap));
-        (
-            h0.join().expect("device 0 panicked"),
-            h1.join().expect("device 1 panicked"),
-        )
+    let outs: Vec<(Vec<P::Value>, RunReport, Option<usize>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = sides
+            .into_iter()
+            .enumerate()
+            .map(|(r, eps)| {
+                let spec = specs[r].clone();
+                let config = configs[r].clone();
+                s.spawn(move || device_loop(program, graph, assign, r, spec, config, eps, cap))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank loop panicked"))
+            .collect()
     });
 
-    let (values0, report0, fail0) = side0;
-    let (values1, report1, fail1) = side1;
-    if let Some(step) = fail0.or(fail1) {
-        debug_assert_eq!(fail0, fail1, "both sides must fail at the same barrier");
+    if let Some(step) = outs.iter().filter_map(|(_, _, f)| *f).min() {
         return Err(step);
     }
     // Merge values by ownership.
-    let mut values = values0;
-    for (v, val) in values1.into_iter().enumerate() {
-        if assign[v] == 1 {
-            values[v] = val;
+    let mut iter = outs.into_iter();
+    let (mut values, report0, _) = iter.next().expect("rank 0 output");
+    let mut reports = vec![report0];
+    for (r, (vals, report, _)) in iter.enumerate() {
+        let r = (r + 1) as u8;
+        for (v, val) in vals.into_iter().enumerate() {
+            if assign[v] == r {
+                values[v] = val;
+            }
         }
+        reports.push(report);
     }
-    let report = combine_hetero(P::NAME, &report0, &report1);
+    let report = combine_ranks(P::NAME, &reports);
     Ok(RunOutput {
         values,
         report,
-        device_reports: vec![report0, report1],
+        device_reports: reports,
     })
 }
 
-/// One device's superstep loop. The third return slot is `Some(step)` when
-/// the remote exchange for `step` was dropped (fault injection): the loop
-/// returns early, its peer observes the identical failure at the same
+/// One rank's superstep loop. The third return slot is `Some(step)` when a
+/// remote exchange for `step` was dropped (fault injection): the loop
+/// returns early, its peers observe dead links at the same (or next)
 /// barrier, and the caller decides whether to retry.
 #[allow(clippy::too_many_arguments)]
 fn device_loop<P: VertexProgram>(
     program: &P,
     graph: &Csr,
     assign: &[u8],
-    dev: u8,
+    rank: usize,
     spec: DeviceSpec,
     config: EngineConfig,
-    ep: Endpoint<WireMsg<P::Msg>>,
+    eps: Vec<Endpoint<WireMsg<P::Msg>>>,
     cap: usize,
 ) -> (Vec<P::Value>, RunReport, Option<usize>) {
+    let dev = rank as u8;
     let cost = CostModel::new(spec.clone());
     let mut engine = DeviceEngine::new(
         program,
@@ -189,6 +229,12 @@ fn device_loop<P: VertexProgram>(
         Some(assign),
     );
     let tracer = config.tracer(&format!("dev{dev}"), dev as u32 * 1000);
+    // Destination rank → link position (eps are ascending by peer id).
+    let max_rank = eps.iter().map(|e| e.peer).max().unwrap_or(0).max(rank);
+    let mut bucket_of = vec![usize::MAX; max_rank + 1];
+    for (i, ep) in eps.iter().enumerate() {
+        bucket_of[ep.peer] = i;
+    }
     let wall_start = Instant::now();
     let mut steps: Vec<StepReport> = Vec::new();
     let mut failed: Option<usize> = None;
@@ -210,55 +256,81 @@ fn device_loop<P: VertexProgram>(
         };
         c.remote_before_combine = remote.len() as u64;
 
-        // 2. Combine the remote buffer per destination ("the combination
-        //    result is sent to the other device as a single MPI message").
-        let (combined, _) = combine_messages::<P::Msg, P::Reduce>(remote);
-        c.remote_after_combine = combined.len() as u64;
-        let bytes_out = wire_bytes::<P::Msg>(combined.len());
+        // 2. Bucket the remote buffer by destination rank (generation
+        //    order preserved within each bucket) and combine each bucket
+        //    per destination ("the combination result is sent to the other
+        //    device as a single MPI message" — one such message per peer).
+        let mut buckets: Vec<Vec<WireMsg<P::Msg>>> = (0..eps.len()).map(|_| Vec::new()).collect();
+        for m in remote {
+            buckets[bucket_of[assign[m.dst as usize] as usize]].push(m);
+        }
+        let mut outgoing: Vec<Vec<WireMsg<P::Msg>>> = Vec::with_capacity(eps.len());
+        for b in buckets {
+            let (combined, _) = combine_messages::<P::Msg, P::Reduce>(b);
+            c.remote_after_combine += combined.len() as u64;
+            outgoing.push(combined);
+        }
 
-        // 3. The implicit remote message exchange. A `DropExchange` fault
-        //    scheduled for this (step, device) arms a one-shot link failure
-        //    that both sides observe at this barrier.
+        // 3. The implicit remote message exchange, one framed exchange per
+        //    link in ascending peer order. A `DropExchange` fault scheduled
+        //    for this (step, rank) arms a one-shot failure of the rank's
+        //    first link that both of its ends observe at this barrier.
         if let Some(inj) = &config.fault_plan {
             if inj.fire(step as u64, FaultKind::DropExchange, dev) {
-                ep.inject_fault();
+                eps[0].inject_fault();
             }
         }
         let my_any = c.msgs_total() > 0;
+        let mut peer_any = false;
+        let mut comm_time = 0.0;
+        let mut incoming_all: Vec<Vec<WireMsg<P::Msg>>> = Vec::with_capacity(eps.len());
         let x0 = Instant::now();
         let xspan = tracer.span(Phase::Exchange, step as u32);
         // Frame integrity (when configured): seal, verify, and heal corrupt
         // frames with a bounded verdict-synced re-exchange. With integrity
         // off this is the plain lock-step exchange (and any injected wire
         // corruption passes through silently).
-        let exchanged = framed_exchange(
-            &ep,
-            combined,
-            bytes_out,
-            my_any,
-            0.0,
-            None,
-            step as u64,
-            dev,
-            config.integrity,
-            config.fault_plan.as_ref(),
-            &mut integ_stats,
-        );
-        let (incoming, peer_any, xstats) = match exchanged {
-            Ok((msgs, peer, x)) => (msgs, peer.any_active, x),
-            Err(_dropped) => {
-                failed = Some(step);
-                break;
+        for (ep, out_msgs) in eps.iter().zip(outgoing) {
+            let bytes_out = wire_bytes::<P::Msg>(out_msgs.len());
+            let exchanged = framed_exchange(
+                ep,
+                out_msgs,
+                bytes_out,
+                my_any,
+                0.0,
+                None,
+                step as u64,
+                dev,
+                config.integrity,
+                config.fault_plan.as_ref(),
+                &mut integ_stats,
+            );
+            match exchanged {
+                Ok((msgs, peer, x)) => {
+                    peer_any |= peer.any_active;
+                    c.comm_bytes += x.bytes_sent + x.bytes_recv;
+                    comm_time += x.sim_time;
+                    incoming_all.push(msgs);
+                }
+                Err(_dropped) => {
+                    failed = Some(step);
+                    break;
+                }
             }
-        };
+        }
+        if failed.is_some() {
+            break;
+        }
         drop(xspan);
         config.record_hist(HistKind::ExchangeRttUs, x0.elapsed().as_micros() as u64);
-        c.comm_bytes = xstats.bytes_sent + xstats.bytes_recv;
 
-        // 4. Insert received messages, then process and update locally.
+        // 4. Insert received messages (per peer, ascending), then process
+        //    and update locally.
         {
             let _i = tracer.span(Phase::Insert, step as u32);
-            engine.absorb_remote(&incoming, &mut c);
+            for incoming in &incoming_all {
+                engine.absorb_remote(incoming, &mut c);
+            }
             engine.finalize_insertion_stats(&mut c);
         }
         {
@@ -277,7 +349,7 @@ fn device_loop<P: VertexProgram>(
         steps.push(StepReport {
             step,
             times,
-            comm_time: xstats.sim_time,
+            comm_time,
             wall: t0.elapsed().as_secs_f64(),
             counters: c,
         });
@@ -306,7 +378,7 @@ mod tests {
     use crate::engine::run_single;
     use phigraph_graph::generators::small::chain;
     use phigraph_graph::VertexId;
-    use phigraph_partition::{partition, PartitionScheme, Ratio};
+    use phigraph_partition::{partition, partition_n, PartitionScheme, Ratio, Shares};
     use phigraph_simd::Min;
 
     struct Sssp;
@@ -367,6 +439,35 @@ mod tests {
     }
 
     #[test]
+    fn three_and_four_rank_fabrics_match_single_device() {
+        let g = chain(40);
+        let single = run_single(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking(),
+        );
+        for n in [3usize, 4] {
+            let p = partition_n(&g, PartitionScheme::RoundRobin, &Shares::even(n), 0);
+            let specs: Vec<DeviceSpec> = (0..n)
+                .map(|r| {
+                    if r == 0 {
+                        DeviceSpec::xeon_e5_2680()
+                    } else {
+                        DeviceSpec::xeon_phi_se10p()
+                    }
+                })
+                .collect();
+            let configs = vec![EngineConfig::locking(); n];
+            let out = run_ranks(&Sssp, &g, &p, &specs, &configs, PcieLink::gen2_x16());
+            assert_eq!(out.values, single.values, "{n} ranks");
+            assert_eq!(out.device_reports.len(), n);
+            assert_eq!(out.report.device, format!("CPU-MICx{}", n - 1));
+            assert!(out.report.total_comm_bytes() > 0, "{n} ranks");
+        }
+    }
+
+    #[test]
     fn dropped_exchange_is_retried_and_matches_clean_run() {
         use phigraph_recover::{FaultKind, FaultPlan};
         let g = chain(30);
@@ -398,6 +499,39 @@ mod tests {
         assert_eq!(out.report.recovery.faults_injected, 1);
         assert!(!out.report.recovery.degraded);
         assert_eq!(out.report.device, "CPU-MIC");
+    }
+
+    #[test]
+    fn three_rank_dropped_exchange_is_retried() {
+        use phigraph_recover::{FaultKind, FaultPlan};
+        let g = chain(30);
+        let p = partition_n(&g, PartitionScheme::RoundRobin, &Shares::even(3), 0);
+        let clean = run_single(
+            &Sssp,
+            &g,
+            DeviceSpec::xeon_e5_2680(),
+            &EngineConfig::locking(),
+        );
+        // Rank 1 drops its first link (to rank 0) at superstep 2; ranks 0
+        // and 2 observe the dead fabric and all three retry consistently.
+        let plan = FaultPlan::new().with(2, FaultKind::DropExchange, 1);
+        let inj = plan.injector();
+        let specs = vec![
+            DeviceSpec::xeon_e5_2680(),
+            DeviceSpec::xeon_phi_se10p(),
+            DeviceSpec::xeon_phi_se10p(),
+        ];
+        let configs = vec![
+            EngineConfig::locking()
+                .with_backoff_ms(0)
+                .with_fault_plan(inj.clone());
+            3
+        ];
+        let out = run_ranks_recovering(&Sssp, &g, &p, &specs, &configs, PcieLink::gen2_x16());
+        assert_eq!(out.values, clean.values);
+        assert_eq!(out.report.recovery.rollbacks, 1);
+        assert_eq!(out.report.recovery.retries, 1);
+        assert!(!out.report.recovery.degraded);
     }
 
     #[test]

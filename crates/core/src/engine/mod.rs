@@ -13,9 +13,9 @@ pub mod seq;
 
 pub use config::{EngineConfig, ExecMode};
 pub use device::DeviceEngine;
-pub use failover::run_hetero_failover;
+pub use failover::{run_hetero_failover, run_ranks_failover};
 pub use flat::run_flat;
-pub use hetero::{run_hetero, run_hetero_recovering};
+pub use hetero::{run_hetero, run_hetero_recovering, run_ranks, run_ranks_recovering};
 pub use integrity::{framed_exchange, BarrierImage, IntegrityCtx};
 pub use recover::run_recoverable;
 pub use seq::{run_seq, run_seq_resume};

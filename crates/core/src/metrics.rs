@@ -211,53 +211,80 @@ pub struct RunOutput<V> {
     pub device_reports: Vec<RunReport>,
 }
 
-/// Combine two lock-stepped device reports into the heterogeneous view:
-/// per superstep, execution time is "determined by the slower device", and
-/// communication is the exchange time (equal on both sides).
-pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunReport {
-    let steps = dev0
-        .steps
+/// Combine N lock-stepped rank reports into the heterogeneous view: per
+/// superstep, execution time is "determined by the slower device", and
+/// communication is the exchange time. Steps are matched by **step index**
+/// (not list position), so ragged per-rank step lists — a rank evicted
+/// mid-run contributes only the supersteps it executed — combine correctly.
+pub fn combine_ranks(app: &str, reports: &[RunReport]) -> RunReport {
+    assert!(!reports.is_empty(), "no rank reports to combine");
+    let mut step_ids: Vec<usize> = reports
         .iter()
-        .zip(&dev1.steps)
-        .map(|(a, b)| {
-            let slower = if a.times.total >= b.times.total { a } else { b };
-            StepReport {
-                step: a.step,
-                times: slower.times,
-                comm_time: a.comm_time.max(b.comm_time),
-                wall: a.wall.max(b.wall),
-                counters: {
-                    let mut c = a.counters.clone();
-                    c.accumulate(&b.counters);
-                    c
-                },
+        .flat_map(|r| r.steps.iter().map(|s| s.step))
+        .collect();
+    step_ids.sort_unstable();
+    step_ids.dedup();
+    let steps = step_ids
+        .into_iter()
+        .map(|id| {
+            let mut acc: Option<StepReport> = None;
+            for r in reports {
+                let Some(s) = r.steps.iter().find(|s| s.step == id) else {
+                    continue;
+                };
+                match acc.as_mut() {
+                    None => acc = Some(s.clone()),
+                    Some(c) => {
+                        if s.times.total > c.times.total {
+                            c.times = s.times;
+                        }
+                        c.comm_time = c.comm_time.max(s.comm_time);
+                        c.wall = c.wall.max(s.wall);
+                        c.counters.accumulate(&s.counters);
+                    }
+                }
             }
+            acc.expect("step id came from some rank")
         })
         .collect();
-    let mut recovery = dev0.recovery;
-    recovery.accumulate(&dev1.recovery);
-    let mut failover = dev0.failover;
-    failover.accumulate(&dev1.failover);
-    let mut integrity = dev0.integrity;
-    integrity.accumulate(&dev1.integrity);
+    let mut recovery = reports[0].recovery;
+    let mut failover = reports[0].failover;
+    let mut integrity = reports[0].integrity;
+    for r in &reports[1..] {
+        recovery.accumulate(&r.recovery);
+        failover.accumulate(&r.failover);
+        integrity.accumulate(&r.integrity);
+    }
+    let device = if reports.len() == 2 {
+        "CPU-MIC".to_string()
+    } else {
+        format!("CPU-MICx{}", reports.len() - 1)
+    };
     RunReport {
         app: app.to_string(),
-        device: "CPU-MIC".to_string(),
+        device,
         mode: "cpu-mic".to_string(),
         steps,
-        wall: dev0.wall.max(dev1.wall),
+        wall: reports.iter().map(|r| r.wall).fold(0.0, f64::max),
         recovery,
         failover,
         integrity,
     }
 }
 
+/// Combine two lock-stepped device reports into the heterogeneous view —
+/// the N=2 case of [`combine_ranks`].
+pub fn combine_hetero(app: &str, dev0: &RunReport, dev1: &RunReport) -> RunReport {
+    combine_ranks(app, &[dev0.clone(), dev1.clone()])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn step(total: f64, comm: f64) -> StepReport {
+    fn step_at(i: usize, total: f64, comm: f64) -> StepReport {
         StepReport {
+            step: i,
             times: PhaseTimes {
                 gen: total / 2.0,
                 process: total / 4.0,
@@ -268,6 +295,10 @@ mod tests {
             comm_time: comm,
             ..Default::default()
         }
+    }
+
+    fn step(total: f64, comm: f64) -> StepReport {
+        step_at(0, total, comm)
     }
 
     #[test]
@@ -285,11 +316,11 @@ mod tests {
     #[test]
     fn hetero_combination_takes_slower_device() {
         let a = RunReport {
-            steps: vec![step(1.0, 0.1), step(5.0, 0.1)],
+            steps: vec![step_at(0, 1.0, 0.1), step_at(1, 5.0, 0.1)],
             ..Default::default()
         };
         let b = RunReport {
-            steps: vec![step(2.0, 0.1), step(1.0, 0.1)],
+            steps: vec![step_at(0, 2.0, 0.1), step_at(1, 1.0, 0.1)],
             ..Default::default()
         };
         let c = combine_hetero("x", &a, &b);
@@ -365,6 +396,33 @@ mod tests {
         assert_eq!(r.total_checkpoints(), 2);
         assert_eq!(r.total_checkpoint_bytes(), 250);
         assert_eq!(r.total_faults_injected(), 1);
+    }
+
+    #[test]
+    fn rank_combination_groups_by_step_index_across_ragged_lists() {
+        // Rank b was evicted after superstep 0: its list is shorter, and the
+        // combined view must still pair entries by step index, not position.
+        let a = RunReport {
+            steps: vec![step_at(0, 1.0, 0.1), step_at(1, 2.0, 0.1)],
+            ..Default::default()
+        };
+        let b = RunReport {
+            steps: vec![step_at(0, 3.0, 0.2)],
+            ..Default::default()
+        };
+        let c = RunReport {
+            steps: vec![step_at(0, 2.0, 0.1), step_at(1, 4.0, 0.3)],
+            ..Default::default()
+        };
+        let r = combine_ranks("x", &[a, b, c]);
+        assert_eq!(r.device, "CPU-MICx2");
+        assert_eq!(r.steps.len(), 2);
+        assert!((r.steps[0].times.total - 3.0).abs() < 1e-12, "slowest of 3");
+        assert!(
+            (r.steps[1].times.total - 4.0).abs() < 1e-12,
+            "rank b absent"
+        );
+        assert!((r.steps[1].comm_time - 0.3).abs() < 1e-12);
     }
 
     #[test]

@@ -117,10 +117,10 @@ pub fn tune_ratio<P: VertexProgram>(
     let block_of = mlp::partition_kway(graph, blocks, 7);
     let mut best: Option<RatioTuning> = None;
     for &ratio in candidates {
-        let assign = hybrid_from_blocks(graph, &block_of, blocks, ratio);
+        let assign = hybrid_from_blocks(graph, &block_of, blocks, &ratio.to_shares());
         let partition = DevicePartition {
             assign,
-            ratio,
+            shares: ratio.to_shares(),
             scheme: PartitionScheme::Hybrid { blocks },
         };
         let probe_configs = [

@@ -2,11 +2,12 @@
 //!
 //! The paper's system takes "a graph partitioning file indicating which
 //! device each vertex belongs to" as its second input, produced by "a
-//! separate module". Format: a header `n`, then one device id (0 or 1) per
-//! line, in vertex order.
+//! separate module". Format: a header `n`, then one rank id per line, in
+//! vertex order. The paper's files use ids 0 and 1; the N-rank fabric
+//! accepts any id below [`MAX_RANKS`](crate::MAX_RANKS).
 
-use crate::ratio::Ratio;
-use crate::scheme::{DevicePartition, PartitionScheme};
+use crate::scheme::{DevicePartition, PartitionScheme, MAX_RANKS};
+use crate::shares::Shares;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 
 /// Write a partition to the text format.
@@ -19,9 +20,10 @@ pub fn write_partition<W: Write>(p: &DevicePartition, out: W) -> io::Result<()> 
     w.flush()
 }
 
-/// Read a partition from the text format. The ratio and scheme of the file
-/// are unknown; the returned partition carries the measured vertex-count
-/// ratio and `Continuous` as a placeholder scheme.
+/// Read a partition from the text format. The shares and scheme of the
+/// file are unknown; the returned partition carries the measured per-rank
+/// vertex counts as shares and `Continuous` as a placeholder scheme. The
+/// rank count is `max id + 1`, floored at two.
 pub fn read_partition<R: Read>(input: R) -> io::Result<DevicePartition> {
     let mut lines = BufReader::new(input).lines();
     let n: usize = lines
@@ -37,11 +39,12 @@ pub fn read_partition<R: Read>(input: R) -> io::Result<DevicePartition> {
         if t.is_empty() {
             continue;
         }
-        let d: u8 = t
-            .parse()
-            .map_err(|_| bad(&format!("bad device id {t:?}")))?;
-        if d > 1 {
-            return Err(bad(&format!("device id {d} out of range")));
+        let d: u8 = t.parse().map_err(|_| bad(&format!("bad rank id {t:?}")))?;
+        if d as usize >= MAX_RANKS {
+            return Err(bad(&format!(
+                "rank id {d} out of range (max {})",
+                MAX_RANKS - 1
+            )));
         }
         assign.push(d);
     }
@@ -51,14 +54,22 @@ pub fn read_partition<R: Read>(input: R) -> io::Result<DevicePartition> {
             assign.len()
         )));
     }
-    let cpu = assign.iter().filter(|&&d| d == 0).count() as u32;
-    let mic = n as u32 - cpu;
+    let ranks = assign
+        .iter()
+        .map(|&d| d as usize + 1)
+        .max()
+        .unwrap_or(0)
+        .max(2);
+    let mut counts = vec![0u32; ranks];
+    for &d in &assign {
+        counts[d as usize] += 1;
+    }
     Ok(DevicePartition {
         assign,
-        ratio: if cpu + mic == 0 {
-            Ratio::even()
+        shares: if counts.iter().all(|&c| c == 0) {
+            Shares::even(ranks)
         } else {
-            Ratio::new(cpu.max(u32::from(mic == 0)), mic)
+            Shares::new(counts)
         },
         scheme: PartitionScheme::Continuous,
     })
@@ -71,7 +82,8 @@ fn bad(msg: &str) -> io::Error {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::partition;
+    use crate::ratio::Ratio;
+    use crate::scheme::{partition, partition_n};
     use phigraph_graph::generators::small::cycle;
 
     #[test]
@@ -82,6 +94,24 @@ mod tests {
         write_partition(&p, &mut buf).unwrap();
         let q = read_partition(&buf[..]).unwrap();
         assert_eq!(q.assign, p.assign);
+        assert_eq!(q.num_ranks(), 2);
+    }
+
+    #[test]
+    fn nway_round_trip() {
+        let g = cycle(12);
+        let p = partition_n(
+            &g,
+            PartitionScheme::RoundRobin,
+            &Shares::new(vec![1, 1, 2]),
+            0,
+        );
+        let mut buf = Vec::new();
+        write_partition(&p, &mut buf).unwrap();
+        let q = read_partition(&buf[..]).unwrap();
+        assert_eq!(q.assign, p.assign);
+        assert_eq!(q.num_ranks(), 3);
+        assert_eq!(q.counts(), p.counts());
     }
 
     #[test]
@@ -90,8 +120,9 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_device() {
-        assert!(read_partition(&b"1\n7\n"[..]).is_err());
+    fn rejects_out_of_range_rank() {
+        assert!(read_partition(&b"1\n64\n"[..]).is_err());
+        assert!(read_partition(&b"1\nx\n"[..]).is_err());
     }
 
     #[test]

@@ -22,12 +22,20 @@
 //! result is reused for generating hybrid partitioning results for
 //! different ratios").
 
+//!
+//! Every scheme generalizes to an N-rank fabric: [`Shares`] is the N-way
+//! form of the `a:b` [`Ratio`], and [`partition_n`] produces a
+//! [`DevicePartition`] over any number of ranks (the 2-rank [`partition`]
+//! is its `N = 2` case).
+
 pub mod file;
 pub mod mlp;
 pub mod ratio;
 pub mod scheme;
+pub mod shares;
 pub mod stats;
 
 pub use ratio::Ratio;
-pub use scheme::{partition, DevicePartition, PartitionScheme};
+pub use scheme::{partition, partition_n, DevicePartition, PartitionScheme, MAX_RANKS};
+pub use shares::Shares;
 pub use stats::PartitionStats;

@@ -1,6 +1,7 @@
 //! Partitioning ratio `a : b` ("relative amounts of computation assigned to
 //! devices specified by the users").
 
+use crate::shares::Shares;
 use std::fmt;
 use std::str::FromStr;
 
@@ -48,17 +49,26 @@ impl Ratio {
     /// is normalized to parts summing to 100 and clamped to `1..=99` so a
     /// straggler is never starved to zero (that would be migration, not
     /// rebalancing). Non-positive timings return the current ratio.
+    ///
+    /// Delegates to the N-way [`Shares::rebalanced`], of which this is the
+    /// two-rank case.
     pub fn rebalanced(&self, t_cpu: f64, t_mic: f64) -> Ratio {
-        if !t_cpu.is_finite() || t_cpu <= 0.0 || !t_mic.is_finite() || t_mic <= 0.0 {
-            return *self;
+        let s = self.to_shares().rebalanced(&[t_cpu, t_mic]);
+        Ratio {
+            cpu: s.part(0),
+            mic: s.part(1),
         }
-        let thr = [self.share(0) / t_cpu, self.share(1) / t_mic];
-        let total = thr[0] + thr[1];
-        if !total.is_finite() || total <= 0.0 {
-            return *self;
-        }
-        let cpu = ((thr[0] / total * 100.0).round() as u32).clamp(1, 99);
-        Ratio::new(cpu, 100 - cpu)
+    }
+
+    /// The equivalent two-rank [`Shares`].
+    pub fn to_shares(&self) -> Shares {
+        Shares::two(self.cpu, self.mic)
+    }
+}
+
+impl From<Ratio> for Shares {
+    fn from(r: Ratio) -> Shares {
+        r.to_shares()
     }
 }
 

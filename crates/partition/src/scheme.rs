@@ -1,17 +1,29 @@
-//! The three device-partitioning schemes of §IV.E / Fig. 6.
+//! The three device-partitioning schemes of §IV.E / Fig. 6, generalized to
+//! N ranks.
+//!
+//! Every scheme is implemented once for N-way [`Shares`]; the paper's
+//! two-device `a:b` form is the `N = 2` case ([`partition`] delegates to
+//! [`partition_n`] bit-for-bit).
 
 use crate::mlp::partition_kway;
 use crate::ratio::Ratio;
+use crate::shares::Shares;
 use phigraph_graph::Csr;
 
-/// Which algorithm distributes vertices to the two devices.
+/// Ranks are stored as `u8` and the device engine tracks remote senders in
+/// a 64-bit mask, so a single fabric tops out at 64 in-process runtimes.
+pub const MAX_RANKS: usize = 64;
+
+/// Which algorithm distributes vertices to the devices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionScheme {
     /// "The first `a/(a+b) · num_vertices` vertices are assigned to CPU,
-    /// and the remaining vertices are assigned to MIC."
+    /// and the remaining vertices are assigned to MIC." N-way: consecutive
+    /// segments sized by cumulative share.
     Continuous,
     /// "For every `a+b` vertices, the first `a` vertices are assigned to
-    /// CPU, and the remaining `b` vertices are assigned to MIC."
+    /// CPU, and the remaining `b` vertices are assigned to MIC." N-way:
+    /// each period of `total` vertices is sliced into per-rank bands.
     RoundRobin,
     /// "First partition the vertices into small blocks [min-connectivity,
     /// via the multilevel partitioner], and then assign the blocks to the
@@ -38,13 +50,15 @@ impl PartitionScheme {
     }
 }
 
-/// A vertex→device assignment (0 = CPU, 1 = MIC).
+/// A vertex→rank assignment. Rank 0 is the CPU in the paper's 2-device
+/// topology; ranks 1… are accelerator runtimes.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DevicePartition {
-    /// Device per vertex.
+    /// Rank per vertex.
     pub assign: Vec<u8>,
-    /// The ratio the assignment targets.
-    pub ratio: Ratio,
+    /// The per-rank shares the assignment targets (evicted ranks carry a
+    /// zero part and own no vertices).
+    pub shares: Shares,
     /// The scheme that produced it.
     pub scheme: PartitionScheme,
 }
@@ -60,45 +74,89 @@ impl DevicePartition {
             .collect()
     }
 
-    /// Vertex count per device.
-    pub fn counts(&self) -> [usize; 2] {
-        let mut c = [0usize; 2];
+    /// Number of ranks in the fabric (including zero-share ranks).
+    pub fn num_ranks(&self) -> usize {
+        self.shares.num_ranks()
+    }
+
+    /// Vertex count per rank.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.num_ranks()];
         for &d in &self.assign {
             c[d as usize] += 1;
         }
         c
     }
 
-    /// An all-on-one-device partition (single-device execution).
+    /// An all-on-one-device partition (single-device execution). Two-rank
+    /// fabric, everything on `dev`.
     pub fn single_device(n: usize, dev: u8) -> Self {
         DevicePartition {
             assign: vec![dev; n],
-            ratio: if dev == 0 {
-                Ratio::new(1, 0)
-            } else {
-                Ratio::new(0, 1)
-            },
+            shares: Shares::single(2, dev as usize),
             scheme: PartitionScheme::Continuous,
         }
     }
 
     /// Failover migration: remap every vertex onto `dev`, keeping the
-    /// original scheme tag for reporting. Used when the other device dies
-    /// mid-run and the survivor absorbs its partition.
+    /// original scheme tag for reporting. Used when every other rank dies
+    /// mid-run and the survivor absorbs the whole graph.
     pub fn migrate_to(&self, dev: u8) -> Self {
         DevicePartition {
             assign: vec![dev; self.assign.len()],
-            ratio: if dev == 0 {
-                Ratio::new(1, 0)
-            } else {
-                Ratio::new(0, 1)
-            },
+            shares: Shares::single(self.num_ranks(), dev as usize),
+            scheme: self.scheme,
+        }
+    }
+
+    /// Eviction re-split: deal every vertex owned by a rank in `dead` onto
+    /// the `survivors`, in vertex order, each vertex going to the survivor
+    /// with the smallest normalized load `(count + 1) / share` (ties to the
+    /// lowest rank id — the same greedy rule the hybrid scheme uses for
+    /// blocks). Survivor-owned vertices never move, so surviving ranks
+    /// keep their exact per-vertex state. With a single survivor this
+    /// degenerates to [`migrate_to`](Self::migrate_to).
+    pub fn redistribute(&self, dead: &[usize], survivors: &[usize]) -> Self {
+        assert!(!survivors.is_empty(), "need at least one survivor");
+        if survivors.len() == 1 {
+            return self.migrate_to(survivors[0] as u8);
+        }
+        let weights: Vec<f64> = survivors
+            .iter()
+            .map(|&s| f64::from(self.shares.part(s).max(1)))
+            .collect();
+        let mut counts: Vec<f64> = survivors
+            .iter()
+            .map(|&s| self.assign.iter().filter(|&&d| d as usize == s).count() as f64)
+            .collect();
+        let mut assign = self.assign.clone();
+        for slot in assign.iter_mut() {
+            if !dead.contains(&(*slot as usize)) {
+                continue;
+            }
+            let mut best = 0usize;
+            for i in 1..survivors.len() {
+                if (counts[i] + 1.0) / weights[i] < (counts[best] + 1.0) / weights[best] {
+                    best = i;
+                }
+            }
+            *slot = survivors[best] as u8;
+            counts[best] += 1.0;
+        }
+        let mut shares = self.shares.clone();
+        for &d in dead {
+            shares = shares.evicted(d);
+        }
+        DevicePartition {
+            assign,
+            shares,
             scheme: self.scheme,
         }
     }
 }
 
-/// Partition `g` between CPU and MIC with `scheme` at `ratio`.
+/// Partition `g` between CPU and MIC with `scheme` at `ratio`: the two-rank
+/// case of [`partition_n`].
 ///
 /// # Examples
 ///
@@ -110,60 +168,98 @@ impl DevicePartition {
 /// assert_eq!(p.counts(), [4, 4]);
 /// ```
 pub fn partition(g: &Csr, scheme: PartitionScheme, ratio: Ratio, seed: u64) -> DevicePartition {
+    partition_n(g, scheme, &ratio.to_shares(), seed)
+}
+
+/// Partition `g` across `shares.num_ranks()` ranks with `scheme`.
+pub fn partition_n(
+    g: &Csr,
+    scheme: PartitionScheme,
+    shares: &Shares,
+    seed: u64,
+) -> DevicePartition {
+    assert!(
+        shares.num_ranks() <= MAX_RANKS,
+        "at most {MAX_RANKS} ranks per fabric"
+    );
     let n = g.num_vertices();
     let assign = match scheme {
-        PartitionScheme::Continuous => continuous(n, ratio),
-        PartitionScheme::RoundRobin => round_robin(n, ratio),
+        PartitionScheme::Continuous => continuous(n, shares),
+        PartitionScheme::RoundRobin => round_robin(n, shares),
         PartitionScheme::Hybrid { blocks } => {
             let block_of = partition_kway(g, blocks.max(1), seed);
-            hybrid_from_blocks(g, &block_of, blocks.max(1), ratio)
+            hybrid_from_blocks(g, &block_of, blocks.max(1), shares)
         }
     };
     DevicePartition {
         assign,
-        ratio,
+        shares: shares.clone(),
         scheme,
     }
 }
 
-/// Continuous partitioning.
-fn continuous(n: usize, ratio: Ratio) -> Vec<u8> {
-    let cpu_count = ((n as f64) * ratio.share(0)).round() as usize;
-    (0..n).map(|v| u8::from(v >= cpu_count)).collect()
+/// Continuous partitioning: rank `i` owns the segment between the rounded
+/// cumulative-share boundaries.
+fn continuous(n: usize, shares: &Shares) -> Vec<u8> {
+    let r = shares.num_ranks();
+    let mut bounds = Vec::with_capacity(r);
+    let mut cum = 0.0f64;
+    for i in 0..r {
+        cum += shares.share(i);
+        bounds.push(((n as f64) * cum).round() as usize);
+    }
+    bounds[r - 1] = n; // guard against cumulative rounding drift
+    let mut assign = Vec::with_capacity(n);
+    let mut rank = 0usize;
+    for v in 0..n {
+        while v >= bounds[rank] {
+            rank += 1;
+        }
+        assign.push(rank as u8);
+    }
+    assign
 }
 
-/// Per-vertex round-robin dealing.
-fn round_robin(n: usize, ratio: Ratio) -> Vec<u8> {
-    let a = ratio.cpu as usize;
-    let period = ratio.total() as usize;
-    (0..n).map(|v| u8::from(v % period >= a)).collect()
+/// Per-vertex round-robin dealing: position `v % total` falls into rank
+/// `i`'s band of width `part(i)`.
+fn round_robin(n: usize, shares: &Shares) -> Vec<u8> {
+    let r = shares.num_ranks();
+    let period = shares.total() as usize;
+    let mut band = Vec::with_capacity(period);
+    for i in 0..r {
+        for _ in 0..shares.part(i) {
+            band.push(i as u8);
+        }
+    }
+    (0..n).map(|v| band[v % period]).collect()
 }
 
-/// Deal pre-computed blocks to the devices. Blocks are dealt in id order to
-/// whichever device is furthest below its ratio share of cumulative
-/// workload (weighted round-robin) — this keeps the computation ratio
-/// consistent with the requested ratio even when block workloads differ.
-pub fn hybrid_from_blocks(g: &Csr, block_of: &[u32], blocks: usize, ratio: Ratio) -> Vec<u8> {
+/// Deal pre-computed blocks to the ranks. Blocks are dealt in id order to
+/// whichever rank is furthest below its share of cumulative workload
+/// (weighted round-robin) — this keeps the computation ratio consistent
+/// with the requested shares even when block workloads differ. A zero-share
+/// rank never receives blocks; ties go to the lowest rank id.
+pub fn hybrid_from_blocks(g: &Csr, block_of: &[u32], blocks: usize, shares: &Shares) -> Vec<u8> {
     // Per-block workload = edges sourced in the block (+1 per vertex).
     let mut work = vec![0f64; blocks];
     for v in 0..g.num_vertices() {
         work[block_of[v] as usize] += 1.0 + g.out_degree(v as u32) as f64;
     }
-    let shares = [ratio.share(0), ratio.share(1)];
-    let mut assigned = [0f64; 2];
+    let r = shares.num_ranks();
+    let mut assigned = vec![0f64; r];
     let mut block_dev = vec![0u8; blocks];
     for b in 0..blocks {
-        // Pick the device with the smaller normalized load; a zero-share
-        // device never receives blocks.
-        let dev = if shares[0] <= 0.0 {
-            1
-        } else if shares[1] <= 0.0 {
-            0
-        } else {
-            let l0 = (assigned[0] + work[b]) / shares[0];
-            let l1 = (assigned[1] + work[b]) / shares[1];
-            usize::from(l1 < l0)
-        };
+        let mut best: Option<(usize, f64)> = None;
+        for (d, a) in assigned.iter().enumerate().take(r) {
+            if shares.share(d) <= 0.0 {
+                continue;
+            }
+            let load = (a + work[b]) / shares.share(d);
+            if best.is_none_or(|(_, l)| load < l) {
+                best = Some((d, load));
+            }
+        }
+        let (dev, _) = best.expect("shares have a positive total");
         block_dev[b] = dev as u8;
         assigned[dev] += work[b];
     }
@@ -270,11 +366,11 @@ mod tests {
         let m = p.migrate_to(0);
         assert_eq!(m.assign.len(), p.assign.len());
         assert!(m.assign.iter().all(|&d| d == 0));
-        assert_eq!(m.ratio, Ratio::new(1, 0));
+        assert_eq!(m.shares, Shares::two(1, 0));
         assert_eq!(m.scheme.name(), "hybrid");
         let m1 = p.migrate_to(1);
         assert!(m1.assign.iter().all(|&d| d == 1));
-        assert_eq!(m1.ratio, Ratio::new(0, 1));
+        assert_eq!(m1.shares, Shares::two(0, 1));
     }
 
     #[test]
@@ -286,5 +382,119 @@ mod tests {
         all.sort_unstable();
         let expect: Vec<u32> = (0..g.num_vertices() as u32).collect();
         assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn two_rank_nway_matches_legacy_ratio_partition() {
+        // partition() is the N=2 case of partition_n(): identical assigns
+        // for every scheme and a spread of ratios.
+        let g = pokec_like();
+        for scheme in [
+            PartitionScheme::Continuous,
+            PartitionScheme::RoundRobin,
+            PartitionScheme::hybrid_default(),
+        ] {
+            for (a, b) in [(1u32, 1u32), (3, 5), (1, 4), (7, 2)] {
+                let two = partition(&g, scheme, Ratio::new(a, b), 9);
+                let n = partition_n(&g, scheme, &Shares::two(a, b), 9);
+                assert_eq!(two.assign, n.assign, "{} {a}:{b}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn nway_schemes_cover_all_ranks_proportionally() {
+        let g = pokec_like();
+        let shares = Shares::new(vec![2, 1, 1]);
+        // Continuous and round-robin target vertex counts.
+        for scheme in [PartitionScheme::Continuous, PartitionScheme::RoundRobin] {
+            let p = partition_n(&g, scheme, &shares, 3);
+            let c = p.counts();
+            assert_eq!(c.len(), 3);
+            assert_eq!(c.iter().sum::<usize>(), g.num_vertices());
+            let n = g.num_vertices() as f64;
+            for (r, &cnt) in c.iter().enumerate() {
+                let got = cnt as f64 / n;
+                assert!(
+                    (got - shares.share(r)).abs() < 0.01,
+                    "{} rank {r}: got {got}, want {}",
+                    scheme.name(),
+                    shares.share(r)
+                );
+            }
+        }
+        // Hybrid targets edge workload, like the paper's ratio goal.
+        let p = partition_n(&g, PartitionScheme::hybrid_default(), &shares, 3);
+        let s = PartitionStats::compute(&g, &p);
+        assert!(
+            s.edge_balance_error_n(&shares) < 0.15,
+            "hybrid N-way balance error {}",
+            s.edge_balance_error_n(&shares)
+        );
+    }
+
+    #[test]
+    fn round_robin_nway_bands_repeat() {
+        let g = pokec_like();
+        let p = partition_n(
+            &g,
+            PartitionScheme::RoundRobin,
+            &Shares::new(vec![2, 1, 1]),
+            0,
+        );
+        // Period 4: ranks 0,0,1,2 repeating.
+        for v in 0..16 {
+            let want = [0u8, 0, 1, 2][v % 4];
+            assert_eq!(p.assign[v], want, "v={v}");
+        }
+    }
+
+    #[test]
+    fn zero_share_rank_owns_nothing() {
+        let g = pokec_like();
+        let shares = Shares::new(vec![1, 0, 1]);
+        for scheme in [
+            PartitionScheme::Continuous,
+            PartitionScheme::RoundRobin,
+            PartitionScheme::hybrid_default(),
+        ] {
+            let p = partition_n(&g, scheme, &shares, 0);
+            assert_eq!(p.counts()[1], 0, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn redistribute_moves_only_the_dead_ranks_vertices() {
+        let g = pokec_like();
+        let p = partition_n(
+            &g,
+            PartitionScheme::RoundRobin,
+            &Shares::new(vec![1, 1, 1, 1]),
+            0,
+        );
+        let q = p.redistribute(&[2], &[0, 1, 3]);
+        assert_eq!(q.counts()[2], 0);
+        assert_eq!(q.shares.part(2), 0);
+        for v in 0..g.num_vertices() {
+            if p.assign[v] != 2 {
+                assert_eq!(q.assign[v], p.assign[v], "survivor vertex {v} moved");
+            } else {
+                assert!([0u8, 1, 3].contains(&q.assign[v]));
+            }
+        }
+        // Dead rank's load spreads across all survivors.
+        let c = q.counts();
+        assert!(c[0] > 0 && c[1] > 0 && c[3] > 0, "{c:?}");
+        // Cascading: lose another rank from the re-split fabric.
+        let q2 = q.redistribute(&[0], &[1, 3]);
+        assert_eq!(q2.counts()[0], 0);
+        assert_eq!(
+            q2.counts().iter().sum::<usize>(),
+            g.num_vertices(),
+            "every vertex stays owned"
+        );
+        // Single survivor degenerates to migrate_to.
+        let q3 = q2.redistribute(&[1], &[3]);
+        assert!(q3.assign.iter().all(|&d| d == 3));
     }
 }

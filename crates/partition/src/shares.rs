@@ -1,0 +1,234 @@
+//! N-way device shares: the generalization of the paper's `a:b` ratio.
+//!
+//! A [`Shares`] is an ordered list of non-negative integer weights, one per
+//! rank. Rank `i` is entitled to `parts[i] / total` of the workload; a rank
+//! with part `0` owns nothing (evicted, or deliberately idle). The 2-rank
+//! case is exactly [`Ratio`](crate::Ratio), and every `Ratio` operation
+//! delegates here so both spellings share one codepath.
+
+/// Per-rank workload weights (`a:b:c:…`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Shares {
+    parts: Vec<u32>,
+}
+
+impl Shares {
+    /// Build from explicit parts. At least one rank, at least one
+    /// positive part.
+    pub fn new(parts: Vec<u32>) -> Self {
+        assert!(!parts.is_empty(), "shares need at least one rank");
+        assert!(
+            parts.iter().any(|&p| p > 0),
+            "shares must have a positive total"
+        );
+        Shares { parts }
+    }
+
+    /// An even split over `n` ranks.
+    pub fn even(n: usize) -> Self {
+        Shares::new(vec![1; n.max(1)])
+    }
+
+    /// The 2-rank form (`Ratio`-compatible).
+    pub fn two(a: u32, b: u32) -> Self {
+        Shares::new(vec![a, b])
+    }
+
+    /// Everything on `rank`, out of `ranks` ranks total.
+    pub fn single(ranks: usize, rank: usize) -> Self {
+        let mut parts = vec![0; ranks.max(rank + 1)];
+        parts[rank] = 1;
+        Shares { parts }
+    }
+
+    /// Number of ranks (including zero-share ranks).
+    pub fn num_ranks(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The raw integer part of `rank`.
+    pub fn part(&self, rank: usize) -> u32 {
+        self.parts[rank]
+    }
+
+    /// All raw parts.
+    pub fn parts(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// Sum of all parts (always positive).
+    pub fn total(&self) -> u32 {
+        self.parts.iter().sum()
+    }
+
+    /// The fractional share of `rank`.
+    pub fn share(&self, rank: usize) -> f64 {
+        f64::from(self.parts[rank]) / f64::from(self.total())
+    }
+
+    /// A copy with `rank`'s part zeroed (eviction). Panics if that would
+    /// leave no positive part.
+    pub fn evicted(&self, rank: usize) -> Shares {
+        let mut parts = self.parts.clone();
+        parts[rank] = 0;
+        Shares::new(parts)
+    }
+
+    /// Ranks with a positive part, ascending.
+    pub fn live_ranks(&self) -> Vec<usize> {
+        (0..self.parts.len())
+            .filter(|&r| self.parts[r] > 0)
+            .collect()
+    }
+
+    /// Re-derive shares from measured per-rank step times (`times[i]` is
+    /// rank `i`'s simulated time for the same superstep): each rank's new
+    /// share is proportional to its throughput `share_i / t_i`, normalized
+    /// to 100 with every rank kept at ≥ 1 so nobody starves. Degenerate
+    /// timings (non-finite or ≤ 0) return the current shares unchanged.
+    ///
+    /// At two ranks this is bit-for-bit the pre-N `Ratio::rebalanced`:
+    /// the first rank gets `round(thr₀/Σthr·100)` clamped to `1..=99` and
+    /// the second the remainder.
+    pub fn rebalanced(&self, times: &[f64]) -> Shares {
+        assert_eq!(times.len(), self.parts.len(), "one time per rank");
+        let n = self.parts.len();
+        if n < 2 || times.iter().any(|t| !t.is_finite() || *t <= 0.0) {
+            return self.clone();
+        }
+        let thr: Vec<f64> = (0..n).map(|i| self.share(i) / times[i]).collect();
+        let total: f64 = thr.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return self.clone();
+        }
+        let mut parts = vec![0u32; n];
+        let mut used = 0u32;
+        for i in 0..n - 1 {
+            // Leave at least 1 point for every rank still to be assigned.
+            let max_allowed = 100 - used - (n - 1 - i) as u32;
+            let raw = (thr[i] / total * 100.0).round() as i64;
+            let s = raw.clamp(1, i64::from(max_allowed)) as u32;
+            parts[i] = s;
+            used += s;
+        }
+        parts[n - 1] = 100 - used;
+        Shares { parts }
+    }
+}
+
+impl std::fmt::Display for Shares {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, p) in self.parts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(":")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Shares {
+    type Err = String;
+
+    /// Parse `a:b:c:…` (one or more colon-separated u32 parts).
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut parts = Vec::new();
+        for piece in s.split(':') {
+            parts.push(
+                piece
+                    .trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad share {piece:?} in {s:?} (expected a:b:c…)"))?,
+            );
+        }
+        if parts.iter().all(|&p| p == 0) {
+            return Err(format!("shares {s:?} must have a positive total"));
+        }
+        Ok(Shares { parts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio::Ratio;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s = Shares::new(vec![3, 5, 2]);
+        let sum: f64 = (0..3).map(|i| s.share(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(s.total(), 10);
+        assert_eq!(s.num_ranks(), 3);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            Shares::two(3, 5),
+            Shares::new(vec![1, 2, 3, 4]),
+            Shares::single(4, 2),
+        ] {
+            let text = s.to_string();
+            assert_eq!(text.parse::<Shares>().unwrap(), s, "text {text:?}");
+        }
+        assert!("0:0".parse::<Shares>().is_err());
+        assert!("1:x".parse::<Shares>().is_err());
+        assert!("".parse::<Shares>().is_err());
+    }
+
+    #[test]
+    fn two_rank_rebalance_matches_ratio() {
+        // The N-way formula must be bit-for-bit the legacy Ratio one.
+        for (cpu, mic) in [(1u32, 1u32), (3, 5), (7, 1), (1, 99)] {
+            for (t0, t1) in [(1.0, 4.0), (4.0, 1.0), (2.5, 2.5), (1.0, 1e9)] {
+                let r = Ratio::new(cpu, mic).rebalanced(t0, t1);
+                let s = Shares::two(cpu, mic).rebalanced(&[t0, t1]);
+                assert_eq!(s.parts(), [r.cpu, r.mic], "{cpu}:{mic} @ {t0}/{t1}");
+            }
+        }
+    }
+
+    #[test]
+    fn rebalance_never_starves_a_rank() {
+        let s = Shares::even(4).rebalanced(&[1.0, 1.0, 1.0, 1e9]);
+        assert_eq!(s.num_ranks(), 4);
+        assert_eq!(s.total(), 100);
+        assert!(s.parts().iter().all(|&p| p >= 1), "{s}");
+        // The straggler keeps the floor; the others split the rest.
+        assert_eq!(s.part(3), 1);
+    }
+
+    #[test]
+    fn rebalance_tracks_throughput_n3() {
+        // Rank 1 runs 4x slower than the others: its share should shrink
+        // toward a quarter of theirs.
+        let s = Shares::even(3).rebalanced(&[1.0, 4.0, 1.0]);
+        assert_eq!(s.total(), 100);
+        assert!(s.part(1) < s.part(0) / 2, "{s}");
+        assert!(s.part(1) < s.part(2) / 2, "{s}");
+    }
+
+    #[test]
+    fn rebalance_ignores_degenerate_timings() {
+        let s = Shares::new(vec![3, 5, 2]);
+        assert_eq!(s.rebalanced(&[1.0, 0.0, 1.0]), s);
+        assert_eq!(s.rebalanced(&[1.0, f64::NAN, 1.0]), s);
+        assert_eq!(s.rebalanced(&[f64::INFINITY, 1.0, 1.0]), s);
+    }
+
+    #[test]
+    fn eviction_zeroes_one_rank() {
+        let s = Shares::new(vec![3, 5, 2]).evicted(1);
+        assert_eq!(s.parts(), [3, 0, 2]);
+        assert_eq!(s.live_ranks(), vec![0, 2]);
+        assert_eq!(s.share(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn eviction_of_the_last_rank_panics() {
+        Shares::single(3, 1).evicted(1);
+    }
+}

@@ -4,23 +4,24 @@ use crate::ratio::Ratio;
 use crate::scheme::DevicePartition;
 use phigraph_graph::Csr;
 
-/// Quality measurements for a device partition.
+/// Quality measurements for a device partition (one slot per rank).
 #[derive(Clone, Debug, PartialEq)]
 pub struct PartitionStats {
-    /// Vertices per device.
-    pub vertices: [usize; 2],
-    /// Out-edges sourced per device ("the number of edges processed by the
+    /// Vertices per rank.
+    pub vertices: Vec<usize>,
+    /// Out-edges sourced per rank ("the number of edges processed by the
     /// CPU and MIC" — the paper's workload measure).
-    pub edges: [u64; 2],
-    /// Edges whose source and destination live on different devices.
+    pub edges: Vec<u64>,
+    /// Edges whose source and destination live on different ranks.
     pub cross_edges: u64,
 }
 
 impl PartitionStats {
     /// Measure a partition against its graph.
     pub fn compute(g: &Csr, p: &DevicePartition) -> Self {
-        let mut vertices = [0usize; 2];
-        let mut edges = [0u64; 2];
+        let ranks = p.num_ranks();
+        let mut vertices = vec![0usize; ranks];
+        let mut edges = vec![0u64; ranks];
         let mut cross = 0u64;
         for v in 0..g.num_vertices() {
             let dv = p.assign[v] as usize;
@@ -39,9 +40,14 @@ impl PartitionStats {
         }
     }
 
-    /// Fraction of all edges that cross devices.
+    /// Total out-edges over all ranks.
+    fn total_edges(&self) -> u64 {
+        self.edges.iter().sum()
+    }
+
+    /// Fraction of all edges that cross ranks.
     pub fn cross_fraction(&self) -> f64 {
-        let total = self.edges[0] + self.edges[1];
+        let total = self.total_edges();
         if total == 0 {
             0.0
         } else {
@@ -50,16 +56,28 @@ impl PartitionStats {
     }
 
     /// Absolute deviation of the CPU's edge share from its ratio share
-    /// (0 = perfectly proportional workload).
+    /// (0 = perfectly proportional workload). The two-rank case of
+    /// [`edge_balance_error_n`](Self::edge_balance_error_n).
     pub fn edge_balance_error(&self, ratio: Ratio) -> f64 {
-        let total = (self.edges[0] + self.edges[1]) as f64;
+        self.rank_balance_error(0, ratio.share(0))
+    }
+
+    /// Worst per-rank deviation of the edge share from the target share,
+    /// over all ranks.
+    pub fn edge_balance_error_n(&self, shares: &crate::Shares) -> f64 {
+        (0..self.edges.len())
+            .map(|r| self.rank_balance_error(r, shares.share(r)))
+            .fold(0.0, f64::max)
+    }
+
+    fn rank_balance_error(&self, rank: usize, target: f64) -> f64 {
+        let total = self.total_edges() as f64;
         if total == 0.0 {
             return 0.0;
         }
         // Normalize by the target share so a 50% miss on a 3:5 target and a
         // 1:1 target read comparably.
-        let actual = self.edges[0] as f64 / total;
-        let target = ratio.share(0);
+        let actual = self.edges[rank] as f64 / total;
         if target <= 0.0 || target >= 1.0 {
             (actual - target).abs()
         } else {
@@ -71,7 +89,8 @@ impl PartitionStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::{partition, PartitionScheme};
+    use crate::scheme::{partition, partition_n, PartitionScheme};
+    use crate::Shares;
     use phigraph_graph::generators::small::{cycle, star};
 
     #[test]
@@ -104,5 +123,16 @@ mod tests {
         let s = PartitionStats::compute(&g, &p);
         assert_eq!(s.cross_edges, 0);
         assert_eq!(s.cross_fraction(), 0.0);
+    }
+
+    #[test]
+    fn nway_stats_cover_every_rank() {
+        let g = cycle(12);
+        let shares = Shares::new(vec![1, 1, 1]);
+        let p = partition_n(&g, PartitionScheme::Continuous, &shares, 0);
+        let s = PartitionStats::compute(&g, &p);
+        assert_eq!(s.vertices, [4, 4, 4]);
+        assert_eq!(s.edges.iter().sum::<u64>(), 12);
+        assert!(s.edge_balance_error_n(&shares) < 1e-12);
     }
 }

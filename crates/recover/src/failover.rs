@@ -146,6 +146,12 @@ pub struct FailoverStats {
     pub supersteps_total: u64,
     /// Whether the run finished on a single device after migration.
     pub degraded_single: bool,
+    /// Link partitions observed (both ends alive, one link severed): the
+    /// membership machine evicts exactly one side per event.
+    pub link_partitions: u64,
+    /// Bitmask of ranks evicted from the fabric (bit `r` set = rank `r`
+    /// was voted out and its partition re-split over the survivors).
+    pub evicted_ranks: u64,
 }
 
 impl FailoverStats {
@@ -162,6 +168,15 @@ impl FailoverStats {
         self.supersteps_replayed += other.supersteps_replayed;
         self.supersteps_total = self.supersteps_total.max(other.supersteps_total);
         self.degraded_single |= other.degraded_single;
+        self.link_partitions += other.link_partitions;
+        self.evicted_ranks |= other.evicted_ranks;
+    }
+
+    /// Ranks named by [`FailoverStats::evicted_ranks`], ascending.
+    pub fn evicted_rank_list(&self) -> Vec<u8> {
+        (0..64)
+            .filter(|r| self.evicted_ranks & (1 << r) != 0)
+            .collect()
     }
 
     /// Whether any failover-relevant *event* happened at all. Bookkeeping
@@ -175,15 +190,17 @@ impl FailoverStats {
             + self.exchange_drops
             + self.exchange_timeouts
             + self.supersteps_replayed
+            + self.link_partitions
             > 0
             || self.degraded_single
+            || self.evicted_ranks != 0
     }
 
     /// One-line summary (appended to run summaries when anything happened).
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "crash_det={} hang_det={} migrations={} rebalances={} drops={} timeouts={} \
-             wd_latency={}ms resume@{} replayed={}/{}{}",
+             wd_latency={}ms resume@{} replayed={}/{}",
             self.crash_detections,
             self.hang_detections,
             self.migrations,
@@ -194,12 +211,17 @@ impl FailoverStats {
             self.resume_step,
             self.supersteps_replayed,
             self.supersteps_total,
-            if self.degraded_single {
-                " DEGRADED->single"
-            } else {
-                ""
-            },
-        )
+        );
+        if self.link_partitions > 0 {
+            line.push_str(&format!(" link_partitions={}", self.link_partitions));
+        }
+        if self.evicted_ranks != 0 {
+            line.push_str(&format!(" evicted={:?}", self.evicted_rank_list()));
+        }
+        if self.degraded_single {
+            line.push_str(" DEGRADED->single");
+        }
+        line
     }
 }
 

@@ -67,10 +67,26 @@ pub enum FaultKind {
     /// daemon must answer with a typed error, never drop the connection
     /// or panic.
     MalformedLine,
+    /// A specific rank of the N-device fabric dies at the start of a
+    /// superstep (fail-stop, like [`CrashDevice`](FaultKind::CrashDevice)
+    /// but addressing the rank in the kind itself so plans read
+    /// `step:crash-rank:k`). The membership machine evicts the rank and
+    /// re-splits its partition over the survivors.
+    CrashRank(u8),
+    /// The link between two ranks is severed at a superstep boundary: both
+    /// ends observe a dropped exchange, but *neither rank is dead*. The
+    /// membership machine must evict exactly one deterministic side (the
+    /// higher rank id — survivors re-anchor on the smallest live rank)
+    /// rather than both. Always stored with `i < j`.
+    PartitionLink(u8, u8),
 }
 
 impl FaultKind {
-    /// All kinds, for seeded sampling.
+    /// All *fieldless* kinds, for seeded sampling. The parameterized
+    /// multi-rank kinds ([`CrashRank`](FaultKind::CrashRank),
+    /// [`PartitionLink`](FaultKind::PartitionLink)) are excluded — they
+    /// address concrete rank ids, so random sweeps construct them
+    /// explicitly from the live topology.
     pub const ALL: [FaultKind; 15] = [
         FaultKind::KillWorker,
         FaultKind::KillMover,
@@ -106,7 +122,14 @@ impl FaultKind {
         FaultKind::TruncateFrame,
     ];
 
-    /// Short stable name (CLI flag values, report lines).
+    /// Build a normalized link-partition kind (`i < j` always).
+    pub fn partition_link(a: u8, b: u8) -> Self {
+        assert!(a != b, "a link needs two distinct ranks");
+        FaultKind::PartitionLink(a.min(b), a.max(b))
+    }
+
+    /// Short stable name (CLI flag values, report lines). Parameterized
+    /// kinds return their base name; `Display` carries the parameters.
     pub fn name(&self) -> &'static str {
         match self {
             FaultKind::KillWorker => "worker",
@@ -124,30 +147,54 @@ impl FaultKind {
             FaultKind::HangWorkerJob => "worker-hang",
             FaultKind::SlowClient => "slow-client",
             FaultKind::MalformedLine => "malformed-line",
+            FaultKind::CrashRank(_) => "crash-rank",
+            FaultKind::PartitionLink(_, _) => "partition-link",
         }
     }
 }
 
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+        match self {
+            FaultKind::CrashRank(r) => write!(f, "crash-rank:{r}"),
+            FaultKind::PartitionLink(i, j) => write!(f, "partition-link:{i}-{j}"),
+            _ => f.write_str(self.name()),
+        }
     }
 }
 
 impl std::str::FromStr for FaultKind {
     type Err = String;
     fn from_str(s: &str) -> Result<Self, String> {
-        FaultKind::ALL
-            .iter()
-            .copied()
-            .find(|k| k.name() == s)
-            .ok_or_else(|| {
-                let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
-                format!(
-                    "unknown fault kind {s:?} (expected one of {})",
-                    names.join("|")
-                )
-            })
+        if let Some(k) = FaultKind::ALL.iter().copied().find(|k| k.name() == s) {
+            return Ok(k);
+        }
+        if let Some(rest) = s.strip_prefix("crash-rank:") {
+            let r: u8 = rest
+                .parse()
+                .map_err(|_| format!("bad rank {rest:?} in fault kind {s:?}"))?;
+            return Ok(FaultKind::CrashRank(r));
+        }
+        if let Some(rest) = s.strip_prefix("partition-link:") {
+            let (a, b) = rest
+                .split_once('-')
+                .ok_or_else(|| format!("fault kind {s:?} needs two ranks (i-j)"))?;
+            let a: u8 = a
+                .parse()
+                .map_err(|_| format!("bad rank {a:?} in fault kind {s:?}"))?;
+            let b: u8 = b
+                .parse()
+                .map_err(|_| format!("bad rank {b:?} in fault kind {s:?}"))?;
+            if a == b {
+                return Err(format!("fault kind {s:?} links a rank to itself"));
+            }
+            return Ok(FaultKind::partition_link(a, b));
+        }
+        let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        Err(format!(
+            "unknown fault kind {s:?} (expected one of {}|crash-rank:k|partition-link:i-j)",
+            names.join("|")
+        ))
     }
 }
 
@@ -178,31 +225,43 @@ impl std::fmt::Display for FaultSpec {
 impl std::str::FromStr for FaultSpec {
     type Err = String;
 
-    /// Parse `step:kind` or `step:kind:device`. Never panics: every
-    /// malformed field becomes a descriptive error.
+    /// Parse `step:kind` or `step:kind:device`, where `kind` itself may
+    /// carry colon-separated parameters (`crash-rank:k`,
+    /// `partition-link:i-j`). Never panics: every malformed field becomes
+    /// a descriptive error.
     fn from_str(s: &str) -> Result<Self, String> {
-        let parts: Vec<&str> = s.split(':').collect();
-        if parts.len() != 2 && parts.len() != 3 {
+        let Some((first, rest)) = s.split_once(':') else {
             return Err(format!(
                 "bad fault spec {s:?} (expected step:kind or step:kind:device)"
             ));
-        }
-        let superstep: u64 = parts[0]
-            .parse()
-            .map_err(|_| format!("bad superstep {:?} in fault spec {s:?}", parts[0]))?;
-        let kind: FaultKind = parts[1].parse()?;
-        let device: u8 = if parts.len() == 3 {
-            parts[2]
-                .parse()
-                .map_err(|_| format!("bad device {:?} in fault spec {s:?}", parts[2]))?
-        } else {
-            0
         };
-        Ok(FaultSpec {
-            superstep,
-            kind,
-            device,
-        })
+        let superstep: u64 = first
+            .parse()
+            .map_err(|_| format!("bad superstep {first:?} in fault spec {s:?}"))?;
+        // The whole remainder as one (possibly parameterized) kind first,
+        // then the legacy `kind:device` split.
+        match rest.parse::<FaultKind>() {
+            Ok(kind) => Ok(FaultSpec {
+                superstep,
+                kind,
+                device: 0,
+            }),
+            Err(kind_err) => {
+                if let Some((k, d)) = rest.rsplit_once(':') {
+                    if let Ok(kind) = k.parse::<FaultKind>() {
+                        let device: u8 = d
+                            .parse()
+                            .map_err(|_| format!("bad device {d:?} in fault spec {s:?}"))?;
+                        return Ok(FaultSpec {
+                            superstep,
+                            kind,
+                            device,
+                        });
+                    }
+                }
+                Err(kind_err)
+            }
+        }
     }
 }
 
@@ -440,6 +499,85 @@ mod tests {
                 assert_eq!(s.parse::<FaultSpec>().unwrap(), spec, "spec {s:?}");
             }
         }
+    }
+
+    #[test]
+    fn multi_rank_kind_strings_round_trip() {
+        // Property: Display → FromStr is the identity for the
+        // parameterized multi-rank kinds over randomized rank ids,
+        // standalone and embedded in specs/plans with random supersteps
+        // and device forms — alongside the fieldless catalog.
+        let mut rng = SplitMix64::seed_from_u64(1234);
+        let mut plan = FaultPlan::new();
+        for _ in 0..64 {
+            let i = rng.random_range(0u8..63);
+            let j = rng.random_range(i + 1..64u8);
+            for kind in [
+                FaultKind::CrashRank(rng.random_range(0u8..64)),
+                FaultKind::partition_link(i, j),
+            ] {
+                assert_eq!(kind.to_string().parse::<FaultKind>().unwrap(), kind);
+                for device in [0u8, 1, 5] {
+                    let spec = FaultSpec {
+                        superstep: rng.random_range(0u64..1_000_000),
+                        kind,
+                        device,
+                    };
+                    let s = spec.to_string();
+                    assert_eq!(s.parse::<FaultSpec>().unwrap(), spec, "spec {s:?}");
+                    plan.faults.push(spec);
+                }
+            }
+        }
+        // Whole plans mixing parameterized and fieldless kinds.
+        plan.faults
+            .extend(FaultPlan::random(5, 8, 20, &FaultKind::ALL, 3).faults);
+        let s = plan.to_string();
+        assert_eq!(s.parse::<FaultPlan>().unwrap(), plan);
+    }
+
+    #[test]
+    fn multi_rank_kind_parsing_is_strict() {
+        // partition-link is normalized to i < j on both construction and
+        // parse, so injector equality matches however the user spells it.
+        assert_eq!(
+            "partition-link:2-1".parse::<FaultKind>().unwrap(),
+            FaultKind::PartitionLink(1, 2)
+        );
+        assert_eq!(
+            FaultKind::partition_link(5, 3),
+            FaultKind::PartitionLink(3, 5)
+        );
+        assert_eq!(FaultKind::CrashRank(2).name(), "crash-rank");
+        assert_eq!(FaultKind::PartitionLink(0, 1).name(), "partition-link");
+        for bad in [
+            "crash-rank:",
+            "crash-rank:x",
+            "crash-rank:300",
+            "partition-link:1",
+            "partition-link:1-1",
+            "partition-link:a-2",
+        ] {
+            assert!(bad.parse::<FaultKind>().is_err(), "{bad:?} should fail");
+        }
+        // Spec forms: the kind's own parameters win the first colon; a
+        // trailing device still parses.
+        assert_eq!(
+            "7:crash-rank:3".parse::<FaultSpec>().unwrap(),
+            FaultSpec {
+                superstep: 7,
+                kind: FaultKind::CrashRank(3),
+                device: 0
+            }
+        );
+        assert_eq!(
+            "4:partition-link:0-2".parse::<FaultSpec>().unwrap(),
+            FaultSpec {
+                superstep: 4,
+                kind: FaultKind::PartitionLink(0, 2),
+                device: 0
+            }
+        );
     }
 
     #[test]

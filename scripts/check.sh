@@ -50,6 +50,21 @@ echo "==> integrity smoke: seeded SDC chaos run heals bit-identically"
 cmp "$SMOKE_DIR/clean.txt" "$SMOKE_DIR/healed.txt"
 "$PHIGRAPH" recover "$SMOKE_DIR/sdc" | grep -q "integrity:"
 
+echo "==> fabric smoke: N=3 rank crash mid-run, survivors recover bit-identically"
+# A clean 3-rank run fixes the expected checksum; the chaos run kills
+# rank 1 at superstep 4, so the survivors must migrate its partition,
+# replay from the newest common barrier, and land on the same bits.
+WANT3="$("$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --devices 3 --checksum \
+    | sed -n 's/^checksum=//p')"
+"$PHIGRAPH" run sssp "$SMOKE_DIR/g.bin" --devices 3 --checkpoint-every 2 \
+    --checkpoint-dir "$SMOKE_DIR/fabric-ckpt" --faults 4:crash-rank:1 --checksum \
+    | grep -q "checksum=$WANT3"
+# The checkpoint dir uses the per-rank layout and records the eviction.
+"$PHIGRAPH" recover "$SMOKE_DIR/fabric-ckpt" > "$SMOKE_DIR/fabric-recover.txt"
+grep -q "rank2: " "$SMOKE_DIR/fabric-recover.txt"
+grep -q "migrations=1" "$SMOKE_DIR/fabric-recover.txt"
+echo "    (rank 1 killed at step 4 of 3-rank SSSP: checksum parity after migration: ok)"
+
 echo "==> bench smoke: BENCH_*.json emission + regression gate"
 # Smoke-measure every area into the repo root (the per-PR perf artifacts),
 # then prove the gate both passes and trips. Numbers from smoke runs are

@@ -9,12 +9,14 @@
 //! within the configured deadline.
 
 use phigraph_comm::PcieLink;
-use phigraph_core::engine::{run_hetero, run_hetero_failover, EngineConfig};
+use phigraph_core::engine::{
+    run_hetero, run_hetero_failover, run_ranks_failover, run_seq, EngineConfig,
+};
 use phigraph_core::metrics::RunOutput;
 use phigraph_device::DeviceSpec;
 use phigraph_graph::state::PodState;
 use phigraph_graph::{Csr, EdgeList, SplitMix64};
-use phigraph_partition::{partition, DevicePartition, PartitionScheme, Ratio};
+use phigraph_partition::{partition, partition_n, DevicePartition, PartitionScheme, Ratio, Shares};
 use phigraph_recover::{
     CheckpointStore, FailoverConfig, FailoverPolicy, FaultInjector, FaultKind, FaultPlan, MemStore,
 };
@@ -345,6 +347,150 @@ fn dropped_exchange_rolls_back_to_snapshot_not_step_zero() {
     assert_eq!(out.report.recovery.rollbacks, 1);
     assert!(out.report.total_exchange_drops() >= 1);
     assert!(out.report.summary().contains("xchg drops=1"));
+}
+
+/// Even round-robin split across `n` ranks (mirrors [`even_partition`]).
+fn n_partition(g: &Csr, n: usize) -> DevicePartition {
+    partition_n(g, PartitionScheme::RoundRobin, &Shares::even(n), 0)
+}
+
+/// Run the N-rank failover driver with fresh in-memory stores.
+fn run_n_failover<P: VertexProgram>(
+    program: &P,
+    g: &Csr,
+    p: &DevicePartition,
+    n: usize,
+    fcfg: &FailoverConfig,
+    injector: Option<FaultInjector>,
+) -> RunOutput<P::Value>
+where
+    P::Value: PodState,
+{
+    let configs: Vec<EngineConfig> = (0..n)
+        .map(|_| {
+            let c = EngineConfig::locking()
+                .with_checkpoint_every(1)
+                .with_backoff_ms(0);
+            match &injector {
+                Some(inj) => c.with_fault_plan(inj.clone()),
+                None => c,
+            }
+        })
+        .collect();
+    let specs: Vec<DeviceSpec> = (0..n)
+        .map(|r| {
+            if r == 0 {
+                DeviceSpec::xeon_e5_2680()
+            } else {
+                DeviceSpec::xeon_phi_se10p()
+            }
+        })
+        .collect();
+    let mut stores: Vec<MemStore> = (0..n).map(|_| MemStore::new()).collect();
+    let store_refs: Vec<&mut dyn CheckpointStore> = stores
+        .iter_mut()
+        .map(|s| s as &mut dyn CheckpointStore)
+        .collect();
+    run_ranks_failover(
+        program,
+        g,
+        p,
+        &specs,
+        &configs,
+        PcieLink::gen2_x16(),
+        fcfg,
+        store_refs,
+        false,
+    )
+}
+
+/// The N-rank elasticity contract: at every superstep boundary of a 3- and
+/// 4-rank SSSP run, kill one rank, and after recovery kill a second — the
+/// survivor subset (one rank for N=3, two for N=4) must still converge to
+/// exactly the sequential engine's fixpoint, with both evictions accounted.
+#[test]
+fn kill_one_then_a_second_rank_at_every_superstep_n3_n4() {
+    let g = sweep_graph(83);
+    let app = Sssp { source: 0 };
+    let seq = run_seq(
+        &app,
+        &g,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::sequential(),
+    );
+    for n in [3usize, 4] {
+        let p = n_partition(&g, n);
+        let clean = run_n_failover(&app, &g, &p, n, &FailoverConfig::default(), None);
+        assert_eq!(clean.values, seq.values, "clean {n}-rank run vs sequential");
+        assert!(!clean.report.failover.any(), "n={n}");
+        let steps = clean.report.steps.len() as u64;
+        assert!(steps >= 8, "sweep graph too shallow at n={n}: {steps}");
+        let fcfg = FailoverConfig::default().with_watchdog_ms(200);
+        for s1 in 0..steps {
+            // First victim rotates over all ranks; the second dies two
+            // barriers later (same barrier at the tail of the run — the
+            // simultaneous double-loss case).
+            let a = (s1 % n as u64) as u8;
+            let b = ((s1 + 1) % n as u64) as u8;
+            let s2 = (s1 + 2).min(steps - 1);
+            let plan = FaultPlan::new().with(s1, FaultKind::CrashRank(a), 0).with(
+                s2,
+                FaultKind::CrashRank(b),
+                0,
+            );
+            let out = run_n_failover(&app, &g, &p, n, &fcfg, Some(plan.injector()));
+            assert_eq!(
+                out.values, seq.values,
+                "n={n}: killed rank {a}@{s1} then rank {b}@{s2}"
+            );
+            let f = out.report.failover;
+            assert_eq!(f.crash_detections, 2, "n={n} s1={s1}");
+            let mut expect = vec![a.min(b), a.max(b)];
+            expect.dedup();
+            assert_eq!(f.evicted_rank_list(), expect, "n={n} s1={s1}");
+            assert!(f.migrations >= 1, "n={n} s1={s1}");
+            // Step reports stay monotone through both migration splices.
+            let ids: Vec<usize> = out.report.steps.iter().map(|r| r.step).collect();
+            assert!(
+                ids.windows(2).all(|w| w[0] < w[1]),
+                "n={n} s1={s1}: {ids:?}"
+            );
+        }
+    }
+}
+
+/// A partitioned link is not a dead rank: the verdict evicts exactly the
+/// higher endpoint of the cut, the two remaining ranks keep running as a
+/// fabric, and the fixpoint is untouched.
+#[test]
+fn link_partition_evicts_the_higher_endpoint_and_fabric_survives() {
+    let g = sweep_graph(89);
+    let app = Sssp { source: 0 };
+    let seq = run_seq(
+        &app,
+        &g,
+        DeviceSpec::xeon_e5_2680(),
+        &EngineConfig::sequential(),
+    );
+    let n = 3usize;
+    let p = n_partition(&g, n);
+    let fcfg = FailoverConfig::default().with_watchdog_ms(200);
+    let plan = FaultPlan::new().with(3, FaultKind::partition_link(0, 2), 0);
+    let out = run_n_failover(&app, &g, &p, n, &fcfg, Some(plan.injector()));
+    assert_eq!(out.values, seq.values);
+    let f = out.report.failover;
+    assert_eq!(f.link_partitions, 1);
+    assert_eq!(f.crash_detections, 0, "a cut link must not read as a crash");
+    assert_eq!(
+        f.evicted_rank_list(),
+        vec![2],
+        "the higher side of the 0-2 cut loses the verdict"
+    );
+    assert!(
+        !f.degraded_single,
+        "ranks 0 and 1 keep running as a two-rank fabric"
+    );
+    assert!(out.report.summary().contains("evicted=[2]"));
 }
 
 /// Both devices lost at the same superstep: nothing to migrate onto, so

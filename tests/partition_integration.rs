@@ -101,10 +101,11 @@ fn hybrid_reuses_blocks_across_ratios() {
         Ratio::new(1, 4),
         Ratio::new(4, 3),
     ] {
-        let assign = phigraph_partition::scheme::hybrid_from_blocks(&g, &blocks, 64, ratio);
+        let assign =
+            phigraph_partition::scheme::hybrid_from_blocks(&g, &blocks, 64, &ratio.to_shares());
         let p = phigraph_partition::DevicePartition {
             assign,
-            ratio,
+            shares: ratio.to_shares(),
             scheme: PartitionScheme::Hybrid { blocks: 64 },
         };
         let s = PartitionStats::compute(&g, &p);
